@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sample = `package sample
+
+var ext int64
+
+type Box struct {
+	size int64
+	cap  int64
+}
+
+func (b *Box) Fill(n int64) int64 {
+	room := b.cap - b.size
+	used := n
+	if used > room {
+		used = room
+	}
+	b.size += used
+	return used
+}
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.go")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunList(t *testing.T) {
+	path := writeSample(t)
+	if err := run([]string{"-src", path, "-list"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunWritesMutants(t *testing.T) {
+	path := writeSample(t)
+	outDir := filepath.Join(t.TempDir(), "mutants")
+	if err := run([]string{"-src", path, "-out", outDir, "-ops", "IndVarBitNeg"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(outDir)
+	if err != nil {
+		t.Fatalf("reading mutant dir: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Error("no mutant files written")
+	}
+}
+
+func TestRunMethodAndOpFilters(t *testing.T) {
+	path := writeSample(t)
+	if err := run([]string{"-src", path, "-methods", "Fill", "-ops", "IndVarRepLoc", "-max", "1", "-list"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -src should fail")
+	}
+	if err := run([]string{"-src", filepath.Join(t.TempDir(), "absent.go")}); err == nil {
+		t.Error("missing file should fail")
+	}
+	path := writeSample(t)
+	if err := run([]string{"-src", path, "-ops", "NotAnOperator"}); err == nil {
+		t.Error("unknown operator should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.go")
+	if err := os.WriteFile(bad, []byte("not go at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-src", bad}); err == nil {
+		t.Error("unparsable source should fail")
+	}
+}

@@ -1,0 +1,674 @@
+// Command concat is the prototype tool of the paper (§3.1): it supports the
+// construction and use of self-testable components — validating t-specs,
+// rendering transaction flow models, generating executable test suites from
+// a component's embedded specification, running them with the built-in test
+// facilities enabled, deriving subclass suites incrementally, emitting
+// standalone Go drivers, and evaluating test sets by interface mutation.
+//
+// Usage:
+//
+//	concat list
+//	concat validate  <spec.tspec>
+//	concat graph     <spec.tspec> [-highlight n1,n3,n5,n6]
+//	concat paths     <spec.tspec> [-k N] [-criterion all-transactions|all-links|all-nodes]
+//	concat gen       -component NAME | -spec FILE  [-seed N] [-expand] [-alt N] [-k N] [-out FILE]
+//	concat run       -component NAME -suite FILE [-log FILE]
+//	concat selftest  -component NAME [-seed N] [-expand] [-alt N]
+//	concat derive    -parent NAME -child NAME [-seed N] [-out FILE]
+//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v]
+//	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"concat/internal/core"
+	"concat/internal/driver"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+	"concat/internal/tspec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "concat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		return usageError("missing subcommand")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return cmdList(w)
+	case "validate":
+		return cmdValidate(rest, w)
+	case "graph":
+		return cmdGraph(rest, w)
+	case "paths":
+		return cmdPaths(rest, w)
+	case "gen":
+		return cmdGen(rest, w)
+	case "run":
+		return cmdRun(rest, w)
+	case "selftest":
+		return cmdSelfTest(rest, w)
+	case "soak":
+		return cmdSoak(rest, w)
+	case "record":
+		return cmdRecord(rest, w)
+	case "regress":
+		return cmdRegress(rest, w)
+	case "derive":
+		return cmdDerive(rest, w)
+	case "mutate":
+		return cmdMutate(rest, w)
+	case "emit":
+		return cmdEmit(rest, w)
+	case "help", "-h", "--help":
+		printUsage(w)
+		return nil
+	default:
+		return usageError("unknown subcommand " + cmd)
+	}
+}
+
+func usageError(msg string) error {
+	return fmt.Errorf("%s (run 'concat help')", msg)
+}
+
+func printUsage(w io.Writer) {
+	fmt.Fprintln(w, `concat — construction and use of self-testable components
+
+subcommands:
+  list       list the built-in self-testable components
+  validate   parse and validate a t-spec file
+  graph      render a t-spec's transaction flow model as Graphviz DOT
+  paths      enumerate the transactions of a t-spec's model
+  gen        generate an executable test suite from a t-spec
+  run        execute a saved suite against a built-in component
+  selftest   generate and execute in one step
+  soak       random-walk (endurance) testing: sample and run random transactions
+  record     run a suite and record its outputs as the golden reference
+  regress    re-run a suite against a recorded golden reference (§2.4 regression testing)
+  derive     derive a subclass suite with hierarchical incremental reuse
+  mutate     evaluate a test set by interface mutation (Table 1 operators)
+  emit       emit a standalone Go driver source for a suite`)
+}
+
+func loadSpecFile(path string) (*tspec.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading spec: %w", err)
+	}
+	s, err := tspec.Parse(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// resolveSpec loads a spec from -spec FILE or a built-in -component NAME.
+func resolveSpec(componentName, specPath string) (*tspec.Spec, error) {
+	switch {
+	case componentName != "" && specPath != "":
+		return nil, usageError("-component and -spec are mutually exclusive")
+	case componentName != "":
+		t, err := core.LookupTarget(componentName)
+		if err != nil {
+			return nil, err
+		}
+		return t.New(nil).Spec(), nil
+	case specPath != "":
+		return loadSpecFile(specPath)
+	default:
+		return nil, usageError("need -component NAME or -spec FILE")
+	}
+}
+
+func outWriter(path string, w io.Writer) (io.Writer, func() error, error) {
+	if path == "" {
+		return w, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("creating %s: %w", path, err)
+	}
+	return f, f.Close, nil
+}
+
+func cmdList(w io.Writer) error {
+	reg, err := core.Registry()
+	if err != nil {
+		return err
+	}
+	for _, name := range reg.Names() {
+		f, err := reg.Lookup(name)
+		if err != nil {
+			return err
+		}
+		g, err := f.Spec().TFM()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%-16s %d methods, model: %s\n", name, len(f.Spec().Methods), g.Stats())
+	}
+	return nil
+}
+
+func cmdValidate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usageError("validate takes one spec file")
+	}
+	s, err := loadSpecFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	g, err := s.TFM()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "spec %q is valid: %d attributes, %d methods, model %s\n",
+		s.Class.Name, len(s.Attributes), len(s.Methods), g.Stats())
+	return nil
+}
+
+func cmdGraph(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("graph", flag.ContinueOnError)
+	highlight := fs.String("highlight", "", "comma-separated node path to highlight")
+	component := fs.String("component", "", "built-in component name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec *tspec.Spec
+	var err error
+	if fs.NArg() == 1 {
+		spec, err = loadSpecFile(fs.Arg(0))
+	} else {
+		spec, err = resolveSpec(*component, "")
+	}
+	if err != nil {
+		return err
+	}
+	g, err := spec.TFM()
+	if err != nil {
+		return err
+	}
+	var hl tfm.Transaction
+	if *highlight != "" {
+		for _, n := range strings.Split(*highlight, ",") {
+			hl.Path = append(hl.Path, tfm.NodeID(strings.TrimSpace(n)))
+		}
+	}
+	return g.WriteDOT(w, hl)
+}
+
+func cmdPaths(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("paths", flag.ContinueOnError)
+	k := fs.Int("k", 1, "loop bound")
+	criterion := fs.String("criterion", "all-transactions", "coverage criterion")
+	component := fs.String("component", "", "built-in component name")
+	limit := fs.Int("limit", 0, "maximum transactions (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec *tspec.Spec
+	var err error
+	if fs.NArg() == 1 {
+		spec, err = loadSpecFile(fs.Arg(0))
+	} else {
+		spec, err = resolveSpec(*component, "")
+	}
+	if err != nil {
+		return err
+	}
+	g, err := spec.TFM()
+	if err != nil {
+		return err
+	}
+	crit, err := parseCriterion(*criterion)
+	if err != nil {
+		return err
+	}
+	ts, err := g.Select(crit, tfm.EnumOptions{LoopBound: *k, MaxTransactions: *limit})
+	if err != nil && len(ts) == 0 {
+		return err
+	}
+	for i, tr := range ts {
+		fmt.Fprintf(w, "%4d  %s\n", i, tr)
+	}
+	fmt.Fprintf(w, "%d transactions (%s, loop bound %d)\n", len(ts), crit, *k)
+	if err != nil {
+		fmt.Fprintf(w, "warning: %v\n", err)
+	}
+	return nil
+}
+
+func parseCriterion(s string) (tfm.Criterion, error) {
+	switch s {
+	case "all-transactions":
+		return tfm.CoverTransactions, nil
+	case "all-links":
+		return tfm.CoverLinks, nil
+	case "all-nodes":
+		return tfm.CoverNodes, nil
+	default:
+		return 0, fmt.Errorf("unknown criterion %q", s)
+	}
+}
+
+type genFlags struct {
+	seed   int64
+	expand bool
+	alt    int
+	k      int
+}
+
+func addGenFlags(fs *flag.FlagSet) *genFlags {
+	g := &genFlags{}
+	fs.Int64Var(&g.seed, "seed", 42, "generation seed")
+	fs.BoolVar(&g.expand, "expand", false, "expand node method alternatives")
+	fs.IntVar(&g.alt, "alt", 4, "alternative expansion cap")
+	fs.IntVar(&g.k, "k", 1, "transaction enumeration loop bound")
+	return g
+}
+
+func (g *genFlags) options() driver.Options {
+	return driver.Options{
+		Seed:               g.seed,
+		ExpandAlternatives: g.expand,
+		MaxAlternatives:    g.alt,
+		Enum:               tfm.EnumOptions{LoopBound: g.k},
+	}
+}
+
+func cmdGen(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	specPath := fs.String("spec", "", "t-spec file")
+	out := fs.String("out", "", "output file (default stdout)")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := resolveSpec(*component, *specPath)
+	if err != nil {
+		return err
+	}
+	suite, err := driver.Generate(spec, gf.options())
+	if err != nil {
+		return err
+	}
+	dst, closeFn, err := outWriter(*out, w)
+	if err != nil {
+		return err
+	}
+	if err := suite.Save(dst); err != nil {
+		_ = closeFn()
+		return err
+	}
+	if err := closeFn(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s for %s (seed %d)\n", suite.Stats(), spec.Class.Name, gf.seed)
+	return nil
+}
+
+func cmdRun(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	suitePath := fs.String("suite", "", "suite JSON file")
+	logPath := fs.String("log", "", "write the Result.txt-style log to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *component == "" || *suitePath == "" {
+		return usageError("run needs -component and -suite")
+	}
+	t, err := core.LookupTarget(*component)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*suitePath)
+	if err != nil {
+		return fmt.Errorf("opening suite: %w", err)
+	}
+	defer f.Close()
+	suite, err := driver.Load(f)
+	if err != nil {
+		return err
+	}
+	comp := t.New(nil)
+	logDst, closeFn, err := outWriter(*logPath, io.Discard)
+	if err != nil {
+		return err
+	}
+	rep, err := comp.RunSuite(suite, testexec.Options{LogWriter: logDst})
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	if !rep.AllPassed() {
+		return fmt.Errorf("%d test cases did not pass", len(rep.Failures()))
+	}
+	return nil
+}
+
+func cmdSelfTest(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("selftest", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *component == "" {
+		return usageError("selftest needs -component")
+	}
+	t, err := core.LookupTarget(*component)
+	if err != nil {
+		return err
+	}
+	comp := t.New(nil)
+	suite, rep, err := comp.SelfTest(gf.options(), testexec.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s\n", t.Name, suite.Stats())
+	printReport(w, rep)
+	if !rep.AllPassed() {
+		return fmt.Errorf("%d test cases did not pass", len(rep.Failures()))
+	}
+	return nil
+}
+
+// loadComponentAndSuite resolves the shared -component/-suite flag pair.
+func loadComponentAndSuite(componentName, suitePath string) (*core.Component, *driver.Suite, error) {
+	if componentName == "" || suitePath == "" {
+		return nil, nil, usageError("need -component and -suite")
+	}
+	t, err := core.LookupTarget(componentName)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := os.Open(suitePath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening suite: %w", err)
+	}
+	defer f.Close()
+	suite, err := driver.Load(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t.New(nil), suite, nil
+}
+
+// cmdRecord runs a suite against the current component build and stores the
+// observable outputs as the golden reference — the producer-side half of
+// the paper's regression-testing use of embedded suites (§2.4).
+func cmdRecord(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	suitePath := fs.String("suite", "", "suite JSON file")
+	goldenPath := fs.String("golden", "", "output file for the golden reference")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *goldenPath == "" {
+		return usageError("record needs -golden FILE")
+	}
+	comp, suite, err := loadComponentAndSuite(*component, *suitePath)
+	if err != nil {
+		return err
+	}
+	rep, err := comp.RunSuite(suite, testexec.Options{})
+	if err != nil {
+		return err
+	}
+	for _, res := range rep.Results {
+		if res.Outcome == testexec.OutcomeError {
+			return fmt.Errorf("case %s has a harness error (%s); refusing to record a broken reference",
+				res.CaseID, res.Detail)
+		}
+	}
+	f, err := os.Create(*goldenPath)
+	if err != nil {
+		return err
+	}
+	golden := testexec.NewGolden(rep)
+	if err := golden.Save(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded golden reference for %s: %d cases -> %s\n",
+		suite.Component, len(rep.Results), *goldenPath)
+	return nil
+}
+
+// cmdRegress re-runs a suite and compares every case's observable output
+// against the recorded reference — the consumer-side regression check after
+// a new component release (the paper's CObList-maintenance scenario).
+func cmdRegress(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	suitePath := fs.String("suite", "", "suite JSON file")
+	goldenPath := fs.String("golden", "", "golden reference file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *goldenPath == "" {
+		return usageError("regress needs -golden FILE")
+	}
+	comp, suite, err := loadComponentAndSuite(*component, *suitePath)
+	if err != nil {
+		return err
+	}
+	gf, err := os.Open(*goldenPath)
+	if err != nil {
+		return fmt.Errorf("opening golden reference: %w", err)
+	}
+	golden, err := testexec.LoadGolden(gf)
+	closeErr := gf.Close()
+	if err != nil {
+		return err
+	}
+	if closeErr != nil {
+		return closeErr
+	}
+	if golden.Component != suite.Component {
+		return fmt.Errorf("golden reference is for %q, suite for %q", golden.Component, suite.Component)
+	}
+	rep, err := comp.RunSuite(suite, testexec.Options{Oracle: golden})
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	if !rep.AllPassed() {
+		return fmt.Errorf("regression detected: %d cases deviate from the recorded behaviour",
+			len(rep.Failures()))
+	}
+	fmt.Fprintln(w, "no regressions: behaviour matches the recorded reference")
+	return nil
+}
+
+func cmdSoak(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("soak", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	cases := fs.Int("cases", 200, "number of random transactions")
+	maxLen := fs.Int("maxlen", 0, "maximum walk length (0 = 4x node count)")
+	seed := fs.Int64("seed", 42, "generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *component == "" {
+		return usageError("soak needs -component")
+	}
+	t, err := core.LookupTarget(*component)
+	if err != nil {
+		return err
+	}
+	comp := t.New(nil)
+	suite, err := driver.GenerateSoak(comp.Spec(), driver.SoakOptions{
+		Seed: *seed, Cases: *cases, MaxLength: *maxLen,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "soak suite: %s\n", suite.Stats())
+	rep, err := comp.RunSuite(suite, testexec.Options{})
+	if err != nil {
+		return err
+	}
+	printReport(w, rep)
+	if !rep.AllPassed() {
+		return fmt.Errorf("%d soak cases did not pass", len(rep.Failures()))
+	}
+	return nil
+}
+
+func cmdDerive(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("derive", flag.ContinueOnError)
+	parent := fs.String("parent", "", "parent component name")
+	child := fs.String("child", "", "child component name")
+	out := fs.String("out", "", "write the derived suite JSON here")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parent == "" || *child == "" {
+		return usageError("derive needs -parent and -child")
+	}
+	pt, err := core.LookupTarget(*parent)
+	if err != nil {
+		return err
+	}
+	ct, err := core.LookupTarget(*child)
+	if err != nil {
+		return err
+	}
+	pc, cc := pt.New(nil), ct.New(nil)
+	parentSuite, err := pc.GenerateSuite(gf.options())
+	if err != nil {
+		return err
+	}
+	d, err := core.DeriveSubclass(pc, cc, parentSuite, gf.options())
+	if err != nil {
+		return err
+	}
+	skip, reuse, regen := d.Plan.Counts()
+	fmt.Fprintf(w, "derived suite for %s (parent %s):\n", *child, *parent)
+	fmt.Fprintf(w, "  transactions: %d skipped, %d reused, %d regenerated\n", skip, reuse, regen)
+	fmt.Fprintf(w, "  test cases:   %d new, %d reused from parent, %d parent cases skipped\n",
+		d.NumNew, d.NumReused, d.NumSkipped)
+	inh, red, nw := d.Plan.Classification.Counts()
+	fmt.Fprintf(w, "  methods:      %d inherited, %d redefined, %d new\n", inh, red, nw)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := d.Suite.Save(f); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}
+
+func cmdMutate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("mutate", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	methods := fs.String("methods", "", "comma-separated methods to mutate (default: the component's experiment methods)")
+	verbose := fs.Bool("v", false, "print per-mutant verdicts")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *component == "" {
+		return usageError("mutate needs -component")
+	}
+	t, err := core.LookupTarget(*component)
+	if err != nil {
+		return err
+	}
+	comp := t.New(nil)
+	suite, err := comp.GenerateSuite(gf.options())
+	if err != nil {
+		return err
+	}
+	var methodList []string
+	if *methods != "" {
+		for _, m := range strings.Split(*methods, ",") {
+			methodList = append(methodList, strings.TrimSpace(m))
+		}
+	}
+	var progress io.Writer
+	if *verbose {
+		progress = w
+	}
+	res, err := core.MutationRun(*component, suite, methodList, progress)
+	if err != nil {
+		return err
+	}
+	return res.Tabulate().Render(w)
+}
+
+func cmdEmit(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("emit", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	specPath := fs.String("spec", "", "t-spec file")
+	importPath := fs.String("import", "", "import path of the factory package")
+	factory := fs.String("factory", "", "factory construction expression")
+	out := fs.String("out", "", "output file (default stdout)")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := resolveSpec(*component, *specPath)
+	if err != nil {
+		return err
+	}
+	suite, err := driver.Generate(spec, gf.options())
+	if err != nil {
+		return err
+	}
+	dst, closeFn, err := outWriter(*out, w)
+	if err != nil {
+		return err
+	}
+	err = driver.Emit(dst, suite, driver.EmitOptions{
+		ComponentImport: *importPath,
+		FactoryExpr:     *factory,
+	})
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func printReport(w io.Writer, rep *testexec.Report) {
+	fmt.Fprintln(w, rep.Summary())
+	for _, f := range rep.Failures() {
+		fmt.Fprintf(w, "  FAIL %s (%s): %s — %s\n", f.CaseID, f.Transaction, f.Outcome, f.Detail)
+	}
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(args, &sb)
+	return sb.String(), err
+}
+
+func mustRunCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("concat %s: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return out
+}
+
+func writeTempSpec(t *testing.T, text string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.tspec")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const cliSpec = `
+Class('Gauge', No, <empty>, <empty>)
+Attribute('level', range, 0, 10)
+Method(m1, 'Gauge', <empty>, constructor, 0)
+Method(m2, '~Gauge', <empty>, destructor, 0)
+Method(m3, 'Bump', <empty>, update, 1)
+Parameter(m3, 'by', range, 1, 3)
+Node(n1, Yes, 1, [m1])
+Node(n2, No, 1, [m3])
+Node(n3, No, 0, [m2])
+Edge(n1, n2)
+Edge(n2, n3)
+`
+
+func TestCLIUsageErrors(t *testing.T) {
+	if _, err := runCLI(t); err == nil {
+		t.Error("no args should fail")
+	}
+	if _, err := runCLI(t, "frobnicate"); err == nil {
+		t.Error("unknown subcommand should fail")
+	}
+	out := mustRunCLI(t, "help")
+	if !strings.Contains(out, "selftest") {
+		t.Errorf("help output: %q", out)
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	out := mustRunCLI(t, "list")
+	for _, want := range []string{"Account", "ObList", "SortableObList", "Product"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIValidate(t *testing.T) {
+	path := writeTempSpec(t, cliSpec)
+	out := mustRunCLI(t, "validate", path)
+	if !strings.Contains(out, `spec "Gauge" is valid`) {
+		t.Errorf("validate output: %q", out)
+	}
+	bad := writeTempSpec(t, "Class('X', No, <empty>, <empty>)")
+	if _, err := runCLI(t, "validate", bad); err == nil {
+		t.Error("invalid spec should fail")
+	}
+	if _, err := runCLI(t, "validate"); err == nil {
+		t.Error("validate without file should fail")
+	}
+	if _, err := runCLI(t, "validate", filepath.Join(t.TempDir(), "absent.tspec")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCLIGraph(t *testing.T) {
+	path := writeTempSpec(t, cliSpec)
+	out := mustRunCLI(t, "graph", path)
+	if !strings.Contains(out, "digraph \"Gauge\"") {
+		t.Errorf("graph output: %q", out)
+	}
+	out = mustRunCLI(t, "graph", "-component", "Product", "-highlight", "n1,n3,n5,n6")
+	if !strings.Contains(out, "color=red") {
+		t.Error("highlight missing from DOT")
+	}
+}
+
+func TestCLIPaths(t *testing.T) {
+	path := writeTempSpec(t, cliSpec)
+	out := mustRunCLI(t, "paths", path)
+	if !strings.Contains(out, "n1 -> n2 -> n3") || !strings.Contains(out, "1 transactions") {
+		t.Errorf("paths output: %q", out)
+	}
+	out = mustRunCLI(t, "paths", "-component", "ObList", "-criterion", "all-links")
+	if !strings.Contains(out, "all-links") {
+		t.Errorf("criterion output: %q", out)
+	}
+	if _, err := runCLI(t, "paths", "-criterion", "bogus", path); err == nil {
+		t.Error("bad criterion should fail")
+	}
+	out = mustRunCLI(t, "paths", "-component", "ObList", "-limit", "5")
+	if !strings.Contains(out, "warning") {
+		t.Errorf("truncation warning missing: %q", out)
+	}
+}
+
+func TestCLIGenAndRun(t *testing.T) {
+	dir := t.TempDir()
+	suitePath := filepath.Join(dir, "suite.json")
+	mustRunCLI(t, "gen", "-component", "Account", "-seed", "9", "-out", suitePath)
+	if _, err := os.Stat(suitePath); err != nil {
+		t.Fatalf("suite not written: %v", err)
+	}
+	logPath := filepath.Join(dir, "result.txt")
+	out := mustRunCLI(t, "run", "-component", "Account", "-suite", suitePath, "-log", logPath)
+	if !strings.Contains(out, "pass=") {
+		t.Errorf("run output: %q", out)
+	}
+	logData, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(logData), "OK!") {
+		t.Errorf("log: %q", logData)
+	}
+	// Error paths.
+	if _, err := runCLI(t, "run", "-component", "Account"); err == nil {
+		t.Error("run without suite should fail")
+	}
+	if _, err := runCLI(t, "run", "-component", "Nope", "-suite", suitePath); err == nil {
+		t.Error("unknown component should fail")
+	}
+	if _, err := runCLI(t, "gen", "-component", "Account", "-spec", suitePath); err == nil {
+		t.Error("component+spec together should fail")
+	}
+	if _, err := runCLI(t, "gen"); err == nil {
+		t.Error("gen without target should fail")
+	}
+}
+
+func TestCLIGenFromSpecFile(t *testing.T) {
+	path := writeTempSpec(t, cliSpec)
+	out := mustRunCLI(t, "gen", "-spec", path)
+	if !strings.Contains(out, `"component": "Gauge"`) {
+		t.Errorf("gen output: %q", out)
+	}
+}
+
+func TestCLISelfTest(t *testing.T) {
+	out := mustRunCLI(t, "selftest", "-component", "Product", "-expand", "-alt", "3")
+	if !strings.Contains(out, "pass=") {
+		t.Errorf("selftest output: %q", out)
+	}
+	if _, err := runCLI(t, "selftest"); err == nil {
+		t.Error("selftest without component should fail")
+	}
+}
+
+func TestCLIDerive(t *testing.T) {
+	dir := t.TempDir()
+	out := mustRunCLI(t, "derive", "-parent", "ObList", "-child", "SortableObList",
+		"-expand", "-alt", "2", "-out", filepath.Join(dir, "derived.json"))
+	for _, want := range []string{"skipped", "reused", "regenerated", "redefined"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("derive output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "derived.json")); err != nil {
+		t.Errorf("derived suite not written: %v", err)
+	}
+	if _, err := runCLI(t, "derive", "-parent", "ObList"); err == nil {
+		t.Error("derive without child should fail")
+	}
+	if _, err := runCLI(t, "derive", "-parent", "Account", "-child", "Product"); err == nil {
+		t.Error("unrelated classes should fail derivation")
+	}
+}
+
+func TestCLIMutate(t *testing.T) {
+	out := mustRunCLI(t, "mutate", "-component", "Account", "-expand", "-alt", "4")
+	for _, want := range []string{"Results obtained for the Account class", "#killed", "Score"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("mutate output missing %q:\n%s", want, out)
+		}
+	}
+	out = mustRunCLI(t, "mutate", "-component", "Account", "-expand", "-methods", "Withdraw", "-v")
+	if !strings.Contains(out, "killed by") {
+		t.Errorf("verbose mutate output: %q", out)
+	}
+	if _, err := runCLI(t, "mutate"); err == nil {
+		t.Error("mutate without component should fail")
+	}
+	if _, err := runCLI(t, "mutate", "-component", "Product"); err == nil {
+		t.Error("uninstrumented component should fail")
+	}
+}
+
+func TestCLIEmit(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "driver.go")
+	mustRunCLI(t, "emit", "-component", "Account",
+		"-import", "concat/internal/components/account",
+		"-factory", "account.NewFactory()",
+		"-out", outPath)
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "package main") {
+		t.Errorf("emitted driver: %q", data[:60])
+	}
+	if _, err := runCLI(t, "emit", "-component", "Account"); err == nil {
+		t.Error("emit without import/factory should fail")
+	}
+}
+
+func TestCLISoak(t *testing.T) {
+	out := mustRunCLI(t, "soak", "-component", "Account", "-cases", "30", "-seed", "5")
+	if !strings.Contains(out, "soak suite: 30 test cases") || !strings.Contains(out, "pass=30") {
+		t.Errorf("soak output: %q", out)
+	}
+	if _, err := runCLI(t, "soak"); err == nil {
+		t.Error("soak without component should fail")
+	}
+	if _, err := runCLI(t, "soak", "-component", "Nope"); err == nil {
+		t.Error("unknown component should fail")
+	}
+}
+
+func TestCLIRecordAndRegress(t *testing.T) {
+	dir := t.TempDir()
+	suitePath := filepath.Join(dir, "suite.json")
+	goldenPath := filepath.Join(dir, "golden.json")
+	mustRunCLI(t, "gen", "-component", "Account", "-seed", "3", "-out", suitePath)
+	out := mustRunCLI(t, "record", "-component", "Account", "-suite", suitePath, "-golden", goldenPath)
+	if !strings.Contains(out, "recorded golden reference") {
+		t.Errorf("record output: %q", out)
+	}
+	// The same build regresses cleanly.
+	out = mustRunCLI(t, "regress", "-component", "Account", "-suite", suitePath, "-golden", goldenPath)
+	if !strings.Contains(out, "no regressions") {
+		t.Errorf("regress output: %q", out)
+	}
+	// A doctored golden file is detected as a regression.
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctored := strings.Replace(string(data), "NEW Account(", "NEW Acc0unt(", 1)
+	if doctored == string(data) {
+		t.Fatal("test setup: transcript marker not found")
+	}
+	if err := os.WriteFile(goldenPath, []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "regress", "-component", "Account", "-suite", suitePath, "-golden", goldenPath); err == nil {
+		t.Error("doctored golden should report a regression")
+	}
+	// Error paths.
+	if _, err := runCLI(t, "record", "-component", "Account", "-suite", suitePath); err == nil {
+		t.Error("record without -golden should fail")
+	}
+	if _, err := runCLI(t, "regress", "-component", "Account", "-suite", suitePath); err == nil {
+		t.Error("regress without -golden should fail")
+	}
+	if _, err := runCLI(t, "regress", "-component", "ObList", "-suite", suitePath, "-golden", goldenPath); err == nil {
+		t.Error("component mismatch should fail")
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFigureArtifacts(t *testing.T) {
+	var sb strings.Builder
+	err := run(&sb, selection{table1: true, figure2: true, figure3: true, figure6: true, seed: 42})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "IndVarRepReq",
+		"Figure 2", "digraph",
+		"Figure 3", "Class('Product'",
+		"Figures 6-7", "package main",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunCounts(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, selection{counts: true, seed: 42}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"ObList model", "paper: 233", "paper: 329"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("counts missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	var sb strings.Builder
+	if err := run(&sb, selection{table2: true, table3: true, baseline: true, seed: 42}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 2", "Results obtained for the SortableObList class",
+		"Table 3", "paper: 159 mutants",
+		"baseline", "Results obtained for the ObList class",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q", want)
+		}
+	}
+}
+
+// TestPublishedNumbersStable pins the exact totals EXPERIMENTS.md publishes
+// (seed 42). A failure here means the published tables must be regenerated
+// deliberately, not that the code is wrong.
+func TestPublishedNumbersStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	var sb strings.Builder
+	if err := run(&sb, selection{counts: true, table2: true, table3: true, baseline: true, seed: 42}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"subclass new cases:     200",
+		"subclass reused cases:  56",
+		"parent cases skipped:   94",
+		"92.9%", // experiment 1 total score
+		"73.9%", // experiment 2 total score
+		"96.4%", // baseline total score
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("published number %q missing from output", want)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package concat is a Go implementation of the self-testable software
+// component methodology of Martins, Toyota and Yanagawa, "Constructing
+// Self-Testable Software Components" (DSN 2001), including the Concat
+// prototype tool the paper describes.
+//
+// A self-testable component carries, alongside its implementation:
+//
+//   - a test specification (t-spec) describing its interface (attributes and
+//     method parameters with value domains) and its transaction flow model
+//     (TFM) — the allowed method sequences from object birth to death;
+//   - built-in test (BIT) capabilities: class-invariant / pre / post
+//     assertion checking used as a partial oracle, a Reporter that dumps
+//     internal state, and a BIT access control gating the facilities to test
+//     mode.
+//
+// The consumer-side Driver Generator reads the t-spec, enumerates
+// transactions under the transaction coverage criterion, draws method
+// arguments from the declared domains, and produces an executable suite.
+// Suites run through the test infrastructure with the invariant checked
+// around every call; subclass suites are derived from parent suites with
+// the hierarchical incremental reuse technique; and test-set quality is
+// evaluated with the paper's interface-mutation operators (Table 1).
+//
+// # Quick start
+//
+//	comp := concat.Target("Account")              // a built-in subject
+//	suite, report, err := comp.SelfTest(
+//	    concat.GenOptions{Seed: 42},
+//	    concat.ExecOptions{},
+//	)
+//
+// See the examples/ directory for complete programs, and cmd/concat for the
+// command-line tool.
+package concat
+
+import (
+	"io"
+	"strings"
+
+	"concat/internal/analysis"
+	"concat/internal/component"
+	"concat/internal/core"
+	"concat/internal/driver"
+	"concat/internal/history"
+	"concat/internal/mutation"
+	"concat/internal/testexec"
+	"concat/internal/tspec"
+)
+
+// Re-exported types: the public API surface is the façade over the
+// internal packages. Aliases keep the internal and public types identical
+// so values flow freely between the two.
+type (
+	// Spec is a parsed test specification (t-spec).
+	Spec = tspec.Spec
+	// SpecBuilder assembles a Spec programmatically.
+	SpecBuilder = tspec.Builder
+	// Suite is an executable test suite.
+	Suite = driver.Suite
+	// TestCase is one birth-to-death transaction exercise.
+	TestCase = driver.TestCase
+	// GenOptions configure the Driver Generator.
+	GenOptions = driver.Options
+	// EmitOptions configure the Go-source driver emitter.
+	EmitOptions = driver.EmitOptions
+	// ExecOptions configure suite execution.
+	ExecOptions = testexec.Options
+	// Report is the result of running a suite.
+	Report = testexec.Report
+	// CaseResult is one executed test case's record.
+	CaseResult = testexec.CaseResult
+	// Golden is the golden-output oracle.
+	Golden = testexec.Golden
+	// Component is a self-testable component with its providers.
+	Component = core.Component
+	// History is a component's testing history.
+	History = history.History
+	// DerivedSuite is a subclass suite produced by incremental reuse.
+	DerivedSuite = history.DerivedSuite
+	// MutationEngine owns mutation sites and the active mutant.
+	MutationEngine = mutation.Engine
+	// Mutant is one injected interface fault.
+	Mutant = mutation.Mutant
+	// MutationResult aggregates a mutation analysis.
+	MutationResult = analysis.Result
+	// MutationTable is the Tables 2/3 summary.
+	MutationTable = analysis.Table
+	// Factory builds component instances.
+	Factory = component.Factory
+	// Instance is a live component object.
+	Instance = component.Instance
+)
+
+// ParseSpec parses a t-spec in the Figure 3 notation and validates it.
+func ParseSpec(src string) (*Spec, error) {
+	s, err := tspec.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ReadSpec parses a t-spec from a reader.
+func ReadSpec(r io.Reader) (*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(string(data))
+}
+
+// FormatSpec renders a spec back into t-spec notation.
+func FormatSpec(s *Spec) string {
+	var sb strings.Builder
+	if err := s.Format(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// NewSpec starts a programmatic spec for the named class.
+func NewSpec(name string) *SpecBuilder { return tspec.NewBuilder(name) }
+
+// Generate runs the Driver Generator on a spec.
+func Generate(s *Spec, opts GenOptions) (*Suite, error) {
+	return driver.Generate(s, opts)
+}
+
+// Run executes a suite against a component factory.
+func Run(s *Suite, f Factory, opts ExecOptions) (*Report, error) {
+	return testexec.Run(s, f, opts)
+}
+
+// EmitDriver renders a suite as a standalone Go driver source file (the
+// paper's Figures 6-7 "specific driver").
+func EmitDriver(w io.Writer, s *Suite, opts EmitOptions) error {
+	return driver.Emit(w, s, opts)
+}
+
+// Derive applies the hierarchical incremental reuse technique to produce a
+// subclass suite from the parent's.
+func Derive(parentSpec, childSpec *Spec, parentSuite *Suite, opts GenOptions) (*DerivedSuite, error) {
+	return history.Derive(parentSpec, childSpec, parentSuite, opts)
+}
+
+// Target returns a built-in study subject (Account, ObList, SortableObList,
+// Product), or nil if the name is unknown.
+func Target(name string) *Component {
+	t, err := core.LookupTarget(name)
+	if err != nil {
+		return nil
+	}
+	return t.New(nil)
+}
+
+// TargetNames lists the built-in study subjects.
+func TargetNames() []string {
+	reg, err := core.Registry()
+	if err != nil {
+		return nil
+	}
+	return reg.Names()
+}
+
+// Mutate runs the paper's interface-mutation analysis on a built-in target:
+// mutants are generated for the given methods (the target's experiment
+// methods when empty) and the suite's fault-revealing power is scored.
+func Mutate(targetName string, suite *Suite, methods []string, progress io.Writer) (*MutationResult, error) {
+	return core.MutationRun(targetName, suite, methods, progress)
+}

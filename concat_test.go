@@ -1,0 +1,168 @@
+package concat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const miniSpec = `
+Class('Counter', No, <empty>, <empty>)
+Attribute('n', range, 0, 100)
+Method(m1, 'Counter', <empty>, constructor, 0)
+Method(m2, '~Counter', <empty>, destructor, 0)
+Method(m3, 'Inc', <empty>, update, 1)
+Parameter(m3, 'by', range, 1, 10)
+Node(n1, Yes, 1, [m1])
+Node(n2, No, 1, [m3])
+Node(n3, No, 0, [m2])
+Edge(n1, n2)
+Edge(n2, n3)
+`
+
+func TestParseSpecAndFormat(t *testing.T) {
+	s, err := ParseSpec(miniSpec)
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Class.Name != "Counter" {
+		t.Errorf("name = %q", s.Class.Name)
+	}
+	text := FormatSpec(s)
+	if !strings.Contains(text, "Class('Counter'") {
+		t.Errorf("FormatSpec = %q", text)
+	}
+	back, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back.Class.Name != s.Class.Name {
+		t.Error("round trip changed the class")
+	}
+}
+
+func TestParseSpecRejectsInvalid(t *testing.T) {
+	if _, err := ParseSpec("Class('X', No, <empty>, <empty>)"); err == nil {
+		t.Error("spec without methods should fail validation")
+	}
+	if _, err := ParseSpec("not a spec"); err == nil {
+		t.Error("garbage should fail parsing")
+	}
+}
+
+func TestReadSpec(t *testing.T) {
+	s, err := ReadSpec(strings.NewReader(miniSpec))
+	if err != nil {
+		t.Fatalf("ReadSpec: %v", err)
+	}
+	if s.Class.Name != "Counter" {
+		t.Errorf("name = %q", s.Class.Name)
+	}
+}
+
+func TestTargetAndSelfTest(t *testing.T) {
+	names := TargetNames()
+	if len(names) != 7 {
+		t.Fatalf("TargetNames = %v", names)
+	}
+	if Target("Nope") != nil {
+		t.Error("unknown target should be nil")
+	}
+	comp := Target("Account")
+	if comp == nil {
+		t.Fatal("Account target missing")
+	}
+	suite, report, err := comp.SelfTest(GenOptions{Seed: 42}, ExecOptions{})
+	if err != nil {
+		t.Fatalf("SelfTest: %v", err)
+	}
+	if len(suite.Cases) == 0 || !report.AllPassed() {
+		t.Errorf("self-test: %d cases, passed=%v", len(suite.Cases), report.AllPassed())
+	}
+}
+
+func TestGenerateRunEmitViaFacade(t *testing.T) {
+	comp := Target("ObList")
+	suite, err := Generate(comp.Spec(), GenOptions{Seed: 7})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	report, err := Run(suite, comp.Factory, ExecOptions{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !report.AllPassed() {
+		t.Fatalf("failures: %+v", report.Failures()[:1])
+	}
+	var buf bytes.Buffer
+	err = EmitDriver(&buf, suite, EmitOptions{
+		ComponentImport: "concat/internal/components/oblist",
+		FactoryExpr:     "oblist.NewFactory()",
+	})
+	if err != nil {
+		t.Fatalf("EmitDriver: %v", err)
+	}
+	if !strings.Contains(buf.String(), "package main") {
+		t.Error("emitted driver malformed")
+	}
+}
+
+func TestDeriveViaFacade(t *testing.T) {
+	parent := Target("ObList")
+	child := Target("SortableObList")
+	opts := GenOptions{Seed: 42, ExpandAlternatives: true, MaxAlternatives: 2}
+	parentSuite, err := Generate(parent.Spec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Derive(parent.Spec(), child.Spec(), parentSuite, opts)
+	if err != nil {
+		t.Fatalf("Derive: %v", err)
+	}
+	if d.NumNew == 0 || d.NumReused == 0 || d.NumSkipped == 0 {
+		t.Errorf("derived = %d/%d/%d", d.NumNew, d.NumReused, d.NumSkipped)
+	}
+}
+
+func TestMutateViaFacade(t *testing.T) {
+	comp := Target("Account")
+	suite, err := Generate(comp.Spec(), GenOptions{Seed: 3, ExpandAlternatives: true, MaxAlternatives: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mutate("Account", suite, nil, nil)
+	if err != nil {
+		t.Fatalf("Mutate: %v", err)
+	}
+	table := res.Tabulate()
+	if table.Total.Mutants == 0 || table.Total.Killed == 0 {
+		t.Errorf("table totals = %+v", table.Total)
+	}
+	var sb strings.Builder
+	if err := table.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Score") {
+		t.Error("rendered table missing score row")
+	}
+}
+
+func TestNewSpecBuilderFacade(t *testing.T) {
+	s, err := NewSpec("Tiny").
+		Method("m1", "Tiny", "", 1 /* constructor */).
+		Method("m2", "~Tiny", "", 2 /* destructor */).
+		Node("n1", true, "m1").
+		Node("n2", false, "m2").
+		Edge("n1", "n2").
+		Build()
+	if err != nil {
+		t.Fatalf("builder: %v", err)
+	}
+	suite, err := Generate(s, GenOptions{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(suite.Cases) != 1 {
+		t.Errorf("cases = %d", len(suite.Cases))
+	}
+}

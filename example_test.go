@@ -1,0 +1,127 @@
+package concat_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"concat"
+)
+
+// ExampleParseSpec parses a t-spec in the paper's Figure 3 notation.
+func ExampleParseSpec() {
+	spec, err := concat.ParseSpec(`
+Class('Counter', No, <empty>, <empty>)
+Attribute('n', range, 0, 100)
+Method(m1, 'Counter', <empty>, constructor, 0)
+Method(m2, '~Counter', <empty>, destructor, 0)
+Method(m3, 'Inc', <empty>, update, 1)
+Parameter(m3, 'by', range, 1, 10)
+Node(n1, Yes, 1, [m1])
+Node(n2, No, 1, [m3])
+Node(n3, No, 0, [m2])
+Edge(n1, n2)
+Edge(n2, n3)
+`)
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	g, _ := spec.TFM()
+	fmt.Printf("%s: %d methods, model %s\n", spec.Class.Name, len(spec.Methods), g.Stats())
+	// Output:
+	// Counter: 3 methods, model 3 nodes, 2 links (1 start, 1 final)
+}
+
+// ExampleGenerate runs the Driver Generator on a built-in component's
+// embedded specification.
+func ExampleGenerate() {
+	comp := concat.Target("Account")
+	suite, err := concat.Generate(comp.Spec(), concat.GenOptions{Seed: 42})
+	if err != nil {
+		fmt.Println("generate error:", err)
+		return
+	}
+	fmt.Println(suite.Stats())
+	first := suite.Cases[0]
+	fmt.Printf("%s exercises %s\n", first.ID, strings.ReplaceAll(first.Transaction, ">", " -> "))
+	// Output:
+	// 9 test cases, 39 calls, 0 holes
+	// TC0 exercises n1 -> n2 -> n2 -> n3 -> n4 -> n5
+}
+
+// ExampleComponent_SelfTest is the paper's §3.1 consumer workflow in one
+// call: generate from the embedded t-spec, execute in test mode, report.
+func ExampleComponent_SelfTest() {
+	comp := concat.Target("Account")
+	_, report, err := comp.SelfTest(concat.GenOptions{Seed: 42}, concat.ExecOptions{})
+	if err != nil {
+		fmt.Println("self-test error:", err)
+		return
+	}
+	fmt.Println(report.Summary())
+	// Output:
+	// Account: 9 cases (pass=9)
+}
+
+// ExampleDerive applies the hierarchical incremental reuse technique
+// (§3.4.2) to build a subclass suite from its parent's.
+func ExampleDerive() {
+	parent := concat.Target("ObList")
+	child := concat.Target("SortableObList")
+	opts := concat.GenOptions{Seed: 42, ExpandAlternatives: true, MaxAlternatives: 2}
+	parentSuite, err := concat.Generate(parent.Spec(), opts)
+	if err != nil {
+		fmt.Println("generate error:", err)
+		return
+	}
+	d, err := concat.Derive(parent.Spec(), child.Spec(), parentSuite, opts)
+	if err != nil {
+		fmt.Println("derive error:", err)
+		return
+	}
+	skip, reuse, regen := d.Plan.Counts()
+	fmt.Printf("transactions: %d skipped, %d reused, %d regenerated\n", skip, reuse, regen)
+	// Output:
+	// transactions: 18 skipped, 22 reused, 22 regenerated
+}
+
+// ExampleMutate scores a test set with the paper's interface-mutation
+// operators (Table 1).
+func ExampleMutate() {
+	comp := concat.Target("Account")
+	suite, err := concat.Generate(comp.Spec(), concat.GenOptions{
+		Seed: 3, ExpandAlternatives: true, MaxAlternatives: 4,
+	})
+	if err != nil {
+		fmt.Println("generate error:", err)
+		return
+	}
+	res, err := concat.Mutate("Account", suite, nil, nil)
+	if err != nil {
+		fmt.Println("mutate error:", err)
+		return
+	}
+	table := res.Tabulate()
+	fmt.Printf("mutants=%d killed=%d equivalent=%d\n",
+		table.Total.Mutants, table.Total.Killed, table.Total.Equivalent)
+}
+
+// ExampleEmitDriver renders a generated suite as the paper's Figures 6-7
+// standalone driver source.
+func ExampleEmitDriver() {
+	comp := concat.Target("Account")
+	suite, _ := concat.Generate(comp.Spec(), concat.GenOptions{Seed: 42})
+	err := concat.EmitDriver(os.Stdout, &concat.Suite{
+		Component: suite.Component,
+		Seed:      suite.Seed,
+		Criterion: suite.Criterion,
+		Cases:     suite.Cases[:1],
+	}, concat.EmitOptions{
+		ComponentImport: "concat/internal/components/account",
+		FactoryExpr:     "account.NewFactory()",
+	})
+	if err != nil {
+		fmt.Println("emit error:", err)
+	}
+}

@@ -1,0 +1,101 @@
+// Mutationlab: the paper's evaluation machinery end-to-end on a small
+// component. Interface mutants (Table 1 operators) are injected into the
+// Account component's Withdraw method; the suite generated from its t-spec
+// is scored against them with the paper's three kill criteria; and the
+// source-level mutator shows the same fault model applied to real Go code.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"concat"
+	"concat/internal/mutation"
+	"concat/internal/srcmut"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mutationlab:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- In-process interface mutation --------------------------------------
+	comp := concat.Target("Account")
+	suite, err := concat.Generate(comp.Spec(), concat.GenOptions{
+		Seed: 3, ExpandAlternatives: true, MaxAlternatives: 4,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("suite under evaluation: %s\n\n", suite.Stats())
+
+	res, err := concat.Mutate("Account", suite, nil, os.Stdout)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	table := res.Tabulate()
+	if err := table.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	// Survivors deserve a look: never-infecting ones are equivalence
+	// candidates (the paper marked equivalents by hand).
+	for _, mr := range res.Mutants {
+		if !mr.Killed {
+			kind := "survivor"
+			if mr.Equivalent() {
+				kind = "equivalence candidate"
+			} else if !mr.Reached {
+				kind = "never reached by the suite"
+			}
+			fmt.Printf("ALIVE  %-55s (%s)\n", mr.Mutant.ID, kind)
+		}
+	}
+
+	// --- Source-level interface mutation ------------------------------------
+	src := `package acct
+
+var auditLevel int64 = 2
+
+type Account struct {
+	balance int64
+	limit   int64
+}
+
+func (a *Account) Withdraw(amount int64) int64 {
+	remaining := a.balance - amount
+	if remaining >= 0 {
+		a.balance = remaining
+	}
+	return remaining
+}
+`
+	mutants, err := srcmut.MutateFile("acct.go", []byte(src), srcmut.Options{
+		Methods: []string{"Withdraw"},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nsource-level mutants of Withdraw: %d\n", len(mutants))
+	byOp := map[mutation.Operator]int{}
+	compiled := 0
+	for _, m := range mutants {
+		byOp[m.Operator]++
+		if m.TypeCheck("acct.go") == nil {
+			compiled++
+		}
+	}
+	for _, op := range mutation.AllOperators {
+		fmt.Printf("  %-15s %d\n", op, byOp[op])
+	}
+	fmt.Printf("%d/%d mutants compile cleanly (the paper compiled each mutant class individually)\n",
+		compiled, len(mutants))
+	if len(mutants) > 0 {
+		fmt.Printf("\nexample mutant %s:\n%s", mutants[0].ID, mutants[0].Source)
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+// Reusekit: the three reuse mechanisms of the paper's §2.1 — "by
+// inheritance (as is the case with abstract classes), by parameterization
+// (as is the case with generic or template classes) or by composition" —
+// each exercised with the test-reuse machinery it enables.
+//
+//   - Abstract classes: a suite generated from an abstract container spec is
+//     adapted to two concrete components and passes on both (§3.2 iii).
+//   - Parameterization: a generic Stack[T]'s spec template is instantiated
+//     for int and string elements; the model is shared, only the element
+//     domain differs (§3.4.1's "indicate a set of possible types").
+//   - Composition: the Product component uses Provider objects as method
+//     parameters; its test resources work unchanged, with the structured
+//     parameters completed by a provider map.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"concat"
+	"concat/internal/components/oblist"
+	"concat/internal/components/product"
+	"concat/internal/components/sortlist"
+	"concat/internal/components/stack"
+	"concat/internal/history"
+	"concat/internal/testexec"
+	"concat/internal/tspec"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "reusekit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := abstractReuse(); err != nil {
+		return fmt.Errorf("abstract-class reuse: %w", err)
+	}
+	if err := parameterizedReuse(); err != nil {
+		return fmt.Errorf("parameterization reuse: %w", err)
+	}
+	if err := compositionReuse(); err != nil {
+		return fmt.Errorf("composition reuse: %w", err)
+	}
+	return nil
+}
+
+// abstractReuse generates once from an abstract spec and runs the adapted
+// suite against two concrete classes.
+func abstractReuse() error {
+	fmt.Println("— reuse by inheritance: tests generated for an abstract class —")
+	elem := tspec.RangeInt(0, 999)
+	abs, err := tspec.NewBuilder("AbstractList").
+		Abstract().
+		Attribute("count", tspec.RangeInt(0, 1_000_000)).
+		Method("a1", "AbstractList", "", tspec.CatConstructor).
+		Method("a2", "~AbstractList", "", tspec.CatDestructor).
+		Method("a3", "AddHead", "", tspec.CatUpdate).
+		Param("v", elem).
+		Method("a4", "RemoveHead", "int", tspec.CatUpdate).
+		Method("a5", "GetCount", "int", tspec.CatAccess).
+		Node("n1", true, "a1").
+		Node("n2", false, "a3").
+		Node("n3", false, "a4").
+		Node("n4", false, "a5").
+		Node("n5", false, "a2").
+		Edge("n1", "n2").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n3", "n4").
+		Edge("n3", "n5").
+		Edge("n4", "n5").
+		Build()
+	if err != nil {
+		return err
+	}
+	suite, err := concat.Generate(abs, concat.GenOptions{Seed: 42})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  abstract spec %q: %s\n", abs.Class.Name, suite.Stats())
+	for _, target := range []concat.Factory{oblist.NewFactory(), sortlist.NewFactory()} {
+		adapted, err := history.AdaptSuite(abs, target.Spec(), suite)
+		if err != nil {
+			return err
+		}
+		rep, err := testexec.Run(adapted, target, testexec.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  adapted to %-16s %s\n", target.Name()+":", rep.Summary())
+		if !rep.AllPassed() {
+			return fmt.Errorf("%s failed the abstract suite", target.Name())
+		}
+	}
+	return nil
+}
+
+// parameterizedReuse instantiates the generic stack for two element types.
+func parameterizedReuse() error {
+	fmt.Println("\n— reuse by parameterization: a generic Stack[T] —")
+	intStack, err := stack.IntStack()
+	if err != nil {
+		return err
+	}
+	strStack, err := stack.StringStack()
+	if err != nil {
+		return err
+	}
+	for _, f := range []concat.Factory{intStack, strStack} {
+		suite, err := concat.Generate(f.Spec(), concat.GenOptions{
+			Seed: 42, ExpandAlternatives: true, MaxAlternatives: 2,
+		})
+		if err != nil {
+			return err
+		}
+		rep, err := concat.Run(suite, f, concat.ExecOptions{})
+		if err != nil {
+			return err
+		}
+		push, _ := f.Spec().MethodByName("Push")
+		fmt.Printf("  %-14s element domain %-28s %s\n",
+			f.Name()+":", push.Params[0].Domain.Kind, rep.Summary())
+		if !rep.AllPassed() {
+			return fmt.Errorf("%s failed its suite", f.Name())
+		}
+	}
+	fmt.Println("  (one spec template, one model; only the element domain differs)")
+	return nil
+}
+
+// compositionReuse runs the Product suite, whose Provider parameters come
+// from composition with another class.
+func compositionReuse() error {
+	fmt.Println("\n— reuse by composition: Product uses Provider objects —")
+	f := product.NewFactory()
+	f.DB().AddProvider("acme supply co")
+	suite, err := concat.Generate(product.Spec(), concat.GenOptions{Seed: 42})
+	if err != nil {
+		return err
+	}
+	rep, err := concat.Run(suite, f, concat.ExecOptions{Providers: f.Providers()})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s (%d structured-parameter holes completed from the provider map)\n",
+		rep.Summary(), suite.Stats().Holes)
+	if !rep.AllPassed() {
+		return fmt.Errorf("product suite failed")
+	}
+	return nil
+}

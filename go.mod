@@ -1,0 +1,3 @@
+module concat
+
+go 1.22

@@ -1,0 +1,392 @@
+// Package analysis runs the paper's interface-mutation experiments (§4):
+// it executes a suite against the original component to record the golden
+// outputs, then once per mutant, and decides killed/alive by the paper's
+// three criteria — crash, assertion violation absent in the original, and
+// output difference. Tabulate/Render reproduce the layout of Tables 2-3.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"concat/internal/component"
+	"concat/internal/driver"
+	"concat/internal/mutation"
+	"concat/internal/testexec"
+)
+
+// KillReason classifies how a mutant was killed, matching the paper's three
+// criteria in §4.
+type KillReason int
+
+// Kill reasons.
+const (
+	// KillCrash — "the program (driver + mutant class) crashed while running
+	// the test cases" (recovered panic).
+	KillCrash KillReason = iota + 1
+	// KillAssertion — "an exception was raised due to assertion violation,
+	// during a mutant execution, given that this was not the case with the
+	// original program".
+	KillAssertion
+	// KillOutputDiff — "the output of the program that finished execution
+	// was different of the output of the original program".
+	KillOutputDiff
+)
+
+// String names the reason.
+func (k KillReason) String() string {
+	switch k {
+	case KillCrash:
+		return "crash"
+	case KillAssertion:
+		return "assertion"
+	case KillOutputDiff:
+		return "output-diff"
+	default:
+		return fmt.Sprintf("reason(%d)", int(k))
+	}
+}
+
+// MutantResult is the verdict on one mutant.
+type MutantResult struct {
+	Mutant mutation.Mutant
+	Killed bool
+	Reason KillReason // set when Killed
+	// KillingCase is the first test case that killed the mutant.
+	KillingCase string
+	// Reached: the mutant's site executed at least once during the run.
+	Reached bool
+	// Infected: the mutation changed at least one value during the run.
+	// A mutant that ran the entire suite without infecting any state cannot
+	// be killed by this test set; it is an equivalence candidate, automating
+	// the paper's manual marking of equivalent mutants.
+	Infected bool
+}
+
+// Equivalent reports whether the surviving mutant is an equivalence
+// candidate: its site executed (the fault was reached) yet the mutation
+// never changed a value — the replacement is indistinguishable from the
+// original on every execution of this suite. An unreached mutant is NOT
+// equivalent, merely unexercised; it counts as a plain survivor, which is
+// how the paper's Table 3 arrives at 0 equivalents despite 58 survivors.
+func (r MutantResult) Equivalent() bool {
+	return !r.Killed && r.Reached && !r.Infected
+}
+
+// Analysis runs the interface-mutation experiment: execute the suite once
+// against the original component to record the golden outputs, then once per
+// mutant, deciding killed/alive per the paper's three criteria.
+type Analysis struct {
+	// mutation.Engine carries the site table; the factory's instances must route
+	// their instrumented uses through the same engine.
+	Engine *mutation.Engine
+	// Factory builds the component under test.
+	Factory component.Factory
+	// Suite is the test set under evaluation.
+	Suite *driver.Suite
+	// Exec configures suite execution (providers, seeds); the Oracle field
+	// is managed by the analysis itself.
+	Exec testexec.Options
+	// Progress, if non-nil, receives one line per mutant verdict.
+	Progress io.Writer
+	// Parallelism > 1 analyzes mutants concurrently. Because an engine
+	// holds the single active mutant, parallel workers need independent
+	// engine+factory pairs, built by Provision; results are index-aligned
+	// with the input, so parallel and sequential runs produce identical
+	// tables.
+	Parallelism int
+	// Provision builds one worker's private engine and factory. The engine
+	// must carry the same site table as Engine. Required when Parallelism
+	// exceeds 1.
+	Provision func() (*mutation.Engine, component.Factory, error)
+}
+
+// Result aggregates an analysis run.
+type Result struct {
+	Component string
+	Operators []mutation.Operator
+	Mutants   []MutantResult
+	// Reference is the original program's report (no mutant active).
+	Reference *testexec.Report
+}
+
+// Run executes the analysis over the given mutants. It fails fast if the
+// original (unmutated) run does not complete cleanly — an unreliable
+// reference invalidates every verdict.
+func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
+	if a.Engine == nil || a.Factory == nil || a.Suite == nil {
+		return nil, errors.New("mutation: analysis requires engine, factory and suite")
+	}
+	a.Engine.Deactivate()
+	refOpts := a.Exec
+	refOpts.Oracle = nil
+	ref, err := testexec.Run(a.Suite, a.Factory, refOpts)
+	if err != nil {
+		return nil, fmt.Errorf("mutation: reference run: %w", err)
+	}
+	for _, res := range ref.Results {
+		if res.Outcome == testexec.OutcomeError {
+			return nil, fmt.Errorf("mutation: reference run has harness error in %s: %s", res.CaseID, res.Detail)
+		}
+	}
+	golden := testexec.NewGolden(ref)
+
+	out := &Result{Component: a.Suite.Component, Reference: ref}
+	var results []MutantResult
+	if a.Parallelism > 1 && len(mutants) > 1 {
+		results, err = a.runParallel(mutants, golden)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, m := range mutants {
+			res, err := a.runMutant(a.Engine, a.Factory, m, golden)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, res)
+		}
+	}
+	seenOps := map[mutation.Operator]bool{}
+	for i, res := range results {
+		m := mutants[i]
+		if !seenOps[m.Operator] {
+			seenOps[m.Operator] = true
+			out.Operators = append(out.Operators, m.Operator)
+		}
+		out.Mutants = append(out.Mutants, res)
+		if a.Progress != nil {
+			status := "ALIVE"
+			if res.Killed {
+				status = "killed by " + res.Reason.String()
+			} else if res.Equivalent() {
+				status = "ALIVE (equivalence candidate)"
+			}
+			fmt.Fprintf(a.Progress, "%-60s %s\n", m.ID, status)
+		}
+	}
+	sort.Slice(out.Operators, func(i, j int) bool { return out.Operators[i] < out.Operators[j] })
+	return out, nil
+}
+
+// runParallel fans the mutants over Parallelism workers, each with its own
+// engine and factory from Provision. The results slice is index-aligned
+// with the input so every downstream table matches the sequential run.
+func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden) ([]MutantResult, error) {
+	if a.Provision == nil {
+		return nil, errors.New("mutation: parallel analysis requires a Provision function")
+	}
+	workers := a.Parallelism
+	if workers > len(mutants) {
+		workers = len(mutants)
+	}
+	results := make([]MutantResult, len(mutants))
+	errs := make([]error, workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		eng, factory, err := a.Provision()
+		if err != nil {
+			close(jobs)
+			wg.Wait()
+			return nil, fmt.Errorf("mutation: provisioning worker %d: %w", w, err)
+		}
+		wg.Add(1)
+		go func(w int, eng *mutation.Engine, factory component.Factory) {
+			defer wg.Done()
+			for idx := range jobs {
+				if errs[w] != nil {
+					continue // keep draining so the sender never blocks
+				}
+				res, err := a.runMutant(eng, factory, mutants[idx], golden)
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				results[idx] = res
+			}
+		}(w, eng, factory)
+	}
+	for i := range mutants {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runMutant executes the suite against one activated mutant on the given
+// engine/factory pair.
+func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m mutation.Mutant, golden *testexec.Golden) (MutantResult, error) {
+	if err := eng.Activate(m); err != nil {
+		return MutantResult{}, fmt.Errorf("mutation: %w", err)
+	}
+	defer eng.Deactivate()
+
+	opts := a.Exec
+	opts.Oracle = nil // compare via golden.Differs below, on full results
+	rep, err := testexec.Run(a.Suite, factory, opts)
+	if err != nil {
+		return MutantResult{}, fmt.Errorf("mutation: mutant %s: %w", m.ID, err)
+	}
+	res := MutantResult{Mutant: m, Reached: eng.Reached(), Infected: eng.Infected()}
+	for _, caseRes := range rep.Results {
+		refOutcome := golden.Outcomes[caseRes.CaseID]
+		switch {
+		case caseRes.Outcome == testexec.OutcomePanic && refOutcome != testexec.OutcomePanic.String():
+			res.Killed, res.Reason, res.KillingCase = true, KillCrash, caseRes.CaseID
+		case caseRes.Outcome == testexec.OutcomeTimeout && refOutcome != testexec.OutcomeTimeout.String():
+			// A hanging mutant is killed by timeout — the paper's testbed
+			// equivalent of criterion (i), "the program crashed".
+			res.Killed, res.Reason, res.KillingCase = true, KillCrash, caseRes.CaseID
+		case caseRes.Outcome == testexec.OutcomeViolation && refOutcome != testexec.OutcomeViolation.String():
+			res.Killed, res.Reason, res.KillingCase = true, KillAssertion, caseRes.CaseID
+		case golden.Differs(caseRes):
+			res.Killed, res.Reason, res.KillingCase = true, KillOutputDiff, caseRes.CaseID
+		}
+		if res.Killed {
+			break
+		}
+	}
+	return res, nil
+}
+
+// OperatorRow is one line of the paper's Tables 2/3: per-operator totals.
+type OperatorRow struct {
+	Operator   mutation.Operator
+	Mutants    int
+	Killed     int
+	Equivalent int
+}
+
+// Score is the mutation score: killed / (mutants - equivalent). It returns
+// 1 when there are no scoreable mutants.
+func (r OperatorRow) Score() float64 {
+	denom := r.Mutants - r.Equivalent
+	if denom <= 0 {
+		return 1
+	}
+	return float64(r.Killed) / float64(denom)
+}
+
+// Table is the Tables 2/3 data structure: per-method mutant counts, then
+// per-operator kill totals and scores.
+type Table struct {
+	Component string
+	// MethodCounts[method][operator] is the number of mutants generated.
+	MethodCounts map[string]map[mutation.Operator]int
+	Methods      []string // sorted
+	Rows         []OperatorRow
+	Total        OperatorRow // operator field unset
+	// KillsByReason breaks down the kills (the paper: "from the 652 mutants
+	// killed, 59 were due to assertion violation").
+	KillsByReason map[KillReason]int
+}
+
+// Tabulate builds the Tables 2/3 summary from an analysis result.
+func (r *Result) Tabulate() *Table {
+	t := &Table{
+		Component:     r.Component,
+		MethodCounts:  map[string]map[mutation.Operator]int{},
+		KillsByReason: map[KillReason]int{},
+	}
+	rows := map[mutation.Operator]*OperatorRow{}
+	for _, op := range mutation.AllOperators {
+		rows[op] = &OperatorRow{Operator: op}
+	}
+	methodSeen := map[string]bool{}
+	for _, mr := range r.Mutants {
+		op := mr.Mutant.Operator
+		row, ok := rows[op]
+		if !ok {
+			row = &OperatorRow{Operator: op}
+			rows[op] = row
+		}
+		row.Mutants++
+		if mr.Killed {
+			row.Killed++
+			t.KillsByReason[mr.Reason]++
+		} else if mr.Equivalent() {
+			row.Equivalent++
+		}
+		method := mr.Mutant.Method
+		if !methodSeen[method] {
+			methodSeen[method] = true
+			t.Methods = append(t.Methods, method)
+		}
+		if t.MethodCounts[method] == nil {
+			t.MethodCounts[method] = map[mutation.Operator]int{}
+		}
+		t.MethodCounts[method][op]++
+	}
+	sort.Strings(t.Methods)
+	for _, op := range mutation.AllOperators {
+		row := rows[op]
+		if row.Mutants == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, *row)
+		t.Total.Mutants += row.Mutants
+		t.Total.Killed += row.Killed
+		t.Total.Equivalent += row.Equivalent
+	}
+	return t
+}
+
+// Render prints the table in the paper's layout.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Results obtained for the %s class\n", t.Component)
+	fmt.Fprintf(&b, "%-12s", "Method")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, " %14s", row.Operator)
+	}
+	fmt.Fprintf(&b, " %8s\n", "Total")
+	for _, m := range t.Methods {
+		fmt.Fprintf(&b, "%-12s", m)
+		rowTotal := 0
+		for _, row := range t.Rows {
+			n := t.MethodCounts[m][row.Operator]
+			rowTotal += n
+			fmt.Fprintf(&b, " %14d", n)
+		}
+		fmt.Fprintf(&b, " %8d\n", rowTotal)
+	}
+	fmt.Fprintf(&b, "%-12s", "#mutants")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, " %14d", row.Mutants)
+	}
+	fmt.Fprintf(&b, " %8d\n", t.Total.Mutants)
+	fmt.Fprintf(&b, "%-12s", "#killed")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, " %14d", row.Killed)
+	}
+	fmt.Fprintf(&b, " %8d\n", t.Total.Killed)
+	fmt.Fprintf(&b, "%-12s", "#equivalent")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, " %14d", row.Equivalent)
+	}
+	fmt.Fprintf(&b, " %8d\n", t.Total.Equivalent)
+	fmt.Fprintf(&b, "%-12s", "Score")
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, " %13.1f%%", row.Score()*100)
+	}
+	fmt.Fprintf(&b, " %7.1f%%\n", t.Total.Score()*100)
+	if n := t.KillsByReason[KillAssertion]; n > 0 {
+		fmt.Fprintf(&b, "(%d of %d kills due to assertion violation, %d to crash, %d to output difference)\n",
+			n, t.Total.Killed, t.KillsByReason[KillCrash], t.KillsByReason[KillOutputDiff])
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("mutation: rendering table: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package bit provides the built-in test (BIT) capabilities of §2.4 and
+// §3.3: assertion checking (class invariant, pre- and postconditions) used
+// as a partial oracle, a Reporter that dumps an object's internal state, and
+// the BIT access control that makes the facilities available only in test
+// mode.
+//
+// The paper realizes these as an abstract C++ class BuiltInTest that the
+// component under test inherits, plus assertion macros that throw on
+// violation (Figures 4-5). The Go adaptation: components embed bit.Base
+// (embedding plays the inheritance role), satisfy the SelfTestable
+// interface, and assertion violations are typed *Violation errors rather
+// than exceptions — the same information the paper's driver catches in its
+// try-block, delivered through Go's error channel.
+package bit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// Mode is the BIT access-control state. In the paper this is a compile-time
+// directive; here it is a runtime switch so that one binary can exercise
+// both normal and test behaviour (and so the switch itself is testable).
+type Mode int32
+
+// BIT modes.
+const (
+	// ModeOff: BIT services are inaccessible; calling them is a misuse and
+	// returns ErrBITDisabled. Production configuration.
+	ModeOff Mode = iota + 1
+	// ModeTest: BIT services are available; assertions are checked.
+	ModeTest
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeTest:
+		return "test"
+	default:
+		return fmt.Sprintf("mode(%d)", int32(m))
+	}
+}
+
+// ErrBITDisabled is returned when a built-in test service is invoked while
+// the component is not in test mode — the paper's "BIT access control
+// capability prevents the misuse of BIT services".
+var ErrBITDisabled = errors.New("bit: built-in test services are disabled (component not in test mode)")
+
+// ViolationKind classifies an assertion violation.
+type ViolationKind int
+
+// Violation kinds, matching the paper's three assertion macros.
+const (
+	KindInvariant ViolationKind = iota + 1
+	KindPrecondition
+	KindPostcondition
+)
+
+// String names the kind with the paper's message wording.
+func (k ViolationKind) String() string {
+	switch k {
+	case KindInvariant:
+		return "invariant"
+	case KindPrecondition:
+		return "pre-condition"
+	case KindPostcondition:
+		return "post-condition"
+	default:
+		return fmt.Sprintf("violation(%d)", int(k))
+	}
+}
+
+// Violation is the typed error raised when an assertion fails. It is the
+// partial oracle's verdict: the object reached a state (or was called in a
+// way) the contract forbids.
+type Violation struct {
+	Kind   ViolationKind
+	Method string // method being executed when the assertion failed
+	Expr   string // the predicate that failed, for the log
+	Detail string // optional free-form diagnosis
+}
+
+// Error implements error with the paper's macro wording.
+func (v *Violation) Error() string {
+	msg := fmt.Sprintf("%s is violated!", v.Kind)
+	if v.Method != "" {
+		msg += " method=" + v.Method
+	}
+	if v.Expr != "" {
+		msg += " expr=" + v.Expr
+	}
+	if v.Detail != "" {
+		msg += " detail=" + v.Detail
+	}
+	return msg
+}
+
+// Is makes errors.Is(err, &Violation{Kind: k}) match on kind, and
+// errors.Is(err, ErrViolation) match any violation.
+func (v *Violation) Is(target error) bool {
+	if target == ErrViolation {
+		return true
+	}
+	t, ok := target.(*Violation)
+	if !ok {
+		return false
+	}
+	return (t.Kind == 0 || t.Kind == v.Kind) &&
+		(t.Method == "" || t.Method == v.Method)
+}
+
+// ErrViolation is a sentinel matched by every *Violation via errors.Is.
+var ErrViolation = errors.New("bit: assertion violation")
+
+// AsViolation unwraps err to a *Violation if one is in its chain.
+func AsViolation(err error) (*Violation, bool) {
+	var v *Violation
+	if errors.As(err, &v) {
+		return v, true
+	}
+	return nil, false
+}
+
+// ClassInvariant is the Go analog of the paper's ClassInvariant macro: it
+// returns a violation error when exp is false, nil otherwise.
+func ClassInvariant(exp bool, method, expr string) error {
+	if exp {
+		return nil
+	}
+	return &Violation{Kind: KindInvariant, Method: method, Expr: expr}
+}
+
+// PreCondition is the Go analog of the PreCondition macro.
+func PreCondition(exp bool, method, expr string) error {
+	if exp {
+		return nil
+	}
+	return &Violation{Kind: KindPrecondition, Method: method, Expr: expr}
+}
+
+// PostCondition is the Go analog of the PostCondition macro.
+func PostCondition(exp bool, method, expr string) error {
+	if exp {
+		return nil
+	}
+	return &Violation{Kind: KindPostcondition, Method: method, Expr: expr}
+}
+
+// SelfTestable is the built-in test interface of the paper's Figure 4
+// BuiltInTest class: an invariant check, a reporter, and the access-control
+// mode switch. Components embed Base for the mode machinery and implement
+// InvariantTest and Reporter themselves ("should be redefined by the user").
+type SelfTestable interface {
+	// InvariantTest checks the class invariant against the object's current
+	// state. It returns nil when the invariant holds, a *Violation when it
+	// does not, and ErrBITDisabled outside test mode.
+	InvariantTest() error
+	// Reporter writes a human-readable dump of the object's internal state,
+	// the observability aid of §3.3. It returns ErrBITDisabled outside test
+	// mode.
+	Reporter(w io.Writer) error
+	// BITMode returns the current access-control mode.
+	BITMode() Mode
+	// SetBITMode switches the access-control mode.
+	SetBITMode(Mode)
+}
+
+// Base supplies the BIT access-control state. Embed it in a component to
+// inherit BITMode/SetBITMode; the zero value is ModeOff (production-safe by
+// default). Mode reads/writes are atomic so a test harness may flip modes
+// while observers run.
+type Base struct {
+	mode atomic.Int32
+}
+
+// BITMode implements SelfTestable.
+func (b *Base) BITMode() Mode {
+	m := Mode(b.mode.Load())
+	if m == 0 {
+		return ModeOff
+	}
+	return m
+}
+
+// SetBITMode implements SelfTestable.
+func (b *Base) SetBITMode(m Mode) {
+	b.mode.Store(int32(m))
+}
+
+// Guard is the access-control check a component places at the top of each
+// BIT service: it returns ErrBITDisabled unless the component is in test
+// mode.
+func (b *Base) Guard() error {
+	if b.BITMode() != ModeTest {
+		return ErrBITDisabled
+	}
+	return nil
+}
+
+// InTestMode reports whether BIT services are currently available.
+func (b *Base) InTestMode() bool { return b.BITMode() == ModeTest }

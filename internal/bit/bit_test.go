@@ -1,0 +1,295 @@
+package bit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{ModeOff, "off"},
+		{ModeTest, "test"},
+		{Mode(9), "mode(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestViolationKindString(t *testing.T) {
+	tests := []struct {
+		k    ViolationKind
+		want string
+	}{
+		{KindInvariant, "invariant"},
+		{KindPrecondition, "pre-condition"},
+		{KindPostcondition, "post-condition"},
+		{ViolationKind(7), "violation(7)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{Kind: KindInvariant, Method: "Sort1", Expr: "count >= 0", Detail: "count=-1"}
+	msg := v.Error()
+	for _, want := range []string{"invariant is violated!", "Sort1", "count >= 0", "count=-1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+	// Minimal violation still renders the macro wording.
+	if got := (&Violation{Kind: KindPrecondition}).Error(); got != "pre-condition is violated!" {
+		t.Errorf("minimal Error() = %q", got)
+	}
+}
+
+func TestAssertionHelpers(t *testing.T) {
+	if err := ClassInvariant(true, "m", "x"); err != nil {
+		t.Errorf("passing invariant: %v", err)
+	}
+	if err := PreCondition(true, "m", "x"); err != nil {
+		t.Errorf("passing pre: %v", err)
+	}
+	if err := PostCondition(true, "m", "x"); err != nil {
+		t.Errorf("passing post: %v", err)
+	}
+	cases := []struct {
+		err  error
+		kind ViolationKind
+	}{
+		{ClassInvariant(false, "m", "e"), KindInvariant},
+		{PreCondition(false, "m", "e"), KindPrecondition},
+		{PostCondition(false, "m", "e"), KindPostcondition},
+	}
+	for _, c := range cases {
+		v, ok := AsViolation(c.err)
+		if !ok || v.Kind != c.kind {
+			t.Errorf("violation = %+v, ok=%v, want kind %s", v, ok, c.kind)
+		}
+	}
+}
+
+func TestViolationErrorsIs(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", ClassInvariant(false, "Sort1", "ordered"))
+	if !errors.Is(err, ErrViolation) {
+		t.Error("errors.Is(err, ErrViolation) should match any violation")
+	}
+	if !errors.Is(err, &Violation{Kind: KindInvariant}) {
+		t.Error("kind-only target should match")
+	}
+	if errors.Is(err, &Violation{Kind: KindPrecondition}) {
+		t.Error("different kind should not match")
+	}
+	if !errors.Is(err, &Violation{Kind: KindInvariant, Method: "Sort1"}) {
+		t.Error("kind+method target should match")
+	}
+	if errors.Is(err, &Violation{Kind: KindInvariant, Method: "Other"}) {
+		t.Error("different method should not match")
+	}
+	if errors.Is(errors.New("x"), ErrViolation) {
+		t.Error("non-violation should not match ErrViolation")
+	}
+}
+
+func TestAsViolation(t *testing.T) {
+	if _, ok := AsViolation(errors.New("plain")); ok {
+		t.Error("plain error should not be a violation")
+	}
+	if _, ok := AsViolation(nil); ok {
+		t.Error("nil should not be a violation")
+	}
+	wrapped := fmt.Errorf("outer: %w", PreCondition(false, "m", "e"))
+	v, ok := AsViolation(wrapped)
+	if !ok || v.Kind != KindPrecondition {
+		t.Errorf("AsViolation(wrapped) = %+v, %v", v, ok)
+	}
+}
+
+func TestBaseModeDefaultsOff(t *testing.T) {
+	var b Base
+	if b.BITMode() != ModeOff {
+		t.Errorf("zero Base mode = %s, want off", b.BITMode())
+	}
+	if b.InTestMode() {
+		t.Error("zero Base should not be in test mode")
+	}
+	if err := b.Guard(); !errors.Is(err, ErrBITDisabled) {
+		t.Errorf("Guard() = %v, want ErrBITDisabled", err)
+	}
+}
+
+func TestBaseModeSwitch(t *testing.T) {
+	var b Base
+	b.SetBITMode(ModeTest)
+	if b.BITMode() != ModeTest || !b.InTestMode() {
+		t.Error("mode switch to test failed")
+	}
+	if err := b.Guard(); err != nil {
+		t.Errorf("Guard in test mode: %v", err)
+	}
+	b.SetBITMode(ModeOff)
+	if b.InTestMode() {
+		t.Error("mode switch back to off failed")
+	}
+}
+
+func TestBaseModeConcurrent(t *testing.T) {
+	var b Base
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				if i%2 == 0 {
+					b.SetBITMode(ModeTest)
+				} else {
+					b.SetBITMode(ModeOff)
+				}
+				_ = b.BITMode()
+				_ = b.Guard()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// demo is a minimal self-testable component used to exercise the interface.
+type demo struct {
+	Base
+	count int
+}
+
+func (d *demo) InvariantTest() error {
+	if err := d.Guard(); err != nil {
+		return err
+	}
+	return ClassInvariant(d.count >= 0, "InvariantTest", "count >= 0")
+}
+
+func (d *demo) Reporter(w io.Writer) error {
+	if err := d.Guard(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "demo{count: %d}\n", d.count)
+	return err
+}
+
+var _ SelfTestable = (*demo)(nil)
+
+func TestSelfTestableComponent(t *testing.T) {
+	d := &demo{}
+	// Outside test mode every BIT service is gated.
+	if err := d.InvariantTest(); !errors.Is(err, ErrBITDisabled) {
+		t.Errorf("InvariantTest off-mode = %v", err)
+	}
+	if err := d.Reporter(io.Discard); !errors.Is(err, ErrBITDisabled) {
+		t.Errorf("Reporter off-mode = %v", err)
+	}
+	d.SetBITMode(ModeTest)
+	if err := d.InvariantTest(); err != nil {
+		t.Errorf("InvariantTest valid state: %v", err)
+	}
+	var sb strings.Builder
+	if err := d.Reporter(&sb); err != nil {
+		t.Errorf("Reporter: %v", err)
+	}
+	if !strings.Contains(sb.String(), "count: 0") {
+		t.Errorf("report = %q", sb.String())
+	}
+	// Corrupt the state: the invariant must now fail.
+	d.count = -5
+	err := d.InvariantTest()
+	if v, ok := AsViolation(err); !ok || v.Kind != KindInvariant {
+		t.Errorf("corrupted InvariantTest = %v", err)
+	}
+}
+
+func TestContractCheckedHappyPath(t *testing.T) {
+	c := Contract{
+		Name: "Add",
+		Pre:  func(args []any) error { return PreCondition(args[0].(int) > 0, "Add", "v > 0") },
+		Post: func(args, results []any) error {
+			return PostCondition(results[0].(int) >= args[0].(int), "Add", "sum >= v")
+		},
+	}
+	inv := func() error { return nil }
+	results, err := c.Checked(inv, []any{3}, func() ([]any, error) { return []any{7}, nil })
+	if err != nil {
+		t.Fatalf("Checked: %v", err)
+	}
+	if results[0].(int) != 7 {
+		t.Errorf("results = %v", results)
+	}
+}
+
+func TestContractCheckedFailures(t *testing.T) {
+	boom := errors.New("boom")
+	t.Run("entry invariant", func(t *testing.T) {
+		c := Contract{Name: "m"}
+		calls := 0
+		_, err := c.Checked(
+			func() error { return ClassInvariant(false, "m", "inv") },
+			nil,
+			func() ([]any, error) { calls++; return nil, nil },
+		)
+		if !errors.Is(err, &Violation{Kind: KindInvariant}) {
+			t.Errorf("err = %v", err)
+		}
+		if !strings.Contains(err.Error(), "entering m") {
+			t.Errorf("err = %v", err)
+		}
+		if calls != 0 {
+			t.Error("body should not run after entry invariant failure")
+		}
+	})
+	t.Run("precondition", func(t *testing.T) {
+		c := Contract{Name: "m", Pre: func([]any) error { return PreCondition(false, "m", "p") }}
+		calls := 0
+		_, err := c.Checked(nil, nil, func() ([]any, error) { calls++; return nil, nil })
+		if !errors.Is(err, &Violation{Kind: KindPrecondition}) || calls != 0 {
+			t.Errorf("err = %v, calls = %d", err, calls)
+		}
+	})
+	t.Run("body error propagates", func(t *testing.T) {
+		c := Contract{Name: "m", Post: func(_, _ []any) error { t.Error("post should not run"); return nil }}
+		_, err := c.Checked(nil, nil, func() ([]any, error) { return nil, boom })
+		if !errors.Is(err, boom) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("postcondition", func(t *testing.T) {
+		c := Contract{Name: "m", Post: func(_, _ []any) error { return PostCondition(false, "m", "q") }}
+		_, err := c.Checked(nil, nil, func() ([]any, error) { return []any{1}, nil })
+		if !errors.Is(err, &Violation{Kind: KindPostcondition}) {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("exit invariant", func(t *testing.T) {
+		c := Contract{Name: "m"}
+		broken := false
+		inv := func() error {
+			if broken {
+				return ClassInvariant(false, "m", "inv")
+			}
+			return nil
+		}
+		_, err := c.Checked(inv, nil, func() ([]any, error) { broken = true; return nil, nil })
+		if !errors.Is(err, &Violation{Kind: KindInvariant}) || !strings.Contains(err.Error(), "leaving m") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package bit
+
+import "fmt"
+
+// Contract bundles the design-by-contract assertions of one method: a
+// precondition over the arguments, a postcondition over the result, and the
+// class invariant checked on entry and exit (Meyer's method, which the paper
+// adopts for its oracle in §2.2). A Contract is the producer-side
+// declaration; Checked runs a method body inside it.
+type Contract struct {
+	// Name identifies the method, for violation messages.
+	Name string
+	// Pre validates the call arguments; nil means no precondition.
+	Pre func(args []any) error
+	// Post validates the results; nil means no postcondition.
+	Post func(args, results []any) error
+}
+
+// Checked executes body under the contract: invariant before, precondition,
+// body, postcondition, invariant after. invariant may be nil. The first
+// failure aborts the sequence, matching the paper's driver which stops a
+// test case at the first assertion violation.
+func (c Contract) Checked(invariant func() error, args []any, body func() ([]any, error)) ([]any, error) {
+	if invariant != nil {
+		if err := invariant(); err != nil {
+			return nil, fmt.Errorf("entering %s: %w", c.Name, err)
+		}
+	}
+	if c.Pre != nil {
+		if err := c.Pre(args); err != nil {
+			return nil, err
+		}
+	}
+	results, err := body()
+	if err != nil {
+		return results, err
+	}
+	if c.Post != nil {
+		if err := c.Post(args, results); err != nil {
+			return results, err
+		}
+	}
+	if invariant != nil {
+		if err := invariant(); err != nil {
+			return results, fmt.Errorf("leaving %s: %w", c.Name, err)
+		}
+	}
+	return results, nil
+}

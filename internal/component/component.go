@@ -1,0 +1,176 @@
+// Package component defines the runtime model of a self-testable component:
+// how the generated driver creates instances, invokes methods by name, and
+// reaches the built-in test facilities.
+//
+// The paper's driver calls C++ methods directly because test cases are
+// generated as C++ template functions. Go has no classes or templates, so
+// the generated suites are data and components expose a uniform Invoke
+// interface; the Dispatcher helper keeps the per-component wiring to a
+// table of method functions. This is the "interface-based adaptation" noted
+// in DESIGN.md.
+package component
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"concat/internal/bit"
+	"concat/internal/domain"
+	"concat/internal/tspec"
+)
+
+// Instance is a live object of a component under test. It exposes the
+// built-in test interface (embedded bit.SelfTestable) plus name-based method
+// invocation and explicit destruction — the birth-to-death lifecycle a
+// transaction exercises.
+type Instance interface {
+	bit.SelfTestable
+	// Invoke calls the named method with the given arguments.
+	Invoke(method string, args []domain.Value) ([]domain.Value, error)
+	// Destroy plays the destructor role: it releases resources and checks
+	// any destruction-time contract. After Destroy the instance must not be
+	// used.
+	Destroy() error
+}
+
+// Factory creates instances of one component and carries its t-spec — the
+// component and its specification travel together, which is the definition
+// of a self-testable component.
+type Factory interface {
+	// Name returns the component (class) name.
+	Name() string
+	// Spec returns the component's embedded test specification.
+	Spec() *tspec.Spec
+	// New constructs an instance using the named constructor method.
+	New(ctor string, args []domain.Value) (Instance, error)
+}
+
+// ErrUnknownMethod is wrapped by Invoke for calls to undeclared methods.
+var ErrUnknownMethod = errors.New("component: unknown method")
+
+// ErrDestroyed is wrapped by Invoke on a destroyed instance.
+var ErrDestroyed = errors.New("component: instance already destroyed")
+
+// Method is a bound method implementation: it receives the call arguments
+// and returns the results.
+type Method func(args []domain.Value) ([]domain.Value, error)
+
+// Dispatcher is the method table backing an Instance's Invoke. The zero
+// value is ready to use.
+type Dispatcher struct {
+	methods map[string]Method
+}
+
+// Register binds a method name to its implementation. Re-registering a name
+// replaces the previous binding.
+func (d *Dispatcher) Register(name string, fn Method) {
+	if d.methods == nil {
+		d.methods = make(map[string]Method)
+	}
+	d.methods[name] = fn
+}
+
+// Invoke dispatches a call by method name.
+func (d *Dispatcher) Invoke(name string, args []domain.Value) ([]domain.Value, error) {
+	fn, ok := d.methods[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownMethod, name)
+	}
+	return fn(args)
+}
+
+// Has reports whether a method is registered.
+func (d *Dispatcher) Has(name string) bool {
+	_, ok := d.methods[name]
+	return ok
+}
+
+// Names returns the registered method names, sorted.
+func (d *Dispatcher) Names() []string {
+	out := make([]string, 0, len(d.methods))
+	for name := range d.methods {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Registry is a thread-safe name-to-factory map: the component library a
+// consumer (or the concat CLI) selects targets from.
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{factories: make(map[string]Factory)}
+}
+
+// Register adds a factory; duplicate names are rejected.
+func (r *Registry) Register(f Factory) error {
+	if f == nil {
+		return errors.New("component: nil factory")
+	}
+	name := f.Name()
+	if name == "" {
+		return errors.New("component: factory with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.factories[name]; ok {
+		return fmt.Errorf("component: %q already registered", name)
+	}
+	r.factories[name] = f
+	return nil
+}
+
+// Lookup returns the factory for a component name.
+func (r *Registry) Lookup(name string) (Factory, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[name]
+	if !ok {
+		return nil, fmt.Errorf("component: %q not registered", name)
+	}
+	return f, nil
+}
+
+// Names returns the registered component names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for name := range r.factories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WantArgs validates an argument list against expected kinds; it is the
+// argument-marshalling guard every component method starts with.
+func WantArgs(method string, args []domain.Value, kinds ...domain.Kind) error {
+	if len(args) != len(kinds) {
+		return fmt.Errorf("component: %s expects %d arguments, got %d", method, len(kinds), len(args))
+	}
+	for i, k := range kinds {
+		got := args[i].Kind()
+		if got == k {
+			continue
+		}
+		// Nil satisfies pointer/object positions (a null argument).
+		if got == domain.KindNil && (k == domain.KindPointer || k == domain.KindObject) {
+			continue
+		}
+		// Objects satisfy pointer positions and vice versa: both are refs.
+		if (got == domain.KindObject && k == domain.KindPointer) ||
+			(got == domain.KindPointer && k == domain.KindObject) {
+			continue
+		}
+		return fmt.Errorf("component: %s argument %d is %s, want %s", method, i, got, k)
+	}
+	return nil
+}

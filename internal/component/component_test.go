@@ -1,0 +1,129 @@
+package component
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"concat/internal/bit"
+	"concat/internal/domain"
+	"concat/internal/tspec"
+)
+
+func TestDispatcher(t *testing.T) {
+	var d Dispatcher
+	if d.Has("f") {
+		t.Error("zero dispatcher should have no methods")
+	}
+	d.Register("f", func(args []domain.Value) ([]domain.Value, error) {
+		return []domain.Value{domain.Int(int64(len(args)))}, nil
+	})
+	d.Register("g", func([]domain.Value) ([]domain.Value, error) { return nil, nil })
+	if !d.Has("f") || !d.Has("g") {
+		t.Error("registered methods missing")
+	}
+	out, err := d.Invoke("f", []domain.Value{domain.Int(1), domain.Int(2)})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if out[0].MustInt() != 2 {
+		t.Errorf("result = %v", out)
+	}
+	_, err = d.Invoke("missing", nil)
+	if !errors.Is(err, ErrUnknownMethod) {
+		t.Errorf("unknown method err = %v", err)
+	}
+	if names := d.Names(); len(names) != 2 || names[0] != "f" || names[1] != "g" {
+		t.Errorf("Names() = %v", names)
+	}
+	// Re-registration replaces.
+	d.Register("f", func([]domain.Value) ([]domain.Value, error) {
+		return []domain.Value{domain.Int(-1)}, nil
+	})
+	out, _ = d.Invoke("f", nil)
+	if out[0].MustInt() != -1 {
+		t.Error("re-registration did not replace binding")
+	}
+}
+
+type fakeInstance struct {
+	bit.Base
+	d Dispatcher
+}
+
+func (f *fakeInstance) InvariantTest() error     { return f.Guard() }
+func (f *fakeInstance) Reporter(io.Writer) error { return f.Guard() }
+func (f *fakeInstance) Destroy() error           { return nil }
+func (f *fakeInstance) Invoke(m string, a []domain.Value) ([]domain.Value, error) {
+	return f.d.Invoke(m, a)
+}
+
+type fakeFactory struct{ name string }
+
+func (f *fakeFactory) Name() string      { return f.name }
+func (f *fakeFactory) Spec() *tspec.Spec { return nil }
+func (f *fakeFactory) New(string, []domain.Value) (Instance, error) {
+	return &fakeInstance{}, nil
+}
+
+var (
+	_ Instance = (*fakeInstance)(nil)
+	_ Factory  = (*fakeFactory)(nil)
+)
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(nil); err == nil {
+		t.Error("nil factory should be rejected")
+	}
+	if err := r.Register(&fakeFactory{}); err == nil {
+		t.Error("empty-name factory should be rejected")
+	}
+	if err := r.Register(&fakeFactory{name: "A"}); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Register(&fakeFactory{name: "A"}); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	if err := r.Register(&fakeFactory{name: "B"}); err != nil {
+		t.Fatalf("Register B: %v", err)
+	}
+	f, err := r.Lookup("A")
+	if err != nil || f.Name() != "A" {
+		t.Errorf("Lookup(A) = %v, %v", f, err)
+	}
+	if _, err := r.Lookup("Z"); err == nil {
+		t.Error("Lookup(Z) should fail")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestWantArgs(t *testing.T) {
+	obj := domain.Object(&struct{}{})
+	tests := []struct {
+		name    string
+		args    []domain.Value
+		kinds   []domain.Kind
+		wantErr bool
+	}{
+		{"exact", []domain.Value{domain.Int(1), domain.Str("x")}, []domain.Kind{domain.KindInt, domain.KindString}, false},
+		{"count mismatch", []domain.Value{domain.Int(1)}, []domain.Kind{domain.KindInt, domain.KindInt}, true},
+		{"kind mismatch", []domain.Value{domain.Str("x")}, []domain.Kind{domain.KindInt}, true},
+		{"nil for pointer", []domain.Value{domain.Nil()}, []domain.Kind{domain.KindPointer}, false},
+		{"nil for object", []domain.Value{domain.Nil()}, []domain.Kind{domain.KindObject}, false},
+		{"nil for int", []domain.Value{domain.Nil()}, []domain.Kind{domain.KindInt}, true},
+		{"object for pointer", []domain.Value{obj}, []domain.Kind{domain.KindPointer}, false},
+		{"pointer for object", []domain.Value{domain.Pointer(&struct{}{})}, []domain.Kind{domain.KindObject}, false},
+		{"empty ok", nil, nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := WantArgs("m", tt.args, tt.kinds...)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("WantArgs = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}

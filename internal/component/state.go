@@ -1,0 +1,24 @@
+package component
+
+import "concat/internal/domain"
+
+// StateSettable is the optional set/reset capability of the paper's §3.3:
+// "A set/reset method could also be defined, to set an object to a
+// predefined internal state, independent of the object's current state."
+// The paper's study does not use it (each transaction constructs and
+// destroys its object); it is provided as the documented extension, and —
+// like every BIT service — implementations must gate it behind the BIT
+// access control (return bit.ErrBITDisabled outside test mode).
+//
+// State keys are the component's t-spec attribute names; the value kinds
+// must match the declared attribute domains. Components with aggregate
+// state document their own convention (e.g. the list components accept the
+// key "items" carrying a domain.Object wrapping []domain.Value).
+type StateSettable interface {
+	// SetTestState forces the object into the given state, bypassing the
+	// normal method protocol. The object must satisfy its class invariant
+	// afterwards; implementations return the invariant violation otherwise.
+	SetTestState(state map[string]domain.Value) error
+	// ResetTestState returns the object to its post-construction state.
+	ResetTestState() error
+}

@@ -1,0 +1,293 @@
+// Package account implements a self-testable bank-account component: the
+// quickstart subject of this repository. It demonstrates the full producer
+// workflow of §3.1 — a component carrying its t-spec, built-in test
+// capabilities (invariant, reporter, BIT access control) and mutation
+// instrumentation — on a component small enough to read in one sitting.
+package account
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+	"concat/internal/tspec"
+)
+
+// Name is the component (class) name.
+const Name = "Account"
+
+// MaxBalance bounds the balance domain declared in the t-spec.
+const MaxBalance = 1_000_000
+
+// auditLevel is a package-level global deliberately NOT used by Withdraw: it
+// populates E(R2) for the IndVarRepExt operator in the mutation lab example.
+var auditLevel int64 = 2
+
+// Account is a bank account with invariant "0 <= balance <= MaxBalance".
+type Account struct {
+	bit.Base
+	disp      component.Dispatcher
+	eng       *mutation.Engine
+	balance   int64
+	owner     string
+	destroyed bool
+}
+
+var _ component.Instance = (*Account)(nil)
+
+// newAccount wires the dispatcher. eng may be nil (no mutation analysis).
+func newAccount(owner string, balance int64, eng *mutation.Engine) *Account {
+	a := &Account{balance: balance, owner: owner, eng: eng}
+	a.disp.Register("Deposit", a.deposit)
+	a.disp.Register("Withdraw", a.withdraw)
+	a.disp.Register("Balance", a.getBalance)
+	a.disp.Register("Owner", a.getOwner)
+	return a
+}
+
+// Invoke implements component.Instance.
+func (a *Account) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if a.destroyed {
+		return nil, fmt.Errorf("%w: Account", component.ErrDestroyed)
+	}
+	return a.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (a *Account) Destroy() error {
+	a.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable: the class invariant is
+// 0 <= balance <= MaxBalance.
+func (a *Account) InvariantTest() error {
+	if err := a.Guard(); err != nil {
+		return err
+	}
+	if err := bit.ClassInvariant(a.balance >= 0, "InvariantTest", "balance >= 0"); err != nil {
+		return err
+	}
+	return bit.ClassInvariant(a.balance <= MaxBalance, "InvariantTest", "balance <= MaxBalance")
+}
+
+// Reporter implements bit.SelfTestable.
+func (a *Account) Reporter(w io.Writer) error {
+	if err := a.Guard(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Account{owner: %q, balance: %d}\n", a.owner, a.balance)
+	return err
+}
+
+// Balance returns the current balance (plain Go accessor for example code).
+func (a *Account) CurrentBalance() int64 { return a.balance }
+
+func (a *Account) deposit(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Deposit", args, domain.KindInt); err != nil {
+		return nil, err
+	}
+	amount := args[0].MustInt()
+	if err := bit.PreCondition(amount > 0, "Deposit", "amount > 0"); err != nil {
+		return nil, err
+	}
+	if a.balance+amount > MaxBalance {
+		return nil, fmt.Errorf("account: deposit of %d exceeds balance cap", amount)
+	}
+	a.balance += amount
+	return []domain.Value{domain.Int(a.balance)}, nil
+}
+
+// withdraw carries the mutation sites of the mutation-lab example. The
+// non-interface variables are the local "amount" copy and "remaining".
+func (a *Account) withdraw(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Withdraw", args, domain.KindInt); err != nil {
+		return nil, err
+	}
+	amount := args[0].MustInt()
+	if err := bit.PreCondition(amount > 0, "Withdraw", "amount > 0"); err != nil {
+		return nil, err
+	}
+	amount = a.useInt("Withdraw/amount", amount, map[string]domain.Value{})
+	if amount > a.balance {
+		return nil, fmt.Errorf("account: insufficient funds: have %d, want %d", a.balance, amount)
+	}
+	remaining := a.balance - amount
+	remaining = a.useInt("Withdraw/remaining", remaining, map[string]domain.Value{
+		"amount": domain.Int(amount),
+	})
+	a.balance = remaining
+	return []domain.Value{domain.Int(a.balance)}, nil
+}
+
+// useInt routes a variable use through the mutation engine when one is
+// attached; locals carries L(R2) values live at the site.
+func (a *Account) useInt(site mutation.SiteID, v int64, locals map[string]domain.Value) int64 {
+	if a.eng == nil || !a.eng.Armed() {
+		return v
+	}
+	return a.eng.UseInt(site, v, mutation.Env{
+		Locals:    locals,
+		Globals:   map[string]domain.Value{"balance": domain.Int(a.balance)},
+		Externals: map[string]domain.Value{"auditLevel": domain.Int(auditLevel)},
+	})
+}
+
+func (a *Account) getBalance(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Balance", args); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(a.balance)}, nil
+}
+
+func (a *Account) getOwner(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Owner", args); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Str(a.owner)}, nil
+}
+
+// Sites returns the mutation site table for this component.
+func Sites() []mutation.Site {
+	return []mutation.Site{
+		{
+			ID: "Withdraw/amount", Method: "Withdraw", Var: "amount",
+			Kind:      domain.KindInt,
+			Globals:   []string{"balance"},
+			Externals: []string{"auditLevel"},
+		},
+		{
+			ID: "Withdraw/remaining", Method: "Withdraw", Var: "remaining",
+			Kind:      domain.KindInt,
+			Locals:    []string{"amount"},
+			Globals:   []string{"balance"},
+			Externals: []string{"auditLevel"},
+		},
+	}
+}
+
+// Factory builds accounts and carries the embedded t-spec.
+type Factory struct {
+	eng *mutation.Engine
+}
+
+var _ component.Factory = (*Factory)(nil)
+
+// NewFactory returns a production factory (no mutation engine).
+func NewFactory() *Factory { return &Factory{} }
+
+// NewFactoryWithEngine returns a factory whose instances route their
+// instrumented uses through eng. The engine must carry Sites().
+func NewFactoryWithEngine(eng *mutation.Engine) *Factory { return &Factory{eng: eng} }
+
+// Name implements component.Factory.
+func (f *Factory) Name() string { return Name }
+
+// Spec implements component.Factory.
+func (f *Factory) Spec() *tspec.Spec { return Spec() }
+
+// New implements component.Factory. Constructors: "Account" (zero balance,
+// anonymous) and "AccountOf" (owner and opening balance).
+func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	switch ctor {
+	case "Account":
+		if err := component.WantArgs(ctor, args); err != nil {
+			return nil, err
+		}
+		return newAccount("", 0, f.eng), nil
+	case "AccountOf":
+		if err := component.WantArgs(ctor, args, domain.KindString, domain.KindInt); err != nil {
+			return nil, err
+		}
+		balance := args[1].MustInt()
+		if balance < 0 || balance > MaxBalance {
+			return nil, fmt.Errorf("account: opening balance %d out of range", balance)
+		}
+		return newAccount(args[0].MustString(), balance, f.eng), nil
+	default:
+		return nil, fmt.Errorf("account: unknown constructor %q", ctor)
+	}
+}
+
+// specOnce builds the embedded t-spec exactly once.
+var specOnce = sync.OnceValue(buildSpec)
+
+// Spec returns the component's t-spec (shared, treat as read-only).
+func Spec() *tspec.Spec { return specOnce() }
+
+func buildSpec() *tspec.Spec {
+	return tspec.NewBuilder(Name).
+		Attribute("balance", tspec.RangeInt(0, MaxBalance)).
+		Attribute("owner", tspec.StringLen(0, 20)).
+		Method("m1", "Account", "", tspec.CatConstructor).
+		Method("m2", "AccountOf", "", tspec.CatConstructor).
+		Param("owner", tspec.StringsOf("alice", "bob", "carol")).
+		Param("initial", tspec.RangeInt(0, 10_000)).
+		Uses("balance", "owner").
+		Method("m3", "~Account", "", tspec.CatDestructor).
+		Method("m4", "Deposit", "int", tspec.CatUpdate).
+		Param("amount", tspec.RangeInt(1, 1_000)).
+		Uses("balance").
+		Method("m5", "Withdraw", "int", tspec.CatUpdate).
+		Param("amount", tspec.RangeInt(1, 1_000)).
+		Uses("balance").
+		Method("m6", "Balance", "int", tspec.CatAccess).
+		Uses("balance").
+		Method("m7", "Owner", "string", tspec.CatAccess).
+		Uses("owner").
+		Node("n1", true, "m1", "m2").
+		Node("n2", false, "m4").
+		Node("n3", false, "m5").
+		Node("n4", false, "m6", "m7").
+		Node("n5", false, "m3").
+		Edge("n1", "n2").
+		Edge("n1", "n4").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n3", "n4").
+		Edge("n3", "n5").
+		Edge("n4", "n5").
+		Edge("n2", "n5").
+		MustBuild()
+}
+
+// SetTestState implements component.StateSettable (§3.3's set/reset
+// capability): keys "balance" (int) and "owner" (string). The resulting
+// state must satisfy the class invariant.
+func (a *Account) SetTestState(state map[string]domain.Value) error {
+	if err := a.Guard(); err != nil {
+		return err
+	}
+	if v, ok := state["balance"]; ok {
+		n, err := v.AsInt()
+		if err != nil {
+			return fmt.Errorf("account: SetTestState balance: %w", err)
+		}
+		a.balance = n
+	}
+	if v, ok := state["owner"]; ok {
+		s, err := v.AsString()
+		if err != nil {
+			return fmt.Errorf("account: SetTestState owner: %w", err)
+		}
+		a.owner = s
+	}
+	return a.InvariantTest()
+}
+
+// ResetTestState implements component.StateSettable.
+func (a *Account) ResetTestState() error {
+	if err := a.Guard(); err != nil {
+		return err
+	}
+	a.balance = 0
+	a.owner = ""
+	return nil
+}
+
+var _ component.StateSettable = (*Account)(nil)

@@ -1,0 +1,306 @@
+package account
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+)
+
+func newTestAccount(t *testing.T, ctor string, args ...domain.Value) component.Instance {
+	t.Helper()
+	inst, err := NewFactory().New(ctor, args)
+	if err != nil {
+		t.Fatalf("New(%s): %v", ctor, err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	return inst
+}
+
+func TestSpecIsValid(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec invalid: %v", err)
+	}
+	if s.Class.Name != Name {
+		t.Errorf("spec name = %q", s.Class.Name)
+	}
+	g, err := s.TFM()
+	if err != nil {
+		t.Fatalf("TFM: %v", err)
+	}
+	if g.NumNodes() != 5 || g.NumEdges() != 9 {
+		t.Errorf("model = %v", g.Stats())
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	a := newTestAccount(t, "Account")
+	out, err := a.Invoke("Balance", nil)
+	if err != nil || out[0].MustInt() != 0 {
+		t.Errorf("default balance = %v, %v", out, err)
+	}
+	b := newTestAccount(t, "AccountOf", domain.Str("alice"), domain.Int(500))
+	out, err = b.Invoke("Owner", nil)
+	if err != nil || out[0].MustString() != "alice" {
+		t.Errorf("owner = %v, %v", out, err)
+	}
+	out, err = b.Invoke("Balance", nil)
+	if err != nil || out[0].MustInt() != 500 {
+		t.Errorf("opening balance = %v, %v", out, err)
+	}
+}
+
+func TestConstructorErrors(t *testing.T) {
+	f := NewFactory()
+	if _, err := f.New("Nope", nil); err == nil {
+		t.Error("unknown constructor should fail")
+	}
+	if _, err := f.New("Account", []domain.Value{domain.Int(1)}); err == nil {
+		t.Error("Account with args should fail")
+	}
+	if _, err := f.New("AccountOf", []domain.Value{domain.Str("x"), domain.Int(-1)}); err == nil {
+		t.Error("negative opening balance should fail")
+	}
+	if _, err := f.New("AccountOf", []domain.Value{domain.Str("x"), domain.Int(MaxBalance + 1)}); err == nil {
+		t.Error("excessive opening balance should fail")
+	}
+}
+
+func TestDepositWithdraw(t *testing.T) {
+	a := newTestAccount(t, "Account")
+	out, err := a.Invoke("Deposit", []domain.Value{domain.Int(100)})
+	if err != nil || out[0].MustInt() != 100 {
+		t.Fatalf("deposit = %v, %v", out, err)
+	}
+	out, err = a.Invoke("Withdraw", []domain.Value{domain.Int(40)})
+	if err != nil || out[0].MustInt() != 60 {
+		t.Fatalf("withdraw = %v, %v", out, err)
+	}
+	// Insufficient funds: domain error, not a violation.
+	_, err = a.Invoke("Withdraw", []domain.Value{domain.Int(1000)})
+	if err == nil || errors.Is(err, bit.ErrViolation) {
+		t.Errorf("overdraw err = %v", err)
+	}
+	// Non-positive amounts: precondition violations.
+	_, err = a.Invoke("Deposit", []domain.Value{domain.Int(0)})
+	if !errors.Is(err, &bit.Violation{Kind: bit.KindPrecondition}) {
+		t.Errorf("zero deposit err = %v", err)
+	}
+	_, err = a.Invoke("Withdraw", []domain.Value{domain.Int(-5)})
+	if !errors.Is(err, &bit.Violation{Kind: bit.KindPrecondition}) {
+		t.Errorf("negative withdraw err = %v", err)
+	}
+	// Deposit beyond the cap: domain error.
+	a2 := newTestAccount(t, "AccountOf", domain.Str("bob"), domain.Int(MaxBalance-10))
+	if _, err := a2.Invoke("Deposit", []domain.Value{domain.Int(100)}); err == nil {
+		t.Error("cap-exceeding deposit should fail")
+	}
+}
+
+func TestInvokeArgumentValidation(t *testing.T) {
+	a := newTestAccount(t, "Account")
+	if _, err := a.Invoke("Deposit", []domain.Value{domain.Str("x")}); err == nil {
+		t.Error("string deposit arg should fail")
+	}
+	if _, err := a.Invoke("Balance", []domain.Value{domain.Int(1)}); err == nil {
+		t.Error("Balance with args should fail")
+	}
+	if _, err := a.Invoke("Nope", nil); !errors.Is(err, component.ErrUnknownMethod) {
+		t.Errorf("unknown method err = %v", err)
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	a := newTestAccount(t, "Account")
+	if err := a.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if _, err := a.Invoke("Balance", nil); !errors.Is(err, component.ErrDestroyed) {
+		t.Errorf("post-destroy invoke err = %v", err)
+	}
+}
+
+func TestInvariantAndReporter(t *testing.T) {
+	f := NewFactory()
+	inst, err := f.New("Account", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// BIT services gated outside test mode.
+	if err := inst.InvariantTest(); !errors.Is(err, bit.ErrBITDisabled) {
+		t.Errorf("off-mode invariant err = %v", err)
+	}
+	if err := inst.Reporter(io.Discard); !errors.Is(err, bit.ErrBITDisabled) {
+		t.Errorf("off-mode reporter err = %v", err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	if err := inst.InvariantTest(); err != nil {
+		t.Errorf("invariant on valid state: %v", err)
+	}
+	var sb strings.Builder
+	if err := inst.Reporter(&sb); err != nil {
+		t.Fatalf("Reporter: %v", err)
+	}
+	if !strings.Contains(sb.String(), "balance: 0") {
+		t.Errorf("report = %q", sb.String())
+	}
+	// Corrupt state directly: invariant must catch it.
+	acc := inst.(*Account)
+	acc.balance = -1
+	if err := inst.InvariantTest(); !errors.Is(err, &bit.Violation{Kind: bit.KindInvariant}) {
+		t.Errorf("corrupted invariant err = %v", err)
+	}
+	acc.balance = MaxBalance + 1
+	if err := inst.InvariantTest(); !errors.Is(err, &bit.Violation{Kind: bit.KindInvariant}) {
+		t.Errorf("over-cap invariant err = %v", err)
+	}
+}
+
+func TestMutationSiteInstrumentation(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	f := NewFactoryWithEngine(eng)
+	// Activate the BitNeg mutant on Withdraw/remaining and observe the fault.
+	var target mutation.Mutant
+	for _, m := range eng.Enumerate([]mutation.Operator{mutation.OpBitNeg}, nil) {
+		if m.Site == "Withdraw/remaining" {
+			target = m
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("BitNeg mutant on Withdraw/remaining not found")
+	}
+	if err := eng.Activate(target); err != nil {
+		t.Fatal(err)
+	}
+	inst, err := f.New("AccountOf", []domain.Value{domain.Str("alice"), domain.Int(100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	_, err = inst.Invoke("Withdraw", []domain.Value{domain.Int(30)})
+	// remaining = 70 -> ^70 = -71: balance goes negative.
+	if err != nil {
+		t.Fatalf("mutated withdraw errored early: %v", err)
+	}
+	if err := inst.InvariantTest(); !errors.Is(err, bit.ErrViolation) {
+		t.Errorf("mutant should break the invariant, got %v", err)
+	}
+	if !eng.Infected() || !eng.Reached() {
+		t.Error("mutant should be reached and infected")
+	}
+	// Deactivated engine: behaviour back to normal.
+	eng.Deactivate()
+	inst2, _ := f.New("AccountOf", []domain.Value{domain.Str("bob"), domain.Int(100)})
+	inst2.SetBITMode(bit.ModeTest)
+	out, err := inst2.Invoke("Withdraw", []domain.Value{domain.Int(30)})
+	if err != nil || out[0].MustInt() != 70 {
+		t.Errorf("deactivated withdraw = %v, %v", out, err)
+	}
+}
+
+func TestSitesAreRegistrable(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	ms := eng.Enumerate(nil, nil)
+	if len(ms) == 0 {
+		t.Fatal("no mutants enumerable from account sites")
+	}
+	for _, m := range ms {
+		if m.Method != "Withdraw" {
+			t.Errorf("unexpected mutant method %q", m.Method)
+		}
+	}
+}
+
+func TestBalanceNeverNegativeProperty(t *testing.T) {
+	prop := func(ops []int16) bool {
+		inst, err := NewFactory().New("Account", nil)
+		if err != nil {
+			return false
+		}
+		inst.SetBITMode(bit.ModeTest)
+		acc := inst.(*Account)
+		for _, op := range ops {
+			amt := domain.Int(int64(op%1000) + 1) // 1..1000
+			if op%2 == 0 {
+				_, _ = inst.Invoke("Deposit", []domain.Value{amt})
+			} else {
+				_, _ = inst.Invoke("Withdraw", []domain.Value{amt})
+			}
+			if acc.CurrentBalance() < 0 || acc.CurrentBalance() > MaxBalance {
+				return false
+			}
+			if err := inst.InvariantTest(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetTestState(t *testing.T) {
+	f := NewFactory()
+	inst, _ := f.New("Account", nil)
+	ss, ok := inst.(component.StateSettable)
+	if !ok {
+		t.Fatal("Account should implement StateSettable")
+	}
+	// Gated by BIT access control.
+	if err := ss.SetTestState(map[string]domain.Value{"balance": domain.Int(5)}); !errors.Is(err, bit.ErrBITDisabled) {
+		t.Errorf("off-mode SetTestState err = %v", err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	err := ss.SetTestState(map[string]domain.Value{
+		"balance": domain.Int(777),
+		"owner":   domain.Str("dana"),
+	})
+	if err != nil {
+		t.Fatalf("SetTestState: %v", err)
+	}
+	out, _ := inst.Invoke("Balance", nil)
+	if out[0].MustInt() != 777 {
+		t.Errorf("balance after set = %v", out)
+	}
+	out, _ = inst.Invoke("Owner", nil)
+	if out[0].MustString() != "dana" {
+		t.Errorf("owner after set = %v", out)
+	}
+	// An invariant-breaking state is rejected with a violation.
+	if err := ss.SetTestState(map[string]domain.Value{"balance": domain.Int(-1)}); !errors.Is(err, bit.ErrViolation) {
+		t.Errorf("invalid state err = %v", err)
+	}
+	// Kind mismatches are rejected.
+	if err := ss.SetTestState(map[string]domain.Value{"balance": domain.Str("x")}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	if err := ss.SetTestState(map[string]domain.Value{"owner": domain.Int(1)}); err == nil {
+		t.Error("owner kind mismatch should fail")
+	}
+	// Reset returns to the post-construction state.
+	if err := ss.ResetTestState(); err != nil {
+		t.Fatalf("ResetTestState: %v", err)
+	}
+	out, _ = inst.Invoke("Balance", nil)
+	if out[0].MustInt() != 0 {
+		t.Errorf("balance after reset = %v", out)
+	}
+}
+
+func TestResetGatedByMode(t *testing.T) {
+	inst, _ := NewFactory().New("Account", nil)
+	ss := inst.(component.StateSettable)
+	if err := ss.ResetTestState(); !errors.Is(err, bit.ErrBITDisabled) {
+		t.Errorf("off-mode reset err = %v", err)
+	}
+}

@@ -1,0 +1,355 @@
+package oblist
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+	"concat/internal/tspec"
+)
+
+// Name is the component (class) name.
+const Name = "ObList"
+
+// Instance adapts an ObList to the component runtime: name-based dispatch
+// plus the built-in test interface.
+type Instance struct {
+	*ObList
+	disp      component.Dispatcher
+	destroyed bool
+}
+
+var _ component.Instance = (*Instance)(nil)
+
+// NewInstance wraps a list for the test runtime.
+func NewInstance(l *ObList) *Instance {
+	inst := &Instance{ObList: l}
+	RegisterListMethods(&inst.disp, l)
+	return inst
+}
+
+// RegisterListMethods wires the shared CObList method set onto a dispatcher;
+// the sortable subclass reuses it for its inherited methods.
+func RegisterListMethods(d *component.Dispatcher, l *ObList) {
+	d.Register("AddHead", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("AddHead", args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		l.AddHead(args[0])
+		return nil, nil
+	})
+	d.Register("AddTail", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("AddTail", args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		l.AddTail(args[0])
+		return nil, nil
+	})
+	d.Register("RemoveHead", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("RemoveHead", args); err != nil {
+			return nil, err
+		}
+		v, err := l.RemoveHead()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("RemoveTail", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("RemoveTail", args); err != nil {
+			return nil, err
+		}
+		v, err := l.RemoveTail()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("GetHead", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("GetHead", args); err != nil {
+			return nil, err
+		}
+		v, err := l.GetHead()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("GetTail", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("GetTail", args); err != nil {
+			return nil, err
+		}
+		v, err := l.GetTail()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("GetCount", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("GetCount", args); err != nil {
+			return nil, err
+		}
+		return []domain.Value{domain.Int(l.GetCount())}, nil
+	})
+	d.Register("IsEmpty", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("IsEmpty", args); err != nil {
+			return nil, err
+		}
+		return []domain.Value{domain.Bool(l.IsEmpty())}, nil
+	})
+	d.Register("GetAt", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("GetAt", args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		v, err := l.GetAt(args[0].MustInt())
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("SetAt", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("SetAt", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, l.SetAt(args[0].MustInt(), args[1])
+	})
+	d.Register("RemoveAt", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("RemoveAt", args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		v, err := l.RemoveAt(args[0].MustInt())
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	d.Register("InsertBefore", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("InsertBefore", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, l.InsertBefore(args[0].MustInt(), args[1])
+	})
+	d.Register("InsertAfter", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("InsertAfter", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, l.InsertAfter(args[0].MustInt(), args[1])
+	})
+	d.Register("Find", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Find", args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return []domain.Value{domain.Int(l.Find(args[0]))}, nil
+	})
+	d.Register("RemoveAll", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("RemoveAll", args); err != nil {
+			return nil, err
+		}
+		l.RemoveAll()
+		return nil, nil
+	})
+}
+
+// Invoke implements component.Instance.
+func (i *Instance) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if i.destroyed {
+		return nil, fmt.Errorf("%w: %s", component.ErrDestroyed, Name)
+	}
+	return i.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (i *Instance) Destroy() error {
+	i.RemoveAll()
+	i.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable.
+func (i *Instance) InvariantTest() error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	return i.CheckInvariant()
+}
+
+// Reporter implements bit.SelfTestable.
+func (i *Instance) Reporter(w io.Writer) error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	return i.WriteReport(w, Name)
+}
+
+// Factory builds ObList instances.
+type Factory struct {
+	eng *mutation.Engine
+}
+
+var _ component.Factory = (*Factory)(nil)
+
+// NewFactory returns a production factory.
+func NewFactory() *Factory { return &Factory{} }
+
+// NewFactoryWithEngine returns a factory whose instances route instrumented
+// uses through eng (which must carry Sites()).
+func NewFactoryWithEngine(eng *mutation.Engine) *Factory { return &Factory{eng: eng} }
+
+// Name implements component.Factory.
+func (f *Factory) Name() string { return Name }
+
+// Spec implements component.Factory.
+func (f *Factory) Spec() *tspec.Spec { return Spec() }
+
+// New implements component.Factory. Constructors: "ObList" (default block
+// size) and "ObListSized" (explicit block size).
+func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	switch ctor {
+	case "ObList":
+		if err := component.WantArgs(ctor, args); err != nil {
+			return nil, err
+		}
+		return NewInstance(NewObList(10, f.eng)), nil
+	case "ObListSized":
+		if err := component.WantArgs(ctor, args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return NewInstance(NewObList(args[0].MustInt(), f.eng)), nil
+	default:
+		return nil, fmt.Errorf("oblist: unknown constructor %q", ctor)
+	}
+}
+
+var specOnce = sync.OnceValue(buildSpec)
+
+// Spec returns the component's embedded t-spec (shared, treat as read-only).
+func Spec() *tspec.Spec { return specOnce() }
+
+// buildSpec declares the CObList interface and its transaction flow model.
+// The element domain is small non-negative integers and index parameters
+// range over small positions, so generated transactions exercise both valid
+// and out-of-range paths.
+func buildSpec() *tspec.Spec {
+	elem := tspec.RangeInt(0, 999)
+	idx := tspec.RangeInt(0, 5)
+	return tspec.NewBuilder(Name).
+		Attribute("count", tspec.RangeInt(0, 1_000_000)).
+		Attribute("blockSize", tspec.RangeInt(1, 1_000)).
+		Method("m1", "ObList", "", tspec.CatConstructor).
+		Method("m2", "ObListSized", "", tspec.CatConstructor).
+		Param("blockSize", tspec.RangeInt(1, 64)).
+		Uses("blockSize").
+		Method("m3", "~ObList", "", tspec.CatDestructor).
+		Method("m4", "AddHead", "", tspec.CatUpdate).
+		Param("v", elem).
+		Uses("count").
+		Method("m5", "AddTail", "", tspec.CatUpdate).
+		Param("v", elem).
+		Uses("count").
+		Method("m6", "RemoveHead", "int", tspec.CatUpdate).
+		Uses("count").
+		Method("m7", "RemoveTail", "int", tspec.CatUpdate).
+		Uses("count").
+		Method("m8", "GetHead", "int", tspec.CatAccess).
+		Method("m9", "GetTail", "int", tspec.CatAccess).
+		Method("m10", "GetCount", "int", tspec.CatAccess).
+		Uses("count").
+		Method("m11", "IsEmpty", "bool", tspec.CatAccess).
+		Uses("count").
+		Method("m12", "GetAt", "int", tspec.CatAccess).
+		Param("i", idx).
+		Method("m13", "SetAt", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Method("m14", "RemoveAt", "int", tspec.CatUpdate).
+		Param("i", idx).
+		Uses("count").
+		Method("m15", "InsertBefore", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Uses("count").
+		Method("m16", "InsertAfter", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Uses("count").
+		Method("m17", "Find", "int", tspec.CatAccess).
+		Param("v", elem).
+		Method("m18", "RemoveAll", "", tspec.CatUpdate).
+		Uses("count").
+		// Transaction flow model: grow -> {shrink, observe, position ops} -> death.
+		Node("n1", true, "m1", "m2").
+		Node("n2", false, "m4", "m5").               // grow (AddHead/AddTail)
+		Node("n3", false, "m6", "m7").               // shrink at ends
+		Node("n4", false, "m8", "m9", "m10", "m11"). // observe
+		Node("n5", false, "m12", "m17").             // query by position/value
+		Node("n6", false, "m13").                    // modify in place
+		Node("n7", false, "m15", "m16").             // positional insert
+		Node("n8", false, "m14").                    // positional remove
+		Node("n9", false, "m18").                    // clear
+		Node("n10", false, "m3").                    // death
+		Edge("n1", "n2").
+		Edge("n1", "n4").
+		Edge("n1", "n10").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n2", "n5").
+		Edge("n2", "n6").
+		Edge("n2", "n7").
+		Edge("n2", "n8").
+		Edge("n2", "n9").
+		Edge("n3", "n4").
+		Edge("n3", "n10").
+		Edge("n4", "n10").
+		Edge("n5", "n6").
+		Edge("n5", "n10").
+		Edge("n6", "n8").
+		Edge("n6", "n10").
+		Edge("n7", "n8").
+		Edge("n8", "n9").
+		Edge("n8", "n4").
+		Edge("n8", "n10").
+		Edge("n9", "n2").
+		Edge("n9", "n10").
+		MustBuild()
+}
+
+// SetTestState implements component.StateSettable (§3.3's set/reset
+// capability). The key "items" carries a domain.Object wrapping
+// []domain.Value, replacing the list contents; "blockSize" (int) adjusts
+// the construction parameter. The resulting state must satisfy the class
+// invariant (it does by construction, since SetValues rebuilds the links).
+func (i *Instance) SetTestState(state map[string]domain.Value) error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	if v, ok := state["items"]; ok {
+		items, good := v.Ref().([]domain.Value)
+		if !good {
+			return fmt.Errorf("oblist: SetTestState items: got %T, want []domain.Value", v.Ref())
+		}
+		i.SetValues(items)
+	}
+	if v, ok := state["blockSize"]; ok {
+		n, err := v.AsInt()
+		if err != nil {
+			return fmt.Errorf("oblist: SetTestState blockSize: %w", err)
+		}
+		i.Init(n, i.Engine())
+	}
+	return i.CheckInvariant()
+}
+
+// ResetTestState implements component.StateSettable.
+func (i *Instance) ResetTestState() error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	i.RemoveAll()
+	return nil
+}
+
+var _ component.StateSettable = (*Instance)(nil)

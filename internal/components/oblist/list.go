@@ -1,0 +1,454 @@
+// Package oblist re-implements the experimental subject of the paper's §4:
+// MFC's CObList, a doubly linked object list. It is built as a self-testable
+// component — the class ships with its t-spec, built-in test capabilities
+// (class invariant, reporter, BIT access control) and mutation
+// instrumentation in the three methods the paper mutates in experiment 2
+// (Table 3): AddHead, RemoveAt and RemoveHead.
+//
+// MFC stores CObject* elements; this implementation stores domain.Value
+// items (integers in the experiments), which preserves the list semantics
+// the mutation operators attack while keeping runs deterministic.
+package oblist
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"concat/internal/bit"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+)
+
+// Errors returned by list operations on invalid states/arguments. These are
+// observable behaviour (recorded in test transcripts), not contract
+// violations.
+var (
+	ErrEmpty      = errors.New("oblist: list is empty")
+	ErrOutOfRange = errors.New("oblist: index out of range")
+)
+
+// auditSeq is a package-level counter none of the instrumented methods use:
+// it populates E(R2) for the IndVarRepExt operator.
+var auditSeq int64 = 7
+
+// node is one doubly linked element.
+type node struct {
+	val  domain.Value
+	prev *node
+	next *node
+}
+
+// ObList is the list state plus built-in test machinery. It is embedded by
+// the sortable subclass, playing the C++ base-class role.
+type ObList struct {
+	bit.Base
+	eng   *mutation.Engine
+	head  *node
+	tail  *node
+	count int64
+	// blockSize mirrors CObList's m_nBlockSize construction parameter; the
+	// list semantics ignore it, but it is a class attribute that methods do
+	// not use — a natural E(R2) member.
+	blockSize int64
+}
+
+// NewObList creates an empty list; eng may be nil (no mutation analysis).
+func NewObList(blockSize int64, eng *mutation.Engine) *ObList {
+	l := &ObList{}
+	l.Init(blockSize, eng)
+	return l
+}
+
+// Init prepares an embedded ObList in place — the constructor-chaining hook
+// for derived components (Go embedding has no implicit base construction).
+func (l *ObList) Init(blockSize int64, eng *mutation.Engine) {
+	if blockSize <= 0 {
+		blockSize = 10
+	}
+	l.blockSize = blockSize
+	l.eng = eng
+}
+
+// Engine returns the attached mutation engine (nil when not under analysis).
+func (l *ObList) Engine() *mutation.Engine { return l.eng }
+
+// use routes an instrumented variable use through the mutation engine.
+func (l *ObList) use(site mutation.SiteID, v domain.Value, locals map[string]domain.Value) domain.Value {
+	if l.eng == nil || !l.eng.Armed() {
+		return v
+	}
+	return l.eng.Use(site, v, mutation.Env{
+		Locals: locals,
+		Globals: map[string]domain.Value{
+			"count": domain.Int(l.count),
+		},
+		Externals: map[string]domain.Value{
+			"blockSize": domain.Int(l.blockSize),
+			"auditSeq":  domain.Int(auditSeq),
+		},
+	})
+}
+
+func (l *ObList) useInt(site mutation.SiteID, v int64, locals map[string]domain.Value) int64 {
+	out := l.use(site, domain.Int(v), locals)
+	n, err := out.AsInt()
+	if err != nil {
+		return v
+	}
+	return n
+}
+
+// GetCount returns the number of elements.
+func (l *ObList) GetCount() int64 { return l.count }
+
+// IsEmpty reports whether the list has no elements.
+func (l *ObList) IsEmpty() bool { return l.count == 0 }
+
+// AddHead prepends a value. This method carries mutation sites (Table 3).
+func (l *ObList) AddHead(v domain.Value) {
+	// Non-interface variables: oldCount, newCount, and the stored value.
+	oldCount := l.useInt("AddHead/oldCount", l.count, nil)
+	stored := l.use("AddHead/stored", v, map[string]domain.Value{
+		"oldCount": domain.Int(oldCount),
+	})
+	n := &node{val: stored}
+	if l.head == nil {
+		l.head = n
+		l.tail = n
+	} else {
+		n.next = l.head
+		l.head.prev = n
+		l.head = n
+	}
+	newCount := oldCount + 1
+	newCount = l.useInt("AddHead/newCount", newCount, map[string]domain.Value{
+		"oldCount": domain.Int(oldCount),
+	})
+	l.count = newCount
+}
+
+// AddTail appends a value.
+func (l *ObList) AddTail(v domain.Value) {
+	n := &node{val: v}
+	if l.tail == nil {
+		l.head = n
+		l.tail = n
+	} else {
+		n.prev = l.tail
+		l.tail.next = n
+		l.tail = n
+	}
+	l.count++
+}
+
+// RemoveHead removes and returns the first element. Instrumented (Table 3).
+func (l *ObList) RemoveHead() (domain.Value, error) {
+	if l.head == nil {
+		return domain.Value{}, ErrEmpty
+	}
+	out := l.use("RemoveHead/out", l.head.val, nil)
+	oldCount := l.useInt("RemoveHead/oldCount", l.count, nil)
+	l.head = l.head.next
+	if l.head == nil {
+		l.tail = nil
+	} else {
+		l.head.prev = nil
+	}
+	newCount := oldCount - 1
+	newCount = l.useInt("RemoveHead/newCount", newCount, map[string]domain.Value{
+		"oldCount": domain.Int(oldCount),
+	})
+	l.count = newCount
+	return out, nil
+}
+
+// RemoveTail removes and returns the last element.
+func (l *ObList) RemoveTail() (domain.Value, error) {
+	if l.tail == nil {
+		return domain.Value{}, ErrEmpty
+	}
+	out := l.tail.val
+	l.tail = l.tail.prev
+	if l.tail == nil {
+		l.head = nil
+	} else {
+		l.tail.next = nil
+	}
+	l.count--
+	return out, nil
+}
+
+// GetHead returns the first element without removing it.
+func (l *ObList) GetHead() (domain.Value, error) {
+	if l.head == nil {
+		return domain.Value{}, ErrEmpty
+	}
+	return l.head.val, nil
+}
+
+// GetTail returns the last element without removing it.
+func (l *ObList) GetTail() (domain.Value, error) {
+	if l.tail == nil {
+		return domain.Value{}, ErrEmpty
+	}
+	return l.tail.val, nil
+}
+
+// nodeAt walks to the i-th node.
+func (l *ObList) nodeAt(i int64) (*node, error) {
+	if i < 0 || i >= l.count {
+		return nil, fmt.Errorf("%w: %d (count %d)", ErrOutOfRange, i, l.count)
+	}
+	n := l.head
+	for k := int64(0); k < i; k++ {
+		n = n.next
+	}
+	return n, nil
+}
+
+// GetAt returns the element at position i.
+func (l *ObList) GetAt(i int64) (domain.Value, error) {
+	n, err := l.nodeAt(i)
+	if err != nil {
+		return domain.Value{}, err
+	}
+	return n.val, nil
+}
+
+// SetAt replaces the element at position i.
+func (l *ObList) SetAt(i int64, v domain.Value) error {
+	n, err := l.nodeAt(i)
+	if err != nil {
+		return err
+	}
+	n.val = v
+	return nil
+}
+
+// RemoveAt removes and returns the element at position i. Instrumented
+// (Table 3): it is the richest method of experiment 2, with index and count
+// locals feeding the unlink.
+func (l *ObList) RemoveAt(i int64) (domain.Value, error) {
+	idx := l.useInt("RemoveAt/idx", i, nil)
+	oldCount := l.useInt("RemoveAt/oldCount", l.count, map[string]domain.Value{
+		"idx": domain.Int(idx),
+	})
+	if idx < 0 || idx >= oldCount || idx >= l.count {
+		return domain.Value{}, fmt.Errorf("%w: %d (count %d)", ErrOutOfRange, idx, l.count)
+	}
+	// Walk with an instrumented cursor position. iters hard-bounds the walk
+	// so a mutated cursor cannot loop forever: a corrupted iteration ends
+	// mid-list instead.
+	n := l.head
+	iters := int64(0)
+	for k := int64(0); k < idx && iters <= l.count; iters++ {
+		step := l.useInt("RemoveAt/step", k, map[string]domain.Value{
+			"idx":      domain.Int(idx),
+			"oldCount": domain.Int(oldCount),
+		})
+		if step != k {
+			// A mutated cursor restarts the walk from the mutated position,
+			// clamped into the list, modelling a corrupted iteration.
+			k = clamp(step, 0, idx)
+		}
+		k++
+		if n.next == nil {
+			break
+		}
+		n = n.next
+	}
+	out := l.use("RemoveAt/out", n.val, map[string]domain.Value{
+		"idx":      domain.Int(idx),
+		"oldCount": domain.Int(oldCount),
+	})
+	// Unlink n.
+	if n.prev == nil {
+		l.head = n.next
+	} else {
+		n.prev.next = n.next
+	}
+	if n.next == nil {
+		l.tail = n.prev
+	} else {
+		n.next.prev = n.prev
+	}
+	newCount := oldCount - 1
+	newCount = l.useInt("RemoveAt/newCount", newCount, map[string]domain.Value{
+		"idx":      domain.Int(idx),
+		"oldCount": domain.Int(oldCount),
+	})
+	l.count = newCount
+	return out, nil
+}
+
+func clamp(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// InsertBefore inserts v before position i.
+func (l *ObList) InsertBefore(i int64, v domain.Value) error {
+	if i == 0 {
+		l.AddHead(v)
+		return nil
+	}
+	n, err := l.nodeAt(i)
+	if err != nil {
+		return err
+	}
+	nn := &node{val: v, prev: n.prev, next: n}
+	n.prev.next = nn
+	n.prev = nn
+	l.count++
+	return nil
+}
+
+// InsertAfter inserts v after position i.
+func (l *ObList) InsertAfter(i int64, v domain.Value) error {
+	n, err := l.nodeAt(i)
+	if err != nil {
+		return err
+	}
+	nn := &node{val: v, prev: n, next: n.next}
+	if n.next == nil {
+		l.tail = nn
+	} else {
+		n.next.prev = nn
+	}
+	n.next = nn
+	l.count++
+	return nil
+}
+
+// Find returns the position of the first element equal to v, or -1.
+func (l *ObList) Find(v domain.Value) int64 {
+	i := int64(0)
+	for n := l.head; n != nil; n = n.next {
+		if n.val.Equal(v) {
+			return i
+		}
+		i++
+	}
+	return -1
+}
+
+// RemoveAll empties the list.
+func (l *ObList) RemoveAll() {
+	l.head = nil
+	l.tail = nil
+	l.count = 0
+}
+
+// Values returns the elements in order (a defensive copy).
+func (l *ObList) Values() []domain.Value {
+	out := make([]domain.Value, 0, l.count)
+	for n := l.head; n != nil; n = n.next {
+		out = append(out, n.val)
+	}
+	return out
+}
+
+// SetValues replaces the list contents with vs, preserving count bookkeeping.
+func (l *ObList) SetValues(vs []domain.Value) {
+	l.RemoveAll()
+	for _, v := range vs {
+		l.AddTail(v)
+	}
+}
+
+// CheckInvariant verifies the class invariant:
+//
+//   - count matches the forward traversal length (bounded by count+1 so a
+//     corrupted list cannot loop forever);
+//   - the backward traversal matches too;
+//   - head/tail are nil exactly when the list is empty;
+//   - boundary nodes have no dangling prev/next;
+//   - count is non-negative.
+func (l *ObList) CheckInvariant() error {
+	if err := bit.ClassInvariant(l.count >= 0, "InvariantTest", "count >= 0"); err != nil {
+		return err
+	}
+	if l.count == 0 {
+		return bit.ClassInvariant(l.head == nil && l.tail == nil,
+			"InvariantTest", "empty list has nil head and tail")
+	}
+	if err := bit.ClassInvariant(l.head != nil && l.tail != nil,
+		"InvariantTest", "non-empty list has head and tail"); err != nil {
+		return err
+	}
+	if err := bit.ClassInvariant(l.head.prev == nil, "InvariantTest", "head.prev == nil"); err != nil {
+		return err
+	}
+	if err := bit.ClassInvariant(l.tail.next == nil, "InvariantTest", "tail.next == nil"); err != nil {
+		return err
+	}
+	var fwd int64
+	for n := l.head; n != nil && fwd <= l.count; n = n.next {
+		fwd++
+		if n.next == nil {
+			if err := bit.ClassInvariant(n == l.tail, "InvariantTest", "forward walk ends at tail"); err != nil {
+				return err
+			}
+		}
+	}
+	if err := bit.ClassInvariant(fwd == l.count, "InvariantTest", "count matches forward length"); err != nil {
+		return err
+	}
+	var bwd int64
+	for n := l.tail; n != nil && bwd <= l.count; n = n.prev {
+		bwd++
+	}
+	return bit.ClassInvariant(bwd == l.count, "InvariantTest", "count matches backward length")
+}
+
+// WriteReport dumps the list state for the Reporter.
+func (l *ObList) WriteReport(w io.Writer, class string) error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s{count: %d, items: [", class, l.count)
+	for i, v := range l.Values() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteString("]}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Sites returns the mutation site table for the instrumented base-class
+// methods — the paper's Table 3 targets.
+func Sites() []mutation.Site {
+	ext := []string{"blockSize", "auditSeq"}
+	return []mutation.Site{
+		{ID: "AddHead/oldCount", Method: "AddHead", Var: "oldCount", Kind: domain.KindInt,
+			Globals: []string{"count"}, Externals: ext},
+		{ID: "AddHead/stored", Method: "AddHead", Var: "stored", Kind: domain.KindInt,
+			Locals: []string{"oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "AddHead/newCount", Method: "AddHead", Var: "newCount", Kind: domain.KindInt,
+			Locals: []string{"oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveHead/out", Method: "RemoveHead", Var: "out", Kind: domain.KindInt,
+			Locals: []string{"oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveHead/oldCount", Method: "RemoveHead", Var: "oldCount", Kind: domain.KindInt,
+			Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveHead/newCount", Method: "RemoveHead", Var: "newCount", Kind: domain.KindInt,
+			Locals: []string{"oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveAt/idx", Method: "RemoveAt", Var: "idx", Kind: domain.KindInt,
+			Locals: []string{"oldCount", "step"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveAt/oldCount", Method: "RemoveAt", Var: "oldCount", Kind: domain.KindInt,
+			Locals: []string{"idx", "step"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveAt/step", Method: "RemoveAt", Var: "step", Kind: domain.KindInt,
+			Locals: []string{"idx", "oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveAt/out", Method: "RemoveAt", Var: "out", Kind: domain.KindInt,
+			Locals: []string{"idx", "oldCount"}, Globals: []string{"count"}, Externals: ext},
+		{ID: "RemoveAt/newCount", Method: "RemoveAt", Var: "newCount", Kind: domain.KindInt,
+			Locals: []string{"idx", "oldCount"}, Globals: []string{"count"}, Externals: ext},
+	}
+}

@@ -1,0 +1,527 @@
+package oblist
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+)
+
+func ints(vs ...int64) []domain.Value {
+	out := make([]domain.Value, len(vs))
+	for i, v := range vs {
+		out[i] = domain.Int(v)
+	}
+	return out
+}
+
+func listOf(t *testing.T, vs ...int64) *ObList {
+	t.Helper()
+	l := NewObList(10, nil)
+	for _, v := range vs {
+		l.AddTail(domain.Int(v))
+	}
+	return l
+}
+
+func valuesEqual(t *testing.T, l *ObList, want ...int64) {
+	t.Helper()
+	got := l.Values()
+	if len(got) != len(want) {
+		t.Fatalf("values = %v, want %v", got, want)
+	}
+	for i, w := range want {
+		if got[i].MustInt() != w {
+			t.Fatalf("values[%d] = %v, want %d", i, got[i], w)
+		}
+	}
+	if err := l.CheckInvariant(); err != nil {
+		t.Fatalf("invariant after operation: %v", err)
+	}
+}
+
+func TestNewObListDefaults(t *testing.T) {
+	l := NewObList(0, nil)
+	if l.blockSize != 10 {
+		t.Errorf("default blockSize = %d", l.blockSize)
+	}
+	if !l.IsEmpty() || l.GetCount() != 0 {
+		t.Error("new list should be empty")
+	}
+	if l.Engine() != nil {
+		t.Error("engine should be nil")
+	}
+}
+
+func TestAddHeadAddTail(t *testing.T) {
+	l := NewObList(10, nil)
+	l.AddHead(domain.Int(2))
+	l.AddHead(domain.Int(1))
+	l.AddTail(domain.Int(3))
+	valuesEqual(t, l, 1, 2, 3)
+	if l.GetCount() != 3 || l.IsEmpty() {
+		t.Errorf("count = %d", l.GetCount())
+	}
+}
+
+func TestRemoveHeadTail(t *testing.T) {
+	l := listOf(t, 1, 2, 3)
+	v, err := l.RemoveHead()
+	if err != nil || v.MustInt() != 1 {
+		t.Fatalf("RemoveHead = %v, %v", v, err)
+	}
+	v, err = l.RemoveTail()
+	if err != nil || v.MustInt() != 3 {
+		t.Fatalf("RemoveTail = %v, %v", v, err)
+	}
+	valuesEqual(t, l, 2)
+	if _, err := l.RemoveHead(); err != nil {
+		t.Fatalf("RemoveHead last: %v", err)
+	}
+	valuesEqual(t, l)
+	if _, err := l.RemoveHead(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty RemoveHead err = %v", err)
+	}
+	if _, err := l.RemoveTail(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty RemoveTail err = %v", err)
+	}
+}
+
+func TestGetHeadTail(t *testing.T) {
+	l := listOf(t, 5, 6)
+	if v, err := l.GetHead(); err != nil || v.MustInt() != 5 {
+		t.Errorf("GetHead = %v, %v", v, err)
+	}
+	if v, err := l.GetTail(); err != nil || v.MustInt() != 6 {
+		t.Errorf("GetTail = %v, %v", v, err)
+	}
+	valuesEqual(t, l, 5, 6) // observers do not mutate
+	empty := listOf(t)
+	if _, err := empty.GetHead(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty GetHead err = %v", err)
+	}
+	if _, err := empty.GetTail(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty GetTail err = %v", err)
+	}
+}
+
+func TestGetAtSetAt(t *testing.T) {
+	l := listOf(t, 10, 20, 30)
+	for i, want := range []int64{10, 20, 30} {
+		v, err := l.GetAt(int64(i))
+		if err != nil || v.MustInt() != want {
+			t.Errorf("GetAt(%d) = %v, %v", i, v, err)
+		}
+	}
+	if _, err := l.GetAt(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("GetAt(-1) err = %v", err)
+	}
+	if _, err := l.GetAt(3); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("GetAt(3) err = %v", err)
+	}
+	if err := l.SetAt(1, domain.Int(99)); err != nil {
+		t.Fatalf("SetAt: %v", err)
+	}
+	valuesEqual(t, l, 10, 99, 30)
+	if err := l.SetAt(9, domain.Int(1)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("SetAt(9) err = %v", err)
+	}
+}
+
+func TestRemoveAt(t *testing.T) {
+	l := listOf(t, 1, 2, 3, 4)
+	v, err := l.RemoveAt(0) // head
+	if err != nil || v.MustInt() != 1 {
+		t.Fatalf("RemoveAt(0) = %v, %v", v, err)
+	}
+	valuesEqual(t, l, 2, 3, 4)
+	v, err = l.RemoveAt(2) // tail
+	if err != nil || v.MustInt() != 4 {
+		t.Fatalf("RemoveAt(tail) = %v, %v", v, err)
+	}
+	valuesEqual(t, l, 2, 3)
+	v, err = l.RemoveAt(1) // middle/tail
+	if err != nil || v.MustInt() != 3 {
+		t.Fatalf("RemoveAt(1) = %v, %v", v, err)
+	}
+	valuesEqual(t, l, 2)
+	if _, err := l.RemoveAt(5); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("RemoveAt(5) err = %v", err)
+	}
+	if _, err := l.RemoveAt(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("RemoveAt(-1) err = %v", err)
+	}
+}
+
+func TestInsertBeforeAfter(t *testing.T) {
+	l := listOf(t, 2, 4)
+	if err := l.InsertBefore(0, domain.Int(1)); err != nil {
+		t.Fatalf("InsertBefore(0): %v", err)
+	}
+	valuesEqual(t, l, 1, 2, 4)
+	if err := l.InsertBefore(2, domain.Int(3)); err != nil {
+		t.Fatalf("InsertBefore(2): %v", err)
+	}
+	valuesEqual(t, l, 1, 2, 3, 4)
+	if err := l.InsertAfter(3, domain.Int(5)); err != nil {
+		t.Fatalf("InsertAfter(tail): %v", err)
+	}
+	valuesEqual(t, l, 1, 2, 3, 4, 5)
+	if err := l.InsertAfter(0, domain.Int(9)); err != nil {
+		t.Fatalf("InsertAfter(0): %v", err)
+	}
+	valuesEqual(t, l, 1, 9, 2, 3, 4, 5)
+	if err := l.InsertBefore(99, domain.Int(0)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("InsertBefore(99) err = %v", err)
+	}
+	if err := l.InsertAfter(-1, domain.Int(0)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("InsertAfter(-1) err = %v", err)
+	}
+}
+
+func TestFind(t *testing.T) {
+	l := listOf(t, 7, 8, 7)
+	if i := l.Find(domain.Int(7)); i != 0 {
+		t.Errorf("Find(7) = %d", i)
+	}
+	if i := l.Find(domain.Int(8)); i != 1 {
+		t.Errorf("Find(8) = %d", i)
+	}
+	if i := l.Find(domain.Int(9)); i != -1 {
+		t.Errorf("Find(9) = %d", i)
+	}
+}
+
+func TestRemoveAllAndSetValues(t *testing.T) {
+	l := listOf(t, 1, 2, 3)
+	l.RemoveAll()
+	valuesEqual(t, l)
+	l.SetValues(ints(9, 8))
+	valuesEqual(t, l, 9, 8)
+}
+
+func TestInvariantDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(*ObList)
+	}{
+		{"negative count", func(l *ObList) { l.count = -1 }},
+		{"count too high", func(l *ObList) { l.count = 5 }},
+		{"count too low", func(l *ObList) { l.count = 1 }},
+		{"dangling head", func(l *ObList) { l.head = nil }},
+		{"dangling tail next", func(l *ObList) { l.tail.next = &node{val: domain.Int(0)} }},
+		{"head prev set", func(l *ObList) { l.head.prev = l.tail }},
+		{"broken backward chain", func(l *ObList) { l.tail.prev = nil }},
+		{"empty with node", func(l *ObList) { l.count = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := listOf(t, 1, 2, 3)
+			if err := l.CheckInvariant(); err != nil {
+				t.Fatalf("healthy invariant: %v", err)
+			}
+			tc.corrupt(l)
+			if err := l.CheckInvariant(); !errors.Is(err, bit.ErrViolation) {
+				t.Errorf("corruption undetected: %v", err)
+			}
+		})
+	}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	f := NewFactory()
+	inst, err := f.New("ObList", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	if _, err := inst.Invoke("AddHead", ints(4)); err != nil {
+		t.Fatalf("AddHead: %v", err)
+	}
+	if _, err := inst.Invoke("AddTail", ints(5)); err != nil {
+		t.Fatalf("AddTail: %v", err)
+	}
+	out, err := inst.Invoke("GetCount", nil)
+	if err != nil || out[0].MustInt() != 2 {
+		t.Fatalf("GetCount = %v, %v", out, err)
+	}
+	out, err = inst.Invoke("IsEmpty", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := out[0].AsBool(); b {
+		t.Error("IsEmpty should be false")
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Errorf("InvariantTest: %v", err)
+	}
+	var sb strings.Builder
+	if err := inst.Reporter(&sb); err != nil {
+		t.Fatalf("Reporter: %v", err)
+	}
+	if !strings.Contains(sb.String(), "ObList{count: 2") {
+		t.Errorf("report = %q", sb.String())
+	}
+	if err := inst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("GetCount", nil); !errors.Is(err, component.ErrDestroyed) {
+		t.Errorf("post-destroy err = %v", err)
+	}
+}
+
+func TestInstanceDispatchErrors(t *testing.T) {
+	f := NewFactory()
+	inst, _ := f.New("ObList", nil)
+	if _, err := inst.Invoke("Nope", nil); !errors.Is(err, component.ErrUnknownMethod) {
+		t.Errorf("unknown method err = %v", err)
+	}
+	if _, err := inst.Invoke("AddHead", nil); err == nil {
+		t.Error("AddHead without args should fail")
+	}
+	if _, err := inst.Invoke("SetAt", ints(0)); err == nil {
+		t.Error("SetAt with one arg should fail")
+	}
+}
+
+func TestFactoryConstructors(t *testing.T) {
+	f := NewFactory()
+	if f.Name() != Name {
+		t.Errorf("Name() = %q", f.Name())
+	}
+	if _, err := f.New("Nope", nil); err == nil {
+		t.Error("unknown ctor should fail")
+	}
+	inst, err := f.New("ObListSized", ints(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.(*Instance).blockSize != 32 {
+		t.Error("sized ctor ignored block size")
+	}
+	if _, err := f.New("ObListSized", nil); err == nil {
+		t.Error("ObListSized without args should fail")
+	}
+}
+
+func TestSpecValidAndModelSize(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec invalid: %v", err)
+	}
+	g, err := s.TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 || g.NumEdges() != 24 {
+		t.Errorf("model = %v (experiments assume 10 nodes / 24 links)", g.Stats())
+	}
+}
+
+func TestSitesRegistrable(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	methods := eng.Methods()
+	want := []string{"AddHead", "RemoveAt", "RemoveHead"}
+	if len(methods) != len(want) {
+		t.Fatalf("methods = %v", methods)
+	}
+	for i, m := range want {
+		if methods[i] != m {
+			t.Errorf("methods[%d] = %s, want %s", i, methods[i], m)
+		}
+	}
+	if n := len(eng.Enumerate(nil, nil)); n == 0 {
+		t.Fatal("no mutants")
+	}
+}
+
+func TestMutatedAddHeadBreaksInvariant(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	// newCount := oldCount + 1 replaced by global count (pre-increment value):
+	// the count stops growing.
+	var target mutation.Mutant
+	for _, m := range eng.Enumerate([]mutation.Operator{mutation.OpRepGlob}, []string{"AddHead"}) {
+		if m.Site == "AddHead/newCount" && m.Replacement == "count" {
+			target = m
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("target mutant not found")
+	}
+	if err := eng.Activate(target); err != nil {
+		t.Fatal(err)
+	}
+	l := NewObList(10, eng)
+	l.AddHead(domain.Int(1))
+	if err := l.CheckInvariant(); !errors.Is(err, bit.ErrViolation) {
+		t.Errorf("mutated AddHead should break the invariant, got %v", err)
+	}
+	if !eng.Infected() {
+		t.Error("mutant should have infected state")
+	}
+}
+
+func TestMutatedRemoveAtChangesOutput(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	var target mutation.Mutant
+	for _, m := range eng.Enumerate([]mutation.Operator{mutation.OpRepLoc}, []string{"RemoveAt"}) {
+		if m.Site == "RemoveAt/out" && m.Replacement == "idx" {
+			target = m
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("target mutant not found")
+	}
+	if err := eng.Activate(target); err != nil {
+		t.Fatal(err)
+	}
+	l := NewObList(10, eng)
+	l.SetValues(ints(100, 200, 300))
+	v, err := l.RemoveAt(1)
+	if err != nil {
+		t.Fatalf("RemoveAt: %v", err)
+	}
+	// The returned value is replaced by the index (1), not the element (200).
+	if v.MustInt() != 1 {
+		t.Errorf("mutated RemoveAt returned %v", v)
+	}
+}
+
+func TestListBehavesLikeSliceProperty(t *testing.T) {
+	// Model-based property: the list agrees with a plain slice model under
+	// random op sequences, and the invariant holds throughout.
+	type op struct {
+		Kind  uint8
+		Val   int16
+		Index uint8
+	}
+	prop := func(ops []op) bool {
+		l := NewObList(10, nil)
+		var model []int64
+		for _, o := range ops {
+			v := int64(o.Val)
+			switch o.Kind % 6 {
+			case 0:
+				l.AddHead(domain.Int(v))
+				model = append([]int64{v}, model...)
+			case 1:
+				l.AddTail(domain.Int(v))
+				model = append(model, v)
+			case 2:
+				got, err := l.RemoveHead()
+				if len(model) == 0 {
+					if !errors.Is(err, ErrEmpty) {
+						return false
+					}
+				} else {
+					if err != nil || got.MustInt() != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			case 3:
+				got, err := l.RemoveTail()
+				if len(model) == 0 {
+					if !errors.Is(err, ErrEmpty) {
+						return false
+					}
+				} else {
+					if err != nil || got.MustInt() != model[len(model)-1] {
+						return false
+					}
+					model = model[:len(model)-1]
+				}
+			case 4:
+				i := int64(o.Index)
+				got, err := l.RemoveAt(i)
+				if i >= int64(len(model)) {
+					if !errors.Is(err, ErrOutOfRange) {
+						return false
+					}
+				} else {
+					if err != nil || got.MustInt() != model[i] {
+						return false
+					}
+					model = append(model[:i], model[i+1:]...)
+				}
+			case 5:
+				i := int64(o.Index)
+				err := l.SetAt(i, domain.Int(v))
+				if i >= int64(len(model)) {
+					if !errors.Is(err, ErrOutOfRange) {
+						return false
+					}
+				} else {
+					if err != nil {
+						return false
+					}
+					model[i] = v
+				}
+			}
+			if l.GetCount() != int64(len(model)) {
+				return false
+			}
+			if err := l.CheckInvariant(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetTestState(t *testing.T) {
+	f := NewFactory()
+	inst, _ := f.New("ObList", nil)
+	ss, ok := inst.(component.StateSettable)
+	if !ok {
+		t.Fatal("ObList instance should implement StateSettable")
+	}
+	if err := ss.SetTestState(nil); !errors.Is(err, bit.ErrBITDisabled) {
+		t.Errorf("off-mode err = %v", err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	err := ss.SetTestState(map[string]domain.Value{
+		"items":     domain.Object(ints(5, 6, 7)),
+		"blockSize": domain.Int(32),
+	})
+	if err != nil {
+		t.Fatalf("SetTestState: %v", err)
+	}
+	out, _ := inst.Invoke("GetCount", nil)
+	if out[0].MustInt() != 3 {
+		t.Errorf("count after set = %v", out)
+	}
+	out, _ = inst.Invoke("GetHead", nil)
+	if out[0].MustInt() != 5 {
+		t.Errorf("head after set = %v", out)
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Errorf("invariant after set: %v", err)
+	}
+	// Bad payload types.
+	if err := ss.SetTestState(map[string]domain.Value{"items": domain.Int(1)}); err == nil {
+		t.Error("non-slice items should fail")
+	}
+	if err := ss.SetTestState(map[string]domain.Value{"blockSize": domain.Str("x")}); err == nil {
+		t.Error("string blockSize should fail")
+	}
+	// Reset.
+	if err := ss.ResetTestState(); err != nil {
+		t.Fatalf("ResetTestState: %v", err)
+	}
+	out, _ = inst.Invoke("IsEmpty", nil)
+	if b, _ := out[0].AsBool(); !b {
+		t.Error("reset should empty the list")
+	}
+}

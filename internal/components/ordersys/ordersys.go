@@ -1,0 +1,435 @@
+// Package ordersys implements the paper's stated future work (§6):
+// extending the self-testable component approach "for components having
+// more than one class; so instead of method's interactions inside a class
+// (intraclass testing), we focus on interactions between classes
+// (interclass testing)". The paper already argues (§3.2) that the
+// transaction flow model scales to this case because "it can show the
+// sequencing of activities performed by several objects as well".
+//
+// OrderSystem is one component composed of two collaborating classes: a
+// Cart (order lines) and the stock database of package stockdb. Its TFM
+// nodes are activities of either class; its class invariant is an
+// interclass property (every cart line references a stocked product, and
+// the cart total matches the line sum); and its mutation sites sit on the
+// Checkout method, where values flow from the Cart into the Stock — the
+// interclass interface the paper wants tested.
+package ordersys
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+	"concat/internal/stockdb"
+	"concat/internal/tspec"
+)
+
+// Name is the component name.
+const Name = "OrderSystem"
+
+// ErrNoSuchLine is returned when removing an absent cart line.
+var ErrNoSuchLine = errors.New("ordersys: no such cart line")
+
+// ErrInsufficientStock is returned when a line asks for more than stocked.
+var ErrInsufficientStock = errors.New("ordersys: insufficient stock")
+
+// line is one cart entry.
+type line struct {
+	name  string
+	qty   int64
+	price float64
+}
+
+// OrderSystem is the two-class component instance: the cart object plus the
+// stock database object it collaborates with.
+type OrderSystem struct {
+	bit.Base
+	disp      component.Dispatcher
+	eng       *mutation.Engine
+	db        *stockdb.DB
+	lines     []line
+	checkouts int64
+	destroyed bool
+}
+
+var _ component.Instance = (*OrderSystem)(nil)
+
+func newOrderSystem(db *stockdb.DB, eng *mutation.Engine) *OrderSystem {
+	o := &OrderSystem{db: db, eng: eng}
+	o.disp.Register("Stock.AddProduct", o.stockAdd)
+	o.disp.Register("Stock.Remove", o.stockRemove)
+	o.disp.Register("Stock.Count", o.stockCount)
+	o.disp.Register("Cart.AddLine", o.cartAddLine)
+	o.disp.Register("Cart.RemoveLine", o.cartRemoveLine)
+	o.disp.Register("Cart.Lines", o.cartLines)
+	o.disp.Register("Cart.Total", o.cartTotal)
+	o.disp.Register("Checkout", o.checkout)
+	return o
+}
+
+// Invoke implements component.Instance.
+func (o *OrderSystem) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if o.destroyed {
+		return nil, fmt.Errorf("%w: %s", component.ErrDestroyed, Name)
+	}
+	return o.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (o *OrderSystem) Destroy() error {
+	o.lines = nil
+	o.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable. The invariant is interclass:
+// every cart line must reference a product that exists in the stock with at
+// least the line's quantity, quantities are positive, and line names are
+// unique.
+func (o *OrderSystem) InvariantTest() error {
+	if err := o.Guard(); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	for _, l := range o.lines {
+		if err := bit.ClassInvariant(l.qty > 0, "InvariantTest", "line qty > 0"); err != nil {
+			return err
+		}
+		if err := bit.ClassInvariant(!seen[l.name], "InvariantTest", "line names unique"); err != nil {
+			return err
+		}
+		seen[l.name] = true
+		rec, err := o.db.Query(l.name)
+		if err := bit.ClassInvariant(err == nil, "InvariantTest", "cart line references stocked product"); err != nil {
+			return err
+		}
+		if err := bit.ClassInvariant(rec.Qty >= l.qty, "InvariantTest", "stock covers cart line"); err != nil {
+			return err
+		}
+		if err := bit.ClassInvariant(rec.Price == l.price, "InvariantTest", "line price matches stock"); err != nil {
+			return err
+		}
+	}
+	return bit.ClassInvariant(o.checkouts >= 0, "InvariantTest", "checkouts >= 0")
+}
+
+// Reporter implements bit.SelfTestable.
+func (o *OrderSystem) Reporter(w io.Writer) error {
+	if err := o.Guard(); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(o.lines))
+	for _, l := range o.lines {
+		names = append(names, fmt.Sprintf("%s x%d @%.2f", l.name, l.qty, l.price))
+	}
+	sort.Strings(names)
+	_, err := fmt.Fprintf(w, "OrderSystem{lines: %v, total: %.2f, stocked: %d, checkouts: %d}\n",
+		names, o.total(), o.db.Count(), o.checkouts)
+	return err
+}
+
+func (o *OrderSystem) total() float64 {
+	t := 0.0
+	for _, l := range o.lines {
+		t += float64(l.qty) * l.price
+	}
+	return t
+}
+
+func (o *OrderSystem) use(site mutation.SiteID, v domain.Value, locals map[string]domain.Value) domain.Value {
+	if o.eng == nil || !o.eng.Armed() {
+		return v
+	}
+	return o.eng.Use(site, v, mutation.Env{
+		Locals: locals,
+		Globals: map[string]domain.Value{
+			"lines":     domain.Int(int64(len(o.lines))),
+			"checkouts": domain.Int(o.checkouts),
+		},
+		Externals: map[string]domain.Value{
+			"stocked": domain.Int(int64(o.db.Count())),
+		},
+	})
+}
+
+func (o *OrderSystem) useInt(site mutation.SiteID, v int64, locals map[string]domain.Value) int64 {
+	out := o.use(site, domain.Int(v), locals)
+	n, err := out.AsInt()
+	if err != nil {
+		return v
+	}
+	return n
+}
+
+// --- Stock-class activities ---
+
+func (o *OrderSystem) stockAdd(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Stock.AddProduct", args,
+		domain.KindString, domain.KindInt, domain.KindFloat); err != nil {
+		return nil, err
+	}
+	name := args[0].MustString()
+	qty := args[1].MustInt()
+	price := args[2].MustFloat()
+	if err := bit.PreCondition(qty > 0, "Stock.AddProduct", "qty > 0"); err != nil {
+		return nil, err
+	}
+	if err := bit.PreCondition(price > 0, "Stock.AddProduct", "price > 0"); err != nil {
+		return nil, err
+	}
+	if err := o.db.Insert(stockdb.Record{Name: name, Qty: qty, Price: price}); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(int64(o.db.Count()))}, nil
+}
+
+func (o *OrderSystem) stockRemove(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Stock.Remove", args, domain.KindString); err != nil {
+		return nil, err
+	}
+	name := args[0].MustString()
+	// Interclass consistency: removing a product that the cart references
+	// would break the invariant, so the cart line goes first.
+	o.dropLine(name)
+	rec, err := o.db.Remove(name)
+	if err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(rec.Qty)}, nil
+}
+
+func (o *OrderSystem) stockCount(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Stock.Count", args); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(int64(o.db.Count()))}, nil
+}
+
+// --- Cart-class activities ---
+
+func (o *OrderSystem) cartAddLine(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Cart.AddLine", args, domain.KindString, domain.KindInt); err != nil {
+		return nil, err
+	}
+	name := args[0].MustString()
+	qty := args[1].MustInt()
+	if err := bit.PreCondition(qty > 0, "Cart.AddLine", "qty > 0"); err != nil {
+		return nil, err
+	}
+	rec, err := o.db.Query(name)
+	if err != nil {
+		return nil, err // observable: ordering an unstocked product
+	}
+	existing := int64(0)
+	for _, l := range o.lines {
+		if l.name == name {
+			existing = l.qty
+		}
+	}
+	if existing+qty > rec.Qty {
+		return nil, fmt.Errorf("%w: %q has %d, cart wants %d", ErrInsufficientStock, name, rec.Qty, existing+qty)
+	}
+	if existing > 0 {
+		for i := range o.lines {
+			if o.lines[i].name == name {
+				o.lines[i].qty += qty
+			}
+		}
+	} else {
+		o.lines = append(o.lines, line{name: name, qty: qty, price: rec.Price})
+	}
+	return []domain.Value{domain.Int(int64(len(o.lines)))}, nil
+}
+
+func (o *OrderSystem) cartRemoveLine(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Cart.RemoveLine", args, domain.KindString); err != nil {
+		return nil, err
+	}
+	name := args[0].MustString()
+	if !o.dropLine(name) {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchLine, name)
+	}
+	return []domain.Value{domain.Int(int64(len(o.lines)))}, nil
+}
+
+func (o *OrderSystem) dropLine(name string) bool {
+	for i, l := range o.lines {
+		if l.name == name {
+			o.lines = append(o.lines[:i], o.lines[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (o *OrderSystem) cartLines(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Cart.Lines", args); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(int64(len(o.lines)))}, nil
+}
+
+func (o *OrderSystem) cartTotal(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Cart.Total", args); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Float(o.total())}, nil
+}
+
+// --- the interclass interface: Checkout ---
+
+// checkout transfers the cart into the stock: every line decrements its
+// product's stocked quantity, the cart empties, the checkout counter grows.
+// The mutation sites sit on the values crossing the class boundary — the
+// interclass interface-mutation targets.
+func (o *OrderSystem) checkout(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("Checkout", args); err != nil {
+		return nil, err
+	}
+	if len(o.lines) == 0 {
+		return nil, errors.New("ordersys: checkout of an empty cart")
+	}
+	items := int64(0)
+	for _, l := range o.lines {
+		rec, err := o.db.Query(l.name)
+		if err != nil {
+			return nil, fmt.Errorf("ordersys: checkout: %w", err)
+		}
+		qty := o.useInt("Checkout/qty", l.qty, map[string]domain.Value{
+			"items": domain.Int(items),
+		})
+		remaining := rec.Qty - qty
+		remaining = o.useInt("Checkout/remaining", remaining, map[string]domain.Value{
+			"qty":   domain.Int(qty),
+			"items": domain.Int(items),
+		})
+		if remaining < 0 {
+			return nil, fmt.Errorf("%w: %q", ErrInsufficientStock, l.name)
+		}
+		rec.Qty = remaining
+		if err := o.db.Update(rec); err != nil {
+			return nil, fmt.Errorf("ordersys: checkout: %w", err)
+		}
+		items += qty
+	}
+	o.lines = nil
+	o.checkouts++
+	if err := bit.PostCondition(len(o.lines) == 0, "Checkout", "cart empty after checkout"); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(items)}, nil
+}
+
+// Sites returns the interclass mutation sites of the Checkout method.
+func Sites() []mutation.Site {
+	return []mutation.Site{
+		{ID: "Checkout/qty", Method: "Checkout", Var: "qty", Kind: domain.KindInt,
+			Locals:    []string{"items", "remaining"},
+			Globals:   []string{"lines", "checkouts"},
+			Externals: []string{"stocked"}},
+		{ID: "Checkout/remaining", Method: "Checkout", Var: "remaining", Kind: domain.KindInt,
+			Locals:    []string{"qty", "items"},
+			Globals:   []string{"lines", "checkouts"},
+			Externals: []string{"stocked"}},
+	}
+}
+
+// Factory builds OrderSystem instances; each instance gets a fresh stock
+// database so transactions are independent.
+type Factory struct {
+	eng *mutation.Engine
+}
+
+var _ component.Factory = (*Factory)(nil)
+
+// NewFactory returns a production factory.
+func NewFactory() *Factory { return &Factory{} }
+
+// NewFactoryWithEngine attaches a mutation engine to built instances.
+func NewFactoryWithEngine(eng *mutation.Engine) *Factory { return &Factory{eng: eng} }
+
+// Name implements component.Factory.
+func (f *Factory) Name() string { return Name }
+
+// Spec implements component.Factory.
+func (f *Factory) Spec() *tspec.Spec { return Spec() }
+
+// New implements component.Factory.
+func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	if ctor != "OrderSystem" {
+		return nil, fmt.Errorf("ordersys: unknown constructor %q", ctor)
+	}
+	if err := component.WantArgs(ctor, args); err != nil {
+		return nil, err
+	}
+	return newOrderSystem(stockdb.New(), f.eng), nil
+}
+
+var specOnce = sync.OnceValue(buildSpec)
+
+// Spec returns the component's embedded t-spec (shared, treat as read-only).
+func Spec() *tspec.Spec { return specOnce() }
+
+// buildSpec: the interclass TFM. Nodes n2/n3 are Stock-class activities,
+// n4/n5 Cart-class activities, n6 the cross-class Checkout, n7 observers of
+// both classes — one model sequencing two objects' methods.
+func buildSpec() *tspec.Spec {
+	productNames := tspec.StringsOf("widget", "gadget", "gizmo")
+	return tspec.NewBuilder(Name).
+		Attribute("lines", tspec.RangeInt(0, 20)).
+		Attribute("checkouts", tspec.RangeInt(0, 1000)).
+		Method("m1", "OrderSystem", "", tspec.CatConstructor).
+		Method("m2", "~OrderSystem", "", tspec.CatDestructor).
+		Method("m3", "Stock.AddProduct", "int", tspec.CatUpdate).
+		Param("name", productNames).
+		Param("qty", tspec.RangeInt(1, 50)).
+		Param("price", tspec.RangeFloat(0.5, 100)).
+		Method("m4", "Stock.Remove", "int", tspec.CatUpdate).
+		Param("name", productNames).
+		Method("m5", "Stock.Count", "int", tspec.CatAccess).
+		Method("m6", "Cart.AddLine", "int", tspec.CatUpdate).
+		Param("name", productNames).
+		Param("qty", tspec.RangeInt(1, 10)).
+		Uses("lines").
+		Method("m7", "Cart.RemoveLine", "int", tspec.CatUpdate).
+		Param("name", productNames).
+		Uses("lines").
+		Method("m8", "Cart.Lines", "int", tspec.CatAccess).
+		Uses("lines").
+		Method("m9", "Cart.Total", "float", tspec.CatAccess).
+		Uses("lines").
+		Method("m10", "Checkout", "int", tspec.CatUpdate).
+		Uses("lines", "checkouts").
+		Node("n1", true, "m1").
+		Node("n2", false, "m3").             // Stock: fill the shelves
+		Node("n3", false, "m4").             // Stock: delist a product
+		Node("n4", false, "m6").             // Cart: order lines
+		Node("n5", false, "m7").             // Cart: retract a line
+		Node("n6", false, "m10").            // interclass: checkout
+		Node("n7", false, "m5", "m8", "m9"). // observers of both classes
+		Node("n8", false, "m2").
+		Edge("n1", "n2").
+		Edge("n1", "n8").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n2", "n7").
+		Edge("n3", "n4").
+		Edge("n3", "n8").
+		Edge("n4", "n4").
+		Edge("n4", "n5").
+		Edge("n4", "n6").
+		Edge("n4", "n7").
+		Edge("n5", "n6").
+		Edge("n5", "n8").
+		Edge("n6", "n7").
+		Edge("n6", "n8").
+		Edge("n7", "n8").
+		MustBuild()
+}

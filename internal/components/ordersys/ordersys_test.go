@@ -1,0 +1,287 @@
+package ordersys
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"concat/internal/analysis"
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/mutation"
+	"concat/internal/testexec"
+)
+
+func newSystem(t *testing.T) component.Instance {
+	t.Helper()
+	inst, err := NewFactory().New("OrderSystem", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	return inst
+}
+
+func stock(t *testing.T, inst component.Instance, name string, qty int64, price float64) {
+	t.Helper()
+	_, err := inst.Invoke("Stock.AddProduct", []domain.Value{
+		domain.Str(name), domain.Int(qty), domain.Float(price),
+	})
+	if err != nil {
+		t.Fatalf("stocking %s: %v", name, err)
+	}
+}
+
+func TestSpecIsValidInterclassModel(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	// The model sequences two classes: Stock.* and Cart.* methods coexist.
+	sawStock, sawCart := false, false
+	for _, m := range s.Methods {
+		if strings.HasPrefix(m.Name, "Stock.") {
+			sawStock = true
+		}
+		if strings.HasPrefix(m.Name, "Cart.") {
+			sawCart = true
+		}
+	}
+	if !sawStock || !sawCart {
+		t.Error("interclass model should span both classes")
+	}
+}
+
+func TestOrderLifecycle(t *testing.T) {
+	inst := newSystem(t)
+	stock(t, inst, "widget", 10, 2.5)
+	stock(t, inst, "gadget", 5, 10)
+
+	out, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(4)})
+	if err != nil || out[0].MustInt() != 1 {
+		t.Fatalf("AddLine = %v, %v", out, err)
+	}
+	if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("gadget"), domain.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	out, err = inst.Invoke("Cart.Total", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total, _ := out[0].AsFloat(); total != 4*2.5+2*10 {
+		t.Errorf("total = %v", out[0])
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Fatalf("invariant before checkout: %v", err)
+	}
+
+	out, err = inst.Invoke("Checkout", nil)
+	if err != nil || out[0].MustInt() != 6 {
+		t.Fatalf("Checkout = %v, %v", out, err)
+	}
+	out, err = inst.Invoke("Cart.Lines", nil)
+	if err != nil || out[0].MustInt() != 0 {
+		t.Errorf("lines after checkout = %v", out)
+	}
+	// Stock decremented across the class boundary.
+	var dump strings.Builder
+	if err := inst.Reporter(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump.String(), "checkouts: 1") {
+		t.Errorf("report = %q", dump.String())
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Fatalf("invariant after checkout: %v", err)
+	}
+}
+
+func TestCartAddLineAccumulates(t *testing.T) {
+	inst := newSystem(t)
+	stock(t, inst, "widget", 10, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := inst.Invoke("Cart.Lines", nil)
+	if err != nil || out[0].MustInt() != 1 {
+		t.Errorf("lines = %v (accumulating line should not duplicate)", out)
+	}
+	out, _ = inst.Invoke("Cart.Total", nil)
+	if total, _ := out[0].AsFloat(); total != 6 {
+		t.Errorf("total = %v", total)
+	}
+}
+
+func TestObservableErrors(t *testing.T) {
+	inst := newSystem(t)
+	stock(t, inst, "widget", 3, 1)
+	// Ordering the unstocked.
+	if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("gizmo"), domain.Int(1)}); err == nil {
+		t.Error("unstocked order should fail")
+	}
+	// Over-ordering.
+	if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(5)}); !errors.Is(err, ErrInsufficientStock) {
+		t.Errorf("over-order err = %v", err)
+	}
+	// Removing an absent line.
+	if _, err := inst.Invoke("Cart.RemoveLine", []domain.Value{domain.Str("widget")}); !errors.Is(err, ErrNoSuchLine) {
+		t.Errorf("remove absent err = %v", err)
+	}
+	// Checkout of an empty cart.
+	if _, err := inst.Invoke("Checkout", nil); err == nil {
+		t.Error("empty checkout should fail")
+	}
+	// Duplicate stocking.
+	_, err := inst.Invoke("Stock.AddProduct", []domain.Value{domain.Str("widget"), domain.Int(1), domain.Float(1)})
+	if err == nil {
+		t.Error("duplicate stocking should fail")
+	}
+	// Preconditions.
+	_, err = inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(0)})
+	if !errors.Is(err, &bit.Violation{Kind: bit.KindPrecondition}) {
+		t.Errorf("zero qty err = %v", err)
+	}
+	_, err = inst.Invoke("Stock.AddProduct", []domain.Value{domain.Str("x"), domain.Int(1), domain.Float(0)})
+	if !errors.Is(err, &bit.Violation{Kind: bit.KindPrecondition}) {
+		t.Errorf("zero price err = %v", err)
+	}
+}
+
+func TestStockRemoveKeepsInvariant(t *testing.T) {
+	inst := newSystem(t)
+	stock(t, inst, "widget", 5, 1)
+	if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	// Delisting the product drops the cart line first: the interclass
+	// invariant must hold afterwards.
+	if _, err := inst.Invoke("Stock.Remove", []domain.Value{domain.Str("widget")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Fatalf("invariant after delisting: %v", err)
+	}
+	out, _ := inst.Invoke("Cart.Lines", nil)
+	if out[0].MustInt() != 0 {
+		t.Error("cart line should be dropped with its product")
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	inst := newSystem(t)
+	if err := inst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("Cart.Lines", nil); !errors.Is(err, component.ErrDestroyed) {
+		t.Errorf("post-destroy err = %v", err)
+	}
+}
+
+func TestFactoryValidation(t *testing.T) {
+	f := NewFactory()
+	if f.Name() != Name {
+		t.Errorf("Name = %q", f.Name())
+	}
+	if _, err := f.New("Nope", nil); err == nil {
+		t.Error("unknown ctor should fail")
+	}
+	if _, err := f.New("OrderSystem", []domain.Value{domain.Int(1)}); err == nil {
+		t.Error("ctor with args should fail")
+	}
+}
+
+func TestGeneratedSuiteRunsClean(t *testing.T) {
+	suite, err := driver.Generate(Spec(), driver.Options{
+		Seed: 42, ExpandAlternatives: true, MaxAlternatives: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Cases) == 0 {
+		t.Fatal("no cases")
+	}
+	rep, err := testexec.Run(suite, NewFactory(), testexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("failures: %+v", rep.Failures()[:1])
+	}
+}
+
+func TestInterclassMutationAnalysis(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	suite, err := driver.Generate(Spec(), driver.Options{
+		Seed: 42, ExpandAlternatives: true, MaxAlternatives: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &analysis.Analysis{
+		Engine:  eng,
+		Factory: NewFactoryWithEngine(eng),
+		Suite:   suite,
+	}
+	res, err := a.Run(eng.Enumerate(nil, []string{"Checkout"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Tabulate()
+	if table.Total.Mutants == 0 {
+		t.Fatal("no interclass mutants")
+	}
+	if table.Total.Killed == 0 {
+		t.Error("the suite should kill interclass mutants (stock corruption is observable)")
+	}
+	score := table.Total.Score()
+	if score < 0.5 {
+		t.Errorf("interclass mutation score = %.1f%%, suspiciously low", score*100)
+	}
+}
+
+func TestMutatedCheckoutBreaksInterclassInvariant(t *testing.T) {
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(Sites()...)
+	// Checkout/remaining replaced by the line qty: stock keeps the wrong
+	// amount after checkout.
+	var target mutation.Mutant
+	for _, m := range eng.Enumerate([]mutation.Operator{mutation.OpRepLoc}, nil) {
+		if m.Site == "Checkout/remaining" && m.Replacement == "qty" {
+			target = m
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("target mutant not found")
+	}
+	if err := eng.Activate(target); err != nil {
+		t.Fatal(err)
+	}
+	f := NewFactoryWithEngine(eng)
+	inst, err := f.New("OrderSystem", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	if _, err := inst.Invoke("Stock.AddProduct", []domain.Value{domain.Str("widget"), domain.Int(5), domain.Float(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("Cart.AddLine", []domain.Value{domain.Str("widget"), domain.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("Checkout", nil); err != nil {
+		t.Fatalf("mutated checkout errored early: %v", err)
+	}
+	// Stock should hold 3 but the mutant wrote 2: observable via reporter.
+	var dump strings.Builder
+	if err := inst.Reporter(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Infected() {
+		t.Error("mutant should have infected the interclass state")
+	}
+}

@@ -1,0 +1,361 @@
+// Package product implements the paper's running example (Figures 1-3):
+// class Product from a warehouse stock-control system, built as a
+// self-testable component. Its t-spec is the one Figure 3 sketches; its
+// transaction flow model is Figure 2's, including the highlighted use-case
+// path create -> query -> remove-from-stock -> destroy.
+package product
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"sync"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/stockdb"
+	"concat/internal/tspec"
+)
+
+// Name is the component (class) name.
+const Name = "Product"
+
+// Attribute bounds declared in the t-spec (Figure 3: "Attribute('qty',
+// range, 1, 99999)").
+const (
+	MinQty   = 1
+	MaxQty   = 99999
+	MinPrice = 0.01
+	MaxPrice = 10000.0
+	MaxName  = 30
+)
+
+// Product is the component state: the Figure 1 attributes plus the stock
+// database the instance works against.
+type Product struct {
+	bit.Base
+	disp      component.Dispatcher
+	db        *stockdb.DB
+	qty       int64
+	name      string
+	price     float64
+	prov      *stockdb.Provider
+	destroyed bool
+}
+
+var _ component.Instance = (*Product)(nil)
+
+func newProduct(db *stockdb.DB, qty int64, name string, price float64, prov *stockdb.Provider) *Product {
+	p := &Product{db: db, qty: qty, name: name, price: price, prov: prov}
+	p.disp.Register("UpdateName", p.updateName)
+	p.disp.Register("UpdateQty", p.updateQty)
+	p.disp.Register("UpdatePrice", p.updatePrice)
+	p.disp.Register("UpdateProv", p.updateProv)
+	p.disp.Register("ShowAttributes", p.showAttributes)
+	p.disp.Register("InsertProduct", p.insertProduct)
+	p.disp.Register("RemoveProduct", p.removeProduct)
+	return p
+}
+
+// Invoke implements component.Instance.
+func (p *Product) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if p.destroyed {
+		return nil, fmt.Errorf("%w: %s", component.ErrDestroyed, Name)
+	}
+	return p.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (p *Product) Destroy() error {
+	p.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable: every attribute stays inside
+// its declared domain.
+func (p *Product) InvariantTest() error {
+	if err := p.Guard(); err != nil {
+		return err
+	}
+	if err := bit.ClassInvariant(p.qty >= MinQty && p.qty <= MaxQty,
+		"InvariantTest", "1 <= qty <= 99999"); err != nil {
+		return err
+	}
+	if err := bit.ClassInvariant(p.price >= MinPrice && p.price <= MaxPrice,
+		"InvariantTest", "0.01 <= price <= 10000"); err != nil {
+		return err
+	}
+	return bit.ClassInvariant(len(p.name) >= 1 && len(p.name) <= MaxName,
+		"InvariantTest", "1 <= len(name) <= 30")
+}
+
+// Reporter implements bit.SelfTestable.
+func (p *Product) Reporter(w io.Writer) error {
+	if err := p.Guard(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Product{name: %q, qty: %d, price: %.2f, prov: %s, stocked: %v}\n",
+		p.name, p.qty, p.price, p.prov, p.inStock())
+	return err
+}
+
+func (p *Product) inStock() bool {
+	if p.db == nil {
+		return false
+	}
+	_, err := p.db.Query(p.name)
+	return err == nil
+}
+
+func (p *Product) updateName(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("UpdateName", args, domain.KindString); err != nil {
+		return nil, err
+	}
+	n := args[0].MustString()
+	if err := bit.PreCondition(len(n) >= 1 && len(n) <= MaxName, "UpdateName", "1 <= len(n) <= 30"); err != nil {
+		return nil, err
+	}
+	p.name = n
+	return nil, nil
+}
+
+func (p *Product) updateQty(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("UpdateQty", args, domain.KindInt); err != nil {
+		return nil, err
+	}
+	q := args[0].MustInt()
+	if err := bit.PreCondition(q >= MinQty && q <= MaxQty, "UpdateQty", "1 <= q <= 99999"); err != nil {
+		return nil, err
+	}
+	p.qty = q
+	return nil, nil
+}
+
+func (p *Product) updatePrice(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("UpdatePrice", args, domain.KindFloat); err != nil {
+		return nil, err
+	}
+	pr, err := args[0].AsFloat()
+	if err != nil {
+		return nil, err
+	}
+	if err := bit.PreCondition(pr >= MinPrice && pr <= MaxPrice, "UpdatePrice", "0.01 <= p <= 10000"); err != nil {
+		return nil, err
+	}
+	p.price = pr
+	return nil, nil
+}
+
+func (p *Product) updateProv(args []domain.Value) ([]domain.Value, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("component: UpdateProv expects 1 argument, got %d", len(args))
+	}
+	if args[0].IsNil() {
+		p.prov = nil
+		return nil, nil
+	}
+	prov, ok := args[0].Ref().(*stockdb.Provider)
+	if !ok {
+		return nil, fmt.Errorf("product: UpdateProv argument is %T, want *stockdb.Provider", args[0].Ref())
+	}
+	p.prov = prov
+	return nil, nil
+}
+
+func (p *Product) showAttributes(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("ShowAttributes", args); err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "name=%q qty=%d price=%.2f prov=%s", p.name, p.qty, p.price, p.prov)
+	return []domain.Value{domain.Str(sb.String())}, nil
+}
+
+func (p *Product) insertProduct(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("InsertProduct", args); err != nil {
+		return nil, err
+	}
+	rec := stockdb.Record{Name: p.name, Qty: p.qty, Price: p.price}
+	if p.prov != nil {
+		rec.ProviderID = p.prov.ID
+	}
+	if err := p.db.Insert(rec); err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Int(1)}, nil
+}
+
+func (p *Product) removeProduct(args []domain.Value) ([]domain.Value, error) {
+	if err := component.WantArgs("RemoveProduct", args); err != nil {
+		return nil, err
+	}
+	rec, err := p.db.Remove(p.name)
+	if err != nil {
+		return nil, err
+	}
+	return []domain.Value{domain.Str(rec.Name), domain.Int(rec.Qty)}, nil
+}
+
+// Factory builds Product instances against a shared stock database.
+type Factory struct {
+	db *stockdb.DB
+}
+
+var _ component.Factory = (*Factory)(nil)
+
+// NewFactory returns a factory with a fresh private database.
+func NewFactory() *Factory { return &Factory{db: stockdb.New()} }
+
+// NewFactoryWithDB returns a factory against an existing database.
+func NewFactoryWithDB(db *stockdb.DB) *Factory { return &Factory{db: db} }
+
+// DB exposes the factory's database (examples inspect it).
+func (f *Factory) DB() *stockdb.DB { return f.db }
+
+// Name implements component.Factory.
+func (f *Factory) Name() string { return Name }
+
+// Spec implements component.Factory.
+func (f *Factory) Spec() *tspec.Spec { return Spec() }
+
+// New implements component.Factory. The three constructors of Figure 1:
+// Product(), Product(q, n, p, prv) and Product(n).
+func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	switch ctor {
+	case "Product":
+		if err := component.WantArgs(ctor, args); err != nil {
+			return nil, err
+		}
+		return newProduct(f.db, MinQty, "unnamed", MinPrice, nil), nil
+	case "ProductFull":
+		if err := component.WantArgs(ctor, args,
+			domain.KindInt, domain.KindString, domain.KindFloat, domain.KindPointer); err != nil {
+			return nil, err
+		}
+		qty := args[0].MustInt()
+		name := args[1].MustString()
+		price := args[2].MustFloat()
+		if qty < MinQty || qty > MaxQty {
+			return nil, fmt.Errorf("product: qty %d out of range", qty)
+		}
+		if len(name) < 1 || len(name) > MaxName {
+			return nil, fmt.Errorf("product: name length %d out of range", len(name))
+		}
+		if price < MinPrice || price > MaxPrice {
+			return nil, fmt.Errorf("product: price %g out of range", price)
+		}
+		var prov *stockdb.Provider
+		if !args[3].IsNil() {
+			p, ok := args[3].Ref().(*stockdb.Provider)
+			if !ok {
+				return nil, fmt.Errorf("product: prv argument is %T, want *stockdb.Provider", args[3].Ref())
+			}
+			prov = p
+		}
+		return newProduct(f.db, qty, name, price, prov), nil
+	case "ProductNamed":
+		if err := component.WantArgs(ctor, args, domain.KindString); err != nil {
+			return nil, err
+		}
+		name := args[0].MustString()
+		if len(name) < 1 || len(name) > MaxName {
+			return nil, fmt.Errorf("product: name length %d out of range", len(name))
+		}
+		return newProduct(f.db, MinQty, name, MinPrice, nil), nil
+	default:
+		return nil, fmt.Errorf("product: unknown constructor %q", ctor)
+	}
+}
+
+// Providers returns the executor provider map that completes the
+// structured "Provider" parameters — the tester's manual-completion step,
+// automated here by drawing suppliers from the factory's database.
+func (f *Factory) Providers() map[string]domain.Provider {
+	return map[string]domain.Provider{
+		"Provider": domain.ProviderFunc(func(r *rand.Rand) (domain.Value, error) {
+			ps := f.db.Providers()
+			if len(ps) == 0 {
+				return domain.Pointer(f.db.AddProvider("acme supply co")), nil
+			}
+			if r == nil {
+				return domain.Pointer(ps[0]), nil
+			}
+			return domain.Pointer(ps[r.IntN(len(ps))]), nil
+		}),
+	}
+}
+
+var specOnce = sync.OnceValue(buildSpec)
+
+// Spec returns the component's embedded t-spec (shared, treat as read-only).
+func Spec() *tspec.Spec { return specOnce() }
+
+// buildSpec is the Figure 3 t-spec, extended with the update/insert/remove
+// methods of Figure 1 and the Figure 2 transaction flow model.
+func buildSpec() *tspec.Spec {
+	return tspec.NewBuilder(Name).
+		Attribute("qty", tspec.RangeInt(MinQty, MaxQty)).
+		Attribute("name", tspec.StringLen(1, MaxName)).
+		Attribute("price", tspec.RangeFloat(MinPrice, MaxPrice)).
+		Attribute("prov", tspec.PointerTo("Provider", true)).
+		Method("m1", "Product", "", tspec.CatConstructor).
+		Method("m2", "ProductFull", "", tspec.CatConstructor).
+		Param("q", tspec.RangeInt(MinQty, MaxQty)).
+		Param("n", tspec.StringsOf("p1", "p2", "p3")).
+		Param("p", tspec.RangeFloat(MinPrice, MaxPrice)).
+		Param("prv", tspec.PointerTo("Provider", true)).
+		Uses("qty", "name", "price", "prov").
+		Method("m3", "ProductNamed", "", tspec.CatConstructor).
+		Param("n", tspec.StringsOf("p1", "p2", "p3")).
+		Uses("name").
+		Method("m4", "~Product", "", tspec.CatDestructor).
+		Method("m5", "UpdateName", "", tspec.CatUpdate).
+		Param("n", tspec.StringsOf("p1", "p2", "p3")).
+		Uses("name").
+		Method("m6", "UpdateQty", "", tspec.CatUpdate).
+		Param("q", tspec.RangeInt(MinQty, MaxQty)).
+		Uses("qty").
+		Method("m7", "UpdatePrice", "", tspec.CatUpdate).
+		Param("p", tspec.RangeFloat(MinPrice, MaxPrice)).
+		Uses("price").
+		Method("m8", "UpdateProv", "", tspec.CatUpdate).
+		Param("prv", tspec.PointerTo("Provider", true)).
+		Uses("prov").
+		Method("m9", "ShowAttributes", "string", tspec.CatAccess).
+		Uses("qty", "name", "price", "prov").
+		Method("m10", "InsertProduct", "int", tspec.CatUpdate).
+		Uses("qty", "name", "price", "prov").
+		Method("m11", "RemoveProduct", "string", tspec.CatUpdate).
+		Uses("name").
+		// Figure 2's transaction flow model. The highlighted use case is
+		// n1 -> n3 -> n5 -> n6: create, obtain data, remove from stock,
+		// destroy.
+		Node("n1", true, "m1", "m2", "m3").
+		Node("n2", false, "m5", "m6", "m7", "m8"). // update attributes
+		Node("n3", false, "m9").                   // obtain data
+		Node("n4", false, "m10").                  // insert into stock
+		Node("n5", false, "m11").                  // remove from stock
+		Node("n6", false, "m4").                   // destroy
+		Edge("n1", "n2").
+		Edge("n1", "n3").
+		Edge("n1", "n4").
+		Edge("n1", "n6").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n2", "n6").
+		Edge("n3", "n4").
+		Edge("n3", "n5").
+		Edge("n3", "n6").
+		Edge("n4", "n3").
+		Edge("n4", "n5").
+		Edge("n4", "n6").
+		Edge("n5", "n6").
+		MustBuild()
+}
+
+// UseCasePath is the Figure 2 highlighted transaction: create a Product,
+// obtain its data, remove it from the database, destroy the object.
+func UseCasePath() []string { return []string{"n1", "n3", "n5", "n6"} }

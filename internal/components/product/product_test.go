@@ -1,0 +1,276 @@
+package product
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/stockdb"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+)
+
+func newTestProduct(t *testing.T, f *Factory, ctor string, args ...domain.Value) component.Instance {
+	t.Helper()
+	inst, err := f.New(ctor, args)
+	if err != nil {
+		t.Fatalf("New(%s): %v", ctor, err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	return inst
+}
+
+func TestSpecMatchesFigure2(t *testing.T) {
+	s := Spec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("spec invalid: %v", err)
+	}
+	g, err := s.TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 6 {
+		t.Errorf("model nodes = %d, want 6 (Figure 2)", g.NumNodes())
+	}
+	// The highlighted use-case path must be a real transaction.
+	ts, err := g.Transactions(tfm.EnumOptions{LoopBound: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKey := strings.Join(UseCasePath(), ">")
+	found := false
+	for _, tr := range ts {
+		if tr.Key() == wantKey {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("use-case path %s is not an enumerable transaction", wantKey)
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "Product")
+	out, err := p.Invoke("ShowAttributes", nil)
+	if err != nil || !strings.Contains(out[0].MustString(), `name="unnamed"`) {
+		t.Errorf("default attrs = %v, %v", out, err)
+	}
+	prov := f.DB().AddProvider("acme")
+	p2 := newTestProduct(t, f, "ProductFull",
+		domain.Int(5), domain.Str("bolt"), domain.Float(2.5), domain.Pointer(prov))
+	out, err = p2.Invoke("ShowAttributes", nil)
+	if err != nil || !strings.Contains(out[0].MustString(), `name="bolt" qty=5 price=2.50`) {
+		t.Errorf("full attrs = %v, %v", out, err)
+	}
+	p3 := newTestProduct(t, f, "ProductNamed", domain.Str("nut"))
+	out, err = p3.Invoke("ShowAttributes", nil)
+	if err != nil || !strings.Contains(out[0].MustString(), `name="nut"`) {
+		t.Errorf("named attrs = %v, %v", out, err)
+	}
+	// Nil provider accepted.
+	p4 := newTestProduct(t, f, "ProductFull",
+		domain.Int(5), domain.Str("x"), domain.Float(1), domain.Nil())
+	if err := p4.InvariantTest(); err != nil {
+		t.Errorf("nil-provider invariant: %v", err)
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	f := NewFactory()
+	cases := []struct {
+		name string
+		ctor string
+		args []domain.Value
+	}{
+		{"unknown ctor", "Nope", nil},
+		{"default with args", "Product", []domain.Value{domain.Int(1)}},
+		{"qty too low", "ProductFull", []domain.Value{domain.Int(0), domain.Str("x"), domain.Float(1), domain.Nil()}},
+		{"qty too high", "ProductFull", []domain.Value{domain.Int(100000), domain.Str("x"), domain.Float(1), domain.Nil()}},
+		{"empty name", "ProductFull", []domain.Value{domain.Int(1), domain.Str(""), domain.Float(1), domain.Nil()}},
+		{"long name", "ProductFull", []domain.Value{domain.Int(1), domain.Str(strings.Repeat("x", 31)), domain.Float(1), domain.Nil()}},
+		{"price zero", "ProductFull", []domain.Value{domain.Int(1), domain.Str("x"), domain.Float(0), domain.Nil()}},
+		{"price high", "ProductFull", []domain.Value{domain.Int(1), domain.Str("x"), domain.Float(10001), domain.Nil()}},
+		{"named empty", "ProductNamed", []domain.Value{domain.Str("")}},
+		{"bad provider type", "ProductFull", []domain.Value{domain.Int(1), domain.Str("x"), domain.Float(1), domain.Pointer(&struct{}{})}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := f.New(tc.ctor, tc.args); err == nil {
+				t.Error("constructor should fail")
+			}
+		})
+	}
+}
+
+func TestUpdateMethods(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "Product")
+	if _, err := p.Invoke("UpdateName", []domain.Value{domain.Str("gear")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("UpdateQty", []domain.Value{domain.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("UpdatePrice", []domain.Value{domain.Float(3.25)}); err != nil {
+		t.Fatal(err)
+	}
+	prov := f.DB().AddProvider("acme")
+	if _, err := p.Invoke("UpdateProv", []domain.Value{domain.Pointer(prov)}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Invoke("ShowAttributes", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := out[0].MustString()
+	for _, want := range []string{`name="gear"`, "qty=7", "price=3.25", "acme"} {
+		if !strings.Contains(attrs, want) {
+			t.Errorf("attrs %q missing %q", attrs, want)
+		}
+	}
+	// Clearing the provider with nil.
+	if _, err := p.Invoke("UpdateProv", []domain.Value{domain.Nil()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.InvariantTest(); err != nil {
+		t.Errorf("invariant: %v", err)
+	}
+}
+
+func TestUpdatePreconditions(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "Product")
+	cases := []struct {
+		method string
+		arg    domain.Value
+	}{
+		{"UpdateQty", domain.Int(0)},
+		{"UpdateQty", domain.Int(MaxQty + 1)},
+		{"UpdateName", domain.Str("")},
+		{"UpdateName", domain.Str(strings.Repeat("y", 31))},
+		{"UpdatePrice", domain.Float(0)},
+		{"UpdatePrice", domain.Float(10001)},
+	}
+	for _, tc := range cases {
+		_, err := p.Invoke(tc.method, []domain.Value{tc.arg})
+		if !errors.Is(err, &bit.Violation{Kind: bit.KindPrecondition}) {
+			t.Errorf("%s(%v) err = %v, want precondition violation", tc.method, tc.arg, err)
+		}
+	}
+	// Bad provider type is a plain error, not a violation.
+	if _, err := p.Invoke("UpdateProv", []domain.Value{domain.Pointer(&struct{}{})}); err == nil || errors.Is(err, bit.ErrViolation) {
+		t.Errorf("bad provider err = %v", err)
+	}
+}
+
+func TestStockLifecycle(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "ProductNamed", domain.Str("widget"))
+	// Remove before insert: observable not-found error.
+	if _, err := p.Invoke("RemoveProduct", nil); !errors.Is(err, stockdb.ErrNotFound) {
+		t.Errorf("remove-before-insert err = %v", err)
+	}
+	if _, err := p.Invoke("InsertProduct", nil); err != nil {
+		t.Fatalf("InsertProduct: %v", err)
+	}
+	if f.DB().Count() != 1 {
+		t.Errorf("db count = %d", f.DB().Count())
+	}
+	// Duplicate insert.
+	if _, err := p.Invoke("InsertProduct", nil); !errors.Is(err, stockdb.ErrDuplicate) {
+		t.Errorf("duplicate insert err = %v", err)
+	}
+	out, err := p.Invoke("RemoveProduct", nil)
+	if err != nil || out[0].MustString() != "widget" {
+		t.Errorf("RemoveProduct = %v, %v", out, err)
+	}
+	if f.DB().Count() != 0 {
+		t.Errorf("db count after remove = %d", f.DB().Count())
+	}
+}
+
+func TestReporter(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "ProductNamed", domain.Str("widget"))
+	var sb strings.Builder
+	if err := p.Reporter(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `Product{name: "widget"`) {
+		t.Errorf("report = %q", sb.String())
+	}
+	if !strings.Contains(sb.String(), "stocked: false") {
+		t.Errorf("report should show stock state: %q", sb.String())
+	}
+	if _, err := p.Invoke("InsertProduct", nil); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if err := p.Reporter(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "stocked: true") {
+		t.Errorf("report after insert: %q", sb.String())
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	f := NewFactory()
+	p := newTestProduct(t, f, "Product")
+	if err := p.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke("ShowAttributes", nil); !errors.Is(err, component.ErrDestroyed) {
+		t.Errorf("post-destroy err = %v", err)
+	}
+}
+
+func TestGeneratedSuiteRunsClean(t *testing.T) {
+	f := NewFactory()
+	suite, err := driver.Generate(Spec(), driver.Options{
+		Seed: 42, ExpandAlternatives: true, MaxAlternatives: 4,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if suite.Stats().Holes == 0 {
+		t.Error("Product suite should contain structured-parameter holes (prv)")
+	}
+	rep, err := testexec.Run(suite, f, testexec.Options{
+		Providers: f.Providers(),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !rep.AllPassed() {
+		fails := rep.Failures()
+		n := 3
+		if len(fails) < n {
+			n = len(fails)
+		}
+		t.Fatalf("%d cases failed; first: %+v", len(fails), fails[:n])
+	}
+}
+
+func TestGeneratedSuiteWithoutProvidersStillRuns(t *testing.T) {
+	// prv parameters are nullable, so without providers the holes complete
+	// to nil — the paper's manual-completion default for optional pointers.
+	f := NewFactory()
+	suite, err := driver.Generate(Spec(), driver.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := testexec.Run(suite, f, testexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("failures: %+v", rep.Failures())
+	}
+}

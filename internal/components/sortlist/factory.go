@@ -1,0 +1,286 @@
+package sortlist
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"concat/internal/component"
+	"concat/internal/components/oblist"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+	"concat/internal/tspec"
+)
+
+// Name is the component (class) name.
+const Name = "SortableObList"
+
+// Instance adapts a SortableObList to the component runtime.
+type Instance struct {
+	*SortableObList
+	disp      component.Dispatcher
+	destroyed bool
+}
+
+var _ component.Instance = (*Instance)(nil)
+
+// NewInstance wraps a sortable list for the test runtime: the inherited
+// method set is wired first, then the subclass's redefinitions and new
+// methods replace/extend it — the dispatch analog of C++ overriding.
+func NewInstance(s *SortableObList) *Instance {
+	inst := &Instance{SortableObList: s}
+	oblist.RegisterListMethods(&inst.disp, s.List())
+	// Redefined mutators: same contract, subclass implementation.
+	inst.disp.Register("SetAt", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("SetAt", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, s.SetAt(args[0].MustInt(), args[1])
+	})
+	inst.disp.Register("InsertBefore", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("InsertBefore", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, s.InsertBefore(args[0].MustInt(), args[1])
+	})
+	inst.disp.Register("InsertAfter", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("InsertAfter", args, domain.KindInt, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return nil, s.InsertAfter(args[0].MustInt(), args[1])
+	})
+	// New methods.
+	inst.disp.Register("Sort1", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Sort1", args); err != nil {
+			return nil, err
+		}
+		return nil, s.Sort1()
+	})
+	inst.disp.Register("Sort2", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Sort2", args); err != nil {
+			return nil, err
+		}
+		return nil, s.Sort2()
+	})
+	inst.disp.Register("ShellSort", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("ShellSort", args); err != nil {
+			return nil, err
+		}
+		return nil, s.ShellSort()
+	})
+	inst.disp.Register("FindMax", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("FindMax", args); err != nil {
+			return nil, err
+		}
+		v, err := s.FindMax()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	inst.disp.Register("FindMin", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("FindMin", args); err != nil {
+			return nil, err
+		}
+		v, err := s.FindMin()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{v}, nil
+	})
+	return inst
+}
+
+// Invoke implements component.Instance.
+func (i *Instance) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if i.destroyed {
+		return nil, fmt.Errorf("%w: %s", component.ErrDestroyed, Name)
+	}
+	return i.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (i *Instance) Destroy() error {
+	i.RemoveAll()
+	i.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable: the inherited structural
+// invariant plus the subclass's modification-counter consistency.
+func (i *Instance) InvariantTest() error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	if err := i.CheckInvariant(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Reporter implements bit.SelfTestable.
+func (i *Instance) Reporter(w io.Writer) error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	return i.WriteReport(w, Name)
+}
+
+// Factory builds SortableObList instances.
+type Factory struct {
+	eng *mutation.Engine
+}
+
+var _ component.Factory = (*Factory)(nil)
+
+// NewFactory returns a production factory.
+func NewFactory() *Factory { return &Factory{} }
+
+// NewFactoryWithEngine attaches a mutation engine to all built instances.
+func NewFactoryWithEngine(eng *mutation.Engine) *Factory { return &Factory{eng: eng} }
+
+// Name implements component.Factory.
+func (f *Factory) Name() string { return Name }
+
+// Spec implements component.Factory.
+func (f *Factory) Spec() *tspec.Spec { return Spec() }
+
+// New implements component.Factory.
+func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	switch ctor {
+	case "SortableObList":
+		if err := component.WantArgs(ctor, args); err != nil {
+			return nil, err
+		}
+		return NewInstance(NewSortableObList(10, f.eng)), nil
+	case "SortableObListSized":
+		if err := component.WantArgs(ctor, args, domain.KindInt); err != nil {
+			return nil, err
+		}
+		return NewInstance(NewSortableObList(args[0].MustInt(), f.eng)), nil
+	default:
+		return nil, fmt.Errorf("sortlist: unknown constructor %q", ctor)
+	}
+}
+
+var specOnce = sync.OnceValue(buildSpec)
+
+// Spec returns the component's embedded t-spec (shared, treat as read-only).
+func Spec() *tspec.Spec { return specOnce() }
+
+// buildSpec declares the subclass interface: the inherited CObList methods
+// (same node IDs as the parent model, so shared transactions carry the same
+// keys and parent test cases can be matched for reuse), the three redefined
+// mutators, and the five new methods on two new nodes.
+func buildSpec() *tspec.Spec {
+	elem := tspec.RangeInt(0, 999)
+	idx := tspec.RangeInt(0, 5)
+	return tspec.NewBuilder(Name).
+		Extends(oblist.Name).
+		Attribute("count", tspec.RangeInt(0, 1_000_000)).
+		Attribute("blockSize", tspec.RangeInt(1, 1_000)).
+		Attribute("mods", tspec.RangeInt(0, 1_000_000)). // new in the subclass
+		Method("m1", "SortableObList", "", tspec.CatConstructor).
+		Method("m2", "SortableObListSized", "", tspec.CatConstructor).
+		Param("blockSize", tspec.RangeInt(1, 64)).
+		Uses("blockSize").
+		Method("m3", "~SortableObList", "", tspec.CatDestructor).
+		Method("m4", "AddHead", "", tspec.CatUpdate).
+		Param("v", elem).
+		Uses("count").
+		Method("m5", "AddTail", "", tspec.CatUpdate).
+		Param("v", elem).
+		Uses("count").
+		Method("m6", "RemoveHead", "int", tspec.CatUpdate).
+		Uses("count").
+		Method("m7", "RemoveTail", "int", tspec.CatUpdate).
+		Uses("count").
+		Method("m8", "GetHead", "int", tspec.CatAccess).
+		Method("m9", "GetTail", "int", tspec.CatAccess).
+		Method("m10", "GetCount", "int", tspec.CatAccess).
+		Uses("count").
+		Method("m11", "IsEmpty", "bool", tspec.CatAccess).
+		Uses("count").
+		Method("m12", "GetAt", "int", tspec.CatAccess).
+		Param("i", idx).
+		Method("m13", "SetAt", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Uses("mods").
+		Method("m14", "RemoveAt", "int", tspec.CatUpdate).
+		Param("i", idx).
+		Uses("count").
+		Method("m15", "InsertBefore", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Uses("count", "mods").
+		Method("m16", "InsertAfter", "", tspec.CatUpdate).
+		Param("i", idx).
+		Param("v", elem).
+		Uses("count", "mods").
+		Method("m17", "Find", "int", tspec.CatAccess).
+		Param("v", elem).
+		Method("m18", "RemoveAll", "", tspec.CatUpdate).
+		Uses("count").
+		// New methods of the subclass (experiment 1 targets).
+		Method("m19", "Sort1", "", tspec.CatUpdate).
+		Uses("count").
+		Method("m20", "Sort2", "", tspec.CatUpdate).
+		Uses("count").
+		Method("m21", "ShellSort", "", tspec.CatUpdate).
+		Uses("count").
+		Method("m22", "FindMax", "int", tspec.CatAccess).
+		Method("m23", "FindMin", "int", tspec.CatAccess).
+		Redefines("SetAt", "InsertBefore", "InsertAfter").
+		// Transaction flow model: the parent's shape (same node IDs) plus
+		// n11 (sorts) and n12 (finds).
+		Node("n1", true, "m1", "m2").
+		Node("n2", false, "m4", "m5").
+		Node("n3", false, "m6", "m7").
+		Node("n4", false, "m8", "m9", "m10", "m11").
+		Node("n5", false, "m12", "m17").
+		Node("n6", false, "m13").
+		Node("n7", false, "m15", "m16").
+		Node("n8", false, "m14").
+		Node("n9", false, "m18").
+		Node("n10", false, "m3").
+		Node("n11", false, "m19", "m20", "m21").
+		Node("n12", false, "m22", "m23").
+		Edge("n1", "n2").
+		Edge("n1", "n4").
+		Edge("n1", "n10").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n2", "n5").
+		Edge("n2", "n6").
+		Edge("n2", "n7").
+		Edge("n2", "n8").
+		Edge("n2", "n9").
+		Edge("n3", "n4").
+		Edge("n3", "n10").
+		Edge("n5", "n6").
+		Edge("n5", "n10").
+		Edge("n6", "n8").
+		Edge("n6", "n10").
+		Edge("n7", "n8").
+		Edge("n8", "n9").
+		Edge("n8", "n4").
+		Edge("n8", "n10").
+		Edge("n9", "n10").
+		Edge("n4", "n10").
+		// Subclass additions. The sorting use cases the subclass exists for
+		// are create -> populate -> sort/find -> inspect -> destroy; they do
+		// not interleave with the positional update/remove activities, which
+		// keeps the inherited interaction transactions in the skip class —
+		// the situation experiment 2 (Table 3) measures.
+		Edge("n2", "n11").
+		Edge("n2", "n12").
+		Edge("n11", "n4").
+		Edge("n11", "n5").
+		Edge("n11", "n12").
+		Edge("n11", "n10").
+		Edge("n12", "n4").
+		Edge("n12", "n10").
+		MustBuild()
+}

@@ -1,0 +1,389 @@
+// Package sortlist re-implements the second experimental subject of the
+// paper's §4: CSortableObList, an ordered linked list derived from CObList
+// "obtained through the Internet". It embeds oblist.ObList (embedding plays
+// the C++ inheritance role) and adds the five methods the paper mutates in
+// experiment 1 (Table 2): Sort1, Sort2, ShellSort, FindMax and FindMin.
+//
+// The subclass also redefines three positional mutators (SetAt,
+// InsertBefore, InsertAfter) without changing their specification — they
+// additionally maintain a modification counter that invalidates the cached
+// sort state. This is what makes the hierarchical incremental technique of
+// §3.4.2 produce all three transaction classes: transactions with the new
+// sort/find methods are regenerated, transactions touching the redefined
+// mutators reuse parent cases, and inherited-only transactions are skipped —
+// the skip class being exactly what experiment 2 (Table 3) measures the
+// price of.
+package sortlist
+
+import (
+	"errors"
+	"fmt"
+
+	"concat/internal/bit"
+	"concat/internal/components/oblist"
+	"concat/internal/domain"
+	"concat/internal/mutation"
+)
+
+// ErrEmpty is returned by FindMax/FindMin on an empty list.
+var ErrEmpty = errors.New("sortlist: list is empty")
+
+// errIterationBound models a mutant driving a loop beyond any legitimate
+// bound: the paper's testbed would hang and be killed by timeout; here the
+// component panics, which the executor records as a crash kill.
+func iterationBoundExceeded(method string) {
+	panic(fmt.Sprintf("sortlist: %s exceeded its iteration bound (runaway mutant)", method))
+}
+
+// SortableObList is the derived list. The embedded ObList supplies the
+// inherited methods and the BIT machinery.
+type SortableObList struct {
+	oblist.ObList
+	// mods counts state modifications made through the redefined mutators;
+	// it invalidates the sorted hint. It is the subclass's own attribute.
+	mods int64
+	// sortedHint caches whether the last operation left the list sorted.
+	sortedHint bool
+}
+
+// NewSortableObList creates an empty sortable list; eng may be nil.
+func NewSortableObList(blockSize int64, eng *mutation.Engine) *SortableObList {
+	s := &SortableObList{}
+	s.ObList.Init(blockSize, eng)
+	return s
+}
+
+// List exposes the embedded base list.
+func (s *SortableObList) List() *oblist.ObList { return &s.ObList }
+
+// Mods returns the modification counter maintained by the redefined methods.
+func (s *SortableObList) Mods() int64 { return s.mods }
+
+// SortedHint reports the cached sort state.
+func (s *SortableObList) SortedHint() bool { return s.sortedHint }
+
+// use routes an instrumented use through the engine with the subclass's
+// candidate environment (globals: count and mods).
+func (s *SortableObList) use(site mutation.SiteID, v domain.Value, locals map[string]domain.Value) domain.Value {
+	eng := s.Engine()
+	if eng == nil || !eng.Armed() {
+		return v
+	}
+	return eng.Use(site, v, mutation.Env{
+		Locals: locals,
+		Globals: map[string]domain.Value{
+			"count": domain.Int(s.GetCount()),
+			"mods":  domain.Int(s.mods),
+		},
+		Externals: map[string]domain.Value{
+			"auditSeq": domain.Int(7),
+		},
+	})
+}
+
+func (s *SortableObList) useInt(site mutation.SiteID, v int64, locals map[string]domain.Value) int64 {
+	out := s.use(site, domain.Int(v), locals)
+	n, err := out.AsInt()
+	if err != nil {
+		return v
+	}
+	return n
+}
+
+// --- redefined mutators (specification unchanged; see package comment) ---
+
+// SetAt redefines the base method: same contract, plus sort-state upkeep.
+func (s *SortableObList) SetAt(i int64, v domain.Value) error {
+	if err := s.ObList.SetAt(i, v); err != nil {
+		return err
+	}
+	s.mods++
+	s.sortedHint = false
+	return nil
+}
+
+// InsertBefore redefines the base method with sort-state upkeep.
+func (s *SortableObList) InsertBefore(i int64, v domain.Value) error {
+	if err := s.ObList.InsertBefore(i, v); err != nil {
+		return err
+	}
+	s.mods++
+	s.sortedHint = false
+	return nil
+}
+
+// InsertAfter redefines the base method with sort-state upkeep.
+func (s *SortableObList) InsertAfter(i int64, v domain.Value) error {
+	if err := s.ObList.InsertAfter(i, v); err != nil {
+		return err
+	}
+	s.mods++
+	s.sortedHint = false
+	return nil
+}
+
+// --- the five new methods of experiment 1 (Table 2) ---
+
+// Sort1 sorts the list with insertion sort. It is the richest instrumented
+// method, mirroring its dominant mutant count in Table 2.
+func (s *SortableObList) Sort1() error {
+	vals := s.Values()
+	n := s.useInt("Sort1/n", int64(len(vals)), nil)
+	n = clampLen(n, len(vals))
+	budget := int64(len(vals))*int64(len(vals)) + 16
+	for i := int64(1); i < n; i++ {
+		i = s.useInt("Sort1/i", i, map[string]domain.Value{"n": domain.Int(n)})
+		if i < 1 || i >= int64(len(vals)) {
+			break
+		}
+		key := s.use("Sort1/key", vals[i], map[string]domain.Value{
+			"n": domain.Int(n), "i": domain.Int(i),
+		})
+		j := i - 1
+		for j >= 0 {
+			if budget--; budget < 0 {
+				iterationBoundExceeded("Sort1")
+			}
+			j = s.useInt("Sort1/j", j, map[string]domain.Value{
+				"n": domain.Int(n), "i": domain.Int(i), "key": key,
+			})
+			if j < 0 || j >= int64(len(vals)) {
+				break
+			}
+			c, err := vals[j].Compare(key)
+			if err != nil {
+				return fmt.Errorf("sortlist: Sort1 comparing %v with %v: %w", vals[j], key, err)
+			}
+			if c <= 0 {
+				break
+			}
+			vals[j+1] = vals[j]
+			j--
+		}
+		slot := s.useInt("Sort1/slot", j+1, map[string]domain.Value{
+			"n": domain.Int(n), "i": domain.Int(i), "j": domain.Int(j),
+		})
+		if slot < 0 || slot >= int64(len(vals)) {
+			iterationBoundExceeded("Sort1")
+		}
+		vals[slot] = key
+	}
+	s.SetValues(vals)
+	s.sortedHint = true
+	return s.postSorted("Sort1", vals)
+}
+
+// Sort2 sorts the list with selection sort.
+func (s *SortableObList) Sort2() error {
+	vals := s.Values()
+	n := int64(len(vals))
+	budget := n*n + 16
+	for i := int64(0); i+1 < n; i++ {
+		minIdx := s.useInt("Sort2/minIdx", i, map[string]domain.Value{"i": domain.Int(i)})
+		if minIdx < 0 || minIdx >= n {
+			iterationBoundExceeded("Sort2")
+		}
+		for j := i + 1; j < n; j++ {
+			if budget--; budget < 0 {
+				iterationBoundExceeded("Sort2")
+			}
+			c, err := vals[j].Compare(vals[minIdx])
+			if err != nil {
+				return fmt.Errorf("sortlist: Sort2 comparing: %w", err)
+			}
+			if c < 0 {
+				minIdx = j
+			}
+		}
+		swapTo := s.useInt("Sort2/swapTo", i, map[string]domain.Value{
+			"i": domain.Int(i), "minIdx": domain.Int(minIdx),
+		})
+		if swapTo < 0 || swapTo >= n {
+			iterationBoundExceeded("Sort2")
+		}
+		vals[swapTo], vals[minIdx] = vals[minIdx], vals[swapTo]
+	}
+	s.SetValues(vals)
+	s.sortedHint = true
+	return s.postSorted("Sort2", vals)
+}
+
+// ShellSort sorts the list with Shell's method (gap sequence n/2, n/4, ...).
+func (s *SortableObList) ShellSort() error {
+	vals := s.Values()
+	n := int64(len(vals))
+	budget := n*n*4 + 64
+	gap := s.useInt("ShellSort/gap0", n/2, nil)
+	if gap < 0 || gap > n {
+		gap = n / 2
+	}
+	for ; gap > 0; gap /= 2 {
+		if budget--; budget < 0 {
+			iterationBoundExceeded("ShellSort")
+		}
+		gap = s.useInt("ShellSort/gap", gap, map[string]domain.Value{"n": domain.Int(n)})
+		if gap <= 0 || gap > n {
+			break
+		}
+		for i := gap; i < n; i++ {
+			if budget--; budget < 0 {
+				iterationBoundExceeded("ShellSort")
+			}
+			temp := s.use("ShellSort/temp", vals[i], map[string]domain.Value{
+				"gap": domain.Int(gap), "i": domain.Int(i),
+			})
+			j := i
+			for j >= gap {
+				if budget--; budget < 0 {
+					iterationBoundExceeded("ShellSort")
+				}
+				c, err := vals[j-gap].Compare(temp)
+				if err != nil {
+					return fmt.Errorf("sortlist: ShellSort comparing: %w", err)
+				}
+				if c <= 0 {
+					break
+				}
+				vals[j] = vals[j-gap]
+				j -= gap
+			}
+			vals[j] = temp
+		}
+	}
+	s.SetValues(vals)
+	s.sortedHint = true
+	return s.postSorted("ShellSort", vals)
+}
+
+// FindMax returns the largest element.
+func (s *SortableObList) FindMax() (domain.Value, error) {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return domain.Value{}, ErrEmpty
+	}
+	best := s.use("FindMax/best", vals[0], nil)
+	budget := int64(len(vals))*2 + 16
+	for i := int64(1); i < int64(len(vals)); i++ {
+		if budget--; budget < 0 {
+			iterationBoundExceeded("FindMax")
+		}
+		i = s.useInt("FindMax/i", i, map[string]domain.Value{"best": best})
+		if i < 1 || i >= int64(len(vals)) {
+			break
+		}
+		c, err := vals[i].Compare(best)
+		if err != nil {
+			return domain.Value{}, fmt.Errorf("sortlist: FindMax comparing: %w", err)
+		}
+		if c > 0 {
+			best = vals[i]
+		}
+	}
+	out := s.use("FindMax/out", best, nil)
+	return out, nil
+}
+
+// FindMin returns the smallest element.
+func (s *SortableObList) FindMin() (domain.Value, error) {
+	vals := s.Values()
+	if len(vals) == 0 {
+		return domain.Value{}, ErrEmpty
+	}
+	best := s.use("FindMin/best", vals[0], nil)
+	budget := int64(len(vals))*2 + 16
+	for i := int64(1); i < int64(len(vals)); i++ {
+		if budget--; budget < 0 {
+			iterationBoundExceeded("FindMin")
+		}
+		i = s.useInt("FindMin/i", i, map[string]domain.Value{"best": best})
+		if i < 1 || i >= int64(len(vals)) {
+			break
+		}
+		c, err := vals[i].Compare(best)
+		if err != nil {
+			return domain.Value{}, fmt.Errorf("sortlist: FindMin comparing: %w", err)
+		}
+		if c < 0 {
+			best = vals[i]
+		}
+	}
+	out := s.use("FindMin/out", best, nil)
+	return out, nil
+}
+
+// postSorted is the sort postcondition: the stored list is ordered and the
+// element count is unchanged. A violated postcondition is an assertion kill
+// in the mutation analysis (the paper observed 59 of 652 kills from
+// assertion violations).
+func (s *SortableObList) postSorted(method string, input []domain.Value) error {
+	stored := s.Values()
+	if err := bit.PostCondition(len(stored) == len(input), method, "count unchanged"); err != nil {
+		return err
+	}
+	for i := 0; i+1 < len(stored); i++ {
+		c, err := stored[i].Compare(stored[i+1])
+		if err != nil {
+			return fmt.Errorf("sortlist: %s postcondition comparing: %w", method, err)
+		}
+		if err := bit.PostCondition(c <= 0, method, "list is ordered"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clampLen(v int64, n int) int64 {
+	if v < 0 {
+		return 0
+	}
+	if v > int64(n) {
+		return int64(n)
+	}
+	return v
+}
+
+// Sites returns the mutation site table for the five subclass methods — the
+// paper's Table 2 targets.
+func Sites() []mutation.Site {
+	ext := []string{"auditSeq"}
+	glob := []string{"count", "mods"}
+	return []mutation.Site{
+		// Sort1: 5 sites.
+		{ID: "Sort1/n", Method: "Sort1", Var: "n", Kind: domain.KindInt,
+			Locals: []string{"i", "j", "key"}, Globals: glob, Externals: ext},
+		{ID: "Sort1/i", Method: "Sort1", Var: "i", Kind: domain.KindInt,
+			Locals: []string{"n", "j", "key"}, Globals: glob, Externals: ext},
+		{ID: "Sort1/key", Method: "Sort1", Var: "key", Kind: domain.KindInt,
+			Locals: []string{"n", "i", "j"}, Globals: glob, Externals: ext},
+		{ID: "Sort1/j", Method: "Sort1", Var: "j", Kind: domain.KindInt,
+			Locals: []string{"n", "i", "key"}, Globals: glob, Externals: ext},
+		{ID: "Sort1/slot", Method: "Sort1", Var: "slot", Kind: domain.KindInt,
+			Locals: []string{"n", "i", "j", "key"}, Globals: glob, Externals: ext},
+		// Sort2: 2 sites.
+		{ID: "Sort2/minIdx", Method: "Sort2", Var: "minIdx", Kind: domain.KindInt,
+			Locals: []string{"i", "j", "swapTo"}, Globals: glob, Externals: ext},
+		{ID: "Sort2/swapTo", Method: "Sort2", Var: "swapTo", Kind: domain.KindInt,
+			Locals: []string{"i", "j", "minIdx"}, Globals: glob, Externals: ext},
+		// ShellSort: 3 sites.
+		{ID: "ShellSort/gap0", Method: "ShellSort", Var: "gap", Kind: domain.KindInt,
+			Locals: []string{"i", "j", "temp"}, Globals: glob, Externals: ext},
+		{ID: "ShellSort/gap", Method: "ShellSort", Var: "gap", Kind: domain.KindInt,
+			Locals: []string{"n", "i", "j", "temp"}, Globals: glob, Externals: ext},
+		{ID: "ShellSort/temp", Method: "ShellSort", Var: "temp", Kind: domain.KindInt,
+			Locals: []string{"n", "gap", "i", "j"}, Globals: glob, Externals: ext},
+		// FindMax: 3 sites.
+		{ID: "FindMax/best", Method: "FindMax", Var: "best", Kind: domain.KindInt,
+			Locals: []string{"i"}, Globals: glob, Externals: ext},
+		{ID: "FindMax/i", Method: "FindMax", Var: "i", Kind: domain.KindInt,
+			Locals: []string{"best"}, Globals: glob, Externals: ext},
+		{ID: "FindMax/out", Method: "FindMax", Var: "out", Kind: domain.KindInt,
+			Locals: []string{"best", "i"}, Globals: glob, Externals: ext},
+		// FindMin: 3 sites.
+		{ID: "FindMin/best", Method: "FindMin", Var: "best", Kind: domain.KindInt,
+			Locals: []string{"i"}, Globals: glob, Externals: ext},
+		{ID: "FindMin/i", Method: "FindMin", Var: "i", Kind: domain.KindInt,
+			Locals: []string{"best"}, Globals: glob, Externals: ext},
+		{ID: "FindMin/out", Method: "FindMin", Var: "out", Kind: domain.KindInt,
+			Locals: []string{"best", "i"}, Globals: glob, Externals: ext},
+	}
+}

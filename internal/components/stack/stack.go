@@ -1,0 +1,284 @@
+// Package stack implements the paper's third reuse mechanism (§2.1):
+// reuse by parameterization. The component is a generic (template) class,
+// Stack[T]; its t-spec is a template too, instantiated per element type.
+// The paper's rule for template classes — "it is necessary that the tester
+// indicate a set of possible types that he/she wants to use to create an
+// instance of that class" (§3.4.1) — becomes: the tester picks element
+// domains, Instantiate builds one self-testable component per choice, and
+// the same transaction flow model drives them all.
+package stack
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/tspec"
+)
+
+// ErrEmpty is returned by Pop/Top on an empty stack.
+var ErrEmpty = errors.New("stack: empty")
+
+// MaxDepth bounds the stack; pushing beyond it is an observable error.
+const MaxDepth = 64
+
+// Stack is the generic LIFO component core. T is the element type the
+// tester instantiates.
+type Stack[T any] struct {
+	bit.Base
+	items []T
+}
+
+// Push appends an element.
+func (s *Stack[T]) Push(v T) error {
+	if len(s.items) >= MaxDepth {
+		return fmt.Errorf("stack: push beyond depth %d", MaxDepth)
+	}
+	s.items = append(s.items, v)
+	return nil
+}
+
+// Pop removes and returns the top element.
+func (s *Stack[T]) Pop() (T, error) {
+	var zero T
+	if len(s.items) == 0 {
+		return zero, ErrEmpty
+	}
+	v := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v, nil
+}
+
+// Top returns the top element without removing it.
+func (s *Stack[T]) Top() (T, error) {
+	var zero T
+	if len(s.items) == 0 {
+		return zero, ErrEmpty
+	}
+	return s.items[len(s.items)-1], nil
+}
+
+// Size returns the element count.
+func (s *Stack[T]) Size() int { return len(s.items) }
+
+// Clear empties the stack.
+func (s *Stack[T]) Clear() { s.items = nil }
+
+// CheckInvariant verifies the class invariant: 0 <= size <= MaxDepth.
+func (s *Stack[T]) CheckInvariant() error {
+	if err := bit.ClassInvariant(len(s.items) >= 0, "InvariantTest", "size >= 0"); err != nil {
+		return err
+	}
+	return bit.ClassInvariant(len(s.items) <= MaxDepth, "InvariantTest", "size <= MaxDepth")
+}
+
+// Instantiation binds the generic component to one element type: the
+// conversions between domain.Value and T, and the element domain the
+// t-spec declares. This is the tester's "indicated type" of §3.4.1.
+type Instantiation[T any] struct {
+	// Name is the instantiated component name, e.g. "StackOfInt".
+	Name string
+	// Elem is the declared element domain.
+	Elem tspec.DomainDecl
+	// FromValue converts a generated argument into the element type.
+	FromValue func(domain.Value) (T, error)
+	// ToValue converts an element into an observable result value.
+	ToValue func(T) domain.Value
+}
+
+// Instance adapts one instantiated stack to the component runtime.
+type Instance[T any] struct {
+	*Stack[T]
+	inst      Instantiation[T]
+	disp      component.Dispatcher
+	destroyed bool
+}
+
+var _ component.Instance = (*Instance[int64])(nil)
+
+func newInstance[T any](inst Instantiation[T]) *Instance[T] {
+	i := &Instance[T]{Stack: &Stack[T]{}, inst: inst}
+	i.disp.Register("Push", func(args []domain.Value) ([]domain.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("component: Push expects 1 argument, got %d", len(args))
+		}
+		v, err := inst.FromValue(args[0])
+		if err != nil {
+			return nil, fmt.Errorf("stack: Push: %w", err)
+		}
+		if err := i.Push(v); err != nil {
+			return nil, err
+		}
+		return []domain.Value{domain.Int(int64(i.Size()))}, nil
+	})
+	i.disp.Register("Pop", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Pop", args); err != nil {
+			return nil, err
+		}
+		v, err := i.Pop()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{inst.ToValue(v)}, nil
+	})
+	i.disp.Register("Top", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Top", args); err != nil {
+			return nil, err
+		}
+		v, err := i.Top()
+		if err != nil {
+			return nil, err
+		}
+		return []domain.Value{inst.ToValue(v)}, nil
+	})
+	i.disp.Register("Size", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Size", args); err != nil {
+			return nil, err
+		}
+		return []domain.Value{domain.Int(int64(i.Size()))}, nil
+	})
+	i.disp.Register("Clear", func(args []domain.Value) ([]domain.Value, error) {
+		if err := component.WantArgs("Clear", args); err != nil {
+			return nil, err
+		}
+		i.Clear()
+		return nil, nil
+	})
+	return i
+}
+
+// Invoke implements component.Instance.
+func (i *Instance[T]) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if i.destroyed {
+		return nil, fmt.Errorf("%w: %s", component.ErrDestroyed, i.inst.Name)
+	}
+	return i.disp.Invoke(method, args)
+}
+
+// Destroy implements component.Instance.
+func (i *Instance[T]) Destroy() error {
+	i.Clear()
+	i.destroyed = true
+	return nil
+}
+
+// InvariantTest implements bit.SelfTestable.
+func (i *Instance[T]) InvariantTest() error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	return i.CheckInvariant()
+}
+
+// Reporter implements bit.SelfTestable.
+func (i *Instance[T]) Reporter(w io.Writer) error {
+	if err := i.Guard(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{size: %d}\n", i.inst.Name, i.Size())
+	return err
+}
+
+// Factory builds instances of one instantiation.
+type Factory[T any] struct {
+	inst Instantiation[T]
+	spec *tspec.Spec
+}
+
+var _ component.Factory = (*Factory[int64])(nil)
+
+// Instantiate builds the self-testable component for one element type:
+// factory plus instantiated t-spec.
+func Instantiate[T any](inst Instantiation[T]) (*Factory[T], error) {
+	if inst.Name == "" || inst.FromValue == nil || inst.ToValue == nil {
+		return nil, errors.New("stack: instantiation needs name and conversions")
+	}
+	spec, err := SpecFor(inst.Name, inst.Elem)
+	if err != nil {
+		return nil, err
+	}
+	return &Factory[T]{inst: inst, spec: spec}, nil
+}
+
+// Name implements component.Factory.
+func (f *Factory[T]) Name() string { return f.inst.Name }
+
+// Spec implements component.Factory.
+func (f *Factory[T]) Spec() *tspec.Spec { return f.spec }
+
+// New implements component.Factory. The single constructor carries the
+// instantiated component name.
+func (f *Factory[T]) New(ctor string, args []domain.Value) (component.Instance, error) {
+	if ctor != f.inst.Name {
+		return nil, fmt.Errorf("stack: unknown constructor %q", ctor)
+	}
+	if err := component.WantArgs(ctor, args); err != nil {
+		return nil, err
+	}
+	return newInstance(f.inst), nil
+}
+
+// SpecFor instantiates the t-spec template for one element domain: the
+// model is shared by every instantiation, only the Push parameter's domain
+// (and the class name) change.
+func SpecFor(name string, elem tspec.DomainDecl) (*tspec.Spec, error) {
+	return tspec.NewBuilder(name).
+		Attribute("size", tspec.RangeInt(0, MaxDepth)).
+		Method("m1", name, "", tspec.CatConstructor).
+		Method("m2", "~"+name, "", tspec.CatDestructor).
+		Method("m3", "Push", "int", tspec.CatUpdate).
+		Param("v", elem).
+		Uses("size").
+		Method("m4", "Pop", "elem", tspec.CatUpdate).
+		Uses("size").
+		Method("m5", "Top", "elem", tspec.CatAccess).
+		Method("m6", "Size", "int", tspec.CatAccess).
+		Uses("size").
+		Method("m7", "Clear", "", tspec.CatUpdate).
+		Uses("size").
+		Node("n1", true, "m1").
+		Node("n2", false, "m3").
+		Node("n3", false, "m4").
+		Node("n4", false, "m5", "m6").
+		Node("n5", false, "m7").
+		Node("n6", false, "m2").
+		Edge("n1", "n2").
+		Edge("n1", "n6").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		Edge("n2", "n4").
+		Edge("n2", "n5").
+		Edge("n2", "n6").
+		Edge("n3", "n4").
+		Edge("n3", "n6").
+		Edge("n4", "n6").
+		Edge("n5", "n6").
+		Build()
+}
+
+// IntStack is the int64 instantiation the examples and tests use.
+func IntStack() (*Factory[int64], error) {
+	return Instantiate(Instantiation[int64]{
+		Name: "StackOfInt",
+		Elem: tspec.RangeInt(0, 999),
+		FromValue: func(v domain.Value) (int64, error) {
+			return v.AsInt()
+		},
+		ToValue: domain.Int,
+	})
+}
+
+// StringStack is the string instantiation.
+func StringStack() (*Factory[string], error) {
+	return Instantiate(Instantiation[string]{
+		Name: "StackOfString",
+		Elem: tspec.StringsOf("alpha", "beta", "gamma"),
+		FromValue: func(v domain.Value) (string, error) {
+			return v.AsString()
+		},
+		ToValue: domain.Str,
+	})
+}

@@ -1,0 +1,197 @@
+package stack
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/testexec"
+	"concat/internal/tspec"
+)
+
+func intFactory(t *testing.T) *Factory[int64] {
+	t.Helper()
+	f, err := IntStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestGenericCoreBehaviour(t *testing.T) {
+	var s Stack[string]
+	if _, err := s.Pop(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Pop err = %v", err)
+	}
+	if _, err := s.Top(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Top err = %v", err)
+	}
+	if err := s.Push("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Push("b"); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := s.Top(); err != nil || v != "b" {
+		t.Errorf("Top = %q, %v", v, err)
+	}
+	if v, err := s.Pop(); err != nil || v != "b" {
+		t.Errorf("Pop = %q, %v", v, err)
+	}
+	if s.Size() != 1 {
+		t.Errorf("Size = %d", s.Size())
+	}
+	s.Clear()
+	if s.Size() != 0 {
+		t.Error("Clear left elements")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant: %v", err)
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	var s Stack[int]
+	for i := 0; i < MaxDepth; i++ {
+		if err := s.Push(i); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	if err := s.Push(999); err == nil {
+		t.Error("push beyond MaxDepth should fail")
+	}
+	if err := s.CheckInvariant(); err != nil {
+		t.Errorf("invariant at capacity: %v", err)
+	}
+}
+
+func TestLIFOProperty(t *testing.T) {
+	prop := func(vs []int64) bool {
+		var s Stack[int64]
+		if len(vs) > MaxDepth {
+			vs = vs[:MaxDepth]
+		}
+		for _, v := range vs {
+			if err := s.Push(v); err != nil {
+				return false
+			}
+		}
+		for i := len(vs) - 1; i >= 0; i-- {
+			got, err := s.Pop()
+			if err != nil || got != vs[i] {
+				return false
+			}
+		}
+		_, err := s.Pop()
+		return errors.Is(err, ErrEmpty)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstantiateValidation(t *testing.T) {
+	if _, err := Instantiate(Instantiation[int64]{}); err == nil {
+		t.Error("empty instantiation should fail")
+	}
+	if _, err := Instantiate(Instantiation[int64]{
+		Name:      "Bad",
+		Elem:      tspec.DomainDecl{}, // unbuildable domain
+		FromValue: func(v domain.Value) (int64, error) { return v.AsInt() },
+		ToValue:   domain.Int,
+	}); err == nil {
+		t.Error("unbuildable element domain should fail spec instantiation")
+	}
+}
+
+func TestInstantiationsShareTheModel(t *testing.T) {
+	fi := intFactory(t)
+	fs, err := StringStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi, err := fi.Spec().TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, err := fs.Spec().TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gi.Stats() != gs.Stats() {
+		t.Errorf("instantiated models differ: %v vs %v", gi.Stats(), gs.Stats())
+	}
+	// Only the element domain differs.
+	mi, _ := fi.Spec().MethodByName("Push")
+	ms, _ := fs.Spec().MethodByName("Push")
+	if mi.Params[0].Domain.Kind == ms.Params[0].Domain.Kind {
+		t.Error("instantiations should have different element domains")
+	}
+}
+
+func TestBothInstantiationsSelfTest(t *testing.T) {
+	fi := intFactory(t)
+	fs, err := StringStack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []component.Factory{fi, fs} {
+		suite, err := driver.Generate(f.Spec(), driver.Options{
+			Seed: 42, ExpandAlternatives: true, MaxAlternatives: 2,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		rep, err := testexec.Run(suite, f, testexec.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name(), err)
+		}
+		if !rep.AllPassed() {
+			t.Fatalf("%s failures: %+v", f.Name(), rep.Failures()[:1])
+		}
+	}
+}
+
+func TestInstanceLifecycle(t *testing.T) {
+	f := intFactory(t)
+	if _, err := f.New("Nope", nil); err == nil {
+		t.Error("wrong ctor name should fail")
+	}
+	inst, err := f.New("StackOfInt", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst.SetBITMode(bit.ModeTest)
+	if _, err := inst.Invoke("Push", []domain.Value{domain.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := inst.Invoke("Top", nil)
+	if err != nil || out[0].MustInt() != 7 {
+		t.Errorf("Top = %v, %v", out, err)
+	}
+	// Type mismatch through the generic boundary.
+	if _, err := inst.Invoke("Push", []domain.Value{domain.Str("x")}); err == nil {
+		t.Error("string push into int stack should fail")
+	}
+	var sb strings.Builder
+	if err := inst.Reporter(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "StackOfInt{size: 1}") {
+		t.Errorf("report = %q", sb.String())
+	}
+	if err := inst.InvariantTest(); err != nil {
+		t.Errorf("invariant: %v", err)
+	}
+	if err := inst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Invoke("Size", nil); !errors.Is(err, component.ErrDestroyed) {
+		t.Errorf("post-destroy err = %v", err)
+	}
+}

@@ -1,0 +1,441 @@
+package domain
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+)
+
+// ErrManualCompletion marks parameters the generator cannot fill
+// automatically. The paper (§3.4.1): "Structured type parameters (including
+// objects, arrays, and pointers) must be completed manually by the tester."
+var ErrManualCompletion = errors.New("domain: structured parameter requires manual completion")
+
+// A Domain is the declared value space of an attribute or parameter. Sample
+// draws one member using the supplied source of randomness; Contains answers
+// membership for oracle-side validation; Boundary enumerates the classic
+// boundary values used by the extended generation strategy.
+type Domain interface {
+	// Kind is the kind of values the domain produces.
+	Kind() Kind
+	// Sample draws a uniformly random member of the domain.
+	Sample(r *rand.Rand) (Value, error)
+	// Contains reports whether v is a member of the domain.
+	Contains(v Value) bool
+	// Boundary returns the domain's boundary values (may be empty).
+	Boundary() []Value
+	// Describe renders the domain in t-spec notation.
+	Describe() string
+}
+
+// IntRange is the t-spec `range` domain with inclusive limits.
+type IntRange struct {
+	Lo, Hi int64
+}
+
+var _ Domain = IntRange{}
+
+// NewIntRange validates and builds an inclusive integer range.
+func NewIntRange(lo, hi int64) (IntRange, error) {
+	if lo > hi {
+		return IntRange{}, fmt.Errorf("domain: range lower limit %d exceeds upper limit %d", lo, hi)
+	}
+	return IntRange{Lo: lo, Hi: hi}, nil
+}
+
+// Kind implements Domain.
+func (d IntRange) Kind() Kind { return KindInt }
+
+// Sample implements Domain.
+func (d IntRange) Sample(r *rand.Rand) (Value, error) {
+	if d.Lo > d.Hi {
+		return Value{}, fmt.Errorf("domain: invalid range [%d,%d]", d.Lo, d.Hi)
+	}
+	span := uint64(d.Hi - d.Lo)
+	if span == math.MaxUint64 {
+		return Int(int64(r.Uint64())), nil
+	}
+	return Int(d.Lo + int64(r.Uint64N(span+1))), nil
+}
+
+// Contains implements Domain.
+func (d IntRange) Contains(v Value) bool {
+	n, err := v.AsInt()
+	return err == nil && n >= d.Lo && n <= d.Hi
+}
+
+// Boundary implements Domain: lo, lo+1, mid, hi-1, hi (deduplicated).
+func (d IntRange) Boundary() []Value {
+	mid := d.Lo + (d.Hi-d.Lo)/2
+	return dedupValues([]Value{Int(d.Lo), Int(d.Lo + 1), Int(mid), Int(d.Hi - 1), Int(d.Hi)},
+		func(v Value) bool { return d.Contains(v) })
+}
+
+// Describe implements Domain.
+func (d IntRange) Describe() string { return fmt.Sprintf("range, %d, %d", d.Lo, d.Hi) }
+
+// FloatRange is a real-valued interval domain, closed at both ends.
+type FloatRange struct {
+	Lo, Hi float64
+}
+
+var _ Domain = FloatRange{}
+
+// NewFloatRange validates and builds a closed float interval.
+func NewFloatRange(lo, hi float64) (FloatRange, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return FloatRange{}, errors.New("domain: float range limit is NaN")
+	}
+	if lo > hi {
+		return FloatRange{}, fmt.Errorf("domain: float range lower limit %g exceeds upper limit %g", lo, hi)
+	}
+	return FloatRange{Lo: lo, Hi: hi}, nil
+}
+
+// Kind implements Domain.
+func (d FloatRange) Kind() Kind { return KindFloat }
+
+// Sample implements Domain.
+func (d FloatRange) Sample(r *rand.Rand) (Value, error) {
+	if d.Lo > d.Hi {
+		return Value{}, fmt.Errorf("domain: invalid float range [%g,%g]", d.Lo, d.Hi)
+	}
+	return Float(d.Lo + r.Float64()*(d.Hi-d.Lo)), nil
+}
+
+// Contains implements Domain.
+func (d FloatRange) Contains(v Value) bool {
+	f, err := v.AsFloat()
+	return err == nil && f >= d.Lo && f <= d.Hi
+}
+
+// Boundary implements Domain.
+func (d FloatRange) Boundary() []Value {
+	mid := d.Lo + (d.Hi-d.Lo)/2
+	return dedupValues([]Value{Float(d.Lo), Float(mid), Float(d.Hi)},
+		func(v Value) bool { return d.Contains(v) })
+}
+
+// Describe implements Domain.
+func (d FloatRange) Describe() string { return fmt.Sprintf("range, %g, %g", d.Lo, d.Hi) }
+
+// Set is the t-spec `set` domain: an explicit enumeration of allowed values.
+type Set struct {
+	Members []Value
+}
+
+var _ Domain = Set{}
+
+// NewSet builds an enumerated domain. All members must share a kind.
+func NewSet(members ...Value) (Set, error) {
+	if len(members) == 0 {
+		return Set{}, errors.New("domain: set domain requires at least one member")
+	}
+	k := members[0].Kind()
+	for i, m := range members {
+		if m.Kind() != k {
+			return Set{}, fmt.Errorf("domain: set member %d has kind %s, want %s", i, m.Kind(), k)
+		}
+	}
+	cp := make([]Value, len(members))
+	copy(cp, members)
+	return Set{Members: cp}, nil
+}
+
+// Kind implements Domain.
+func (d Set) Kind() Kind {
+	if len(d.Members) == 0 {
+		return 0
+	}
+	return d.Members[0].Kind()
+}
+
+// Sample implements Domain.
+func (d Set) Sample(r *rand.Rand) (Value, error) {
+	if len(d.Members) == 0 {
+		return Value{}, errors.New("domain: empty set domain")
+	}
+	return d.Members[r.IntN(len(d.Members))], nil
+}
+
+// Contains implements Domain.
+func (d Set) Contains(v Value) bool {
+	for _, m := range d.Members {
+		if m.Equal(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Boundary implements Domain: first and last member.
+func (d Set) Boundary() []Value {
+	switch len(d.Members) {
+	case 0:
+		return nil
+	case 1:
+		return []Value{d.Members[0]}
+	default:
+		return []Value{d.Members[0], d.Members[len(d.Members)-1]}
+	}
+}
+
+// Describe implements Domain.
+func (d Set) Describe() string {
+	parts := make([]string, len(d.Members))
+	for i, m := range d.Members {
+		parts[i] = m.String()
+	}
+	return "set, [" + strings.Join(parts, ", ") + "]"
+}
+
+// StringDomain is the t-spec `string` domain: strings over Charset with
+// lengths in [MinLen, MaxLen]. If Candidates is non-empty, sampling chooses
+// among them instead (the paper's Parameter(..., ['p1','p2','p3']) form).
+type StringDomain struct {
+	MinLen, MaxLen int
+	Charset        string
+	Candidates     []string
+}
+
+var _ Domain = StringDomain{}
+
+// DefaultCharset is used when a string domain declares no charset.
+const DefaultCharset = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 "
+
+// NewStringDomain builds a random-string domain.
+func NewStringDomain(minLen, maxLen int, charset string) (StringDomain, error) {
+	if minLen < 0 || maxLen < minLen {
+		return StringDomain{}, fmt.Errorf("domain: invalid string length bounds [%d,%d]", minLen, maxLen)
+	}
+	if charset == "" {
+		charset = DefaultCharset
+	}
+	return StringDomain{MinLen: minLen, MaxLen: maxLen, Charset: charset}, nil
+}
+
+// NewStringSet builds a string domain from explicit candidates.
+func NewStringSet(candidates ...string) (StringDomain, error) {
+	if len(candidates) == 0 {
+		return StringDomain{}, errors.New("domain: string set requires at least one candidate")
+	}
+	cp := make([]string, len(candidates))
+	copy(cp, candidates)
+	return StringDomain{Candidates: cp}, nil
+}
+
+// Kind implements Domain.
+func (d StringDomain) Kind() Kind { return KindString }
+
+// Sample implements Domain.
+func (d StringDomain) Sample(r *rand.Rand) (Value, error) {
+	if len(d.Candidates) > 0 {
+		return Str(d.Candidates[r.IntN(len(d.Candidates))]), nil
+	}
+	charset := d.Charset
+	if charset == "" {
+		charset = DefaultCharset
+	}
+	if d.MaxLen < d.MinLen {
+		return Value{}, fmt.Errorf("domain: invalid string length bounds [%d,%d]", d.MinLen, d.MaxLen)
+	}
+	n := d.MinLen + r.IntN(d.MaxLen-d.MinLen+1)
+	var sb strings.Builder
+	sb.Grow(n)
+	for i := 0; i < n; i++ {
+		sb.WriteByte(charset[r.IntN(len(charset))])
+	}
+	return Str(sb.String()), nil
+}
+
+// Contains implements Domain.
+func (d StringDomain) Contains(v Value) bool {
+	s, err := v.AsString()
+	if err != nil {
+		return false
+	}
+	if len(d.Candidates) > 0 {
+		for _, c := range d.Candidates {
+			if c == s {
+				return true
+			}
+		}
+		return false
+	}
+	if len(s) < d.MinLen || len(s) > d.MaxLen {
+		return false
+	}
+	charset := d.Charset
+	if charset == "" {
+		charset = DefaultCharset
+	}
+	for i := 0; i < len(s); i++ {
+		if !strings.Contains(charset, string(s[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// Boundary implements Domain: empty/shortest and longest representative, or
+// first/last candidate.
+func (d StringDomain) Boundary() []Value {
+	if len(d.Candidates) > 0 {
+		if len(d.Candidates) == 1 {
+			return []Value{Str(d.Candidates[0])}
+		}
+		return []Value{Str(d.Candidates[0]), Str(d.Candidates[len(d.Candidates)-1])}
+	}
+	charset := d.Charset
+	if charset == "" {
+		charset = DefaultCharset
+	}
+	shortest := strings.Repeat(string(charset[0]), d.MinLen)
+	longest := strings.Repeat(string(charset[0]), d.MaxLen)
+	return dedupValues([]Value{Str(shortest), Str(longest)}, func(Value) bool { return true })
+}
+
+// Describe implements Domain.
+func (d StringDomain) Describe() string {
+	if len(d.Candidates) > 0 {
+		quoted := make([]string, len(d.Candidates))
+		for i, c := range d.Candidates {
+			quoted[i] = "'" + c + "'"
+		}
+		return "string, [" + strings.Join(quoted, ", ") + "]"
+	}
+	return fmt.Sprintf("string, %d, %d", d.MinLen, d.MaxLen)
+}
+
+// ObjectDomain marks an object-typed parameter. TypeName names the required
+// component class; sampling requires a registered Provider.
+type ObjectDomain struct {
+	TypeName string
+	Provider Provider
+}
+
+var _ Domain = ObjectDomain{}
+
+// Kind implements Domain.
+func (d ObjectDomain) Kind() Kind { return KindObject }
+
+// Sample implements Domain. Without a Provider it returns
+// ErrManualCompletion, reproducing the paper's manual-completion rule.
+func (d ObjectDomain) Sample(r *rand.Rand) (Value, error) {
+	if d.Provider == nil {
+		return Value{}, fmt.Errorf("object parameter of type %q: %w", d.TypeName, ErrManualCompletion)
+	}
+	return d.Provider.Provide(r)
+}
+
+// Contains implements Domain: any non-nil object reference is accepted.
+func (d ObjectDomain) Contains(v Value) bool {
+	return v.Kind() == KindObject && !v.IsNil()
+}
+
+// Boundary implements Domain.
+func (d ObjectDomain) Boundary() []Value { return nil }
+
+// Describe implements Domain.
+func (d ObjectDomain) Describe() string { return "object, '" + d.TypeName + "'" }
+
+// PointerDomain marks a pointer-typed parameter; nil is a member iff
+// Nullable. Like ObjectDomain it needs a Provider for automatic sampling.
+type PointerDomain struct {
+	TypeName string
+	Nullable bool
+	Provider Provider
+}
+
+var _ Domain = PointerDomain{}
+
+// Kind implements Domain.
+func (d PointerDomain) Kind() Kind { return KindPointer }
+
+// Sample implements Domain.
+func (d PointerDomain) Sample(r *rand.Rand) (Value, error) {
+	if d.Provider == nil {
+		if d.Nullable {
+			return Nil(), nil
+		}
+		return Value{}, fmt.Errorf("pointer parameter of type %q: %w", d.TypeName, ErrManualCompletion)
+	}
+	if d.Nullable && r.IntN(8) == 0 { // occasionally exercise the null branch
+		return Nil(), nil
+	}
+	return d.Provider.Provide(r)
+}
+
+// Contains implements Domain.
+func (d PointerDomain) Contains(v Value) bool {
+	if v.IsNil() {
+		return d.Nullable
+	}
+	return v.Kind() == KindPointer || v.Kind() == KindObject
+}
+
+// Boundary implements Domain.
+func (d PointerDomain) Boundary() []Value {
+	if d.Nullable {
+		return []Value{Nil()}
+	}
+	return nil
+}
+
+// Describe implements Domain.
+func (d PointerDomain) Describe() string { return "pointer, '" + d.TypeName + "'" }
+
+// BoolDomain is the two-member boolean domain.
+type BoolDomain struct{}
+
+var _ Domain = BoolDomain{}
+
+// Kind implements Domain.
+func (BoolDomain) Kind() Kind { return KindBool }
+
+// Sample implements Domain.
+func (BoolDomain) Sample(r *rand.Rand) (Value, error) { return Bool(r.IntN(2) == 1), nil }
+
+// Contains implements Domain.
+func (BoolDomain) Contains(v Value) bool { return v.Kind() == KindBool }
+
+// Boundary implements Domain.
+func (BoolDomain) Boundary() []Value { return []Value{Bool(false), Bool(true)} }
+
+// Describe implements Domain.
+func (BoolDomain) Describe() string { return "bool" }
+
+// A Provider resolves structured (object/pointer) parameters, playing the
+// tester who "completes the test suite" in the paper's workflow. Providers
+// typically construct fresh component instances or hand out fixtures.
+type Provider interface {
+	Provide(r *rand.Rand) (Value, error)
+}
+
+// ProviderFunc adapts a function to the Provider interface.
+type ProviderFunc func(r *rand.Rand) (Value, error)
+
+// Provide implements Provider.
+func (f ProviderFunc) Provide(r *rand.Rand) (Value, error) { return f(r) }
+
+func dedupValues(vs []Value, keep func(Value) bool) []Value {
+	out := vs[:0:0]
+	for _, v := range vs {
+		if !keep(v) {
+			continue
+		}
+		dup := false
+		for _, o := range out {
+			if o.Equal(v) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,446 @@
+package domain
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"math/rand/v2"
+)
+
+func TestNewIntRangeValidation(t *testing.T) {
+	if _, err := NewIntRange(5, 4); err == nil {
+		t.Error("inverted range should fail")
+	}
+	d, err := NewIntRange(1, 99999)
+	if err != nil {
+		t.Fatalf("NewIntRange: %v", err)
+	}
+	if d.Lo != 1 || d.Hi != 99999 {
+		t.Errorf("range = [%d,%d]", d.Lo, d.Hi)
+	}
+}
+
+func TestIntRangeSampleWithinBounds(t *testing.T) {
+	d, _ := NewIntRange(-10, 10)
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if !d.Contains(v) {
+			t.Fatalf("sampled %v outside [%d,%d]", v, d.Lo, d.Hi)
+		}
+	}
+}
+
+func TestIntRangeSampleDegenerate(t *testing.T) {
+	d, _ := NewIntRange(7, 7)
+	v, err := d.Sample(NewRand(1))
+	if err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+	if v.MustInt() != 7 {
+		t.Errorf("degenerate range sampled %v", v)
+	}
+}
+
+func TestIntRangeSampleFullInt64(t *testing.T) {
+	d := IntRange{Lo: math.MinInt64, Hi: math.MaxInt64}
+	r := NewRand(2)
+	for i := 0; i < 100; i++ {
+		if _, err := d.Sample(r); err != nil {
+			t.Fatalf("full-width sample: %v", err)
+		}
+	}
+}
+
+func TestIntRangeSampleInvalid(t *testing.T) {
+	d := IntRange{Lo: 3, Hi: 1}
+	if _, err := d.Sample(NewRand(1)); err == nil {
+		t.Error("sampling an invalid range should fail")
+	}
+}
+
+func TestIntRangeBoundary(t *testing.T) {
+	d, _ := NewIntRange(0, 100)
+	got := d.Boundary()
+	want := []int64{0, 1, 50, 99, 100}
+	if len(got) != len(want) {
+		t.Fatalf("boundary = %v, want %v", got, want)
+	}
+	for i, w := range want {
+		if got[i].MustInt() != w {
+			t.Errorf("boundary[%d] = %v, want %d", i, got[i], w)
+		}
+	}
+	// Degenerate range deduplicates.
+	d2, _ := NewIntRange(5, 5)
+	if b := d2.Boundary(); len(b) != 1 || b[0].MustInt() != 5 {
+		t.Errorf("degenerate boundary = %v", b)
+	}
+}
+
+func TestIntRangeDescribe(t *testing.T) {
+	d, _ := NewIntRange(1, 99999)
+	if got := d.Describe(); got != "range, 1, 99999" {
+		t.Errorf("Describe() = %q", got)
+	}
+}
+
+func TestFloatRangeValidation(t *testing.T) {
+	if _, err := NewFloatRange(2, 1); err == nil {
+		t.Error("inverted float range should fail")
+	}
+	if _, err := NewFloatRange(math.NaN(), 1); err == nil {
+		t.Error("NaN limit should fail")
+	}
+	if _, err := NewFloatRange(0, math.NaN()); err == nil {
+		t.Error("NaN upper limit should fail")
+	}
+}
+
+func TestFloatRangeSampleWithinBounds(t *testing.T) {
+	d, _ := NewFloatRange(0.5, 9.5)
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if !d.Contains(v) {
+			t.Fatalf("sampled %v outside [%g,%g]", v, d.Lo, d.Hi)
+		}
+	}
+	if _, err := (FloatRange{Lo: 2, Hi: 1}).Sample(r); err == nil {
+		t.Error("invalid float range sample should fail")
+	}
+}
+
+func TestFloatRangeBoundaryAndDescribe(t *testing.T) {
+	d, _ := NewFloatRange(0, 10)
+	b := d.Boundary()
+	if len(b) != 3 {
+		t.Fatalf("boundary = %v", b)
+	}
+	if d.Describe() != "range, 0, 10" {
+		t.Errorf("Describe() = %q", d.Describe())
+	}
+}
+
+func TestSetDomain(t *testing.T) {
+	if _, err := NewSet(); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := NewSet(Int(1), Str("x")); err == nil {
+		t.Error("mixed-kind set should fail")
+	}
+	d, err := NewSet(Int(2), Int(4), Int(8))
+	if err != nil {
+		t.Fatalf("NewSet: %v", err)
+	}
+	if d.Kind() != KindInt {
+		t.Errorf("Kind() = %s", d.Kind())
+	}
+	r := NewRand(4)
+	for i := 0; i < 200; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if !d.Contains(v) {
+			t.Fatalf("sampled %v not in set", v)
+		}
+	}
+	if d.Contains(Int(3)) {
+		t.Error("Contains(3) should be false")
+	}
+	if _, err := (Set{}).Sample(r); err == nil {
+		t.Error("sampling empty set should fail")
+	}
+	if (Set{}).Kind() != 0 {
+		t.Error("empty set kind should be invalid")
+	}
+}
+
+func TestSetBoundaryAndDescribe(t *testing.T) {
+	d, _ := NewSet(Int(2), Int(4), Int(8))
+	b := d.Boundary()
+	if len(b) != 2 || b[0].MustInt() != 2 || b[1].MustInt() != 8 {
+		t.Errorf("boundary = %v", b)
+	}
+	one, _ := NewSet(Int(9))
+	if b := one.Boundary(); len(b) != 1 {
+		t.Errorf("singleton boundary = %v", b)
+	}
+	if (Set{}).Boundary() != nil {
+		t.Error("empty set boundary should be nil")
+	}
+	if got := d.Describe(); got != "set, [2, 4, 8]" {
+		t.Errorf("Describe() = %q", got)
+	}
+}
+
+func TestSetCopiesMembers(t *testing.T) {
+	members := []Value{Int(1), Int(2)}
+	d, _ := NewSet(members...)
+	members[0] = Int(99)
+	if d.Members[0].MustInt() != 1 {
+		t.Error("NewSet should copy its member slice")
+	}
+}
+
+func TestStringDomainRandom(t *testing.T) {
+	if _, err := NewStringDomain(-1, 5, ""); err == nil {
+		t.Error("negative min length should fail")
+	}
+	if _, err := NewStringDomain(5, 2, ""); err == nil {
+		t.Error("max < min should fail")
+	}
+	d, err := NewStringDomain(1, 30, "")
+	if err != nil {
+		t.Fatalf("NewStringDomain: %v", err)
+	}
+	r := NewRand(5)
+	for i := 0; i < 500; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if !d.Contains(v) {
+			t.Fatalf("sampled %v not contained", v)
+		}
+	}
+}
+
+func TestStringDomainCandidates(t *testing.T) {
+	if _, err := NewStringSet(); err == nil {
+		t.Error("empty candidate list should fail")
+	}
+	d, err := NewStringSet("p1", "p2", "p3")
+	if err != nil {
+		t.Fatalf("NewStringSet: %v", err)
+	}
+	r := NewRand(6)
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		seen[v.MustString()] = true
+		if !d.Contains(v) {
+			t.Fatalf("candidate %v not contained", v)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("300 samples hit %d of 3 candidates", len(seen))
+	}
+	if d.Contains(Str("p4")) {
+		t.Error("Contains(p4) should be false")
+	}
+	if got := d.Describe(); got != "string, ['p1', 'p2', 'p3']" {
+		t.Errorf("Describe() = %q", got)
+	}
+}
+
+func TestStringDomainContainsEdges(t *testing.T) {
+	d, _ := NewStringDomain(2, 4, "ab")
+	cases := []struct {
+		s    string
+		want bool
+	}{
+		{"ab", true},
+		{"aaaa", true},
+		{"a", false},     // too short
+		{"aaaaa", false}, // too long
+		{"abc", false},   // 'c' outside charset
+	}
+	for _, c := range cases {
+		if got := d.Contains(Str(c.s)); got != c.want {
+			t.Errorf("Contains(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if d.Contains(Int(1)) {
+		t.Error("Contains(int) should be false")
+	}
+}
+
+func TestStringDomainBoundary(t *testing.T) {
+	d, _ := NewStringDomain(1, 3, "xy")
+	b := d.Boundary()
+	if len(b) != 2 || b[0].MustString() != "x" || b[1].MustString() != "xxx" {
+		t.Errorf("boundary = %v", b)
+	}
+	cand, _ := NewStringSet("only")
+	if b := cand.Boundary(); len(b) != 1 || b[0].MustString() != "only" {
+		t.Errorf("candidate boundary = %v", b)
+	}
+}
+
+func TestStringDomainInvalidSample(t *testing.T) {
+	d := StringDomain{MinLen: 5, MaxLen: 2}
+	if _, err := d.Sample(NewRand(1)); err == nil {
+		t.Error("invalid bounds should fail at sample time")
+	}
+}
+
+func TestStringDomainDescribeRandomForm(t *testing.T) {
+	d, _ := NewStringDomain(1, 30, "")
+	if got := d.Describe(); got != "string, 1, 30" {
+		t.Errorf("Describe() = %q", got)
+	}
+}
+
+func TestObjectDomainManualCompletion(t *testing.T) {
+	d := ObjectDomain{TypeName: "Provider"}
+	_, err := d.Sample(NewRand(1))
+	if !errors.Is(err, ErrManualCompletion) {
+		t.Errorf("sample without provider: err = %v, want ErrManualCompletion", err)
+	}
+	if !strings.Contains(d.Describe(), "Provider") {
+		t.Errorf("Describe() = %q", d.Describe())
+	}
+	if d.Boundary() != nil {
+		t.Error("object boundary should be nil")
+	}
+}
+
+func TestObjectDomainWithProvider(t *testing.T) {
+	obj := &struct{ name string }{"prov"}
+	d := ObjectDomain{
+		TypeName: "Provider",
+		Provider: ProviderFunc(func(r *rand.Rand) (Value, error) { return Object(obj), nil }),
+	}
+	v, err := d.Sample(NewRand(1))
+	if err != nil {
+		t.Fatalf("sample with provider: %v", err)
+	}
+	if v.Ref() != obj {
+		t.Error("provider result not passed through")
+	}
+	if !d.Contains(v) {
+		t.Error("provided object should be contained")
+	}
+	if d.Contains(Nil()) {
+		t.Error("nil should not be a member of an object domain")
+	}
+}
+
+func TestPointerDomain(t *testing.T) {
+	// Non-nullable without provider: manual completion.
+	d := PointerDomain{TypeName: "Provider"}
+	if _, err := d.Sample(NewRand(1)); !errors.Is(err, ErrManualCompletion) {
+		t.Errorf("err = %v, want ErrManualCompletion", err)
+	}
+	// Nullable without provider: always nil.
+	dn := PointerDomain{TypeName: "Provider", Nullable: true}
+	v, err := dn.Sample(NewRand(1))
+	if err != nil || !v.IsNil() {
+		t.Errorf("nullable sample = %v, %v", v, err)
+	}
+	if !dn.Contains(Nil()) {
+		t.Error("nullable pointer domain should contain nil")
+	}
+	if d.Contains(Nil()) {
+		t.Error("non-nullable pointer domain should not contain nil")
+	}
+	if b := dn.Boundary(); len(b) != 1 || !b[0].IsNil() {
+		t.Errorf("nullable boundary = %v", b)
+	}
+	if d.Boundary() != nil {
+		t.Error("non-nullable boundary should be nil")
+	}
+}
+
+func TestPointerDomainWithProvider(t *testing.T) {
+	obj := &struct{}{}
+	d := PointerDomain{
+		TypeName: "Provider",
+		Nullable: true,
+		Provider: ProviderFunc(func(r *rand.Rand) (Value, error) { return Pointer(obj), nil }),
+	}
+	r := NewRand(7)
+	sawNil, sawObj := false, false
+	for i := 0; i < 200; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if v.IsNil() {
+			sawNil = true
+		} else {
+			sawObj = true
+		}
+	}
+	if !sawNil || !sawObj {
+		t.Errorf("nullable provider sampling: sawNil=%v sawObj=%v", sawNil, sawObj)
+	}
+}
+
+func TestBoolDomain(t *testing.T) {
+	var d BoolDomain
+	r := NewRand(8)
+	sawT, sawF := false, false
+	for i := 0; i < 100; i++ {
+		v, err := d.Sample(r)
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		if mustBool(t, v) {
+			sawT = true
+		} else {
+			sawF = true
+		}
+	}
+	if !sawT || !sawF {
+		t.Error("bool sampling never produced both values")
+	}
+	if !d.Contains(Bool(true)) || d.Contains(Int(1)) {
+		t.Error("bool Contains misbehaves")
+	}
+	if len(d.Boundary()) != 2 {
+		t.Error("bool boundary should have two members")
+	}
+	if d.Describe() != "bool" {
+		t.Errorf("Describe() = %q", d.Describe())
+	}
+}
+
+func TestSampleDeterminism(t *testing.T) {
+	d, _ := NewIntRange(0, 1_000_000)
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		va, _ := d.Sample(a)
+		vb, _ := d.Sample(b)
+		if !va.Equal(vb) {
+			t.Fatalf("same seed diverged at draw %d: %v vs %v", i, va, vb)
+		}
+	}
+}
+
+func TestIntRangeSampleProperty(t *testing.T) {
+	prop := func(lo int32, span uint16, seed int64) bool {
+		d, err := NewIntRange(int64(lo), int64(lo)+int64(span))
+		if err != nil {
+			return false
+		}
+		v, err := d.Sample(NewRand(seed))
+		return err == nil && d.Contains(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustBool(t *testing.T, v Value) bool {
+	t.Helper()
+	b, err := v.AsBool()
+	if err != nil {
+		t.Fatalf("AsBool: %v", err)
+	}
+	return b
+}

@@ -1,0 +1,91 @@
+package domain
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// valueJSON is the wire form of a Value. Object and pointer payloads are not
+// serializable — they are in-memory references — so they round-trip as
+// placeholders that must be re-bound by a Provider on load, mirroring the
+// paper's "structured type parameters must be completed manually" rule.
+type valueJSON struct {
+	Kind    string  `json:"kind"`
+	Int     *int64  `json:"int,omitempty"`
+	Float   *string `json:"float,omitempty"` // formatted to preserve exactness
+	Str     *string `json:"str,omitempty"`
+	Bool    *bool   `json:"bool,omitempty"`
+	Opaque  bool    `json:"opaque,omitempty"`
+	Summary string  `json:"summary,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v Value) MarshalJSON() ([]byte, error) {
+	w := valueJSON{Kind: v.kind.String()}
+	switch v.kind {
+	case KindInt:
+		w.Int = &v.i
+	case KindFloat:
+		s := strconv.FormatFloat(v.f, 'x', -1, 64) // hex float: lossless round trip
+		w.Float = &s
+	case KindString:
+		w.Str = &v.s
+	case KindBool:
+		w.Bool = &v.b
+	case KindObject, KindPointer:
+		w.Opaque = true
+		w.Summary = v.String()
+	case KindNil:
+		// kind alone is sufficient
+	default:
+		return nil, fmt.Errorf("domain: cannot marshal invalid value")
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var w valueJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("domain: decoding value: %w", err)
+	}
+	k, err := ParseKind(w.Kind)
+	if err != nil {
+		return err
+	}
+	switch k {
+	case KindInt:
+		if w.Int == nil {
+			return fmt.Errorf("domain: int value missing payload")
+		}
+		*v = Int(*w.Int)
+	case KindFloat:
+		if w.Float == nil {
+			return fmt.Errorf("domain: float value missing payload")
+		}
+		f, err := strconv.ParseFloat(*w.Float, 64)
+		if err != nil {
+			return fmt.Errorf("domain: decoding float payload %q: %w", *w.Float, err)
+		}
+		*v = Float(f)
+	case KindString:
+		if w.Str == nil {
+			return fmt.Errorf("domain: string value missing payload")
+		}
+		*v = Str(*w.Str)
+	case KindBool:
+		if w.Bool == nil {
+			return fmt.Errorf("domain: bool value missing payload")
+		}
+		*v = Bool(*w.Bool)
+	case KindNil:
+		*v = Nil()
+	case KindObject, KindPointer:
+		// Deserialized references are unresolved placeholders.
+		*v = Value{kind: k}
+	default:
+		return fmt.Errorf("domain: cannot unmarshal kind %s", k)
+	}
+	return nil
+}

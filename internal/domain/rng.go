@@ -1,0 +1,12 @@
+package domain
+
+import "math/rand/v2"
+
+// NewRand returns a deterministic random source for the given seed. All test
+// generation in this repository flows through here so that suites are fully
+// reproducible: the same t-spec and seed always yield the same test cases,
+// which is what makes the recorded golden outputs (the mutation oracle's
+// reference run) meaningful.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewPCG(uint64(seed), 0x434f4e434154)) // "CONCAT"
+}

@@ -1,0 +1,302 @@
+// Package domain models the value spaces ("domains") that a t-spec declares
+// for component attributes and method parameters, and provides the sampling
+// machinery the driver generator uses to pick concrete test inputs.
+//
+// The paper (§3.4.1) generates values "by randomly selecting a value from the
+// valid subdomain", implemented there for numeric types and strings; object,
+// array and pointer parameters "must be completed manually by the tester".
+// This package reproduces that behaviour: Range, Set and String domains
+// support automatic sampling, while Object and Pointer domains yield
+// placeholders that the tester resolves through a Provider.
+package domain
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value. The zero Kind is invalid so
+// that an uninitialized Value is detectable.
+type Kind int
+
+// Supported value kinds.
+const (
+	KindInt Kind = iota + 1
+	KindFloat
+	KindString
+	KindBool
+	KindObject  // a reference to a component instance or other structured value
+	KindPointer // a possibly-nil reference
+	KindNil     // the distinguished null reference
+)
+
+var kindNames = map[Kind]string{
+	KindInt:     "int",
+	KindFloat:   "float",
+	KindString:  "string",
+	KindBool:    "bool",
+	KindObject:  "object",
+	KindPointer: "pointer",
+	KindNil:     "nil",
+}
+
+// String returns the t-spec name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Valid reports whether k is one of the declared kinds.
+func (k Kind) Valid() bool {
+	_, ok := kindNames[k]
+	return ok
+}
+
+// ParseKind converts a t-spec type name into a Kind.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if strings.EqualFold(name, s) {
+			return k, nil
+		}
+	}
+	// t-spec synonyms used in the paper's Figure 3.
+	switch strings.ToLower(s) {
+	case "range":
+		return KindInt, nil
+	case "set":
+		return KindInt, nil
+	}
+	return 0, fmt.Errorf("domain: unknown kind %q", s)
+}
+
+// Value is a tagged union carrying one concrete test input or output. Values
+// are immutable once constructed; Ref is shared by reference for object and
+// pointer kinds.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+	ref  any
+}
+
+// Int returns an integer value.
+func Int(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// Float returns a floating point value.
+func Float(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Object returns a structured value wrapping ref.
+func Object(ref any) Value { return Value{kind: KindObject, ref: ref} }
+
+// Pointer returns a pointer value wrapping ref; a nil ref yields Nil().
+func Pointer(ref any) Value {
+	if ref == nil {
+		return Nil()
+	}
+	return Value{kind: KindPointer, ref: ref}
+}
+
+// Nil returns the distinguished null reference.
+func Nil() Value { return Value{kind: KindNil} }
+
+// Kind returns the value's kind; the zero Value has kind 0 (invalid).
+func (v Value) Kind() Kind { return v.kind }
+
+// IsZero reports whether v is the uninitialized Value.
+func (v Value) IsZero() bool { return v.kind == 0 }
+
+// IsNil reports whether v is the null reference (or a nil-ref pointer).
+func (v Value) IsNil() bool {
+	return v.kind == KindNil || ((v.kind == KindPointer || v.kind == KindObject) && v.ref == nil)
+}
+
+// AsInt returns the integer payload. It returns an error if the kind differs.
+func (v Value) AsInt() (int64, error) {
+	if v.kind != KindInt {
+		return 0, fmt.Errorf("domain: value is %s, not int", v.kind)
+	}
+	return v.i, nil
+}
+
+// AsFloat returns the float payload; integer values convert losslessly.
+func (v Value) AsFloat() (float64, error) {
+	switch v.kind {
+	case KindFloat:
+		return v.f, nil
+	case KindInt:
+		return float64(v.i), nil
+	default:
+		return 0, fmt.Errorf("domain: value is %s, not float", v.kind)
+	}
+}
+
+// AsString returns the string payload. It returns an error if the kind differs.
+func (v Value) AsString() (string, error) {
+	if v.kind != KindString {
+		return "", fmt.Errorf("domain: value is %s, not string", v.kind)
+	}
+	return v.s, nil
+}
+
+// AsBool returns the boolean payload. It returns an error if the kind differs.
+func (v Value) AsBool() (bool, error) {
+	if v.kind != KindBool {
+		return false, fmt.Errorf("domain: value is %s, not bool", v.kind)
+	}
+	return v.b, nil
+}
+
+// Ref returns the reference payload for object and pointer values, or nil.
+func (v Value) Ref() any {
+	return v.ref
+}
+
+// MustInt returns the integer payload and panics on kind mismatch. Reserved
+// for tests and internal call sites that already validated the kind.
+func (v Value) MustInt() int64 {
+	n, err := v.AsInt()
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// MustFloat is the float analog of MustInt.
+func (v Value) MustFloat() float64 {
+	f, err := v.AsFloat()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// MustString is the string analog of MustInt.
+func (v Value) MustString() string {
+	s, err := v.AsString()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Equal reports whether two values have the same kind and payload. Object and
+// pointer values compare by reference identity.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f || (math.IsNaN(v.f) && math.IsNaN(o.f))
+	case KindString:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	case KindObject, KindPointer:
+		return v.ref == o.ref
+	case KindNil:
+		return true
+	default:
+		return true // two zero Values
+	}
+}
+
+// Compare orders two values of the same comparable kind. It returns a
+// negative, zero or positive number like strings.Compare, and an error for
+// non-comparable or mismatched kinds. This is the comparator the sortable
+// list component uses.
+func (v Value) Compare(o Value) (int, error) {
+	if v.kind != o.kind {
+		// Allow int/float cross comparison, which the list components need
+		// when mixed numeric payloads are stored.
+		if (v.kind == KindInt || v.kind == KindFloat) && (o.kind == KindInt || o.kind == KindFloat) {
+			a, _ := v.AsFloat()
+			b, _ := o.AsFloat()
+			return cmpFloat(a, b), nil
+		}
+		return 0, fmt.Errorf("domain: cannot compare %s with %s", v.kind, o.kind)
+	}
+	switch v.kind {
+	case KindInt:
+		switch {
+		case v.i < o.i:
+			return -1, nil
+		case v.i > o.i:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	case KindFloat:
+		return cmpFloat(v.f, o.f), nil
+	case KindString:
+		return strings.Compare(v.s, o.s), nil
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1, nil
+		case v.b && !o.b:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, fmt.Errorf("domain: kind %s is not ordered", v.kind)
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String renders the value in t-spec literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	case KindObject:
+		return fmt.Sprintf("object(%T)", v.ref)
+	case KindPointer:
+		return fmt.Sprintf("pointer(%T)", v.ref)
+	case KindNil:
+		return "nil"
+	default:
+		return "<invalid>"
+	}
+}
+
+// SortValues orders a slice of mutually comparable values in place; values
+// that fail to compare keep their relative order.
+func SortValues(vs []Value) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		c, err := vs[i].Compare(vs[j])
+		return err == nil && c < 0
+	})
+}

@@ -1,0 +1,325 @@
+package domain
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{KindInt, "int"},
+		{KindFloat, "float"},
+		{KindString, "string"},
+		{KindBool, "bool"},
+		{KindObject, "object"},
+		{KindPointer, "pointer"},
+		{KindNil, "nil"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestKindValid(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString, KindBool, KindObject, KindPointer, KindNil} {
+		if !k.Valid() {
+			t.Errorf("kind %s should be valid", k)
+		}
+	}
+	if Kind(0).Valid() {
+		t.Error("zero kind should be invalid")
+	}
+	if Kind(42).Valid() {
+		t.Error("kind 42 should be invalid")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Kind
+		wantErr bool
+	}{
+		{"int", KindInt, false},
+		{"Int", KindInt, false},
+		{"FLOAT", KindFloat, false},
+		{"string", KindString, false},
+		{"String", KindString, false},
+		{"bool", KindBool, false},
+		{"object", KindObject, false},
+		{"pointer", KindPointer, false},
+		{"nil", KindNil, false},
+		{"range", KindInt, false}, // t-spec synonym
+		{"set", KindInt, false},   // t-spec synonym
+		{"widget", 0, true},
+		{"", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseKind(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseKind(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseKind(%q) = %s, want %s", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if n := Int(42).MustInt(); n != 42 {
+		t.Errorf("Int(42).MustInt() = %d", n)
+	}
+	if f := Float(2.5).MustFloat(); f != 2.5 {
+		t.Errorf("Float(2.5).MustFloat() = %g", f)
+	}
+	if s := Str("hi").MustString(); s != "hi" {
+		t.Errorf("Str(hi).MustString() = %q", s)
+	}
+	b, err := Bool(true).AsBool()
+	if err != nil || !b {
+		t.Errorf("Bool(true).AsBool() = %v, %v", b, err)
+	}
+	// Cross-kind accessors fail.
+	if _, err := Str("x").AsInt(); err == nil {
+		t.Error("AsInt on string should fail")
+	}
+	if _, err := Int(1).AsString(); err == nil {
+		t.Error("AsString on int should fail")
+	}
+	if _, err := Str("x").AsBool(); err == nil {
+		t.Error("AsBool on string should fail")
+	}
+	// Int converts to float losslessly.
+	f, err := Int(7).AsFloat()
+	if err != nil || f != 7 {
+		t.Errorf("Int(7).AsFloat() = %g, %v", f, err)
+	}
+}
+
+func TestValueNilAndZero(t *testing.T) {
+	if !Nil().IsNil() {
+		t.Error("Nil().IsNil() = false")
+	}
+	if !Pointer(nil).IsNil() {
+		t.Error("Pointer(nil) should be nil")
+	}
+	if Pointer(&struct{}{}).IsNil() {
+		t.Error("non-nil pointer should not be nil")
+	}
+	var zero Value
+	if !zero.IsZero() {
+		t.Error("zero Value should report IsZero")
+	}
+	if Int(0).IsZero() {
+		t.Error("Int(0) should not report IsZero")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	ref1 := &struct{ x int }{1}
+	ref2 := &struct{ x int }{1}
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Int(1), Float(1), false}, // kinds differ
+		{Float(1.5), Float(1.5), true},
+		{Float(math.NaN()), Float(math.NaN()), true},
+		{Str("a"), Str("a"), true},
+		{Str("a"), Str("b"), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Nil(), Nil(), true},
+		{Object(ref1), Object(ref1), true},
+		{Object(ref1), Object(ref2), false}, // reference identity
+		{Pointer(ref1), Pointer(ref1), true},
+	}
+	for i, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("case %d: %v.Equal(%v) = %v, want %v", i, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	tests := []struct {
+		a, b    Value
+		want    int
+		wantErr bool
+	}{
+		{Int(1), Int(2), -1, false},
+		{Int(2), Int(1), 1, false},
+		{Int(2), Int(2), 0, false},
+		{Float(1.5), Float(2.5), -1, false},
+		{Int(1), Float(1.5), -1, false}, // cross numeric
+		{Float(3), Int(2), 1, false},
+		{Str("a"), Str("b"), -1, false},
+		{Bool(false), Bool(true), -1, false},
+		{Bool(true), Bool(false), 1, false},
+		{Bool(true), Bool(true), 0, false},
+		{Nil(), Nil(), 0, true},         // nil is unordered
+		{Int(1), Str("a"), 0, true},     // mismatched kinds
+		{Object(1), Object(1), 0, true}, // objects unordered
+	}
+	for i, tt := range tests {
+		got, err := tt.a.Compare(tt.b)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("case %d: Compare error = %v, wantErr %v", i, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("case %d: %v.Compare(%v) = %d, want %d", i, tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	tests := []struct {
+		v    Value
+		want string
+	}{
+		{Int(-3), "-3"},
+		{Float(0.5), "0.5"},
+		{Str(`a"b`), `"a\"b"`},
+		{Bool(true), "true"},
+		{Nil(), "nil"},
+		{Value{}, "<invalid>"},
+	}
+	for _, tt := range tests {
+		if got := tt.v.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSortValues(t *testing.T) {
+	vs := []Value{Int(3), Int(1), Int(2)}
+	SortValues(vs)
+	for i, want := range []int64{1, 2, 3} {
+		if vs[i].MustInt() != want {
+			t.Fatalf("after sort, vs[%d] = %v, want %d", i, vs[i], want)
+		}
+	}
+}
+
+func TestValueJSONRoundTrip(t *testing.T) {
+	values := []Value{
+		Int(-42), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(3.14159), Float(0), Float(-1e300),
+		Str(""), Str("hello world"), Str("unicode: héllo"),
+		Bool(true), Bool(false),
+		Nil(),
+	}
+	for _, v := range values {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", data, err)
+		}
+		if !v.Equal(back) {
+			t.Errorf("round trip %v -> %s -> %v", v, data, back)
+		}
+	}
+}
+
+func TestValueJSONRoundTripProperty(t *testing.T) {
+	prop := func(i int64, f float64, s string, b bool, pick uint8) bool {
+		var v Value
+		switch pick % 5 {
+		case 0:
+			v = Int(i)
+		case 1:
+			if math.IsNaN(f) {
+				f = 0
+			}
+			v = Float(f)
+		case 2:
+			v = Str(s)
+		case 3:
+			v = Bool(b)
+		case 4:
+			v = Nil()
+		}
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		var back Value
+		if err := json.Unmarshal(data, &back); err != nil {
+			return false
+		}
+		return v.Equal(back)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueJSONOpaqueReferences(t *testing.T) {
+	v := Object(&struct{}{})
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal object: %v", err)
+	}
+	var back Value
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal object: %v", err)
+	}
+	if back.Kind() != KindObject {
+		t.Errorf("round-tripped object kind = %s", back.Kind())
+	}
+	if back.Ref() != nil {
+		t.Error("deserialized object reference should be an unresolved placeholder")
+	}
+}
+
+func TestValueJSONErrors(t *testing.T) {
+	var v Value
+	if _, err := json.Marshal(v); err == nil {
+		t.Error("marshaling invalid value should fail")
+	}
+	bad := []string{
+		`{"kind":"widget"}`,
+		`{"kind":"int"}`,    // missing payload
+		`{"kind":"float"}`,  // missing payload
+		`{"kind":"string"}`, // missing payload
+		`{"kind":"bool"}`,   // missing payload
+		`{"kind":"float","float":"zzz"}`,
+		`not json`,
+	}
+	for _, s := range bad {
+		var u Value
+		if err := json.Unmarshal([]byte(s), &u); err == nil {
+			t.Errorf("unmarshal %q should fail", s)
+		}
+	}
+}
+
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	prop := func(a, b int64) bool {
+		x, y := Int(a), Int(b)
+		c1, err1 := x.Compare(y)
+		c2, err2 := y.Compare(x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return c1 == -c2
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

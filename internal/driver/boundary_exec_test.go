@@ -1,0 +1,40 @@
+package driver_test
+
+// External test package: testexec imports driver, so executing generated
+// suites must be tested from outside the driver package.
+
+import (
+	"testing"
+
+	"concat/internal/components/account"
+	"concat/internal/driver"
+	"concat/internal/testexec"
+)
+
+func TestBoundarySuiteRunsClean(t *testing.T) {
+	suite, err := driver.Generate(account.Spec(), driver.Options{Seed: 2, BoundaryCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := testexec.Run(suite, account.NewFactory(), testexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("boundary suite failures: %+v", rep.Failures()[:1])
+	}
+}
+
+func TestSoakSuiteRunsClean(t *testing.T) {
+	suite, err := driver.GenerateSoak(account.Spec(), driver.SoakOptions{Seed: 11, Cases: 100, MaxLength: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := testexec.Run(suite, account.NewFactory(), testexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("soak suite failures: %+v", rep.Failures()[:1])
+	}
+}

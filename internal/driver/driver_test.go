@@ -1,0 +1,428 @@
+package driver
+
+import (
+	"bytes"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"concat/internal/components/account"
+	"concat/internal/domain"
+	"concat/internal/tfm"
+	"concat/internal/tspec"
+)
+
+func generateAccount(t *testing.T, opts Options) *Suite {
+	t.Helper()
+	s, err := Generate(account.Spec(), opts)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+func TestGenerateBasics(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 42})
+	if s.Component != account.Name {
+		t.Errorf("component = %q", s.Component)
+	}
+	if s.Criterion != "all-transactions" {
+		t.Errorf("criterion = %q", s.Criterion)
+	}
+	if len(s.Cases) == 0 {
+		t.Fatal("no test cases generated")
+	}
+	spec := account.Spec()
+	for _, tc := range s.Cases {
+		if len(tc.Calls) < 2 {
+			t.Fatalf("case %s has %d calls", tc.ID, len(tc.Calls))
+		}
+		first, ok := spec.MethodByID(tc.Calls[0].MethodID)
+		if !ok || first.Category != tspec.CatConstructor {
+			t.Errorf("case %s does not start with a constructor (%+v)", tc.ID, first)
+		}
+		last, ok := spec.MethodByID(tc.Calls[len(tc.Calls)-1].MethodID)
+		if !ok || last.Category != tspec.CatDestructor {
+			t.Errorf("case %s does not end with the destructor (%+v)", tc.ID, last)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generateAccount(t, Options{Seed: 7})
+	b := generateAccount(t, Options{Seed: 7})
+	if len(a.Cases) != len(b.Cases) {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		ca, cb := a.Cases[i], b.Cases[i]
+		if ca.Transaction != cb.Transaction || len(ca.Calls) != len(cb.Calls) {
+			t.Fatalf("case %d structure differs", i)
+		}
+		for j := range ca.Calls {
+			if ca.Calls[j].Method != cb.Calls[j].Method {
+				t.Fatalf("case %d call %d method differs", i, j)
+			}
+			for k := range ca.Calls[j].Args {
+				if !ca.Calls[j].Args[k].Equal(cb.Calls[j].Args[k]) {
+					t.Fatalf("case %d call %d arg %d differs: %v vs %v",
+						i, j, k, ca.Calls[j].Args[k], cb.Calls[j].Args[k])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	a := generateAccount(t, Options{Seed: 1})
+	b := generateAccount(t, Options{Seed: 2})
+	differ := false
+	for i := range a.Cases {
+		if i >= len(b.Cases) {
+			break
+		}
+		for j := range a.Cases[i].Calls {
+			ca, cb := a.Cases[i].Calls[j], b.Cases[i].Calls[j]
+			if ca.Method != cb.Method || len(ca.Args) != len(cb.Args) {
+				differ = true // different alternative sampled
+				continue
+			}
+			for k, arg := range ca.Args {
+				if !arg.Equal(cb.Args[k]) {
+					differ = true
+				}
+			}
+		}
+	}
+	if !differ {
+		t.Error("different seeds produced identical argument values")
+	}
+}
+
+func TestGenerateArgsRespectDomains(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 3, ExpandAlternatives: true})
+	spec := account.Spec()
+	for _, tc := range s.Cases {
+		for _, c := range tc.Calls {
+			m, ok := spec.MethodByID(c.MethodID)
+			if !ok {
+				t.Fatalf("unknown method %s", c.MethodID)
+			}
+			if len(c.Args) != len(m.Params) {
+				t.Fatalf("call %s has %d args, want %d", c.Method, len(c.Args), len(m.Params))
+			}
+			for i, p := range m.Params {
+				if holeAt(c, i) {
+					continue
+				}
+				d, err := p.Domain.Build()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !d.Contains(c.Args[i]) {
+					t.Errorf("call %s arg %d = %v outside declared domain %s",
+						c.Method, i, c.Args[i], d.Describe())
+				}
+			}
+		}
+	}
+}
+
+func holeAt(c Call, i int) bool {
+	for _, h := range c.Holes {
+		if h.Arg == i {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGenerateExpandAlternatives(t *testing.T) {
+	single := generateAccount(t, Options{Seed: 4})
+	expanded := generateAccount(t, Options{Seed: 4, ExpandAlternatives: true})
+	if len(expanded.Cases) <= len(single.Cases) {
+		t.Errorf("expansion gave %d cases, single-choice gave %d",
+			len(expanded.Cases), len(single.Cases))
+	}
+	capped := generateAccount(t, Options{Seed: 4, ExpandAlternatives: true, MaxAlternatives: 2})
+	perTransaction := map[string]int{}
+	for _, tc := range capped.Cases {
+		perTransaction[tc.Transaction]++
+	}
+	for tr, n := range perTransaction {
+		if n > 2 {
+			t.Errorf("transaction %s expanded to %d cases despite cap 2", tr, n)
+		}
+	}
+}
+
+func TestGenerateHolesForStructuredParams(t *testing.T) {
+	spec, err := tspec.NewBuilder("Holder").
+		Method("m1", "Holder", "", tspec.CatConstructor).
+		Method("m2", "~Holder", "", tspec.CatDestructor).
+		Method("m3", "Attach", "", tspec.CatUpdate).
+		Param("p", tspec.PointerTo("Provider", true)).
+		Param("o", tspec.ObjectOf("Widget")).
+		Node("n1", true, "m1").
+		Node("n2", false, "m3").
+		Node("n3", false, "m2").
+		Edge("n1", "n2").
+		Edge("n2", "n3").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Generate(spec, Options{Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var attach *Call
+	for i := range s.Cases {
+		for j := range s.Cases[i].Calls {
+			if s.Cases[i].Calls[j].Method == "Attach" {
+				attach = &s.Cases[i].Calls[j]
+			}
+		}
+	}
+	if attach == nil {
+		t.Fatal("Attach call not generated")
+	}
+	if len(attach.Holes) != 2 {
+		t.Fatalf("holes = %+v, want 2", attach.Holes)
+	}
+	if attach.Holes[0].TypeName != "Provider" || !attach.Holes[0].Nullable {
+		t.Errorf("hole 0 = %+v", attach.Holes[0])
+	}
+	if attach.Holes[1].TypeName != "Widget" || attach.Holes[1].Nullable {
+		t.Errorf("hole 1 = %+v", attach.Holes[1])
+	}
+	if s.Stats().Holes == 0 {
+		t.Error("stats should count holes")
+	}
+}
+
+func TestGenerateInvalidSpec(t *testing.T) {
+	bad := account.Spec().Clone()
+	bad.Class.Name = ""
+	if _, err := Generate(bad, Options{}); err == nil {
+		t.Error("generating from invalid spec should fail")
+	}
+}
+
+func TestGenerateCriteria(t *testing.T) {
+	all := generateAccount(t, Options{Seed: 5, Criterion: tfm.CoverTransactions})
+	links := generateAccount(t, Options{Seed: 5, Criterion: tfm.CoverLinks})
+	nodes := generateAccount(t, Options{Seed: 5, Criterion: tfm.CoverNodes})
+	if !(len(nodes.Cases) <= len(links.Cases) && len(links.Cases) <= len(all.Cases)) {
+		t.Errorf("criteria ordering violated: nodes=%d links=%d all=%d",
+			len(nodes.Cases), len(links.Cases), len(all.Cases))
+	}
+	if links.Criterion != "all-links" || nodes.Criterion != "all-nodes" {
+		t.Error("criterion labels wrong")
+	}
+}
+
+func TestSuiteSaveLoadRoundTrip(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 6})
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if back.Component != s.Component || back.Seed != s.Seed || len(back.Cases) != len(s.Cases) {
+		t.Fatalf("round trip lost header/cases")
+	}
+	for i := range s.Cases {
+		if s.Cases[i].Transaction != back.Cases[i].Transaction {
+			t.Fatalf("case %d transaction differs", i)
+		}
+		for j := range s.Cases[i].Calls {
+			a, b := s.Cases[i].Calls[j], back.Cases[i].Calls[j]
+			if a.Method != b.Method || len(a.Args) != len(b.Args) {
+				t.Fatalf("case %d call %d differs", i, j)
+			}
+			for k := range a.Args {
+				if !a.Args[k].Equal(b.Args[k]) {
+					t.Fatalf("case %d call %d arg %d differs", i, j, k)
+				}
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not json")); err == nil {
+		t.Error("loading garbage should fail")
+	}
+}
+
+func TestSuiteAccessors(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 8})
+	tc, ok := s.CaseByID("TC0")
+	if !ok || tc.ID != "TC0" {
+		t.Errorf("CaseByID(TC0) = %+v, %v", tc, ok)
+	}
+	if _, ok := s.CaseByID("TC99999"); ok {
+		t.Error("CaseByID should miss")
+	}
+	if got := tc.Methods(); len(got) == 0 {
+		t.Error("Methods() empty")
+	}
+	st := s.Stats()
+	if st.Cases != len(s.Cases) || st.Calls == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if !strings.Contains(st.String(), "test cases") {
+		t.Errorf("stats string = %q", st.String())
+	}
+}
+
+func TestEmitProducesParsableGo(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 9})
+	var buf bytes.Buffer
+	err := Emit(&buf, s, EmitOptions{
+		ComponentImport: "concat/internal/components/account",
+		FactoryExpr:     "account.NewFactory()",
+	})
+	if err != nil {
+		t.Fatalf("Emit: %v", err)
+	}
+	src := buf.String()
+	for _, want := range []string{
+		"package main",
+		"func testCase0() driver.TestCase",
+		"func main() {",
+		"account.NewFactory()",
+		"testexec.Run",
+		"Code generated by the Concat driver generator",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("emitted driver missing %q", want)
+		}
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "driver.go", src, 0); err != nil {
+		t.Fatalf("emitted driver does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestEmitRequiresFactory(t *testing.T) {
+	s := generateAccount(t, Options{Seed: 9})
+	if err := Emit(&bytes.Buffer{}, s, EmitOptions{}); err == nil {
+		t.Error("Emit without factory config should fail")
+	}
+}
+
+func TestEmitValueLiterals(t *testing.T) {
+	if got := valueLit(domain.Int(-3)); got != "domain.Int(-3)" {
+		t.Errorf("int lit = %q", got)
+	}
+	if got := valueLit(domain.Float(1.5)); got != "domain.Float(1.5)" {
+		t.Errorf("float lit = %q", got)
+	}
+	if got := valueLit(domain.Str("a\"b")); got != `domain.Str("a\"b")` {
+		t.Errorf("string lit = %q", got)
+	}
+	if got := valueLit(domain.Bool(true)); got != "domain.Bool(true)" {
+		t.Errorf("bool lit = %q", got)
+	}
+	if got := valueLit(domain.Nil()); got != "domain.Nil()" {
+		t.Errorf("nil lit = %q", got)
+	}
+}
+
+func TestGenerateSoak(t *testing.T) {
+	spec := account.Spec()
+	s, err := GenerateSoak(spec, SoakOptions{Seed: 9, Cases: 50, MaxLength: 12})
+	if err != nil {
+		t.Fatalf("GenerateSoak: %v", err)
+	}
+	if len(s.Cases) != 50 {
+		t.Fatalf("cases = %d", len(s.Cases))
+	}
+	if s.Criterion != "random-walk" {
+		t.Errorf("criterion = %q", s.Criterion)
+	}
+	for _, tc := range s.Cases {
+		if len(tc.Calls) < 2 {
+			t.Fatalf("case %s too short", tc.ID)
+		}
+		first, _ := spec.MethodByID(tc.Calls[0].MethodID)
+		last, _ := spec.MethodByID(tc.Calls[len(tc.Calls)-1].MethodID)
+		if first.Category != tspec.CatConstructor || last.Category != tspec.CatDestructor {
+			t.Fatalf("case %s is not birth-to-death: %s..%s", tc.ID, first.Name, last.Name)
+		}
+	}
+}
+
+func TestGenerateSoakDeterministic(t *testing.T) {
+	a, err := GenerateSoak(account.Spec(), SoakOptions{Seed: 4, Cases: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSoak(account.Spec(), SoakOptions{Seed: 4, Cases: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cases {
+		if a.Cases[i].Transaction != b.Cases[i].Transaction {
+			t.Fatalf("walk %d diverged", i)
+		}
+	}
+}
+
+func TestGenerateSoakDefaults(t *testing.T) {
+	s, err := GenerateSoak(account.Spec(), SoakOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cases) != 100 {
+		t.Errorf("default cases = %d", len(s.Cases))
+	}
+}
+
+func TestGenerateSoakInvalidSpec(t *testing.T) {
+	bad := account.Spec().Clone()
+	bad.Class.Name = ""
+	if _, err := GenerateSoak(bad, SoakOptions{Seed: 1}); err == nil {
+		t.Error("invalid spec should fail")
+	}
+}
+
+func TestGenerateBoundaryCases(t *testing.T) {
+	plain := generateAccount(t, Options{Seed: 2})
+	withB := generateAccount(t, Options{Seed: 2, BoundaryCases: true})
+	if len(withB.Cases) <= len(plain.Cases) {
+		t.Fatalf("boundary generation added no cases: %d vs %d", len(withB.Cases), len(plain.Cases))
+	}
+	// Boundary cases use domain limits: the Deposit amount 1 or 1000 must
+	// appear somewhere.
+	spec := account.Spec()
+	sawBoundary := false
+	for _, tc := range withB.Cases {
+		for _, c := range tc.Calls {
+			m, ok := spec.MethodByID(c.MethodID)
+			if !ok {
+				continue
+			}
+			for i, p := range m.Params {
+				d, err := p.Domain.Build()
+				if err != nil || holeAt(c, i) {
+					continue
+				}
+				for _, b := range d.Boundary() {
+					if c.Args[i].Equal(b) {
+						sawBoundary = true
+					}
+				}
+			}
+		}
+	}
+	if !sawBoundary {
+		t.Error("no boundary values found in boundary cases")
+	}
+}

@@ -1,0 +1,237 @@
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strconv"
+
+	"concat/internal/domain"
+	"concat/internal/tfm"
+	"concat/internal/tspec"
+)
+
+// Options configure test generation.
+type Options struct {
+	// Seed makes generation reproducible; the same spec, options and seed
+	// always yield the same suite.
+	Seed int64
+	// Criterion selects the coverage criterion; zero means transaction
+	// coverage, the criterion the paper's Driver Generator implements.
+	Criterion tfm.Criterion
+	// Enum bounds transaction enumeration (loop bound, limits).
+	Enum tfm.EnumOptions
+	// ExpandAlternatives, when true, generates one test case per choice of
+	// method alternative at each node (capped by MaxAlternatives); when
+	// false one alternative is sampled per node per transaction.
+	ExpandAlternatives bool
+	// MaxAlternatives caps the per-transaction expansion; zero means 8.
+	MaxAlternatives int
+	// BoundaryCases, when true, adds one extra case per transaction whose
+	// arguments are domain boundary values (lower limit, upper limit, ...)
+	// instead of random samples — the classic complement to the paper's
+	// random selection from the valid subdomain.
+	BoundaryCases bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Criterion == 0 {
+		o.Criterion = tfm.CoverTransactions
+	}
+	if o.MaxAlternatives <= 0 {
+		o.MaxAlternatives = 8
+	}
+	return o
+}
+
+// Generate runs the Driver Generator: spec -> transactions -> test cases.
+// A truncated enumeration (tfm.ErrTruncated) is not an error here; the suite
+// simply covers the truncated space. Invalid specs and unbuildable domains
+// are errors.
+func Generate(spec *tspec.Spec, opts Options) (*Suite, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("driver: generating for %q: %w", spec.Class.Name, err)
+	}
+	opts = opts.withDefaults()
+	g, err := spec.TFM()
+	if err != nil {
+		return nil, fmt.Errorf("driver: generating for %q: %w", spec.Class.Name, err)
+	}
+	transactions, err := g.Select(opts.Criterion, opts.Enum)
+	if err != nil && !errors.Is(err, tfm.ErrTruncated) {
+		return nil, fmt.Errorf("driver: generating for %q: %w", spec.Class.Name, err)
+	}
+
+	rng := domain.NewRand(opts.Seed)
+	suite := &Suite{
+		Component: spec.Class.Name,
+		Seed:      opts.Seed,
+		Criterion: opts.Criterion.String(),
+	}
+	for _, tr := range transactions {
+		combos, err := methodCombos(spec, tr, opts, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, combo := range combos {
+			tc, err := buildCase(spec, tr, combo, rng, len(suite.Cases))
+			if err != nil {
+				return nil, err
+			}
+			suite.Cases = append(suite.Cases, tc)
+		}
+		if opts.BoundaryCases && len(combos) > 0 {
+			tc, err := buildBoundaryCase(spec, tr, combos[0], len(suite.Cases))
+			if err != nil {
+				return nil, err
+			}
+			suite.Cases = append(suite.Cases, tc)
+		}
+	}
+	return suite, nil
+}
+
+// buildBoundaryCase builds one case whose arguments are boundary values:
+// the i-th argument of each call takes the (i mod len(boundary))-th
+// boundary member, cycling so that a transaction exercises several edges of
+// each domain across its calls.
+func buildBoundaryCase(spec *tspec.Spec, tr tfm.Transaction, combo []string, ordinal int) (TestCase, error) {
+	tc := TestCase{
+		ID:          "TC" + strconv.Itoa(ordinal),
+		Transaction: tr.Key(),
+	}
+	for _, id := range tr.Path {
+		tc.Path = append(tc.Path, string(id))
+	}
+	pick := 0
+	for _, methodID := range combo {
+		m, ok := spec.MethodByID(methodID)
+		if !ok {
+			return TestCase{}, fmt.Errorf("driver: unknown method %s", methodID)
+		}
+		call := Call{MethodID: m.ID, Method: m.Name}
+		for i, p := range m.Params {
+			switch p.Domain.Kind {
+			case tspec.DomObject, tspec.DomPointer:
+				call.Args = append(call.Args, domain.Nil())
+				call.Holes = append(call.Holes, Hole{
+					Arg:      i,
+					TypeName: p.Domain.TypeName,
+					Nullable: p.Domain.Kind == tspec.DomPointer && p.Domain.Nullable,
+				})
+			default:
+				d, err := p.Domain.Build()
+				if err != nil {
+					return TestCase{}, fmt.Errorf("driver: parameter %q: %w", p.Name, err)
+				}
+				bs := d.Boundary()
+				if len(bs) == 0 {
+					// Domains without boundaries (none today) would need a
+					// sample; fail loudly instead of guessing.
+					return TestCase{}, fmt.Errorf("driver: parameter %q has no boundary values", p.Name)
+				}
+				call.Args = append(call.Args, bs[pick%len(bs)])
+				pick++
+			}
+		}
+		tc.Calls = append(tc.Calls, call)
+	}
+	return tc, nil
+}
+
+// methodCombos chooses, for every node of the transaction, which of the
+// node's alternative methods each generated case invokes.
+func methodCombos(spec *tspec.Spec, tr tfm.Transaction, opts Options, rng *rand.Rand) ([][]string, error) {
+	alternatives := make([][]string, len(tr.Path))
+	for i, nodeID := range tr.Path {
+		n, ok := spec.NodeByID(string(nodeID))
+		if !ok {
+			return nil, fmt.Errorf("driver: transaction references unknown node %s", nodeID)
+		}
+		if len(n.Methods) == 0 {
+			return nil, fmt.Errorf("driver: node %s has no methods", nodeID)
+		}
+		alternatives[i] = n.Methods
+	}
+	if !opts.ExpandAlternatives {
+		combo := make([]string, len(alternatives))
+		for i, alts := range alternatives {
+			combo[i] = alts[rng.IntN(len(alts))]
+		}
+		return [][]string{combo}, nil
+	}
+	// Expansion guarantees every alternative of every node appears in at
+	// least one test case of the transaction: combo k picks alternative
+	// k mod len(alts) at each node, and the combo count is the widest
+	// node's alternative count (capped). A full cartesian product would be
+	// exponential and — worse — a truncated product silently never
+	// exercises the later alternatives of later nodes.
+	width := 1
+	for _, alts := range alternatives {
+		if len(alts) > width {
+			width = len(alts)
+		}
+	}
+	if width > opts.MaxAlternatives {
+		width = opts.MaxAlternatives
+	}
+	combos := make([][]string, width)
+	for k := 0; k < width; k++ {
+		combo := make([]string, len(alternatives))
+		for i, alts := range alternatives {
+			combo[i] = alts[k%len(alts)]
+		}
+		combos[k] = combo
+	}
+	return combos, nil
+}
+
+// buildCase samples arguments for one method combination.
+func buildCase(spec *tspec.Spec, tr tfm.Transaction, combo []string, rng *rand.Rand, ordinal int) (TestCase, error) {
+	tc := TestCase{
+		ID:          "TC" + strconv.Itoa(ordinal),
+		Transaction: tr.Key(),
+	}
+	for _, id := range tr.Path {
+		tc.Path = append(tc.Path, string(id))
+	}
+	for _, methodID := range combo {
+		m, ok := spec.MethodByID(methodID)
+		if !ok {
+			return TestCase{}, fmt.Errorf("driver: unknown method %s", methodID)
+		}
+		call, err := buildCall(m, rng)
+		if err != nil {
+			return TestCase{}, fmt.Errorf("driver: case %s method %s: %w", tc.ID, m.Name, err)
+		}
+		tc.Calls = append(tc.Calls, call)
+	}
+	return tc, nil
+}
+
+func buildCall(m tspec.Method, rng *rand.Rand) (Call, error) {
+	call := Call{MethodID: m.ID, Method: m.Name}
+	for i, p := range m.Params {
+		switch p.Domain.Kind {
+		case tspec.DomObject, tspec.DomPointer:
+			// Structured parameter: leave a hole for manual completion.
+			call.Args = append(call.Args, domain.Nil())
+			call.Holes = append(call.Holes, Hole{
+				Arg:      i,
+				TypeName: p.Domain.TypeName,
+				Nullable: p.Domain.Kind == tspec.DomPointer && p.Domain.Nullable,
+			})
+		default:
+			d, err := p.Domain.Build()
+			if err != nil {
+				return Call{}, fmt.Errorf("parameter %q: %w", p.Name, err)
+			}
+			v, err := d.Sample(rng)
+			if err != nil {
+				return Call{}, fmt.Errorf("parameter %q: %w", p.Name, err)
+			}
+			call.Args = append(call.Args, v)
+		}
+	}
+	return call, nil
+}

@@ -1,0 +1,64 @@
+package driver
+
+import (
+	"fmt"
+
+	"concat/internal/domain"
+	"concat/internal/tspec"
+)
+
+// SoakOptions configure random-walk suite generation.
+type SoakOptions struct {
+	// Seed drives both the walks and the argument sampling.
+	Seed int64
+	// Cases is the number of random transactions to generate.
+	Cases int
+	// MaxLength bounds each walk; zero means 4x the node count.
+	MaxLength int
+}
+
+// GenerateSoak produces a suite of random transactions: each test case is
+// one random walk through the TFM from a birth node to a death node, with
+// arguments drawn from the declared domains. Where the systematic generator
+// (Generate) enumerates the bounded transaction space once, the soak
+// generator samples the unbounded space — long, repetitive method sequences
+// the enumeration's loop bound excludes. It is the load/endurance-testing
+// complement the transaction flow model supports "for free".
+func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
+	}
+	if opts.Cases <= 0 {
+		opts.Cases = 100
+	}
+	g, err := spec.TFM()
+	if err != nil {
+		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
+	}
+	rng := domain.NewRand(opts.Seed)
+	suite := &Suite{
+		Component: spec.Class.Name,
+		Seed:      opts.Seed,
+		Criterion: "random-walk",
+	}
+	for i := 0; i < opts.Cases; i++ {
+		tr, err := g.RandomWalk(rng, opts.MaxLength)
+		if err != nil {
+			return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
+		}
+		combo := make([]string, len(tr.Path))
+		for j, nodeID := range tr.Path {
+			n, ok := spec.NodeByID(string(nodeID))
+			if !ok || len(n.Methods) == 0 {
+				return nil, fmt.Errorf("driver: walk visited unusable node %s", nodeID)
+			}
+			combo[j] = n.Methods[rng.IntN(len(n.Methods))]
+		}
+		tc, err := buildCase(spec, tr, combo, rng, i)
+		if err != nil {
+			return nil, err
+		}
+		suite.Cases = append(suite.Cases, tc)
+	}
+	return suite, nil
+}

@@ -1,0 +1,130 @@
+// Package driver implements the Driver Generator of §3.4.1: it consumes a
+// component's t-spec, enumerates transactions under the transaction coverage
+// criterion, draws method arguments at random from the declared parameter
+// domains, and emits an executable test suite.
+//
+// In the paper a generated test case is a C++ template function (Figure 6)
+// and a driver is a compiled program (Figure 7). Here a suite is data,
+// executed by package testexec through the component.Instance interface; an
+// emitter that renders a suite as a runnable Go driver source file is
+// provided for fidelity with the paper's code-generation architecture.
+package driver
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"concat/internal/domain"
+)
+
+// Hole marks an argument position the generator could not fill: a
+// structured (object/pointer) parameter. The paper: "Structured type
+// parameters (including objects, arrays, and pointers) must be completed
+// manually by the tester." The executor completes holes from its Provider
+// map at run time.
+type Hole struct {
+	Arg      int    `json:"arg"`      // argument index within the call
+	TypeName string `json:"typeName"` // required component type
+	Nullable bool   `json:"nullable"` // nil is an acceptable completion
+}
+
+// Call is one method invocation within a test case.
+type Call struct {
+	MethodID string         `json:"methodId"`       // t-spec identifier (m1, ...)
+	Method   string         `json:"method"`         // method name
+	Args     []domain.Value `json:"args,omitempty"` // generated arguments; hole positions carry nil
+	Holes    []Hole         `json:"holes,omitempty"`
+}
+
+// TestCase exercises one transaction: a birth-to-death sequence of calls.
+// Calls[0] is the constructor and the final call is the destructor, matching
+// the paper's rule that a test case "sets the object to an initial state (by
+// using one of its constructors) and terminates by destroying it".
+type TestCase struct {
+	ID          string   `json:"id"`          // TC0, TC1, ... (the paper's TestCase0 naming)
+	Transaction string   `json:"transaction"` // canonical transaction key (tfm.Transaction.Key)
+	Path        []string `json:"path"`        // node IDs traversed
+	Calls       []Call   `json:"calls"`
+}
+
+// Methods returns the distinct method names the case invokes, in call order.
+func (tc TestCase) Methods() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range tc.Calls {
+		if !seen[c.Method] {
+			seen[c.Method] = true
+			out = append(out, c.Method)
+		}
+	}
+	return out
+}
+
+// Holes counts argument positions awaiting manual completion.
+func (tc TestCase) NumHoles() int {
+	n := 0
+	for _, c := range tc.Calls {
+		n += len(c.Holes)
+	}
+	return n
+}
+
+// Suite is an executable test suite for one component.
+type Suite struct {
+	Component string     `json:"component"`
+	Seed      int64      `json:"seed"`
+	Criterion string     `json:"criterion"`
+	Cases     []TestCase `json:"cases"`
+}
+
+// Stats summarizes a suite.
+type Stats struct {
+	Cases, Calls, Holes int
+}
+
+// Stats computes the suite summary.
+func (s *Suite) Stats() Stats {
+	var st Stats
+	st.Cases = len(s.Cases)
+	for _, tc := range s.Cases {
+		st.Calls += len(tc.Calls)
+		st.Holes += tc.NumHoles()
+	}
+	return st
+}
+
+// String renders the stats line.
+func (st Stats) String() string {
+	return fmt.Sprintf("%d test cases, %d calls, %d holes", st.Cases, st.Calls, st.Holes)
+}
+
+// CaseByID returns the named test case.
+func (s *Suite) CaseByID(id string) (TestCase, bool) {
+	for _, tc := range s.Cases {
+		if tc.ID == id {
+			return tc, true
+		}
+	}
+	return TestCase{}, false
+}
+
+// Save writes the suite as JSON — the persistent form the test history
+// stores and reloads.
+func (s *Suite) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("driver: encoding suite: %w", err)
+	}
+	return nil
+}
+
+// Load reads a suite saved with Save.
+func Load(r io.Reader) (*Suite, error) {
+	var s Suite
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("driver: decoding suite: %w", err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"concat/internal/analysis"
+)
+
+func newSetup(t *testing.T) *Setup {
+	t.Helper()
+	s, err := NewSetup(Default())
+	if err != nil {
+		t.Fatalf("NewSetup: %v", err)
+	}
+	return s
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := Default()
+	if cfg.Seed != 42 || cfg.ParentOpts.Seed != 42 {
+		t.Errorf("config seeds = %+v", cfg)
+	}
+	if !cfg.ParentOpts.ExpandAlternatives || cfg.ParentOpts.MaxAlternatives != 4 {
+		t.Errorf("parent opts = %+v", cfg.ParentOpts)
+	}
+	if cfg.ChildOpts.Enum.LoopBound != 3 {
+		t.Errorf("child loop bound = %d", cfg.ChildOpts.Enum.LoopBound)
+	}
+}
+
+func TestSetupCounts(t *testing.T) {
+	s := newSetup(t)
+	c, err := s.Counts()
+	if err != nil {
+		t.Fatalf("Counts: %v", err)
+	}
+	// The frozen numbers of EXPERIMENTS.md; a change here invalidates the
+	// published tables and must be deliberate.
+	if c.ParentModel.Nodes != 10 || c.ParentModel.Edges != 24 {
+		t.Errorf("parent model = %+v", c.ParentModel)
+	}
+	if c.ChildModel.Nodes != 12 || c.ChildModel.Edges != 31 {
+		t.Errorf("child model = %+v", c.ChildModel)
+	}
+	if c.ParentCases != 628 {
+		t.Errorf("parent cases = %d, want 628", c.ParentCases)
+	}
+	if c.NewCases != 200 || c.ReusedCases != 56 || c.Skipped != 94 {
+		t.Errorf("derived = %d/%d/%d, want 200/56/94", c.NewCases, c.ReusedCases, c.Skipped)
+	}
+	var sb strings.Builder
+	c.Render(&sb)
+	if !strings.Contains(sb.String(), "paper: 233") {
+		t.Errorf("render missing paper reference: %q", sb.String())
+	}
+}
+
+func TestTable1(t *testing.T) {
+	var sb strings.Builder
+	Table1(&sb)
+	out := sb.String()
+	for _, want := range []string{"IndVarBitNeg", "IndVarRepGlob", "IndVarRepLoc",
+		"IndVarRepExt", "IndVarRepReq", "required constants"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+}
+
+func TestFigure2(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure2(&sb); err != nil {
+		t.Fatalf("Figure2: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"digraph", "color=red", "transactions at loop bound 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure2 missing %q", want)
+		}
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure3(&sb); err != nil {
+		t.Fatalf("Figure3: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Class('Product'") {
+		t.Errorf("Figure3 output: %q", sb.String()[:80])
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	var sb strings.Builder
+	if err := Figure6(&sb, 42); err != nil {
+		t.Fatalf("Figure6: %v", err)
+	}
+	for _, want := range []string{"package main", "testexec.Run", "product.NewFactory()"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("Figure6 missing %q", want)
+		}
+	}
+}
+
+func TestExperimentsReproduceTheShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	s := newSetup(t)
+
+	r1, err := s.Experiment1(nil)
+	if err != nil {
+		t.Fatalf("Experiment1: %v", err)
+	}
+	t1 := r1.Tabulate()
+	score1 := t1.Total.Score()
+
+	r2, err := s.Experiment2(nil)
+	if err != nil {
+		t.Fatalf("Experiment2: %v", err)
+	}
+	t2 := r2.Tabulate()
+	score2 := t2.Total.Score()
+
+	base, err := s.Experiment2Baseline(nil)
+	if err != nil {
+		t.Fatalf("Experiment2Baseline: %v", err)
+	}
+	scoreBase := base.Tabulate().Total.Score()
+
+	// The paper's shape, as invariants:
+	// (1) experiment 1 scores high;
+	if score1 < 0.85 {
+		t.Errorf("experiment 1 score = %.1f%%, want >= 85%% (paper: 95.7%%)", score1*100)
+	}
+	// (2) the reduced suite loses substantial kill power vs both exp 1 and
+	// the baseline;
+	if score2 >= score1-0.10 {
+		t.Errorf("experiment 2 score %.1f%% not clearly below experiment 1 %.1f%%",
+			score2*100, score1*100)
+	}
+	if score2 >= scoreBase-0.10 {
+		t.Errorf("experiment 2 score %.1f%% not clearly below baseline %.1f%%",
+			score2*100, scoreBase*100)
+	}
+	// (3) assertion violations contribute a visible minority of exp-1 kills;
+	ak := t1.KillsByReason[analysis.KillAssertion]
+	if ak == 0 || ak >= t1.Total.Killed/2 {
+		t.Errorf("assertion kills = %d of %d, want a visible minority", ak, t1.Total.Killed)
+	}
+	// (4) equivalents appear in experiment 1 and (nearly) vanish in 2;
+	if t1.Total.Equivalent == 0 {
+		t.Error("experiment 1 should find equivalence candidates")
+	}
+	if t2.Total.Equivalent > t1.Total.Equivalent {
+		t.Errorf("experiment 2 equivalents (%d) exceed experiment 1 (%d)",
+			t2.Total.Equivalent, t1.Total.Equivalent)
+	}
+	// (5) Sort1 dominates the experiment-1 mutant counts (paper: 280/700).
+	sort1 := 0
+	for _, n := range t1.MethodCounts["Sort1"] {
+		sort1 += n
+	}
+	for _, m := range t1.Methods {
+		if m == "Sort1" {
+			continue
+		}
+		other := 0
+		for _, n := range t1.MethodCounts[m] {
+			other += n
+		}
+		if other > sort1 {
+			t.Errorf("method %s has more mutants (%d) than Sort1 (%d)", m, other, sort1)
+		}
+	}
+	// (6) experiment 2 kills nothing by crash (paper's mutants there fail
+	// silently or corrupt state; ours likewise).
+	if base.Tabulate().KillsByReason[analysis.KillCrash] != 0 {
+		t.Log("baseline crash kills present (informational)")
+	}
+}
+
+func TestOracleAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	s := newSetup(t)
+	oa, err := s.RunOracleAblation()
+	if err != nil {
+		t.Fatalf("RunOracleAblation: %v", err)
+	}
+	if oa.AssertionsOnlyScore >= oa.FullScore {
+		t.Errorf("assertions-only (%.1f%%) should be weaker than the full oracle (%.1f%%)",
+			oa.AssertionsOnlyScore*100, oa.FullScore*100)
+	}
+	if oa.AssertionsOnlyScore > 0.7 {
+		t.Errorf("assertions-only = %.1f%%: the paper says assertions alone are not an effective oracle",
+			oa.AssertionsOnlyScore*100)
+	}
+	var sb strings.Builder
+	oa.Render(&sb)
+	if !strings.Contains(sb.String(), "assertions/crashes only") {
+		t.Errorf("render = %q", sb.String())
+	}
+}
+
+func TestCriterionAblationShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	rows, err := RunCriterionAblation(42)
+	if err != nil {
+		t.Fatalf("RunCriterionAblation: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Cases: transactions >= links >= nodes. Scores: same ordering.
+	if !(rows[0].Cases >= rows[1].Cases && rows[1].Cases >= rows[2].Cases) {
+		t.Errorf("case ordering violated: %+v", rows)
+	}
+	if !(rows[0].Score >= rows[1].Score && rows[1].Score >= rows[2].Score) {
+		t.Errorf("score ordering violated: %+v", rows)
+	}
+}
+
+func TestLoopBoundAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	s := newSetup(t)
+	rows, err := s.RunLoopBoundAblation([]int{1, 2})
+	if err != nil {
+		t.Fatalf("RunLoopBoundAblation: %v", err)
+	}
+	if len(rows) != 2 || rows[0].LoopBound != 1 || rows[1].LoopBound != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[1].Cases <= rows[0].Cases {
+		t.Errorf("loop bound 2 should enlarge the suite: %d vs %d", rows[1].Cases, rows[0].Cases)
+	}
+}
+
+func TestExperimentsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	a := newSetup(t)
+	b := newSetup(t)
+	ra, err := a.Experiment2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.Experiment2(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := ra.Tabulate(), rb.Tabulate()
+	if ta.Total != tb.Total {
+		t.Errorf("experiment 2 not deterministic: %+v vs %+v", ta.Total, tb.Total)
+	}
+}

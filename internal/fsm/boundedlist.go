@@ -1,0 +1,87 @@
+package fsm
+
+import (
+	"fmt"
+	"strconv"
+
+	"concat/internal/domain"
+	"concat/internal/driver"
+)
+
+// BoundedListMachine models the ObList component as a finite state machine
+// whose states are the concrete element counts 0..capacity — the standard
+// FSM idiom for containers, and exactly the construction whose size the
+// paper's §3.2 argument is about. Per count state the machine has:
+//
+//   - AddHead / AddTail transitions up to the capacity,
+//   - RemoveHead / RemoveTail transitions down to zero,
+//   - a GetCount self-loop (observer).
+//
+// The machine's size is Θ(capacity): (capacity+1) states and roughly
+// 4*capacity + (capacity+1) transitions, versus the component's fixed
+// 10-node TFM. Generated tours execute against the real ObList component
+// (see SuiteFromTour), so the comparison is between live, working models.
+func BoundedListMachine(capacity int) (*Machine, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("fsm: capacity %d must be positive", capacity)
+	}
+	state := func(n int) State { return State("s" + strconv.Itoa(n)) }
+	m := New("ObList", state(0))
+	for n := 0; n <= capacity; n++ {
+		m.AddState(state(n))
+		if err := m.AddTransition(Transition{
+			From: state(n), Method: "GetCount", To: state(n),
+		}); err != nil {
+			return nil, err
+		}
+		if n < capacity {
+			for _, method := range []string{"AddHead", "AddTail"} {
+				if err := m.AddTransition(Transition{
+					From:   state(n),
+					Method: method,
+					Args:   []domain.Value{domain.Int(int64(n + 1))},
+					To:     state(n + 1),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if n > 0 {
+			for _, method := range []string{"RemoveHead", "RemoveTail"} {
+				if err := m.AddTransition(Transition{
+					From: state(n), Method: method, To: state(n - 1),
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// SuiteFromTour lowers an all-transitions tour onto an executable suite for
+// the modelled component: each sequence becomes one birth-to-death test
+// case (constructor, the tour's method calls, destructor).
+func SuiteFromTour(m *Machine, tours []TestSequence, ctor, ctorID, dtor, dtorID string) *driver.Suite {
+	suite := &driver.Suite{
+		Component: m.Name(),
+		Criterion: "fsm-all-transitions",
+	}
+	for i, tour := range tours {
+		tc := driver.TestCase{
+			ID:          "TC" + strconv.Itoa(i),
+			Transaction: "fsm:" + tour.Target.key(),
+		}
+		tc.Calls = append(tc.Calls, driver.Call{MethodID: ctorID, Method: ctor})
+		for _, step := range tour.Steps {
+			tc.Calls = append(tc.Calls, driver.Call{
+				MethodID: step.Method,
+				Method:   step.Method,
+				Args:     append([]domain.Value(nil), step.Args...),
+			})
+		}
+		tc.Calls = append(tc.Calls, driver.Call{MethodID: dtorID, Method: dtor})
+		suite.Cases = append(suite.Cases, tc)
+	}
+	return suite
+}

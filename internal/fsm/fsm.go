@@ -1,0 +1,234 @@
+// Package fsm implements the finite-state-machine test model the paper
+// compares the transaction flow model against (§3.2): "Our main reason to
+// use such model [the TFM] is that it scales up easier than finite state
+// machine models, which are more commonly used in OO testing."
+//
+// The package exists to make that claim measurable. A Machine models an
+// object's behaviour as concrete states and method-labelled transitions;
+// test generation is all-transitions coverage (each transition exercised at
+// least once, reached via a shortest path from the initial state). For a
+// bounded container the machine's size grows with the capacity — state
+// count N+1, transition count O(N x methods) — while the component's TFM
+// stays fixed. The scaling ablation in internal/experiments tabulates the
+// comparison; BoundedListMachine builds FSMs for the ObList subject whose
+// generated tests actually run against the component.
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"concat/internal/domain"
+)
+
+// State names one concrete object state.
+type State string
+
+// Transition is one labelled edge: in state From, calling Method (with
+// Args) moves the object to state To.
+type Transition struct {
+	From   State
+	Method string
+	Args   []domain.Value
+	To     State
+}
+
+// key identifies a transition for coverage bookkeeping.
+func (t Transition) key() string {
+	return string(t.From) + "|" + t.Method + "|" + string(t.To)
+}
+
+// String renders the transition.
+func (t Transition) String() string {
+	return fmt.Sprintf("%s --%s--> %s", t.From, t.Method, t.To)
+}
+
+// Machine is a finite-state test model. Build with New/AddState/
+// AddTransition; the zero value is unusable.
+type Machine struct {
+	name        string
+	states      map[State]bool
+	initial     State
+	transitions []Transition
+	// adjacency for shortest-path reachability
+	succ map[State][]int // indices into transitions
+}
+
+// New creates a machine with the given initial state.
+func New(name string, initial State) *Machine {
+	m := &Machine{
+		name:    name,
+		states:  map[State]bool{initial: true},
+		initial: initial,
+		succ:    map[State][]int{},
+	}
+	return m
+}
+
+// Name returns the modelled component name.
+func (m *Machine) Name() string { return m.name }
+
+// Initial returns the initial state.
+func (m *Machine) Initial() State { return m.initial }
+
+// AddState declares a state.
+func (m *Machine) AddState(s State) {
+	m.states[s] = true
+}
+
+// AddTransition declares a labelled edge; both endpoint states are declared
+// implicitly.
+func (m *Machine) AddTransition(t Transition) error {
+	if t.From == "" || t.To == "" || t.Method == "" {
+		return errors.New("fsm: transition needs from, to and method")
+	}
+	m.states[t.From] = true
+	m.states[t.To] = true
+	m.succ[t.From] = append(m.succ[t.From], len(m.transitions))
+	m.transitions = append(m.transitions, t)
+	return nil
+}
+
+// NumStates returns the state count.
+func (m *Machine) NumStates() int { return len(m.states) }
+
+// NumTransitions returns the transition count.
+func (m *Machine) NumTransitions() int { return len(m.transitions) }
+
+// States returns the states, sorted.
+func (m *Machine) States() []State {
+	out := make([]State, 0, len(m.states))
+	for s := range m.states {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Transitions returns the transitions in declaration order.
+func (m *Machine) Transitions() []Transition {
+	return append([]Transition(nil), m.transitions...)
+}
+
+// shortestPath returns transition indices of a shortest path from "from" to
+// "to" (empty when from == to), or ok=false if unreachable.
+func (m *Machine) shortestPath(from, to State) ([]int, bool) {
+	if from == to {
+		return nil, true
+	}
+	type item struct {
+		state State
+		prevI int // queue index of predecessor
+		viaT  int // transition index taken
+	}
+	queue := []item{{state: from, prevI: -1, viaT: -1}}
+	seen := map[State]bool{from: true}
+	for i := 0; i < len(queue); i++ {
+		cur := queue[i]
+		for _, ti := range m.succ[cur.state] {
+			next := m.transitions[ti].To
+			if seen[next] {
+				continue
+			}
+			queue = append(queue, item{state: next, prevI: i, viaT: ti})
+			if next == to {
+				var rev []int
+				for j := len(queue) - 1; j > 0; j = queue[j].prevI {
+					rev = append(rev, queue[j].viaT)
+				}
+				out := make([]int, 0, len(rev))
+				for k := len(rev) - 1; k >= 0; k-- {
+					out = append(out, rev[k])
+				}
+				return out, true
+			}
+			seen[next] = true
+		}
+	}
+	return nil, false
+}
+
+// TestSequence is one generated test: a transition sequence starting at the
+// initial state.
+type TestSequence struct {
+	// Target is the transition the sequence exists to cover.
+	Target Transition
+	// Steps is the full path from the initial state through Target.
+	Steps []Transition
+}
+
+// AllTransitionsTour generates the all-transitions test set: for every
+// transition, a shortest path from the initial state to its source followed
+// by the transition itself. Unreachable transitions are an error — the
+// model is malformed.
+func (m *Machine) AllTransitionsTour() ([]TestSequence, error) {
+	var out []TestSequence
+	for ti, t := range m.transitions {
+		prefix, ok := m.shortestPath(m.initial, t.From)
+		if !ok {
+			return nil, fmt.Errorf("fsm: transition %s unreachable from initial state %s", t, m.initial)
+		}
+		seq := TestSequence{Target: t}
+		for _, pi := range prefix {
+			seq.Steps = append(seq.Steps, m.transitions[pi])
+		}
+		seq.Steps = append(seq.Steps, m.transitions[ti])
+		out = append(out, seq)
+	}
+	return out, nil
+}
+
+// Validate checks the machine: every state reachable from the initial one.
+func (m *Machine) Validate() error {
+	var problems []string
+	reach := map[State]bool{m.initial: true}
+	queue := []State{m.initial}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		for _, ti := range m.succ[s] {
+			next := m.transitions[ti].To
+			if !reach[next] {
+				reach[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	for s := range m.states {
+		if !reach[s] {
+			problems = append(problems, fmt.Sprintf("state %s unreachable", s))
+		}
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		return fmt.Errorf("fsm: invalid machine %q: %s", m.name, strings.Join(problems, "; "))
+	}
+	return nil
+}
+
+// WriteDOT renders the machine in Graphviz DOT syntax, the FSM counterpart
+// of the TFM's Figure 2 rendering: states as circles (the initial state
+// doubled), transitions labelled with their methods.
+func (m *Machine) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, s := range m.States() {
+		shape := "circle"
+		if s == m.initial {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s];\n", string(s), shape)
+	}
+	for _, t := range m.transitions {
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", string(t.From), string(t.To), t.Method)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("fsm: writing DOT: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package fsm
+
+import (
+	"strings"
+	"testing"
+
+	"concat/internal/components/oblist"
+	"concat/internal/testexec"
+)
+
+func tiny(t *testing.T) *Machine {
+	t.Helper()
+	m := New("Tiny", "a")
+	for _, tr := range []Transition{
+		{From: "a", Method: "go", To: "b"},
+		{From: "b", Method: "back", To: "a"},
+		{From: "b", Method: "loop", To: "b"},
+	} {
+		if err := m.AddTransition(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestMachineBasics(t *testing.T) {
+	m := tiny(t)
+	if m.Name() != "Tiny" || m.Initial() != "a" {
+		t.Errorf("machine header = %q/%q", m.Name(), m.Initial())
+	}
+	if m.NumStates() != 2 || m.NumTransitions() != 3 {
+		t.Errorf("machine size = %d states, %d transitions", m.NumStates(), m.NumTransitions())
+	}
+	if got := m.States(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("States() = %v", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if err := m.AddTransition(Transition{}); err == nil {
+		t.Error("empty transition should fail")
+	}
+}
+
+func TestValidateUnreachable(t *testing.T) {
+	m := tiny(t)
+	m.AddState("orphan")
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	m := tiny(t)
+	if p, ok := m.shortestPath("a", "a"); !ok || len(p) != 0 {
+		t.Errorf("self path = %v, %v", p, ok)
+	}
+	p, ok := m.shortestPath("a", "b")
+	if !ok || len(p) != 1 {
+		t.Errorf("a->b = %v, %v", p, ok)
+	}
+	if _, ok := m.shortestPath("b", "nowhere"); ok {
+		t.Error("path to unknown state should fail")
+	}
+}
+
+func TestAllTransitionsTour(t *testing.T) {
+	m := tiny(t)
+	tours, err := m.AllTransitionsTour()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tours) != m.NumTransitions() {
+		t.Fatalf("tours = %d, want %d", len(tours), m.NumTransitions())
+	}
+	covered := map[string]bool{}
+	for _, tour := range tours {
+		if len(tour.Steps) == 0 {
+			t.Fatal("empty tour")
+		}
+		// Every tour starts at the initial state and is a connected path.
+		if tour.Steps[0].From != m.Initial() {
+			t.Errorf("tour starts at %s", tour.Steps[0].From)
+		}
+		for i := 0; i+1 < len(tour.Steps); i++ {
+			if tour.Steps[i].To != tour.Steps[i+1].From {
+				t.Errorf("tour broken at step %d: %s vs %s", i, tour.Steps[i].To, tour.Steps[i+1].From)
+			}
+		}
+		last := tour.Steps[len(tour.Steps)-1]
+		if last.key() != tour.Target.key() {
+			t.Errorf("tour does not end with its target: %s vs %s", last, tour.Target)
+		}
+		covered[tour.Target.key()] = true
+	}
+	if len(covered) != m.NumTransitions() {
+		t.Errorf("covered %d of %d transitions", len(covered), m.NumTransitions())
+	}
+}
+
+func TestTourUnreachableTransition(t *testing.T) {
+	m := New("Bad", "a")
+	if err := m.AddTransition(Transition{From: "x", Method: "f", To: "y"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AllTransitionsTour(); err == nil {
+		t.Error("unreachable transition should fail the tour")
+	}
+}
+
+func TestBoundedListMachineSizes(t *testing.T) {
+	if _, err := BoundedListMachine(0); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	for _, capacity := range []int{1, 2, 4, 8} {
+		m, err := BoundedListMachine(capacity)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("capacity %d: %v", capacity, err)
+		}
+		wantStates := capacity + 1
+		wantTransitions := (capacity + 1) + 2*capacity + 2*capacity // loops + adds + removes
+		if m.NumStates() != wantStates {
+			t.Errorf("capacity %d: states = %d, want %d", capacity, m.NumStates(), wantStates)
+		}
+		if m.NumTransitions() != wantTransitions {
+			t.Errorf("capacity %d: transitions = %d, want %d", capacity, m.NumTransitions(), wantTransitions)
+		}
+	}
+}
+
+func TestBoundedListMachineGrowsLinearly(t *testing.T) {
+	small, err := BoundedListMachine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := BoundedListMachine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.NumStates() <= small.NumStates() || big.NumTransitions() <= small.NumTransitions() {
+		t.Error("the FSM should grow with the capacity — that is the paper's point")
+	}
+}
+
+func TestBoundedListTourRunsAgainstComponent(t *testing.T) {
+	m, err := BoundedListMachine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tours, err := m.AllTransitionsTour()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite := SuiteFromTour(m, tours, "ObList", "m1", "~ObList", "m3")
+	rep, err := testexec.Run(suite, oblist.NewFactory(), testexec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("FSM tour failed against the real component: %+v", rep.Failures()[:1])
+	}
+	if len(suite.Cases) != m.NumTransitions() {
+		t.Errorf("suite cases = %d, transitions = %d", len(suite.Cases), m.NumTransitions())
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	m := tiny(t)
+	var sb strings.Builder
+	if err := m.WriteDOT(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "Tiny"`,
+		`"a" [shape=doublecircle]`,
+		`"b" [shape=circle]`,
+		`"a" -> "b" [label="go"]`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT missing %q:\n%s", want, out)
+		}
+	}
+}

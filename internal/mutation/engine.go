@@ -1,0 +1,366 @@
+package mutation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"concat/internal/domain"
+)
+
+// SiteID names one non-interface variable use point inside a method, e.g.
+// "Sort1/min.use1". Site IDs are unique per component.
+type SiteID string
+
+// Site declares one mutable use point: the method it sits in, the variable
+// being used, its kind, and the candidate replacement names per operator
+// class. The candidate lists are the producer's static declaration of
+// L(R2), G(R2) and E(R2) for that point; the values are looked up
+// dynamically in the Env the instrumented code passes at run time.
+type Site struct {
+	ID     SiteID
+	Method string
+	Var    string      // the non-interface variable used here
+	Kind   domain.Kind // kind of the value flowing through the site
+	// Locals: other locals of the method with compatible kind (L(R2) minus
+	// the used variable itself).
+	Locals []string
+	// Globals: class attributes used in the method (G(R2)).
+	Globals []string
+	// Externals: package/class globals NOT used in the method (E(R2)).
+	Externals []string
+}
+
+// Env carries the live values of replacement candidates at the moment an
+// instrumented use executes. Keys are candidate names from the Site
+// declaration. Missing keys leave the original value untouched (the
+// candidate is not live at this point).
+type Env struct {
+	Locals    map[string]domain.Value
+	Globals   map[string]domain.Value
+	Externals map[string]domain.Value
+}
+
+// Mutant is one injected fault: at Site, apply Operator (with Replacement
+// naming the candidate or constant).
+type Mutant struct {
+	ID          string
+	Site        SiteID
+	Method      string
+	Operator    Operator
+	Replacement string       // candidate name, or constant literal for OpRepReq
+	Constant    domain.Value // set for OpRepReq
+}
+
+// String renders the mutant identity.
+func (m Mutant) String() string { return m.ID }
+
+// Engine owns a component's site table and the currently active mutant.
+// The instrumented component code calls Use* at each declared site; with no
+// active mutant the call is a cheap pass-through, with an active mutant on
+// another site likewise, and on the matching site the engine substitutes
+// the operator-dictated value.
+//
+// An Engine is safe for concurrent Use calls; activation is expected to
+// happen between suite runs, not during them.
+type Engine struct {
+	mu       sync.RWMutex
+	sites    map[SiteID]Site
+	order    []SiteID
+	active   *Mutant
+	infected bool // did the active mutant ever change a value?
+	reached  bool // was the active mutant's site ever executed?
+}
+
+// NewEngine returns an engine with an empty site table.
+func NewEngine() *Engine {
+	return &Engine{sites: make(map[SiteID]Site)}
+}
+
+// RegisterSite adds a use point to the table. Duplicate IDs are rejected.
+func (e *Engine) RegisterSite(s Site) error {
+	if s.ID == "" {
+		return errors.New("mutation: site with empty ID")
+	}
+	if s.Method == "" {
+		return fmt.Errorf("mutation: site %s has no method", s.ID)
+	}
+	if !s.Kind.Valid() {
+		return fmt.Errorf("mutation: site %s has invalid kind", s.ID)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.sites[s.ID]; ok {
+		return fmt.Errorf("mutation: duplicate site %s", s.ID)
+	}
+	s.Locals = append([]string(nil), s.Locals...)
+	s.Globals = append([]string(nil), s.Globals...)
+	s.Externals = append([]string(nil), s.Externals...)
+	e.sites[s.ID] = s
+	e.order = append(e.order, s.ID)
+	return nil
+}
+
+// MustRegisterSites registers a static site table; it panics on declaration
+// errors, which are programming mistakes in the component package.
+func (e *Engine) MustRegisterSites(sites ...Site) {
+	for _, s := range sites {
+		if err := e.RegisterSite(s); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Sites returns the registered sites in registration order.
+func (e *Engine) Sites() []Site {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]Site, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.sites[id])
+	}
+	return out
+}
+
+// Methods returns the sorted set of method names that have sites.
+func (e *Engine) Methods() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	seen := map[string]bool{}
+	for _, s := range e.sites {
+		seen[s.Method] = true
+	}
+	out := make([]string, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Activate arms one mutant and clears the infection/reach flags. The mutant
+// must reference a registered site.
+func (e *Engine) Activate(m Mutant) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.sites[m.Site]; !ok {
+		return fmt.Errorf("mutation: mutant %s references unknown site %s", m.ID, m.Site)
+	}
+	cp := m
+	e.active = &cp
+	e.infected = false
+	e.reached = false
+	return nil
+}
+
+// Deactivate disarms the engine (original-program behaviour).
+func (e *Engine) Deactivate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.active = nil
+	e.infected = false
+	e.reached = false
+}
+
+// Active returns the armed mutant, if any.
+func (e *Engine) Active() (Mutant, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.active == nil {
+		return Mutant{}, false
+	}
+	return *e.active, true
+}
+
+// Infected reports whether the armed mutant changed at least one value
+// since activation. A mutant that completes the whole suite without ever
+// infecting the state is equivalent on this test set — the automated
+// analog of the paper's manual equivalence marking (see Analysis).
+func (e *Engine) Infected() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.infected
+}
+
+// Reached reports whether the armed mutant's site executed since activation.
+func (e *Engine) Reached() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.reached
+}
+
+// Use routes one variable use through the engine. The component passes the
+// original value and the candidate environment; the engine returns the
+// value the (possibly mutated) program sees.
+func (e *Engine) Use(site SiteID, v domain.Value, env Env) domain.Value {
+	e.mu.RLock()
+	active := e.active
+	e.mu.RUnlock()
+	if active == nil || active.Site != site {
+		return v
+	}
+	mutated, ok := applyOperator(*active, v, env)
+	e.mu.Lock()
+	e.reached = true
+	if ok && !mutated.Equal(v) {
+		e.infected = true
+	}
+	e.mu.Unlock()
+	if !ok {
+		return v
+	}
+	return mutated
+}
+
+// UseInt is the integer convenience wrapper around Use.
+func (e *Engine) UseInt(site SiteID, v int64, env Env) int64 {
+	out := e.Use(site, domain.Int(v), env)
+	n, err := out.AsInt()
+	if err != nil {
+		return v // kind-incompatible replacement: leave the use unchanged
+	}
+	return n
+}
+
+// applyOperator computes the mutated value for one use. ok=false means the
+// replacement is not applicable here (missing candidate or incompatible
+// kind) and the use stays unmutated.
+func applyOperator(m Mutant, v domain.Value, env Env) (domain.Value, bool) {
+	switch m.Operator {
+	case OpBitNeg:
+		n, err := v.AsInt()
+		if err != nil {
+			return v, false
+		}
+		return domain.Int(^n), true
+	case OpRepLoc:
+		if out, ok := lookup(env.Locals, m.Replacement); ok {
+			return out, true
+		}
+		// The replacement local is declared in the method but not yet live
+		// at this point. In the paper's C++ setting this reads an
+		// uninitialized variable — garbage, but deterministic enough to
+		// compile and run. Model it as a fixed junk value of the site's
+		// value kind so the mutant is executable and (usually) infectious.
+		return garbageValue(v), true
+	case OpRepGlob:
+		return lookup(env.Globals, m.Replacement)
+	case OpRepExt:
+		return lookup(env.Externals, m.Replacement)
+	case OpRepReq:
+		if m.Constant.IsZero() {
+			return v, false
+		}
+		return m.Constant, true
+	default:
+		return v, false
+	}
+}
+
+// garbageValue is the deterministic "uninitialized C++ local" stand-in used
+// by OpRepLoc when the replacement local is not live at the use point.
+func garbageValue(like domain.Value) domain.Value {
+	switch like.Kind() {
+	case domain.KindInt:
+		return domain.Int(-559038737) // 0xDEADBEEF as int32
+	case domain.KindFloat:
+		return domain.Float(-5.5903e8)
+	case domain.KindString:
+		return domain.Str("\xde\xad\xbe\xef")
+	case domain.KindBool:
+		return domain.Bool(true)
+	default:
+		return domain.Nil()
+	}
+}
+
+func lookup(m map[string]domain.Value, name string) (domain.Value, bool) {
+	if m == nil {
+		return domain.Value{}, false
+	}
+	v, ok := m[name]
+	if !ok || v.IsZero() {
+		return domain.Value{}, false
+	}
+	return v, true
+}
+
+// Enumerate generates the mutant set for the given operators over the
+// engine's site table, in deterministic order (sites in registration order,
+// operators in Table 1 order, candidates in declaration order). methods, if
+// non-empty, restricts generation to sites inside those methods — the
+// paper's experiments mutate a chosen method subset.
+func (e *Engine) Enumerate(ops []Operator, methods []string) []Mutant {
+	if len(ops) == 0 {
+		ops = AllOperators
+	}
+	methodSet := map[string]bool{}
+	for _, m := range methods {
+		methodSet[m] = true
+	}
+	var out []Mutant
+	for _, s := range e.Sites() {
+		if len(methodSet) > 0 && !methodSet[s.Method] {
+			continue
+		}
+		for _, op := range ops {
+			out = append(out, enumerateSite(s, op)...)
+		}
+	}
+	return out
+}
+
+func enumerateSite(s Site, op Operator) []Mutant {
+	mk := func(repl string, c domain.Value) Mutant {
+		return Mutant{
+			ID:          fmt.Sprintf("%s:%s(%s)", s.ID, op, repl),
+			Site:        s.ID,
+			Method:      s.Method,
+			Operator:    op,
+			Replacement: repl,
+			Constant:    c,
+		}
+	}
+	switch op {
+	case OpBitNeg:
+		if s.Kind != domain.KindInt {
+			return nil
+		}
+		return []Mutant{mk("~", domain.Value{})}
+	case OpRepLoc:
+		return candidates(s, op, s.Locals, mk)
+	case OpRepGlob:
+		return candidates(s, op, s.Globals, mk)
+	case OpRepExt:
+		return candidates(s, op, s.Externals, mk)
+	case OpRepReq:
+		var out []Mutant
+		for _, c := range RequiredConstants(s.Kind) {
+			out = append(out, mk(c.String(), c))
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func candidates(s Site, op Operator, names []string, mk func(string, domain.Value) Mutant) []Mutant {
+	out := make([]Mutant, 0, len(names))
+	for _, name := range names {
+		if name == s.Var {
+			continue // replacing a variable by itself is the original program
+		}
+		out = append(out, mk(name, domain.Value{}))
+	}
+	return out
+}
+
+// Armed reports whether any mutant is active. Component instrumentation
+// helpers check it before building their candidate environments, so the
+// inactive fast path costs one read lock instead of three map allocations.
+func (e *Engine) Armed() bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.active != nil
+}

@@ -1,0 +1,421 @@
+package mutation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"concat/internal/domain"
+)
+
+func TestOperatorNames(t *testing.T) {
+	tests := []struct {
+		op   Operator
+		want string
+	}{
+		{OpBitNeg, "IndVarBitNeg"},
+		{OpRepGlob, "IndVarRepGlob"},
+		{OpRepLoc, "IndVarRepLoc"},
+		{OpRepExt, "IndVarRepExt"},
+		{OpRepReq, "IndVarRepReq"},
+		{Operator(9), "operator(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.op.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+	for _, op := range AllOperators {
+		if op.Description() == "" {
+			t.Errorf("%s has no description", op)
+		}
+		back, err := ParseOperator(op.String())
+		if err != nil || back != op {
+			t.Errorf("ParseOperator(%s) = %v, %v", op, back, err)
+		}
+	}
+	if Operator(9).Description() != "" {
+		t.Error("unknown operator should have empty description")
+	}
+	if _, err := ParseOperator("Nope"); err == nil {
+		t.Error("unknown operator name should fail")
+	}
+}
+
+func TestRequiredConstants(t *testing.T) {
+	ints := RequiredConstants(domain.KindInt)
+	if len(ints) != 5 {
+		t.Fatalf("int RC = %v", ints)
+	}
+	if ints[3].MustInt() != math.MaxInt64 || ints[4].MustInt() != math.MinInt64 {
+		t.Errorf("int RC extremes = %v", ints)
+	}
+	if len(RequiredConstants(domain.KindFloat)) != 5 {
+		t.Error("float RC size")
+	}
+	strs := RequiredConstants(domain.KindString)
+	if len(strs) != 1 || strs[0].MustString() != "" {
+		t.Errorf("string RC = %v", strs)
+	}
+	ptrs := RequiredConstants(domain.KindPointer)
+	if len(ptrs) != 1 || !ptrs[0].IsNil() {
+		t.Errorf("pointer RC = %v", ptrs)
+	}
+	if len(RequiredConstants(domain.KindBool)) != 2 {
+		t.Error("bool RC size")
+	}
+	if RequiredConstants(domain.Kind(0)) != nil {
+		t.Error("invalid kind RC should be nil")
+	}
+}
+
+func testSite() Site {
+	return Site{
+		ID:        "Sort1/min.use1",
+		Method:    "Sort1",
+		Var:       "min",
+		Kind:      domain.KindInt,
+		Locals:    []string{"i", "j", "min"}, // "min" itself must be skipped
+		Globals:   []string{"count"},
+		Externals: []string{"debugLevel"},
+	}
+}
+
+func TestRegisterSiteValidation(t *testing.T) {
+	e := NewEngine()
+	if err := e.RegisterSite(Site{}); err == nil {
+		t.Error("empty site should fail")
+	}
+	if err := e.RegisterSite(Site{ID: "x"}); err == nil {
+		t.Error("site without method should fail")
+	}
+	if err := e.RegisterSite(Site{ID: "x", Method: "m"}); err == nil {
+		t.Error("site with invalid kind should fail")
+	}
+	if err := e.RegisterSite(testSite()); err != nil {
+		t.Fatalf("RegisterSite: %v", err)
+	}
+	if err := e.RegisterSite(testSite()); err == nil {
+		t.Error("duplicate site should fail")
+	}
+	if n := len(e.Sites()); n != 1 {
+		t.Errorf("Sites() = %d", n)
+	}
+}
+
+func TestMustRegisterSitesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRegisterSites should panic on bad site")
+		}
+	}()
+	NewEngine().MustRegisterSites(Site{})
+}
+
+func TestMethods(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(
+		Site{ID: "a", Method: "Sort1", Kind: domain.KindInt},
+		Site{ID: "b", Method: "Sort1", Kind: domain.KindInt},
+		Site{ID: "c", Method: "FindMax", Kind: domain.KindInt},
+	)
+	got := e.Methods()
+	if len(got) != 2 || got[0] != "FindMax" || got[1] != "Sort1" {
+		t.Errorf("Methods() = %v", got)
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	ms := e.Enumerate(nil, nil)
+	// BitNeg: 1. RepLoc: 2 (i, j; min skipped). RepGlob: 1. RepExt: 1.
+	// RepReq: 5 int constants. Total 10.
+	if len(ms) != 10 {
+		t.Fatalf("Enumerate gave %d mutants: %v", len(ms), ms)
+	}
+	counts := map[Operator]int{}
+	for _, m := range ms {
+		counts[m.Operator]++
+		if m.Method != "Sort1" || m.Site != "Sort1/min.use1" {
+			t.Errorf("mutant %s has wrong site/method", m)
+		}
+	}
+	want := map[Operator]int{OpBitNeg: 1, OpRepLoc: 2, OpRepGlob: 1, OpRepExt: 1, OpRepReq: 5}
+	for op, n := range want {
+		if counts[op] != n {
+			t.Errorf("%s count = %d, want %d", op, counts[op], n)
+		}
+	}
+}
+
+func TestEnumerateMethodFilterAndOps(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(
+		Site{ID: "a", Method: "Sort1", Var: "x", Kind: domain.KindInt, Locals: []string{"y"}},
+		Site{ID: "b", Method: "FindMax", Var: "x", Kind: domain.KindInt, Locals: []string{"y"}},
+	)
+	ms := e.Enumerate([]Operator{OpRepLoc}, []string{"Sort1"})
+	if len(ms) != 1 || ms[0].Site != "a" {
+		t.Errorf("filtered enumeration = %v", ms)
+	}
+	if got := e.Enumerate([]Operator{Operator(42)}, nil); len(got) != 0 {
+		t.Errorf("unknown operator enumeration = %v", got)
+	}
+}
+
+func TestEnumerateBitNegOnlyInts(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(Site{ID: "s", Method: "m", Var: "s", Kind: domain.KindString})
+	ms := e.Enumerate([]Operator{OpBitNeg}, nil)
+	if len(ms) != 0 {
+		t.Errorf("BitNeg on string site should yield nothing, got %v", ms)
+	}
+}
+
+func TestEnumerateStringSiteRC(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(Site{ID: "s", Method: "m", Var: "s", Kind: domain.KindString})
+	ms := e.Enumerate([]Operator{OpRepReq}, nil)
+	if len(ms) != 1 || !ms[0].Constant.Equal(domain.Str("")) {
+		t.Errorf("string RC mutants = %v", ms)
+	}
+}
+
+func TestActivateValidation(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	if err := e.Activate(Mutant{ID: "x", Site: "nope"}); err == nil {
+		t.Error("activating unknown site should fail")
+	}
+	if _, ok := e.Active(); ok {
+		t.Error("no mutant should be active")
+	}
+	ms := e.Enumerate(nil, nil)
+	if err := e.Activate(ms[0]); err != nil {
+		t.Fatalf("Activate: %v", err)
+	}
+	got, ok := e.Active()
+	if !ok || got.ID != ms[0].ID {
+		t.Errorf("Active() = %v, %v", got, ok)
+	}
+	e.Deactivate()
+	if _, ok := e.Active(); ok {
+		t.Error("Deactivate should disarm")
+	}
+}
+
+func TestUsePassThroughWhenInactive(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	v := e.Use("Sort1/min.use1", domain.Int(42), Env{})
+	if v.MustInt() != 42 {
+		t.Errorf("inactive Use = %v", v)
+	}
+	if e.Infected() || e.Reached() {
+		t.Error("inactive engine should not be infected or reached")
+	}
+}
+
+func TestUseOtherSitePassThrough(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite(),
+		Site{ID: "other", Method: "Sort1", Var: "x", Kind: domain.KindInt})
+	ms := e.Enumerate([]Operator{OpBitNeg}, nil)
+	if err := e.Activate(ms[0]); err != nil {
+		t.Fatal(err)
+	}
+	v := e.Use("other", domain.Int(5), Env{})
+	if v.MustInt() != 5 {
+		t.Errorf("other-site Use = %v", v)
+	}
+	if e.Reached() {
+		t.Error("other site should not mark the mutant reached")
+	}
+}
+
+func TestUseBitNeg(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpBitNeg, "~")
+	v := e.Use("Sort1/min.use1", domain.Int(5), Env{})
+	if v.MustInt() != ^int64(5) {
+		t.Errorf("BitNeg Use = %v", v)
+	}
+	if !e.Infected() || !e.Reached() {
+		t.Error("BitNeg should infect and reach")
+	}
+}
+
+func TestUseRepLoc(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepLoc, "i")
+	env := Env{Locals: map[string]domain.Value{"i": domain.Int(99)}}
+	v := e.Use("Sort1/min.use1", domain.Int(5), env)
+	if v.MustInt() != 99 {
+		t.Errorf("RepLoc Use = %v", v)
+	}
+	if !e.Infected() {
+		t.Error("RepLoc with different value should infect")
+	}
+}
+
+func TestUseRepLocSameValueNotInfected(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepLoc, "i")
+	env := Env{Locals: map[string]domain.Value{"i": domain.Int(5)}}
+	v := e.Use("Sort1/min.use1", domain.Int(5), env)
+	if v.MustInt() != 5 {
+		t.Errorf("Use = %v", v)
+	}
+	if e.Infected() {
+		t.Error("replacement equal to original should not count as infection")
+	}
+	if !e.Reached() {
+		t.Error("site executed: should be reached")
+	}
+}
+
+func TestUseRepGlobAndExt(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepGlob, "count")
+	env := Env{Globals: map[string]domain.Value{"count": domain.Int(7)}}
+	if v := e.Use("Sort1/min.use1", domain.Int(5), env); v.MustInt() != 7 {
+		t.Errorf("RepGlob Use = %v", v)
+	}
+	activate(t, e, OpRepExt, "debugLevel")
+	env = Env{Externals: map[string]domain.Value{"debugLevel": domain.Int(3)}}
+	if v := e.Use("Sort1/min.use1", domain.Int(5), env); v.MustInt() != 3 {
+		t.Errorf("RepExt Use = %v", v)
+	}
+}
+
+func TestUseMissingLocalReadsGarbage(t *testing.T) {
+	// A RepLoc replacement whose local is not live at the use point models
+	// reading an uninitialized C++ local: a deterministic garbage value.
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepLoc, "i")
+	v := e.Use("Sort1/min.use1", domain.Int(5), Env{}) // no env values
+	if v.MustInt() != -559038737 {
+		t.Errorf("missing local Use = %v, want garbage sentinel", v)
+	}
+	if !e.Infected() {
+		t.Error("garbage read should infect")
+	}
+	if !e.Reached() {
+		t.Error("site executed: should be reached")
+	}
+}
+
+func TestUseMissingGlobalLeavesValue(t *testing.T) {
+	// Globals/externals are always live; a missing entry is a harness gap
+	// and must not mutate the value.
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepGlob, "count")
+	v := e.Use("Sort1/min.use1", domain.Int(5), Env{})
+	if v.MustInt() != 5 {
+		t.Errorf("missing global Use = %v", v)
+	}
+	if e.Infected() {
+		t.Error("missing global should not infect")
+	}
+}
+
+func TestGarbageValueKinds(t *testing.T) {
+	if garbageValue(domain.Int(1)).Kind() != domain.KindInt {
+		t.Error("int garbage kind")
+	}
+	if garbageValue(domain.Float(1)).Kind() != domain.KindFloat {
+		t.Error("float garbage kind")
+	}
+	if garbageValue(domain.Str("x")).Kind() != domain.KindString {
+		t.Error("string garbage kind")
+	}
+	if garbageValue(domain.Bool(true)).Kind() != domain.KindBool {
+		t.Error("bool garbage kind")
+	}
+	if !garbageValue(domain.Nil()).IsNil() {
+		t.Error("ref garbage should be nil")
+	}
+}
+
+func TestUseRepReq(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	var target Mutant
+	for _, m := range e.Enumerate([]Operator{OpRepReq}, nil) {
+		if m.Constant.Equal(domain.Int(math.MaxInt64)) {
+			target = m
+		}
+	}
+	if target.ID == "" {
+		t.Fatal("MAXINT mutant not found")
+	}
+	if err := e.Activate(target); err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Use("Sort1/min.use1", domain.Int(5), Env{}); v.MustInt() != math.MaxInt64 {
+		t.Errorf("RepReq Use = %v", v)
+	}
+}
+
+func TestUseIntKindMismatchFallsBack(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpRepLoc, "i")
+	env := Env{Locals: map[string]domain.Value{"i": domain.Str("oops")}}
+	if got := e.UseInt("Sort1/min.use1", 5, env); got != 5 {
+		t.Errorf("UseInt with string replacement = %d", got)
+	}
+}
+
+func TestUseIntConvenience(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpBitNeg, "~")
+	if got := e.UseInt("Sort1/min.use1", 5, Env{}); got != ^int64(5) {
+		t.Errorf("UseInt = %d", got)
+	}
+}
+
+func TestActivationResetsFlags(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	activate(t, e, OpBitNeg, "~")
+	e.Use("Sort1/min.use1", domain.Int(1), Env{})
+	if !e.Infected() {
+		t.Fatal("should be infected")
+	}
+	activate(t, e, OpBitNeg, "~")
+	if e.Infected() || e.Reached() {
+		t.Error("re-activation should reset flags")
+	}
+}
+
+func TestMutantString(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	ms := e.Enumerate([]Operator{OpRepGlob}, nil)
+	if len(ms) != 1 || !strings.Contains(ms[0].String(), "IndVarRepGlob(count)") {
+		t.Errorf("mutant = %v", ms)
+	}
+}
+
+// activate arms the first enumerated mutant matching op and replacement.
+func activate(t *testing.T, e *Engine, op Operator, repl string) {
+	t.Helper()
+	for _, m := range e.Enumerate([]Operator{op}, nil) {
+		if m.Replacement == repl {
+			if err := e.Activate(m); err != nil {
+				t.Fatalf("Activate: %v", err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no mutant %s(%s)", op, repl)
+}

@@ -1,0 +1,122 @@
+// Package mutation implements the interface-mutation fault model the paper
+// uses for its empirical evaluation (§4, Table 1). Interface mutation
+// (Delamaro) perturbs the points where a called routine uses non-interface
+// variables — locals and globals that affect values returned to the caller —
+// modelling integration faults between the methods that interact inside a
+// transaction.
+//
+// The paper inserted these faults by hand into C++ source and compiled each
+// mutant separately. Here mutants execute in-process: a component declares
+// its variable-use sites (Site) and routes each use through an Engine; the
+// analysis activates one mutant at a time, the engine substitutes the value
+// the operator dictates, and the whole suite runs against the mutant without
+// recompilation. Package srcmut provides the complementary source-level
+// mutator for real Go files.
+package mutation
+
+import (
+	"fmt"
+	"math"
+
+	"concat/internal/domain"
+)
+
+// Operator is an interface-mutation operator from Table 1.
+type Operator int
+
+// The five essential interface-mutation operators used in the paper's
+// experiments (Table 1).
+const (
+	// OpBitNeg — IndVarBitNeg: inserts bitwise negation at a non-interface
+	// variable use.
+	OpBitNeg Operator = iota + 1
+	// OpRepGlob — IndVarRepGlob: replaces a non-interface variable by a
+	// member of G(R2), the globals (class attributes) used in the method.
+	OpRepGlob
+	// OpRepLoc — IndVarRepLoc: replaces a non-interface variable by a member
+	// of L(R2), the locals defined in the method.
+	OpRepLoc
+	// OpRepExt — IndVarRepExt: replaces a non-interface variable by a member
+	// of E(R2), the globals NOT used in the method.
+	OpRepExt
+	// OpRepReq — IndVarRepReq: replaces a non-interface variable by a member
+	// of RC, the required constants (NULL, MAXINT, MININT, ...).
+	OpRepReq
+)
+
+// AllOperators lists the operators in Table 1 order.
+var AllOperators = []Operator{OpBitNeg, OpRepGlob, OpRepLoc, OpRepExt, OpRepReq}
+
+var operatorNames = map[Operator]string{
+	OpBitNeg:  "IndVarBitNeg",
+	OpRepGlob: "IndVarRepGlob",
+	OpRepLoc:  "IndVarRepLoc",
+	OpRepExt:  "IndVarRepExt",
+	OpRepReq:  "IndVarRepReq",
+}
+
+var operatorDescriptions = map[Operator]string{
+	OpBitNeg:  "Inserts bitwise negation at non-interface variable use",
+	OpRepGlob: "Replaces non-interface variable by G(R2)",
+	OpRepLoc:  "Replaces non-interface variable by L(R2)",
+	OpRepExt:  "Replaces non-interface variable by E(R2)",
+	OpRepReq:  "Replaces non-interface variable by RC",
+}
+
+// String returns the operator's Table 1 name.
+func (o Operator) String() string {
+	if s, ok := operatorNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("operator(%d)", int(o))
+}
+
+// Description returns the operator's Table 1 description.
+func (o Operator) Description() string {
+	if s, ok := operatorDescriptions[o]; ok {
+		return s
+	}
+	return ""
+}
+
+// ParseOperator resolves a Table 1 operator name.
+func ParseOperator(s string) (Operator, error) {
+	for o, name := range operatorNames {
+		if name == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("mutation: unknown operator %q", s)
+}
+
+// RequiredConstants returns RC, the required-constant set for a value kind:
+// the paper's "special values such as NULL, MAXINT (greatest positive
+// integer), MININT (least negative integer), and so on".
+func RequiredConstants(k domain.Kind) []domain.Value {
+	switch k {
+	case domain.KindInt:
+		return []domain.Value{
+			domain.Int(0),
+			domain.Int(1),
+			domain.Int(-1),
+			domain.Int(math.MaxInt64),
+			domain.Int(math.MinInt64),
+		}
+	case domain.KindFloat:
+		return []domain.Value{
+			domain.Float(0),
+			domain.Float(1),
+			domain.Float(-1),
+			domain.Float(math.MaxFloat64),
+			domain.Float(-math.MaxFloat64),
+		}
+	case domain.KindString:
+		return []domain.Value{domain.Str("")}
+	case domain.KindPointer, domain.KindObject:
+		return []domain.Value{domain.Nil()}
+	case domain.KindBool:
+		return []domain.Value{domain.Bool(false), domain.Bool(true)}
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,546 @@
+// Package srcmut is the source-level counterpart of the in-process mutation
+// engine: it applies the paper's interface-mutation operators (Table 1) to
+// real Go source files, producing one mutant source per fault, and verifies
+// with go/types that each mutant "compiled cleanly" — the paper's authors
+// created every C++ mutant as a separate class and compiled it individually.
+//
+// Mutation points are uses of non-interface variables inside a method body:
+// local variables (parameters are interface variables and are excluded, per
+// Delamaro's fault model). Replacements come from
+//
+//   - L(R2): other locals of the method with an assignable type (IndVarRepLoc);
+//   - G(R2): receiver fields the method uses (IndVarRepGlob);
+//   - E(R2): package-level variables and receiver fields the method does NOT
+//     use (IndVarRepExt);
+//   - RC: required constants — 0, 1, -1, the extreme integers, nil
+//     (IndVarRepReq);
+//   - bitwise negation of the use itself (IndVarBitNeg).
+//
+// Mutants are produced by splicing replacement text at the use's byte range,
+// which guarantees the change is exactly one expression wide.
+package srcmut
+
+import (
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+
+	"concat/internal/mutation"
+)
+
+// Mutant is one source-level interface mutant.
+type Mutant struct {
+	// ID is "<method>/<var>@<line>:<col>:<operator>(<replacement>)".
+	ID string
+	// Method is the enclosing function or method name.
+	Method string
+	// Operator is the Table 1 operator applied.
+	Operator mutation.Operator
+	// Var is the non-interface variable whose use was mutated.
+	Var string
+	// Replacement is the spliced expression text.
+	Replacement string
+	// Position locates the mutated use in the original source.
+	Position token.Position
+	// Source is the complete mutant file content.
+	Source []byte
+}
+
+// Options configure mutant generation.
+type Options struct {
+	// Methods restricts mutation to the named functions/methods; empty
+	// means every function in the file.
+	Methods []string
+	// Operators restricts the operator set; empty means all of Table 1.
+	Operators []mutation.Operator
+	// MaxPerSite caps the replacement candidates used per use site and
+	// operator (0 = unlimited) to bound the mutant explosion on large
+	// methods.
+	MaxPerSite int
+}
+
+// MutateFile generates the mutants of one Go source file. The file must be
+// self-contained enough to type-check (stdlib imports are resolved with the
+// source importer).
+func MutateFile(filename string, src []byte, opts Options) ([]Mutant, error) {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("srcmut: parsing %s: %w", filename, err)
+	}
+	info := &types.Info{
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Types: make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(file.Name.Name, fset, []*ast.File{file}, info)
+	if err != nil {
+		return nil, fmt.Errorf("srcmut: type-checking %s: %w", filename, err)
+	}
+
+	ops := opts.Operators
+	if len(ops) == 0 {
+		ops = mutation.AllOperators
+	}
+	methodFilter := map[string]bool{}
+	for _, m := range opts.Methods {
+		methodFilter[m] = true
+	}
+
+	var out []Mutant
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if len(methodFilter) > 0 && !methodFilter[fn.Name.Name] {
+			continue
+		}
+		ms, err := mutateFunc(fset, file, pkg, info, fn, src, ops, opts.MaxPerSite)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// funcContext gathers the variable universe of one function: its locals,
+// the receiver's fields partitioned into used/unused, and package-level
+// variables partitioned the same way.
+type funcContext struct {
+	fn         *ast.FuncDecl
+	pkg        *types.Package
+	locals     []localVar   // non-parameter locals, declaration order
+	fieldsUsed []fieldRef   // receiver fields used in the body (G)
+	fieldsExt  []fieldRef   // receiver fields NOT used in the body (E)
+	pkgUsed    []*types.Var // package vars used in the body (G-like; kept in E per def)
+	pkgExt     []*types.Var // package vars not used in the body (E)
+}
+
+// localVar pairs a local variable with the end position of its defining
+// statement: a replacement may only reference the local at points after the
+// whole definition (Go forbids the C++ pattern of referencing a variable
+// inside its own initializer).
+type localVar struct {
+	v      *types.Var
+	defEnd token.Pos
+}
+
+type fieldRef struct {
+	recv  string // receiver identifier text
+	field *types.Var
+}
+
+func buildContext(pkg *types.Package, info *types.Info, fn *ast.FuncDecl) *funcContext {
+	ctx := &funcContext{fn: fn, pkg: pkg}
+
+	params := map[types.Object]bool{}
+	if fn.Type.Params != nil {
+		for _, f := range fn.Type.Params.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+	if fn.Recv != nil {
+		for _, f := range fn.Recv.List {
+			for _, name := range f.Names {
+				if obj := info.Defs[name]; obj != nil {
+					params[obj] = true
+				}
+			}
+		}
+	}
+
+	// Locals: every variable defined inside the body, tagged with the end
+	// of its defining statement.
+	seenLocal := map[*types.Var]bool{}
+	var nodeStack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			nodeStack = nodeStack[:len(nodeStack)-1]
+			return true
+		}
+		nodeStack = append(nodeStack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := info.Defs[id].(*types.Var); ok && !params[obj] && !seenLocal[obj] {
+			seenLocal[obj] = true
+			end := id.End()
+			for i := len(nodeStack) - 1; i >= 0; i-- {
+				if _, isStmt := nodeStack[i].(ast.Stmt); isStmt {
+					end = nodeStack[i].End()
+					break
+				}
+			}
+			ctx.locals = append(ctx.locals, localVar{v: obj, defEnd: end})
+		}
+		return true
+	})
+
+	// Receiver fields: used vs unused, when the receiver is a named struct.
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		recvName := fn.Recv.List[0].Names[0].Name
+		if recvName != "_" {
+			usedFields := map[*types.Var]bool{}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if base, ok := sel.X.(*ast.Ident); ok && base.Name == recvName {
+					if f, ok := info.Uses[sel.Sel].(*types.Var); ok && f.IsField() {
+						usedFields[f] = true
+					}
+				}
+				return true
+			})
+			for _, f := range structFields(info, fn) {
+				ref := fieldRef{recv: recvName, field: f}
+				if usedFields[f] {
+					ctx.fieldsUsed = append(ctx.fieldsUsed, ref)
+				} else {
+					ctx.fieldsExt = append(ctx.fieldsExt, ref)
+				}
+			}
+		}
+	}
+
+	// Package-level variables: used vs unused in this function.
+	usedPkg := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj, ok := info.Uses[id].(*types.Var); ok && obj.Parent() == pkg.Scope() {
+			usedPkg[obj] = true
+		}
+		return true
+	})
+	names := pkg.Scope().Names()
+	sort.Strings(names)
+	for _, name := range names {
+		v, ok := pkg.Scope().Lookup(name).(*types.Var)
+		if !ok {
+			continue
+		}
+		if usedPkg[v] {
+			ctx.pkgUsed = append(ctx.pkgUsed, v)
+		} else {
+			ctx.pkgExt = append(ctx.pkgExt, v)
+		}
+	}
+	return ctx
+}
+
+// structFields returns the receiver struct's fields in declaration order.
+func structFields(info *types.Info, fn *ast.FuncDecl) []*types.Var {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return nil
+	}
+	tv, ok := info.Types[fn.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	out := make([]*types.Var, 0, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		out = append(out, st.Field(i))
+	}
+	return out
+}
+
+// useSite is one mutable use of a non-interface (local) variable.
+type useSite struct {
+	id  *ast.Ident
+	obj *types.Var
+	// totalUses counts the variable's rvalue uses in the whole body. In Go
+	// (unlike C++) a local with no remaining use does not compile, so a
+	// replacement operator may only fire on sites whose variable has other
+	// uses — the Go analog of the paper discarding mutants that fail to
+	// compile.
+	totalUses int
+}
+
+// collectUseSites finds rvalue uses of locals inside the body: identifiers
+// resolving to non-parameter locals that are not assignment targets.
+func collectUseSites(info *types.Info, fn *ast.FuncDecl, locals []localVar) []useSite {
+	localSet := map[*types.Var]bool{}
+	for _, l := range locals {
+		localSet[l.v] = true
+	}
+	lhs := map[*ast.Ident]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, e := range st.Lhs {
+				if id, ok := e.(*ast.Ident); ok {
+					lhs[id] = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok {
+				lhs[id] = true
+			}
+		case *ast.RangeStmt:
+			if id, ok := st.Key.(*ast.Ident); ok {
+				lhs[id] = true
+			}
+			if id, ok := st.Value.(*ast.Ident); ok {
+				lhs[id] = true
+			}
+		}
+		return true
+	})
+	uses := map[*types.Var]int{}
+	var out []useSite
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhs[id] {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || !localSet[obj] {
+			return true
+		}
+		uses[obj]++
+		out = append(out, useSite{id: id, obj: obj})
+		return true
+	})
+	for i := range out {
+		out[i].totalUses = uses[out[i].obj]
+	}
+	return out
+}
+
+func mutateFunc(fset *token.FileSet, file *ast.File, pkg *types.Package, info *types.Info,
+	fn *ast.FuncDecl, src []byte, ops []mutation.Operator, maxPerSite int) ([]Mutant, error) {
+
+	ctx := buildContext(pkg, info, fn)
+	sites := collectUseSites(info, fn, ctx.locals)
+
+	var out []Mutant
+	for _, site := range sites {
+		for _, op := range ops {
+			repls := replacements(ctx, site, op)
+			if maxPerSite > 0 && len(repls) > maxPerSite {
+				repls = repls[:maxPerSite]
+			}
+			for _, repl := range repls {
+				m, err := splice(fset, fn, site, op, repl, src)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// replacements computes the candidate replacement expressions for one use
+// site under one operator, filtered to type-assignable candidates so the
+// mutant still compiles.
+func replacements(ctx *funcContext, site useSite, op mutation.Operator) []string {
+	t := site.obj.Type()
+	// Replacement operators remove this use of the variable; if it is the
+	// variable's only use the declaration becomes unused and the mutant
+	// cannot compile in Go. BitNeg keeps the use, so it is exempt.
+	if op != mutation.OpBitNeg && site.totalUses <= 1 {
+		return nil
+	}
+	switch op {
+	case mutation.OpBitNeg:
+		if isInteger(t) {
+			return []string{"^" + site.id.Name}
+		}
+		return nil
+	case mutation.OpRepLoc:
+		var out []string
+		for _, l := range ctx.locals {
+			if l.v == site.obj {
+				continue
+			}
+			// The candidate's whole defining statement must precede the use
+			// and its scope must cover the use point, or the splice
+			// references an undefined (or self-referential) name.
+			if l.defEnd > site.id.Pos() || l.v.Parent() == nil || !l.v.Parent().Contains(site.id.Pos()) {
+				continue
+			}
+			if types.AssignableTo(l.v.Type(), t) {
+				out = append(out, l.v.Name())
+			}
+		}
+		return out
+	case mutation.OpRepGlob:
+		var out []string
+		for _, f := range ctx.fieldsUsed {
+			if types.AssignableTo(f.field.Type(), t) {
+				out = append(out, f.recv+"."+f.field.Name())
+			}
+		}
+		return out
+	case mutation.OpRepExt:
+		var out []string
+		for _, f := range ctx.fieldsExt {
+			if types.AssignableTo(f.field.Type(), t) {
+				out = append(out, f.recv+"."+f.field.Name())
+			}
+		}
+		for _, v := range ctx.pkgExt {
+			if types.AssignableTo(v.Type(), t) {
+				out = append(out, v.Name())
+			}
+		}
+		return out
+	case mutation.OpRepReq:
+		// Constants are wrapped in a function literal returning the site's
+		// exact type: the replacement is then a correctly typed,
+		// non-constant expression, so it survives Go's compile-time
+		// constant checks (index bounds, overflow) the way a C++ constant
+		// would — failing at run time instead.
+		// Qualify imported types with their package name; same-package
+		// types stay bare (the mutant lives in the same package).
+		tn := types.TypeString(t, func(p *types.Package) string {
+			if p == ctx.pkg {
+				return ""
+			}
+			return p.Name()
+		})
+		wrap := func(lit string) string {
+			return "func() " + tn + " { return " + lit + " }()"
+		}
+		switch {
+		case isInteger(t):
+			out := []string{wrap("0"), wrap("1"), wrap("-1")}
+			if hasWideIntRange(t) {
+				out = append(out, wrap("9223372036854775807"), wrap("-9223372036854775807-1"))
+			}
+			return out
+		case isFloat(t):
+			return []string{wrap("0"), wrap("1"), wrap("-1")}
+		case isString(t):
+			return []string{wrap(`""`)}
+		case isPointerLike(t):
+			return []string{wrap("nil")}
+		case isBool(t):
+			return []string{wrap("true"), wrap("false")}
+		default:
+			return nil
+		}
+	default:
+		return nil
+	}
+}
+
+func basicInfo(t types.Type) types.BasicInfo {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return 0
+	}
+	return b.Info()
+}
+
+func isInteger(t types.Type) bool { return basicInfo(t)&types.IsInteger != 0 }
+
+// hasWideIntRange reports whether the MAXINT/MININT required constants of
+// the paper fit the site's integer type (int and int64 on a 64-bit target).
+func hasWideIntRange(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int, types.Int64:
+		return true
+	default:
+		return false
+	}
+}
+func isFloat(t types.Type) bool  { return basicInfo(t)&types.IsFloat != 0 }
+func isString(t types.Type) bool { return basicInfo(t)&types.IsString != 0 }
+func isBool(t types.Type) bool   { return basicInfo(t)&types.IsBoolean != 0 }
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// splice produces the mutant source by replacing the use's byte range.
+func splice(fset *token.FileSet, fn *ast.FuncDecl, site useSite,
+	op mutation.Operator, repl string, src []byte) (Mutant, error) {
+
+	f := fset.File(site.id.Pos())
+	if f == nil {
+		return Mutant{}, errors.New("srcmut: identifier position outside the file set")
+	}
+	start := f.Offset(site.id.Pos())
+	end := f.Offset(site.id.End())
+	if start < 0 || end > len(src) || start >= end {
+		return Mutant{}, fmt.Errorf("srcmut: bad splice range [%d,%d)", start, end)
+	}
+	// Parenthesize to keep precedence intact regardless of context.
+	text := "(" + repl + ")"
+	mutated := make([]byte, 0, len(src)+len(text))
+	mutated = append(mutated, src[:start]...)
+	mutated = append(mutated, text...)
+	mutated = append(mutated, src[end:]...)
+
+	pos := fset.Position(site.id.Pos())
+	return Mutant{
+		ID: fmt.Sprintf("%s/%s@%d:%d:%s(%s)",
+			fn.Name.Name, site.id.Name, pos.Line, pos.Column, op, repl),
+		Method:      fn.Name.Name,
+		Operator:    op,
+		Var:         site.id.Name,
+		Replacement: repl,
+		Position:    pos,
+		Source:      mutated,
+	}, nil
+}
+
+// TypeCheck verifies the mutant source still compiles ("all faulty classes
+// compiled cleanly"). It returns nil when the mutant type-checks.
+func (m Mutant) TypeCheck(filename string) error {
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, filename, m.Source, 0)
+	if err != nil {
+		return fmt.Errorf("srcmut: mutant %s does not parse: %w", m.ID, err)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check(file.Name.Name, fset, []*ast.File{file}, nil); err != nil {
+		return fmt.Errorf("srcmut: mutant %s does not type-check: %w", m.ID, err)
+	}
+	return nil
+}
+
+// FileName suggests a file name for the mutant ("mutant_0042.go" style).
+func (m Mutant) FileName(ordinal int) string {
+	return "mutant_" + strconv.Itoa(ordinal) + ".go"
+}

@@ -1,0 +1,164 @@
+// Package stockdb is the warehouse stock-control substrate behind the
+// paper's running example (Figure 1): class Product obtains its data from a
+// stock database and references Provider objects. The paper treats both as
+// given context ("another class of this system"); this package implements
+// them so the Product component's transactions — insert, query, remove —
+// run against real state.
+package stockdb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Errors returned by database operations.
+var (
+	ErrDuplicate = errors.New("stockdb: product already in stock")
+	ErrNotFound  = errors.New("stockdb: product not found")
+)
+
+// Provider is a goods supplier (the Provider class of Figure 1).
+type Provider struct {
+	ID   int64
+	Name string
+}
+
+// String identifies the provider in reports.
+func (p *Provider) String() string {
+	if p == nil {
+		return "<no provider>"
+	}
+	return fmt.Sprintf("Provider{id: %d, name: %q}", p.ID, p.Name)
+}
+
+// Record is one product row in the stock database.
+type Record struct {
+	Name       string
+	Qty        int64
+	Price      float64
+	ProviderID int64 // 0 when the product has no provider
+}
+
+// DB is an in-memory stock database. It is safe for concurrent use.
+type DB struct {
+	mu        sync.Mutex
+	nextID    int64
+	providers map[int64]*Provider
+	products  map[string]Record
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{
+		providers: make(map[int64]*Provider),
+		products:  make(map[string]Record),
+	}
+}
+
+// AddProvider registers a supplier and returns it.
+func (db *DB) AddProvider(name string) *Provider {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.nextID++
+	p := &Provider{ID: db.nextID, Name: name}
+	db.providers[p.ID] = p
+	return p
+}
+
+// Provider returns a registered supplier.
+func (db *DB) Provider(id int64) (*Provider, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	p, ok := db.providers[id]
+	return p, ok
+}
+
+// Providers returns all suppliers ordered by ID.
+func (db *DB) Providers() []*Provider {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]*Provider, 0, len(db.providers))
+	for _, p := range db.providers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Insert adds a product record; inserting an existing name fails.
+func (db *DB) Insert(rec Record) error {
+	if rec.Name == "" {
+		return errors.New("stockdb: product name is empty")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.products[rec.Name]; ok {
+		return fmt.Errorf("%w: %q", ErrDuplicate, rec.Name)
+	}
+	db.products[rec.Name] = rec
+	return nil
+}
+
+// Query returns the record for a product name.
+func (db *DB) Query(name string) (Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.products[name]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return rec, nil
+}
+
+// Remove deletes and returns the record for a product name.
+func (db *DB) Remove(name string) (Record, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.products[name]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(db.products, name)
+	return rec, nil
+}
+
+// Update replaces the record for an existing product name.
+func (db *DB) Update(rec Record) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.products[rec.Name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, rec.Name)
+	}
+	db.products[rec.Name] = rec
+	return nil
+}
+
+// Count returns the number of stocked products.
+func (db *DB) Count() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.products)
+}
+
+// Names returns the stocked product names, sorted.
+func (db *DB) Names() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.products))
+	for name := range db.products {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset empties the database (providers included).
+func (db *DB) Reset() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.providers = make(map[int64]*Provider)
+	db.products = make(map[string]Record)
+	db.nextID = 0
+}

@@ -1,0 +1,148 @@
+package stockdb
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestProviders(t *testing.T) {
+	db := New()
+	p1 := db.AddProvider("acme")
+	p2 := db.AddProvider("globex")
+	if p1.ID == p2.ID {
+		t.Error("provider IDs should be distinct")
+	}
+	got, ok := db.Provider(p1.ID)
+	if !ok || got.Name != "acme" {
+		t.Errorf("Provider(%d) = %v, %v", p1.ID, got, ok)
+	}
+	if _, ok := db.Provider(999); ok {
+		t.Error("unknown provider should miss")
+	}
+	all := db.Providers()
+	if len(all) != 2 || all[0].ID > all[1].ID {
+		t.Errorf("Providers() = %v", all)
+	}
+	if !strings.Contains(p1.String(), "acme") {
+		t.Errorf("String() = %q", p1.String())
+	}
+	var nilP *Provider
+	if nilP.String() != "<no provider>" {
+		t.Errorf("nil String() = %q", nilP.String())
+	}
+}
+
+func TestInsertQueryRemove(t *testing.T) {
+	db := New()
+	rec := Record{Name: "bolt", Qty: 10, Price: 0.5}
+	if err := db.Insert(rec); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := db.Insert(rec); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate insert err = %v", err)
+	}
+	if err := db.Insert(Record{}); err == nil {
+		t.Error("empty name insert should fail")
+	}
+	got, err := db.Query("bolt")
+	if err != nil || got != rec {
+		t.Errorf("Query = %+v, %v", got, err)
+	}
+	if _, err := db.Query("nut"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing query err = %v", err)
+	}
+	if db.Count() != 1 {
+		t.Errorf("Count = %d", db.Count())
+	}
+	removed, err := db.Remove("bolt")
+	if err != nil || removed != rec {
+		t.Errorf("Remove = %+v, %v", removed, err)
+	}
+	if _, err := db.Remove("bolt"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("second remove err = %v", err)
+	}
+	if db.Count() != 0 {
+		t.Errorf("Count after remove = %d", db.Count())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := New()
+	if err := db.Update(Record{Name: "x"}); !errors.Is(err, ErrNotFound) {
+		t.Errorf("update missing err = %v", err)
+	}
+	if err := db.Insert(Record{Name: "x", Qty: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Update(Record{Name: "x", Qty: 5}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	got, _ := db.Query("x")
+	if got.Qty != 5 {
+		t.Errorf("updated qty = %d", got.Qty)
+	}
+}
+
+func TestNamesAndReset(t *testing.T) {
+	db := New()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := db.Insert(Record{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names() = %v", names)
+	}
+	db.AddProvider("p")
+	db.Reset()
+	if db.Count() != 0 || len(db.Providers()) != 0 {
+		t.Error("Reset left data behind")
+	}
+	// IDs restart after reset.
+	if p := db.AddProvider("q"); p.ID != 1 {
+		t.Errorf("post-reset provider ID = %d", p.ID)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				_ = db.Insert(Record{Name: name, Qty: int64(j)})
+				_, _ = db.Query(name)
+				_, _ = db.Remove(name)
+				db.AddProvider(name)
+				_ = db.Count()
+				_ = db.Names()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestInsertRemoveRoundTripProperty(t *testing.T) {
+	prop := func(name string, qty int64, price float64) bool {
+		if name == "" {
+			return true
+		}
+		db := New()
+		rec := Record{Name: name, Qty: qty, Price: price}
+		if err := db.Insert(rec); err != nil {
+			return false
+		}
+		got, err := db.Remove(name)
+		return err == nil && got == rec && db.Count() == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,452 @@
+// Package testexec is the consumer-side test infrastructure of §3.4: it
+// executes generated suites against a self-testable component, checks the
+// class invariant around every call (the built-in partial oracle), captures
+// the reporter dump, writes the run log (the paper's "Result.txt"), and
+// compares observable output against a recorded reference run (the manual
+// oracle the paper's experimenters validated by hand, automated here as a
+// golden-output oracle).
+//
+// The per-case outcomes map onto the paper's mutant-kill criteria: a panic
+// is criterion (i) "the program crashed", an assertion violation is
+// criterion (ii), and an output difference against the reference run is
+// criterion (iii).
+package testexec
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"sort"
+	"strings"
+	"time"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/tspec"
+)
+
+// Outcome classifies one executed test case.
+type Outcome int
+
+// Case outcomes.
+const (
+	// OutcomePass: the case ran to completion with no assertion violation
+	// and (if an oracle was installed) matching output.
+	OutcomePass Outcome = iota + 1
+	// OutcomeViolation: an assertion (invariant/pre/post) was violated.
+	OutcomeViolation
+	// OutcomePanic: the component crashed; the executor recovered it.
+	OutcomePanic
+	// OutcomeError: the harness could not run the case (unfillable hole,
+	// constructor failure, unknown method).
+	OutcomeError
+	// OutcomeOutputDiff: the case completed but its observable output
+	// differs from the installed oracle's reference.
+	OutcomeOutputDiff
+	// OutcomeTimeout: the case exceeded Options.CaseTimeout. In mutation
+	// analysis a timeout is a kill — the paper's testbed would hang on a
+	// runaway mutant and be killed externally.
+	OutcomeTimeout
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePass:
+		return "pass"
+	case OutcomeViolation:
+		return "assertion-violation"
+	case OutcomePanic:
+		return "crash"
+	case OutcomeError:
+		return "harness-error"
+	case OutcomeOutputDiff:
+		return "output-diff"
+	case OutcomeTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// CaseResult is the record of one executed test case.
+type CaseResult struct {
+	CaseID      string
+	Transaction string
+	Outcome     Outcome
+	// Method is the method being executed when the case failed (the log's
+	// "Method called:" line); empty on pass.
+	Method string
+	// ViolationKind is set when Outcome is OutcomeViolation.
+	ViolationKind bit.ViolationKind
+	// Detail carries the failure message.
+	Detail string
+	// Transcript is the case's observable output: every call's results and
+	// errors plus the final reporter dump. It is what the golden oracle
+	// compares.
+	Transcript string
+}
+
+// Report aggregates a suite run.
+type Report struct {
+	Component string
+	Results   []CaseResult
+}
+
+// Counts returns the number of cases per outcome.
+func (r *Report) Counts() map[Outcome]int {
+	out := make(map[Outcome]int)
+	for _, c := range r.Results {
+		out[c.Outcome]++
+	}
+	return out
+}
+
+// AllPassed reports whether every case passed.
+func (r *Report) AllPassed() bool {
+	for _, c := range r.Results {
+		if c.Outcome != OutcomePass {
+			return false
+		}
+	}
+	return true
+}
+
+// Failures returns the non-passing case results.
+func (r *Report) Failures() []CaseResult {
+	var out []CaseResult
+	for _, c := range r.Results {
+		if c.Outcome != OutcomePass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Summary renders a one-line human summary plus per-outcome counts.
+func (r *Report) Summary() string {
+	counts := r.Counts()
+	var keys []int
+	for k := range counts {
+		keys = append(keys, int(k))
+	}
+	sort.Ints(keys)
+	var parts []string
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", Outcome(k), counts[Outcome(k)]))
+	}
+	return fmt.Sprintf("%s: %d cases (%s)", r.Component, len(r.Results), strings.Join(parts, ", "))
+}
+
+// Result returns the result for a case ID.
+func (r *Report) Result(caseID string) (CaseResult, bool) {
+	for _, c := range r.Results {
+		if c.CaseID == caseID {
+			return c, true
+		}
+	}
+	return CaseResult{}, false
+}
+
+// Oracle checks a completed case's observable output. The golden oracle
+// (see Golden) is the standard implementation.
+type Oracle interface {
+	// Check returns nil if the transcript is acceptable for the case, or an
+	// error describing the difference.
+	Check(caseID, transcript string) error
+}
+
+// Options configure a suite run.
+type Options struct {
+	// LogWriter receives the run log ("Result.txt" analog); nil discards.
+	LogWriter io.Writer
+	// Providers complete structured-parameter holes by component type name.
+	Providers map[string]domain.Provider
+	// Seed drives the providers' randomness; with the same seed hole
+	// completion is reproducible.
+	Seed int64
+	// Oracle, if non-nil, checks every completed case's transcript.
+	Oracle Oracle
+	// SkipInvariantChecks disables the around-call invariant checking; used
+	// by the assertions-oracle ablation.
+	SkipInvariantChecks bool
+	// SkipReporter disables the end-of-case reporter dump.
+	SkipReporter bool
+	// CaseTimeout, when positive, bounds each test case's wall-clock time.
+	// A case that exceeds it is recorded as OutcomeTimeout. The runaway
+	// case's goroutine is abandoned (Go cannot kill it); use this as a
+	// last-resort guard for components without their own iteration bounds.
+	CaseTimeout time.Duration
+}
+
+// Run executes the suite against the component. Per-case failures are
+// recorded in the report, not returned as errors; Run itself fails only on
+// harness-level misuse (nil suite/factory, component name mismatch).
+func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
+	if s == nil || f == nil {
+		return nil, errors.New("testexec: nil suite or factory")
+	}
+	if s.Component != f.Name() {
+		return nil, fmt.Errorf("testexec: suite is for %q but factory builds %q", s.Component, f.Name())
+	}
+	log := opts.LogWriter
+	if log == nil {
+		log = io.Discard
+	}
+	spec := f.Spec()
+	report := &Report{Component: s.Component}
+	for i, tc := range s.Cases {
+		res := runCaseBounded(tc, f, spec, opts, opts.Seed+int64(i))
+		if opts.Oracle != nil && res.Outcome == OutcomePass {
+			if err := opts.Oracle.Check(tc.ID, res.Transcript); err != nil {
+				res.Outcome = OutcomeOutputDiff
+				res.Detail = err.Error()
+			}
+		}
+		writeLog(log, res)
+		report.Results = append(report.Results, res)
+	}
+	return report, nil
+}
+
+// runCaseBounded applies Options.CaseTimeout around runCase.
+func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64) CaseResult {
+	if opts.CaseTimeout <= 0 {
+		return runCase(tc, f, spec, opts, seed)
+	}
+	done := make(chan CaseResult, 1)
+	go func() {
+		done <- runCase(tc, f, spec, opts, seed)
+	}()
+	timer := time.NewTimer(opts.CaseTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		return res
+	case <-timer.C:
+		return CaseResult{
+			CaseID:      tc.ID,
+			Transaction: tc.Transaction,
+			Outcome:     OutcomeTimeout,
+			Detail:      fmt.Sprintf("case exceeded %v", opts.CaseTimeout),
+		}
+	}
+}
+
+// runCase executes one test case: construct, invariant-wrapped calls,
+// reporter, destroy. Panics anywhere inside are recovered into
+// OutcomePanic — the paper's "the program crashed while running the test
+// cases" kill criterion.
+func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64) (res CaseResult) {
+	res = CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Outcome: OutcomePass}
+	var transcript strings.Builder
+	currentMethod := ""
+	defer func() {
+		res.Transcript = transcript.String()
+		if p := recover(); p != nil {
+			res.Outcome = OutcomePanic
+			res.Method = currentMethod
+			res.Detail = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	if len(tc.Calls) == 0 {
+		res.Outcome = OutcomeError
+		res.Detail = "test case has no calls"
+		return res
+	}
+	rng := domain.NewRand(seed)
+
+	// Complete holes in every call up front.
+	calls := make([]driver.Call, len(tc.Calls))
+	for i, c := range tc.Calls {
+		cc := c
+		cc.Args = append([]domain.Value(nil), c.Args...)
+		for _, h := range c.Holes {
+			v, err := completeHole(h, opts.Providers, rng)
+			if err != nil {
+				res.Outcome = OutcomeError
+				res.Method = c.Method
+				res.Detail = err.Error()
+				return res
+			}
+			if h.Arg < 0 || h.Arg >= len(cc.Args) {
+				res.Outcome = OutcomeError
+				res.Method = c.Method
+				res.Detail = fmt.Sprintf("hole index %d out of range", h.Arg)
+				return res
+			}
+			cc.Args[h.Arg] = v
+		}
+		calls[i] = cc
+	}
+
+	// Birth: the first call is the constructor.
+	ctor := calls[0]
+	currentMethod = ctor.Method
+	cut, err := f.New(ctor.Method, ctor.Args)
+	if err != nil {
+		res.Outcome = OutcomeError
+		res.Method = ctor.Method
+		res.Detail = fmt.Sprintf("constructor failed: %v", err)
+		return res
+	}
+	destroyed := false
+	defer func() {
+		if !destroyed {
+			_ = cut.Destroy()
+		}
+	}()
+	cut.SetBITMode(bit.ModeTest)
+	fmt.Fprintf(&transcript, "NEW %s(%s)\n", ctor.Method, argList(ctor.Args))
+
+	checkInvariant := func(when string) *bit.Violation {
+		if opts.SkipInvariantChecks {
+			return nil
+		}
+		if err := cut.InvariantTest(); err != nil {
+			if v, ok := bit.AsViolation(err); ok {
+				return v
+			}
+			// Guard errors and the like are harness problems, surfaced as a
+			// synthetic violation detail so they are visible in logs.
+			return &bit.Violation{Kind: bit.KindInvariant, Method: when, Detail: err.Error()}
+		}
+		return nil
+	}
+
+	if v := checkInvariant(ctor.Method); v != nil {
+		res.Outcome = OutcomeViolation
+		res.Method = currentMethod
+		res.ViolationKind = v.Kind
+		res.Detail = v.Error()
+		return res
+	}
+
+	// Processing and death: remaining calls, invariant around each.
+	for _, call := range calls[1:] {
+		currentMethod = call.Method
+		if isDestructor(spec, call) {
+			fmt.Fprintf(&transcript, "DESTROY %s\n", call.Method)
+			if err := cut.Destroy(); err != nil {
+				if v, ok := bit.AsViolation(err); ok {
+					res.Outcome = OutcomeViolation
+					res.Method = call.Method
+					res.ViolationKind = v.Kind
+					res.Detail = v.Error()
+					return res
+				}
+				res.Outcome = OutcomeError
+				res.Method = call.Method
+				res.Detail = fmt.Sprintf("destructor failed: %v", err)
+				return res
+			}
+			destroyed = true
+			continue
+		}
+		results, err := cut.Invoke(call.Method, call.Args)
+		if err != nil {
+			if v, ok := bit.AsViolation(err); ok {
+				res.Outcome = OutcomeViolation
+				res.Method = call.Method
+				res.ViolationKind = v.Kind
+				res.Detail = v.Error()
+				return res
+			}
+			// A non-contract error is observable behaviour: record it in
+			// the transcript and continue the transaction, so the golden
+			// oracle can compare error behaviour between runs.
+			fmt.Fprintf(&transcript, "CALL %s(%s) -> error: %v\n", call.Method, argList(call.Args), err)
+			continue
+		}
+		fmt.Fprintf(&transcript, "CALL %s(%s) -> [%s]\n", call.Method, argList(call.Args), argList(results))
+		if v := checkInvariant(call.Method); v != nil {
+			res.Outcome = OutcomeViolation
+			res.Method = call.Method
+			res.ViolationKind = v.Kind
+			res.Detail = v.Error()
+			return res
+		}
+	}
+
+	// Reporter dump: the object's final internal state, part of the
+	// observable output (the paper's driver calls Reporter at case end).
+	if !opts.SkipReporter && !destroyed {
+		var dump strings.Builder
+		if err := cut.Reporter(&dump); err == nil {
+			transcript.WriteString("REPORT " + dump.String())
+			if !strings.HasSuffix(dump.String(), "\n") {
+				transcript.WriteString("\n")
+			}
+		}
+	}
+	if !destroyed {
+		if err := cut.Destroy(); err != nil {
+			if v, ok := bit.AsViolation(err); ok {
+				res.Outcome = OutcomeViolation
+				res.Method = "destroy"
+				res.ViolationKind = v.Kind
+				res.Detail = v.Error()
+				return res
+			}
+			res.Outcome = OutcomeError
+			res.Method = "destroy"
+			res.Detail = fmt.Sprintf("destructor failed: %v", err)
+			return res
+		}
+		destroyed = true
+	}
+	return res
+}
+
+func completeHole(h driver.Hole, providers map[string]domain.Provider, rng *rand.Rand) (domain.Value, error) {
+	if p, ok := providers[h.TypeName]; ok {
+		v, err := p.Provide(rng)
+		if err != nil {
+			return domain.Value{}, fmt.Errorf("provider for %q: %w", h.TypeName, err)
+		}
+		return v, nil
+	}
+	if h.Nullable {
+		return domain.Nil(), nil
+	}
+	return domain.Value{}, fmt.Errorf("no provider for structured parameter of type %q (manual completion required)", h.TypeName)
+}
+
+func isDestructor(spec *tspec.Spec, call driver.Call) bool {
+	if spec == nil {
+		return false
+	}
+	if m, ok := spec.MethodByID(call.MethodID); ok {
+		return m.Category == tspec.CatDestructor
+	}
+	if m, ok := spec.MethodByName(call.Method); ok {
+		return m.Category == tspec.CatDestructor
+	}
+	return false
+}
+
+func argList(vs []domain.Value) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// writeLog appends one case's entry in the paper's Result.txt style.
+func writeLog(w io.Writer, res CaseResult) {
+	if res.Outcome == OutcomePass {
+		fmt.Fprintf(w, "TestCase%s OK!\n\n", res.CaseID)
+		return
+	}
+	fmt.Fprintf(w, "TestCase%s\n", res.CaseID)
+	fmt.Fprintf(w, "%s\n", res.Detail)
+	if res.Method != "" {
+		fmt.Fprintf(w, "Method called: %s\n", res.Method)
+	}
+	fmt.Fprintf(w, "\n")
+}

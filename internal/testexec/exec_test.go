@@ -1,0 +1,535 @@
+package testexec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"time"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/components/account"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/tspec"
+)
+
+func accountSuite(t *testing.T) *driver.Suite {
+	t.Helper()
+	s, err := driver.Generate(account.Spec(), driver.Options{Seed: 11, ExpandAlternatives: true})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+func TestRunAccountSuiteAllPass(t *testing.T) {
+	s := accountSuite(t)
+	var log bytes.Buffer
+	rep, err := Run(s, account.NewFactory(), Options{LogWriter: &log})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(rep.Results) != len(s.Cases) {
+		t.Fatalf("results = %d, cases = %d", len(rep.Results), len(s.Cases))
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("failures: %+v", rep.Failures())
+	}
+	if !strings.Contains(log.String(), "TestCaseTC0 OK!") {
+		t.Errorf("log missing OK line:\n%s", log.String())
+	}
+	if got := rep.Counts()[OutcomePass]; got != len(s.Cases) {
+		t.Errorf("pass count = %d", got)
+	}
+	if !strings.Contains(rep.Summary(), "pass=") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+func TestRunTranscriptsDeterministic(t *testing.T) {
+	s := accountSuite(t)
+	rep1, err := Run(s, account.NewFactory(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Run(s, account.NewFactory(), Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep1.Results {
+		if rep1.Results[i].Transcript != rep2.Results[i].Transcript {
+			t.Fatalf("case %s transcript not deterministic", rep1.Results[i].CaseID)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	s := accountSuite(t)
+	if _, err := Run(nil, account.NewFactory(), Options{}); err == nil {
+		t.Error("nil suite should fail")
+	}
+	if _, err := Run(s, nil, Options{}); err == nil {
+		t.Error("nil factory should fail")
+	}
+	s2 := *s
+	s2.Component = "Other"
+	if _, err := Run(&s2, account.NewFactory(), Options{}); err == nil {
+		t.Error("component mismatch should fail")
+	}
+}
+
+func TestReportAccessors(t *testing.T) {
+	s := accountSuite(t)
+	rep, err := Run(s, account.NewFactory(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := rep.Result("TC0")
+	if !ok || res.CaseID != "TC0" {
+		t.Errorf("Result(TC0) = %+v, %v", res, ok)
+	}
+	if _, ok := rep.Result("TC99999"); ok {
+		t.Error("Result should miss for unknown case")
+	}
+}
+
+// chaos is an in-package component whose behaviour is scripted by
+// constructor argument, exercising the executor's failure paths.
+type chaos struct {
+	bit.Base
+	mode      string
+	destroyed bool
+	calls     int
+}
+
+func (c *chaos) InvariantTest() error {
+	if err := c.Guard(); err != nil {
+		return err
+	}
+	if c.mode == "break-invariant" && c.calls > 0 {
+		return bit.ClassInvariant(false, "InvariantTest", "state valid")
+	}
+	return nil
+}
+
+func (c *chaos) Reporter(w io.Writer) error {
+	if err := c.Guard(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "chaos{calls: %d}\n", c.calls)
+	return nil
+}
+
+func (c *chaos) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	c.calls++
+	switch {
+	case c.mode == "panic" && method == "Poke":
+		panic("chaos panic")
+	case c.mode == "pre-violation" && method == "Poke":
+		return nil, bit.PreCondition(false, "Poke", "never")
+	case c.mode == "soft-error" && method == "Poke":
+		return nil, errors.New("soft failure")
+	}
+	return []domain.Value{domain.Int(int64(c.calls))}, nil
+}
+
+func (c *chaos) Destroy() error {
+	if c.mode == "destroy-error" {
+		return errors.New("destructor exploded")
+	}
+	if c.mode == "destroy-violation" {
+		return bit.PostCondition(false, "~Chaos", "clean shutdown")
+	}
+	c.destroyed = true
+	return nil
+}
+
+type chaosFactory struct{ mode string }
+
+func (f *chaosFactory) Name() string { return "Chaos" }
+
+func (f *chaosFactory) Spec() *tspec.Spec { return chaosSpec() }
+
+func (f *chaosFactory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	if f.mode == "ctor-error" {
+		return nil, errors.New("constructor refused")
+	}
+	return &chaos{mode: f.mode}, nil
+}
+
+func chaosSpec() *tspec.Spec {
+	return tspec.NewBuilder("Chaos").
+		Method("m1", "Chaos", "", tspec.CatConstructor).
+		Method("m2", "~Chaos", "", tspec.CatDestructor).
+		Method("m3", "Poke", "int", tspec.CatUpdate).
+		Node("n1", true, "m1").
+		Node("n2", false, "m3").
+		Node("n3", false, "m2").
+		Edge("n1", "n2").
+		Edge("n2", "n3").
+		MustBuild()
+}
+
+func chaosSuite() *driver.Suite {
+	return &driver.Suite{
+		Component: "Chaos",
+		Cases: []driver.TestCase{{
+			ID:          "TC0",
+			Transaction: "n1>n2>n3",
+			Path:        []string{"n1", "n2", "n3"},
+			Calls: []driver.Call{
+				{MethodID: "m1", Method: "Chaos"},
+				{MethodID: "m3", Method: "Poke"},
+				{MethodID: "m2", Method: "~Chaos"},
+			},
+		}},
+	}
+}
+
+func TestRunOutcomes(t *testing.T) {
+	tests := []struct {
+		mode string
+		want Outcome
+		kind bit.ViolationKind
+	}{
+		{"", OutcomePass, 0},
+		{"panic", OutcomePanic, 0},
+		{"pre-violation", OutcomeViolation, bit.KindPrecondition},
+		{"break-invariant", OutcomeViolation, bit.KindInvariant},
+		{"soft-error", OutcomePass, 0}, // recorded in transcript, not a failure
+		{"ctor-error", OutcomeError, 0},
+		{"destroy-error", OutcomeError, 0},
+		{"destroy-violation", OutcomeViolation, bit.KindPostcondition},
+	}
+	for _, tt := range tests {
+		t.Run("mode="+tt.mode, func(t *testing.T) {
+			var log bytes.Buffer
+			rep, err := Run(chaosSuite(), &chaosFactory{mode: tt.mode}, Options{LogWriter: &log})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			res := rep.Results[0]
+			if res.Outcome != tt.want {
+				t.Fatalf("outcome = %s, want %s (detail %q)", res.Outcome, tt.want, res.Detail)
+			}
+			if tt.kind != 0 && res.ViolationKind != tt.kind {
+				t.Errorf("violation kind = %s, want %s", res.ViolationKind, tt.kind)
+			}
+			if tt.want != OutcomePass {
+				if !strings.Contains(log.String(), "TestCaseTC0\n") {
+					t.Errorf("failure log missing case header:\n%s", log.String())
+				}
+			}
+			if tt.mode == "soft-error" && !strings.Contains(res.Transcript, "error: soft failure") {
+				t.Errorf("transcript should record the soft error: %q", res.Transcript)
+			}
+		})
+	}
+}
+
+func TestRunFailureLogHasMethod(t *testing.T) {
+	var log bytes.Buffer
+	rep, err := Run(chaosSuite(), &chaosFactory{mode: "pre-violation"}, Options{LogWriter: &log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Method != "Poke" {
+		t.Errorf("failing method = %q", rep.Results[0].Method)
+	}
+	if !strings.Contains(log.String(), "Method called: Poke") {
+		t.Errorf("log = %q", log.String())
+	}
+}
+
+func TestRunEmptyCase(t *testing.T) {
+	s := &driver.Suite{Component: "Chaos", Cases: []driver.TestCase{{ID: "TC0"}}}
+	rep, err := Run(s, &chaosFactory{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Outcome != OutcomeError {
+		t.Errorf("empty case outcome = %s", rep.Results[0].Outcome)
+	}
+}
+
+func TestRunHoleCompletion(t *testing.T) {
+	mk := func(holes []driver.Hole) *driver.Suite {
+		return &driver.Suite{
+			Component: "Chaos",
+			Cases: []driver.TestCase{{
+				ID: "TC0",
+				Calls: []driver.Call{
+					{MethodID: "m1", Method: "Chaos"},
+					{MethodID: "m3", Method: "Poke", Args: []domain.Value{domain.Nil()}, Holes: holes},
+					{MethodID: "m2", Method: "~Chaos"},
+				},
+			}},
+		}
+	}
+	t.Run("provider fills", func(t *testing.T) {
+		s := mk([]driver.Hole{{Arg: 0, TypeName: "Widget"}})
+		providers := map[string]domain.Provider{
+			"Widget": domain.ProviderFunc(func(r *rand.Rand) (domain.Value, error) {
+				return domain.Object(&struct{}{}), nil
+			}),
+		}
+		rep, err := Run(s, &chaosFactory{}, Options{Providers: providers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Outcome != OutcomePass {
+			t.Errorf("outcome = %s (%s)", rep.Results[0].Outcome, rep.Results[0].Detail)
+		}
+	})
+	t.Run("provider error surfaces", func(t *testing.T) {
+		s := mk([]driver.Hole{{Arg: 0, TypeName: "Widget"}})
+		providers := map[string]domain.Provider{
+			"Widget": domain.ProviderFunc(func(r *rand.Rand) (domain.Value, error) {
+				return domain.Value{}, errors.New("no widgets today")
+			}),
+		}
+		rep, err := Run(s, &chaosFactory{}, Options{Providers: providers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Outcome != OutcomeError {
+			t.Errorf("outcome = %s", rep.Results[0].Outcome)
+		}
+	})
+	t.Run("nullable defaults to nil", func(t *testing.T) {
+		s := mk([]driver.Hole{{Arg: 0, TypeName: "Widget", Nullable: true}})
+		rep, err := Run(s, &chaosFactory{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Outcome != OutcomePass {
+			t.Errorf("outcome = %s (%s)", rep.Results[0].Outcome, rep.Results[0].Detail)
+		}
+	})
+	t.Run("missing provider errors", func(t *testing.T) {
+		s := mk([]driver.Hole{{Arg: 0, TypeName: "Widget"}})
+		rep, err := Run(s, &chaosFactory{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Outcome != OutcomeError {
+			t.Errorf("outcome = %s", rep.Results[0].Outcome)
+		}
+		if !strings.Contains(rep.Results[0].Detail, "manual completion") {
+			t.Errorf("detail = %q", rep.Results[0].Detail)
+		}
+	})
+	t.Run("bad hole index errors", func(t *testing.T) {
+		s := mk([]driver.Hole{{Arg: 5, TypeName: "Widget", Nullable: true}})
+		rep, err := Run(s, &chaosFactory{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Results[0].Outcome != OutcomeError {
+			t.Errorf("outcome = %s", rep.Results[0].Outcome)
+		}
+	})
+}
+
+func TestGoldenOracle(t *testing.T) {
+	s := accountSuite(t)
+	ref, err := Run(s, account.NewFactory(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGolden(ref)
+	// Same run checks clean.
+	rep, err := Run(s, account.NewFactory(), Options{Seed: 1, Oracle: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.AllPassed() {
+		t.Fatalf("golden-checked rerun failed: %+v", rep.Failures())
+	}
+	// A doctored transcript is flagged.
+	if err := g.Check("TC0", "something else"); err == nil {
+		t.Error("doctored transcript should fail the oracle")
+	}
+	if err := g.Check("TC-unknown", "x"); err == nil {
+		t.Error("unknown case should fail the oracle")
+	}
+}
+
+func TestGoldenDiffers(t *testing.T) {
+	s := accountSuite(t)
+	ref, err := Run(s, account.NewFactory(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGolden(ref)
+	same := ref.Results[0]
+	if g.Differs(same) {
+		t.Error("identical result should not differ")
+	}
+	mutated := same
+	mutated.Transcript += "extra\n"
+	if !g.Differs(mutated) {
+		t.Error("changed transcript should differ")
+	}
+	crashed := same
+	crashed.Outcome = OutcomePanic
+	if !g.Differs(crashed) {
+		t.Error("changed outcome should differ")
+	}
+	unknown := same
+	unknown.CaseID = "TC-missing"
+	if !g.Differs(unknown) {
+		t.Error("unknown case should differ")
+	}
+}
+
+func TestGoldenSaveLoad(t *testing.T) {
+	s := accountSuite(t)
+	ref, err := Run(s, account.NewFactory(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGolden(ref)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	back, err := LoadGolden(&buf)
+	if err != nil {
+		t.Fatalf("LoadGolden: %v", err)
+	}
+	if back.Component != g.Component || len(back.Transcripts) != len(g.Transcripts) {
+		t.Error("golden round trip lost data")
+	}
+	if _, err := LoadGolden(strings.NewReader("nope")); err == nil {
+		t.Error("loading garbage golden should fail")
+	}
+}
+
+func TestFirstDiff(t *testing.T) {
+	if d := firstDiff("a\nb\n", "a\nc\n"); !strings.Contains(d, "line 2") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := firstDiff("a\nb", "a\nb\nc"); !strings.Contains(d, "length differs") {
+		t.Errorf("diff = %q", d)
+	}
+	if d := firstDiff("a", "a"); d != "transcripts differ" {
+		t.Errorf("diff = %q", d)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	tests := []struct {
+		o    Outcome
+		want string
+	}{
+		{OutcomePass, "pass"},
+		{OutcomeViolation, "assertion-violation"},
+		{OutcomePanic, "crash"},
+		{OutcomeError, "harness-error"},
+		{OutcomeOutputDiff, "output-diff"},
+		{Outcome(42), "outcome(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSkipInvariantChecks(t *testing.T) {
+	rep, err := Run(chaosSuite(), &chaosFactory{mode: "break-invariant"},
+		Options{SkipInvariantChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Outcome != OutcomePass {
+		t.Errorf("with checks skipped, outcome = %s", rep.Results[0].Outcome)
+	}
+}
+
+func TestSkipReporter(t *testing.T) {
+	rep, err := Run(chaosSuite(), &chaosFactory{}, Options{SkipReporter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(rep.Results[0].Transcript, "REPORT") {
+		t.Error("transcript should not contain the reporter dump")
+	}
+	rep2, err := Run(chaosSuite(), &chaosFactory{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chaos's destructor call is the final call, so no REPORT either way —
+	// exercise via a suite without a trailing destructor.
+	s := &driver.Suite{
+		Component: "Chaos",
+		Cases: []driver.TestCase{{
+			ID: "TC0",
+			Calls: []driver.Call{
+				{MethodID: "m1", Method: "Chaos"},
+				{MethodID: "m3", Method: "Poke"},
+			},
+		}},
+	}
+	rep3, err := Run(s, &chaosFactory{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep3.Results[0].Transcript, "REPORT chaos{calls:") {
+		t.Errorf("transcript missing reporter dump: %q", rep3.Results[0].Transcript)
+	}
+	_ = rep2
+}
+
+// hangFactory builds a component whose Poke call blocks forever.
+type hangFactory struct{ chaosFactory }
+
+type hangInstance struct{ chaos }
+
+func (h *hangInstance) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if method == "Poke" {
+		select {} // hang: the component has no iteration bound of its own
+	}
+	return h.chaos.Invoke(method, args)
+}
+
+func (f *hangFactory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	return &hangInstance{}, nil
+}
+
+func TestCaseTimeout(t *testing.T) {
+	rep, err := Run(chaosSuite(), &hangFactory{}, Options{
+		CaseTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := rep.Results[0]
+	if res.Outcome != OutcomeTimeout {
+		t.Fatalf("outcome = %s, want timeout", res.Outcome)
+	}
+	if !strings.Contains(res.Detail, "exceeded") {
+		t.Errorf("detail = %q", res.Detail)
+	}
+	if OutcomeTimeout.String() != "timeout" {
+		t.Errorf("OutcomeTimeout.String() = %q", OutcomeTimeout.String())
+	}
+}
+
+func TestCaseTimeoutNotTriggeredOnFastCases(t *testing.T) {
+	rep, err := Run(chaosSuite(), &chaosFactory{}, Options{
+		CaseTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Outcome != OutcomePass {
+		t.Errorf("outcome = %s", rep.Results[0].Outcome)
+	}
+}

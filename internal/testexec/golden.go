@@ -1,0 +1,107 @@
+package testexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Golden is the golden-output oracle: it stores the transcripts of a
+// reference run of the original component and flags any later run whose
+// observable output differs. This automates the paper's third mutant-kill
+// criterion — "the output of the program that finished execution was
+// different of the output of the original program (these outputs were
+// validated by hand before experiments began)".
+type Golden struct {
+	Component   string            `json:"component"`
+	Transcripts map[string]string `json:"transcripts"` // case ID -> transcript
+	Outcomes    map[string]string `json:"outcomes"`    // case ID -> outcome name
+}
+
+var _ Oracle = (*Golden)(nil)
+
+// NewGolden records a reference report as the oracle.
+func NewGolden(ref *Report) *Golden {
+	g := &Golden{
+		Component:   ref.Component,
+		Transcripts: make(map[string]string, len(ref.Results)),
+		Outcomes:    make(map[string]string, len(ref.Results)),
+	}
+	for _, res := range ref.Results {
+		g.Transcripts[res.CaseID] = res.Transcript
+		g.Outcomes[res.CaseID] = res.Outcome.String()
+	}
+	return g
+}
+
+// Check implements Oracle.
+func (g *Golden) Check(caseID, transcript string) error {
+	want, ok := g.Transcripts[caseID]
+	if !ok {
+		return fmt.Errorf("golden oracle has no reference for case %s", caseID)
+	}
+	if transcript == want {
+		return nil
+	}
+	return fmt.Errorf("output differs from reference run:\n%s", firstDiff(want, transcript))
+}
+
+// Differs reports whether a case result deviates from the reference run in
+// any of the paper's three senses: different outcome class (crash or
+// assertion violation that the original did not have), or, for completed
+// runs, different observable output.
+func (g *Golden) Differs(res CaseResult) bool {
+	refOutcome, ok := g.Outcomes[res.CaseID]
+	if !ok {
+		return true
+	}
+	if res.Outcome.String() != refOutcome {
+		return true
+	}
+	return res.Transcript != g.Transcripts[res.CaseID]
+}
+
+// Save writes the oracle as JSON.
+func (g *Golden) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(g); err != nil {
+		return fmt.Errorf("testexec: encoding golden oracle: %w", err)
+	}
+	return nil
+}
+
+// LoadGolden reads an oracle saved with Save.
+func LoadGolden(r io.Reader) (*Golden, error) {
+	var g Golden
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("testexec: decoding golden oracle: %w", err)
+	}
+	if g.Transcripts == nil {
+		g.Transcripts = map[string]string{}
+	}
+	if g.Outcomes == nil {
+		g.Outcomes = map[string]string{}
+	}
+	return &g, nil
+}
+
+// firstDiff renders the first differing line between two transcripts.
+func firstDiff(want, got string) string {
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	if len(wl) != len(gl) {
+		return fmt.Sprintf("length differs: want %d lines, got %d", len(wl), len(gl))
+	}
+	return "transcripts differ"
+}

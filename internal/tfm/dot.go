@@ -1,0 +1,56 @@
+package tfm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteDOT renders the model in Graphviz DOT syntax, the medium we use to
+// regenerate the paper's Figure 2. Nodes are labelled with their method
+// lists; start nodes are drawn as double circles and final nodes as double
+// octagons. highlight, if non-empty, is a transaction whose edges are drawn
+// bold red — the paper highlights the example use-case path this way.
+func (g *Graph) WriteDOT(w io.Writer, highlight Transaction) error {
+	hl := make(map[Edge]bool, len(highlight.Path))
+	for i := 0; i+1 < len(highlight.Path); i++ {
+		hl[Edge{From: highlight.Path[i], To: highlight.Path[i+1]}] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, n := range g.Nodes() {
+		shape := "circle"
+		switch {
+		case n.Start:
+			shape = "doublecircle"
+		case n.Final:
+			shape = "doubleoctagon"
+		}
+		label := string(n.ID)
+		if len(n.Methods) > 0 {
+			label += "\\n" + strings.Join(n.Methods, ", ")
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s, label=%q];\n", string(n.ID), shape, label)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		attr := ""
+		if hl[e] {
+			attr = " [color=red, penwidth=2.0]"
+		}
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", string(e.From), string(e.To), attr)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("tfm: writing DOT: %w", err)
+	}
+	return nil
+}

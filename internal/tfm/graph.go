@@ -1,0 +1,272 @@
+// Package tfm implements the transaction flow model (TFM) that the paper
+// (§3.2) uses as its test model: a directed graph whose nodes are public
+// features of a component and whose paths from object creation ("birth") to
+// destruction ("death") are the allowable method sequences. An individual
+// path through the graph is a transaction; the driver generator derives one
+// test case per transaction (the transaction coverage criterion of §3.4.1).
+package tfm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID names a TFM node (the paper uses n1, n2, ...).
+type NodeID string
+
+// Node is a public feature group of the component. A node may list several
+// methods: these are alternatives (e.g. overloaded constructors), any one of
+// which realizes the node when a transaction traverses it.
+type Node struct {
+	ID      NodeID
+	Methods []string // method identifiers from the t-spec (m1, m2, ...)
+	Start   bool     // birth node: object construction
+	Final   bool     // death node: object destruction
+}
+
+// Clone returns a deep copy of the node.
+func (n Node) Clone() Node {
+	cp := n
+	cp.Methods = append([]string(nil), n.Methods...)
+	return cp
+}
+
+// Edge is a directed link: the target feature may immediately follow the
+// source feature in a transaction.
+type Edge struct {
+	From, To NodeID
+}
+
+// Graph is a transaction flow model. The zero value is unusable; construct
+// with New. Graph is not safe for concurrent mutation; concurrent reads are
+// safe once construction is done.
+type Graph struct {
+	name  string
+	nodes map[NodeID]*Node
+	succ  map[NodeID][]NodeID
+	pred  map[NodeID][]NodeID
+	edges []Edge
+}
+
+// New creates an empty TFM for the named component.
+func New(name string) *Graph {
+	return &Graph{
+		name:  name,
+		nodes: make(map[NodeID]*Node),
+		succ:  make(map[NodeID][]NodeID),
+		pred:  make(map[NodeID][]NodeID),
+	}
+}
+
+// Name returns the component name the model describes.
+func (g *Graph) Name() string { return g.name }
+
+// AddNode inserts a node. Duplicate IDs and empty IDs are rejected.
+func (g *Graph) AddNode(n Node) error {
+	if n.ID == "" {
+		return errors.New("tfm: node ID must not be empty")
+	}
+	if _, ok := g.nodes[n.ID]; ok {
+		return fmt.Errorf("tfm: duplicate node %q", n.ID)
+	}
+	cp := n.Clone()
+	g.nodes[n.ID] = &cp
+	return nil
+}
+
+// AddEdge inserts a directed link between two existing nodes. Parallel
+// duplicate edges are rejected; self-loops are allowed (a feature may repeat).
+func (g *Graph) AddEdge(from, to NodeID) error {
+	if _, ok := g.nodes[from]; !ok {
+		return fmt.Errorf("tfm: edge references unknown node %q", from)
+	}
+	if _, ok := g.nodes[to]; !ok {
+		return fmt.Errorf("tfm: edge references unknown node %q", to)
+	}
+	for _, s := range g.succ[from] {
+		if s == to {
+			return fmt.Errorf("tfm: duplicate edge %s -> %s", from, to)
+		}
+	}
+	g.succ[from] = append(g.succ[from], to)
+	g.pred[to] = append(g.pred[to], from)
+	g.edges = append(g.edges, Edge{From: from, To: to})
+	return nil
+}
+
+// Node returns the node with the given ID, or false.
+func (g *Graph) Node(id NodeID) (Node, bool) {
+	n, ok := g.nodes[id]
+	if !ok {
+		return Node{}, false
+	}
+	return n.Clone(), true
+}
+
+// Nodes returns all nodes sorted by ID.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Edges returns all edges in insertion order.
+func (g *Graph) Edges() []Edge {
+	return append([]Edge(nil), g.edges...)
+}
+
+// Successors returns the ordered successor list of a node.
+func (g *Graph) Successors(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.succ[id]...)
+}
+
+// Predecessors returns the ordered predecessor list of a node.
+func (g *Graph) Predecessors(id NodeID) []NodeID {
+	return append([]NodeID(nil), g.pred[id]...)
+}
+
+// StartNodes returns the birth nodes sorted by ID.
+func (g *Graph) StartNodes() []NodeID { return g.selectNodes(func(n *Node) bool { return n.Start }) }
+
+// FinalNodes returns the death nodes sorted by ID.
+func (g *Graph) FinalNodes() []NodeID { return g.selectNodes(func(n *Node) bool { return n.Final }) }
+
+func (g *Graph) selectNodes(keep func(*Node) bool) []NodeID {
+	var out []NodeID
+	for id, n := range g.nodes {
+		if keep(n) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// NumNodes returns the node count (the paper reports model size as nodes).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns the link count (the paper reports model size as links).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Stats summarizes the model the way the paper reports it ("a test model
+// composed of 16 nodes and 43 links").
+type Stats struct {
+	Nodes, Edges, StartNodes, FinalNodes int
+}
+
+// Stats returns the model size summary.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Nodes:      g.NumNodes(),
+		Edges:      g.NumEdges(),
+		StartNodes: len(g.StartNodes()),
+		FinalNodes: len(g.FinalNodes()),
+	}
+}
+
+// String renders the stats line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d nodes, %d links (%d start, %d final)", s.Nodes, s.Edges, s.StartNodes, s.FinalNodes)
+}
+
+// Validate checks the structural well-formedness rules a usable TFM must
+// satisfy. It returns all problems found, joined into a single error, or nil.
+func (g *Graph) Validate() error {
+	var problems []string
+	if len(g.nodes) == 0 {
+		problems = append(problems, "model has no nodes")
+	}
+	starts := g.StartNodes()
+	finals := g.FinalNodes()
+	if len(g.nodes) > 0 && len(starts) == 0 {
+		problems = append(problems, "model has no start (birth) node")
+	}
+	if len(g.nodes) > 0 && len(finals) == 0 {
+		problems = append(problems, "model has no final (death) node")
+	}
+	for _, n := range g.Nodes() {
+		if len(n.Methods) == 0 {
+			problems = append(problems, fmt.Sprintf("node %s lists no methods", n.ID))
+		}
+		if n.Start && n.Final {
+			problems = append(problems, fmt.Sprintf("node %s is both start and final", n.ID))
+		}
+	}
+	// Reachability: every node reachable from some start; every node must
+	// reach some final node. Unreachable features are unexercisable; dead-end
+	// features would leak objects.
+	if len(starts) > 0 {
+		reach := g.forwardReach(starts)
+		for _, n := range g.Nodes() {
+			if !reach[n.ID] {
+				problems = append(problems, fmt.Sprintf("node %s is unreachable from any start node", n.ID))
+			}
+		}
+	}
+	if len(finals) > 0 {
+		coreach := g.backwardReach(finals)
+		for _, n := range g.Nodes() {
+			if !coreach[n.ID] {
+				problems = append(problems, fmt.Sprintf("node %s cannot reach any final node", n.ID))
+			}
+		}
+	}
+	for _, id := range starts {
+		if len(g.pred[id]) > 0 {
+			problems = append(problems, fmt.Sprintf("start node %s has incoming edges", id))
+		}
+	}
+	for _, id := range finals {
+		if len(g.succ[id]) > 0 {
+			problems = append(problems, fmt.Sprintf("final node %s has outgoing edges", id))
+		}
+	}
+	if len(problems) == 0 {
+		return nil
+	}
+	return fmt.Errorf("tfm: invalid model %q: %s", g.name, strings.Join(problems, "; "))
+}
+
+func (g *Graph) forwardReach(seeds []NodeID) map[NodeID]bool {
+	return g.reach(seeds, g.succ)
+}
+
+func (g *Graph) backwardReach(seeds []NodeID) map[NodeID]bool {
+	return g.reach(seeds, g.pred)
+}
+
+func (g *Graph) reach(seeds []NodeID, next map[NodeID][]NodeID) map[NodeID]bool {
+	seen := make(map[NodeID]bool, len(g.nodes))
+	stack := append([]NodeID(nil), seeds...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		stack = append(stack, next[id]...)
+	}
+	return seen
+}
+
+// Clone returns an independent deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := New(g.name)
+	for _, n := range g.Nodes() {
+		if err := cp.AddNode(n); err != nil {
+			panic("tfm: clone of valid graph failed: " + err.Error())
+		}
+	}
+	for _, e := range g.edges {
+		if err := cp.AddEdge(e.From, e.To); err != nil {
+			panic("tfm: clone of valid graph failed: " + err.Error())
+		}
+	}
+	return cp
+}

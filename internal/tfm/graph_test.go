@@ -1,0 +1,229 @@
+package tfm
+
+import (
+	"strings"
+	"testing"
+)
+
+// linear builds n1(start) -> n2 -> n3(final).
+func linear(t *testing.T) *Graph {
+	t.Helper()
+	g := New("Linear")
+	mustAddNode(t, g, Node{ID: "n1", Methods: []string{"m1"}, Start: true})
+	mustAddNode(t, g, Node{ID: "n2", Methods: []string{"m2"}})
+	mustAddNode(t, g, Node{ID: "n3", Methods: []string{"m3"}, Final: true})
+	mustAddEdge(t, g, "n1", "n2")
+	mustAddEdge(t, g, "n2", "n3")
+	return g
+}
+
+// diamond builds n1(start) -> {n2,n3} -> n4(final) with a n2->n2 self loop.
+func diamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New("Diamond")
+	mustAddNode(t, g, Node{ID: "n1", Methods: []string{"ctor"}, Start: true})
+	mustAddNode(t, g, Node{ID: "n2", Methods: []string{"update"}})
+	mustAddNode(t, g, Node{ID: "n3", Methods: []string{"query"}})
+	mustAddNode(t, g, Node{ID: "n4", Methods: []string{"dtor"}, Final: true})
+	mustAddEdge(t, g, "n1", "n2")
+	mustAddEdge(t, g, "n1", "n3")
+	mustAddEdge(t, g, "n2", "n2")
+	mustAddEdge(t, g, "n2", "n4")
+	mustAddEdge(t, g, "n3", "n4")
+	return g
+}
+
+func mustAddNode(t *testing.T, g *Graph, n Node) {
+	t.Helper()
+	if err := g.AddNode(n); err != nil {
+		t.Fatalf("AddNode(%s): %v", n.ID, err)
+	}
+}
+
+func mustAddEdge(t *testing.T, g *Graph, from, to NodeID) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatalf("AddEdge(%s,%s): %v", from, to, err)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New("X")
+	if err := g.AddNode(Node{ID: ""}); err == nil {
+		t.Error("empty node ID should fail")
+	}
+	mustAddNode(t, g, Node{ID: "n1", Methods: []string{"m"}})
+	if err := g.AddNode(Node{ID: "n1"}); err == nil {
+		t.Error("duplicate node ID should fail")
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New("X")
+	mustAddNode(t, g, Node{ID: "a", Methods: []string{"m"}})
+	mustAddNode(t, g, Node{ID: "b", Methods: []string{"m"}})
+	if err := g.AddEdge("zz", "b"); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := g.AddEdge("a", "zz"); err == nil {
+		t.Error("unknown target should fail")
+	}
+	mustAddEdge(t, g, "a", "b")
+	if err := g.AddEdge("a", "b"); err == nil {
+		t.Error("duplicate edge should fail")
+	}
+	// Self loop allowed.
+	if err := g.AddEdge("b", "b"); err != nil {
+		t.Errorf("self loop: %v", err)
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	g := diamond(t)
+	n, ok := g.Node("n2")
+	if !ok || n.ID != "n2" || len(n.Methods) != 1 {
+		t.Fatalf("Node(n2) = %+v, %v", n, ok)
+	}
+	if _, ok := g.Node("nope"); ok {
+		t.Error("unknown node should report !ok")
+	}
+	// Mutating the returned copy must not affect the graph.
+	n.Methods[0] = "hacked"
+	n2, _ := g.Node("n2")
+	if n2.Methods[0] != "update" {
+		t.Error("Node() should return a defensive copy")
+	}
+	all := g.Nodes()
+	if len(all) != 4 || all[0].ID != "n1" || all[3].ID != "n4" {
+		t.Errorf("Nodes() = %+v", all)
+	}
+	if len(g.Edges()) != 5 {
+		t.Errorf("Edges() = %v", g.Edges())
+	}
+	if got := g.Successors("n1"); len(got) != 2 {
+		t.Errorf("Successors(n1) = %v", got)
+	}
+	if got := g.Predecessors("n4"); len(got) != 2 {
+		t.Errorf("Predecessors(n4) = %v", got)
+	}
+}
+
+func TestStartFinalNodes(t *testing.T) {
+	g := diamond(t)
+	if s := g.StartNodes(); len(s) != 1 || s[0] != "n1" {
+		t.Errorf("StartNodes() = %v", s)
+	}
+	if f := g.FinalNodes(); len(f) != 1 || f[0] != "n4" {
+		t.Errorf("FinalNodes() = %v", f)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := diamond(t)
+	s := g.Stats()
+	want := Stats{Nodes: 4, Edges: 5, StartNodes: 1, FinalNodes: 1}
+	if s != want {
+		t.Errorf("Stats() = %+v, want %+v", s, want)
+	}
+	if !strings.Contains(s.String(), "4 nodes, 5 links") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := diamond(t).Validate(); err != nil {
+		t.Errorf("diamond should validate: %v", err)
+	}
+	if err := linear(t).Validate(); err != nil {
+		t.Errorf("linear should validate: %v", err)
+	}
+}
+
+func TestValidateProblems(t *testing.T) {
+	t.Run("empty", func(t *testing.T) {
+		if err := New("E").Validate(); err == nil || !strings.Contains(err.Error(), "no nodes") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("no start", func(t *testing.T) {
+		g := New("X")
+		mustAddNode(t, g, Node{ID: "n1", Methods: []string{"m"}, Final: true})
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "no start") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("no final", func(t *testing.T) {
+		g := New("X")
+		mustAddNode(t, g, Node{ID: "n1", Methods: []string{"m"}, Start: true})
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "no final") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("node without methods", func(t *testing.T) {
+		g := New("X")
+		mustAddNode(t, g, Node{ID: "n1", Start: true})
+		mustAddNode(t, g, Node{ID: "n2", Methods: []string{"m"}, Final: true})
+		mustAddEdge(t, g, "n1", "n2")
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "lists no methods") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("start and final", func(t *testing.T) {
+		g := New("X")
+		mustAddNode(t, g, Node{ID: "n1", Methods: []string{"m"}, Start: true, Final: true})
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "both start and final") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("unreachable node", func(t *testing.T) {
+		g := linear(t)
+		mustAddNode(t, g, Node{ID: "orphan", Methods: []string{"m"}})
+		mustAddEdge(t, g, "orphan", "n3")
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "unreachable") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("dead end node", func(t *testing.T) {
+		g := linear(t)
+		mustAddNode(t, g, Node{ID: "sink", Methods: []string{"m"}})
+		mustAddEdge(t, g, "n2", "sink")
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "cannot reach any final") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("start with incoming", func(t *testing.T) {
+		g := linear(t)
+		mustAddEdge(t, g, "n2", "n1")
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "start node n1 has incoming") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("final with outgoing", func(t *testing.T) {
+		g := linear(t)
+		mustAddEdge(t, g, "n3", "n2")
+		err := g.Validate()
+		if err == nil || !strings.Contains(err.Error(), "final node n3 has outgoing") {
+			t.Errorf("err = %v", err)
+		}
+	})
+}
+
+func TestClone(t *testing.T) {
+	g := diamond(t)
+	cp := g.Clone()
+	if cp.Stats() != g.Stats() {
+		t.Fatalf("clone stats %+v != original %+v", cp.Stats(), g.Stats())
+	}
+	// Mutating the clone must not affect the original.
+	mustAddNode(t, cp, Node{ID: "extra", Methods: []string{"m"}})
+	if g.NumNodes() != 4 {
+		t.Error("mutating clone affected original")
+	}
+}

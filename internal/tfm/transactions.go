@@ -1,0 +1,290 @@
+package tfm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+)
+
+// Transaction is one allowable birth-to-death path through the model: the
+// unit of work the paper's transaction coverage criterion exercises.
+type Transaction struct {
+	// Path is the node sequence from a start node to a final node.
+	Path []NodeID
+}
+
+// Key returns a canonical string identity for the transaction, used by the
+// test history to associate test cases with transactions across runs.
+func (t Transaction) Key() string {
+	parts := make([]string, len(t.Path))
+	for i, id := range t.Path {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ">")
+}
+
+// String renders the path like "n1 -> n2 -> n4".
+func (t Transaction) String() string {
+	parts := make([]string, len(t.Path))
+	for i, id := range t.Path {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// EnumOptions bound transaction enumeration. Real TFMs contain cycles
+// (update loops), so the path space is infinite; the enumerator visits each
+// edge at most LoopBound times within a single transaction.
+type EnumOptions struct {
+	// LoopBound is the maximum number of traversals of any single edge in
+	// one transaction. Zero means 1 (simple paths plus at most one pass
+	// through each cycle edge).
+	LoopBound int
+	// MaxTransactions truncates enumeration. Zero means no limit.
+	MaxTransactions int
+	// MaxLength bounds the node length of a single transaction; zero means
+	// 4 * number of nodes, a generous default that admits loop unrollings.
+	MaxLength int
+}
+
+func (o EnumOptions) withDefaults(g *Graph) EnumOptions {
+	if o.LoopBound <= 0 {
+		o.LoopBound = 1
+	}
+	if o.MaxLength <= 0 {
+		o.MaxLength = 4 * g.NumNodes()
+		if o.MaxLength == 0 {
+			o.MaxLength = 1
+		}
+	}
+	return o
+}
+
+// ErrTruncated reports that enumeration stopped at MaxTransactions before
+// exhausting the bounded path space. Callers decide whether partial coverage
+// is acceptable; the CLI surfaces it as a warning.
+var ErrTruncated = errors.New("tfm: transaction enumeration truncated at limit")
+
+// Transactions enumerates every transaction of the bounded path space in
+// deterministic (depth-first, successor-insertion) order. If the enumeration
+// hits opts.MaxTransactions the returned error wraps ErrTruncated but the
+// transactions gathered so far are still returned.
+func (g *Graph) Transactions(opts EnumOptions) ([]Transaction, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("enumerating transactions: %w", err)
+	}
+	opts = opts.withDefaults(g)
+
+	var (
+		out       []Transaction
+		path      []NodeID
+		edgeCount = make(map[Edge]int)
+		truncated bool
+	)
+	var dfs func(id NodeID)
+	dfs = func(id NodeID) {
+		if truncated {
+			return
+		}
+		path = append(path, id)
+		defer func() { path = path[:len(path)-1] }()
+		if len(path) > opts.MaxLength {
+			return
+		}
+		if g.nodes[id].Final {
+			out = append(out, Transaction{Path: append([]NodeID(nil), path...)})
+			if opts.MaxTransactions > 0 && len(out) >= opts.MaxTransactions {
+				truncated = true
+			}
+			return
+		}
+		for _, next := range g.succ[id] {
+			e := Edge{From: id, To: next}
+			if edgeCount[e] >= opts.LoopBound {
+				continue
+			}
+			edgeCount[e]++
+			dfs(next)
+			edgeCount[e]--
+			if truncated {
+				return
+			}
+		}
+	}
+	for _, start := range g.StartNodes() {
+		dfs(start)
+	}
+	if truncated {
+		return out, fmt.Errorf("%w (%d transactions)", ErrTruncated, len(out))
+	}
+	return out, nil
+}
+
+// Criterion selects which elements of the model a test suite must cover
+// (§2.2 of the paper: "they define the elements of the test model that
+// should be covered by the tests"). Transaction coverage is the criterion
+// the paper's Driver Generator implements; node and link coverage are the
+// weaker structural criteria of Beizer §6.4.2 and are provided for the
+// ablation benchmarks.
+type Criterion int
+
+// Supported coverage criteria.
+const (
+	// CoverTransactions: each individual transaction at least once.
+	CoverTransactions Criterion = iota + 1
+	// CoverLinks: each edge at least once (all-links).
+	CoverLinks
+	// CoverNodes: each node at least once (all-nodes).
+	CoverNodes
+)
+
+// String names the criterion.
+func (c Criterion) String() string {
+	switch c {
+	case CoverTransactions:
+		return "all-transactions"
+	case CoverLinks:
+		return "all-links"
+	case CoverNodes:
+		return "all-nodes"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// Select returns a transaction set adequate for the criterion. For
+// CoverTransactions it is the full bounded enumeration; for CoverLinks and
+// CoverNodes it greedily picks a subset of the enumeration that covers every
+// edge (resp. node) reachable in the bounded space.
+func (g *Graph) Select(c Criterion, opts EnumOptions) ([]Transaction, error) {
+	all, err := g.Transactions(opts)
+	if err != nil && !errors.Is(err, ErrTruncated) {
+		return nil, err
+	}
+	switch c {
+	case CoverTransactions:
+		return all, err
+	case CoverLinks:
+		return greedyCover(all, func(t Transaction) []string {
+			items := make([]string, 0, len(t.Path)-1)
+			for i := 0; i+1 < len(t.Path); i++ {
+				items = append(items, string(t.Path[i])+">"+string(t.Path[i+1]))
+			}
+			return items
+		}), err
+	case CoverNodes:
+		return greedyCover(all, func(t Transaction) []string {
+			items := make([]string, len(t.Path))
+			for i, id := range t.Path {
+				items[i] = string(id)
+			}
+			return items
+		}), err
+	default:
+		return nil, fmt.Errorf("tfm: unknown criterion %v", c)
+	}
+}
+
+// greedyCover repeatedly picks the transaction covering the most yet-uncovered
+// items until no transaction adds coverage.
+func greedyCover(ts []Transaction, items func(Transaction) []string) []Transaction {
+	uncovered := make(map[string]bool)
+	for _, t := range ts {
+		for _, it := range items(t) {
+			uncovered[it] = true
+		}
+	}
+	var out []Transaction
+	used := make([]bool, len(ts))
+	for len(uncovered) > 0 {
+		best, bestGain := -1, 0
+		for i, t := range ts {
+			if used[i] {
+				continue
+			}
+			gain := 0
+			for _, it := range items(t) {
+				if uncovered[it] {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		out = append(out, ts[best])
+		for _, it := range items(ts[best]) {
+			delete(uncovered, it)
+		}
+	}
+	return out
+}
+
+// RandomWalk produces one random transaction: from a random start node,
+// follow uniformly random successors until a final node, bounding total
+// length. It is the generator behind soak/fuzz testing of components and is
+// also used by property tests to sample the transaction space.
+func (g *Graph) RandomWalk(r *rand.Rand, maxLen int) (Transaction, error) {
+	if err := g.Validate(); err != nil {
+		return Transaction{}, fmt.Errorf("random walk: %w", err)
+	}
+	if maxLen <= 0 {
+		maxLen = 4 * g.NumNodes()
+	}
+	starts := g.StartNodes()
+	cur := starts[r.IntN(len(starts))]
+	path := []NodeID{cur}
+	for !g.nodes[cur].Final {
+		if len(path) >= maxLen {
+			// Out of budget: steer to a final node via shortest path, so the
+			// walk always yields a complete (birth-to-death) transaction.
+			rest, ok := g.shortestToFinal(cur)
+			if !ok {
+				return Transaction{}, fmt.Errorf("tfm: node %s cannot reach a final node", cur)
+			}
+			path = append(path, rest...)
+			return Transaction{Path: path}, nil
+		}
+		succ := g.succ[cur]
+		cur = succ[r.IntN(len(succ))]
+		path = append(path, cur)
+	}
+	return Transaction{Path: path}, nil
+}
+
+// shortestToFinal returns the node sequence (excluding from) of a shortest
+// path from the given node to any final node.
+func (g *Graph) shortestToFinal(from NodeID) ([]NodeID, bool) {
+	type item struct {
+		id   NodeID
+		prev int
+	}
+	queue := []item{{id: from, prev: -1}}
+	seen := map[NodeID]bool{from: true}
+	for i := 0; i < len(queue); i++ {
+		it := queue[i]
+		if g.nodes[it.id].Final {
+			var rev []NodeID
+			for j := i; j > 0; j = queue[j].prev {
+				rev = append(rev, queue[j].id)
+			}
+			out := make([]NodeID, 0, len(rev))
+			for k := len(rev) - 1; k >= 0; k-- {
+				out = append(out, rev[k])
+			}
+			return out, true
+		}
+		for _, next := range g.succ[it.id] {
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, item{id: next, prev: i})
+			}
+		}
+	}
+	return nil, false
+}

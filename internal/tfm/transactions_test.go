@@ -1,0 +1,280 @@
+package tfm
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"concat/internal/domain"
+)
+
+func TestTransactionsLinear(t *testing.T) {
+	ts, err := linear(t).Transactions(EnumOptions{})
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("got %d transactions, want 1", len(ts))
+	}
+	if ts[0].String() != "n1 -> n2 -> n3" {
+		t.Errorf("transaction = %s", ts[0])
+	}
+	if ts[0].Key() != "n1>n2>n3" {
+		t.Errorf("key = %s", ts[0].Key())
+	}
+}
+
+func TestTransactionsDiamondLoopBound1(t *testing.T) {
+	ts, err := diamond(t).Transactions(EnumOptions{LoopBound: 1})
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	// Paths: n1-n2-n4, n1-n2-n2-n4 (self loop once), n1-n3-n4.
+	want := map[string]bool{
+		"n1>n2>n4":    true,
+		"n1>n2>n2>n4": true,
+		"n1>n3>n4":    true,
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("got %d transactions %v, want %d", len(ts), ts, len(want))
+	}
+	for _, tr := range ts {
+		if !want[tr.Key()] {
+			t.Errorf("unexpected transaction %s", tr)
+		}
+	}
+}
+
+func TestTransactionsLoopBound2GrowsSpace(t *testing.T) {
+	g := diamond(t)
+	one, err := g.Transactions(EnumOptions{LoopBound: 1})
+	if err != nil {
+		t.Fatalf("bound 1: %v", err)
+	}
+	two, err := g.Transactions(EnumOptions{LoopBound: 2})
+	if err != nil {
+		t.Fatalf("bound 2: %v", err)
+	}
+	if len(two) <= len(one) {
+		t.Errorf("loop bound 2 gave %d transactions, bound 1 gave %d", len(two), len(one))
+	}
+}
+
+func TestTransactionsDeterministic(t *testing.T) {
+	g := diamond(t)
+	a, err := g.Transactions(EnumOptions{LoopBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Transactions(EnumOptions{LoopBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() {
+			t.Fatalf("order diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTransactionsTruncation(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Transactions(EnumOptions{LoopBound: 3, MaxTransactions: 2})
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if len(ts) != 2 {
+		t.Errorf("got %d transactions, want 2", len(ts))
+	}
+}
+
+func TestTransactionsMaxLength(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Transactions(EnumOptions{LoopBound: 5, MaxLength: 3})
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	for _, tr := range ts {
+		if len(tr.Path) > 3 {
+			t.Errorf("transaction %s exceeds MaxLength", tr)
+		}
+	}
+}
+
+func TestTransactionsInvalidModel(t *testing.T) {
+	g := New("broken")
+	if _, err := g.Transactions(EnumOptions{}); err == nil {
+		t.Error("enumerating an invalid model should fail")
+	}
+}
+
+func TestAllTransactionsStartAndEndProperly(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Transactions(EnumOptions{LoopBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range ts {
+		first, _ := g.Node(tr.Path[0])
+		last, _ := g.Node(tr.Path[len(tr.Path)-1])
+		if !first.Start {
+			t.Errorf("transaction %s does not begin at a start node", tr)
+		}
+		if !last.Final {
+			t.Errorf("transaction %s does not end at a final node", tr)
+		}
+		for i := 0; i+1 < len(tr.Path); i++ {
+			found := false
+			for _, s := range g.Successors(tr.Path[i]) {
+				if s == tr.Path[i+1] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("transaction %s uses nonexistent edge %s->%s", tr, tr.Path[i], tr.Path[i+1])
+			}
+		}
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	tests := []struct {
+		c    Criterion
+		want string
+	}{
+		{CoverTransactions, "all-transactions"},
+		{CoverLinks, "all-links"},
+		{CoverNodes, "all-nodes"},
+		{Criterion(9), "criterion(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSelectCoverTransactions(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Select(CoverTransactions, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Errorf("transaction coverage selected %d, want 3", len(ts))
+	}
+}
+
+func TestSelectCoverLinksCoversAllEdges(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Select(CoverLinks, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[Edge]bool{}
+	for _, tr := range ts {
+		for i := 0; i+1 < len(tr.Path); i++ {
+			covered[Edge{From: tr.Path[i], To: tr.Path[i+1]}] = true
+		}
+	}
+	for _, e := range g.Edges() {
+		if !covered[e] {
+			t.Errorf("edge %s->%s not covered", e.From, e.To)
+		}
+	}
+	// All-links should need no more transactions than all-transactions.
+	all, _ := g.Select(CoverTransactions, EnumOptions{})
+	if len(ts) > len(all) {
+		t.Errorf("all-links selected %d > all-transactions %d", len(ts), len(all))
+	}
+}
+
+func TestSelectCoverNodesCoversAllNodes(t *testing.T) {
+	g := diamond(t)
+	ts, err := g.Select(CoverNodes, EnumOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := map[NodeID]bool{}
+	for _, tr := range ts {
+		for _, id := range tr.Path {
+			covered[id] = true
+		}
+	}
+	for _, n := range g.Nodes() {
+		if !covered[n.ID] {
+			t.Errorf("node %s not covered", n.ID)
+		}
+	}
+}
+
+func TestSelectUnknownCriterion(t *testing.T) {
+	if _, err := diamond(t).Select(Criterion(42), EnumOptions{}); err == nil {
+		t.Error("unknown criterion should fail")
+	}
+}
+
+func TestRandomWalkAlwaysCompleteTransaction(t *testing.T) {
+	g := diamond(t)
+	r := domain.NewRand(7)
+	for i := 0; i < 500; i++ {
+		tr, err := g.RandomWalk(r, 6)
+		if err != nil {
+			t.Fatalf("walk %d: %v", i, err)
+		}
+		first, _ := g.Node(tr.Path[0])
+		last, _ := g.Node(tr.Path[len(tr.Path)-1])
+		if !first.Start || !last.Final {
+			t.Fatalf("walk %d produced incomplete transaction %s", i, tr)
+		}
+	}
+}
+
+func TestRandomWalkInvalidModel(t *testing.T) {
+	if _, err := New("bad").RandomWalk(domain.NewRand(1), 5); err == nil {
+		t.Error("walking an invalid model should fail")
+	}
+}
+
+func TestRandomWalkProperty(t *testing.T) {
+	g := diamond(t)
+	prop := func(seed int64, budget uint8) bool {
+		tr, err := g.RandomWalk(domain.NewRand(seed), int(budget%16)+2)
+		if err != nil {
+			return false
+		}
+		first, _ := g.Node(tr.Path[0])
+		last, _ := g.Node(tr.Path[len(tr.Path)-1])
+		return first.Start && last.Final
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := diamond(t)
+	tr := Transaction{Path: []NodeID{"n1", "n2", "n4"}}
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, tr); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`digraph "Diamond"`,
+		`"n1" [shape=doublecircle`,
+		`"n4" [shape=doubleoctagon`,
+		`"n1" -> "n2" [color=red`,
+		`"n2" -> "n4" [color=red`,
+		`"n1" -> "n3";`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

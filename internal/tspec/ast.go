@@ -1,0 +1,335 @@
+// Package tspec implements the test specification (t-spec) language of the
+// paper's Figure 3. A t-spec is the machine-readable specification a
+// producer embeds in a self-testable component: it describes the component's
+// interface (class, attributes with value domains, method signatures with
+// parameter domains) and its transaction flow model (nodes and edges). The
+// consumer-side Driver Generator consumes a t-spec to generate test cases.
+//
+// The package provides a lexer/parser for the textual notation, a validator,
+// a serializer that round-trips specs, a programmatic builder, the lowering
+// of a spec onto a tfm.Graph, and the spec diffing that drives hierarchical
+// incremental test reuse (§3.4.2).
+package tspec
+
+import (
+	"fmt"
+
+	"concat/internal/domain"
+	"concat/internal/tfm"
+)
+
+// Spec is a parsed t-spec.
+type Spec struct {
+	Class      Class
+	Attributes []Attribute
+	Methods    []Method
+	Nodes      []NodeDecl
+	Edges      []EdgeDecl
+
+	// Redefined lists inherited methods whose implementation the subclass
+	// replaced without changing their specification (the only kind of
+	// redefinition Harrold's model — and therefore the paper — permits:
+	// "modifications to an inherited method cannot alter its signature").
+	// Meaningful only when Class.Superclass is set.
+	Redefined []string
+	// ModifiedAttributes lists attributes whose representation changed in
+	// the subclass; every method that Uses one of them is treated as
+	// modified (§3.4.2: "In case an attribute is modified, the methods using
+	// it are considered as modified").
+	ModifiedAttributes []string
+}
+
+// Class is the component-level header clause.
+type Class struct {
+	Name       string
+	Abstract   bool
+	Superclass string   // empty when the class has no parent
+	Sources    []string // source files needed to compile the class (informational)
+}
+
+// Attribute declares a component attribute and its value domain. Attributes
+// are not part of the public interface (§3.4.2 constraint); their domains
+// feed invariant checking and the reporter.
+type Attribute struct {
+	Name   string
+	Domain DomainDecl
+}
+
+// MethodCategory is the "method category relative to test reuse" field of
+// the Method clause.
+type MethodCategory int
+
+// Method categories.
+const (
+	CatConstructor MethodCategory = iota + 1
+	CatDestructor
+	CatUpdate // mutates object state
+	CatAccess // read-only observer
+	CatOther
+)
+
+var categoryNames = map[MethodCategory]string{
+	CatConstructor: "constructor",
+	CatDestructor:  "destructor",
+	CatUpdate:      "update",
+	CatAccess:      "access",
+	CatOther:       "other",
+}
+
+// String returns the t-spec keyword for the category.
+func (c MethodCategory) String() string {
+	if s, ok := categoryNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("category(%d)", int(c))
+}
+
+// ParseCategory converts a t-spec keyword to a MethodCategory.
+func ParseCategory(s string) (MethodCategory, error) {
+	for c, name := range categoryNames {
+		if name == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("tspec: unknown method category %q", s)
+}
+
+// Method declares one method of the component.
+type Method struct {
+	ID       string // identifier used by Node and Parameter clauses (m1, ...)
+	Name     string
+	Return   string // return type name; empty for none (the paper's <empty>)
+	Category MethodCategory
+	Params   []Param  // filled by Parameter clauses, in declaration order
+	Uses     []string // attributes the method reads or writes (optional)
+
+	// DeclaredParams is the parameter count announced in the Method clause;
+	// the validator checks it against the Parameter clauses seen.
+	DeclaredParams int
+}
+
+// Param is one declared parameter with its value domain.
+type Param struct {
+	Name   string
+	Domain DomainDecl
+}
+
+// NodeDecl is a Node clause: a TFM node grouping alternative methods.
+type NodeDecl struct {
+	ID      string
+	Start   bool
+	OutDeg  int // declared number of outgoing edges, validated against Edge clauses
+	Methods []string
+}
+
+// EdgeDecl is an Edge clause.
+type EdgeDecl struct {
+	From, To string
+}
+
+// DomainKind distinguishes the declared domain forms of the t-spec notation.
+type DomainKind int
+
+// Declared domain forms ("allowable types: range, set, string, object,
+// pointer" per Figure 3, plus bool).
+const (
+	DomRange  DomainKind = iota + 1 // integer or float range
+	DomSet                          // explicit value enumeration
+	DomString                       // random string or candidate list
+	DomObject
+	DomPointer
+	DomBool
+)
+
+var domainKindNames = map[DomainKind]string{
+	DomRange:   "range",
+	DomSet:     "set",
+	DomString:  "string",
+	DomObject:  "object",
+	DomPointer: "pointer",
+	DomBool:    "bool",
+}
+
+// String returns the t-spec keyword.
+func (k DomainKind) String() string {
+	if s, ok := domainKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("domainKind(%d)", int(k))
+}
+
+// ParseDomainKind converts a keyword to a DomainKind.
+func ParseDomainKind(s string) (DomainKind, error) {
+	for k, name := range domainKindNames {
+		if name == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("tspec: unknown domain type %q", s)
+}
+
+// DomainDecl is the declarative form of a value domain as written in a
+// t-spec. Build lowers it onto a runtime domain.Domain.
+type DomainDecl struct {
+	Kind DomainKind
+
+	// Range form. Float is true when either limit was written with a
+	// decimal point; the built domain is then a FloatRange.
+	Lo, Hi float64
+	Float  bool
+
+	// Set form.
+	Members []domain.Value
+
+	// String form: either explicit candidates or length bounds.
+	Candidates     []string
+	MinLen, MaxLen int
+
+	// Object / pointer form.
+	TypeName string
+	Nullable bool
+}
+
+// Build lowers the declaration onto an executable domain. Object and
+// pointer domains are built without providers; the driver attaches providers
+// at generation time (the "manual completion" hook).
+func (d DomainDecl) Build() (domain.Domain, error) {
+	switch d.Kind {
+	case DomRange:
+		if d.Float {
+			return domain.NewFloatRange(d.Lo, d.Hi)
+		}
+		return domain.NewIntRange(int64(d.Lo), int64(d.Hi))
+	case DomSet:
+		return domain.NewSet(d.Members...)
+	case DomString:
+		if len(d.Candidates) > 0 {
+			return domain.NewStringSet(d.Candidates...)
+		}
+		return domain.NewStringDomain(d.MinLen, d.MaxLen, "")
+	case DomObject:
+		return domain.ObjectDomain{TypeName: d.TypeName}, nil
+	case DomPointer:
+		return domain.PointerDomain{TypeName: d.TypeName, Nullable: d.Nullable}, nil
+	case DomBool:
+		return domain.BoolDomain{}, nil
+	default:
+		return nil, fmt.Errorf("tspec: cannot build domain of kind %v", d.Kind)
+	}
+}
+
+// MethodByID returns the method with the given identifier.
+func (s *Spec) MethodByID(id string) (Method, bool) {
+	for _, m := range s.Methods {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// MethodByName returns the first method with the given name.
+func (s *Spec) MethodByName(name string) (Method, bool) {
+	for _, m := range s.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Method{}, false
+}
+
+// AttributeByName returns the attribute with the given name.
+func (s *Spec) AttributeByName(name string) (Attribute, bool) {
+	for _, a := range s.Attributes {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Attribute{}, false
+}
+
+// NodeByID returns the node declaration with the given identifier.
+func (s *Spec) NodeByID(id string) (NodeDecl, bool) {
+	for _, n := range s.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return NodeDecl{}, false
+}
+
+// IsFinalNode reports whether a node is a death node: every method it lists
+// is a destructor. The paper's notation has no explicit final flag — death
+// is destruction — so finality is inferred from method categories.
+func (s *Spec) IsFinalNode(n NodeDecl) bool {
+	if len(n.Methods) == 0 {
+		return false
+	}
+	for _, id := range n.Methods {
+		m, ok := s.MethodByID(id)
+		if !ok || m.Category != CatDestructor {
+			return false
+		}
+	}
+	return true
+}
+
+// TFM lowers the spec's Node and Edge clauses onto a transaction flow
+// model graph.
+func (s *Spec) TFM() (*tfm.Graph, error) {
+	g := tfm.New(s.Class.Name)
+	for _, n := range s.Nodes {
+		node := tfm.Node{
+			ID:      tfm.NodeID(n.ID),
+			Methods: append([]string(nil), n.Methods...),
+			Start:   n.Start,
+			Final:   s.IsFinalNode(n),
+		}
+		if err := g.AddNode(node); err != nil {
+			return nil, fmt.Errorf("lowering spec %q: %w", s.Class.Name, err)
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(tfm.NodeID(e.From), tfm.NodeID(e.To)); err != nil {
+			return nil, fmt.Errorf("lowering spec %q: %w", s.Class.Name, err)
+		}
+	}
+	return g, nil
+}
+
+// Clone returns a deep copy of the spec.
+func (s *Spec) Clone() *Spec {
+	cp := *s
+	cp.Class.Sources = append([]string(nil), s.Class.Sources...)
+	cp.Attributes = make([]Attribute, len(s.Attributes))
+	for i, a := range s.Attributes {
+		cp.Attributes[i] = a
+		cp.Attributes[i].Domain = a.Domain.clone()
+	}
+	cp.Methods = make([]Method, len(s.Methods))
+	for i, m := range s.Methods {
+		cp.Methods[i] = m
+		cp.Methods[i].Params = make([]Param, len(m.Params))
+		for j, p := range m.Params {
+			cp.Methods[i].Params[j] = p
+			cp.Methods[i].Params[j].Domain = p.Domain.clone()
+		}
+		cp.Methods[i].Uses = append([]string(nil), m.Uses...)
+	}
+	cp.Nodes = make([]NodeDecl, len(s.Nodes))
+	for i, n := range s.Nodes {
+		cp.Nodes[i] = n
+		cp.Nodes[i].Methods = append([]string(nil), n.Methods...)
+	}
+	cp.Edges = append([]EdgeDecl(nil), s.Edges...)
+	cp.Redefined = append([]string(nil), s.Redefined...)
+	cp.ModifiedAttributes = append([]string(nil), s.ModifiedAttributes...)
+	return &cp
+}
+
+func (d DomainDecl) clone() DomainDecl {
+	cp := d
+	cp.Members = append([]domain.Value(nil), d.Members...)
+	cp.Candidates = append([]string(nil), d.Candidates...)
+	return cp
+}

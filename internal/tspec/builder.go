@@ -1,0 +1,181 @@
+package tspec
+
+import (
+	"fmt"
+
+	"concat/internal/domain"
+)
+
+// Builder assembles a Spec programmatically. It is how the component
+// producer role of §3.1 is played inside this repository: each built-in
+// component constructs its t-spec with a Builder, then serializes it into
+// the component (Format) so consumers can regenerate tests from text.
+//
+// Builder methods record errors instead of returning them; Build reports the
+// first recorded error, which keeps construction sites declarative.
+type Builder struct {
+	spec Spec
+	err  error
+}
+
+// NewBuilder starts a spec for the named class.
+func NewBuilder(name string) *Builder {
+	return &Builder{spec: Spec{Class: Class{Name: name}}}
+}
+
+func (b *Builder) fail(format string, args ...any) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf("tspec: builder: %s", fmt.Sprintf(format, args...))
+	}
+	return b
+}
+
+// Abstract marks the class abstract.
+func (b *Builder) Abstract() *Builder {
+	b.spec.Class.Abstract = true
+	return b
+}
+
+// Extends records the superclass name.
+func (b *Builder) Extends(super string) *Builder {
+	b.spec.Class.Superclass = super
+	return b
+}
+
+// Sources records the source-file list of the Class clause.
+func (b *Builder) Sources(files ...string) *Builder {
+	b.spec.Class.Sources = append(b.spec.Class.Sources, files...)
+	return b
+}
+
+// Attribute declares an attribute with a domain.
+func (b *Builder) Attribute(name string, d DomainDecl) *Builder {
+	b.spec.Attributes = append(b.spec.Attributes, Attribute{Name: name, Domain: d})
+	return b
+}
+
+// Method declares a method; params are added with Param, which applies to
+// the most recently declared method.
+func (b *Builder) Method(id, name, ret string, cat MethodCategory) *Builder {
+	b.spec.Methods = append(b.spec.Methods, Method{ID: id, Name: name, Return: ret, Category: cat})
+	return b
+}
+
+// Param appends a parameter to the most recently declared method.
+func (b *Builder) Param(name string, d DomainDecl) *Builder {
+	if len(b.spec.Methods) == 0 {
+		return b.fail("Param(%q) before any Method", name)
+	}
+	m := &b.spec.Methods[len(b.spec.Methods)-1]
+	m.Params = append(m.Params, Param{Name: name, Domain: d})
+	return b
+}
+
+// Uses records the attributes the most recently declared method touches.
+func (b *Builder) Uses(attrs ...string) *Builder {
+	if len(b.spec.Methods) == 0 {
+		return b.fail("Uses before any Method")
+	}
+	m := &b.spec.Methods[len(b.spec.Methods)-1]
+	m.Uses = append(m.Uses, attrs...)
+	return b
+}
+
+// Node declares a TFM node.
+func (b *Builder) Node(id string, start bool, methods ...string) *Builder {
+	b.spec.Nodes = append(b.spec.Nodes, NodeDecl{ID: id, Start: start, Methods: methods})
+	return b
+}
+
+// Edge declares a TFM link.
+func (b *Builder) Edge(from, to string) *Builder {
+	b.spec.Edges = append(b.spec.Edges, EdgeDecl{From: from, To: to})
+	return b
+}
+
+// Redefines marks inherited methods (by name) as reimplemented in this class.
+func (b *Builder) Redefines(names ...string) *Builder {
+	b.spec.Redefined = append(b.spec.Redefined, names...)
+	return b
+}
+
+// ModifiesAttributes marks inherited attributes whose representation changed.
+func (b *Builder) ModifiesAttributes(names ...string) *Builder {
+	b.spec.ModifiedAttributes = append(b.spec.ModifiedAttributes, names...)
+	return b
+}
+
+// Build finalizes the spec: declared parameter counts and node out-degrees
+// are synthesized from what was built, then the spec is validated.
+func (b *Builder) Build() (*Spec, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	spec := b.spec.Clone()
+	for i := range spec.Methods {
+		spec.Methods[i].DeclaredParams = len(spec.Methods[i].Params)
+	}
+	outDeg := map[string]int{}
+	for _, e := range spec.Edges {
+		outDeg[e.From]++
+	}
+	for i := range spec.Nodes {
+		spec.Nodes[i].OutDeg = outDeg[spec.Nodes[i].ID]
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// MustBuild is Build for static component specs whose validity is assured by
+// the package's own tests; it panics on error.
+func (b *Builder) MustBuild() *Spec {
+	s, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Convenience domain constructors used by component spec definitions.
+
+// RangeInt declares an inclusive integer range domain.
+func RangeInt(lo, hi int64) DomainDecl {
+	return DomainDecl{Kind: DomRange, Lo: float64(lo), Hi: float64(hi)}
+}
+
+// RangeFloat declares a closed float interval domain.
+func RangeFloat(lo, hi float64) DomainDecl {
+	return DomainDecl{Kind: DomRange, Lo: lo, Hi: hi, Float: true}
+}
+
+// SetOf declares an enumerated domain.
+func SetOf(members ...domain.Value) DomainDecl {
+	return DomainDecl{Kind: DomSet, Members: members}
+}
+
+// StringLen declares a random-string domain with length bounds.
+func StringLen(minLen, maxLen int) DomainDecl {
+	return DomainDecl{Kind: DomString, MinLen: minLen, MaxLen: maxLen}
+}
+
+// StringsOf declares a candidate-list string domain.
+func StringsOf(candidates ...string) DomainDecl {
+	return DomainDecl{Kind: DomString, Candidates: candidates}
+}
+
+// ObjectOf declares an object domain of the named component type.
+func ObjectOf(typeName string) DomainDecl {
+	return DomainDecl{Kind: DomObject, TypeName: typeName}
+}
+
+// PointerTo declares a pointer domain of the named component type.
+func PointerTo(typeName string, nullable bool) DomainDecl {
+	return DomainDecl{Kind: DomPointer, TypeName: typeName, Nullable: nullable}
+}
+
+// BoolDom declares the boolean domain.
+func BoolDom() DomainDecl {
+	return DomainDecl{Kind: DomBool}
+}

@@ -1,0 +1,174 @@
+package tspec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MethodStatus classifies a subclass method relative to its parent class,
+// following Harrold et al.'s incremental class testing model as adapted by
+// the paper (§3.4.2).
+type MethodStatus int
+
+// Method classifications.
+const (
+	// StatusInherited: present in the parent with the same specification and
+	// not reimplemented — its parent test cases remain valid.
+	StatusInherited MethodStatus = iota + 1
+	// StatusRedefined: reimplemented in the subclass (listed in Redefined),
+	// touched by a modified attribute, or its specification changed.
+	StatusRedefined
+	// StatusNew: not present in the parent.
+	StatusNew
+)
+
+// String names the status.
+func (s MethodStatus) String() string {
+	switch s {
+	case StatusInherited:
+		return "inherited"
+	case StatusRedefined:
+		return "redefined"
+	case StatusNew:
+		return "new"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Classification maps each subclass method name to its status.
+type Classification map[string]MethodStatus
+
+// Counts returns the number of methods in each status.
+func (c Classification) Counts() (inherited, redefined, added int) {
+	for _, st := range c {
+		switch st {
+		case StatusInherited:
+			inherited++
+		case StatusRedefined:
+			redefined++
+		case StatusNew:
+			added++
+		}
+	}
+	return inherited, redefined, added
+}
+
+// Names returns the sorted method names with the given status.
+func (c Classification) Names(st MethodStatus) []string {
+	var out []string
+	for name, got := range c {
+		if got == st {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify diffs a child spec against its parent and classifies every child
+// method. The child must name the parent class as its superclass. The rules,
+// per §3.4.2 and the Harrold model it adapts:
+//
+//   - a method absent from the parent is New;
+//   - a method listed in the child's Redefined clause is Redefined;
+//   - a method whose Uses set intersects the child's ModifiedAttributes is
+//     Redefined ("in case an attribute is modified, the methods using it are
+//     considered as modified");
+//   - a method whose specification differs from the parent's (signature,
+//     return, category) is Redefined — the model forbids signature changes,
+//     so such a difference is treated as a spec modification that forces
+//     regeneration;
+//   - otherwise the method is Inherited.
+//
+// Constructors and destructors are classified like every other method; the
+// transaction-level reuse logic in package history applies the paper's
+// special rule (they are excluded from the modification test) itself.
+func Classify(parent, child *Spec) (Classification, error) {
+	if child.Class.Superclass != parent.Class.Name {
+		return nil, fmt.Errorf("tspec: %q does not extend %q (superclass is %q)",
+			child.Class.Name, parent.Class.Name, child.Class.Superclass)
+	}
+	redefined := map[string]bool{}
+	for _, name := range child.Redefined {
+		redefined[name] = true
+	}
+	modAttrs := map[string]bool{}
+	for _, name := range child.ModifiedAttributes {
+		modAttrs[name] = true
+	}
+
+	out := make(Classification, len(child.Methods))
+	for _, m := range child.Methods {
+		parentM, inParent := parent.MethodByName(m.Name)
+		switch {
+		case !inParent:
+			out[m.Name] = StatusNew
+		case redefined[m.Name]:
+			out[m.Name] = StatusRedefined
+		case usesModified(m, modAttrs):
+			out[m.Name] = StatusRedefined
+		case !sameSignature(parentM, m):
+			out[m.Name] = StatusRedefined
+		default:
+			out[m.Name] = StatusInherited
+		}
+	}
+	return out, nil
+}
+
+func usesModified(m Method, modAttrs map[string]bool) bool {
+	for _, u := range m.Uses {
+		if modAttrs[u] {
+			return true
+		}
+	}
+	return false
+}
+
+// sameSignature reports whether two method declarations agree on the parts
+// Harrold's model freezes: name, return type, category, and the ordered
+// parameter list (names, domain kinds and declared domains).
+func sameSignature(a, b Method) bool {
+	if a.Name != b.Name || a.Return != b.Return || a.Category != b.Category {
+		return false
+	}
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i].Name != b.Params[i].Name {
+			return false
+		}
+		if !sameDomainDecl(a.Params[i].Domain, b.Params[i].Domain) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDomainDecl(a, b DomainDecl) bool {
+	if a.Kind != b.Kind || a.Float != b.Float || a.Lo != b.Lo || a.Hi != b.Hi {
+		return false
+	}
+	if a.MinLen != b.MinLen || a.MaxLen != b.MaxLen {
+		return false
+	}
+	if a.TypeName != b.TypeName || a.Nullable != b.Nullable {
+		return false
+	}
+	if len(a.Members) != len(b.Members) || len(a.Candidates) != len(b.Candidates) {
+		return false
+	}
+	for i := range a.Members {
+		if !a.Members[i].Equal(b.Members[i]) {
+			return false
+		}
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+package tspec
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"concat/internal/domain"
+)
+
+// Format renders the spec back into the Figure 3 notation. Parsing the
+// output yields an equivalent spec (round-trip property, tested).
+func (s *Spec) Format(w io.Writer) error {
+	var b strings.Builder
+
+	b.WriteString("// t-spec for component " + s.Class.Name + "\n")
+	abstract := "No"
+	if s.Class.Abstract {
+		abstract = "Yes"
+	}
+	super := "<empty>"
+	if s.Class.Superclass != "" {
+		super = quote(s.Class.Superclass)
+	}
+	sources := "<empty>"
+	if len(s.Class.Sources) > 0 {
+		qs := make([]string, len(s.Class.Sources))
+		for i, src := range s.Class.Sources {
+			qs[i] = quote(src)
+		}
+		sources = "[" + strings.Join(qs, ", ") + "]"
+	}
+	fmt.Fprintf(&b, "Class(%s, %s, %s, %s)\n", quote(s.Class.Name), abstract, super, sources)
+
+	if len(s.Attributes) > 0 {
+		b.WriteString("\n// attributes\n")
+	}
+	for _, a := range s.Attributes {
+		fmt.Fprintf(&b, "Attribute(%s, %s)\n", quote(a.Name), formatDomain(a.Domain))
+	}
+
+	if len(s.Methods) > 0 {
+		b.WriteString("\n// methods\n")
+	}
+	for _, m := range s.Methods {
+		ret := "<empty>"
+		if m.Return != "" {
+			ret = quote(m.Return)
+		}
+		fmt.Fprintf(&b, "Method(%s, %s, %s, %s, %d)\n", m.ID, quote(m.Name), ret, m.Category, len(m.Params))
+		for _, p := range m.Params {
+			fmt.Fprintf(&b, "Parameter(%s, %s, %s)\n", m.ID, quote(p.Name), formatDomain(p.Domain))
+		}
+		if len(m.Uses) > 0 {
+			qs := make([]string, len(m.Uses))
+			for i, u := range m.Uses {
+				qs[i] = quote(u)
+			}
+			fmt.Fprintf(&b, "Uses(%s, [%s])\n", m.ID, strings.Join(qs, ", "))
+		}
+	}
+
+	if len(s.Nodes) > 0 {
+		b.WriteString("\n// test model\n")
+	}
+	for _, n := range s.Nodes {
+		start := "No"
+		if n.Start {
+			start = "Yes"
+		}
+		fmt.Fprintf(&b, "Node(%s, %s, %d, [%s])\n", n.ID, start, n.OutDeg, strings.Join(n.Methods, ", "))
+	}
+	for _, e := range s.Edges {
+		fmt.Fprintf(&b, "Edge(%s, %s)\n", e.From, e.To)
+	}
+
+	if len(s.Redefined) > 0 {
+		qs := make([]string, len(s.Redefined))
+		for i, r := range s.Redefined {
+			qs[i] = quote(r)
+		}
+		fmt.Fprintf(&b, "\nRedefined([%s])\n", strings.Join(qs, ", "))
+	}
+	if len(s.ModifiedAttributes) > 0 {
+		qs := make([]string, len(s.ModifiedAttributes))
+		for i, r := range s.ModifiedAttributes {
+			qs[i] = quote(r)
+		}
+		fmt.Fprintf(&b, "ModifiedAttributes([%s])\n", strings.Join(qs, ", "))
+	}
+
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("tspec: writing spec: %w", err)
+	}
+	return nil
+}
+
+// String renders the spec via Format.
+func (s *Spec) String() string {
+	var sb strings.Builder
+	if err := s.Format(&sb); err != nil {
+		return "<unformattable spec: " + err.Error() + ">"
+	}
+	return sb.String()
+}
+
+func formatDomain(d DomainDecl) string {
+	switch d.Kind {
+	case DomRange:
+		return fmt.Sprintf("range, %s, %s", formatNum(d.Lo, d.Float), formatNum(d.Hi, d.Float))
+	case DomSet:
+		parts := make([]string, len(d.Members))
+		for i, m := range d.Members {
+			parts[i] = formatValue(m)
+		}
+		return "set, [" + strings.Join(parts, ", ") + "]"
+	case DomString:
+		if len(d.Candidates) > 0 {
+			parts := make([]string, len(d.Candidates))
+			for i, c := range d.Candidates {
+				parts[i] = quote(c)
+			}
+			return "string, [" + strings.Join(parts, ", ") + "]"
+		}
+		return fmt.Sprintf("string, %d, %d", d.MinLen, d.MaxLen)
+	case DomObject:
+		return "object, " + quote(d.TypeName)
+	case DomPointer:
+		if d.Nullable {
+			return "pointer, " + quote(d.TypeName) + ", nullable"
+		}
+		return "pointer, " + quote(d.TypeName)
+	case DomBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(d.Kind))
+	}
+}
+
+func formatNum(f float64, isFloat bool) string {
+	if !isFloat {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		s += ".0" // keep the float marker so round-trip preserves Float
+	}
+	return s
+}
+
+func formatValue(v domain.Value) string {
+	switch v.Kind() {
+	case domain.KindString:
+		s, err := v.AsString()
+		if err != nil {
+			return v.String()
+		}
+		return quote(s)
+	case domain.KindFloat:
+		f, err := v.AsFloat()
+		if err != nil {
+			return v.String()
+		}
+		return formatNum(f, true)
+	default:
+		return v.String()
+	}
+}
+
+func quote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('\'')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\'', '\\':
+			sb.WriteByte('\\')
+			sb.WriteByte(c)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('\'')
+	return sb.String()
+}

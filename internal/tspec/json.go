@@ -1,0 +1,213 @@
+package tspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"concat/internal/domain"
+)
+
+// The JSON wire form of a spec is an alternative to the Figure 3 text
+// notation for tooling that prefers structured data (editors, registries).
+// Both forms are lossless; SaveJSON/LoadJSON round-trip, property-tested
+// against the text round trip.
+
+type specJSON struct {
+	Class              classJSON  `json:"class"`
+	Attributes         []attrJSON `json:"attributes,omitempty"`
+	Methods            []methJSON `json:"methods,omitempty"`
+	Nodes              []nodeJSON `json:"nodes,omitempty"`
+	Edges              []edgeJSON `json:"edges,omitempty"`
+	Redefined          []string   `json:"redefined,omitempty"`
+	ModifiedAttributes []string   `json:"modifiedAttributes,omitempty"`
+}
+
+type classJSON struct {
+	Name       string   `json:"name"`
+	Abstract   bool     `json:"abstract,omitempty"`
+	Superclass string   `json:"superclass,omitempty"`
+	Sources    []string `json:"sources,omitempty"`
+}
+
+type attrJSON struct {
+	Name   string     `json:"name"`
+	Domain domainJSON `json:"domain"`
+}
+
+type methJSON struct {
+	ID       string      `json:"id"`
+	Name     string      `json:"name"`
+	Return   string      `json:"return,omitempty"`
+	Category string      `json:"category"`
+	Params   []paramJSON `json:"params,omitempty"`
+	Uses     []string    `json:"uses,omitempty"`
+}
+
+type paramJSON struct {
+	Name   string     `json:"name"`
+	Domain domainJSON `json:"domain"`
+}
+
+type nodeJSON struct {
+	ID      string   `json:"id"`
+	Start   bool     `json:"start,omitempty"`
+	Methods []string `json:"methods"`
+}
+
+type edgeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+type domainJSON struct {
+	Kind       string         `json:"kind"`
+	Lo         *float64       `json:"lo,omitempty"`
+	Hi         *float64       `json:"hi,omitempty"`
+	Float      bool           `json:"float,omitempty"`
+	Members    []domain.Value `json:"members,omitempty"`
+	Candidates []string       `json:"candidates,omitempty"`
+	MinLen     int            `json:"minLen,omitempty"`
+	MaxLen     int            `json:"maxLen,omitempty"`
+	TypeName   string         `json:"typeName,omitempty"`
+	Nullable   bool           `json:"nullable,omitempty"`
+}
+
+func domainToJSON(d DomainDecl) domainJSON {
+	out := domainJSON{
+		Kind:       d.Kind.String(),
+		Float:      d.Float,
+		Members:    d.Members,
+		Candidates: d.Candidates,
+		MinLen:     d.MinLen,
+		MaxLen:     d.MaxLen,
+		TypeName:   d.TypeName,
+		Nullable:   d.Nullable,
+	}
+	if d.Kind == DomRange {
+		lo, hi := d.Lo, d.Hi
+		out.Lo, out.Hi = &lo, &hi
+	}
+	return out
+}
+
+func domainFromJSON(j domainJSON) (DomainDecl, error) {
+	kind, err := ParseDomainKind(j.Kind)
+	if err != nil {
+		return DomainDecl{}, err
+	}
+	d := DomainDecl{
+		Kind:       kind,
+		Float:      j.Float,
+		Members:    j.Members,
+		Candidates: j.Candidates,
+		MinLen:     j.MinLen,
+		MaxLen:     j.MaxLen,
+		TypeName:   j.TypeName,
+		Nullable:   j.Nullable,
+	}
+	if kind == DomRange {
+		if j.Lo == nil || j.Hi == nil {
+			return DomainDecl{}, fmt.Errorf("tspec: range domain missing limits")
+		}
+		d.Lo, d.Hi = *j.Lo, *j.Hi
+	}
+	return d, nil
+}
+
+// SaveJSON writes the spec in its JSON wire form.
+func (s *Spec) SaveJSON(w io.Writer) error {
+	out := specJSON{
+		Class: classJSON{
+			Name:       s.Class.Name,
+			Abstract:   s.Class.Abstract,
+			Superclass: s.Class.Superclass,
+			Sources:    s.Class.Sources,
+		},
+		Redefined:          s.Redefined,
+		ModifiedAttributes: s.ModifiedAttributes,
+	}
+	for _, a := range s.Attributes {
+		out.Attributes = append(out.Attributes, attrJSON{Name: a.Name, Domain: domainToJSON(a.Domain)})
+	}
+	for _, m := range s.Methods {
+		mj := methJSON{
+			ID:       m.ID,
+			Name:     m.Name,
+			Return:   m.Return,
+			Category: m.Category.String(),
+			Uses:     m.Uses,
+		}
+		for _, p := range m.Params {
+			mj.Params = append(mj.Params, paramJSON{Name: p.Name, Domain: domainToJSON(p.Domain)})
+		}
+		out.Methods = append(out.Methods, mj)
+	}
+	for _, n := range s.Nodes {
+		out.Nodes = append(out.Nodes, nodeJSON{ID: n.ID, Start: n.Start, Methods: n.Methods})
+	}
+	for _, e := range s.Edges {
+		out.Edges = append(out.Edges, edgeJSON{From: e.From, To: e.To})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("tspec: encoding spec: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a spec saved with SaveJSON and validates it. Declared
+// parameter counts and node out-degrees are synthesized like the Builder
+// does, so the wire form stays minimal.
+func LoadJSON(r io.Reader) (*Spec, error) {
+	var in specJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("tspec: decoding spec: %w", err)
+	}
+	s := &Spec{
+		Class: Class{
+			Name:       in.Class.Name,
+			Abstract:   in.Class.Abstract,
+			Superclass: in.Class.Superclass,
+			Sources:    in.Class.Sources,
+		},
+		Redefined:          in.Redefined,
+		ModifiedAttributes: in.ModifiedAttributes,
+	}
+	for _, a := range in.Attributes {
+		d, err := domainFromJSON(a.Domain)
+		if err != nil {
+			return nil, fmt.Errorf("tspec: attribute %q: %w", a.Name, err)
+		}
+		s.Attributes = append(s.Attributes, Attribute{Name: a.Name, Domain: d})
+	}
+	for _, mj := range in.Methods {
+		cat, err := ParseCategory(mj.Category)
+		if err != nil {
+			return nil, fmt.Errorf("tspec: method %q: %w", mj.ID, err)
+		}
+		m := Method{ID: mj.ID, Name: mj.Name, Return: mj.Return, Category: cat, Uses: mj.Uses}
+		for _, p := range mj.Params {
+			d, err := domainFromJSON(p.Domain)
+			if err != nil {
+				return nil, fmt.Errorf("tspec: parameter %q of %s: %w", p.Name, mj.ID, err)
+			}
+			m.Params = append(m.Params, Param{Name: p.Name, Domain: d})
+		}
+		m.DeclaredParams = len(m.Params)
+		s.Methods = append(s.Methods, m)
+	}
+	outDeg := map[string]int{}
+	for _, e := range in.Edges {
+		s.Edges = append(s.Edges, EdgeDecl{From: e.From, To: e.To})
+		outDeg[e.From]++
+	}
+	for _, n := range in.Nodes {
+		s.Nodes = append(s.Nodes, NodeDecl{ID: n.ID, Start: n.Start, Methods: n.Methods, OutDeg: outDeg[n.ID]})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

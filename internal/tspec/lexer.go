@@ -1,0 +1,255 @@
+package tspec
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes of the t-spec notation.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokString // 'single' or "double" quoted
+	tokNumber // integer or decimal, optionally signed
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokComma
+	tokEmpty // the literal <empty>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokLBracket:
+		return "'['"
+	case tokRBracket:
+		return "']'"
+	case tokComma:
+		return "','"
+	case tokEmpty:
+		return "<empty>"
+	default:
+		return fmt.Sprintf("token(%d)", int(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string // payload: identifier spelling, unquoted string, number literal
+	line int
+	col  int
+}
+
+// lexer splits t-spec text into tokens. Line comments start with // and run
+// to end of line, matching the paper's Figure 3 annotations.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// lexError reports a lexical error with position.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("tspec: %d:%d: %s", e.line, e.col, e.msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			l.advance()
+			l.advance()
+			for l.pos < len(l.src) && !(l.peek() == '*' && l.peek2() == '/') {
+				l.advance()
+			}
+			if l.pos < len(l.src) {
+				l.advance()
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: startLine, col: startCol}, nil
+	}
+	c := l.peek()
+	switch {
+	case c == '(':
+		l.advance()
+		return token{kind: tokLParen, text: "(", line: startLine, col: startCol}, nil
+	case c == ')':
+		l.advance()
+		return token{kind: tokRParen, text: ")", line: startLine, col: startCol}, nil
+	case c == '[':
+		l.advance()
+		return token{kind: tokLBracket, text: "[", line: startLine, col: startCol}, nil
+	case c == ']':
+		l.advance()
+		return token{kind: tokRBracket, text: "]", line: startLine, col: startCol}, nil
+	case c == ',':
+		l.advance()
+		return token{kind: tokComma, text: ",", line: startLine, col: startCol}, nil
+	case c == '<':
+		return l.lexEmpty(startLine, startCol)
+	case c == '\'' || c == '"':
+		return l.lexString(startLine, startCol)
+	case c == '-' || c == '+' || (c >= '0' && c <= '9'):
+		return l.lexNumber(startLine, startCol)
+	case isIdentStart(rune(c)):
+		return l.lexIdent(startLine, startCol)
+	default:
+		return token{}, l.errorf("unexpected character %q", string(c))
+	}
+}
+
+func (l *lexer) lexEmpty(line, col int) (token, error) {
+	const lit = "<empty>"
+	if strings.HasPrefix(l.src[l.pos:], lit) {
+		for range lit {
+			l.advance()
+		}
+		return token{kind: tokEmpty, text: lit, line: line, col: col}, nil
+	}
+	return token{}, l.errorf("expected <empty>")
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	quote := l.advance()
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf("unterminated string literal")
+		}
+		c := l.advance()
+		if c == quote {
+			return token{kind: tokString, text: sb.String(), line: line, col: col}, nil
+		}
+		if c == '\\' && l.pos < len(l.src) {
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case '\\', '\'', '"':
+				sb.WriteByte(esc)
+			default:
+				return token{}, l.errorf("unknown escape \\%s", string(esc))
+			}
+			continue
+		}
+		if c == '\n' {
+			return token{}, l.errorf("newline in string literal")
+		}
+		sb.WriteByte(c)
+	}
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	start := l.pos
+	if c := l.peek(); c == '-' || c == '+' {
+		l.advance()
+	}
+	digits := 0
+	for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+		l.advance()
+		digits++
+	}
+	if l.peek() == '.' {
+		l.advance()
+		for l.pos < len(l.src) && l.peek() >= '0' && l.peek() <= '9' {
+			l.advance()
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errorf("malformed number")
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+func (l *lexer) lexIdent(line, col int) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.peek())) {
+		l.advance()
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '~' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '~' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,623 @@
+package tspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"concat/internal/domain"
+)
+
+// Parse reads a complete t-spec in the Figure 3 notation and assembles the
+// Spec. Parsing stops at the first error; the error carries line/column
+// positions. Parse does not validate cross-references — call
+// (*Spec).Validate for the semantic checks.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	sawClass := false
+	for p.tok.kind != tokEOF {
+		clause, args, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		switch clause {
+		case "Class":
+			if sawClass {
+				return nil, p.semErrf(args, "duplicate Class clause")
+			}
+			sawClass = true
+			if err := assembleClass(spec, args); err != nil {
+				return nil, err
+			}
+		case "Attribute":
+			if err := assembleAttribute(spec, args); err != nil {
+				return nil, err
+			}
+		case "Method":
+			if err := assembleMethod(spec, args); err != nil {
+				return nil, err
+			}
+		case "Parameter":
+			if err := assembleParameter(spec, args); err != nil {
+				return nil, err
+			}
+		case "Uses":
+			if err := assembleUses(spec, args); err != nil {
+				return nil, err
+			}
+		case "Node":
+			if err := assembleNode(spec, args); err != nil {
+				return nil, err
+			}
+		case "Edge":
+			if err := assembleEdge(spec, args); err != nil {
+				return nil, err
+			}
+		case "Redefined":
+			if err := assembleNameList(args, "Redefined", &spec.Redefined); err != nil {
+				return nil, err
+			}
+		case "ModifiedAttributes":
+			if err := assembleNameList(args, "ModifiedAttributes", &spec.ModifiedAttributes); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("tspec: %d:%d: unknown clause %q", p.tok.line, p.tok.col, clause)
+		}
+	}
+	if !sawClass {
+		return nil, fmt.Errorf("tspec: missing Class clause")
+	}
+	return spec, nil
+}
+
+// parser is a recursive-descent parser over the clause grammar:
+//
+//	spec   := clause*
+//	clause := IDENT '(' arg (',' arg)* ')'
+//	arg    := STRING | NUMBER | IDENT | '<empty>' | '[' (arg (',' arg)*)? ']'
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, fmt.Errorf("tspec: %d:%d: expected %s, found %s %q",
+			p.tok.line, p.tok.col, k, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// argKind classifies a parsed clause argument.
+type argKind int
+
+const (
+	argString argKind = iota + 1
+	argNumber
+	argIdent
+	argEmpty
+	argList
+)
+
+type argValue struct {
+	kind    argKind
+	str     string // string payload or identifier spelling
+	num     float64
+	isFloat bool // number literal contained a decimal point
+	list    []argValue
+	line    int
+	col     int
+}
+
+func (a argValue) describe() string {
+	switch a.kind {
+	case argString:
+		return fmt.Sprintf("string %q", a.str)
+	case argNumber:
+		return "number " + strconv.FormatFloat(a.num, 'g', -1, 64)
+	case argIdent:
+		return "identifier " + a.str
+	case argEmpty:
+		return "<empty>"
+	case argList:
+		return "list"
+	default:
+		return "argument"
+	}
+}
+
+func (p *parser) parseClause() (string, []argValue, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return "", nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return "", nil, err
+	}
+	var args []argValue
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.parseArg()
+			if err != nil {
+				return "", nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return "", nil, err
+	}
+	return name.text, args, nil
+}
+
+func (p *parser) parseArg() (argValue, error) {
+	t := p.tok
+	switch t.kind {
+	case tokString:
+		if err := p.advance(); err != nil {
+			return argValue{}, err
+		}
+		return argValue{kind: argString, str: t.text, line: t.line, col: t.col}, nil
+	case tokNumber:
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return argValue{}, fmt.Errorf("tspec: %d:%d: bad number %q: %w", t.line, t.col, t.text, err)
+		}
+		if err := p.advance(); err != nil {
+			return argValue{}, err
+		}
+		return argValue{
+			kind:    argNumber,
+			num:     f,
+			isFloat: strings.Contains(t.text, "."),
+			line:    t.line,
+			col:     t.col,
+		}, nil
+	case tokIdent:
+		if err := p.advance(); err != nil {
+			return argValue{}, err
+		}
+		return argValue{kind: argIdent, str: t.text, line: t.line, col: t.col}, nil
+	case tokEmpty:
+		if err := p.advance(); err != nil {
+			return argValue{}, err
+		}
+		return argValue{kind: argEmpty, line: t.line, col: t.col}, nil
+	case tokLBracket:
+		if err := p.advance(); err != nil {
+			return argValue{}, err
+		}
+		out := argValue{kind: argList, line: t.line, col: t.col}
+		if p.tok.kind != tokRBracket {
+			for {
+				a, err := p.parseArg()
+				if err != nil {
+					return argValue{}, err
+				}
+				out.list = append(out.list, a)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return argValue{}, err
+				}
+			}
+		}
+		if _, err := p.expect(tokRBracket); err != nil {
+			return argValue{}, err
+		}
+		return out, nil
+	default:
+		return argValue{}, fmt.Errorf("tspec: %d:%d: expected argument, found %s", t.line, t.col, t.kind)
+	}
+}
+
+func (p *parser) semErrf(args []argValue, format string, a ...any) error {
+	line, col := p.tok.line, p.tok.col
+	if len(args) > 0 {
+		line, col = args[0].line, args[0].col
+	}
+	return fmt.Errorf("tspec: %d:%d: %s", line, col, fmt.Sprintf(format, a...))
+}
+
+func semErr(at argValue, format string, a ...any) error {
+	return fmt.Errorf("tspec: %d:%d: %s", at.line, at.col, fmt.Sprintf(format, a...))
+}
+
+// --- clause assembly ---
+
+// Class('Name', Yes|No, <empty>|'Super', <empty>|'file'|['f1','f2'])
+func assembleClass(spec *Spec, args []argValue) error {
+	if len(args) != 4 {
+		return fmt.Errorf("tspec: Class clause takes 4 arguments, got %d", len(args))
+	}
+	name, err := wantString(args[0], "class name")
+	if err != nil {
+		return err
+	}
+	abstract, err := wantYesNo(args[1], "abstract flag")
+	if err != nil {
+		return err
+	}
+	super := ""
+	if args[2].kind != argEmpty {
+		super, err = wantString(args[2], "superclass name")
+		if err != nil {
+			return err
+		}
+	}
+	var sources []string
+	switch args[3].kind {
+	case argEmpty:
+	case argString:
+		sources = []string{args[3].str}
+	case argList:
+		for _, a := range args[3].list {
+			s, err := wantString(a, "source file")
+			if err != nil {
+				return err
+			}
+			sources = append(sources, s)
+		}
+	default:
+		return semErr(args[3], "source files must be <empty>, a string, or a list, got %s", args[3].describe())
+	}
+	spec.Class = Class{Name: name, Abstract: abstract, Superclass: super, Sources: sources}
+	return nil
+}
+
+// Attribute('name', <domain...>)
+func assembleAttribute(spec *Spec, args []argValue) error {
+	if len(args) < 2 {
+		return fmt.Errorf("tspec: Attribute clause takes at least 2 arguments, got %d", len(args))
+	}
+	name, err := wantString(args[0], "attribute name")
+	if err != nil {
+		return err
+	}
+	decl, err := parseDomainArgs(args[1:])
+	if err != nil {
+		return fmt.Errorf("attribute %q: %w", name, err)
+	}
+	spec.Attributes = append(spec.Attributes, Attribute{Name: name, Domain: decl})
+	return nil
+}
+
+// Method(mID, 'Name', <empty>|'type', category, nParams)
+func assembleMethod(spec *Spec, args []argValue) error {
+	if len(args) != 5 {
+		return fmt.Errorf("tspec: Method clause takes 5 arguments, got %d", len(args))
+	}
+	id, err := wantIdent(args[0], "method identifier")
+	if err != nil {
+		return err
+	}
+	name, err := wantString(args[1], "method name")
+	if err != nil {
+		return err
+	}
+	ret := ""
+	if args[2].kind != argEmpty {
+		switch args[2].kind {
+		case argString:
+			ret = args[2].str
+		case argIdent:
+			ret = args[2].str
+		default:
+			return semErr(args[2], "return type must be <empty>, an identifier or a string")
+		}
+	}
+	catName, err := wantIdent(args[3], "method category")
+	if err != nil {
+		return err
+	}
+	cat, err := ParseCategory(catName)
+	if err != nil {
+		return semErr(args[3], "%v", err)
+	}
+	nParams, err := wantInt(args[4], "parameter count")
+	if err != nil {
+		return err
+	}
+	spec.Methods = append(spec.Methods, Method{
+		ID:             id,
+		Name:           name,
+		Return:         ret,
+		Category:       cat,
+		DeclaredParams: int(nParams),
+	})
+	return nil
+}
+
+// Parameter(mID, 'name', <domain...>)
+func assembleParameter(spec *Spec, args []argValue) error {
+	if len(args) < 3 {
+		return fmt.Errorf("tspec: Parameter clause takes at least 3 arguments, got %d", len(args))
+	}
+	mID, err := wantIdent(args[0], "method identifier")
+	if err != nil {
+		return err
+	}
+	name, err := wantString(args[1], "parameter name")
+	if err != nil {
+		return err
+	}
+	decl, err := parseDomainArgs(args[2:])
+	if err != nil {
+		return fmt.Errorf("parameter %q of %s: %w", name, mID, err)
+	}
+	for i := range spec.Methods {
+		if spec.Methods[i].ID == mID {
+			spec.Methods[i].Params = append(spec.Methods[i].Params, Param{Name: name, Domain: decl})
+			return nil
+		}
+	}
+	return semErr(args[0], "Parameter clause references undeclared method %q", mID)
+}
+
+// Uses(mID, ['attr1', 'attr2'])
+func assembleUses(spec *Spec, args []argValue) error {
+	if len(args) != 2 {
+		return fmt.Errorf("tspec: Uses clause takes 2 arguments, got %d", len(args))
+	}
+	mID, err := wantIdent(args[0], "method identifier")
+	if err != nil {
+		return err
+	}
+	var names []string
+	if err := assembleNameList(args[1:], "Uses", &names); err != nil {
+		return err
+	}
+	for i := range spec.Methods {
+		if spec.Methods[i].ID == mID {
+			spec.Methods[i].Uses = append(spec.Methods[i].Uses, names...)
+			return nil
+		}
+	}
+	return semErr(args[0], "Uses clause references undeclared method %q", mID)
+}
+
+// Node(nID, Yes|No, outDegree, [m1, m2])
+func assembleNode(spec *Spec, args []argValue) error {
+	if len(args) != 4 {
+		return fmt.Errorf("tspec: Node clause takes 4 arguments, got %d", len(args))
+	}
+	id, err := wantIdent(args[0], "node identifier")
+	if err != nil {
+		return err
+	}
+	start, err := wantYesNo(args[1], "start flag")
+	if err != nil {
+		return err
+	}
+	outDeg, err := wantInt(args[2], "outgoing edge count")
+	if err != nil {
+		return err
+	}
+	if args[3].kind != argList {
+		return semErr(args[3], "node methods must be a list, got %s", args[3].describe())
+	}
+	var methods []string
+	for _, a := range args[3].list {
+		m, err := wantIdent(a, "method identifier")
+		if err != nil {
+			return err
+		}
+		methods = append(methods, m)
+	}
+	spec.Nodes = append(spec.Nodes, NodeDecl{ID: id, Start: start, OutDeg: int(outDeg), Methods: methods})
+	return nil
+}
+
+// Edge(from, to)
+func assembleEdge(spec *Spec, args []argValue) error {
+	if len(args) != 2 {
+		return fmt.Errorf("tspec: Edge clause takes 2 arguments, got %d", len(args))
+	}
+	from, err := wantIdent(args[0], "edge source")
+	if err != nil {
+		return err
+	}
+	to, err := wantIdent(args[1], "edge target")
+	if err != nil {
+		return err
+	}
+	spec.Edges = append(spec.Edges, EdgeDecl{From: from, To: to})
+	return nil
+}
+
+// assembleNameList appends the strings/identifiers of a single list argument.
+func assembleNameList(args []argValue, clause string, dst *[]string) error {
+	if len(args) != 1 || args[0].kind != argList {
+		return fmt.Errorf("tspec: %s clause takes a single list argument", clause)
+	}
+	for _, a := range args[0].list {
+		switch a.kind {
+		case argString, argIdent:
+			*dst = append(*dst, a.str)
+		default:
+			return semErr(a, "%s entries must be names, got %s", clause, a.describe())
+		}
+	}
+	return nil
+}
+
+// parseDomainArgs interprets the domain tail of Attribute and Parameter
+// clauses: a type keyword followed by type-specific arguments.
+func parseDomainArgs(args []argValue) (DomainDecl, error) {
+	kindName, err := wantIdent(args[0], "domain type")
+	if err != nil {
+		return DomainDecl{}, err
+	}
+	kind, err := ParseDomainKind(strings.ToLower(kindName))
+	if err != nil {
+		return DomainDecl{}, semErr(args[0], "%v", err)
+	}
+	rest := args[1:]
+	switch kind {
+	case DomRange:
+		if len(rest) != 2 {
+			return DomainDecl{}, semErr(args[0], "range domain takes lower and upper limits, got %d arguments", len(rest))
+		}
+		lo, err := wantNumber(rest[0], "lower limit")
+		if err != nil {
+			return DomainDecl{}, err
+		}
+		hi, err := wantNumber(rest[1], "upper limit")
+		if err != nil {
+			return DomainDecl{}, err
+		}
+		return DomainDecl{
+			Kind:  DomRange,
+			Lo:    lo.num,
+			Hi:    hi.num,
+			Float: lo.isFloat || hi.isFloat,
+		}, nil
+	case DomSet:
+		if len(rest) != 1 || rest[0].kind != argList {
+			return DomainDecl{}, semErr(args[0], "set domain takes a single list of members")
+		}
+		var members []domain.Value
+		for _, a := range rest[0].list {
+			switch a.kind {
+			case argNumber:
+				if a.isFloat {
+					members = append(members, domain.Float(a.num))
+				} else {
+					members = append(members, domain.Int(int64(a.num)))
+				}
+			case argString:
+				members = append(members, domain.Str(a.str))
+			default:
+				return DomainDecl{}, semErr(a, "set member must be a number or string, got %s", a.describe())
+			}
+		}
+		return DomainDecl{Kind: DomSet, Members: members}, nil
+	case DomString:
+		if len(rest) == 1 && rest[0].kind == argList {
+			var cands []string
+			for _, a := range rest[0].list {
+				s, err := wantString(a, "string candidate")
+				if err != nil {
+					return DomainDecl{}, err
+				}
+				cands = append(cands, s)
+			}
+			return DomainDecl{Kind: DomString, Candidates: cands}, nil
+		}
+		if len(rest) != 2 {
+			return DomainDecl{}, semErr(args[0], "string domain takes either a candidate list or min/max lengths")
+		}
+		minLen, err := wantInt(rest[0], "minimum length")
+		if err != nil {
+			return DomainDecl{}, err
+		}
+		maxLen, err := wantInt(rest[1], "maximum length")
+		if err != nil {
+			return DomainDecl{}, err
+		}
+		return DomainDecl{Kind: DomString, MinLen: int(minLen), MaxLen: int(maxLen)}, nil
+	case DomObject, DomPointer:
+		if len(rest) < 1 {
+			return DomainDecl{}, semErr(args[0], "%s domain takes a type name", kind)
+		}
+		typeName, err := wantString(rest[0], "type name")
+		if err != nil {
+			return DomainDecl{}, err
+		}
+		decl := DomainDecl{Kind: kind, TypeName: typeName}
+		if len(rest) == 2 {
+			flag, err := wantIdent(rest[1], "nullable flag")
+			if err != nil {
+				return DomainDecl{}, err
+			}
+			if flag != "nullable" {
+				return DomainDecl{}, semErr(rest[1], "expected 'nullable', got %q", flag)
+			}
+			decl.Nullable = true
+		} else if len(rest) > 2 {
+			return DomainDecl{}, semErr(args[0], "%s domain takes at most a type name and 'nullable'", kind)
+		}
+		return decl, nil
+	case DomBool:
+		if len(rest) != 0 {
+			return DomainDecl{}, semErr(args[0], "bool domain takes no arguments")
+		}
+		return DomainDecl{Kind: DomBool}, nil
+	default:
+		return DomainDecl{}, semErr(args[0], "unsupported domain kind %v", kind)
+	}
+}
+
+// --- argument coercion helpers ---
+
+func wantString(a argValue, what string) (string, error) {
+	if a.kind != argString {
+		return "", semErr(a, "%s must be a quoted string, got %s", what, a.describe())
+	}
+	return a.str, nil
+}
+
+func wantIdent(a argValue, what string) (string, error) {
+	switch a.kind {
+	case argIdent:
+		return a.str, nil
+	case argString:
+		return a.str, nil // tolerate quoted identifiers
+	default:
+		return "", semErr(a, "%s must be an identifier, got %s", what, a.describe())
+	}
+}
+
+func wantYesNo(a argValue, what string) (bool, error) {
+	s, err := wantIdent(a, what)
+	if err != nil {
+		return false, err
+	}
+	switch strings.ToLower(s) {
+	case "yes":
+		return true, nil
+	case "no":
+		return false, nil
+	default:
+		return false, semErr(a, "%s must be Yes or No, got %q", what, s)
+	}
+}
+
+func wantNumber(a argValue, what string) (argValue, error) {
+	if a.kind != argNumber {
+		return argValue{}, semErr(a, "%s must be a number, got %s", what, a.describe())
+	}
+	return a, nil
+}
+
+func wantInt(a argValue, what string) (int64, error) {
+	if a.kind != argNumber || a.isFloat {
+		return 0, semErr(a, "%s must be an integer, got %s", what, a.describe())
+	}
+	return int64(a.num), nil
+}

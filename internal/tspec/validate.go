@@ -1,0 +1,178 @@
+package tspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Validate performs the semantic well-formedness checks on a parsed or
+// programmatically built spec. It collects all problems before returning so
+// a producer sees every defect in one pass — the paper notes that writing
+// the t-spec is itself a specification-quality activity ("incompleteness,
+// ambiguity and inconsistency can be detected by the tester and then
+// removed").
+func (s *Spec) Validate() error {
+	var problems []string
+	addf := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if s.Class.Name == "" {
+		addf("class name is empty")
+	}
+	if s.Class.Superclass == s.Class.Name && s.Class.Name != "" {
+		addf("class %q lists itself as superclass", s.Class.Name)
+	}
+
+	// Attributes: unique names, buildable domains.
+	attrSeen := map[string]bool{}
+	for _, a := range s.Attributes {
+		if a.Name == "" {
+			addf("attribute with empty name")
+			continue
+		}
+		if attrSeen[a.Name] {
+			addf("duplicate attribute %q", a.Name)
+		}
+		attrSeen[a.Name] = true
+		if _, err := a.Domain.Build(); err != nil {
+			addf("attribute %q: %v", a.Name, err)
+		}
+	}
+
+	// Methods: unique IDs, parameter counts, buildable parameter domains,
+	// Uses references.
+	methodSeen := map[string]bool{}
+	haveCtor, haveDtor := false, false
+	for _, m := range s.Methods {
+		if m.ID == "" {
+			addf("method with empty identifier")
+			continue
+		}
+		if methodSeen[m.ID] {
+			addf("duplicate method identifier %q", m.ID)
+		}
+		methodSeen[m.ID] = true
+		if m.Name == "" {
+			addf("method %s has empty name", m.ID)
+		}
+		switch m.Category {
+		case CatConstructor:
+			haveCtor = true
+		case CatDestructor:
+			haveDtor = true
+		case CatUpdate, CatAccess, CatOther:
+		default:
+			addf("method %s has invalid category", m.ID)
+		}
+		if m.DeclaredParams != len(m.Params) {
+			addf("method %s declares %d parameters but %d Parameter clauses were given",
+				m.ID, m.DeclaredParams, len(m.Params))
+		}
+		paramSeen := map[string]bool{}
+		for _, p := range m.Params {
+			if paramSeen[p.Name] {
+				addf("method %s has duplicate parameter %q", m.ID, p.Name)
+			}
+			paramSeen[p.Name] = true
+			if _, err := p.Domain.Build(); err != nil {
+				addf("method %s parameter %q: %v", m.ID, p.Name, err)
+			}
+		}
+		for _, u := range m.Uses {
+			if !attrSeen[u] {
+				addf("method %s uses undeclared attribute %q", m.ID, u)
+			}
+		}
+	}
+	// A component is born and dies (§3.2): its spec must declare at least
+	// one constructor and one destructor.
+	if !haveCtor {
+		addf("no constructor method declared")
+	}
+	if !haveDtor {
+		addf("no destructor method declared")
+	}
+
+	// Nodes: unique IDs, known methods, start nodes contain constructors.
+	nodeSeen := map[string]bool{}
+	outDeg := map[string]int{}
+	for _, n := range s.Nodes {
+		if n.ID == "" {
+			addf("node with empty identifier")
+			continue
+		}
+		if nodeSeen[n.ID] {
+			addf("duplicate node %q", n.ID)
+		}
+		nodeSeen[n.ID] = true
+		if len(n.Methods) == 0 {
+			addf("node %s lists no methods", n.ID)
+		}
+		for _, mid := range n.Methods {
+			if !methodSeen[mid] {
+				addf("node %s references undeclared method %q", n.ID, mid)
+			}
+		}
+		if n.Start {
+			for _, mid := range n.Methods {
+				if m, ok := s.MethodByID(mid); ok && m.Category != CatConstructor {
+					addf("start node %s lists non-constructor method %s", n.ID, mid)
+				}
+			}
+		}
+	}
+
+	// Edges: known endpoints; declared out-degrees consistent.
+	for _, e := range s.Edges {
+		if !nodeSeen[e.From] {
+			addf("edge references undeclared node %q", e.From)
+		}
+		if !nodeSeen[e.To] {
+			addf("edge references undeclared node %q", e.To)
+		}
+		outDeg[e.From]++
+	}
+	for _, n := range s.Nodes {
+		if n.OutDeg != outDeg[n.ID] {
+			addf("node %s declares %d outgoing edges but %d Edge clauses were given",
+				n.ID, n.OutDeg, outDeg[n.ID])
+		}
+	}
+
+	// Inheritance annotations: meaningful targets only.
+	if s.Class.Superclass == "" {
+		if len(s.Redefined) > 0 {
+			addf("Redefined clause without a superclass")
+		}
+		if len(s.ModifiedAttributes) > 0 {
+			addf("ModifiedAttributes clause without a superclass")
+		}
+	}
+	for _, name := range s.Redefined {
+		if _, ok := s.MethodByName(name); !ok {
+			addf("Redefined lists unknown method %q", name)
+		}
+	}
+	for _, name := range s.ModifiedAttributes {
+		if !attrSeen[name] {
+			addf("ModifiedAttributes lists unknown attribute %q", name)
+		}
+	}
+
+	if len(problems) == 0 {
+		// Defer the structural graph rules (reachability, birth/death) to
+		// the TFM validator so the messages match the model vocabulary.
+		if len(s.Nodes) > 0 {
+			g, err := s.TFM()
+			if err != nil {
+				return fmt.Errorf("tspec: spec %q: %w", s.Class.Name, err)
+			}
+			if err := g.Validate(); err != nil {
+				return fmt.Errorf("tspec: spec %q: %w", s.Class.Name, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("tspec: invalid spec %q: %s", s.Class.Name, strings.Join(problems, "; "))
+}
