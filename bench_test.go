@@ -18,6 +18,7 @@ package concat
 import (
 	"bytes"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -438,7 +439,9 @@ func BenchmarkAblationModelScaling(b *testing.B) {
 }
 
 // BenchmarkAblationParallelism compares sequential and parallel mutation
-// analysis on experiment 1 (same verdicts, different wall clock).
+// analysis on experiment 1 (same verdicts, different wall clock). The
+// parallel variants provision one engine clone + factory per worker via
+// NewFactory, the standard sharding path.
 func BenchmarkAblationParallelism(b *testing.B) {
 	setup := benchSetup(b)
 	mkAnalysis := func(par int) (*analysis.Analysis, []mutation.Mutant) {
@@ -450,29 +453,76 @@ func BenchmarkAblationParallelism(b *testing.B) {
 			Factory:     sortlist.NewFactoryWithEngine(eng),
 			Suite:       setup.Derived.Suite,
 			Parallelism: par,
-			Provision: func() (*mutation.Engine, component.Factory, error) {
-				e := mutation.NewEngine()
-				e.MustRegisterSites(oblist.Sites()...)
-				e.MustRegisterSites(sortlist.Sites()...)
-				return e, sortlist.NewFactoryWithEngine(e), nil
+			NewFactory: func(e *mutation.Engine) component.Factory {
+				return sortlist.NewFactoryWithEngine(e)
 			},
 		}
 		return a, eng.Enumerate(nil, experiments.Experiment1Methods)
 	}
-	b.Run("sequential", func(b *testing.B) {
-		a, mutants := mkAnalysis(1)
-		for i := 0; i < b.N; i++ {
-			if _, err := a.Run(mutants); err != nil {
-				b.Fatal(err)
+	run := func(par int) func(b *testing.B) {
+		return func(b *testing.B) {
+			a, mutants := mkAnalysis(par)
+			for i := 0; i < b.N; i++ {
+				if _, err := a.Run(mutants); err != nil {
+					b.Fatal(err)
+				}
 			}
 		}
+	}
+	b.Run("sequential", run(1))
+	b.Run("parallel-8", run(8))
+	b.Run("parallel-gomaxprocs", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkParallelSuiteExecution measures the tentpole executor path:
+// the same suite run serially and through the bounded worker pool. The
+// reports are bit-for-bit identical (see internal/testexec's determinism
+// suite); only wall clock may differ.
+func BenchmarkParallelSuiteExecution(b *testing.B) {
+	suite, err := driver.Generate(oblist.Spec(), driver.Options{
+		Seed: 42, ExpandAlternatives: true, MaxAlternatives: 4,
 	})
-	b.Run("parallel-8", func(b *testing.B) {
-		a, mutants := mkAnalysis(8)
-		for i := 0; i < b.N; i++ {
-			if _, err := a.Run(mutants); err != nil {
-				b.Fatal(err)
+	if err != nil {
+		b.Fatal(err)
+	}
+	factory := oblist.NewFactory()
+	run := func(par int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := testexec.Run(suite, factory, testexec.Options{Seed: 42, Parallelism: par})
+				if err != nil || !rep.AllPassed() {
+					b.Fatalf("run failed: %v", err)
+				}
+			}
+			b.ReportMetric(float64(len(suite.Cases)), "cases")
+		}
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel-4", run(4))
+	b.Run("parallel-gomaxprocs", run(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkParallelSoakGeneration measures random-walk suite generation
+// serially and sharded; per-case seed derivation keeps the generated suite
+// identical at any parallelism.
+func BenchmarkParallelSoakGeneration(b *testing.B) {
+	spec := oblist.Spec()
+	run := func(par int) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := driver.GenerateSoak(spec, driver.SoakOptions{
+					Seed: 42, Cases: 400, Parallelism: par,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(s.Cases) != 400 {
+					b.Fatalf("generated %d cases", len(s.Cases))
+				}
 			}
 		}
-	})
+	}
+	b.Run("serial", run(1))
+	b.Run("parallel-4", run(4))
+	b.Run("parallel-gomaxprocs", run(runtime.GOMAXPROCS(0)))
 }

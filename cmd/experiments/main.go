@@ -29,6 +29,7 @@ func main() {
 		baseline  = flag.Bool("baseline", false, "run the experiment-2 baseline (base suite vs base mutants)")
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		seed      = flag.Int64("seed", 42, "generation seed")
+		parallel  = flag.Int("parallel", 0, "mutation-campaign workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		verbose   = flag.Bool("v", false, "print per-mutant verdicts")
 	)
 	flag.Parse()
@@ -39,7 +40,8 @@ func main() {
 	if err := run(os.Stdout, selection{
 		all: all, table1: *table1, figure2: *figure2, figure3: *figure3,
 		figure6: *figure6, counts: *counts, table2: *table2, table3: *table3,
-		baseline: *baseline, ablations: *ablations, seed: *seed, verbose: *verbose,
+		baseline: *baseline, ablations: *ablations, seed: *seed,
+		parallel: *parallel, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -50,6 +52,7 @@ type selection struct {
 	all, table1, figure2, figure3, figure6      bool
 	counts, table2, table3, baseline, ablations bool
 	seed                                        int64
+	parallel                                    int
 	verbose                                     bool
 }
 
@@ -58,6 +61,7 @@ func run(w io.Writer, sel selection) error {
 	cfg.Seed = sel.seed
 	cfg.ParentOpts.Seed = sel.seed
 	cfg.ChildOpts.Seed = sel.seed
+	cfg.Parallelism = sel.parallel
 
 	var progress io.Writer
 	if sel.verbose {

@@ -95,14 +95,38 @@ type Analysis struct {
 	Progress io.Writer
 	// Parallelism > 1 analyzes mutants concurrently. Because an engine
 	// holds the single active mutant, parallel workers need independent
-	// engine+factory pairs, built by Provision; results are index-aligned
-	// with the input, so parallel and sequential runs produce identical
-	// tables.
+	// engine+factory pairs — factory-scoped engines, one per worker, built
+	// by cloning Engine's site table and binding a fresh factory to the
+	// clone via NewFactory (or by a custom Provision). Results are
+	// index-aligned with the input, so parallel and sequential runs produce
+	// identical tables, kill matrices and killing cases.
 	Parallelism int
-	// Provision builds one worker's private engine and factory. The engine
-	// must carry the same site table as Engine. Required when Parallelism
-	// exceeds 1.
+	// NewFactory binds a component factory to the given engine. With it
+	// set, parallel workers are provisioned automatically: each gets
+	// Engine.Clone() plus NewFactory(clone). This is the standard way to
+	// run a parallel campaign; Provision remains for components whose
+	// worker state cannot be expressed as an engine clone.
+	NewFactory func(*mutation.Engine) component.Factory
+	// Provision builds one worker's private engine and factory, overriding
+	// the NewFactory-based default. The engine must carry the same site
+	// table as Engine.
 	Provision func() (*mutation.Engine, component.Factory, error)
+}
+
+// provision resolves the worker-provisioning function: an explicit
+// Provision wins, otherwise NewFactory over an engine clone, otherwise nil
+// (parallel runs are then rejected).
+func (a *Analysis) provision() func() (*mutation.Engine, component.Factory, error) {
+	if a.Provision != nil {
+		return a.Provision
+	}
+	if a.NewFactory != nil {
+		return func() (*mutation.Engine, component.Factory, error) {
+			eng := a.Engine.Clone()
+			return eng, a.NewFactory(eng), nil
+		}
+	}
+	return nil
 }
 
 // Result aggregates an analysis run.
@@ -177,8 +201,9 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 // engine and factory from Provision. The results slice is index-aligned
 // with the input so every downstream table matches the sequential run.
 func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden) ([]MutantResult, error) {
-	if a.Provision == nil {
-		return nil, errors.New("mutation: parallel analysis requires a Provision function")
+	provision := a.provision()
+	if provision == nil {
+		return nil, errors.New("mutation: parallel analysis requires NewFactory or Provision")
 	}
 	workers := a.Parallelism
 	if workers > len(mutants) {
@@ -189,7 +214,7 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		eng, factory, err := a.Provision()
+		eng, factory, err := provision()
 		if err != nil {
 			close(jobs)
 			wg.Wait()

@@ -47,6 +47,22 @@ type Factory interface {
 	New(ctor string, args []domain.Value) (Instance, error)
 }
 
+// Forker is an optional Factory capability for components whose instances
+// work against shared mutable context (a database, a file store). Fork
+// returns an independent factory whose instances share no mutable state
+// with the receiver's — a fresh world. The test executor forks per test
+// case when available, so every transaction starts from the same initial
+// context: cases become hermetic, their transcripts stop depending on
+// suite order, and serial and parallel execution produce identical
+// reports. If the forked factory also exposes
+// Providers() map[string]domain.Provider, the executor completes that
+// case's structured parameters from the fork, keeping the providers'
+// side effects inside the case's world too.
+type Forker interface {
+	Factory
+	Fork() Factory
+}
+
 // ErrUnknownMethod is wrapped by Invoke for calls to undeclared methods.
 var ErrUnknownMethod = errors.New("component: unknown method")
 

@@ -214,6 +214,14 @@ func NewFactoryWithDB(db *stockdb.DB) *Factory { return &Factory{db: db} }
 // DB exposes the factory's database (examples inspect it).
 func (f *Factory) DB() *stockdb.DB { return f.db }
 
+// Fork implements component.Forker: every fork works against its own fresh
+// stock database, so test cases executed against a fork are hermetic —
+// InsertProduct/RemoveProduct in one case never leak into another,
+// regardless of execution order or parallelism.
+func (f *Factory) Fork() component.Factory { return NewFactory() }
+
+var _ component.Forker = (*Factory)(nil)
+
 // Name implements component.Factory.
 func (f *Factory) Name() string { return Name }
 

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 
 	"concat/internal/analysis"
 	"concat/internal/component"
@@ -217,11 +218,15 @@ func MutationRun(targetName string, suite *driver.Suite, methods []string, progr
 		return nil, errors.New("core: no mutants enumerable for the requested methods")
 	}
 	a := &analysis.Analysis{
-		Engine:   eng,
-		Factory:  comp.Factory,
-		Suite:    suite,
-		Exec:     testexec.Options{Providers: comp.Providers},
-		Progress: progress,
+		Engine:      eng,
+		Factory:     comp.Factory,
+		Suite:       suite,
+		Exec:        testexec.Options{Providers: comp.Providers},
+		Progress:    progress,
+		Parallelism: runtime.GOMAXPROCS(0),
+		NewFactory: func(e *mutation.Engine) component.Factory {
+			return t.New(e).Factory
+		},
 	}
 	return a.Run(mutants)
 }

@@ -1,6 +1,10 @@
 package domain
 
-import "math/rand/v2"
+import (
+	"hash/fnv"
+	"io"
+	"math/rand/v2"
+)
 
 // NewRand returns a deterministic random source for the given seed. All test
 // generation in this repository flows through here so that suites are fully
@@ -9,4 +13,24 @@ import "math/rand/v2"
 // reference run) meaningful.
 func NewRand(seed int64) *rand.Rand {
 	return rand.New(rand.NewPCG(uint64(seed), 0x434f4e434154)) // "CONCAT"
+}
+
+// DeriveSeed derives an independent child seed from a parent seed and a
+// label (a test-case ID, a shard index, ...). Parallel executors use it to
+// give every unit of work its own RNG stream that depends only on the
+// parent seed and the unit's identity — never on scheduling or iteration
+// order — so a run fanned over N workers is bit-for-bit identical to the
+// serial run with the same parent seed.
+func DeriveSeed(seed int64, label string) int64 {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, label)
+	x := h.Sum64() + uint64(seed)*0x9E3779B97F4A7C15 // golden-ratio spread keeps seed 0 and 1 streams apart
+	// splitmix64 finalizer: avalanche so adjacent seeds and similar labels
+	// land in unrelated streams.
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"go/parser"
 	"go/token"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -371,6 +372,34 @@ func TestGenerateSoakDeterministic(t *testing.T) {
 	for i := range a.Cases {
 		if a.Cases[i].Transaction != b.Cases[i].Transaction {
 			t.Fatalf("walk %d diverged", i)
+		}
+	}
+}
+
+// TestGenerateSoakParallelMatchesSerial pins the sharding contract: the
+// suite a worker pool generates is bit-for-bit the suite the serial loop
+// generates, because every case draws from its own (Seed, index)-derived
+// RNG stream.
+func TestGenerateSoakParallelMatchesSerial(t *testing.T) {
+	opts := SoakOptions{Seed: 4, Cases: 60, MaxLength: 16}
+	serial, err := GenerateSoak(account.Spec(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8, 64} {
+		opts.Parallelism = par
+		got, err := GenerateSoak(account.Spec(), opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(got.Cases) != len(serial.Cases) {
+			t.Fatalf("parallelism %d: %d cases, want %d", par, len(got.Cases), len(serial.Cases))
+		}
+		for i := range serial.Cases {
+			if !reflect.DeepEqual(got.Cases[i], serial.Cases[i]) {
+				t.Fatalf("parallelism %d: case %d diverged:\n got: %+v\nwant: %+v",
+					par, i, got.Cases[i], serial.Cases[i])
+			}
 		}
 	}
 }

@@ -2,6 +2,8 @@ package driver
 
 import (
 	"fmt"
+	"strconv"
+	"sync"
 
 	"concat/internal/domain"
 	"concat/internal/tspec"
@@ -15,6 +17,12 @@ type SoakOptions struct {
 	Cases int
 	// MaxLength bounds each walk; zero means 4x the node count.
 	MaxLength int
+	// Parallelism fans case generation over a bounded worker pool when
+	// greater than 1; zero or one generates serially. Every case draws from
+	// its own RNG stream seeded by f(Seed, case index), so the generated
+	// suite is identical at any parallelism — sharding changes wall clock,
+	// never content.
+	Parallelism int
 }
 
 // GenerateSoak produces a suite of random transactions: each test case is
@@ -24,6 +32,11 @@ type SoakOptions struct {
 // generator samples the unbounded space — long, repetitive method sequences
 // the enumeration's loop bound excludes. It is the load/endurance-testing
 // complement the transaction flow model supports "for free".
+//
+// Each case derives its own seed from (Seed, index), so cases are
+// independent units of work: GenerateSoak shards them over
+// SoakOptions.Parallelism workers and the output is bit-for-bit identical
+// to the serial run.
 func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
@@ -35,30 +48,77 @@ func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
 	}
-	rng := domain.NewRand(opts.Seed)
-	suite := &Suite{
-		Component: spec.Class.Name,
-		Seed:      opts.Seed,
-		Criterion: "random-walk",
-	}
-	for i := 0; i < opts.Cases; i++ {
+	genCase := func(i int) (TestCase, error) {
+		rng := domain.NewRand(domain.DeriveSeed(opts.Seed, "soak:"+strconv.Itoa(i)))
 		tr, err := g.RandomWalk(rng, opts.MaxLength)
 		if err != nil {
-			return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
+			return TestCase{}, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
 		}
 		combo := make([]string, len(tr.Path))
 		for j, nodeID := range tr.Path {
 			n, ok := spec.NodeByID(string(nodeID))
 			if !ok || len(n.Methods) == 0 {
-				return nil, fmt.Errorf("driver: walk visited unusable node %s", nodeID)
+				return TestCase{}, fmt.Errorf("driver: walk visited unusable node %s", nodeID)
 			}
 			combo[j] = n.Methods[rng.IntN(len(n.Methods))]
 		}
-		tc, err := buildCase(spec, tr, combo, rng, i)
+		return buildCase(spec, tr, combo, rng, i)
+	}
+
+	suite := &Suite{
+		Component: spec.Class.Name,
+		Seed:      opts.Seed,
+		Criterion: "random-walk",
+	}
+	cases := make([]TestCase, opts.Cases)
+	workers := opts.Parallelism
+	if workers > opts.Cases {
+		workers = opts.Cases
+	}
+	if workers <= 1 {
+		for i := range cases {
+			tc, err := genCase(i)
+			if err != nil {
+				return nil, err
+			}
+			cases[i] = tc
+		}
+		suite.Cases = cases
+		return suite, nil
+	}
+
+	// Parallel path: workers pull indices and fill the index-aligned slice;
+	// per-case seeds make the result order- and scheduling-independent.
+	errs := make([]error, workers)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range jobs {
+				if errs[w] != nil {
+					continue // keep draining so the sender never blocks
+				}
+				tc, err := genCase(i)
+				if err != nil {
+					errs[w] = err
+					continue
+				}
+				cases[i] = tc
+			}
+		}(w)
+	}
+	for i := range cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		suite.Cases = append(suite.Cases, tc)
 	}
+	suite.Cases = cases
 	return suite, nil
 }

@@ -35,6 +35,20 @@ type Config struct {
 	// child uses loop bound 3 so sort transactions populate the list with
 	// several elements before sorting.
 	ChildOpts driver.Options
+	// Parallelism is the mutation-campaign worker count: each worker holds
+	// its own engine (a clone of the campaign's site table) and factory, so
+	// mutants execute concurrently with no shared mutable state. Zero means
+	// GOMAXPROCS; 1 forces the serial campaign. Any value produces the
+	// same tables — parallelism changes wall clock, never results.
+	Parallelism int
+}
+
+// parallelism resolves the configured worker count.
+func (c Config) parallelism() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Default returns the configuration every published number in
@@ -81,36 +95,31 @@ func newListEngine() *mutation.Engine {
 	return eng
 }
 
-// provisionSortlist builds an independent engine+factory pair for one
-// parallel analysis worker.
-func provisionSortlist() (*mutation.Engine, component.Factory, error) {
-	eng := newListEngine()
-	return eng, sortlist.NewFactoryWithEngine(eng), nil
+// sortlistFactory binds a subclass factory to a (worker-scoped) engine.
+func sortlistFactory(eng *mutation.Engine) component.Factory {
+	return sortlist.NewFactoryWithEngine(eng)
 }
 
-// parallelism bounds the analysis worker count: enough to use the machine,
-// capped so provisioning stays cheap.
-func parallelism() int {
-	n := runtime.NumCPU()
-	if n > 8 {
-		n = 8
-	}
-	return n
+// listAnalysis assembles the standard subclass campaign: sortable-list
+// objects under the derived suite, workers provisioned as factory-scoped
+// engine clones.
+func (s *Setup) listAnalysis(progress io.Writer) (*analysis.Analysis, *mutation.Engine) {
+	eng := newListEngine()
+	return &analysis.Analysis{
+		Engine:      eng,
+		Factory:     sortlistFactory(eng),
+		Suite:       s.Derived.Suite,
+		Progress:    progress,
+		Parallelism: s.Config.parallelism(),
+		NewFactory:  sortlistFactory,
+	}, eng
 }
 
 // Experiment1 is the paper's first experiment (Table 2): interface mutants
 // in the five CSortableObList methods, run under the subclass's full test
 // set (new + reused cases).
 func (s *Setup) Experiment1(progress io.Writer) (*analysis.Result, error) {
-	eng := newListEngine()
-	a := &analysis.Analysis{
-		Engine:      eng,
-		Factory:     sortlist.NewFactoryWithEngine(eng),
-		Suite:       s.Derived.Suite,
-		Progress:    progress,
-		Parallelism: parallelism(),
-		Provision:   provisionSortlist,
-	}
+	a, eng := s.listAnalysis(progress)
 	return a.Run(eng.Enumerate(nil, Experiment1Methods))
 }
 
@@ -119,15 +128,7 @@ func (s *Setup) Experiment1(progress io.Writer) (*analysis.Result, error) {
 // subclass suite — the inherited-only transactions having been skipped by
 // the incremental technique.
 func (s *Setup) Experiment2(progress io.Writer) (*analysis.Result, error) {
-	eng := newListEngine()
-	a := &analysis.Analysis{
-		Engine:      eng,
-		Factory:     sortlist.NewFactoryWithEngine(eng),
-		Suite:       s.Derived.Suite,
-		Progress:    progress,
-		Parallelism: parallelism(),
-		Provision:   provisionSortlist,
-	}
+	a, eng := s.listAnalysis(progress)
 	return a.Run(eng.Enumerate(nil, Experiment2Methods))
 }
 
@@ -143,11 +144,9 @@ func (s *Setup) Experiment2Baseline(progress io.Writer) (*analysis.Result, error
 		Factory:     oblist.NewFactoryWithEngine(eng),
 		Suite:       s.ParentSuite,
 		Progress:    progress,
-		Parallelism: parallelism(),
-		Provision: func() (*mutation.Engine, component.Factory, error) {
-			e := mutation.NewEngine()
-			e.MustRegisterSites(oblist.Sites()...)
-			return e, oblist.NewFactoryWithEngine(e), nil
+		Parallelism: s.Config.parallelism(),
+		NewFactory: func(e *mutation.Engine) component.Factory {
+			return oblist.NewFactoryWithEngine(e)
 		},
 	}
 	return a.Run(eng.Enumerate(nil, Experiment2Methods))
@@ -263,13 +262,8 @@ type OracleAblation struct {
 // oracle configurations.
 func (s *Setup) RunOracleAblation() (OracleAblation, error) {
 	run := func(exec testexec.Options, assertionsOnly bool) (float64, error) {
-		eng := newListEngine()
-		a := &analysis.Analysis{
-			Engine:  eng,
-			Factory: sortlist.NewFactoryWithEngine(eng),
-			Suite:   s.Derived.Suite,
-			Exec:    exec,
-		}
+		a, eng := s.listAnalysis(nil)
+		a.Exec = exec
 		res, err := a.Run(eng.Enumerate(nil, Experiment1Methods))
 		if err != nil {
 			return 0, err
@@ -368,9 +362,13 @@ func RunCriterionAblation(seed int64) ([]CriterionAblation, error) {
 		eng := mutation.NewEngine()
 		eng.MustRegisterSites(oblist.Sites()...)
 		a := &analysis.Analysis{
-			Engine:  eng,
-			Factory: oblist.NewFactoryWithEngine(eng),
-			Suite:   suite,
+			Engine:      eng,
+			Factory:     oblist.NewFactoryWithEngine(eng),
+			Suite:       suite,
+			Parallelism: runtime.GOMAXPROCS(0),
+			NewFactory: func(e *mutation.Engine) component.Factory {
+				return oblist.NewFactoryWithEngine(e)
+			},
 		}
 		res, err := a.Run(eng.Enumerate(nil, Experiment2Methods))
 		if err != nil {

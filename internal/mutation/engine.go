@@ -63,11 +63,12 @@ func (m Mutant) String() string { return m.ID }
 // the operator-dictated value.
 //
 // An Engine is safe for concurrent Use calls; activation is expected to
-// happen between suite runs, not during them.
+// happen between suite runs, not during them. An engine holds at most ONE
+// active mutant — parallel mutation campaigns therefore run one engine per
+// worker (see Clone), never one engine across workers.
 type Engine struct {
 	mu       sync.RWMutex
 	sites    map[SiteID]Site
-	order    []SiteID
 	active   *Mutant
 	infected bool // did the active mutant ever change a value?
 	reached  bool // was the active mutant's site ever executed?
@@ -98,7 +99,6 @@ func (e *Engine) RegisterSite(s Site) error {
 	s.Globals = append([]string(nil), s.Globals...)
 	s.Externals = append([]string(nil), s.Externals...)
 	e.sites[s.ID] = s
-	e.order = append(e.order, s.ID)
 	return nil
 }
 
@@ -112,13 +112,35 @@ func (e *Engine) MustRegisterSites(sites ...Site) {
 	}
 }
 
-// Sites returns the registered sites in registration order.
+// Sites returns the registered sites sorted by ID. The explicit sort makes
+// site — and therefore mutant — ordering a function of the site table's
+// CONTENT alone: two engines carrying the same sites enumerate identical
+// mutant lists no matter what order the sites were registered in (or what
+// order a map iteration would visit them). Stable mutant IDs and positions
+// are what let parallel campaign workers, each holding its own engine,
+// produce index-aligned results that merge into one deterministic table.
 func (e *Engine) Sites() []Site {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := make([]Site, 0, len(e.order))
-	for _, id := range e.order {
-		out = append(out, e.sites[id])
+	out := make([]Site, 0, len(e.sites))
+	for _, s := range e.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clone returns a new engine carrying the same site table and no active
+// mutant. Parallel mutation analysis provisions one clone per worker so
+// mutants activate concurrently with no shared mutable state.
+func (e *Engine) Clone() *Engine {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := &Engine{sites: make(map[SiteID]Site, len(e.sites))}
+	for id, s := range e.sites {
+		// Site slices are never mutated after registration; sharing them
+		// between clones is safe and keeps provisioning cheap.
+		out.sites[id] = s
 	}
 	return out
 }
@@ -287,7 +309,7 @@ func lookup(m map[string]domain.Value, name string) (domain.Value, bool) {
 }
 
 // Enumerate generates the mutant set for the given operators over the
-// engine's site table, in deterministic order (sites in registration order,
+// engine's site table, in deterministic order (sites sorted by ID,
 // operators in Table 1 order, candidates in declaration order). methods, if
 // non-empty, restricts generation to sites inside those methods — the
 // paper's experiments mutate a chosen method subset.

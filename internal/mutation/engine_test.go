@@ -419,3 +419,68 @@ func activate(t *testing.T, e *Engine, op Operator, repl string) {
 	}
 	t.Fatalf("no mutant %s(%s)", op, repl)
 }
+
+// TestSitesAndEnumerateOrderIndependent pins the registration-order
+// contract: Sites() and Enumerate() are sorted by site ID, never by
+// insertion order. Parallel campaigns depend on this — mutant lists built
+// by differently-provisioned engines must agree element for element.
+func TestSitesAndEnumerateOrderIndependent(t *testing.T) {
+	sites := []Site{
+		{ID: "c", Method: "Sort1", Var: "k", Kind: domain.KindInt, Locals: []string{"i"}},
+		{ID: "a", Method: "Sort1", Var: "i", Kind: domain.KindInt, Locals: []string{"j"}},
+		{ID: "b", Method: "FindMax", Var: "m", Kind: domain.KindInt, Globals: []string{"count"}},
+	}
+	forward, reversed := NewEngine(), NewEngine()
+	forward.MustRegisterSites(sites...)
+	for i := len(sites) - 1; i >= 0; i-- {
+		reversed.MustRegisterSites(sites[i])
+	}
+
+	fs, rs := forward.Sites(), reversed.Sites()
+	if len(fs) != len(sites) || len(rs) != len(sites) {
+		t.Fatalf("Sites() lengths = %d, %d, want %d", len(fs), len(rs), len(sites))
+	}
+	for i := range fs {
+		if fs[i].ID != rs[i].ID {
+			t.Fatalf("Sites()[%d]: %q vs %q — order depends on registration", i, fs[i].ID, rs[i].ID)
+		}
+		if i > 0 && !(fs[i-1].ID < fs[i].ID) {
+			t.Fatalf("Sites() not sorted by ID: %q before %q", fs[i-1].ID, fs[i].ID)
+		}
+	}
+
+	fm, rm := forward.Enumerate(nil, nil), reversed.Enumerate(nil, nil)
+	if len(fm) == 0 || len(fm) != len(rm) {
+		t.Fatalf("Enumerate lengths = %d, %d", len(fm), len(rm))
+	}
+	for i := range fm {
+		if fm[i].ID != rm[i].ID {
+			t.Fatalf("Enumerate()[%d]: %q vs %q — order depends on registration", i, fm[i].ID, rm[i].ID)
+		}
+	}
+}
+
+// TestCloneEnumeratesIdentically pins the provisioning contract behind
+// parallel analysis: a clone carries the same site table (same sorted
+// mutant list) and no active mutant.
+func TestCloneEnumeratesIdentically(t *testing.T) {
+	e := NewEngine()
+	e.MustRegisterSites(testSite())
+	orig := e.Enumerate(nil, nil)
+	if err := e.Activate(orig[0]); err != nil {
+		t.Fatal(err)
+	}
+	c := e.Clone()
+	if _, active := c.Active(); active {
+		t.Error("clone inherited the active mutant")
+	}
+	got := c.Enumerate(nil, nil)
+	if len(got) != len(orig) {
+		t.Fatalf("clone enumerates %d mutants, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].ID != orig[i].ID {
+			t.Fatalf("clone mutant %d = %q, want %q", i, got[i].ID, orig[i].ID)
+		}
+	}
+}

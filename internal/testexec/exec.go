@@ -19,6 +19,7 @@ import (
 	"math/rand/v2"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"concat/internal/bit"
@@ -77,6 +78,11 @@ type CaseResult struct {
 	CaseID      string
 	Transaction string
 	Outcome     Outcome
+	// Seed is the per-case RNG seed the executor derived for this case
+	// (see CaseSeed). It depends only on the suite seed and the case ID,
+	// never on execution order, so serial and parallel runs record the
+	// same value.
+	Seed int64
 	// Method is the method being executed when the case failed (the log's
 	// "Method called:" line); empty on pass.
 	Method string
@@ -180,11 +186,34 @@ type Options struct {
 	// case's goroutine is abandoned (Go cannot kill it); use this as a
 	// last-resort guard for components without their own iteration bounds.
 	CaseTimeout time.Duration
+	// Parallelism fans the suite's cases over a bounded worker pool when
+	// greater than 1; zero or one executes serially. Every case derives its
+	// RNG seed from the suite seed and its own ID (CaseSeed), each case
+	// constructs its own component instance, and the merged Report lists
+	// results in suite order — so for any Parallelism the Report is
+	// bit-for-bit identical to the serial run. The factory and oracle must
+	// tolerate concurrent calls (the bundled factories and the Golden
+	// oracle do); factories whose instances share mutable context should
+	// implement component.Forker so every case gets a fresh world.
+	Parallelism int
+}
+
+// CaseSeed derives the RNG seed for one test case from the suite seed and
+// the case ID. Hole completion for a case is a function of this seed alone,
+// which is what keeps reports identical across serial and parallel runs:
+// the seed depends on the case's identity, not on the order or the worker
+// the case happens to run on.
+func CaseSeed(suiteSeed int64, caseID string) int64 {
+	return domain.DeriveSeed(suiteSeed, "case:"+caseID)
 }
 
 // Run executes the suite against the component. Per-case failures are
 // recorded in the report, not returned as errors; Run itself fails only on
 // harness-level misuse (nil suite/factory, component name mismatch).
+//
+// With Options.Parallelism > 1 the cases execute concurrently; the report
+// is identical to the serial run's (see CaseSeed) and the run log is still
+// written in suite order.
 func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 	if s == nil || f == nil {
 		return nil, errors.New("testexec: nil suite or factory")
@@ -197,18 +226,71 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		log = io.Discard
 	}
 	spec := f.Spec()
-	report := &Report{Component: s.Component}
-	for i, tc := range s.Cases {
-		res := runCaseBounded(tc, f, spec, opts, opts.Seed+int64(i))
+	runOne := func(tc driver.TestCase) CaseResult {
+		seed := CaseSeed(opts.Seed, tc.ID)
+		// Components whose instances share mutable context (component.Forker)
+		// get a fresh world per case: without this, a case's transcript
+		// depends on what earlier — or, under parallelism, concurrent — cases
+		// left behind in the shared state.
+		cf, caseOpts := f, opts
+		if fk, ok := f.(component.Forker); ok {
+			cf = fk.Fork()
+			if ps, ok := cf.(interface {
+				Providers() map[string]domain.Provider
+			}); ok && caseOpts.Providers != nil {
+				caseOpts.Providers = ps.Providers()
+			}
+		}
+		res := runCaseBounded(tc, cf, spec, caseOpts, seed)
+		res.Seed = seed
 		if opts.Oracle != nil && res.Outcome == OutcomePass {
 			if err := opts.Oracle.Check(tc.ID, res.Transcript); err != nil {
 				res.Outcome = OutcomeOutputDiff
 				res.Detail = err.Error()
 			}
 		}
-		writeLog(log, res)
-		report.Results = append(report.Results, res)
+		return res
 	}
+
+	report := &Report{Component: s.Component}
+	workers := opts.Parallelism
+	if workers > len(s.Cases) {
+		workers = len(s.Cases)
+	}
+	if workers <= 1 {
+		for _, tc := range s.Cases {
+			res := runOne(tc)
+			writeLog(log, res)
+			report.Results = append(report.Results, res)
+		}
+		return report, nil
+	}
+
+	// Parallel path: workers pull case indices from a channel and store
+	// results into an index-aligned slice, so the merged report (and the
+	// log, written afterwards) are in suite order regardless of which
+	// worker finished which case when.
+	results := make([]CaseResult, len(s.Cases))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = runOne(s.Cases[i])
+			}
+		}()
+	}
+	for i := range s.Cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, res := range results {
+		writeLog(log, res)
+	}
+	report.Results = results
 	return report, nil
 }
 

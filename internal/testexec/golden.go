@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -70,6 +72,40 @@ func (g *Golden) Save(w io.Writer) error {
 		return fmt.Errorf("testexec: encoding golden oracle: %w", err)
 	}
 	return nil
+}
+
+// SaveFile writes the oracle to a file, creating parent directories as
+// needed — the committed golden-file workflow: record a reference run once,
+// check it in, and let later runs (including parallel ones) be compared
+// against it.
+func (g *Golden) SaveFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("testexec: creating golden directory: %w", err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("testexec: creating golden file: %w", err)
+	}
+	if err := g.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("testexec: writing golden file: %w", err)
+	}
+	return nil
+}
+
+// LoadGoldenFile reads an oracle saved with SaveFile.
+func LoadGoldenFile(path string) (*Golden, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("testexec: opening golden file: %w", err)
+	}
+	defer f.Close()
+	return LoadGolden(f)
 }
 
 // LoadGolden reads an oracle saved with Save.

@@ -1,0 +1,46 @@
+package testexec
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGoldenSaveFileRoundTrip(t *testing.T) {
+	g := &Golden{
+		Component: "Widget",
+		Transcripts: map[string]string{
+			"TC0": "NEW Widget()\nCALL Spin() -> [1]\n",
+			"TC1": "NEW Widget()\nDESTROY ~Widget\n",
+		},
+		Outcomes: map[string]string{"TC0": "pass", "TC1": "pass"},
+	}
+	// Nested path exercises the directory-creating behaviour.
+	path := filepath.Join(t.TempDir(), "golden", "Widget.json")
+	if err := g.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	back, err := LoadGoldenFile(path)
+	if err != nil {
+		t.Fatalf("LoadGoldenFile: %v", err)
+	}
+	if back.Component != g.Component {
+		t.Errorf("component = %q, want %q", back.Component, g.Component)
+	}
+	for id, want := range g.Transcripts {
+		if back.Transcripts[id] != want {
+			t.Errorf("transcript %s = %q, want %q", id, back.Transcripts[id], want)
+		}
+	}
+	if err := back.Check("TC0", g.Transcripts["TC0"]); err != nil {
+		t.Errorf("reloaded oracle rejects the reference transcript: %v", err)
+	}
+	if err := back.Check("TC0", "NEW Widget()\nCALL Spin() -> [2]\n"); err == nil {
+		t.Error("reloaded oracle accepted a diverging transcript")
+	}
+}
+
+func TestLoadGoldenFileMissing(t *testing.T) {
+	if _, err := LoadGoldenFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("want error for missing file")
+	}
+}

@@ -1,0 +1,108 @@
+package concat
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"concat/internal/analysis"
+	"concat/internal/experiments"
+)
+
+var updateBenchJSON = flag.Bool("update-bench", false, "rewrite BENCH_PARALLEL.json with this machine's measured campaign timings")
+
+// runExperiment1At runs the Table 2 campaign with the given worker count
+// and returns the result plus the campaign's wall-clock time (setup and
+// suite derivation excluded).
+func runExperiment1At(t *testing.T, parallelism int) (*analysis.Result, time.Duration) {
+	t.Helper()
+	cfg := experiments.Default()
+	cfg.Parallelism = parallelism
+	setup, err := experiments.NewSetup(cfg)
+	if err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	start := time.Now()
+	res, err := setup.Experiment1(nil)
+	if err != nil {
+		t.Fatalf("experiment 1 at parallelism %d: %v", parallelism, err)
+	}
+	return res, time.Since(start)
+}
+
+// TestParallelCampaignIdenticalKillMatrix is the acceptance check for the
+// sharded mutation engine: the parallel campaign must produce the exact
+// kill matrix of the serial campaign — same mutants in the same order,
+// same verdict, same kill reason, same killing case, same reached/infected
+// flags. Wall-clock speedup is measured and recorded (BENCH_PARALLEL.json
+// via -update-bench); the ≥2x assertion only applies on machines with at
+// least 4 CPUs, since a single-core box has no parallel speedup to give.
+func TestParallelCampaignIdenticalKillMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Table 2 campaign twice")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 4 {
+		workers = 4
+	}
+	serial, serialDur := runExperiment1At(t, 1)
+	par, parDur := runExperiment1At(t, workers)
+
+	if len(par.Mutants) != len(serial.Mutants) {
+		t.Fatalf("mutant counts differ: serial %d, parallel %d", len(serial.Mutants), len(par.Mutants))
+	}
+	for i := range serial.Mutants {
+		want, got := serial.Mutants[i], par.Mutants[i]
+		if got.Mutant.ID != want.Mutant.ID {
+			t.Fatalf("mutant %d: ID %q vs %q — enumeration order diverged", i, got.Mutant.ID, want.Mutant.ID)
+		}
+		if got.Killed != want.Killed || got.Reason != want.Reason ||
+			got.KillingCase != want.KillingCase ||
+			got.Reached != want.Reached || got.Infected != want.Infected {
+			t.Errorf("mutant %s verdict diverged:\n serial: killed=%v reason=%v case=%s reached=%v infected=%v\n parallel: killed=%v reason=%v case=%s reached=%v infected=%v",
+				want.Mutant.ID,
+				want.Killed, want.Reason, want.KillingCase, want.Reached, want.Infected,
+				got.Killed, got.Reason, got.KillingCase, got.Reached, got.Infected)
+		}
+	}
+
+	speedup := float64(serialDur) / float64(parDur)
+	t.Logf("campaign: %d mutants; serial %v, parallel(%d) %v, speedup %.2fx on %d CPUs",
+		len(serial.Mutants), serialDur, workers, parDur, speedup, runtime.NumCPU())
+	if runtime.NumCPU() >= 4 && speedup < 2.0 {
+		t.Errorf("parallel campaign speedup %.2fx < 2x on %d CPUs", speedup, runtime.NumCPU())
+	}
+
+	if *updateBenchJSON {
+		killed := 0
+		for _, m := range serial.Mutants {
+			if m.Killed {
+				killed++
+			}
+		}
+		record := map[string]any{
+			"benchmark":   "experiment-1 mutation campaign (Table 2), serial vs parallel",
+			"command":     "go test -run TestParallelCampaignIdenticalKillMatrix -update-bench .",
+			"cpus":        runtime.NumCPU(),
+			"gomaxprocs":  runtime.GOMAXPROCS(0),
+			"workers":     workers,
+			"mutants":     len(serial.Mutants),
+			"killed":      killed,
+			"serial_ms":   serialDur.Milliseconds(),
+			"parallel_ms": parDur.Milliseconds(),
+			"speedup":     speedup,
+			"kill_matrix": "identical (asserted element-wise by this test)",
+			"os_arch":     runtime.GOOS + "/" + runtime.GOARCH,
+		}
+		data, err := json.MarshalIndent(record, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("BENCH_PARALLEL.json", append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
