@@ -12,11 +12,17 @@
 //	concat graph     <spec.tspec> [-highlight n1,n3,n5,n6]
 //	concat paths     <spec.tspec> [-k N] [-criterion all-transactions|all-links|all-nodes]
 //	concat gen       -component NAME | -spec FILE  [-seed N] [-expand] [-alt N] [-k N] [-out FILE]
-//	concat run       -component NAME -suite FILE [-log FILE]
-//	concat selftest  -component NAME [-seed N] [-expand] [-alt N]
+//	concat run       -component NAME -suite FILE [-log FILE] [sandbox flags]
+//	concat selftest  -component NAME [-seed N] [-expand] [-alt N] [sandbox flags]
 //	concat derive    -parent NAME -child NAME [-seed N] [-out FILE]
-//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v]
+//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [sandbox flags]
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
+//
+// The suite-running subcommands (run, selftest, soak, mutate) share the
+// sandbox flags: -isolate executes every case in a crash-contained child
+// process (the hidden `concat run-case` case server), -budget N bounds the
+// cooperative steps a case may take, -max-transcript N caps its transcript,
+// and -timeout D bounds its wall-clock time.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"concat/internal/core"
 	"concat/internal/driver"
@@ -34,6 +41,10 @@ import (
 )
 
 func main() {
+	// When the executor re-executes this binary as a case server (the
+	// ServerEnv sentinel is set), serve the one case and exit before any
+	// argument handling.
+	core.MaybeServeCase()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "concat:", err)
 		os.Exit(1)
@@ -72,6 +83,10 @@ func run(args []string, w io.Writer) error {
 		return cmdMutate(rest, w)
 	case "emit":
 		return cmdEmit(rest, w)
+	case "run-case":
+		// Hidden: the subprocess-isolation case server (see -isolate). Reads
+		// one case request on stdin, writes the result on stdout.
+		return core.ServeOneCase(os.Stdin, w)
 	case "help", "-h", "--help":
 		printUsage(w)
 		return nil
@@ -296,6 +311,35 @@ func (g *genFlags) options() driver.Options {
 	}
 }
 
+// sandboxFlags are the execution-hardening knobs shared by the suite-running
+// subcommands (run, selftest, soak, mutate).
+type sandboxFlags struct {
+	isolate       bool
+	budget        int64
+	maxTranscript int64
+	timeout       time.Duration
+}
+
+func addSandboxFlags(fs *flag.FlagSet) *sandboxFlags {
+	s := &sandboxFlags{}
+	fs.BoolVar(&s.isolate, "isolate", false, "run every case in a crash-contained child process")
+	fs.Int64Var(&s.budget, "budget", 0, "per-case cooperative step budget (0 = unbounded)")
+	fs.Int64Var(&s.maxTranscript, "max-transcript", 0, "per-case transcript cap in bytes (0 = unbounded)")
+	fs.DurationVar(&s.timeout, "timeout", 0, "per-case wall-clock timeout, e.g. 2s (0 = none)")
+	return s
+}
+
+// apply overlays the sandbox flags on a base set of execution options.
+func (s *sandboxFlags) apply(o testexec.Options) testexec.Options {
+	if s.isolate {
+		o.Isolation = testexec.IsolateSubprocess
+	}
+	o.StepBudget = s.budget
+	o.MaxTranscriptBytes = s.maxTranscript
+	o.CaseTimeout = s.timeout
+	return o
+}
+
 func cmdGen(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
@@ -333,6 +377,7 @@ func cmdRun(args []string, w io.Writer) error {
 	component := fs.String("component", "", "built-in component name")
 	suitePath := fs.String("suite", "", "suite JSON file")
 	logPath := fs.String("log", "", "write the Result.txt-style log to this file")
+	sf := addSandboxFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -357,7 +402,7 @@ func cmdRun(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := comp.RunSuite(suite, testexec.Options{LogWriter: logDst})
+	rep, err := comp.RunSuite(suite, sf.apply(testexec.Options{LogWriter: logDst}))
 	if cerr := closeFn(); err == nil {
 		err = cerr
 	}
@@ -375,6 +420,7 @@ func cmdSelfTest(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("selftest", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
 	gf := addGenFlags(fs)
+	sf := addSandboxFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -386,7 +432,7 @@ func cmdSelfTest(args []string, w io.Writer) error {
 		return err
 	}
 	comp := t.New(nil)
-	suite, rep, err := comp.SelfTest(gf.options(), testexec.Options{})
+	suite, rep, err := comp.SelfTest(gf.options(), sf.apply(testexec.Options{}))
 	if err != nil {
 		return err
 	}
@@ -516,6 +562,8 @@ func cmdSoak(args []string, w io.Writer) error {
 	cases := fs.Int("cases", 200, "number of random transactions")
 	maxLen := fs.Int("maxlen", 0, "maximum walk length (0 = 4x node count)")
 	seed := fs.Int64("seed", 42, "generation seed")
+	walkBudget := fs.Int64("walk-budget", 0, "per-case generation step budget (0 = unbounded)")
+	sf := addSandboxFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -528,13 +576,13 @@ func cmdSoak(args []string, w io.Writer) error {
 	}
 	comp := t.New(nil)
 	suite, err := driver.GenerateSoak(comp.Spec(), driver.SoakOptions{
-		Seed: *seed, Cases: *cases, MaxLength: *maxLen,
+		Seed: *seed, Cases: *cases, MaxLength: *maxLen, StepBudget: *walkBudget,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "soak suite: %s\n", suite.Stats())
-	rep, err := comp.RunSuite(suite, testexec.Options{})
+	rep, err := comp.RunSuite(suite, sf.apply(testexec.Options{}))
 	if err != nil {
 		return err
 	}
@@ -601,6 +649,7 @@ func cmdMutate(args []string, w io.Writer) error {
 	methods := fs.String("methods", "", "comma-separated methods to mutate (default: the component's experiment methods)")
 	verbose := fs.Bool("v", false, "print per-mutant verdicts")
 	gf := addGenFlags(fs)
+	sf := addSandboxFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -626,7 +675,8 @@ func cmdMutate(args []string, w io.Writer) error {
 	if *verbose {
 		progress = w
 	}
-	res, err := core.MutationRun(*component, suite, methodList, progress)
+	res, err := core.MutationRunOpts(*component, suite, methodList, progress,
+		core.MutationOptions{Exec: sf.apply(testexec.Options{})})
 	if err != nil {
 		return err
 	}

@@ -14,10 +14,15 @@ import (
 	"io"
 	"os"
 
+	"concat/internal/core"
 	"concat/internal/experiments"
+	"concat/internal/testexec"
 )
 
 func main() {
+	// Serve a single isolated case and exit when spawned as a case server
+	// (the -isolate campaigns re-execute this binary).
+	core.MaybeServeCase()
 	var (
 		table1    = flag.Bool("table1", false, "print Table 1 (the interface mutation operators)")
 		figure2   = flag.Bool("figure2", false, "print Figure 2 (Product TFM as DOT, use case highlighted)")
@@ -30,6 +35,7 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations")
 		seed      = flag.Int64("seed", 42, "generation seed")
 		parallel  = flag.Int("parallel", 0, "mutation-campaign workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+		isolate   = flag.Bool("isolate", false, "run every case in a crash-contained child process; results are identical to in-process runs")
 		verbose   = flag.Bool("v", false, "print per-mutant verdicts")
 	)
 	flag.Parse()
@@ -41,7 +47,7 @@ func main() {
 		all: all, table1: *table1, figure2: *figure2, figure3: *figure3,
 		figure6: *figure6, counts: *counts, table2: *table2, table3: *table3,
 		baseline: *baseline, ablations: *ablations, seed: *seed,
-		parallel: *parallel, verbose: *verbose,
+		parallel: *parallel, isolate: *isolate, verbose: *verbose,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -53,6 +59,7 @@ type selection struct {
 	counts, table2, table3, baseline, ablations bool
 	seed                                        int64
 	parallel                                    int
+	isolate                                     bool
 	verbose                                     bool
 }
 
@@ -62,6 +69,9 @@ func run(w io.Writer, sel selection) error {
 	cfg.ParentOpts.Seed = sel.seed
 	cfg.ChildOpts.Seed = sel.seed
 	cfg.Parallelism = sel.parallel
+	if sel.isolate {
+		cfg.Isolation = testexec.IsolateSubprocess
+	}
 
 	var progress io.Writer
 	if sel.verbose {

@@ -6,6 +6,7 @@
 package analysis
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -16,8 +17,26 @@ import (
 	"concat/internal/component"
 	"concat/internal/driver"
 	"concat/internal/mutation"
+	"concat/internal/sandbox"
 	"concat/internal/testexec"
 )
+
+// IsolationContext is the wire form the analysis ships to a subprocess case
+// server (testexec.Options.IsolationContext) so the child can re-arm the
+// active mutant. A resolver serving mutation campaigns decodes this shape;
+// a nil Mutant (the reference run) means "original program".
+type IsolationContext struct {
+	Mutant *mutation.Mutant `json:"mutant,omitempty"`
+}
+
+// CaseFlags is the per-case Extra payload a mutation-aware case server ships
+// back (testexec.Resolved.Finish): the child engine's reach/infection record.
+// Under isolation the parent's engine never sees the instrumented uses, so
+// the analysis reconstructs Reached/Infected by OR-ing these across cases.
+type CaseFlags struct {
+	Reached  bool `json:"reached"`
+	Infected bool `json:"infected"`
+}
 
 // KillReason classifies how a mutant was killed, matching the paper's three
 // criteria in §4.
@@ -214,7 +233,16 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		eng, factory, err := provision()
+		// Provisioning can hit the same transient host contention as process
+		// spawning (a factory that opens files or forks helpers); retry under
+		// the sandbox policy so a momentary EAGAIN does not abort a campaign.
+		var eng *mutation.Engine
+		var factory component.Factory
+		err := sandbox.Retry(sandbox.DefaultRetryPolicy(), func() error {
+			var perr error
+			eng, factory, perr = provision()
+			return perr
+		})
 		if err != nil {
 			close(jobs)
 			wg.Wait()
@@ -259,11 +287,35 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 
 	opts := a.Exec
 	opts.Oracle = nil // compare via golden.Differs below, on full results
+	if opts.Isolation == testexec.IsolateSubprocess {
+		// The mutant executes inside the case server, not in this process:
+		// ship it through the opaque isolation context so the child's
+		// resolver can re-arm it on its own engine.
+		raw, err := json.Marshal(IsolationContext{Mutant: &m})
+		if err != nil {
+			return MutantResult{}, fmt.Errorf("mutation: encoding mutant %s for isolation: %w", m.ID, err)
+		}
+		opts.IsolationContext = raw
+	}
 	rep, err := testexec.Run(a.Suite, factory, opts)
 	if err != nil {
 		return MutantResult{}, fmt.Errorf("mutation: mutant %s: %w", m.ID, err)
 	}
 	res := MutantResult{Mutant: m, Reached: eng.Reached(), Infected: eng.Infected()}
+	if opts.Isolation == testexec.IsolateSubprocess {
+		// Reach/infection happened in the children; reconstruct the flags
+		// from the per-case Extra payloads. A case that died fatally ships
+		// no flags — reaching a fault that kills the process still counts,
+		// but only via cases that lived to report, so fatal mutants rely on
+		// the crash kill, not the equivalence bookkeeping.
+		for _, caseRes := range rep.Results {
+			var f CaseFlags
+			if len(caseRes.Extra) > 0 && json.Unmarshal(caseRes.Extra, &f) == nil {
+				res.Reached = res.Reached || f.Reached
+				res.Infected = res.Infected || f.Infected
+			}
+		}
+	}
 	for _, caseRes := range rep.Results {
 		refOutcome := golden.Outcomes[caseRes.CaseID]
 		switch {
@@ -272,6 +324,11 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 		case caseRes.Outcome == testexec.OutcomeTimeout && refOutcome != testexec.OutcomeTimeout.String():
 			// A hanging mutant is killed by timeout — the paper's testbed
 			// equivalent of criterion (i), "the program crashed".
+			res.Killed, res.Reason, res.KillingCase = true, KillCrash, caseRes.CaseID
+		case caseRes.Outcome == testexec.OutcomeResourceExhausted && refOutcome != testexec.OutcomeResourceExhausted.String():
+			// A mutant that burns the step budget or floods the transcript
+			// is a runaway caught at a deterministic point — criterion (i)
+			// again, like the timeout, but reproducible bit-for-bit.
 			res.Killed, res.Reason, res.KillingCase = true, KillCrash, caseRes.CaseID
 		case caseRes.Outcome == testexec.OutcomeViolation && refOutcome != testexec.OutcomeViolation.String():
 			res.Killed, res.Reason, res.KillingCase = true, KillAssertion, caseRes.CaseID

@@ -170,12 +170,37 @@ type SelfTestable interface {
 	SetBITMode(Mode)
 }
 
+// Charger is a cooperative resource budget the BIT access-control guard
+// charges one step on per guarded service entry. The test executor installs
+// one per case (see SetBITBudget), which turns every invariant check and
+// reporter dump into a metered step: a component stuck in a loop that keeps
+// exercising its own BIT services runs out of budget at a deterministic
+// point instead of hanging the case. sandbox.Budget is the standard
+// implementation.
+type Charger interface {
+	// Step charges one unit of work; it returns an error once the budget
+	// is exhausted.
+	Step() error
+}
+
+// BudgetSetter is the capability the executor uses to install a per-case
+// budget; Base implements it, so every component that embeds Base is
+// resource-boundable for free.
+type BudgetSetter interface {
+	SetBITBudget(Charger)
+}
+
+// chargerBox wraps a Charger so atomic.Value always stores one concrete
+// type regardless of the Charger implementation behind it.
+type chargerBox struct{ c Charger }
+
 // Base supplies the BIT access-control state. Embed it in a component to
 // inherit BITMode/SetBITMode; the zero value is ModeOff (production-safe by
 // default). Mode reads/writes are atomic so a test harness may flip modes
 // while observers run.
 type Base struct {
-	mode atomic.Int32
+	mode   atomic.Int32
+	budget atomic.Value // *chargerBox
 }
 
 // BITMode implements SelfTestable.
@@ -192,12 +217,26 @@ func (b *Base) SetBITMode(m Mode) {
 	b.mode.Store(int32(m))
 }
 
+// SetBITBudget implements BudgetSetter: subsequent Guard calls charge one
+// step on c. A nil charger leaves the guard unmetered.
+func (b *Base) SetBITBudget(c Charger) {
+	if c != nil {
+		b.budget.Store(&chargerBox{c: c})
+	}
+}
+
 // Guard is the access-control check a component places at the top of each
 // BIT service: it returns ErrBITDisabled unless the component is in test
-// mode.
+// mode. With a budget installed it also charges one step, so BIT service
+// entries are bounded work — the executor's resource-bounding hook.
 func (b *Base) Guard() error {
 	if b.BITMode() != ModeTest {
 		return ErrBITDisabled
+	}
+	if box, _ := b.budget.Load().(*chargerBox); box != nil {
+		if err := box.c.Step(); err != nil {
+			return fmt.Errorf("bit: guarded service stopped: %w", err)
+		}
 	}
 	return nil
 }

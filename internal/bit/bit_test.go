@@ -293,3 +293,52 @@ func TestContractCheckedFailures(t *testing.T) {
 		}
 	})
 }
+
+// stepLimiter is a minimal Charger for the guard-budget tests.
+type stepLimiter struct {
+	left int
+	err  error
+}
+
+func (s *stepLimiter) Step() error {
+	if s.left <= 0 {
+		return s.err
+	}
+	s.left--
+	return nil
+}
+
+func TestGuardChargesBudget(t *testing.T) {
+	var b Base
+	b.SetBITMode(ModeTest)
+	exhausted := errors.New("budget exhausted")
+	b.SetBITBudget(&stepLimiter{left: 2, err: exhausted})
+	for i := 0; i < 2; i++ {
+		if err := b.Guard(); err != nil {
+			t.Fatalf("guard %d within budget: %v", i, err)
+		}
+	}
+	if err := b.Guard(); !errors.Is(err, exhausted) {
+		t.Fatalf("guard beyond budget = %v, want wrapped %v", err, exhausted)
+	}
+}
+
+func TestGuardModeCheckedBeforeBudget(t *testing.T) {
+	var b Base
+	exhausted := errors.New("budget exhausted")
+	b.SetBITBudget(&stepLimiter{left: 0, err: exhausted})
+	if err := b.Guard(); !errors.Is(err, ErrBITDisabled) {
+		t.Fatalf("guard outside test mode = %v, want ErrBITDisabled", err)
+	}
+}
+
+func TestGuardWithoutBudgetUnmetered(t *testing.T) {
+	var b Base
+	b.SetBITMode(ModeTest)
+	b.SetBITBudget(nil) // explicit nil must be a no-op
+	for i := 0; i < 1000; i++ {
+		if err := b.Guard(); err != nil {
+			t.Fatalf("unmetered guard: %v", err)
+		}
+	}
+}

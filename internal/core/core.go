@@ -191,11 +191,30 @@ func Registry() (*component.Registry, error) {
 	return reg, nil
 }
 
+// MutationOptions tune a mutation campaign beyond the defaults.
+type MutationOptions struct {
+	// Exec configures suite execution for the reference run and every mutant
+	// run: isolation mode, step budgets, transcript caps, timeouts. The
+	// Oracle is managed by the analysis; Providers are filled from the
+	// target when unset.
+	Exec testexec.Options
+	// Parallelism overrides the mutant-worker count; zero means GOMAXPROCS.
+	Parallelism int
+}
+
 // MutationRun is the one-call mutation analysis workflow used by the CLI
 // and the experiment harness: build an engine over the target's sites,
 // enumerate mutants of the requested methods (all operators), and analyze
 // the suite.
 func MutationRun(targetName string, suite *driver.Suite, methods []string, progress io.Writer) (*analysis.Result, error) {
+	return MutationRunOpts(targetName, suite, methods, progress, MutationOptions{})
+}
+
+// MutationRunOpts is MutationRun with explicit campaign options — notably
+// testexec.IsolateSubprocess, under which every case (reference and mutant)
+// executes in a `concat run-case` child so genuinely fatal mutants are
+// recorded as crash kills instead of killing the campaign.
+func MutationRunOpts(targetName string, suite *driver.Suite, methods []string, progress io.Writer, o MutationOptions) (*analysis.Result, error) {
 	t, err := LookupTarget(targetName)
 	if err != nil {
 		return nil, err
@@ -217,13 +236,21 @@ func MutationRun(targetName string, suite *driver.Suite, methods []string, progr
 	if len(mutants) == 0 {
 		return nil, errors.New("core: no mutants enumerable for the requested methods")
 	}
+	exec := o.Exec
+	if exec.Providers == nil {
+		exec.Providers = comp.Providers
+	}
+	parallelism := o.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	a := &analysis.Analysis{
 		Engine:      eng,
 		Factory:     comp.Factory,
 		Suite:       suite,
-		Exec:        testexec.Options{Providers: comp.Providers},
+		Exec:        exec,
 		Progress:    progress,
-		Parallelism: runtime.GOMAXPROCS(0),
+		Parallelism: parallelism,
 		NewFactory: func(e *mutation.Engine) component.Factory {
 			return t.New(e).Factory
 		},

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"concat/internal/domain"
+	"concat/internal/sandbox"
 	"concat/internal/tspec"
 )
 
@@ -23,6 +24,13 @@ type SoakOptions struct {
 	// suite is identical at any parallelism — sharding changes wall clock,
 	// never content.
 	Parallelism int
+	// StepBudget, when positive, bounds the generation work of each case:
+	// one step is charged per walk node. The budget is per-case (not shared
+	// across the suite) so exhaustion is a function of the case's own seed
+	// and the result is identical at any parallelism. A case that exhausts
+	// it fails generation with a sandbox exhaustion error — the guard for
+	// degenerate models whose random walks rarely reach a death node.
+	StepBudget int64
 }
 
 // GenerateSoak produces a suite of random transactions: each test case is
@@ -49,6 +57,10 @@ func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
 		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
 	}
 	genCase := func(i int) (TestCase, error) {
+		var budget *sandbox.Budget
+		if opts.StepBudget > 0 {
+			budget = sandbox.NewBudget(opts.StepBudget, 0)
+		}
 		rng := domain.NewRand(domain.DeriveSeed(opts.Seed, "soak:"+strconv.Itoa(i)))
 		tr, err := g.RandomWalk(rng, opts.MaxLength)
 		if err != nil {
@@ -56,6 +68,9 @@ func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
 		}
 		combo := make([]string, len(tr.Path))
 		for j, nodeID := range tr.Path {
+			if err := budget.Step(); err != nil {
+				return TestCase{}, fmt.Errorf("driver: soak case %d: %w", i, err)
+			}
 			n, ok := spec.NodeByID(string(nodeID))
 			if !ok || len(n.Methods) == 0 {
 				return TestCase{}, fmt.Errorf("driver: walk visited unusable node %s", nodeID)

@@ -41,6 +41,11 @@ type Config struct {
 	// GOMAXPROCS; 1 forces the serial campaign. Any value produces the
 	// same tables — parallelism changes wall clock, never results.
 	Parallelism int
+	// Isolation, when set to testexec.IsolateSubprocess, re-executes every
+	// case (reference and mutant) in a crash-contained child process. The
+	// published numbers are identical either way; the mode exists so a
+	// campaign over components with genuinely fatal mutants survives them.
+	Isolation testexec.IsolationMode
 }
 
 // parallelism resolves the configured worker count.
@@ -109,6 +114,7 @@ func (s *Setup) listAnalysis(progress io.Writer) (*analysis.Analysis, *mutation.
 		Engine:      eng,
 		Factory:     sortlistFactory(eng),
 		Suite:       s.Derived.Suite,
+		Exec:        testexec.Options{Isolation: s.Config.Isolation},
 		Progress:    progress,
 		Parallelism: s.Config.parallelism(),
 		NewFactory:  sortlistFactory,
@@ -143,6 +149,7 @@ func (s *Setup) Experiment2Baseline(progress io.Writer) (*analysis.Result, error
 		Engine:      eng,
 		Factory:     oblist.NewFactoryWithEngine(eng),
 		Suite:       s.ParentSuite,
+		Exec:        testexec.Options{Isolation: s.Config.Isolation},
 		Progress:    progress,
 		Parallelism: s.Config.parallelism(),
 		NewFactory: func(e *mutation.Engine) component.Factory {

@@ -1,0 +1,61 @@
+package mutation
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"concat/internal/domain"
+)
+
+// mutantJSON is the wire form of a Mutant: operators travel by their
+// Table 1 name (stable across builds, readable in logs) and the RepReq
+// constant is omitted when unset — domain.Value deliberately refuses to
+// marshal its zero value, and most mutants carry none.
+type mutantJSON struct {
+	ID          string        `json:"id"`
+	Site        SiteID        `json:"site"`
+	Method      string        `json:"method,omitempty"`
+	Operator    string        `json:"operator"`
+	Replacement string        `json:"replacement,omitempty"`
+	Constant    *domain.Value `json:"constant,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler. The encoding is what subprocess
+// isolation ships to a case server to re-arm the mutant in the child.
+func (m Mutant) MarshalJSON() ([]byte, error) {
+	w := mutantJSON{
+		ID:          m.ID,
+		Site:        m.Site,
+		Method:      m.Method,
+		Operator:    m.Operator.String(),
+		Replacement: m.Replacement,
+	}
+	if !m.Constant.IsZero() {
+		c := m.Constant
+		w.Constant = &c
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Mutant) UnmarshalJSON(data []byte) error {
+	var w mutantJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("mutation: decoding mutant: %w", err)
+	}
+	op, err := ParseOperator(w.Operator)
+	if err != nil {
+		return err
+	}
+	*m = Mutant{
+		ID:          w.ID,
+		Site:        w.Site,
+		Method:      w.Method,
+		Operator:    op,
+		Replacement: w.Replacement,
+	}
+	if w.Constant != nil {
+		m.Constant = *w.Constant
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package sandbox
+
+import "sync/atomic"
+
+// Budget is a cooperative resource budget with two dimensions: steps
+// (units of work — method dispatches, BIT guard entries, walk nodes) and
+// bytes (allocation — transcript output, reporter dumps). A dimension with
+// a non-positive limit is unlimited. All methods are safe for concurrent
+// use and safe on a nil receiver (a nil *Budget never exhausts), so callers
+// can thread an optional budget without nil checks at every charge point.
+//
+// Exhaustion is deterministic: the Nth charge against a limit of N-1 fails
+// no matter how the work is scheduled, which is what keeps resource-bounded
+// reports bit-for-bit identical between serial and parallel runs.
+type Budget struct {
+	steps     atomic.Int64
+	bytes     atomic.Int64
+	stepLimit int64
+	byteLimit int64
+}
+
+// NewBudget returns a budget with the given limits; a non-positive limit
+// leaves that dimension unbounded.
+func NewBudget(steps, bytes int64) *Budget {
+	return &Budget{stepLimit: steps, byteLimit: bytes}
+}
+
+// Step charges one unit of work. It returns an ExhaustedError once the
+// step limit is exceeded.
+func (b *Budget) Step() error {
+	if b == nil || b.stepLimit <= 0 {
+		return nil
+	}
+	if b.steps.Add(1) > b.stepLimit {
+		return &ExhaustedError{Resource: "step", Limit: b.stepLimit}
+	}
+	return nil
+}
+
+// Charge charges n bytes of allocation. It returns an ExhaustedError once
+// the byte limit is exceeded.
+func (b *Budget) Charge(n int64) error {
+	if b == nil || b.byteLimit <= 0 {
+		return nil
+	}
+	if b.bytes.Add(n) > b.byteLimit {
+		return &ExhaustedError{Resource: "alloc", Limit: b.byteLimit}
+	}
+	return nil
+}
+
+// StepsUsed returns the units of work charged so far.
+func (b *Budget) StepsUsed() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.steps.Load()
+}
+
+// BytesUsed returns the bytes charged so far.
+func (b *Budget) BytesUsed() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.bytes.Load()
+}

@@ -1,0 +1,168 @@
+// HostileMut: a mutation-instrumented component whose mutants include
+// genuinely fatal ones. The mutation engine substitutes the step delta at
+// the instrumented site; specific substituted values trigger os.Exit or
+// unbounded recursion — faults that kill the hosting process and therefore
+// can only be observed as kills under subprocess isolation. This is the
+// end-to-end proof for the sandbox: a mutation campaign over HostileMut
+// completes, classifies the fatal mutants as crash kills, and produces the
+// same report serially and in parallel.
+package hostile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"concat/internal/bit"
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/mutation"
+	"concat/internal/tspec"
+)
+
+// MutName is the instrumented component's class name.
+const MutName = "HostileMut"
+
+// The live values the mutation operators can substitute for the step delta.
+// "soft" is an equivalent mutant (same value as the original delta);
+// "hard" routes execution into os.Exit; "boom" into unbounded recursion.
+const (
+	deltaOriginal = 1
+	deltaSoft     = 1 // equivalent: L(R2) candidate with the original's value
+	deltaExit     = 2 // G(R2) candidate: fatal os.Exit path
+	deltaRecurse  = 3 // E(R2) candidate: fatal stack-exhaustion path
+)
+
+// StepSite is the single instrumented use point in Step.
+const StepSite mutation.SiteID = "Step/delta.use1"
+
+// MutSites returns the HostileMut site table.
+func MutSites() []mutation.Site {
+	return []mutation.Site{{
+		ID: StepSite, Method: "Step", Var: "delta",
+		Kind:      domain.KindInt,
+		Locals:    []string{"soft"},
+		Globals:   []string{"hard"},
+		Externals: []string{"boom"},
+	}}
+}
+
+// mutInstance counts steps; the invariant is counter >= 0, so a RepReq
+// mutant substituting a negative constant is killed by assertion violation,
+// while the "hard"/"boom" candidates are killed by process death.
+type mutInstance struct {
+	bit.Base
+	eng       *mutation.Engine
+	counter   int64
+	destroyed bool
+}
+
+var _ component.Instance = (*mutInstance)(nil)
+
+func (m *mutInstance) InvariantTest() error {
+	if err := m.Guard(); err != nil {
+		return err
+	}
+	return bit.ClassInvariant(m.counter >= 0, "InvariantTest", "counter >= 0")
+}
+
+func (m *mutInstance) Reporter(w io.Writer) error {
+	if err := m.Guard(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "HostileMut{counter: %d}\n", m.counter)
+	return err
+}
+
+func (m *mutInstance) Invoke(method string, args []domain.Value) ([]domain.Value, error) {
+	if m.destroyed {
+		return nil, fmt.Errorf("%w: HostileMut", component.ErrDestroyed)
+	}
+	if method != "Step" {
+		return nil, fmt.Errorf("%w: %q", component.ErrUnknownMethod, method)
+	}
+	delta := int64(deltaOriginal)
+	if m.eng != nil && m.eng.Armed() {
+		delta = m.eng.UseInt(StepSite, delta, mutation.Env{
+			Locals:    map[string]domain.Value{"soft": domain.Int(deltaSoft)},
+			Globals:   map[string]domain.Value{"hard": domain.Int(deltaExit)},
+			Externals: map[string]domain.Value{"boom": domain.Int(deltaRecurse)},
+		})
+	}
+	switch delta {
+	case deltaExit:
+		os.Exit(66)
+	case deltaRecurse:
+		return []domain.Value{domain.Int(recurse(0))}, nil
+	}
+	m.counter += delta
+	return []domain.Value{domain.Int(m.counter)}, nil
+}
+
+func (m *mutInstance) Destroy() error {
+	m.destroyed = true
+	return nil
+}
+
+// MutFactory builds HostileMut instances routed through one engine.
+type MutFactory struct {
+	eng *mutation.Engine
+}
+
+var _ component.Factory = (*MutFactory)(nil)
+
+// NewMutFactory returns a factory whose instances use eng; nil disables the
+// instrumentation (original-program behaviour).
+func NewMutFactory(eng *mutation.Engine) *MutFactory { return &MutFactory{eng: eng} }
+
+// Name implements component.Factory.
+func (f *MutFactory) Name() string { return MutName }
+
+// Spec implements component.Factory.
+func (f *MutFactory) Spec() *tspec.Spec { return mutSpecOnce() }
+
+// New implements component.Factory.
+func (f *MutFactory) New(ctor string, args []domain.Value) (component.Instance, error) {
+	if ctor != "HostileMut" {
+		return nil, fmt.Errorf("hostile: unknown constructor %q", ctor)
+	}
+	return &mutInstance{eng: f.eng}, nil
+}
+
+var mutSpecOnce = sync.OnceValue(func() *tspec.Spec {
+	return tspec.NewBuilder(MutName).
+		Attribute("counter", tspec.RangeInt(0, 1<<20)).
+		Method("m1", "HostileMut", "", tspec.CatConstructor).
+		Uses("counter").
+		Method("m2", "Step", "int", tspec.CatUpdate).
+		Uses("counter").
+		Method("m3", "~HostileMut", "", tspec.CatDestructor).
+		Node("n1", true, "m1").
+		Node("n2", false, "m2").
+		Node("n3", false, "m3").
+		Edge("n1", "n2").
+		Edge("n2", "n2").
+		Edge("n2", "n3").
+		MustBuild()
+})
+
+// MutSuite returns a fixed HostileMut suite: construct, step n times,
+// destroy.
+func MutSuite(steps int) *driver.Suite {
+	calls := []driver.Call{{MethodID: "m1", Method: "HostileMut"}}
+	for i := 0; i < steps; i++ {
+		calls = append(calls, driver.Call{MethodID: "m2", Method: "Step"})
+	}
+	calls = append(calls, driver.Call{MethodID: "m3", Method: "~HostileMut"})
+	return &driver.Suite{
+		Component: MutName,
+		Cases: []driver.TestCase{{
+			ID:          "M0",
+			Transaction: "n1>n2>n3",
+			Path:        []string{"n1", "n2", "n3"},
+			Calls:       calls,
+		}},
+	}
+}

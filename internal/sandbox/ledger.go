@@ -1,0 +1,61 @@
+package sandbox
+
+import "sync/atomic"
+
+// Ledger is the goroutine-leak ledger. The executor cannot kill a case
+// goroutine that exceeds its timeout — Go offers no preemptive kill — so it
+// abandons the goroutine and records the abandonment here. If the abandoned
+// goroutine later runs to completion it settles its entry, so Outstanding
+// is a live gauge of goroutines still running beyond their deadline.
+//
+// Abandon counts are monotonic and deterministic (one per timed-out case);
+// Outstanding is inherently racy — it reflects whatever the leaked
+// goroutines happen to be doing — and is for diagnostics, never for
+// report content.
+type Ledger struct {
+	abandoned atomic.Int64
+	settled   atomic.Int64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Abandon records one goroutine left running past its deadline. Safe on a
+// nil receiver (no-op).
+func (l *Ledger) Abandon() {
+	if l != nil {
+		l.abandoned.Add(1)
+	}
+}
+
+// Settle records that a previously abandoned goroutine ran to completion.
+// Safe on a nil receiver (no-op).
+func (l *Ledger) Settle() {
+	if l != nil {
+		l.settled.Add(1)
+	}
+}
+
+// Abandoned returns the total number of abandonments recorded.
+func (l *Ledger) Abandoned() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.abandoned.Load()
+}
+
+// Settled returns how many abandoned goroutines have since completed.
+func (l *Ledger) Settled() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.settled.Load()
+}
+
+// Outstanding returns the number of abandoned goroutines still running.
+func (l *Ledger) Outstanding() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.abandoned.Load() - l.settled.Load()
+}

@@ -1,0 +1,84 @@
+package sandbox
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop: up to Attempts tries with exponential
+// backoff starting at BaseDelay and capped at MaxDelay. The backoff is
+// deliberately jitter-free — retries must not introduce nondeterminism
+// into otherwise reproducible campaign reports, and the callers retry
+// host-level contention (fork storms), not distributed-systems thundering
+// herds.
+type RetryPolicy struct {
+	Attempts  int
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// DefaultRetryPolicy is the executor's policy for transient spawn errors:
+// three attempts, 20ms/40ms between them.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Attempts: 3, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond}
+}
+
+// Retry runs fn up to p.Attempts times, sleeping the policy's backoff
+// between attempts, but only while Transient classifies the error as
+// retryable: a deterministic failure is returned immediately so the final
+// classification of a case never depends on how many retries ran. The
+// returned error is the last attempt's, annotated with the attempt count
+// when more than one attempt ran.
+func Retry(p RetryPolicy, fn func() error) error {
+	if p.Attempts <= 0 {
+		p.Attempts = 1
+	}
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts || !Transient(err) {
+			if attempt > 1 {
+				return fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return err
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if p.MaxDelay > 0 && delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+	}
+}
+
+// Transient classifies harness-level errors worth retrying: resource
+// contention around process spawning (EAGAIN from fork, ETXTBSY from a
+// concurrently written binary, transient memory pressure). Everything else
+// — including every failure of the code under test — is deterministic and
+// must not be retried.
+func Transient(err error) bool {
+	if err == nil {
+		return false
+	}
+	for _, errno := range []syscall.Errno{syscall.EAGAIN, syscall.ETXTBSY, syscall.ENOMEM, syscall.EINTR} {
+		if errors.Is(err, errno) {
+			return true
+		}
+	}
+	// Fallback for wrapped exec errors that lost their errno identity.
+	msg := err.Error()
+	for _, s := range []string{"resource temporarily unavailable", "text file busy", "cannot allocate memory"} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+package sandbox
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// ProcessSpec describes one resource-bounded subprocess run.
+type ProcessSpec struct {
+	// Argv is the command line; Argv[0] is the executable.
+	Argv []string
+	// Stdin is fed to the process on standard input.
+	Stdin []byte
+	// Env entries are appended to the parent environment.
+	Env []string
+	// Timeout, when positive, kills the process after the deadline.
+	Timeout time.Duration
+	// MaxOutputBytes caps each captured stream; excess output is dropped
+	// (the head is kept). Zero applies an 8MB default — the cap exists so a
+	// flooding child cannot exhaust the harness's memory.
+	MaxOutputBytes int64
+}
+
+// ProcessResult is the classified outcome of a subprocess run. A non-nil
+// result means the process was spawned; whether it exited cleanly is the
+// caller's classification problem, driven by ExitCode/TimedOut/FatalSummary.
+type ProcessResult struct {
+	Stdout, Stderr []byte
+	// ExitCode is the process exit status; -1 when killed by a signal.
+	ExitCode int
+	// TimedOut reports that the harness killed the process at the deadline.
+	TimedOut bool
+	// FatalSummary is a deterministic one-line classification of an
+	// abnormal exit: the runtime's "fatal error:"/"panic:" line when the
+	// stderr carries one, otherwise the exit status. Empty on exit 0.
+	FatalSummary string
+}
+
+const defaultMaxOutputBytes = 8 << 20
+
+// RunProcess spawns the command and waits for it. The returned error is
+// non-nil only for spawn failures (the process never ran) — those are the
+// retryable harness-level errors; once the process runs, its death is data,
+// classified into the result.
+func RunProcess(spec ProcessSpec) (*ProcessResult, error) {
+	if len(spec.Argv) == 0 {
+		return nil, fmt.Errorf("sandbox: empty argv")
+	}
+	maxOut := spec.MaxOutputBytes
+	if maxOut <= 0 {
+		maxOut = defaultMaxOutputBytes
+	}
+	cmd := exec.Command(spec.Argv[0], spec.Argv[1:]...)
+	cmd.Stdin = bytes.NewReader(spec.Stdin)
+	stdout := &headBuffer{max: maxOut}
+	stderr := &headBuffer{max: maxOut}
+	cmd.Stdout = stdout
+	cmd.Stderr = stderr
+	cmd.Env = append(os.Environ(), spec.Env...)
+	// The child runs in its own process group so a deadline kill reaches
+	// its descendants too, and WaitDelay stops an orphaned descendant that
+	// inherited the output pipes from wedging Wait forever.
+	cmd.SysProcAttr = &syscall.SysProcAttr{Setpgid: true}
+	cmd.WaitDelay = 2 * time.Second
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("sandbox: spawning %s: %w", spec.Argv[0], err)
+	}
+
+	var timedOut atomic.Bool
+	var timer *time.Timer
+	if spec.Timeout > 0 {
+		timer = time.AfterFunc(spec.Timeout, func() {
+			timedOut.Store(true)
+			if err := syscall.Kill(-cmd.Process.Pid, syscall.SIGKILL); err != nil {
+				_ = cmd.Process.Kill()
+			}
+		})
+	}
+	waitErr := cmd.Wait()
+	if timer != nil {
+		// If the timer fired it raced the exit; waitErr and the timedOut
+		// flag together decide whether the kill landed.
+		timer.Stop()
+	}
+
+	res := &ProcessResult{
+		Stdout:   stdout.Bytes(),
+		Stderr:   stderr.Bytes(),
+		ExitCode: cmd.ProcessState.ExitCode(),
+		TimedOut: timedOut.Load() && waitErr != nil,
+	}
+	if waitErr != nil || res.ExitCode != 0 {
+		res.FatalSummary = summarizeFatal(cmd.ProcessState.String(), res.Stderr)
+	}
+	return res, nil
+}
+
+// summarizeFatal builds the deterministic one-line classification of an
+// abnormal exit. The Go runtime prints "fatal error: stack overflow" (or
+// "panic: ..." for an unrecovered panic) before dying, and those lines are
+// stable across runs — unlike the goroutine dump that follows them, which
+// is full of addresses and must never reach a reproducible report.
+func summarizeFatal(exitDesc string, stderr []byte) string {
+	var runtimeLine string
+	for _, line := range strings.Split(string(stderr), "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(line, "fatal error:"), strings.HasPrefix(line, "panic:"):
+			return fmt.Sprintf("%s (%s)", line, exitDesc)
+		case runtimeLine == "" && strings.HasPrefix(line, "runtime:"):
+			runtimeLine = line
+		}
+	}
+	if runtimeLine != "" {
+		return fmt.Sprintf("%s (%s)", runtimeLine, exitDesc)
+	}
+	return exitDesc
+}
+
+// headBuffer keeps the first max bytes written and drops the rest — the
+// interesting part of a crashing child's output is its head (the fatal
+// error line), and an unbounded child must not grow an unbounded buffer in
+// the harness.
+type headBuffer struct {
+	buf bytes.Buffer
+	max int64
+}
+
+func (h *headBuffer) Write(p []byte) (int, error) {
+	room := h.max - int64(h.buf.Len())
+	if room > 0 {
+		if int64(len(p)) < room {
+			room = int64(len(p))
+		}
+		h.buf.Write(p[:room])
+	}
+	// Report full consumption so the child never blocks on a pipe the
+	// harness has stopped reading.
+	return len(p), nil
+}
+
+func (h *headBuffer) Bytes() []byte { return h.buf.Bytes() }

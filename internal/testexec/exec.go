@@ -13,6 +13,7 @@
 package testexec
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -20,12 +21,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concat/internal/bit"
 	"concat/internal/component"
 	"concat/internal/domain"
 	"concat/internal/driver"
+	"concat/internal/sandbox"
 	"concat/internal/tspec"
 )
 
@@ -51,6 +54,13 @@ const (
 	// analysis a timeout is a kill — the paper's testbed would hang on a
 	// runaway mutant and be killed externally.
 	OutcomeTimeout
+	// OutcomeResourceExhausted: the case ran out of a sandbox budget — the
+	// cooperative step budget (Options.StepBudget) or the transcript
+	// allocation cap (Options.MaxTranscriptBytes). Like a timeout it is a
+	// kill in mutation analysis: a mutant that burns unbounded resources
+	// is a crash in the paper's criterion (i) sense, caught at a
+	// deterministic point instead of by an external kill.
+	OutcomeResourceExhausted
 )
 
 // String names the outcome.
@@ -68,6 +78,8 @@ func (o Outcome) String() string {
 		return "output-diff"
 	case OutcomeTimeout:
 		return "timeout"
+	case OutcomeResourceExhausted:
+		return "resource-exhausted"
 	default:
 		return fmt.Sprintf("outcome(%d)", int(o))
 	}
@@ -94,12 +106,23 @@ type CaseResult struct {
 	// errors plus the final reporter dump. It is what the golden oracle
 	// compares.
 	Transcript string
+	// Extra is opaque per-case data a subprocess case server's resolver
+	// shipped back (see Resolved.Finish) — e.g. mutation reach/infection
+	// flags. Empty for in-process execution.
+	Extra json.RawMessage
 }
 
 // Report aggregates a suite run.
 type Report struct {
 	Component string
 	Results   []CaseResult
+	// AbandonedGoroutines counts the cases whose in-process execution
+	// exceeded CaseTimeout: their goroutines cannot be killed and were
+	// abandoned (and recorded in the leak ledger). Deterministic — one per
+	// in-process timeout — so serial and parallel runs agree. Subprocess
+	// isolation never abandons goroutines in the harness (the leak dies
+	// with the child), so the count stays zero there.
+	AbandonedGoroutines int
 }
 
 // Counts returns the number of cases per outcome.
@@ -196,6 +219,44 @@ type Options struct {
 	// oracle do); factories whose instances share mutable context should
 	// implement component.Forker so every case gets a fresh world.
 	Parallelism int
+	// StepBudget, when positive, bounds the cooperative work one case may
+	// do: the executor charges a step per dispatched call and the BIT
+	// guard charges one per guarded service entry (invariant check,
+	// reporter dump). A case that exhausts the budget is recorded as
+	// OutcomeResourceExhausted at a deterministic point.
+	StepBudget int64
+	// MaxTranscriptBytes, when positive, caps a case's transcript. A case
+	// that exceeds it is recorded as OutcomeResourceExhausted and its
+	// transcript carries a truncation marker.
+	MaxTranscriptBytes int64
+	// LeakLedger receives the abandonment record of every timed-out case's
+	// goroutine. Nil uses a private per-run ledger; pass a shared
+	// sandbox.Ledger to watch Outstanding() across runs (a live gauge of
+	// goroutines still spinning past their deadline). Either way the
+	// per-run abandonment count lands in Report.AbandonedGoroutines.
+	LeakLedger *sandbox.Ledger
+	// Isolation selects the crash-containment mode. IsolateSubprocess
+	// re-executes every case in a child case server so fatal mutant
+	// failures (stack exhaustion, os.Exit, OOM kill) become recorded
+	// OutcomePanic results instead of harness deaths.
+	Isolation IsolationMode
+	// IsolationCommand is the argv of the case server to spawn under
+	// IsolateSubprocess. Empty defaults to re-executing this binary with a
+	// `run-case` argument (the concat CLI's hidden subcommand); test
+	// binaries typically pass their own os.Executable() plus a ServerEnv
+	// check in TestMain.
+	IsolationCommand []string
+	// IsolationEnv is appended to the case server's environment (ServerEnv
+	// is always set).
+	IsolationEnv []string
+	// IsolationContext is forwarded opaquely to the case server's Resolver
+	// — mutation analysis ships the active mutant through it.
+	IsolationContext json.RawMessage
+	// SpawnRetry overrides the retry policy for transient case-server
+	// spawn failures (fork contention); the zero value uses
+	// sandbox.DefaultRetryPolicy. Retries never change a case's
+	// classification — only deterministic errors reach the report.
+	SpawnRetry sandbox.RetryPolicy
 }
 
 // CaseSeed derives the RNG seed for one test case from the suite seed and
@@ -225,23 +286,44 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 	if log == nil {
 		log = io.Discard
 	}
+	ledger := opts.LeakLedger
+	if ledger == nil {
+		ledger = sandbox.NewLedger()
+	}
+	abandonedAtStart := ledger.Abandoned()
 	spec := f.Spec()
-	runOne := func(tc driver.TestCase) CaseResult {
+	runOne := func(tc driver.TestCase) (res CaseResult) {
 		seed := CaseSeed(opts.Seed, tc.ID)
-		// Components whose instances share mutable context (component.Forker)
-		// get a fresh world per case: without this, a case's transcript
-		// depends on what earlier — or, under parallelism, concurrent — cases
-		// left behind in the shared state.
-		cf, caseOpts := f, opts
-		if fk, ok := f.(component.Forker); ok {
-			cf = fk.Fork()
-			if ps, ok := cf.(interface {
-				Providers() map[string]domain.Provider
-			}); ok && caseOpts.Providers != nil {
-				caseOpts.Providers = ps.Providers()
+		// Harness hooks run outside runCase's recovery: a panicking
+		// Forker.Fork, provider map, or Oracle.Check must become a recorded
+		// per-case outcome, never a harness crash.
+		defer func() {
+			if p := recover(); p != nil {
+				res.CaseID, res.Transaction, res.Seed = tc.ID, tc.Transaction, seed
+				res.Outcome = OutcomePanic
+				res.Detail = fmt.Sprintf("panic in harness hook: %v", p)
 			}
+		}()
+		if opts.Isolation == IsolateSubprocess {
+			// The child process is the case's fresh world; forking and
+			// provider resolution happen behind the case server's resolver.
+			res = runCaseIsolated(s.Component, tc, opts, seed)
+		} else {
+			// Components whose instances share mutable context
+			// (component.Forker) get a fresh world per case: without this, a
+			// case's transcript depends on what earlier — or, under
+			// parallelism, concurrent — cases left behind in the shared state.
+			cf, caseOpts := f, opts
+			if fk, ok := f.(component.Forker); ok {
+				cf = fk.Fork()
+				if ps, ok := cf.(interface {
+					Providers() map[string]domain.Provider
+				}); ok && caseOpts.Providers != nil {
+					caseOpts.Providers = ps.Providers()
+				}
+			}
+			res = runCaseBounded(tc, cf, spec, caseOpts, seed, ledger)
 		}
-		res := runCaseBounded(tc, cf, spec, caseOpts, seed)
 		res.Seed = seed
 		if opts.Oracle != nil && res.Outcome == OutcomePass {
 			if err := opts.Oracle.Check(tc.ID, res.Transcript); err != nil {
@@ -263,6 +345,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 			writeLog(log, res)
 			report.Results = append(report.Results, res)
 		}
+		report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
 		return report, nil
 	}
 
@@ -291,17 +374,38 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		writeLog(log, res)
 	}
 	report.Results = results
+	report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
 	return report, nil
 }
 
-// runCaseBounded applies Options.CaseTimeout around runCase.
-func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64) CaseResult {
+// Case-goroutine states for the timeout watchdog's handover.
+const (
+	caseRunning int32 = iota
+	caseFinished
+	caseAbandoned
+)
+
+// runCaseBounded applies Options.CaseTimeout around runCase. A timed-out
+// case's goroutine cannot be killed; it is abandoned into the leak ledger
+// (and settles its entry if it ever completes), while the timeout result
+// keeps the case's seed and the partial transcript written so far — a
+// timeout kill is as diagnosable as a panic.
+func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, ledger *sandbox.Ledger) CaseResult {
+	tb := newTranscript(opts.MaxTranscriptBytes)
 	if opts.CaseTimeout <= 0 {
-		return runCase(tc, f, spec, opts, seed)
+		return runCase(tc, f, spec, opts, seed, tb)
 	}
 	done := make(chan CaseResult, 1)
+	var state atomic.Int32
 	go func() {
-		done <- runCase(tc, f, spec, opts, seed)
+		res := runCase(tc, f, spec, opts, seed, tb)
+		if state.CompareAndSwap(caseRunning, caseFinished) {
+			done <- res
+			return
+		}
+		// The watchdog already abandoned this goroutine; settle the ledger
+		// so Outstanding() tracks only goroutines still running.
+		ledger.Settle()
 	}()
 	timer := time.NewTimer(opts.CaseTimeout)
 	defer timer.Stop()
@@ -309,11 +413,19 @@ func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, o
 	case res := <-done:
 		return res
 	case <-timer.C:
+		if !state.CompareAndSwap(caseRunning, caseAbandoned) {
+			// The case finished in the instant the timer fired; its result
+			// is already in the channel.
+			return <-done
+		}
+		ledger.Abandon()
 		return CaseResult{
 			CaseID:      tc.ID,
 			Transaction: tc.Transaction,
 			Outcome:     OutcomeTimeout,
-			Detail:      fmt.Sprintf("case exceeded %v", opts.CaseTimeout),
+			Seed:        seed,
+			Detail:      fmt.Sprintf("case exceeded %v; goroutine abandoned (leak ledger)", opts.CaseTimeout),
+			Transcript:  tb.Snapshot(fmt.Sprintf("[case timed out after %v: partial transcript]", opts.CaseTimeout)),
 		}
 	}
 }
@@ -321,13 +433,14 @@ func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, o
 // runCase executes one test case: construct, invariant-wrapped calls,
 // reporter, destroy. Panics anywhere inside are recovered into
 // OutcomePanic — the paper's "the program crashed while running the test
-// cases" kill criterion.
-func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64) (res CaseResult) {
+// cases" kill criterion. The transcript accumulates in tb so the timeout
+// watchdog can snapshot a partial transcript, and so the cap
+// (Options.MaxTranscriptBytes) cuts flooding cases off deterministically.
+func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, tb *transcript) (res CaseResult) {
 	res = CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Outcome: OutcomePass}
-	var transcript strings.Builder
 	currentMethod := ""
 	defer func() {
-		res.Transcript = transcript.String()
+		res.Transcript = tb.String()
 		if p := recover(); p != nil {
 			res.Outcome = OutcomePanic
 			res.Method = currentMethod
@@ -341,6 +454,20 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 		return res
 	}
 	rng := domain.NewRand(seed)
+
+	// The cooperative step budget: the executor charges one step per
+	// dispatched call, and — via bit.BudgetSetter — the component's own BIT
+	// guard charges one per guarded service entry.
+	var budget *sandbox.Budget
+	if opts.StepBudget > 0 {
+		budget = sandbox.NewBudget(opts.StepBudget, 0)
+	}
+	exhausted := func(where string, err error) CaseResult {
+		res.Outcome = OutcomeResourceExhausted
+		res.Method = where
+		res.Detail = err.Error()
+		return res
+	}
 
 	// Complete holes in every call up front.
 	calls := make([]driver.Call, len(tc.Calls))
@@ -369,6 +496,9 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	// Birth: the first call is the constructor.
 	ctor := calls[0]
 	currentMethod = ctor.Method
+	if err := budget.Step(); err != nil {
+		return exhausted(ctor.Method, err)
+	}
 	cut, err := f.New(ctor.Method, ctor.Args)
 	if err != nil {
 		res.Outcome = OutcomeError
@@ -383,9 +513,20 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 		}
 	}()
 	cut.SetBITMode(bit.ModeTest)
-	fmt.Fprintf(&transcript, "NEW %s(%s)\n", ctor.Method, argList(ctor.Args))
+	if budget != nil {
+		if bs, ok := cut.(bit.BudgetSetter); ok {
+			bs.SetBITBudget(budget)
+		}
+	}
+	fmt.Fprintf(tb, "NEW %s(%s)\n", ctor.Method, argList(ctor.Args))
+	if tb.Truncated() {
+		return exhausted(ctor.Method, errors.New(tb.limitDetail()))
+	}
 
-	checkInvariant := func(when string) *bit.Violation {
+	// checkInvariant classifies an invariant-check failure: nil (holds),
+	// a *bit.Violation (the partial oracle's verdict), or a sandbox
+	// exhaustion error bubbled up through the BIT guard's budget.
+	checkInvariant := func(when string) error {
 		if opts.SkipInvariantChecks {
 			return nil
 		}
@@ -393,26 +534,40 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 			if v, ok := bit.AsViolation(err); ok {
 				return v
 			}
+			if sandbox.IsExhausted(err) {
+				return err
+			}
 			// Guard errors and the like are harness problems, surfaced as a
 			// synthetic violation detail so they are visible in logs.
 			return &bit.Violation{Kind: bit.KindInvariant, Method: when, Detail: err.Error()}
 		}
 		return nil
 	}
-
-	if v := checkInvariant(ctor.Method); v != nil {
+	// classify turns a checkInvariant error into the case's final result.
+	classify := func(when string, err error) CaseResult {
+		if sandbox.IsExhausted(err) {
+			return exhausted(when, err)
+		}
+		v, _ := bit.AsViolation(err)
 		res.Outcome = OutcomeViolation
-		res.Method = currentMethod
+		res.Method = when
 		res.ViolationKind = v.Kind
 		res.Detail = v.Error()
 		return res
 	}
 
+	if err := checkInvariant(ctor.Method); err != nil {
+		return classify(currentMethod, err)
+	}
+
 	// Processing and death: remaining calls, invariant around each.
 	for _, call := range calls[1:] {
 		currentMethod = call.Method
+		if err := budget.Step(); err != nil {
+			return exhausted(call.Method, err)
+		}
 		if isDestructor(spec, call) {
-			fmt.Fprintf(&transcript, "DESTROY %s\n", call.Method)
+			fmt.Fprintf(tb, "DESTROY %s\n", call.Method)
 			if err := cut.Destroy(); err != nil {
 				if v, ok := bit.AsViolation(err); ok {
 					res.Outcome = OutcomeViolation
@@ -438,30 +593,45 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 				res.Detail = v.Error()
 				return res
 			}
+			if sandbox.IsExhausted(err) {
+				return exhausted(call.Method, err)
+			}
 			// A non-contract error is observable behaviour: record it in
 			// the transcript and continue the transaction, so the golden
 			// oracle can compare error behaviour between runs.
-			fmt.Fprintf(&transcript, "CALL %s(%s) -> error: %v\n", call.Method, argList(call.Args), err)
+			fmt.Fprintf(tb, "CALL %s(%s) -> error: %v\n", call.Method, argList(call.Args), err)
+			if tb.Truncated() {
+				return exhausted(call.Method, errors.New(tb.limitDetail()))
+			}
 			continue
 		}
-		fmt.Fprintf(&transcript, "CALL %s(%s) -> [%s]\n", call.Method, argList(call.Args), argList(results))
-		if v := checkInvariant(call.Method); v != nil {
-			res.Outcome = OutcomeViolation
-			res.Method = call.Method
-			res.ViolationKind = v.Kind
-			res.Detail = v.Error()
-			return res
+		fmt.Fprintf(tb, "CALL %s(%s) -> [%s]\n", call.Method, argList(call.Args), argList(results))
+		if tb.Truncated() {
+			return exhausted(call.Method, errors.New(tb.limitDetail()))
+		}
+		if err := checkInvariant(call.Method); err != nil {
+			return classify(call.Method, err)
 		}
 	}
 
 	// Reporter dump: the object's final internal state, part of the
-	// observable output (the paper's driver calls Reporter at case end).
+	// observable output (the paper's driver calls Reporter at case end). The
+	// dump buffers in a metered builder — each write charges the transcript
+	// cap — so a flooding Reporter is stopped cooperatively and never
+	// interleaves a partial dump into the transcript.
 	if !opts.SkipReporter && !destroyed {
-		var dump strings.Builder
-		if err := cut.Reporter(&dump); err == nil {
-			transcript.WriteString("REPORT " + dump.String())
-			if !strings.HasSuffix(dump.String(), "\n") {
-				transcript.WriteString("\n")
+		mb := &meteredBuilder{t: tb}
+		err := cut.Reporter(mb)
+		if sandbox.IsExhausted(err) || tb.Truncated() {
+			// Truncated() also catches a Reporter that swallowed the metered
+			// writer's exhaustion error and returned nil.
+			return exhausted("reporter", errors.New(tb.limitDetail()))
+		}
+		if err == nil {
+			dump := mb.b.String()
+			tb.writeRaw("REPORT " + dump)
+			if !strings.HasSuffix(dump, "\n") {
+				tb.writeRaw("\n")
 			}
 		}
 	}

@@ -1,0 +1,218 @@
+// Crash containment: the subprocess isolation mode. In-process execution
+// recovers panics, but Go offers no recovery from a fatal runtime error —
+// stack exhaustion, out-of-memory — and none from code that calls os.Exit;
+// any of those in one mutant kills the whole campaign. Under
+// IsolateSubprocess the executor re-executes each case in a child process
+// (the hidden `concat run-case` subcommand, or any binary that calls
+// ServeCase when ServerEnv is set) and classifies fatal child deaths from
+// the exit status into OutcomePanic — the paper's criterion (i), "the
+// program crashed while running the test cases", surviving the crash it
+// records.
+package testexec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"concat/internal/component"
+	"concat/internal/domain"
+	"concat/internal/driver"
+	"concat/internal/sandbox"
+)
+
+// IsolationMode selects how the executor contains crashes.
+type IsolationMode int
+
+const (
+	// IsolateInProcess (the default) runs cases in the harness process;
+	// panics are recovered, but fatal runtime errors and os.Exit are not
+	// survivable.
+	IsolateInProcess IsolationMode = iota
+	// IsolateSubprocess re-executes every case in a child process running a
+	// case server (ServeCase); fatal failures become per-case OutcomePanic
+	// results classified from the exit status.
+	IsolateSubprocess
+)
+
+// ServerEnv is the environment sentinel the executor sets when spawning a
+// case server. A binary that wants to be usable as its own sandbox calls
+// ServeCase from main (or TestMain) when this variable is set.
+const ServerEnv = "CONCAT_CASE_SERVER"
+
+// Resolved is a Resolver's answer: the factory to run the case against,
+// the providers completing its structured parameters, and an optional
+// Finish hook whose return value travels back to the parent in
+// CaseResult.Extra (mutation analysis ships reach/infection flags this
+// way).
+type Resolved struct {
+	Factory   component.Factory
+	Providers map[string]domain.Provider
+	Finish    func() json.RawMessage
+}
+
+// Resolver maps a component name plus the run's opaque isolation context
+// onto the component to execute. It runs inside the case server process.
+type Resolver func(componentName string, context json.RawMessage) (Resolved, error)
+
+// caseRequest is the parent-to-child wire form of one isolated case.
+type caseRequest struct {
+	Component           string          `json:"component"`
+	Case                driver.TestCase `json:"case"`
+	Seed                int64           `json:"seed"`
+	SkipInvariantChecks bool            `json:"skipInvariantChecks,omitempty"`
+	SkipReporter        bool            `json:"skipReporter,omitempty"`
+	CaseTimeoutMS       int64           `json:"caseTimeoutMs,omitempty"`
+	StepBudget          int64           `json:"stepBudget,omitempty"`
+	MaxTranscriptBytes  int64           `json:"maxTranscriptBytes,omitempty"`
+	Context             json.RawMessage `json:"context,omitempty"`
+}
+
+// caseResponse is the child-to-parent wire form. A child that dies before
+// writing it is classified from its exit status instead.
+type caseResponse struct {
+	Result *CaseResult `json:"result,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// ServeCase is the case-server entry point: it reads one caseRequest from
+// r, executes it against the resolver's component, and writes the
+// caseResponse to w. Resolution and execution errors are reported in-band;
+// the returned error covers only I/O on r/w. Fatal failures of the code
+// under test kill this process by design — that is the containment the
+// parent classifies.
+func ServeCase(r io.Reader, w io.Writer, resolve Resolver) error {
+	// A small stack cap makes stack-exhaustion mutants die fast and cheap;
+	// the parent sees the same deterministic "fatal error: stack overflow"
+	// either way.
+	debug.SetMaxStack(64 << 20)
+
+	respond := func(resp caseResponse) error {
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			return fmt.Errorf("testexec: case server writing response: %w", err)
+		}
+		return nil
+	}
+	var req caseRequest
+	if err := json.NewDecoder(r).Decode(&req); err != nil {
+		return respond(caseResponse{Error: fmt.Sprintf("decoding case request: %v", err)})
+	}
+	if resolve == nil {
+		return respond(caseResponse{Error: "case server has no resolver"})
+	}
+	resolved, err := resolve(req.Component, req.Context)
+	if err != nil {
+		return respond(caseResponse{Error: fmt.Sprintf("resolving %q: %v", req.Component, err)})
+	}
+	f := resolved.Factory
+	if f == nil {
+		return respond(caseResponse{Error: fmt.Sprintf("resolver returned no factory for %q", req.Component)})
+	}
+	opts := Options{
+		Providers:           resolved.Providers,
+		SkipInvariantChecks: req.SkipInvariantChecks,
+		SkipReporter:        req.SkipReporter,
+		CaseTimeout:         time.Duration(req.CaseTimeoutMS) * time.Millisecond,
+		StepBudget:          req.StepBudget,
+		MaxTranscriptBytes:  req.MaxTranscriptBytes,
+	}
+	// The child process is the case's fresh world — no Forker dance needed;
+	// leaked timeout goroutines die with the process.
+	res := runCaseBounded(req.Case, f, f.Spec(), opts, req.Seed, nil)
+	res.Seed = req.Seed
+	if resolved.Finish != nil {
+		res.Extra = resolved.Finish()
+	}
+	return respond(caseResponse{Result: &res})
+}
+
+// runCaseIsolated executes one case in a child case server and classifies
+// the child's fate into a CaseResult. Spawn failures are retried under the
+// transient-error policy; every other failure mode is deterministic.
+func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, seed int64) CaseResult {
+	base := CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Seed: seed}
+	req := caseRequest{
+		Component:           componentName,
+		Case:                tc,
+		Seed:                seed,
+		SkipInvariantChecks: opts.SkipInvariantChecks,
+		SkipReporter:        opts.SkipReporter,
+		CaseTimeoutMS:       opts.CaseTimeout.Milliseconds(),
+		StepBudget:          opts.StepBudget,
+		MaxTranscriptBytes:  opts.MaxTranscriptBytes,
+		Context:             opts.IsolationContext,
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		base.Outcome = OutcomeError
+		base.Detail = fmt.Sprintf("encoding isolated case request: %v", err)
+		return base
+	}
+	argv := opts.IsolationCommand
+	if len(argv) == 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			base.Outcome = OutcomeError
+			base.Detail = fmt.Sprintf("resolving executable for isolation: %v", err)
+			return base
+		}
+		argv = []string{exe, "run-case"}
+	}
+	// The child applies CaseTimeout itself; the parent deadline is a
+	// backstop for a child wedged beyond cooperation.
+	var deadline time.Duration
+	if opts.CaseTimeout > 0 {
+		deadline = 2*opts.CaseTimeout + 30*time.Second
+	}
+	policy := opts.SpawnRetry
+	if policy.Attempts == 0 {
+		policy = sandbox.DefaultRetryPolicy()
+	}
+	var proc *sandbox.ProcessResult
+	err = sandbox.Retry(policy, func() error {
+		var spawnErr error
+		proc, spawnErr = sandbox.RunProcess(sandbox.ProcessSpec{
+			Argv:    argv,
+			Stdin:   payload,
+			Env:     append([]string{ServerEnv + "=1"}, opts.IsolationEnv...),
+			Timeout: deadline,
+		})
+		return spawnErr
+	})
+	if err != nil {
+		base.Outcome = OutcomeError
+		base.Detail = fmt.Sprintf("spawning case server: %v", err)
+		return base
+	}
+	if proc.TimedOut {
+		base.Outcome = OutcomeTimeout
+		base.Detail = fmt.Sprintf("isolated case exceeded the %v harness deadline; subprocess killed", deadline)
+		return base
+	}
+	var resp caseResponse
+	if decErr := json.Unmarshal(proc.Stdout, &resp); decErr == nil && (resp.Result != nil || resp.Error != "") {
+		if resp.Error != "" {
+			base.Outcome = OutcomeError
+			base.Detail = "case server: " + resp.Error
+			return base
+		}
+		res := *resp.Result
+		res.CaseID, res.Transaction = tc.ID, tc.Transaction
+		return res
+	}
+	// No usable response: the child died before reporting — the fatal
+	// failure containment is here. A non-zero exit is the mutant killing
+	// the process (criterion (i)); exit 0 with garbage output is a broken
+	// case server, a harness error.
+	if proc.ExitCode != 0 {
+		base.Outcome = OutcomePanic
+		base.Detail = "fatal subprocess failure: " + proc.FatalSummary
+		return base
+	}
+	base.Outcome = OutcomeError
+	base.Detail = "case server exited without a result"
+	return base
+}

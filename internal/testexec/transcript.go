@@ -1,0 +1,121 @@
+package testexec
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"concat/internal/sandbox"
+)
+
+// transcript is the capped, concurrency-safe buffer a case's observable
+// output accumulates in. The cap is the executor's transcript allocation
+// budget: a mutant that floods its output (a runaway print loop, a giant
+// reporter dump) is cut off at a deterministic byte position instead of
+// growing the harness's memory without bound. The mutex exists for the
+// timeout path — runCaseBounded snapshots the buffer from the watchdog
+// while the abandoned case goroutine may still be writing.
+type transcript struct {
+	mu        sync.Mutex
+	b         strings.Builder
+	max       int64 // 0 = unlimited
+	n         int64
+	truncated bool
+}
+
+func newTranscript(max int64) *transcript {
+	return &transcript{max: max}
+}
+
+// Write stores p up to the cap. Once the cap is exceeded the write (and
+// every later one) fails with the sandbox exhaustion error so cooperative
+// writers stop producing.
+func (t *transcript) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.truncated {
+		return 0, &sandbox.ExhaustedError{Resource: "transcript", Limit: t.max}
+	}
+	if t.max > 0 && t.n+int64(len(p)) > t.max {
+		room := t.max - t.n
+		if room > 0 {
+			t.b.Write(p[:room])
+			t.n = t.max
+		}
+		t.truncated = true
+		return int(room), &sandbox.ExhaustedError{Resource: "transcript", Limit: t.max}
+	}
+	t.b.Write(p)
+	t.n += int64(len(p))
+	return len(p), nil
+}
+
+// charge accounts n bytes against the cap without storing anything — used
+// to meter output that is buffered elsewhere first (the reporter dump).
+func (t *transcript) charge(n int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.truncated {
+		return &sandbox.ExhaustedError{Resource: "transcript", Limit: t.max}
+	}
+	if t.max > 0 && t.n+int64(n) > t.max {
+		t.truncated = true
+		return &sandbox.ExhaustedError{Resource: "transcript", Limit: t.max}
+	}
+	t.n += int64(n)
+	return nil
+}
+
+// writeRaw appends already-charged (or marker) text, bypassing the cap.
+func (t *transcript) writeRaw(s string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.b.WriteString(s)
+}
+
+// Truncated reports whether the cap was hit.
+func (t *transcript) Truncated() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.truncated
+}
+
+// String returns the accumulated output, with a deterministic truncation
+// marker appended when the cap was hit.
+func (t *transcript) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.truncated {
+		return t.b.String() + fmt.Sprintf("\n[transcript truncated at %d bytes]\n", t.max)
+	}
+	return t.b.String()
+}
+
+// Snapshot returns the output written so far plus the given marker line —
+// the timeout path's partial transcript, taken while the abandoned case
+// goroutine may still be running.
+func (t *transcript) Snapshot(marker string) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.b.String() + marker + "\n"
+}
+
+// limitDetail is the failure detail recorded when the cap cut a case off.
+func (t *transcript) limitDetail() string {
+	return fmt.Sprintf("transcript budget exhausted (limit %d bytes)", t.max)
+}
+
+// meteredBuilder buffers reporter output while charging the case transcript
+// cap, so a flooding Reporter is stopped cooperatively (its writes start
+// failing) without interleaving a partial dump into the transcript.
+type meteredBuilder struct {
+	b strings.Builder
+	t *transcript
+}
+
+func (m *meteredBuilder) Write(p []byte) (int, error) {
+	if err := m.t.charge(len(p)); err != nil {
+		return 0, err
+	}
+	return m.b.Write(p)
+}
