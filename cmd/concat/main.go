@@ -17,12 +17,17 @@
 //	concat derive    -parent NAME -child NAME [-seed N] [-out FILE]
 //	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [sandbox flags]
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
+//	concat trace-validate <trace.ndjson>
 //
 // The suite-running subcommands (run, selftest, soak, mutate) share the
 // sandbox flags: -isolate executes every case in a crash-contained child
 // process (the hidden `concat run-case` case server), -budget N bounds the
 // cooperative steps a case may take, -max-transcript N caps its transcript,
-// and -timeout D bounds its wall-clock time.
+// and -timeout D bounds its wall-clock time. They also share the
+// observability flags: -trace FILE streams NDJSON spans (suite → case →
+// call / child-spawn) and -metrics FILE writes an aggregated snapshot of
+// counters and duration histograms at exit. Both are side channels —
+// reports and tables are byte-identical with or without them.
 package main
 
 import (
@@ -35,6 +40,7 @@ import (
 
 	"concat/internal/core"
 	"concat/internal/driver"
+	"concat/internal/obs"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
 	"concat/internal/tspec"
@@ -83,6 +89,8 @@ func run(args []string, w io.Writer) error {
 		return cmdMutate(rest, w)
 	case "emit":
 		return cmdEmit(rest, w)
+	case "trace-validate":
+		return cmdTraceValidate(rest, w)
 	case "run-case":
 		// Hidden: the subprocess-isolation case server (see -isolate). Reads
 		// one case request on stdin, writes the result on stdout.
@@ -115,7 +123,12 @@ subcommands:
   regress    re-run a suite against a recorded golden reference (§2.4 regression testing)
   derive     derive a subclass suite with hierarchical incremental reuse
   mutate     evaluate a test set by interface mutation (Table 1 operators)
-  emit       emit a standalone Go driver source for a suite`)
+  emit       emit a standalone Go driver source for a suite
+  trace-validate  check an NDJSON trace file against the span schema
+
+run, selftest, soak and mutate accept -trace FILE (stream NDJSON spans)
+and -metrics FILE (write an aggregated JSON snapshot at exit); both are
+side channels that never change reports or tables.`)
 }
 
 func loadSpecFile(path string) (*tspec.Spec, error) {
@@ -340,6 +353,86 @@ func (s *sandboxFlags) apply(o testexec.Options) testexec.Options {
 	return o
 }
 
+// obsFlags are the observability knobs shared by the suite-running
+// subcommands: -trace streams NDJSON spans, -metrics writes an aggregated
+// snapshot at exit. Both are side channels — reports and tables are
+// byte-identical with or without them.
+type obsFlags struct {
+	tracePath   string
+	metricsPath string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	o := &obsFlags{}
+	fs.StringVar(&o.tracePath, "trace", "", "write NDJSON trace spans to this file")
+	fs.StringVar(&o.metricsPath, "metrics", "", "write an aggregated metrics snapshot (JSON) to this file")
+	return o
+}
+
+// obsSession is the live tracer/metrics pair for one subcommand run.
+type obsSession struct {
+	Trace     *obs.Tracer
+	Metrics   *obs.Metrics
+	traceFile *os.File
+	flags     *obsFlags
+}
+
+// session opens the trace sink and allocates the metrics aggregator per
+// the flags. Both stay nil when their flag is unset — the nil values are
+// the disabled implementations.
+func (o *obsFlags) session() (*obsSession, error) {
+	s := &obsSession{flags: o}
+	if o.tracePath != "" {
+		f, err := os.Create(o.tracePath)
+		if err != nil {
+			return nil, fmt.Errorf("creating trace file: %w", err)
+		}
+		s.traceFile = f
+		s.Trace = obs.NewTracer(f)
+	}
+	if o.metricsPath != "" {
+		s.Metrics = obs.NewMetrics()
+	}
+	return s, nil
+}
+
+// apply overlays the session on a base set of execution options.
+func (s *obsSession) apply(o testexec.Options) testexec.Options {
+	o.Trace = s.Trace
+	o.Metrics = s.Metrics
+	return o
+}
+
+// close flushes the metrics snapshot and closes the trace sink, surfacing
+// the first deferred I/O error.
+func (s *obsSession) close() error {
+	var first error
+	if err := s.Trace.Err(); err != nil {
+		first = err
+	}
+	if s.traceFile != nil {
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("closing trace file: %w", err)
+		}
+	}
+	if s.Metrics != nil {
+		f, err := os.Create(s.flags.metricsPath)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("creating metrics file: %w", err)
+			}
+			return first
+		}
+		if err := s.Metrics.Snapshot().WriteJSON(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 func cmdGen(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
@@ -378,6 +471,7 @@ func cmdRun(args []string, w io.Writer) error {
 	suitePath := fs.String("suite", "", "suite JSON file")
 	logPath := fs.String("log", "", "write the Result.txt-style log to this file")
 	sf := addSandboxFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -402,8 +496,15 @@ func cmdRun(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	rep, err := comp.RunSuite(suite, sf.apply(testexec.Options{LogWriter: logDst}))
+	session, err := of.session()
+	if err != nil {
+		return err
+	}
+	rep, err := comp.RunSuite(suite, session.apply(sf.apply(testexec.Options{LogWriter: logDst})))
 	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	if cerr := session.close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
@@ -421,6 +522,7 @@ func cmdSelfTest(args []string, w io.Writer) error {
 	component := fs.String("component", "", "built-in component name")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -432,7 +534,14 @@ func cmdSelfTest(args []string, w io.Writer) error {
 		return err
 	}
 	comp := t.New(nil)
-	suite, rep, err := comp.SelfTest(gf.options(), sf.apply(testexec.Options{}))
+	session, err := of.session()
+	if err != nil {
+		return err
+	}
+	suite, rep, err := comp.SelfTest(gf.options(), session.apply(sf.apply(testexec.Options{})))
+	if cerr := session.close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -564,6 +673,7 @@ func cmdSoak(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 42, "generation seed")
 	walkBudget := fs.Int64("walk-budget", 0, "per-case generation step budget (0 = unbounded)")
 	sf := addSandboxFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -575,14 +685,23 @@ func cmdSoak(args []string, w io.Writer) error {
 		return err
 	}
 	comp := t.New(nil)
-	suite, err := driver.GenerateSoak(comp.Spec(), driver.SoakOptions{
-		Seed: *seed, Cases: *cases, MaxLength: *maxLen, StepBudget: *walkBudget,
-	})
+	session, err := of.session()
 	if err != nil {
 		return err
 	}
+	suite, err := driver.GenerateSoak(comp.Spec(), driver.SoakOptions{
+		Seed: *seed, Cases: *cases, MaxLength: *maxLen, StepBudget: *walkBudget,
+		Trace: session.Trace, Metrics: session.Metrics,
+	})
+	if err != nil {
+		_ = session.close()
+		return err
+	}
 	fmt.Fprintf(w, "soak suite: %s\n", suite.Stats())
-	rep, err := comp.RunSuite(suite, sf.apply(testexec.Options{}))
+	rep, err := comp.RunSuite(suite, session.apply(sf.apply(testexec.Options{})))
+	if cerr := session.close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -650,6 +769,7 @@ func cmdMutate(args []string, w io.Writer) error {
 	verbose := fs.Bool("v", false, "print per-mutant verdicts")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
+	of := addObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -675,8 +795,15 @@ func cmdMutate(args []string, w io.Writer) error {
 	if *verbose {
 		progress = w
 	}
+	session, err := of.session()
+	if err != nil {
+		return err
+	}
 	res, err := core.MutationRunOpts(*component, suite, methodList, progress,
-		core.MutationOptions{Exec: sf.apply(testexec.Options{})})
+		core.MutationOptions{Exec: session.apply(sf.apply(testexec.Options{}))})
+	if cerr := session.close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return err
 	}
@@ -714,6 +841,31 @@ func cmdEmit(args []string, w io.Writer) error {
 		err = cerr
 	}
 	return err
+}
+
+// cmdTraceValidate checks an emitted NDJSON trace against the span
+// schema: every line a valid span, IDs unique, parent references
+// resolvable, kinds known. CI runs it on hostile-suite traces to catch
+// schema drift.
+func cmdTraceValidate(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace-validate", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usageError("trace-validate takes one NDJSON trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("opening trace: %w", err)
+	}
+	defer f.Close()
+	n, err := obs.ValidateNDJSON(f)
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", fs.Arg(0), err)
+	}
+	fmt.Fprintf(w, "trace %s: %d spans, schema-valid\n", fs.Arg(0), n)
+	return nil
 }
 
 func printReport(w io.Writer, rep *testexec.Report) {

@@ -16,6 +16,7 @@ import (
 
 	"concat/internal/core"
 	"concat/internal/experiments"
+	"concat/internal/obs"
 	"concat/internal/testexec"
 )
 
@@ -37,6 +38,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "mutation-campaign workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		isolate   = flag.Bool("isolate", false, "run every case in a crash-contained child process; results are identical to in-process runs")
 		verbose   = flag.Bool("v", false, "print per-mutant verdicts")
+		tracePath = flag.String("trace", "", "write NDJSON trace spans to this file; tables are byte-identical either way")
+		metrics   = flag.String("metrics", "", "write an aggregated metrics snapshot (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -48,6 +51,7 @@ func main() {
 		figure6: *figure6, counts: *counts, table2: *table2, table3: *table3,
 		baseline: *baseline, ablations: *ablations, seed: *seed,
 		parallel: *parallel, isolate: *isolate, verbose: *verbose,
+		tracePath: *tracePath, metricsPath: *metrics,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
@@ -61,9 +65,10 @@ type selection struct {
 	parallel                                    int
 	isolate                                     bool
 	verbose                                     bool
+	tracePath, metricsPath                      string
 }
 
-func run(w io.Writer, sel selection) error {
+func run(w io.Writer, sel selection) (err error) {
 	cfg := experiments.Default()
 	cfg.Seed = sel.seed
 	cfg.ParentOpts.Seed = sel.seed
@@ -71,6 +76,39 @@ func run(w io.Writer, sel selection) error {
 	cfg.Parallelism = sel.parallel
 	if sel.isolate {
 		cfg.Isolation = testexec.IsolateSubprocess
+	}
+	if sel.tracePath != "" {
+		f, cerr := os.Create(sel.tracePath)
+		if cerr != nil {
+			return fmt.Errorf("creating trace file: %w", cerr)
+		}
+		cfg.Trace = obs.NewTracer(f)
+		defer func() {
+			if terr := cfg.Trace.Err(); terr != nil && err == nil {
+				err = terr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+	}
+	if sel.metricsPath != "" {
+		cfg.Metrics = obs.NewMetrics()
+		defer func() {
+			f, cerr := os.Create(sel.metricsPath)
+			if cerr != nil {
+				if err == nil {
+					err = fmt.Errorf("creating metrics file: %w", cerr)
+				}
+				return
+			}
+			if werr := cfg.Metrics.Snapshot().WriteJSON(f); werr != nil && err == nil {
+				err = werr
+			}
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 	}
 
 	var progress io.Writer

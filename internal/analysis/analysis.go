@@ -11,12 +11,15 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"concat/internal/component"
 	"concat/internal/driver"
 	"concat/internal/mutation"
+	"concat/internal/obs"
 	"concat/internal/sandbox"
 	"concat/internal/testexec"
 )
@@ -165,9 +168,18 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 		return nil, errors.New("mutation: analysis requires engine, factory and suite")
 	}
 	a.Engine.Deactivate()
+	// The campaign span roots the whole analysis: the reference run and
+	// every mutant hang under it. Trace/Metrics ride on a.Exec so the same
+	// Options plumbing reaches suites, cases and isolated children.
+	campaign := a.Exec.Trace.Start(a.Exec.TraceParent, obs.KindCampaign, a.Suite.Component)
+	campaign.SetAttr("mutants", strconv.Itoa(len(mutants)))
+	defer campaign.End()
 	refOpts := a.Exec
 	refOpts.Oracle = nil
+	refSpan := a.Exec.Trace.Start(campaign.ID(), obs.KindReference, a.Suite.Component)
+	refOpts.TraceParent = refSpan.ID()
 	ref, err := testexec.Run(a.Suite, a.Factory, refOpts)
+	refSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("mutation: reference run: %w", err)
 	}
@@ -181,13 +193,13 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 	out := &Result{Component: a.Suite.Component, Reference: ref}
 	var results []MutantResult
 	if a.Parallelism > 1 && len(mutants) > 1 {
-		results, err = a.runParallel(mutants, golden)
+		results, err = a.runParallel(mutants, golden, campaign.ID())
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		for _, m := range mutants {
-			res, err := a.runMutant(a.Engine, a.Factory, m, golden)
+			res, err := a.runMutant(a.Engine, a.Factory, m, golden, campaign.ID())
 			if err != nil {
 				return nil, err
 			}
@@ -219,7 +231,7 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 // runParallel fans the mutants over Parallelism workers, each with its own
 // engine and factory from Provision. The results slice is index-aligned
 // with the input so every downstream table matches the sequential run.
-func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden) ([]MutantResult, error) {
+func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID) ([]MutantResult, error) {
 	provision := a.provision()
 	if provision == nil {
 		return nil, errors.New("mutation: parallel analysis requires NewFactory or Provision")
@@ -255,7 +267,7 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 				if errs[w] != nil {
 					continue // keep draining so the sender never blocks
 				}
-				res, err := a.runMutant(eng, factory, mutants[idx], golden)
+				res, err := a.runMutant(eng, factory, mutants[idx], golden, campaignSpan)
 				if err != nil {
 					errs[w] = err
 					continue
@@ -279,14 +291,23 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 
 // runMutant executes the suite against one activated mutant on the given
 // engine/factory pair.
-func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m mutation.Mutant, golden *testexec.Golden) (MutantResult, error) {
+func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID) (MutantResult, error) {
 	if err := eng.Activate(m); err != nil {
 		return MutantResult{}, fmt.Errorf("mutation: %w", err)
 	}
 	defer eng.Deactivate()
 
+	mspan := a.Exec.Trace.Start(campaignSpan, obs.KindMutant, m.ID)
+	mspan.SetAttr("operator", m.Operator.String())
+	defer mspan.End()
+	var began time.Time
+	if a.Exec.Metrics != nil {
+		began = time.Now()
+	}
+
 	opts := a.Exec
 	opts.Oracle = nil // compare via golden.Differs below, on full results
+	opts.TraceParent = mspan.ID()
 	if opts.Isolation == testexec.IsolateSubprocess {
 		// The mutant executes inside the case server, not in this process:
 		// ship it through the opaque isolation context so the child's
@@ -337,6 +358,30 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 		}
 		if res.Killed {
 			break
+		}
+	}
+	mspan.SetAttr("killed", strconv.FormatBool(res.Killed))
+	if res.Killed {
+		mspan.SetAttr("reason", res.Reason.String())
+		mspan.SetAttr("killingCase", res.KillingCase)
+		if kc, ok := rep.Result(res.KillingCase); ok {
+			mspan.SetAttr("killingOutcome", kc.Outcome.String())
+		}
+	} else if res.Equivalent() {
+		mspan.SetAttr("equivalent", "true")
+	}
+	if met := a.Exec.Metrics; met != nil {
+		switch {
+		case res.Killed:
+			met.Inc("mutant.killed", 1)
+			met.Inc("mutant.kill."+res.Reason.String(), 1)
+			// Per-operator kill latency: wall time from activation to
+			// verdict, labelled by mutant so the slowest kills are visible.
+			met.Observe("mutant.kill-latency."+m.Operator.String(), m.ID, time.Since(began))
+		case res.Equivalent():
+			met.Inc("mutant.equivalent", 1)
+		default:
+			met.Inc("mutant.alive", 1)
 		}
 	}
 	return res, nil

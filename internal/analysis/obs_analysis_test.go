@@ -1,0 +1,158 @@
+// Campaign-level observability contract: a traced mutation campaign —
+// subprocess isolation and all — produces byte-identical tables and
+// reports at any parallelism and with tracing on or off, while the
+// normalized span forest (campaign → reference/mutant → suite → case →
+// child-spawn → call) is structurally identical between serial and
+// parallel runs.
+package analysis_test
+
+import (
+	"bytes"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"concat/internal/analysis"
+	"concat/internal/component"
+	"concat/internal/mutation"
+	"concat/internal/obs"
+	"concat/internal/sandbox/hostile"
+	"concat/internal/testexec"
+)
+
+// tracedCampaign mirrors fatalCampaign but threads a span collector and
+// metrics through the analysis.
+func tracedCampaign(t *testing.T, parallelism int) (*analysis.Result, []obs.Span, *obs.Metrics) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	tr := obs.NewCollector()
+	met := obs.NewMetrics()
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(hostile.MutSites()...)
+	a := &analysis.Analysis{
+		Engine:  eng,
+		Factory: hostile.NewMutFactory(eng),
+		Suite:   hostile.MutSuite(3),
+		Exec: testexec.Options{
+			Seed:             42,
+			Isolation:        testexec.IsolateSubprocess,
+			IsolationCommand: []string{exe},
+			Trace:            tr,
+			Metrics:          met,
+		},
+		Parallelism: parallelism,
+		NewFactory: func(e *mutation.Engine) component.Factory {
+			return hostile.NewMutFactory(e)
+		},
+	}
+	res, err := a.Run(eng.Enumerate(nil, nil))
+	if err != nil {
+		t.Fatalf("traced campaign did not complete: %v", err)
+	}
+	return res, tr.Spans(), met
+}
+
+// renderTable renders the Tables 2/3 layout to bytes for byte-identity
+// comparisons.
+func renderTable(t *testing.T, res *analysis.Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.Tabulate().Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTracedCampaignMatchesUntraced: switching the observability layer on
+// changes neither the mutant verdicts nor the reference report nor the
+// rendered table.
+func TestTracedCampaignMatchesUntraced(t *testing.T) {
+	untraced := fatalCampaign(t, 1)
+	traced, spans, met := tracedCampaign(t, 1)
+	if !reflect.DeepEqual(untraced.Mutants, traced.Mutants) {
+		t.Errorf("tracing changed the mutant verdicts:\n%+v\nvs\n%+v", untraced.Mutants, traced.Mutants)
+	}
+	if !reflect.DeepEqual(untraced.Reference.Results, traced.Reference.Results) {
+		t.Errorf("tracing changed the reference report")
+	}
+	if a, b := renderTable(t, untraced), renderTable(t, traced); !bytes.Equal(a, b) {
+		t.Errorf("tables differ with tracing on:\n%s\nvs\n%s", a, b)
+	}
+
+	if err := obs.ValidateTrace(spans); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	// Coverage: one campaign root, one reference span, one mutant span per
+	// mutant, and a case span for every case of every suite run.
+	kinds := map[string]int{}
+	mutantSeen := map[string]bool{}
+	for _, sp := range spans {
+		kinds[sp.Kind]++
+		if sp.Kind == obs.KindMutant {
+			mutantSeen[sp.Name] = true
+		}
+	}
+	if kinds[obs.KindCampaign] != 1 || kinds[obs.KindReference] != 1 {
+		t.Errorf("campaign/reference spans = %d/%d, want 1/1",
+			kinds[obs.KindCampaign], kinds[obs.KindReference])
+	}
+	if kinds[obs.KindMutant] != len(traced.Mutants) {
+		t.Errorf("mutant spans = %d, want %d", kinds[obs.KindMutant], len(traced.Mutants))
+	}
+	for _, mr := range traced.Mutants {
+		if !mutantSeen[mr.Mutant.ID] {
+			t.Errorf("mutant %s has no span", mr.Mutant.ID)
+		}
+	}
+	suites := len(traced.Mutants) + 1 // every mutant plus the reference
+	casesPerSuite := len(hostile.MutSuite(3).Cases)
+	if kinds[obs.KindSuite] != suites {
+		t.Errorf("suite spans = %d, want %d", kinds[obs.KindSuite], suites)
+	}
+	if kinds[obs.KindCase] != suites*casesPerSuite {
+		t.Errorf("case spans = %d, want %d", kinds[obs.KindCase], suites*casesPerSuite)
+	}
+	// Under isolation every executed case spawns a child.
+	if kinds[obs.KindSpawn] != kinds[obs.KindCase] {
+		t.Errorf("child-spawn spans = %d, want one per case (%d)", kinds[obs.KindSpawn], kinds[obs.KindCase])
+	}
+	if kinds[obs.KindCall] == 0 {
+		t.Error("no child call spans were shipped back")
+	}
+
+	snap := met.Snapshot()
+	killed := snap.Counters["mutant.killed"]
+	alive := snap.Counters["mutant.alive"] + snap.Counters["mutant.equivalent"]
+	if int(killed+alive) != len(traced.Mutants) {
+		t.Errorf("metrics count %d mutants, want %d", killed+alive, len(traced.Mutants))
+	}
+}
+
+// TestTracedCampaignStructureIdenticalSerialAndParallel is the issue's
+// acceptance test: the same seeded campaign at parallelism 1 and
+// GOMAXPROCS produces identical reports AND structurally-equal span trees
+// (IDs, emission order and timings normalized away).
+func TestTracedCampaignStructureIdenticalSerialAndParallel(t *testing.T) {
+	serialRes, serialSpans, _ := tracedCampaign(t, 1)
+	parallelRes, parallelSpans, _ := tracedCampaign(t, runtime.GOMAXPROCS(0))
+
+	if !reflect.DeepEqual(serialRes.Mutants, parallelRes.Mutants) {
+		t.Errorf("mutant results differ between serial and parallel traced campaigns")
+	}
+	if !reflect.DeepEqual(serialRes.Reference.Results, parallelRes.Reference.Results) {
+		t.Errorf("reference reports differ between serial and parallel traced campaigns")
+	}
+	if a, b := renderTable(t, serialRes), renderTable(t, parallelRes); !bytes.Equal(a, b) {
+		t.Errorf("tables differ between serial and parallel traced campaigns:\n%s\nvs\n%s", a, b)
+	}
+
+	sf, pf := obs.Tree(serialSpans), obs.Tree(parallelSpans)
+	if !obs.EqualForests(sf, pf) {
+		t.Errorf("span forests differ between serial and parallel campaigns:\n%s\nvs\n%s",
+			obs.RenderForest(sf), obs.RenderForest(pf))
+	}
+}

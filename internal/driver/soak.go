@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"concat/internal/domain"
+	"concat/internal/obs"
 	"concat/internal/sandbox"
 	"concat/internal/tspec"
 )
@@ -31,6 +33,14 @@ type SoakOptions struct {
 	// it fails generation with a sandbox exhaustion error — the guard for
 	// degenerate models whose random walks rarely reach a death node.
 	StepBudget int64
+	// Trace, when set, records one soak-generate span with a soak-case
+	// child per generated case; TraceParent roots the soak-generate span.
+	// Timing lives only in the trace — the generated suite is identical
+	// with tracing on or off.
+	Trace       *obs.Tracer
+	TraceParent obs.SpanID
+	// Metrics, when set, aggregates per-case generation timings.
+	Metrics *obs.Metrics
 }
 
 // GenerateSoak produces a suite of random transactions: each test case is
@@ -56,7 +66,29 @@ func GenerateSoak(spec *tspec.Spec, opts SoakOptions) (*Suite, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver: soak generation for %q: %w", spec.Class.Name, err)
 	}
-	genCase := func(i int) (TestCase, error) {
+	genSpan := opts.Trace.Start(opts.TraceParent, obs.KindSoakGen, spec.Class.Name)
+	genSpan.SetAttr("cases", strconv.Itoa(opts.Cases))
+	defer genSpan.End()
+	genCase := func(i int) (tc TestCase, err error) {
+		label := "soak:" + strconv.Itoa(i)
+		caseSpan := opts.Trace.Start(genSpan.ID(), obs.KindSoakCase, label)
+		var began time.Time
+		if opts.Metrics != nil {
+			began = time.Now()
+		}
+		defer func() {
+			if err != nil {
+				caseSpan.SetAttr("status", "error")
+			} else {
+				caseSpan.SetAttr("status", "ok")
+				caseSpan.SetAttr("calls", strconv.Itoa(len(tc.Calls)))
+			}
+			caseSpan.End()
+			if opts.Metrics != nil {
+				opts.Metrics.Inc("soak.cases", 1)
+				opts.Metrics.Observe("soak.case-gen", label, time.Since(began))
+			}
+		}()
 		var budget *sandbox.Budget
 		if opts.StepBudget > 0 {
 			budget = sandbox.NewBudget(opts.StepBudget, 0)

@@ -1,0 +1,65 @@
+package driver
+
+// Tracing the soak generator must not perturb it: the generated suite is
+// identical with tracing on or off and at any parallelism, and the span
+// forest (one soak-generate root, one soak-case child per case) is
+// structurally stable across worker counts.
+
+import (
+	"reflect"
+	"testing"
+
+	"concat/internal/components/account"
+	"concat/internal/obs"
+)
+
+func TestGenerateSoakTraceSidechannel(t *testing.T) {
+	spec := account.Spec()
+	base := SoakOptions{Seed: 9, Cases: 40, MaxLength: 12}
+
+	plain, err := GenerateSoak(spec, base)
+	if err != nil {
+		t.Fatalf("GenerateSoak: %v", err)
+	}
+
+	genSpans := func(parallelism int) []obs.Span {
+		opts := base
+		opts.Parallelism = parallelism
+		opts.Trace = obs.NewCollector()
+		opts.Metrics = obs.NewMetrics()
+		s, err := GenerateSoak(spec, opts)
+		if err != nil {
+			t.Fatalf("GenerateSoak(parallelism=%d): %v", parallelism, err)
+		}
+		if !reflect.DeepEqual(plain.Cases, s.Cases) {
+			t.Errorf("tracing or parallelism %d changed the generated suite", parallelism)
+		}
+		if got := opts.Metrics.Snapshot().Counters["soak.cases"]; got != int64(base.Cases) {
+			t.Errorf("soak.cases = %d, want %d", got, base.Cases)
+		}
+		return opts.Trace.Spans()
+	}
+
+	serial := genSpans(1)
+	parallel := genSpans(4)
+	if err := obs.ValidateTrace(serial); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	var gen, cases int
+	for _, sp := range serial {
+		switch sp.Kind {
+		case obs.KindSoakGen:
+			gen++
+		case obs.KindSoakCase:
+			cases++
+		}
+	}
+	if gen != 1 || cases != base.Cases {
+		t.Errorf("span counts gen=%d cases=%d, want 1/%d", gen, cases, base.Cases)
+	}
+	sf, pf := obs.Tree(serial), obs.Tree(parallel)
+	if !obs.EqualForests(sf, pf) {
+		t.Errorf("soak span forests differ between serial and parallel generation:\n%s\nvs\n%s",
+			obs.RenderForest(sf), obs.RenderForest(pf))
+	}
+}

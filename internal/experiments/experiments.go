@@ -21,6 +21,7 @@ import (
 	"concat/internal/fsm"
 	"concat/internal/history"
 	"concat/internal/mutation"
+	"concat/internal/obs"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
 )
@@ -46,6 +47,16 @@ type Config struct {
 	// published numbers are identical either way; the mode exists so a
 	// campaign over components with genuinely fatal mutants survives them.
 	Isolation testexec.IsolationMode
+	// Trace/Metrics, when set, thread the observability side channel through
+	// every campaign the setup runs. The published tables are byte-identical
+	// with or without them.
+	Trace   *obs.Tracer
+	Metrics *obs.Metrics
+}
+
+// exec builds the campaign's execution options from the frozen config.
+func (c Config) exec() testexec.Options {
+	return testexec.Options{Isolation: c.Isolation, Trace: c.Trace, Metrics: c.Metrics}
 }
 
 // parallelism resolves the configured worker count.
@@ -114,7 +125,7 @@ func (s *Setup) listAnalysis(progress io.Writer) (*analysis.Analysis, *mutation.
 		Engine:      eng,
 		Factory:     sortlistFactory(eng),
 		Suite:       s.Derived.Suite,
-		Exec:        testexec.Options{Isolation: s.Config.Isolation},
+		Exec:        s.Config.exec(),
 		Progress:    progress,
 		Parallelism: s.Config.parallelism(),
 		NewFactory:  sortlistFactory,
@@ -149,7 +160,7 @@ func (s *Setup) Experiment2Baseline(progress io.Writer) (*analysis.Result, error
 		Engine:      eng,
 		Factory:     oblist.NewFactoryWithEngine(eng),
 		Suite:       s.ParentSuite,
-		Exec:        testexec.Options{Isolation: s.Config.Isolation},
+		Exec:        s.Config.exec(),
 		Progress:    progress,
 		Parallelism: s.Config.parallelism(),
 		NewFactory: func(e *mutation.Engine) component.Factory {

@@ -1,0 +1,44 @@
+package obs
+
+import "encoding/json"
+
+// envelope is the wire form a subprocess case server uses to piggyback its
+// trace spans on testexec.CaseResult.Extra. The resolver's own payload is
+// embedded verbatim (json.RawMessage round-trips bytes exactly), so after
+// the parent unwraps it the Extra field is byte-identical to an untraced
+// run's — the report never changes because tracing was on. Payload must
+// NOT be omitempty: a nil payload marshals to literal null, which is
+// exactly what the untraced wire form delivers for a nil Extra.
+type envelope struct {
+	Payload json.RawMessage `json:"payload"`
+	Spans   []Span          `json:"obsSpans,omitempty"`
+}
+
+// WrapExtra bundles a case server's Extra payload with its collected
+// spans. With no spans the payload passes through untouched.
+func WrapExtra(payload json.RawMessage, spans []Span) json.RawMessage {
+	if len(spans) == 0 {
+		return payload
+	}
+	raw, err := json.Marshal(envelope{Payload: payload, Spans: spans})
+	if err != nil {
+		// Spans carry only marshalable types; treat a failure as "no trace"
+		// rather than corrupting the payload.
+		return payload
+	}
+	return raw
+}
+
+// UnwrapExtra splits a WrapExtra bundle back into the original payload and
+// the child's spans. Anything that is not an envelope — including every
+// untraced Extra payload — passes through unchanged with no spans.
+func UnwrapExtra(extra json.RawMessage) (json.RawMessage, []Span) {
+	if len(extra) == 0 {
+		return extra, nil
+	}
+	var env envelope
+	if err := json.Unmarshal(extra, &env); err != nil || len(env.Spans) == 0 {
+		return extra, nil
+	}
+	return env.Payload, env.Spans
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// volatileAttrs are the span attributes that may legitimately differ
+// between two runs of the same seeded workload — retry counts depend on
+// transient host contention and worker counts on the execution strategy,
+// never on the work. Tree drops them so structural comparison ignores them.
+var volatileAttrs = map[string]bool{
+	"attempts":    true,
+	"parallelism": true,
+}
+
+// TreeNode is a span stripped to its deterministic structure: kind, name,
+// non-volatile attrs and canonically ordered children. Two traces of the
+// same seeded run — serial or parallel, whatever the span IDs and timings —
+// normalize to equal forests.
+type TreeNode struct {
+	Kind     string
+	Name     string
+	Attrs    map[string]string
+	Children []*TreeNode
+}
+
+// Tree builds the normalized forest of a trace: IDs and timings dropped,
+// volatile attrs removed, children (and roots) sorted by their canonical
+// rendering. Spans referencing a parent that is not in the trace are
+// treated as roots.
+func Tree(spans []Span) []*TreeNode {
+	nodes := make(map[SpanID]*TreeNode, len(spans))
+	for _, s := range spans {
+		n := &TreeNode{Kind: s.Kind, Name: s.Name}
+		for k, v := range s.Attrs {
+			if volatileAttrs[k] {
+				continue
+			}
+			if n.Attrs == nil {
+				n.Attrs = make(map[string]string)
+			}
+			n.Attrs[k] = v
+		}
+		nodes[s.ID] = n
+	}
+	var roots []*TreeNode
+	for _, s := range spans {
+		n := nodes[s.ID]
+		if parent, ok := nodes[s.Parent]; ok && s.Parent != 0 && s.Parent != s.ID {
+			parent.Children = append(parent.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortForest(roots)
+	return roots
+}
+
+func sortForest(nodes []*TreeNode) {
+	for _, n := range nodes {
+		sortForest(n.Children)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		return nodes[i].render() < nodes[j].render()
+	})
+}
+
+// render serializes the subtree canonically — the sort key and the
+// equality witness.
+func (n *TreeNode) render() string {
+	var b strings.Builder
+	n.renderTo(&b, 0)
+	return b.String()
+}
+
+func (n *TreeNode) renderTo(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %q", n.Kind, n.Name)
+	if len(n.Attrs) > 0 {
+		keys := make([]string, 0, len(n.Attrs))
+		for k := range n.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(b, " %s=%q", k, n.Attrs[k])
+		}
+	}
+	b.WriteString("\n")
+	for _, c := range n.Children {
+		c.renderTo(b, depth+1)
+	}
+}
+
+// RenderForest serializes a normalized forest — handy in test failure
+// messages (diff two forests as text).
+func RenderForest(nodes []*TreeNode) string {
+	var b strings.Builder
+	for _, n := range nodes {
+		n.renderTo(&b, 0)
+	}
+	return b.String()
+}
+
+// EqualForests reports whether two normalized forests are structurally
+// identical.
+func EqualForests(a, b []*TreeNode) bool {
+	return RenderForest(a) == RenderForest(b)
+}

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start(0, KindSuite, "X")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.ID() != 0 {
+		t.Error("nil span ID must be 0")
+	}
+	tr.EmitChildren(0, []Span{{ID: 1, Kind: KindCall, Name: "m"}})
+	if tr.Err() != nil || tr.Spans() != nil {
+		t.Error("nil tracer accessors must be zero")
+	}
+	var m *Metrics
+	m.Inc("c", 1)
+	m.Observe("d", "x", time.Millisecond)
+	if snap := m.Snapshot(); len(snap.Counters) != 0 {
+		t.Error("nil metrics snapshot must be empty")
+	}
+}
+
+func TestTracerEmitsNDJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	root := tr.Start(0, KindSuite, "CObList")
+	child := tr.Start(root.ID(), KindCase, "TC1")
+	child.SetAttr("outcome", "pass")
+	child.End()
+	root.End()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	// Child ends first, so its line comes first.
+	var first, second Span
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != KindCase || first.Parent != second.ID {
+		t.Errorf("unexpected spans: %+v / %+v", first, second)
+	}
+	if first.Attrs["outcome"] != "pass" {
+		t.Errorf("attrs = %v", first.Attrs)
+	}
+	spans, err := ReadTrace(&buf)
+	if err == nil && spans != nil {
+		t.Log("buffer drained") // buf consumed above via String, re-read empty is fine
+	}
+	if n, err := ValidateNDJSON(strings.NewReader(lines[0] + "\n" + lines[1] + "\n")); err != nil || n != 2 {
+		t.Fatalf("ValidateNDJSON = %d, %v", n, err)
+	}
+}
+
+func TestEndIsIdempotentAndLateAttrsDrop(t *testing.T) {
+	tr := NewCollector()
+	sp := tr.Start(0, KindCase, "TC1")
+	sp.End()
+	sp.SetAttr("late", "x")
+	sp.End()
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("emitted %d spans, want 1", len(spans))
+	}
+	if _, ok := spans[0].Attrs["late"]; ok {
+		t.Error("attr set after End must be dropped")
+	}
+}
+
+func TestEmitChildrenRebasesIDsAndParents(t *testing.T) {
+	child := NewCollector()
+	r := child.Start(0, KindCall, "New")
+	inner := child.Start(r.ID(), KindCall, "Poke")
+	inner.End()
+	r.End()
+
+	parent := NewCollector()
+	caseSpan := parent.Start(0, KindCase, "TC1")
+	parent.EmitChildren(caseSpan.ID(), child.Spans())
+	caseSpan.End()
+
+	spans := parent.Spans()
+	if err := ValidateTrace(spans); err != nil {
+		t.Fatal(err)
+	}
+	// The child's root must hang off caseSpan; the inner call off the
+	// rebased root.
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["New"].Parent != caseSpan.ID() {
+		t.Errorf("New parent = %d, want %d", byName["New"].Parent, caseSpan.ID())
+	}
+	if byName["Poke"].Parent != byName["New"].ID {
+		t.Errorf("Poke parent = %d, want %d", byName["Poke"].Parent, byName["New"].ID)
+	}
+}
+
+func TestWrapUnwrapExtraPreservesPayloadBytes(t *testing.T) {
+	payload := json.RawMessage(`{"reached":true,"infected":false}`)
+	spans := []Span{{ID: 1, Kind: KindCall, Name: "Poke"}}
+	wrapped := WrapExtra(payload, spans)
+	got, gotSpans := UnwrapExtra(wrapped)
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload changed: %s -> %s", payload, got)
+	}
+	if len(gotSpans) != 1 || gotSpans[0].Name != "Poke" {
+		t.Errorf("spans = %+v", gotSpans)
+	}
+	// No spans: pass-through both ways.
+	if out := WrapExtra(payload, nil); !bytes.Equal(out, payload) {
+		t.Error("WrapExtra with no spans must pass through")
+	}
+	if out, sp := UnwrapExtra(payload); !bytes.Equal(out, payload) || sp != nil {
+		t.Error("UnwrapExtra on plain payload must pass through")
+	}
+	if out, sp := UnwrapExtra(nil); out != nil || sp != nil {
+		t.Error("UnwrapExtra(nil) must be nil")
+	}
+}
+
+func TestValidateTraceCatchesDrift(t *testing.T) {
+	good := []Span{
+		{ID: 1, Kind: KindSuite, Name: "S"},
+		{ID: 2, Parent: 1, Kind: KindCase, Name: "TC"},
+	}
+	if err := ValidateTrace(good); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]Span{
+		"dup id":         {{ID: 1, Kind: KindSuite, Name: "S"}, {ID: 1, Kind: KindCase, Name: "C"}},
+		"missing parent": {{ID: 1, Parent: 9, Kind: KindCase, Name: "C"}},
+		"unknown kind":   {{ID: 1, Kind: "weird", Name: "C"}},
+		"empty name":     {{ID: 1, Kind: KindCase, Name: ""}},
+		"zero id":        {{ID: 0, Kind: KindCase, Name: "C"}},
+	}
+	for name, spans := range cases {
+		if err := ValidateTrace(spans); err == nil {
+			t.Errorf("%s: validation passed, want error", name)
+		}
+	}
+}
+
+func TestTreeNormalizesIDsAndOrdering(t *testing.T) {
+	// Same structure, different IDs and emission order.
+	a := []Span{
+		{ID: 1, Kind: KindSuite, Name: "S"},
+		{ID: 2, Parent: 1, Kind: KindCase, Name: "TC0", Attrs: map[string]string{"outcome": "pass"}},
+		{ID: 3, Parent: 1, Kind: KindCase, Name: "TC1", Attrs: map[string]string{"outcome": "crash"}},
+	}
+	b := []Span{
+		{ID: 7, Parent: 5, Kind: KindCase, Name: "TC1", Attrs: map[string]string{"outcome": "crash", "attempts": "3"}},
+		{ID: 5, Kind: KindSuite, Name: "S"},
+		{ID: 6, Parent: 5, Kind: KindCase, Name: "TC0", Attrs: map[string]string{"outcome": "pass"}},
+	}
+	ta, tb := Tree(a), Tree(b)
+	if !EqualForests(ta, tb) {
+		t.Errorf("forests differ:\n%s\nvs\n%s", RenderForest(ta), RenderForest(tb))
+	}
+	c := append([]Span(nil), a...)
+	c[2].Attrs = map[string]string{"outcome": "pass"} // structural difference
+	if EqualForests(ta, Tree(c)) {
+		t.Error("forests with different attrs must differ")
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.Inc("case.pass", 1)
+			m.Observe("case.duration", "TC", time.Duration(i+1)*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if snap.Counters["case.pass"] != 8 {
+		t.Errorf("counter = %d", snap.Counters["case.pass"])
+	}
+	h := snap.Durations["case.duration"]
+	if h.Count != 8 || h.MinUS != 1000 || h.MaxUS != 8000 {
+		t.Errorf("hist = %+v", h)
+	}
+	if len(snap.Slowest["case.duration"]) != 8 {
+		t.Errorf("slowest = %+v", snap.Slowest["case.duration"])
+	}
+	if snap.Slowest["case.duration"][0].DurUS != 8000 {
+		t.Error("slowest list not sorted descending")
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Counters["case.pass"] != 8 {
+		t.Error("snapshot did not round-trip")
+	}
+}
+
+func TestSlowestNCapsAtTen(t *testing.T) {
+	m := NewMetrics()
+	for i := 0; i < 25; i++ {
+		m.Observe("d", "L", time.Duration(i)*time.Microsecond)
+	}
+	if got := len(m.Snapshot().Slowest["d"]); got != slowestN {
+		t.Errorf("slowest kept %d entries, want %d", got, slowestN)
+	}
+}
+
+func TestBucketLabel(t *testing.T) {
+	if l := bucketLabel(50); l != "<=100µs" {
+		t.Errorf("bucketLabel(50us) = %q", l)
+	}
+	if l := bucketLabel(500_000_000); l != "+Inf" {
+		t.Errorf("bucketLabel(500s) = %q", l)
+	}
+}

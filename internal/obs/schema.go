@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Validate checks one span against the schema: a positive ID, a known
+// kind, a non-empty name, non-negative timings and a non-negative parent.
+func (s Span) Validate() error {
+	if s.ID <= 0 {
+		return fmt.Errorf("obs: span has non-positive id %d", s.ID)
+	}
+	if s.Parent < 0 {
+		return fmt.Errorf("obs: span %d has negative parent %d", s.ID, s.Parent)
+	}
+	if !KnownKind(s.Kind) {
+		return fmt.Errorf("obs: span %d has unknown kind %q", s.ID, s.Kind)
+	}
+	if s.Name == "" {
+		return fmt.Errorf("obs: span %d (%s) has empty name", s.ID, s.Kind)
+	}
+	if s.StartUS < 0 || s.DurUS < 0 {
+		return fmt.Errorf("obs: span %d (%s %q) has negative timing", s.ID, s.Kind, s.Name)
+	}
+	return nil
+}
+
+// ValidateTrace checks a whole trace: every span valid, IDs unique, and
+// every non-zero parent reference resolving to a span in the trace.
+// Emission order is not constrained — a parent's line legitimately follows
+// its children's (spans are emitted on End).
+func ValidateTrace(spans []Span) error {
+	ids := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if ids[s.ID] {
+			return fmt.Errorf("obs: duplicate span id %d", s.ID)
+		}
+		ids[s.ID] = true
+	}
+	for _, s := range spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			return fmt.Errorf("obs: span %d (%s %q) references missing parent %d",
+				s.ID, s.Kind, s.Name, s.Parent)
+		}
+	}
+	return nil
+}
+
+// ReadTrace parses an NDJSON trace stream into spans. Blank lines are
+// skipped; any other malformed line is an error.
+func ReadTrace(r io.Reader) ([]Span, error) {
+	var spans []Span
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var s Span
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		spans = append(spans, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return spans, nil
+}
+
+// ValidateNDJSON reads an NDJSON trace stream and validates it against the
+// span schema, returning the number of spans.
+func ValidateNDJSON(r io.Reader) (int, error) {
+	spans, err := ReadTrace(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := ValidateTrace(spans); err != nil {
+		return len(spans), err
+	}
+	return len(spans), nil
+}

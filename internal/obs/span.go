@@ -1,0 +1,239 @@
+// Package obs is the campaign observability layer: a deterministic-safe
+// tracing and metrics side channel for suite execution, subprocess
+// isolation and mutation analysis. It is the diagnosis-side analog of the
+// paper's BIT reporter — where the reporter dumps the component's internal
+// state into the observable output, the tracer dumps the *harness's*
+// internal behaviour (which case ran where, how long, with what outcome)
+// into a side channel that never touches the observable output.
+//
+// The layer's contract is strict: timing lives only here. Golden
+// transcripts, testexec.Report contents and mutation tables are
+// byte-identical with tracing on or off, serial or parallel. Span
+// *structure* (the tree of suite → case → call / child-spawn spans and
+// their outcome attributes) is deterministic for a fixed seed; span IDs,
+// emission order and timings are not, and Tree normalizes them away for
+// determinism tests.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanID identifies a span within one trace stream. Zero is "no parent":
+// a span with Parent 0 is a root.
+type SpanID int64
+
+// The span kinds the schema admits, mirroring the execution hierarchy:
+// a campaign wraps a reference run and many mutants, each of which wraps a
+// suite run; a suite wraps cases; a case wraps calls (in-process) or a
+// child-spawn (subprocess isolation) whose child-side call spans are
+// re-parented under it.
+const (
+	KindCampaign  = "campaign"      // one mutation-analysis run
+	KindReference = "reference"     // the campaign's original-program run
+	KindMutant    = "mutant"        // one mutant's suite run
+	KindSuite     = "suite"         // one testexec.Run
+	KindCase      = "case"          // one executed test case
+	KindCall      = "call"          // one dispatched call (ctor, method, dtor, reporter)
+	KindSpawn     = "child-spawn"   // one subprocess case-server execution
+	KindSoakGen   = "soak-generate" // one GenerateSoak invocation
+	KindSoakCase  = "soak-case"     // one generated random-walk case
+)
+
+// KnownKind reports whether kind is part of the span schema.
+func KnownKind(kind string) bool {
+	switch kind {
+	case KindCampaign, KindReference, KindMutant, KindSuite, KindCase,
+		KindCall, KindSpawn, KindSoakGen, KindSoakCase:
+		return true
+	}
+	return false
+}
+
+// Span is one NDJSON trace record. StartUS/DurUS are microseconds; StartUS
+// is relative to the emitting tracer's epoch (its creation time), so spans
+// shipped back from a child process carry the child's own clock. Attrs
+// carry only deterministic labels (outcome, method, exit code) plus the few
+// documented volatile keys (see Volatile).
+type Span struct {
+	ID      SpanID            `json:"id"`
+	Parent  SpanID            `json:"parent,omitempty"`
+	Kind    string            `json:"kind"`
+	Name    string            `json:"name"`
+	StartUS int64             `json:"startUs"`
+	DurUS   int64             `json:"durUs"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer emits spans, either as NDJSON lines on a writer or into an
+// in-memory collector (NewCollector). All methods are safe for concurrent
+// use and safe on a nil receiver — a nil *Tracer is the disabled tracer,
+// so call sites thread it without nil checks on the hot path.
+type Tracer struct {
+	mu         sync.Mutex
+	enc        *json.Encoder
+	collect    []Span
+	collecting bool
+	err        error
+	nextID     SpanID
+	clock      func() time.Time
+	epoch      time.Time
+}
+
+// NewTracer returns a tracer writing one JSON span per line to w (NDJSON).
+// A span's line is written when it ends, so child lines precede their
+// parent's.
+func NewTracer(w io.Writer) *Tracer {
+	t := newTracer()
+	t.enc = json.NewEncoder(w)
+	return t
+}
+
+// NewCollector returns a tracer that buffers spans in memory; read them
+// back with Spans. This is what a subprocess case server uses to ship its
+// spans to the parent, and what determinism tests compare.
+func NewCollector() *Tracer {
+	t := newTracer()
+	t.collecting = true
+	return t
+}
+
+func newTracer() *Tracer {
+	now := time.Now()
+	return &Tracer{clock: time.Now, epoch: now}
+}
+
+// Spans returns a copy of the collected spans (collector tracers only).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.collect))
+	copy(out, t.collect)
+	return out
+}
+
+// Err returns the first emission error (a failed write on the NDJSON
+// sink). Trace I/O failures never affect execution; callers check Err once
+// at the end of a run.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+func (t *Tracer) emit(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.collecting {
+		t.collect = append(t.collect, s)
+		return
+	}
+	if t.err == nil {
+		if err := t.enc.Encode(s); err != nil {
+			t.err = fmt.Errorf("obs: emitting span: %w", err)
+		}
+	}
+}
+
+func (t *Tracer) allocID() SpanID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	return t.nextID
+}
+
+// Start opens a span under the given parent (0 for a root). It returns nil
+// on a nil tracer; ActiveSpan methods are nil-safe, so the disabled path
+// costs one nil check.
+func (t *Tracer) Start(parent SpanID, kind, name string) *ActiveSpan {
+	if t == nil {
+		return nil
+	}
+	now := t.clock()
+	return &ActiveSpan{
+		t:     t,
+		start: now,
+		span: Span{
+			ID:      t.allocID(),
+			Parent:  parent,
+			Kind:    kind,
+			Name:    name,
+			StartUS: now.Sub(t.epoch).Microseconds(),
+		},
+	}
+}
+
+// EmitChildren re-emits spans recorded by another tracer (a child
+// process's collector) into this stream, re-parented under parent: every
+// span gets a fresh ID, intra-batch parent links are preserved, and spans
+// whose parent is outside the batch (the child's roots) are attached to
+// parent. Child StartUS values stay on the child's clock.
+func (t *Tracer) EmitChildren(parent SpanID, spans []Span) {
+	if t == nil || len(spans) == 0 {
+		return
+	}
+	idMap := make(map[SpanID]SpanID, len(spans))
+	for _, s := range spans {
+		idMap[s.ID] = t.allocID()
+	}
+	for _, s := range spans {
+		s.ID = idMap[s.ID]
+		if mapped, ok := idMap[s.Parent]; ok && s.Parent != 0 {
+			s.Parent = mapped
+		} else {
+			s.Parent = parent
+		}
+		t.emit(s)
+	}
+}
+
+// ActiveSpan is an open span. SetAttr and End are nil-safe; End is
+// idempotent. An ActiveSpan is used from one goroutine (the one running
+// the work it measures).
+type ActiveSpan struct {
+	t     *Tracer
+	start time.Time
+	span  Span
+	ended bool
+}
+
+// ID returns the span's ID, or 0 on a nil span — which parents any child
+// span at the root, keeping nested Start calls nil-safe end to end.
+func (s *ActiveSpan) ID() SpanID {
+	if s == nil {
+		return 0
+	}
+	return s.span.ID
+}
+
+// SetAttr records a label on the span. Call before End; attrs set after
+// End are dropped.
+func (s *ActiveSpan) SetAttr(key, value string) {
+	if s == nil || s.ended {
+		return
+	}
+	if s.span.Attrs == nil {
+		s.span.Attrs = make(map[string]string, 4)
+	}
+	s.span.Attrs[key] = value
+}
+
+// End closes the span, stamps its duration and emits it.
+func (s *ActiveSpan) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.span.DurUS = s.t.clock().Sub(s.start).Microseconds()
+	s.t.emit(s.span)
+}

@@ -1,0 +1,119 @@
+package hostile_test
+
+// Regression coverage for the isolation backstop: before the fix the
+// parent armed a kill deadline only when CaseTimeout was set, so an
+// isolated case whose child wedged in a hard loop — with no cooperative
+// timeout configured — hung the campaign forever.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"concat/internal/obs"
+	"concat/internal/sandbox/hostile"
+	"concat/internal/testexec"
+)
+
+// TestIsolationBackstopTerminatesHangWithoutCaseTimeout runs an isolated
+// infinite-loop case with CaseTimeout unset. The parent's backstop (here
+// shortened from its 30s default to keep the test fast; the default wiring
+// is covered by TestIsolationDeadlinePrecedence in testexec) must kill the
+// child and classify the case as a timeout instead of hanging.
+func TestIsolationBackstopTerminatesHangWithoutCaseTimeout(t *testing.T) {
+	opts := isolatedOpts(t, hostile.Context{Behavior: hostile.InfiniteLoop})
+	if opts.CaseTimeout != 0 {
+		t.Fatalf("precondition: CaseTimeout must be unset, got %v", opts.CaseTimeout)
+	}
+	opts.IsolationBackstop = 2 * time.Second
+
+	done := make(chan *testexec.Report, 1)
+	go func() {
+		rep, err := testexec.Run(suiteFor(hostile.InfiniteLoop, 1), hostile.NewFactory(hostile.InfiniteLoop), opts)
+		if err != nil {
+			t.Errorf("Run: %v", err)
+			done <- nil
+			return
+		}
+		done <- rep
+	}()
+	var rep *testexec.Report
+	select {
+	case rep = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("isolated hang was not terminated: the backstop did not arm")
+	}
+	if rep == nil {
+		return
+	}
+	res := rep.Results[0]
+	if res.Outcome != testexec.OutcomeTimeout {
+		t.Fatalf("outcome = %s (detail %q), want timeout from the harness backstop", res.Outcome, res.Detail)
+	}
+	if !strings.Contains(res.Detail, "harness deadline") {
+		t.Errorf("detail = %q, want the backstop kill message", res.Detail)
+	}
+}
+
+// TestIsolationShipsChildSpans: with tracing on, an isolated case's child
+// process collects its call spans and the parent re-parents them under the
+// case's child-spawn span — and the piggybacking leaves the case result
+// exactly as an untraced run reports it.
+func TestIsolationShipsChildSpans(t *testing.T) {
+	s := suiteFor(hostile.Benign, 1)
+	plain, err := testexec.Run(s, hostile.NewFactory(hostile.Benign),
+		isolatedOpts(t, hostile.Context{Behavior: hostile.Benign}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewCollector()
+	opts := isolatedOpts(t, hostile.Context{Behavior: hostile.Benign})
+	opts.Trace = tr
+	traced, err := testexec.Run(s, hostile.NewFactory(hostile.Benign), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain.Results, traced.Results) {
+		t.Errorf("tracing changed the isolated results:\n%+v\nvs\n%+v", plain.Results, traced.Results)
+	}
+
+	spans := tr.Spans()
+	if err := obs.ValidateTrace(spans); err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	var spawn, childCalls int
+	var spawnID obs.SpanID
+	for _, sp := range spans {
+		if sp.Kind == obs.KindSpawn {
+			spawn++
+			spawnID = sp.ID
+		}
+	}
+	if spawn != 1 {
+		t.Fatalf("child-spawn spans = %d, want 1", spawn)
+	}
+	// The child's call spans must hang off the spawn span after rebasing
+	// (directly, or via a rebased child-side parent).
+	byID := map[obs.SpanID]obs.Span{}
+	for _, sp := range spans {
+		byID[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.Kind != obs.KindCall {
+			continue
+		}
+		cur := sp
+		for cur.Parent != 0 {
+			if cur.Parent == spawnID {
+				childCalls++
+				break
+			}
+			cur = byID[cur.Parent]
+		}
+	}
+	if childCalls == 0 {
+		t.Error("no call spans re-parented under the child-spawn span")
+	}
+}

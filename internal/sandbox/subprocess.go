@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"syscall"
 	"time"
+
+	"concat/internal/obs"
 )
 
 // ProcessSpec describes one resource-bounded subprocess run.
@@ -25,6 +27,10 @@ type ProcessSpec struct {
 	// (the head is kept). Zero applies an 8MB default — the cap exists so a
 	// flooding child cannot exhaust the harness's memory.
 	MaxOutputBytes int64
+	// Span, when set, is annotated with the child's exit classification
+	// (exitCode, timedOut, fatal). RunProcess never ends the span — its
+	// lifetime belongs to the caller.
+	Span *obs.ActiveSpan
 }
 
 // ProcessResult is the classified outcome of a subprocess run. A non-nil
@@ -97,6 +103,15 @@ func RunProcess(spec ProcessSpec) (*ProcessResult, error) {
 	}
 	if waitErr != nil || res.ExitCode != 0 {
 		res.FatalSummary = summarizeFatal(cmd.ProcessState.String(), res.Stderr)
+	}
+	if spec.Span != nil {
+		spec.Span.SetAttr("exitCode", fmt.Sprintf("%d", res.ExitCode))
+		if res.TimedOut {
+			spec.Span.SetAttr("timedOut", "true")
+		}
+		if res.FatalSummary != "" {
+			spec.Span.SetAttr("fatal", res.FatalSummary)
+		}
 	}
 	return res, nil
 }

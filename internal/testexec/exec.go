@@ -19,6 +19,7 @@ import (
 	"io"
 	"math/rand/v2"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"concat/internal/component"
 	"concat/internal/domain"
 	"concat/internal/driver"
+	"concat/internal/obs"
 	"concat/internal/sandbox"
 	"concat/internal/tspec"
 )
@@ -123,6 +125,14 @@ type Report struct {
 	// isolation never abandons goroutines in the harness (the leak dies
 	// with the child), so the count stays zero there.
 	AbandonedGoroutines int
+
+	// indexOnce/index back Result's by-ID lookup. The index is built
+	// lazily on the first Result call — after Results is final — so
+	// resolving many case IDs (per-killing-case resolution over a large
+	// campaign) is linear instead of quadratic. Results keeps its suite
+	// order; the index is a read-side cache only.
+	indexOnce sync.Once
+	index     map[string]int
 }
 
 // Counts returns the number of cases per outcome.
@@ -170,14 +180,24 @@ func (r *Report) Summary() string {
 	return fmt.Sprintf("%s: %d cases (%s)", r.Component, len(r.Results), strings.Join(parts, ", "))
 }
 
-// Result returns the result for a case ID.
+// Result returns the result for a case ID. The first call builds a
+// CaseID index over Results (first occurrence wins, matching the old
+// linear scan), so repeated lookups are O(1). Call it only once the report
+// is complete — results appended after the first lookup are not indexed.
 func (r *Report) Result(caseID string) (CaseResult, bool) {
-	for _, c := range r.Results {
-		if c.CaseID == caseID {
-			return c, true
+	r.indexOnce.Do(func() {
+		r.index = make(map[string]int, len(r.Results))
+		for i, c := range r.Results {
+			if _, dup := r.index[c.CaseID]; !dup {
+				r.index[c.CaseID] = i
+			}
 		}
+	})
+	i, ok := r.index[caseID]
+	if !ok {
+		return CaseResult{}, false
 	}
-	return CaseResult{}, false
+	return r.Results[i], true
 }
 
 // Oracle checks a completed case's observable output. The golden oracle
@@ -257,6 +277,24 @@ type Options struct {
 	// sandbox.DefaultRetryPolicy. Retries never change a case's
 	// classification — only deterministic errors reach the report.
 	SpawnRetry sandbox.RetryPolicy
+	// IsolationBackstop overrides the parent-side deadline applied to an
+	// isolated case server. Zero derives it from CaseTimeout when that is
+	// set, and falls back to DefaultIsolationBackstop when it is not — a
+	// wedged child (a hang the cooperative timeout cannot reach) is always
+	// killed eventually; no campaign blocks forever on one case.
+	IsolationBackstop time.Duration
+	// Trace receives the run's structured span stream (suite → case →
+	// call / child-spawn); nil disables tracing. Timing lives ONLY in this
+	// side channel: the Report, its transcripts and every golden comparison
+	// are byte-identical with tracing on or off, serial or parallel.
+	Trace *obs.Tracer
+	// TraceParent is the span the suite span nests under (a campaign or
+	// mutant span); zero makes the suite span a trace root.
+	TraceParent obs.SpanID
+	// Metrics, when non-nil, accumulates per-outcome counters, duration
+	// histograms and slowest-case lists for the run — the aggregate side
+	// channel next to Trace, under the same determinism contract.
+	Metrics *obs.Metrics
 }
 
 // CaseSeed derives the RNG seed for one test case from the suite seed and
@@ -292,7 +330,17 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 	}
 	abandonedAtStart := ledger.Abandoned()
 	spec := f.Spec()
-	runOne := func(tc driver.TestCase) (res CaseResult) {
+
+	// The suite span roots the run's trace; every case span hangs off it.
+	// Span attrs carry only deterministic labels — wall-clock lives in the
+	// span timings, which normalization ignores.
+	suiteSpan := opts.Trace.Start(opts.TraceParent, obs.KindSuite, s.Component)
+	suiteSpan.SetAttr("cases", strconv.Itoa(len(s.Cases)))
+	if opts.Isolation == IsolateSubprocess {
+		suiteSpan.SetAttr("isolation", "subprocess")
+	}
+
+	runCaseInner := func(tc driver.TestCase, caseSpan *obs.ActiveSpan) (res CaseResult) {
 		seed := CaseSeed(opts.Seed, tc.ID)
 		// Harness hooks run outside runCase's recovery: a panicking
 		// Forker.Fork, provider map, or Oracle.Check must become a recorded
@@ -307,7 +355,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		if opts.Isolation == IsolateSubprocess {
 			// The child process is the case's fresh world; forking and
 			// provider resolution happen behind the case server's resolver.
-			res = runCaseIsolated(s.Component, tc, opts, seed)
+			res = runCaseIsolated(s.Component, tc, opts, seed, caseSpan)
 		} else {
 			// Components whose instances share mutable context
 			// (component.Forker) get a fresh world per case: without this, a
@@ -322,7 +370,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 					caseOpts.Providers = ps.Providers()
 				}
 			}
-			res = runCaseBounded(tc, cf, spec, caseOpts, seed, ledger)
+			res = runCaseBounded(tc, cf, spec, caseOpts, seed, ledger, caseSpan.ID())
 		}
 		res.Seed = seed
 		if opts.Oracle != nil && res.Outcome == OutcomePass {
@@ -333,11 +381,36 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		}
 		return res
 	}
+	runOne := func(tc driver.TestCase) CaseResult {
+		caseSpan := opts.Trace.Start(suiteSpan.ID(), obs.KindCase, tc.ID)
+		caseSpan.SetAttr("transaction", tc.Transaction)
+		var begin time.Time
+		if opts.Metrics != nil {
+			begin = time.Now()
+		}
+		res := runCaseInner(tc, caseSpan)
+		caseSpan.SetAttr("outcome", res.Outcome.String())
+		if res.Method != "" {
+			caseSpan.SetAttr("method", res.Method)
+		}
+		caseSpan.End()
+		if opts.Metrics != nil {
+			opts.Metrics.Inc("case.total", 1)
+			opts.Metrics.Inc("case.outcome."+res.Outcome.String(), 1)
+			opts.Metrics.Observe("case.duration", tc.ID, time.Since(begin))
+		}
+		return res
+	}
 
 	report := &Report{Component: s.Component}
 	workers := opts.Parallelism
 	if workers > len(s.Cases) {
 		workers = len(s.Cases)
+	}
+	finish := func() {
+		report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
+		suiteSpan.End()
+		opts.Metrics.Inc("suite.runs", 1)
 	}
 	if workers <= 1 {
 		for _, tc := range s.Cases {
@@ -345,7 +418,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 			writeLog(log, res)
 			report.Results = append(report.Results, res)
 		}
-		report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
+		finish()
 		return report, nil
 	}
 
@@ -374,7 +447,8 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		writeLog(log, res)
 	}
 	report.Results = results
-	report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
+	suiteSpan.SetAttr("parallelism", strconv.Itoa(workers))
+	finish()
 	return report, nil
 }
 
@@ -390,15 +464,15 @@ const (
 // (and settles its entry if it ever completes), while the timeout result
 // keeps the case's seed and the partial transcript written so far — a
 // timeout kill is as diagnosable as a panic.
-func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, ledger *sandbox.Ledger) CaseResult {
+func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, ledger *sandbox.Ledger, caseSpan obs.SpanID) CaseResult {
 	tb := newTranscript(opts.MaxTranscriptBytes)
 	if opts.CaseTimeout <= 0 {
-		return runCase(tc, f, spec, opts, seed, tb)
+		return runCase(tc, f, spec, opts, seed, tb, caseSpan)
 	}
 	done := make(chan CaseResult, 1)
 	var state atomic.Int32
 	go func() {
-		res := runCase(tc, f, spec, opts, seed, tb)
+		res := runCase(tc, f, spec, opts, seed, tb, caseSpan)
 		if state.CompareAndSwap(caseRunning, caseFinished) {
 			done <- res
 			return
@@ -436,15 +510,32 @@ func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, o
 // cases" kill criterion. The transcript accumulates in tb so the timeout
 // watchdog can snapshot a partial transcript, and so the cap
 // (Options.MaxTranscriptBytes) cuts flooding cases off deterministically.
-func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, tb *transcript) (res CaseResult) {
+func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, tb *transcript, caseSpan obs.SpanID) (res CaseResult) {
 	res = CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Outcome: OutcomePass}
 	currentMethod := ""
+	// curCall is the call span of the dispatch in flight: on a panic the
+	// deferred recovery closes it with a "panic" status, so the crashing
+	// call is visible in the trace instead of a dangling un-emitted span.
+	var curCall *obs.ActiveSpan
+	startCall := func(method string) *obs.ActiveSpan {
+		sp := opts.Trace.Start(caseSpan, obs.KindCall, method)
+		curCall = sp
+		return sp
+	}
+	endCall := func(sp *obs.ActiveSpan, status string) {
+		sp.SetAttr("status", status)
+		sp.End()
+		curCall = nil
+	}
 	defer func() {
 		res.Transcript = tb.String()
 		if p := recover(); p != nil {
 			res.Outcome = OutcomePanic
 			res.Method = currentMethod
 			res.Detail = fmt.Sprintf("panic: %v", p)
+			if curCall != nil {
+				endCall(curCall, "panic")
+			}
 		}
 	}()
 
@@ -496,11 +587,14 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	// Birth: the first call is the constructor.
 	ctor := calls[0]
 	currentMethod = ctor.Method
+	ctorSpan := startCall(ctor.Method)
 	if err := budget.Step(); err != nil {
+		endCall(ctorSpan, "resource-exhausted")
 		return exhausted(ctor.Method, err)
 	}
 	cut, err := f.New(ctor.Method, ctor.Args)
 	if err != nil {
+		endCall(ctorSpan, "harness-error")
 		res.Outcome = OutcomeError
 		res.Method = ctor.Method
 		res.Detail = fmt.Sprintf("constructor failed: %v", err)
@@ -520,8 +614,10 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	}
 	fmt.Fprintf(tb, "NEW %s(%s)\n", ctor.Method, argList(ctor.Args))
 	if tb.Truncated() {
+		endCall(ctorSpan, "resource-exhausted")
 		return exhausted(ctor.Method, errors.New(tb.limitDetail()))
 	}
+	endCall(ctorSpan, "ok")
 
 	// checkInvariant classifies an invariant-check failure: nil (holds),
 	// a *bit.Violation (the partial oracle's verdict), or a sandbox
@@ -563,30 +659,36 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	// Processing and death: remaining calls, invariant around each.
 	for _, call := range calls[1:] {
 		currentMethod = call.Method
+		callSpan := startCall(call.Method)
 		if err := budget.Step(); err != nil {
+			endCall(callSpan, "resource-exhausted")
 			return exhausted(call.Method, err)
 		}
 		if isDestructor(spec, call) {
 			fmt.Fprintf(tb, "DESTROY %s\n", call.Method)
 			if err := cut.Destroy(); err != nil {
 				if v, ok := bit.AsViolation(err); ok {
+					endCall(callSpan, "assertion-violation")
 					res.Outcome = OutcomeViolation
 					res.Method = call.Method
 					res.ViolationKind = v.Kind
 					res.Detail = v.Error()
 					return res
 				}
+				endCall(callSpan, "harness-error")
 				res.Outcome = OutcomeError
 				res.Method = call.Method
 				res.Detail = fmt.Sprintf("destructor failed: %v", err)
 				return res
 			}
 			destroyed = true
+			endCall(callSpan, "ok")
 			continue
 		}
 		results, err := cut.Invoke(call.Method, call.Args)
 		if err != nil {
 			if v, ok := bit.AsViolation(err); ok {
+				endCall(callSpan, "assertion-violation")
 				res.Outcome = OutcomeViolation
 				res.Method = call.Method
 				res.ViolationKind = v.Kind
@@ -594,6 +696,7 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 				return res
 			}
 			if sandbox.IsExhausted(err) {
+				endCall(callSpan, "resource-exhausted")
 				return exhausted(call.Method, err)
 			}
 			// A non-contract error is observable behaviour: record it in
@@ -601,14 +704,18 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 			// oracle can compare error behaviour between runs.
 			fmt.Fprintf(tb, "CALL %s(%s) -> error: %v\n", call.Method, argList(call.Args), err)
 			if tb.Truncated() {
+				endCall(callSpan, "resource-exhausted")
 				return exhausted(call.Method, errors.New(tb.limitDetail()))
 			}
+			endCall(callSpan, "error")
 			continue
 		}
 		fmt.Fprintf(tb, "CALL %s(%s) -> [%s]\n", call.Method, argList(call.Args), argList(results))
 		if tb.Truncated() {
+			endCall(callSpan, "resource-exhausted")
 			return exhausted(call.Method, errors.New(tb.limitDetail()))
 		}
+		endCall(callSpan, "ok")
 		if err := checkInvariant(call.Method); err != nil {
 			return classify(call.Method, err)
 		}
@@ -620,11 +727,13 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	// cap — so a flooding Reporter is stopped cooperatively and never
 	// interleaves a partial dump into the transcript.
 	if !opts.SkipReporter && !destroyed {
+		repSpan := startCall("reporter")
 		mb := &meteredBuilder{t: tb}
 		err := cut.Reporter(mb)
 		if sandbox.IsExhausted(err) || tb.Truncated() {
 			// Truncated() also catches a Reporter that swallowed the metered
 			// writer's exhaustion error and returned nil.
+			endCall(repSpan, "resource-exhausted")
 			return exhausted("reporter", errors.New(tb.limitDetail()))
 		}
 		if err == nil {
@@ -634,22 +743,27 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 				tb.writeRaw("\n")
 			}
 		}
+		endCall(repSpan, "ok")
 	}
 	if !destroyed {
+		dtorSpan := startCall("destroy")
 		if err := cut.Destroy(); err != nil {
 			if v, ok := bit.AsViolation(err); ok {
+				endCall(dtorSpan, "assertion-violation")
 				res.Outcome = OutcomeViolation
 				res.Method = "destroy"
 				res.ViolationKind = v.Kind
 				res.Detail = v.Error()
 				return res
 			}
+			endCall(dtorSpan, "harness-error")
 			res.Outcome = OutcomeError
 			res.Method = "destroy"
 			res.Detail = fmt.Sprintf("destructor failed: %v", err)
 			return res
 		}
 		destroyed = true
+		endCall(dtorSpan, "ok")
 	}
 	return res
 }

@@ -21,8 +21,30 @@ import (
 	"concat/internal/component"
 	"concat/internal/domain"
 	"concat/internal/driver"
+	"concat/internal/obs"
 	"concat/internal/sandbox"
 )
+
+// DefaultIsolationBackstop is the parent-side kill deadline for an
+// isolated case when no CaseTimeout is configured. Without it a child
+// wedged in a hard loop (no cooperative timeout to trip) would hang the
+// campaign forever — the parent must always hold a deadline of last
+// resort.
+const DefaultIsolationBackstop = 30 * time.Second
+
+// isolationDeadline computes the parent backstop for one isolated case.
+// An explicit Options.IsolationBackstop wins; otherwise the backstop is
+// derived from CaseTimeout (double it, plus slack for process startup),
+// falling back to DefaultIsolationBackstop when no CaseTimeout is set.
+func isolationDeadline(opts Options) time.Duration {
+	if opts.IsolationBackstop > 0 {
+		return opts.IsolationBackstop
+	}
+	if opts.CaseTimeout > 0 {
+		return 2*opts.CaseTimeout + 30*time.Second
+	}
+	return DefaultIsolationBackstop
+}
 
 // IsolationMode selects how the executor contains crashes.
 type IsolationMode int
@@ -69,6 +91,9 @@ type caseRequest struct {
 	StepBudget          int64           `json:"stepBudget,omitempty"`
 	MaxTranscriptBytes  int64           `json:"maxTranscriptBytes,omitempty"`
 	Context             json.RawMessage `json:"context,omitempty"`
+	// Trace asks the child to collect its call spans and ship them back
+	// piggybacked on CaseResult.Extra (see obs.WrapExtra).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // caseResponse is the child-to-parent wire form. A child that dies before
@@ -119,12 +144,20 @@ func ServeCase(r io.Reader, w io.Writer, resolve Resolver) error {
 		StepBudget:          req.StepBudget,
 		MaxTranscriptBytes:  req.MaxTranscriptBytes,
 	}
+	if req.Trace {
+		// Collect the child's call spans in memory; they travel back to the
+		// parent inside Extra and are re-parented under the spawn span there.
+		opts.Trace = obs.NewCollector()
+	}
 	// The child process is the case's fresh world — no Forker dance needed;
 	// leaked timeout goroutines die with the process.
-	res := runCaseBounded(req.Case, f, f.Spec(), opts, req.Seed, nil)
+	res := runCaseBounded(req.Case, f, f.Spec(), opts, req.Seed, nil, 0)
 	res.Seed = req.Seed
 	if resolved.Finish != nil {
 		res.Extra = resolved.Finish()
+	}
+	if req.Trace {
+		res.Extra = obs.WrapExtra(res.Extra, opts.Trace.Spans())
 	}
 	return respond(caseResponse{Result: &res})
 }
@@ -132,8 +165,10 @@ func ServeCase(r io.Reader, w io.Writer, resolve Resolver) error {
 // runCaseIsolated executes one case in a child case server and classifies
 // the child's fate into a CaseResult. Spawn failures are retried under the
 // transient-error policy; every other failure mode is deterministic.
-func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, seed int64) CaseResult {
+func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, seed int64, caseSpan *obs.ActiveSpan) CaseResult {
 	base := CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Seed: seed}
+	spawn := opts.Trace.Start(caseSpan.ID(), obs.KindSpawn, tc.ID)
+	defer spawn.End()
 	req := caseRequest{
 		Component:           componentName,
 		Case:                tc,
@@ -144,9 +179,11 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 		StepBudget:          opts.StepBudget,
 		MaxTranscriptBytes:  opts.MaxTranscriptBytes,
 		Context:             opts.IsolationContext,
+		Trace:               opts.Trace != nil,
 	}
 	payload, err := json.Marshal(req)
 	if err != nil {
+		spawn.SetAttr("exit", "encode-error")
 		base.Outcome = OutcomeError
 		base.Detail = fmt.Sprintf("encoding isolated case request: %v", err)
 		return base
@@ -155,6 +192,7 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 	if len(argv) == 0 {
 		exe, err := os.Executable()
 		if err != nil {
+			spawn.SetAttr("exit", "exe-error")
 			base.Outcome = OutcomeError
 			base.Detail = fmt.Sprintf("resolving executable for isolation: %v", err)
 			return base
@@ -162,32 +200,41 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 		argv = []string{exe, "run-case"}
 	}
 	// The child applies CaseTimeout itself; the parent deadline is a
-	// backstop for a child wedged beyond cooperation.
-	var deadline time.Duration
-	if opts.CaseTimeout > 0 {
-		deadline = 2*opts.CaseTimeout + 30*time.Second
-	}
+	// backstop for a child wedged beyond cooperation. It is always armed:
+	// with no CaseTimeout to derive from, DefaultIsolationBackstop caps the
+	// child so a hard-looping mutant cannot hang the campaign.
+	deadline := isolationDeadline(opts)
 	policy := opts.SpawnRetry
 	if policy.Attempts == 0 {
 		policy = sandbox.DefaultRetryPolicy()
 	}
 	var proc *sandbox.ProcessResult
+	attempts := 0
 	err = sandbox.Retry(policy, func() error {
+		attempts++
 		var spawnErr error
 		proc, spawnErr = sandbox.RunProcess(sandbox.ProcessSpec{
 			Argv:    argv,
 			Stdin:   payload,
 			Env:     append([]string{ServerEnv + "=1"}, opts.IsolationEnv...),
 			Timeout: deadline,
+			Span:    spawn,
 		})
 		return spawnErr
 	})
+	if spawn != nil && attempts > 1 {
+		spawn.SetAttr("attempts", fmt.Sprintf("%d", attempts))
+	}
+	opts.Metrics.Inc("isolation.spawns", 1)
 	if err != nil {
+		spawn.SetAttr("exit", "spawn-error")
 		base.Outcome = OutcomeError
 		base.Detail = fmt.Sprintf("spawning case server: %v", err)
 		return base
 	}
 	if proc.TimedOut {
+		spawn.SetAttr("exit", "backstop-timeout")
+		opts.Metrics.Inc("isolation.backstop-timeouts", 1)
 		base.Outcome = OutcomeTimeout
 		base.Detail = fmt.Sprintf("isolated case exceeded the %v harness deadline; subprocess killed", deadline)
 		return base
@@ -195,12 +242,22 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 	var resp caseResponse
 	if decErr := json.Unmarshal(proc.Stdout, &resp); decErr == nil && (resp.Result != nil || resp.Error != "") {
 		if resp.Error != "" {
+			spawn.SetAttr("exit", "server-error")
 			base.Outcome = OutcomeError
 			base.Detail = "case server: " + resp.Error
 			return base
 		}
 		res := *resp.Result
 		res.CaseID, res.Transaction = tc.ID, tc.Transaction
+		if opts.Trace != nil {
+			// Split the child's piggybacked spans off Extra and re-parent
+			// them under the spawn span; the report keeps the exact payload
+			// bytes an untraced run would have carried.
+			payload, childSpans := obs.UnwrapExtra(res.Extra)
+			res.Extra = payload
+			opts.Trace.EmitChildren(spawn.ID(), childSpans)
+		}
+		spawn.SetAttr("exit", "ok")
 		return res
 	}
 	// No usable response: the child died before reporting — the fatal
@@ -208,10 +265,12 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 	// the process (criterion (i)); exit 0 with garbage output is a broken
 	// case server, a harness error.
 	if proc.ExitCode != 0 {
+		spawn.SetAttr("exit", "fatal")
 		base.Outcome = OutcomePanic
 		base.Detail = "fatal subprocess failure: " + proc.FatalSummary
 		return base
 	}
+	spawn.SetAttr("exit", "no-result")
 	base.Outcome = OutcomeError
 	base.Detail = "case server exited without a result"
 	return base
