@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden files")
+
+// TestHelpGolden pins `concat help` byte for byte: the help text is the
+// CLI's public contract, and a subcommand added (or renamed) without a
+// deliberate golden update is a review-visible event. Refresh with
+// `go test ./cmd/concat -run TestHelpGolden -update`.
+func TestHelpGolden(t *testing.T) {
+	got := mustRunCLI(t, "help")
+	goldenPath := filepath.Join("testdata", "help.golden")
+	if *updateGolden {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("help output deviates from testdata/help.golden (run with -update after a deliberate change):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Structural guards, independent of the golden bytes: the service
+	// subcommands are advertised, the hidden case server is not.
+	for _, cmd := range []string{"serve", "submit", "status", "mutate", "trace-validate"} {
+		if !strings.Contains(got, "\n  "+cmd) {
+			t.Errorf("help does not list subcommand %q", cmd)
+		}
+	}
+	if strings.Contains(got, "run-case") {
+		t.Error("help leaks the hidden run-case subcommand")
+	}
+	if !strings.Contains(got, "exit codes:") {
+		t.Error("help does not document the exit-code contract")
+	}
+}

@@ -13,11 +13,14 @@
 //	concat paths     <spec.tspec> [-k N] [-criterion all-transactions|all-links|all-nodes]
 //	concat gen       -component NAME | -spec FILE  [-seed N] [-expand] [-alt N] [-k N] [-out FILE]
 //	concat run       -component NAME -suite FILE [-log FILE] [sandbox flags]
-//	concat selftest  -component NAME [-seed N] [-expand] [-alt N] [sandbox flags]
+//	concat selftest  -component NAME [-seed N] [-expand] [-alt N] [-cache-dir DIR] [sandbox flags]
 //	concat derive    -parent NAME -child NAME [-seed N] [-out FILE]
-//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [sandbox flags]
+//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [-cache-dir DIR] [sandbox flags]
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
 //	concat trace-validate <trace.ndjson>
+//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-workers N] [-queue N]
+//	concat submit    [-addr URL] -component NAME [-seed N] [-wait]
+//	concat status    [-addr URL] [-id ID]
 //
 // The suite-running subcommands (run, selftest, soak, mutate) share the
 // sandbox flags: -isolate executes every case in a crash-contained child
@@ -28,23 +31,48 @@
 // call / child-spawn) and -metrics FILE writes an aggregated snapshot of
 // counters and duration histograms at exit. Both are side channels —
 // reports and tables are byte-identical with or without them.
+//
+// selftest and mutate additionally accept -cache-dir DIR, a
+// content-addressed verdict store: a warm re-run of an unchanged campaign
+// is served from the store (byte-identical output), and after a change only
+// the affected mutants re-execute. `concat serve` shares one such store
+// across all submitted campaigns.
+//
+// # Exit codes
+//
+// concat exits 0 on success, 1 on any usage or execution error, and 2 when
+// a mutation campaign (mutate, or submit -wait) completes but at least one
+// non-equivalent mutant survived the test set — distinguishing "the tool
+// failed" from "the test set is inadequate" for CI pipelines.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
+	"concat/internal/analysis"
 	"concat/internal/core"
 	"concat/internal/driver"
 	"concat/internal/obs"
+	"concat/internal/serve"
+	"concat/internal/store"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
 	"concat/internal/tspec"
 )
+
+// errSurvivors is the sentinel behind exit code 2: the campaign ran to
+// completion, but the test set failed to kill every non-equivalent mutant.
+var errSurvivors = errors.New("mutants survived")
 
 func main() {
 	// When the executor re-executes this binary as a case server (the
@@ -53,8 +81,20 @@ func main() {
 	core.MaybeServeCase()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "concat:", err)
+		if errors.Is(err, errSurvivors) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
+}
+
+// checkSurvivors maps a finished campaign table to the exit-code contract:
+// nil when every non-equivalent mutant was killed, errSurvivors otherwise.
+func checkSurvivors(t *analysis.Table) error {
+	if surv := t.Total.Mutants - t.Total.Killed - t.Total.Equivalent; surv > 0 {
+		return fmt.Errorf("%d non-equivalent %w the test set", surv, errSurvivors)
+	}
+	return nil
 }
 
 func run(args []string, w io.Writer) error {
@@ -91,6 +131,12 @@ func run(args []string, w io.Writer) error {
 		return cmdEmit(rest, w)
 	case "trace-validate":
 		return cmdTraceValidate(rest, w)
+	case "serve":
+		return cmdServe(rest, w)
+	case "submit":
+		return cmdSubmit(rest, w)
+	case "status":
+		return cmdStatus(rest, w)
 	case "run-case":
 		// Hidden: the subprocess-isolation case server (see -isolate). Reads
 		// one case request on stdin, writes the result on stdout.
@@ -125,10 +171,20 @@ subcommands:
   mutate     evaluate a test set by interface mutation (Table 1 operators)
   emit       emit a standalone Go driver source for a suite
   trace-validate  check an NDJSON trace file against the span schema
+  serve      run the campaign service: an HTTP/JSON API over a job queue
+  submit     submit a campaign to a running service (add -wait for the report)
+  status     query a running service for campaign statuses
 
 run, selftest, soak and mutate accept -trace FILE (stream NDJSON spans)
 and -metrics FILE (write an aggregated JSON snapshot at exit); both are
-side channels that never change reports or tables.`)
+side channels that never change reports or tables.
+
+selftest, mutate and serve accept -cache-dir DIR, a content-addressed
+verdict store: unchanged campaigns are served from the store with
+byte-identical output, and only mutants whose inputs changed re-execute.
+
+exit codes: 0 success; 1 error; 2 campaign finished but non-equivalent
+mutants survived (mutate, submit -wait).`)
 }
 
 func loadSpecFile(path string) (*tspec.Spec, error) {
@@ -520,6 +576,7 @@ func cmdRun(args []string, w io.Writer) error {
 func cmdSelfTest(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("selftest", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
+	cacheDir := fs.String("cache-dir", "", "content-addressed report store directory (unchanged runs are served from it)")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
 	of := addObsFlags(fs)
@@ -534,16 +591,29 @@ func cmdSelfTest(args []string, w io.Writer) error {
 		return err
 	}
 	comp := t.New(nil)
+	st, err := openStore(*cacheDir)
+	if err != nil {
+		return err
+	}
 	session, err := of.session()
 	if err != nil {
 		return err
 	}
-	suite, rep, err := comp.SelfTest(gf.options(), session.apply(sf.apply(testexec.Options{})))
+	suite, err := comp.GenerateSuite(gf.options())
+	if err != nil {
+		_ = session.close()
+		return fmt.Errorf("self-test of %q: %w", t.Name, err)
+	}
+	rep, cached, err := comp.RunSuiteCached(suite, session.apply(sf.apply(testexec.Options{})), st)
 	if cerr := session.close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		return err
+		return fmt.Errorf("self-test of %q: %w", t.Name, err)
+	}
+	if cached {
+		// Stderr, not w: cached and fresh runs print identical reports.
+		fmt.Fprintf(os.Stderr, "cache: report served from %s\n", st.Dir())
 	}
 	fmt.Fprintf(w, "%s: %s\n", t.Name, suite.Stats())
 	printReport(w, rep)
@@ -762,11 +832,21 @@ func cmdDerive(args []string, w io.Writer) error {
 	return nil
 }
 
+// openStore opens the content-addressed verdict store at dir; an empty dir
+// is the disabled (nil) store.
+func openStore(dir string) (*store.Store, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	return store.Open(dir)
+}
+
 func cmdMutate(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("mutate", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
 	methods := fs.String("methods", "", "comma-separated methods to mutate (default: the component's experiment methods)")
 	verbose := fs.Bool("v", false, "print per-mutant verdicts")
+	cacheDir := fs.String("cache-dir", "", "content-addressed verdict store directory (warm re-runs skip unchanged mutants)")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
 	of := addObsFlags(fs)
@@ -795,19 +875,33 @@ func cmdMutate(args []string, w io.Writer) error {
 	if *verbose {
 		progress = w
 	}
+	st, err := openStore(*cacheDir)
+	if err != nil {
+		return err
+	}
 	session, err := of.session()
 	if err != nil {
 		return err
 	}
 	res, err := core.MutationRunOpts(*component, suite, methodList, progress,
-		core.MutationOptions{Exec: session.apply(sf.apply(testexec.Options{}))})
+		core.MutationOptions{Exec: session.apply(sf.apply(testexec.Options{})), Store: st})
 	if cerr := session.close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
 		return err
 	}
-	return res.Tabulate().Render(w)
+	if st != nil {
+		// Stderr, not w: the rendered table must stay byte-identical with
+		// and without a cache.
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%s)\n",
+			res.CacheHits, res.CacheMisses, st.Dir())
+	}
+	table := res.Tabulate()
+	if err := table.Render(w); err != nil {
+		return err
+	}
+	return checkSurvivors(table)
 }
 
 func cmdEmit(args []string, w io.Writer) error {
@@ -865,6 +959,183 @@ func cmdTraceValidate(args []string, w io.Writer) error {
 		return fmt.Errorf("trace %s: %w", fs.Arg(0), err)
 	}
 	fmt.Fprintf(w, "trace %s: %d spans, schema-valid\n", fs.Arg(0), n)
+	return nil
+}
+
+// cmdServe runs the campaign service: an HTTP/JSON API over a bounded job
+// queue and worker pool, sharing one verdict store across all submissions.
+// It serves until the process is killed.
+func cmdServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8437", "listen address (host:port)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed verdict store shared by all campaigns")
+	workers := fs.Int("workers", 1, "campaigns running concurrently")
+	queue := fs.Int("queue", 16, "pending-campaign queue depth (full queue returns 503)")
+	parallelism := fs.Int("parallelism", 0, "per-campaign mutant workers (0 = GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := openStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	cfg := serve.Config{
+		Store:       st,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		Parallelism: *parallelism,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	srv := serve.New(cfg)
+	defer srv.Close()
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", *addr, err)
+	}
+	fmt.Fprintf(w, "concat campaign service listening on http://%s\n", ln.Addr())
+	if err := (&http.Server{Handler: srv.Handler()}).Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// serviceURL normalizes the -addr flag of the client subcommands into a
+// base URL.
+func serviceURL(addr string) string {
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	return strings.TrimSuffix(addr, "/")
+}
+
+// readAPIError extracts the {"error": ...} payload of a failed service
+// response.
+func readAPIError(resp *http.Response) error {
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+		return fmt.Errorf("service: %s (HTTP %d)", apiErr.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("service: HTTP %d", resp.StatusCode)
+}
+
+// cmdSubmit posts one campaign to a running service. With -wait it blocks
+// for the finished report, prints it, and applies the same exit-code
+// contract as `concat mutate` (exit 2 on surviving mutants).
+func cmdSubmit(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8437", "service address (host:port or URL)")
+	component := fs.String("component", "", "built-in component name")
+	methods := fs.String("methods", "", "comma-separated methods to mutate")
+	isolate := fs.Bool("isolate", false, "run every case in a crash-contained child process")
+	wait := fs.Bool("wait", false, "block until the campaign finishes and print its report")
+	gf := addGenFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *component == "" {
+		return usageError("submit needs -component")
+	}
+	req := serve.Request{
+		Component: *component,
+		Seed:      gf.seed,
+		Expand:    gf.expand,
+		Alt:       gf.alt,
+		LoopBound: gf.k,
+		Isolate:   *isolate,
+	}
+	if *methods != "" {
+		for _, m := range strings.Split(*methods, ",") {
+			req.Methods = append(req.Methods, strings.TrimSpace(m))
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	base := serviceURL(*addr)
+	resp, err := http.Post(base+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("submitting to %s: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return readAPIError(resp)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return fmt.Errorf("decoding submission response: %w", err)
+	}
+	fmt.Fprintf(w, "submitted %s (%s) -> %s/campaigns/%s\n", st.ID, st.Component, base, st.ID)
+	if !*wait {
+		return nil
+	}
+	// The report endpoint blocks until the job reaches a terminal state.
+	repResp, err := http.Get(base + "/campaigns/" + st.ID + "/report")
+	if err != nil {
+		return fmt.Errorf("fetching report: %w", err)
+	}
+	defer repResp.Body.Close()
+	if repResp.StatusCode != http.StatusOK {
+		return readAPIError(repResp)
+	}
+	if _, err := io.Copy(w, repResp.Body); err != nil {
+		return fmt.Errorf("reading report: %w", err)
+	}
+	final, err := fetchStatus(base, st.ID)
+	if err != nil {
+		return err
+	}
+	if final.Survivors > 0 {
+		return fmt.Errorf("%d non-equivalent %w the test set", final.Survivors, errSurvivors)
+	}
+	return nil
+}
+
+func fetchStatus(base, id string) (serve.Status, error) {
+	resp, err := http.Get(base + "/campaigns/" + id)
+	if err != nil {
+		return serve.Status{}, fmt.Errorf("fetching status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serve.Status{}, readAPIError(resp)
+	}
+	var st serve.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return serve.Status{}, fmt.Errorf("decoding status: %w", err)
+	}
+	return st, nil
+}
+
+// cmdStatus prints campaign statuses from a running service — all jobs in
+// submission order, or one job with -id.
+func cmdStatus(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8437", "service address (host:port or URL)")
+	id := fs.String("id", "", "campaign ID (default: list all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := serviceURL(*addr) + "/campaigns"
+	if *id != "" {
+		url += "/" + *id
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("querying %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return readAPIError(resp)
+	}
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		return fmt.Errorf("reading response: %w", err)
+	}
 	return nil
 }
 

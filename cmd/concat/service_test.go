@@ -1,0 +1,135 @@
+package main
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"concat/internal/serve"
+)
+
+// startService runs the campaign service behind an httptest listener and
+// returns its base URL — what `concat serve` exposes, minus the fixed port.
+func startService(t *testing.T, cfg serve.Config) string {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts.URL
+}
+
+func TestCLISubmitWaitAndStatus(t *testing.T) {
+	url := startService(t, serve.Config{})
+	out := mustRunCLI(t, "submit", "-addr", url, "-component", "Account", "-wait")
+	if !strings.Contains(out, "submitted c1 (Account)") {
+		t.Errorf("submit output lacks acknowledgement: %q", out)
+	}
+	if !strings.Contains(out, "Results obtained for the Account class") {
+		t.Errorf("submit -wait did not print the report:\n%s", out)
+	}
+	statusOut := mustRunCLI(t, "status", "-addr", url, "-id", "c1")
+	for _, want := range []string{`"id": "c1"`, `"state": "done"`} {
+		if !strings.Contains(statusOut, want) {
+			t.Errorf("status output missing %s:\n%s", want, statusOut)
+		}
+	}
+	listOut := mustRunCLI(t, "status", "-addr", url)
+	if !strings.Contains(listOut, `"id": "c1"`) {
+		t.Errorf("status list missing c1:\n%s", listOut)
+	}
+}
+
+func TestCLISubmitWithoutWaitReturnsImmediately(t *testing.T) {
+	url := startService(t, serve.Config{})
+	out := mustRunCLI(t, "submit", "-addr", url, "-component", "Account")
+	if strings.Contains(out, "Results obtained") {
+		t.Errorf("submit without -wait printed a report:\n%s", out)
+	}
+}
+
+func TestCLISubmitSurvivorsExitContract(t *testing.T) {
+	// ObList's own suite leaves survivors, so a waited submission must end
+	// in the errSurvivors sentinel — the CLI maps it to exit code 2.
+	url := startService(t, serve.Config{})
+	out, err := runCLI(t, "submit", "-addr", url, "-component", "ObList", "-wait")
+	if !errors.Is(err, errSurvivors) {
+		t.Errorf("ObList submission error = %v, want errSurvivors", err)
+	}
+	if !strings.Contains(out, "Results obtained for the ObList class") {
+		t.Errorf("report missing despite survivors:\n%s", out)
+	}
+}
+
+func TestCLIMutateSurvivorsExitContract(t *testing.T) {
+	out, err := runCLI(t, "mutate", "-component", "ObList")
+	if !errors.Is(err, errSurvivors) {
+		t.Errorf("mutate ObList error = %v, want errSurvivors", err)
+	}
+	// The table still renders in full before the contract error.
+	if !strings.Contains(out, "Score") {
+		t.Errorf("table missing from survivor run:\n%s", out)
+	}
+}
+
+func TestCLISubmitErrors(t *testing.T) {
+	url := startService(t, serve.Config{})
+	if _, err := runCLI(t, "submit", "-addr", url); err == nil {
+		t.Error("submit without component should fail")
+	}
+	if _, err := runCLI(t, "submit", "-addr", url, "-component", "NoSuch"); err == nil {
+		t.Error("unknown component should fail")
+	}
+	if _, err := runCLI(t, "status", "-addr", url, "-id", "zz"); err == nil {
+		t.Error("unknown campaign ID should fail")
+	}
+	if _, err := runCLI(t, "submit", "-addr", "127.0.0.1:1", "-component", "Account"); err == nil {
+		t.Error("unreachable service should fail")
+	}
+}
+
+func TestCLIMutateCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cold := mustRunCLI(t, "mutate", "-component", "Account", "-cache-dir", dir)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("cache dir is empty after a cold campaign")
+	}
+	warm := mustRunCLI(t, "mutate", "-component", "Account", "-cache-dir", dir)
+	if cold != warm {
+		t.Errorf("warm cached table differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	// The cache-hit path must apply the same verdict contract: survivors
+	// replayed from the store still exit nonzero.
+	if _, err := runCLI(t, "mutate", "-component", "ObList", "-cache-dir", dir); !errors.Is(err, errSurvivors) {
+		t.Fatalf("cold ObList error = %v, want errSurvivors", err)
+	}
+	if _, err := runCLI(t, "mutate", "-component", "ObList", "-cache-dir", dir); !errors.Is(err, errSurvivors) {
+		t.Errorf("warm ObList error = %v, want errSurvivors", err)
+	}
+}
+
+func TestCLISelftestCacheDir(t *testing.T) {
+	dir := t.TempDir()
+	cold := mustRunCLI(t, "selftest", "-component", "Product", "-cache-dir", dir)
+	warm := mustRunCLI(t, "selftest", "-component", "Product", "-cache-dir", dir)
+	if cold != warm {
+		t.Errorf("cached selftest output differs:\n--- cold ---\n%s\n--- warm ---\n%s", cold, warm)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) == 0 {
+		t.Errorf("selftest cache dir empty (err %v)", err)
+	}
+}
+
+func TestCLIServeFlagValidation(t *testing.T) {
+	if _, err := runCLI(t, "serve", "-addr", "not an address"); err == nil {
+		t.Error("invalid listen address should fail")
+	}
+}

@@ -5,10 +5,24 @@
 // Usage:
 //
 //	experiments [-table1] [-figure2] [-figure3] [-figure6] [-counts]
-//	            [-table2] [-table3] [-baseline] [-ablations] [-seed N] [-v]
+//	            [-table2] [-table3] [-baseline] [-ablations] [-seed N]
+//	            [-cache-dir DIR] [-v]
+//
+// With -cache-dir, mutant verdicts are replayed from the content-addressed
+// store when the (spec, suite, mutant, seed, options) fingerprint matches a
+// prior campaign; warm reruns print byte-identical tables.
+//
+// # Exit codes
+//
+//	0  every tabulated campaign killed or proved equivalent all its mutants
+//	1  an experiment failed to run
+//	2  the experiments ran to completion, but non-equivalent mutants
+//	   survived (the paper's own Tables 2-3 numbers leave survivors, so
+//	   this is the expected status for -table2/-table3 runs)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +31,7 @@ import (
 	"concat/internal/core"
 	"concat/internal/experiments"
 	"concat/internal/obs"
+	"concat/internal/store"
 	"concat/internal/testexec"
 )
 
@@ -40,6 +55,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-mutant verdicts")
 		tracePath = flag.String("trace", "", "write NDJSON trace spans to this file; tables are byte-identical either way")
 		metrics   = flag.String("metrics", "", "write an aggregated metrics snapshot (JSON) to this file")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed verdict store directory; warm reruns replay cached verdicts and print byte-identical tables")
 	)
 	flag.Parse()
 
@@ -51,12 +67,20 @@ func main() {
 		figure6: *figure6, counts: *counts, table2: *table2, table3: *table3,
 		baseline: *baseline, ablations: *ablations, seed: *seed,
 		parallel: *parallel, isolate: *isolate, verbose: *verbose,
-		tracePath: *tracePath, metricsPath: *metrics,
+		tracePath: *tracePath, metricsPath: *metrics, cacheDir: *cacheDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
+		if errors.Is(err, errSurvivors) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
+
+// errSurvivors marks a run whose tables are complete but whose mutation
+// campaigns left non-equivalent survivors; main maps it to exit code 2 so
+// scripted callers can distinguish "gaps in the test set" from "broken run".
+var errSurvivors = errors.New("mutants survived")
 
 type selection struct {
 	all, table1, figure2, figure3, figure6      bool
@@ -65,7 +89,7 @@ type selection struct {
 	parallel                                    int
 	isolate                                     bool
 	verbose                                     bool
-	tracePath, metricsPath                      string
+	tracePath, metricsPath, cacheDir            string
 }
 
 func run(w io.Writer, sel selection) (err error) {
@@ -76,6 +100,13 @@ func run(w io.Writer, sel selection) (err error) {
 	cfg.Parallelism = sel.parallel
 	if sel.isolate {
 		cfg.Isolation = testexec.IsolateSubprocess
+	}
+	if sel.cacheDir != "" {
+		st, serr := store.Open(sel.cacheDir)
+		if serr != nil {
+			return fmt.Errorf("opening verdict store: %w", serr)
+		}
+		cfg.Store = st
 	}
 	if sel.tracePath != "" {
 		f, cerr := os.Create(sel.tracePath)
@@ -152,6 +183,10 @@ func run(w io.Writer, sel selection) (err error) {
 		return err
 	}
 
+	// The tabulated campaigns report how many non-equivalent mutants outlived
+	// their test sets; the total decides the exit-code contract.
+	survivors := 0
+
 	if sel.all || sel.counts {
 		section("§4 test-set sizes")
 		c, err := setup.Counts()
@@ -166,9 +201,11 @@ func run(w io.Writer, sel selection) (err error) {
 		if err != nil {
 			return err
 		}
-		if err := res.Tabulate().Render(w); err != nil {
+		table := res.Tabulate()
+		if err := table.Render(w); err != nil {
 			return err
 		}
+		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(paper: 700 mutants, 652 killed, 19 equivalent, total score 95.7%%; 59 kills by assertion)\n")
 	}
 	if sel.all || sel.table3 {
@@ -177,9 +214,11 @@ func run(w io.Writer, sel selection) (err error) {
 		if err != nil {
 			return err
 		}
-		if err := res.Tabulate().Render(w); err != nil {
+		table := res.Tabulate()
+		if err := table.Render(w); err != nil {
 			return err
 		}
+		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(paper: 159 mutants, 101 killed, 0 equivalent, total score 63.5%%)\n")
 	}
 	if sel.all || sel.baseline {
@@ -188,9 +227,11 @@ func run(w io.Writer, sel selection) (err error) {
 		if err != nil {
 			return err
 		}
-		if err := res.Tabulate().Render(w); err != nil {
+		table := res.Tabulate()
+		if err := table.Render(w); err != nil {
 			return err
 		}
+		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(not tabulated in the paper; the Table 3 shortfall below this score is the cost of skipping inherited-only transactions)\n")
 	}
 	if sel.all || sel.ablations {
@@ -233,6 +274,9 @@ func run(w io.Writer, sel selection) (err error) {
 		for _, ca := range cas {
 			fmt.Fprintf(w, "  %-18s %-8d %5.1f%%\n", ca.Criterion, ca.Cases, ca.Score*100)
 		}
+	}
+	if survivors > 0 {
+		return fmt.Errorf("%d non-equivalent %w the tabulated test sets", survivors, errSurvivors)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -41,8 +43,10 @@ func TestRunTables(t *testing.T) {
 		t.Skip("mutation experiments are slow")
 	}
 	var sb strings.Builder
-	if err := run(&sb, selection{table2: true, table3: true, baseline: true, seed: 42}); err != nil {
-		t.Fatalf("run: %v", err)
+	// The published tables leave surviving mutants, so a successful run ends
+	// in the errSurvivors sentinel (exit code 2), not nil.
+	if err := run(&sb, selection{table2: true, table3: true, baseline: true, seed: 42}); !errors.Is(err, errSurvivors) {
+		t.Fatalf("run: %v, want errSurvivors", err)
 	}
 	out := sb.String()
 	for _, want := range []string{
@@ -64,8 +68,8 @@ func TestPublishedNumbersStable(t *testing.T) {
 		t.Skip("mutation experiments are slow")
 	}
 	var sb strings.Builder
-	if err := run(&sb, selection{counts: true, table2: true, table3: true, baseline: true, seed: 42}); err != nil {
-		t.Fatal(err)
+	if err := run(&sb, selection{counts: true, table2: true, table3: true, baseline: true, seed: 42}); !errors.Is(err, errSurvivors) {
+		t.Fatalf("run: %v, want errSurvivors", err)
 	}
 	out := sb.String()
 	for _, want := range []string{
@@ -79,5 +83,29 @@ func TestPublishedNumbersStable(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("published number %q missing from output", want)
 		}
+	}
+}
+
+// TestWarmCacheTablesByteIdentical reruns Table 3 against a shared verdict
+// store: the warm run must replay every verdict and print the same bytes.
+func TestWarmCacheTablesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	dir := t.TempDir()
+	sel := selection{table3: true, seed: 42, cacheDir: dir}
+	var cold strings.Builder
+	if err := run(&cold, sel); !errors.Is(err, errSurvivors) {
+		t.Fatalf("cold run: %v, want errSurvivors", err)
+	}
+	if entries, err := os.ReadDir(dir); err != nil || len(entries) == 0 {
+		t.Fatalf("verdict store empty after cold run (err %v)", err)
+	}
+	var warm strings.Builder
+	if err := run(&warm, sel); !errors.Is(err, errSurvivors) {
+		t.Fatalf("warm run: %v, want errSurvivors", err)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("warm table differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold.String(), warm.String())
 	}
 }

@@ -14,13 +14,16 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concat/internal/component"
+	"concat/internal/core/canon"
 	"concat/internal/driver"
 	"concat/internal/mutation"
 	"concat/internal/obs"
 	"concat/internal/sandbox"
+	"concat/internal/store"
 	"concat/internal/testexec"
 )
 
@@ -133,6 +136,15 @@ type Analysis struct {
 	// the NewFactory-based default. The engine must carry the same site
 	// table as Engine.
 	Provision func() (*mutation.Engine, component.Factory, error)
+	// Store, when non-nil, is the content-addressed verdict cache: before
+	// executing a mutant the analysis looks up (spec-hash, suite-hash,
+	// mutant-hash, seed, options-hash) and serves the recorded verdict on a
+	// hit instead of running the suite. A mutant verdict is a pure function
+	// of those inputs — parallelism, isolation and tracing are
+	// determinism-neutral — so cached campaigns produce byte-identical
+	// tables while re-executing only mutants whose hash inputs changed.
+	// Hits and misses are tallied into Result.CacheHits/CacheMisses.
+	Store *store.Store
 }
 
 // provision resolves the worker-provisioning function: an explicit
@@ -158,6 +170,51 @@ type Result struct {
 	Mutants   []MutantResult
 	// Reference is the original program's report (no mutant active).
 	Reference *testexec.Report
+	// CacheHits/CacheMisses count the verdict-store lookups of this run
+	// (both zero when no Store was configured). Hits are mutants served
+	// from the store without execution; misses were executed and recorded.
+	CacheHits   int
+	CacheMisses int
+}
+
+// cacheState carries the campaign-constant parts of a verdict-store key plus
+// the run's hit/miss tallies. The base key is computed once per Run — only
+// the mutant hash varies between lookups — and the counters are atomics so
+// parallel workers can share one state.
+type cacheState struct {
+	base         store.Key
+	hits, misses atomic.Int64
+}
+
+// cacheState hashes the campaign-constant key components (spec, suite, seed,
+// options). Returns nil when no Store is configured.
+func (a *Analysis) cacheState() (*cacheState, error) {
+	if a.Store == nil {
+		return nil, nil
+	}
+	spec := a.Factory.Spec()
+	if spec == nil {
+		return nil, errors.New("mutation: verdict store requires a factory with a t-spec (the spec hash is part of the cache key)")
+	}
+	specHash, err := spec.CanonicalHash()
+	if err != nil {
+		return nil, fmt.Errorf("mutation: hashing spec: %w", err)
+	}
+	suiteHash, err := canon.Hash(a.Suite)
+	if err != nil {
+		return nil, fmt.Errorf("mutation: hashing suite: %w", err)
+	}
+	optHash, err := a.Exec.ResultFingerprint()
+	if err != nil {
+		return nil, fmt.Errorf("mutation: fingerprinting options: %w", err)
+	}
+	return &cacheState{base: store.Key{
+		Kind:    store.KindMutantVerdict,
+		Spec:    specHash,
+		Suite:   suiteHash,
+		Seed:    a.Exec.Seed,
+		Options: optHash,
+	}}, nil
 }
 
 // Run executes the analysis over the given mutants. It fails fast if the
@@ -166,6 +223,10 @@ type Result struct {
 func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 	if a.Engine == nil || a.Factory == nil || a.Suite == nil {
 		return nil, errors.New("mutation: analysis requires engine, factory and suite")
+	}
+	cache, err := a.cacheState()
+	if err != nil {
+		return nil, err
 	}
 	a.Engine.Deactivate()
 	// The campaign span roots the whole analysis: the reference run and
@@ -193,18 +254,22 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 	out := &Result{Component: a.Suite.Component, Reference: ref}
 	var results []MutantResult
 	if a.Parallelism > 1 && len(mutants) > 1 {
-		results, err = a.runParallel(mutants, golden, campaign.ID())
+		results, err = a.runParallel(mutants, golden, campaign.ID(), cache)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		for _, m := range mutants {
-			res, err := a.runMutant(a.Engine, a.Factory, m, golden, campaign.ID())
+			res, err := a.runMutant(a.Engine, a.Factory, m, golden, campaign.ID(), cache)
 			if err != nil {
 				return nil, err
 			}
 			results = append(results, res)
 		}
+	}
+	if cache != nil {
+		out.CacheHits = int(cache.hits.Load())
+		out.CacheMisses = int(cache.misses.Load())
 	}
 	seenOps := map[mutation.Operator]bool{}
 	for i, res := range results {
@@ -231,7 +296,7 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 // runParallel fans the mutants over Parallelism workers, each with its own
 // engine and factory from Provision. The results slice is index-aligned
 // with the input so every downstream table matches the sequential run.
-func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID) ([]MutantResult, error) {
+func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID, cache *cacheState) ([]MutantResult, error) {
 	provision := a.provision()
 	if provision == nil {
 		return nil, errors.New("mutation: parallel analysis requires NewFactory or Provision")
@@ -267,7 +332,7 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 				if errs[w] != nil {
 					continue // keep draining so the sender never blocks
 				}
-				res, err := a.runMutant(eng, factory, mutants[idx], golden, campaignSpan)
+				res, err := a.runMutant(eng, factory, mutants[idx], golden, campaignSpan, cache)
 				if err != nil {
 					errs[w] = err
 					continue
@@ -290,8 +355,62 @@ func (a *Analysis) runParallel(mutants []mutation.Mutant, golden *testexec.Golde
 }
 
 // runMutant executes the suite against one activated mutant on the given
-// engine/factory pair.
-func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID) (MutantResult, error) {
+// engine/factory pair. With a verdict store configured it first looks the
+// mutant up by content address and, on a hit, replays the recorded verdict
+// without executing the suite.
+func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m mutation.Mutant, golden *testexec.Golden, campaignSpan obs.SpanID, cache *cacheState) (MutantResult, error) {
+	var key store.Key
+	if cache != nil {
+		mhash, err := m.Hash()
+		if err != nil {
+			return MutantResult{}, fmt.Errorf("mutation: hashing mutant %s: %w", m.ID, err)
+		}
+		key = cache.base
+		key.Mutant = mhash
+		var v store.Verdict
+		// A lookup error (corrupt entry) is a miss: the campaign re-executes
+		// and the Put below repairs the entry.
+		if hit, _ := a.Store.Get(key, &v); hit {
+			cache.hits.Add(1)
+			res := MutantResult{
+				Mutant:      m,
+				Killed:      v.Killed,
+				Reason:      KillReason(v.Reason),
+				KillingCase: v.KillingCase,
+				Reached:     v.Reached,
+				Infected:    v.Infected,
+			}
+			span := a.Exec.Trace.Start(campaignSpan, obs.KindMutant, m.ID)
+			span.SetAttr("operator", m.Operator.String())
+			span.SetAttr("cached", "true")
+			span.SetAttr("killed", strconv.FormatBool(res.Killed))
+			if res.Killed {
+				span.SetAttr("reason", res.Reason.String())
+				span.SetAttr("killingCase", res.KillingCase)
+			} else if res.Equivalent() {
+				span.SetAttr("equivalent", "true")
+			}
+			span.End()
+			if met := a.Exec.Metrics; met != nil {
+				met.Inc("mutant.cache-hit", 1)
+				switch {
+				case res.Killed:
+					met.Inc("mutant.killed", 1)
+					met.Inc("mutant.kill."+res.Reason.String(), 1)
+				case res.Equivalent():
+					met.Inc("mutant.equivalent", 1)
+				default:
+					met.Inc("mutant.alive", 1)
+				}
+			}
+			return res, nil
+		}
+		cache.misses.Add(1)
+		if met := a.Exec.Metrics; met != nil {
+			met.Inc("mutant.cache-miss", 1)
+		}
+	}
+
 	if err := eng.Activate(m); err != nil {
 		return MutantResult{}, fmt.Errorf("mutation: %w", err)
 	}
@@ -382,6 +501,20 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 			met.Inc("mutant.equivalent", 1)
 		default:
 			met.Inc("mutant.alive", 1)
+		}
+	}
+	if cache != nil {
+		v := store.Verdict{
+			Killed:      res.Killed,
+			Reason:      int(res.Reason),
+			KillingCase: res.KillingCase,
+			Reached:     res.Reached,
+			Infected:    res.Infected,
+		}
+		// A verdict we computed but cannot record poisons the next warm run's
+		// accounting, so a Put failure is a campaign error, not a warning.
+		if err := a.Store.Put(key, v); err != nil {
+			return MutantResult{}, fmt.Errorf("mutation: recording verdict for %s: %w", m.ID, err)
 		}
 	}
 	return res, nil

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+
+	"concat/internal/component"
+	"concat/internal/components/account"
+	"concat/internal/driver"
+	"concat/internal/mutation"
+	"concat/internal/store"
+)
+
+// cachedAccount builds a fresh Analysis over the account component wired to
+// the verdict store at dir, the way two independent processes would run the
+// same campaign against a shared cache directory.
+func cachedAccount(t *testing.T, dir string) (*Analysis, []mutation.Mutant) {
+	t.Helper()
+	eng := mutation.NewEngine()
+	eng.MustRegisterSites(account.Sites()...)
+	suite, err := driver.Generate(account.Spec(), driver.Options{
+		Seed: 3, ExpandAlternatives: true, MaxAlternatives: 4,
+	})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatalf("Open store: %v", err)
+	}
+	a := &Analysis{
+		Engine:  eng,
+		Factory: account.NewFactoryWithEngine(eng),
+		Suite:   suite,
+		Store:   st,
+	}
+	return a, eng.Enumerate(nil, nil)
+}
+
+// renderAll captures everything a campaign reports: progress lines plus the
+// rendered table — the byte-identity surface of the warm-cache contract.
+func renderAll(t *testing.T, a *Analysis, mutants []mutation.Mutant) (*Result, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	a.Progress = &out
+	res, err := a.Run(mutants)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := res.Tabulate().Render(&out); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	return res, out.Bytes()
+}
+
+func TestWarmCacheByteIdenticalReport(t *testing.T) {
+	dir := t.TempDir()
+
+	coldA, mutants := cachedAccount(t, dir)
+	cold, coldOut := renderAll(t, coldA, mutants)
+	if cold.CacheMisses != len(mutants) || cold.CacheHits != 0 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/%d", cold.CacheHits, cold.CacheMisses, len(mutants))
+	}
+	if n, err := coldA.Store.Len(); err != nil || n != len(mutants) {
+		t.Fatalf("store Len = %d, %v; want %d", n, err, len(mutants))
+	}
+
+	// Warm run: fresh engine, factory, suite and store handle — only the
+	// cache directory is shared. Every mutant must be served from the store
+	// and the full rendered output must match byte for byte.
+	warmA, warmMutants := cachedAccount(t, dir)
+	warm, warmOut := renderAll(t, warmA, warmMutants)
+	if warm.CacheHits != len(mutants) || warm.CacheMisses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want %d/0", warm.CacheHits, warm.CacheMisses, len(mutants))
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Errorf("warm output differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+}
+
+func TestCacheReExecutesOnlyChangedMutants(t *testing.T) {
+	dir := t.TempDir()
+	coldA, mutants := cachedAccount(t, dir)
+	if _, err := coldA.Run(mutants); err != nil {
+		t.Fatal(err)
+	}
+
+	// Perturb one mutant's identity: its content address moves, so the warm
+	// campaign re-executes exactly that one and serves the rest from the
+	// store.
+	warmA, warmMutants := cachedAccount(t, dir)
+	warmMutants[0].ID += "#changed"
+	warm, err := warmA.Run(warmMutants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheMisses != 1 || warm.CacheHits != len(warmMutants)-1 {
+		t.Errorf("warm run after 1 change: hits=%d misses=%d, want %d/1",
+			warm.CacheHits, warm.CacheMisses, len(warmMutants)-1)
+	}
+}
+
+func TestCacheKeyedOnSeed(t *testing.T) {
+	dir := t.TempDir()
+	coldA, mutants := cachedAccount(t, dir)
+	if _, err := coldA.Run(mutants); err != nil {
+		t.Fatal(err)
+	}
+	// A different execution seed is a different campaign: nothing may be
+	// served from the other seed's verdicts.
+	otherA, otherMutants := cachedAccount(t, dir)
+	otherA.Exec.Seed = 99
+	other, err := otherA.Run(otherMutants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.CacheHits != 0 || other.CacheMisses != len(otherMutants) {
+		t.Errorf("different seed: hits=%d misses=%d, want 0/%d", other.CacheHits, other.CacheMisses, len(otherMutants))
+	}
+}
+
+func TestWarmCacheParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	coldA, mutants := cachedAccount(t, dir)
+	_, coldOut := renderAll(t, coldA, mutants)
+
+	// A parallel warm run shares one hit/miss tally across workers and must
+	// still render the identical report.
+	warmA, warmMutants := cachedAccount(t, dir)
+	warmA.Parallelism = 4
+	warmA.NewFactory = func(e *mutation.Engine) component.Factory {
+		return account.NewFactoryWithEngine(e)
+	}
+	warm, warmOut := renderAll(t, warmA, warmMutants)
+	if warm.CacheHits != len(warmMutants) || warm.CacheMisses != 0 {
+		t.Fatalf("parallel warm run: hits=%d misses=%d, want %d/0", warm.CacheHits, warm.CacheMisses, len(warmMutants))
+	}
+	if !bytes.Equal(coldOut, warmOut) {
+		t.Errorf("parallel warm output differs from cold sequential:\n--- cold ---\n%s\n--- warm ---\n%s", coldOut, warmOut)
+	}
+}

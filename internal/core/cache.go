@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"concat/internal/core/canon"
+	"concat/internal/driver"
+	"concat/internal/store"
+	"concat/internal/testexec"
+)
+
+// suiteReportKey builds the verdict-store address of a plain suite run:
+// (spec, suite, seed, result-relevant options) with no mutant component.
+func (c *Component) suiteReportKey(s *driver.Suite, opts testexec.Options) (store.Key, error) {
+	specHash, err := c.Spec().CanonicalHash()
+	if err != nil {
+		return store.Key{}, fmt.Errorf("core: hashing spec: %w", err)
+	}
+	suiteHash, err := canon.Hash(s)
+	if err != nil {
+		return store.Key{}, fmt.Errorf("core: hashing suite: %w", err)
+	}
+	optHash, err := opts.ResultFingerprint()
+	if err != nil {
+		return store.Key{}, fmt.Errorf("core: fingerprinting options: %w", err)
+	}
+	return store.Key{
+		Kind:    store.KindSuiteReport,
+		Spec:    specHash,
+		Suite:   suiteHash,
+		Seed:    opts.Seed,
+		Options: optHash,
+	}, nil
+}
+
+// RunSuiteCached is RunSuite behind the content-addressed report cache: on a
+// hit the recorded report is returned without executing a single case. The
+// second return value reports whether the report came from the store.
+//
+// Caching is bypassed (plain RunSuite, cached == false) when st is nil or
+// when an Oracle is installed — an oracle is an arbitrary callback whose
+// behaviour cannot be fingerprinted into the key.
+func (c *Component) RunSuiteCached(s *driver.Suite, opts testexec.Options, st *store.Store) (*testexec.Report, bool, error) {
+	if st == nil || opts.Oracle != nil {
+		rep, err := c.RunSuite(s, opts)
+		return rep, false, err
+	}
+	key, err := c.suiteReportKey(s, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	var cached testexec.Report
+	// A lookup error (corrupt entry) is a miss; the Put below repairs it.
+	if hit, _ := st.Get(key, &cached); hit {
+		return &cached, true, nil
+	}
+	rep, err := c.RunSuite(s, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := st.Put(key, rep); err != nil {
+		return nil, false, fmt.Errorf("core: recording suite report: %w", err)
+	}
+	return rep, false, nil
+}

@@ -1,0 +1,143 @@
+// Package canon is the canonical JSON encoder underneath every
+// content-addressed identity in the repository: the verdict store's hash
+// keys (internal/store), mutant identities (mutation.Mutant.Hash) and the
+// execution-option fingerprints of testexec. Two values that encode to the
+// same JSON document — regardless of struct field order, map iteration
+// order, or how the document was produced — canonicalize to byte-identical
+// output, so their hashes agree across processes, platforms and runs.
+//
+// The canonical form is:
+//
+//   - object keys sorted bytewise ascending, no duplicates (last wins, as
+//     encoding/json decodes);
+//   - no insignificant whitespace;
+//   - numbers kept as the exact literal encoding/json produced (Go's
+//     shortest-round-trip float formatting is itself deterministic, and
+//     integer literals pass through untouched) — canonicalizing an
+//     already-canonical document never reformats a number;
+//   - strings re-escaped by encoding/json's escaper (stable, HTML-safe);
+//   - null, true and false as themselves.
+//
+// NaN and infinities are unrepresentable — encoding/json rejects them
+// before canonicalization, which is the stable-float policy: a value that
+// cannot round-trip deterministically cannot be part of a cache key.
+package canon
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Marshal encodes v with encoding/json and rewrites the result into the
+// canonical form described in the package comment.
+func Marshal(v any) ([]byte, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("canon: encoding: %w", err)
+	}
+	return Canonicalize(raw)
+}
+
+// Canonicalize rewrites one JSON document into canonical form. The input
+// must be a single valid JSON value.
+func Canonicalize(raw []byte) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var node any
+	if err := dec.Decode(&node); err != nil {
+		return nil, fmt.Errorf("canon: parsing: %w", err)
+	}
+	// Reject trailing garbage: a cache key must be exactly one document.
+	if dec.More() {
+		return nil, fmt.Errorf("canon: trailing data after JSON value")
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, node); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Hash returns the hex SHA-256 of v's canonical encoding — the
+// content-address used for store keys and mutant identities.
+func Hash(v any) (string, error) {
+	b, err := Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// HashRaw canonicalizes an already-encoded JSON document and returns its
+// hex SHA-256 — for payloads produced by a dedicated encoder (a t-spec's
+// SaveJSON) rather than a Go value.
+func HashRaw(raw []byte) (string, error) {
+	b, err := Canonicalize(raw)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func write(buf *bytes.Buffer, node any) error {
+	switch x := node.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		buf.WriteString(x.String())
+	case string:
+		enc, err := json.Marshal(x)
+		if err != nil {
+			return fmt.Errorf("canon: encoding string: %w", err)
+		}
+		buf.Write(enc)
+	case []any:
+		buf.WriteByte('[')
+		for i, elem := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := write(buf, elem); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return fmt.Errorf("canon: encoding key: %w", err)
+			}
+			buf.Write(enc)
+			buf.WriteByte(':')
+			if err := write(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("canon: unexpected node type %T", node)
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package canon
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestMarshalSortsKeys(t *testing.T) {
+	got, err := Marshal(map[string]any{"zeta": 1, "alpha": 2, "mid": map[string]any{"b": 1, "a": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"alpha":2,"mid":{"a":2,"b":1},"zeta":1}`
+	if string(got) != want {
+		t.Errorf("canonical form = %s, want %s", got, want)
+	}
+}
+
+func TestKeyOrderIndependence(t *testing.T) {
+	a, err := Canonicalize([]byte(`{"x": 1, "y": [true, null, {"k": "v", "j": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize([]byte(`{"y":[true,null,{"j":2,"k":"v"}],"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same document, different canonical forms:\n%s\n%s", a, b)
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	docs := []string{
+		`{"b":1,"a":[1,2.5,-3e10,"s",null,true]}`,
+		`[]`, `{}`, `null`, `"plain"`, `42`, `-0.125`,
+		`{"nested":{"deep":{"deeper":[{"z":0,"a":9}]}}}`,
+		`{"esc":"a\"b\\c<&>"}`,
+	}
+	for _, doc := range docs {
+		once, err := Canonicalize([]byte(doc))
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		twice, err := Canonicalize(once)
+		if err != nil {
+			t.Fatalf("%s: second pass: %v", doc, err)
+		}
+		if !bytes.Equal(once, twice) {
+			t.Errorf("%s: not idempotent:\n%s\n%s", doc, once, twice)
+		}
+	}
+}
+
+func TestNumbersPreserveLiteral(t *testing.T) {
+	// The number literal passes through untouched — no float re-parse drift.
+	got, err := Canonicalize([]byte(`{"n": 0.1, "big": 9007199254740993, "exp": 1e100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lit := range []string{"0.1", "9007199254740993", "1e100"} {
+		if !strings.Contains(string(got), lit) {
+			t.Errorf("literal %q lost: %s", lit, got)
+		}
+	}
+}
+
+func TestStableFloatAndNilHandling(t *testing.T) {
+	type payload struct {
+		F   float64  `json:"f"`
+		P   *int     `json:"p"`
+		Arr []string `json:"arr"`
+	}
+	x, y := 0.1, 0.2
+	a, err := Marshal(payload{F: 0.30000000000000004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(payload{F: x + y})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("same float value, different encodings: %s vs %s", a, b)
+	}
+	if !strings.Contains(string(a), `"p":null`) || !strings.Contains(string(a), `"arr":null`) {
+		t.Errorf("nil handling changed: %s", a)
+	}
+}
+
+func TestHashDiffersOnContent(t *testing.T) {
+	h1, err := Hash(map[string]int{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Hash(map[string]int{"a": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("different content, same hash")
+	}
+	if len(h1) != 64 {
+		t.Errorf("hash length %d, want 64 hex chars", len(h1))
+	}
+	h3, err := Hash(map[string]int{"a": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h3 {
+		t.Error("same content, different hash")
+	}
+}
+
+func TestRejectsInvalid(t *testing.T) {
+	for _, doc := range []string{``, `{`, `{"a":1} trailing`, `nan`} {
+		if _, err := Canonicalize([]byte(doc)); err == nil {
+			t.Errorf("Canonicalize(%q) should fail", doc)
+		}
+	}
+	// NaN cannot become part of a cache key.
+	if _, err := Marshal(map[string]float64{"f": nan()}); err == nil {
+		t.Error("Marshal of NaN should fail")
+	}
+}
+
+func nan() float64 {
+	zero := 0.0
+	return zero / zero
+}
+
+// FuzzCanonicalize checks, for arbitrary JSON documents, that
+// canonicalization is idempotent and preserves the decoded value.
+func FuzzCanonicalize(f *testing.F) {
+	for _, seed := range []string{
+		`{"b":1,"a":2}`, `[1,2,3]`, `"s"`, `null`, `true`, `-1.5e-3`,
+		`{"deep":[{"z":null,"a":[{}]},"x"]}`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, doc string) {
+		once, err := Canonicalize([]byte(doc))
+		if err != nil {
+			t.Skip() // not a single valid JSON document
+		}
+		twice, err := Canonicalize(once)
+		if err != nil {
+			t.Fatalf("canonical output not re-canonicalizable: %q -> %s: %v", doc, once, err)
+		}
+		if !bytes.Equal(once, twice) {
+			t.Fatalf("not idempotent: %q -> %s -> %s", doc, once, twice)
+		}
+		var orig, canon any
+		d := json.NewDecoder(strings.NewReader(doc))
+		d.UseNumber()
+		if err := d.Decode(&orig); err != nil {
+			t.Skip()
+		}
+		d = json.NewDecoder(bytes.NewReader(once))
+		d.UseNumber()
+		if err := d.Decode(&canon); err != nil {
+			t.Fatalf("canonical form does not parse: %s", once)
+		}
+	})
+}

@@ -25,6 +25,7 @@ import (
 	"concat/internal/driver"
 	"concat/internal/history"
 	"concat/internal/mutation"
+	"concat/internal/store"
 	"concat/internal/testexec"
 	"concat/internal/tspec"
 )
@@ -200,6 +201,10 @@ type MutationOptions struct {
 	Exec testexec.Options
 	// Parallelism overrides the mutant-worker count; zero means GOMAXPROCS.
 	Parallelism int
+	// Store, when non-nil, caches mutant verdicts by content address so a
+	// warm re-run of the same campaign re-executes only mutants whose
+	// inputs (spec, suite, mutant, seed, result-relevant options) changed.
+	Store *store.Store
 }
 
 // MutationRun is the one-call mutation analysis workflow used by the CLI
@@ -254,6 +259,7 @@ func MutationRunOpts(targetName string, suite *driver.Suite, methods []string, p
 		NewFactory: func(e *mutation.Engine) component.Factory {
 			return t.New(e).Factory
 		},
+		Store: o.Store,
 	}
 	return a.Run(mutants)
 }

@@ -22,6 +22,7 @@ import (
 	"concat/internal/history"
 	"concat/internal/mutation"
 	"concat/internal/obs"
+	"concat/internal/store"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
 )
@@ -52,6 +53,11 @@ type Config struct {
 	// with or without them.
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
+	// Store, when non-nil, is the content-addressed verdict store: mutant
+	// verdicts from earlier campaigns over the same (spec, suite, mutant,
+	// seed, options) replay without re-execution. Warm runs produce
+	// byte-identical tables; only the wall clock changes.
+	Store *store.Store
 }
 
 // exec builds the campaign's execution options from the frozen config.
@@ -129,6 +135,7 @@ func (s *Setup) listAnalysis(progress io.Writer) (*analysis.Analysis, *mutation.
 		Progress:    progress,
 		Parallelism: s.Config.parallelism(),
 		NewFactory:  sortlistFactory,
+		Store:       s.Config.Store,
 	}, eng
 }
 
@@ -166,6 +173,7 @@ func (s *Setup) Experiment2Baseline(progress io.Writer) (*analysis.Result, error
 		NewFactory: func(e *mutation.Engine) component.Factory {
 			return oblist.NewFactoryWithEngine(e)
 		},
+		Store: s.Config.Store,
 	}
 	return a.Run(eng.Enumerate(nil, Experiment2Methods))
 }

@@ -1,0 +1,20 @@
+package mutation
+
+import "concat/internal/core/canon"
+
+// CanonicalJSON returns the mutant's canonical wire encoding: the same
+// document MarshalJSON produces, rewritten with sorted keys and stable
+// number handling (see internal/core/canon). Two mutants with the same
+// identity canonicalize to byte-identical output no matter which process
+// encoded them — this is the form the verdict store hashes.
+func (m Mutant) CanonicalJSON() ([]byte, error) {
+	return canon.Marshal(m)
+}
+
+// Hash returns the mutant's content address: the hex SHA-256 of its
+// canonical encoding. Editing any part of the mutant's identity — site,
+// operator, replacement, constant — changes the hash, which is what makes
+// incremental campaign re-runs re-execute exactly the edited mutants.
+func (m Mutant) Hash() (string, error) {
+	return canon.Hash(m)
+}

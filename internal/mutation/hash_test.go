@@ -1,0 +1,79 @@
+package mutation
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"concat/internal/domain"
+)
+
+func sampleMutants() []Mutant {
+	return []Mutant{
+		{ID: "Withdraw/amount.use1#IndVarBitNeg", Site: "Withdraw/amount.use1", Method: "Withdraw", Operator: OpBitNeg},
+		{ID: "Withdraw/amount.use1#IndVarRepLoc:fee", Site: "Withdraw/amount.use1", Method: "Withdraw", Operator: OpRepLoc, Replacement: "fee"},
+		{ID: "Sort1/min.use1#IndVarRepReq:0", Site: "Sort1/min.use1", Method: "Sort1", Operator: OpRepReq, Replacement: "0", Constant: domain.Int(0)},
+		{ID: "Sort1/min.use1#IndVarRepReq:maxint", Site: "Sort1/min.use1", Method: "Sort1", Operator: OpRepReq, Replacement: "maxint", Constant: domain.Int(1<<63 - 1)},
+	}
+}
+
+// TestMutantCanonicalRoundTrip is the store's identity contract: canonical
+// encode -> decode -> canonical encode is byte-identical, so a mutant that
+// travelled through JSON (subprocess isolation, the verdict store) hashes
+// the same as the in-memory original.
+func TestMutantCanonicalRoundTrip(t *testing.T) {
+	for _, m := range sampleMutants() {
+		first, err := m.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", m.ID, err)
+		}
+		var back Mutant
+		if err := json.Unmarshal(first, &back); err != nil {
+			t.Fatalf("%s: decoding canonical form: %v", m.ID, err)
+		}
+		second, err := back.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: %v", m.ID, err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("%s: canonical round trip drifted:\n%s\n%s", m.ID, first, second)
+		}
+		h1, err := m.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Errorf("%s: hash changed across round trip", m.ID)
+		}
+	}
+}
+
+// TestMutantHashDistinguishesIdentity: any component of a mutant's identity
+// moves the hash.
+func TestMutantHashDistinguishesIdentity(t *testing.T) {
+	base := Mutant{ID: "m", Site: "s", Method: "M", Operator: OpRepLoc, Replacement: "x"}
+	seen := map[string]string{}
+	variants := map[string]Mutant{
+		"base":        base,
+		"site":        {ID: "m", Site: "s2", Method: "M", Operator: OpRepLoc, Replacement: "x"},
+		"operator":    {ID: "m", Site: "s", Method: "M", Operator: OpRepGlob, Replacement: "x"},
+		"replacement": {ID: "m", Site: "s", Method: "M", Operator: OpRepLoc, Replacement: "y"},
+		"constant":    {ID: "m", Site: "s", Method: "M", Operator: OpRepReq, Replacement: "x", Constant: domain.Int(7)},
+	}
+	for name, m := range variants {
+		h, err := m.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, ph := range seen {
+			if ph == h {
+				t.Errorf("variants %s and %s collide", prev, name)
+			}
+		}
+		seen[name] = h
+	}
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// Broadcast is an append-only byte buffer with any number of late-joining
+// readers. Every reader observes the complete stream from its first byte —
+// subscribing after N writes replays all N before blocking for more — and a
+// reader that has caught up waits until new bytes arrive or the stream
+// closes. It is the retention layer under the campaign service's live trace
+// streams: the tracer writes each NDJSON span once, and every HTTP client
+// replays the full trace from its own offset.
+//
+// Writes and reads are safe for concurrent use. Close is idempotent and
+// releases all waiting readers.
+type Broadcast struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	// wake is closed and replaced whenever buf grows or the stream closes;
+	// a catching-up reader snapshots it under the lock and waits outside.
+	wake chan struct{}
+}
+
+// NewBroadcast returns an empty open broadcast buffer.
+func NewBroadcast() *Broadcast {
+	return &Broadcast{wake: make(chan struct{})}
+}
+
+// Write appends p to the stream and wakes all waiting readers. It never
+// blocks; the buffer retains the full stream for late subscribers.
+func (b *Broadcast) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, errors.New("obs: write on closed broadcast")
+	}
+	b.buf = append(b.buf, p...)
+	close(b.wake)
+	b.wake = make(chan struct{})
+	return len(p), nil
+}
+
+// Close marks end-of-stream. Waiting readers drain the remaining bytes and
+// then see io.EOF. Close is idempotent and never fails.
+func (b *Broadcast) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.closed {
+		b.closed = true
+		close(b.wake)
+	}
+	return nil
+}
+
+// Len returns the number of bytes written so far.
+func (b *Broadcast) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Bytes returns a copy of the full stream so far.
+func (b *Broadcast) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out
+}
+
+// Next returns a copy of the bytes past off, blocking while the stream is
+// open and has nothing new. It returns (nil, false) once the stream is
+// closed and fully consumed, or as soon as cancel fires (a nil cancel never
+// fires). The second return value is true whenever chunk may be non-empty —
+// callers loop `for chunk, ok := b.Next(off, c); ok; ...` advancing off by
+// len(chunk).
+func (b *Broadcast) Next(off int, cancel <-chan struct{}) ([]byte, bool) {
+	for {
+		b.mu.Lock()
+		if off < len(b.buf) {
+			chunk := make([]byte, len(b.buf)-off)
+			copy(chunk, b.buf[off:])
+			b.mu.Unlock()
+			return chunk, true
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return nil, false
+		}
+		wake := b.wake
+		b.mu.Unlock()
+		select {
+		case <-wake:
+		case <-cancel:
+			return nil, false
+		}
+	}
+}
+
+// Reader returns a new independent reader positioned at the start of the
+// stream. Read blocks until bytes past the reader's offset exist and
+// returns io.EOF only after Close has been called and the stream is fully
+// consumed.
+func (b *Broadcast) Reader() io.Reader {
+	return &broadcastReader{b: b}
+}
+
+type broadcastReader struct {
+	b   *Broadcast
+	off int
+}
+
+func (r *broadcastReader) Read(p []byte) (int, error) {
+	chunk, ok := r.b.Next(r.off, nil)
+	if !ok {
+		return 0, io.EOF
+	}
+	n := copy(p, chunk)
+	r.off += n
+	return n, nil
+}

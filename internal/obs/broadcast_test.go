@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestBroadcastLateSubscriberReplaysAll(t *testing.T) {
+	b := NewBroadcast()
+	if _, err := b.Write([]byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write([]byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	r := b.Reader() // subscribes after the writes
+	if _, err := b.Write([]byte("three\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "one\ntwo\nthree\n"; string(got) != want {
+		t.Errorf("late subscriber read %q, want %q", got, want)
+	}
+}
+
+func TestBroadcastBlocksUntilData(t *testing.T) {
+	b := NewBroadcast()
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(b.Reader())
+		done <- data
+	}()
+	// The reader is (eventually) blocked; writes then a close release it.
+	if _, err := b.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if got := <-done; string(got) != "hello" {
+		t.Errorf("read %q, want %q", got, "hello")
+	}
+}
+
+func TestBroadcastNextCancel(t *testing.T) {
+	b := NewBroadcast()
+	cancel := make(chan struct{})
+	close(cancel)
+	if chunk, ok := b.Next(0, cancel); ok || chunk != nil {
+		t.Errorf("Next on empty stream with fired cancel = %q, %v", chunk, ok)
+	}
+	// Data already past the offset is returned even with cancel fired.
+	if _, err := b.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if chunk, ok := b.Next(0, cancel); !ok || string(chunk) != "x" {
+		t.Errorf("Next with buffered data = %q, %v", chunk, ok)
+	}
+}
+
+func TestBroadcastWriteAfterClose(t *testing.T) {
+	b := NewBroadcast()
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Write([]byte("late")); err == nil {
+		t.Error("write after close should fail")
+	}
+	if b.Len() != 0 {
+		t.Errorf("Len = %d after failed write", b.Len())
+	}
+}
+
+func TestBroadcastConcurrentReaders(t *testing.T) {
+	b := NewBroadcast()
+	const lines = 100
+	const readers = 8
+	var want bytes.Buffer
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&want, "line %d\n", i)
+	}
+	var wg sync.WaitGroup
+	got := make([][]byte, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := io.ReadAll(b.Reader())
+			if err != nil {
+				t.Errorf("reader %d: %v", i, err)
+			}
+			got[i] = data
+		}(i)
+	}
+	for i := 0; i < lines; i++ {
+		if _, err := fmt.Fprintf(b, "line %d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	wg.Wait()
+	for i, data := range got {
+		if !bytes.Equal(data, want.Bytes()) {
+			t.Errorf("reader %d saw %d bytes, want %d", i, len(data), want.Len())
+		}
+	}
+}
+
+func TestBroadcastCarriesValidNDJSON(t *testing.T) {
+	// The broadcast's primary payload: a tracer streaming spans through it
+	// must yield a schema-valid NDJSON trace on the reader side.
+	b := NewBroadcast()
+	tr := NewTracer(b)
+	root := tr.Start(0, KindSuite, "Demo")
+	tr.Start(root.ID(), KindCase, "TC0").End()
+	root.End()
+	b.Close()
+	n, err := ValidateNDJSON(b.Reader())
+	if err != nil {
+		t.Fatalf("ValidateNDJSON: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("spans = %d, want 2", n)
+	}
+}

@@ -1,0 +1,473 @@
+// Package serve exposes mutation campaigns as a long-running HTTP/JSON
+// service: submit a campaign, poll its status, stream its trace live as
+// NDJSON, and fetch the finished report. It is the "components with
+// built-in test capabilities as infrastructure" reading of the paper — the
+// same analysis the `concat mutate` subcommand runs once, kept resident
+// behind a bounded job queue and a worker pool, with the content-addressed
+// verdict store (internal/store) making warm resubmissions re-execute only
+// mutants whose inputs changed.
+//
+// The service deliberately reuses the deterministic campaign machinery
+// unchanged: a report fetched over HTTP is byte-identical to the table the
+// CLI prints for the same request, and the streamed trace validates against
+// the obs span schema.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"concat/internal/analysis"
+	"concat/internal/core"
+	"concat/internal/driver"
+	"concat/internal/obs"
+	"concat/internal/store"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+)
+
+// ErrQueueFull is returned by Submit when the pending-campaign queue is at
+// capacity; the HTTP layer maps it to 503 Service Unavailable.
+var ErrQueueFull = errors.New("serve: campaign queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("serve: server closed")
+
+// Request is a campaign submission: which built-in component to mutate and
+// how to generate its suite. The zero values of the generation knobs mean
+// the CLI defaults (seed 42, no expansion, alternative cap 4, loop bound 1),
+// so `{"component": "Account"}` is a complete request.
+type Request struct {
+	Component string   `json:"component"`
+	Methods   []string `json:"methods,omitempty"`
+	Seed      int64    `json:"seed,omitempty"`
+	Expand    bool     `json:"expand,omitempty"`
+	Alt       int      `json:"alt,omitempty"`
+	LoopBound int      `json:"loopBound,omitempty"`
+	// Isolate runs every case in a crash-contained child process. It needs
+	// the serving binary to double as the case server (concat does), so it
+	// is off by default.
+	Isolate bool `json:"isolate,omitempty"`
+}
+
+// genOptions resolves the request's generation knobs to driver options.
+func (r Request) genOptions() driver.Options {
+	seed := r.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	alt := r.Alt
+	if alt == 0 {
+		alt = 4
+	}
+	lb := r.LoopBound
+	if lb == 0 {
+		lb = 1
+	}
+	return driver.Options{
+		Seed:               seed,
+		ExpandAlternatives: r.Expand,
+		MaxAlternatives:    alt,
+		Enum:               tfm.EnumOptions{LoopBound: lb},
+	}
+}
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is one submitted campaign. Its trace broadcast fills while the
+// campaign runs and closes when it finishes, so any number of HTTP clients
+// can replay or follow the NDJSON span stream.
+type Job struct {
+	ID  string
+	Req Request
+
+	mu     sync.Mutex
+	state  string
+	errMsg string
+	result *analysis.Result
+	report []byte
+
+	trace *obs.Broadcast
+	done  chan struct{}
+}
+
+func (j *Job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(res *analysis.Result, report []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+		j.report = report
+	}
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Trace returns the job's NDJSON trace broadcast.
+func (j *Job) Trace() *obs.Broadcast { return j.trace }
+
+// Status is the wire form of a job's state.
+type Status struct {
+	ID          string `json:"id"`
+	Component   string `json:"component"`
+	State       string `json:"state"`
+	Mutants     int    `json:"mutants"`
+	Killed      int    `json:"killed"`
+	Equivalent  int    `json:"equivalent"`
+	Survivors   int    `json:"survivors"`
+	CacheHits   int    `json:"cacheHits"`
+	CacheMisses int    `json:"cacheMisses"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{ID: j.ID, Component: j.Req.Component, State: j.state, Error: j.errMsg}
+	if j.result != nil {
+		tab := j.result.Tabulate()
+		st.Mutants = tab.Total.Mutants
+		st.Killed = tab.Total.Killed
+		st.Equivalent = tab.Total.Equivalent
+		st.Survivors = tab.Total.Mutants - tab.Total.Killed - tab.Total.Equivalent
+		st.CacheHits = j.result.CacheHits
+		st.CacheMisses = j.result.CacheMisses
+	}
+	return st
+}
+
+// Config tunes the campaign service.
+type Config struct {
+	// Store, when non-nil, is the shared verdict cache threaded into every
+	// campaign, making warm resubmissions re-execute only changed mutants.
+	Store *store.Store
+	// QueueDepth bounds the pending campaigns (default 16). A full queue
+	// rejects submissions with ErrQueueFull instead of blocking or growing.
+	QueueDepth int
+	// Workers is the number of campaigns running concurrently (default 1).
+	Workers int
+	// Parallelism is the per-campaign mutant-worker count (0 = GOMAXPROCS).
+	Parallelism int
+	// Logf, when non-nil, receives one line per job transition.
+	Logf func(format string, args ...any)
+}
+
+// Server is the campaign service: a bounded job queue drained by a worker
+// pool, with every job's state, report and trace retained for the
+// process's lifetime.
+type Server struct {
+	cfg   Config
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	// campaign executes one job's analysis; tests substitute a stub to pin
+	// workers at a controlled point. Set before the first Submit.
+	campaign func(*Job) (*analysis.Result, []byte, error)
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+	closed bool
+}
+
+// New starts the worker pool and returns the server.
+func New(cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	s.campaign = s.runCampaign
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for j := range s.queue {
+				s.runJob(j)
+			}
+		}()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates and enqueues a campaign. Job IDs are sequential (c1,
+// c2, ...) in submission order, so a deterministic client script addresses
+// deterministic IDs.
+func (s *Server) Submit(req Request) (*Job, error) {
+	if req.Component == "" {
+		return nil, errors.New("serve: request needs a component")
+	}
+	if _, err := core.LookupTarget(req.Component); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	j := &Job{
+		ID:    fmt.Sprintf("c%d", s.nextID+1),
+		Req:   req,
+		state: StateQueued,
+		trace: obs.NewBroadcast(),
+		done:  make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.logf("serve: %s queued (%s)", j.ID, req.Component)
+	return j, nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Close stops accepting submissions, drains the queued jobs and waits for
+// the workers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// runJob executes one campaign: generate the suite from the embedded
+// t-spec, run the mutation analysis with the job's broadcast as the NDJSON
+// trace sink, and record the rendered table.
+func (s *Server) runJob(j *Job) {
+	j.setState(StateRunning)
+	s.logf("serve: %s running", j.ID)
+	res, report, err := s.campaign(j)
+	// Close the trace stream before publishing the verdict so a client that
+	// saw "done" never blocks on a still-open stream.
+	j.trace.Close()
+	j.finish(res, report, err)
+	if err != nil {
+		s.logf("serve: %s failed: %v", j.ID, err)
+	} else {
+		s.logf("serve: %s done", j.ID)
+	}
+}
+
+func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
+	t, err := core.LookupTarget(j.Req.Component)
+	if err != nil {
+		return nil, nil, err
+	}
+	suite, err := t.New(nil).GenerateSuite(j.Req.genOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	exec := testexec.Options{Trace: obs.NewTracer(j.trace)}
+	if j.Req.Isolate {
+		exec.Isolation = testexec.IsolateSubprocess
+	}
+	res, err := core.MutationRunOpts(j.Req.Component, suite, j.Req.Methods, nil, core.MutationOptions{
+		Exec:        exec,
+		Parallelism: s.cfg.Parallelism,
+		Store:       s.cfg.Store,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := exec.Trace.Err(); err != nil {
+		return nil, nil, err
+	}
+	var buf strings.Builder
+	if err := res.Tabulate().Render(&buf); err != nil {
+		return nil, nil, err
+	}
+	return res, []byte(buf.String()), nil
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /campaigns            submit (JSON Request) -> 202 Status, 503 on full queue
+//	GET  /campaigns            all statuses, submission order
+//	GET  /campaigns/{id}       one status
+//	GET  /campaigns/{id}/report   rendered table (blocks until the job finishes)
+//	GET  /campaigns/{id}/events   live NDJSON trace stream (replays from the start)
+//	GET  /healthz              liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /campaigns", s.handleList)
+	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding request: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs()
+	statuses := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		statuses = append(statuses, j.Status())
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such campaign " + r.PathValue("id")})
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.lookup(w, r); ok {
+		writeJSON(w, http.StatusOK, j.Status())
+	}
+}
+
+// handleReport blocks until the job finishes (or the client goes away) and
+// serves the rendered table — the same bytes `concat mutate` prints.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		return
+	}
+	st := j.Status()
+	if st.State == StateFailed {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
+		return
+	}
+	j.mu.Lock()
+	report := j.report
+	j.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(report)
+}
+
+// handleEvents streams the job's trace as NDJSON: the full span history so
+// far, then live lines until the campaign ends or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	for {
+		chunk, more := j.trace.Next(off, r.Context().Done())
+		if !more {
+			return
+		}
+		off += len(chunk)
+		if _, err := w.Write(chunk); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}

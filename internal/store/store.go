@@ -1,0 +1,253 @@
+// Package store is the content-addressed incremental verdict store: a
+// file-backed cache mapping (spec-hash, suite-hash, mutant-hash, seed,
+// options-hash) to a recorded verdict. A mutant's verdict is a pure
+// function of those five inputs — everything else about a campaign
+// (parallelism, isolation mode, tracing) is determinism-neutral by the
+// executor's contract — so resubmitting a campaign after editing one
+// operator or one component re-executes only the mutants whose hash inputs
+// changed and serves the rest from the store, with byte-identical reports.
+//
+// Entries are JSON files in canonical encoding (internal/core/canon):
+// sorted keys, stable numbers. The same entry written by any process on any
+// platform is byte-identical, so a cache directory can be shared, shipped,
+// or diffed. Writes go through a temp file + rename, which makes
+// concurrent writers of the same key safe (identical content, last rename
+// wins).
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"concat/internal/core/canon"
+)
+
+// Key is the five-part content address of one cached verdict. Kind
+// namespaces entry types (mutant verdicts vs whole suite reports) so their
+// addresses can never collide.
+type Key struct {
+	// Kind is the entry namespace: KindMutantVerdict or KindSuiteReport.
+	Kind string `json:"kind"`
+	// Spec is the canonical hash of the component's t-spec.
+	Spec string `json:"spec"`
+	// Suite is the canonical hash of the executed suite.
+	Suite string `json:"suite"`
+	// Mutant is the canonical hash of the active mutant; empty for
+	// non-mutation entries (suite reports).
+	Mutant string `json:"mutant,omitempty"`
+	// Seed is the execution seed driving hole completion.
+	Seed int64 `json:"seed"`
+	// Options is the fingerprint of the result-relevant execution options
+	// (testexec.Options.ResultFingerprint).
+	Options string `json:"options"`
+}
+
+// Entry kinds.
+const (
+	KindMutantVerdict = "mutant-verdict"
+	KindSuiteReport   = "suite-report"
+)
+
+// ID returns the key's content address: the hex SHA-256 of its canonical
+// encoding.
+func (k Key) ID() (string, error) {
+	if k.Kind == "" {
+		return "", errors.New("store: key has no kind")
+	}
+	return canon.Hash(k)
+}
+
+// Verdict is the cached outcome of one mutant run — the persistent form of
+// analysis.MutantResult, defined here so the store stays a leaf package.
+// Reason carries the kill reason's integer code; zero means "not killed".
+type Verdict struct {
+	Killed      bool   `json:"killed"`
+	Reason      int    `json:"reason,omitempty"`
+	KillingCase string `json:"killingCase,omitempty"`
+	Reached     bool   `json:"reached"`
+	Infected    bool   `json:"infected"`
+}
+
+// Stats is a point-in-time snapshot of the store's lookup counters.
+type Stats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// Store is a file-backed content-addressed cache. All methods are safe for
+// concurrent use; a nil *Store is the disabled cache (Get always misses
+// without counting, Put discards), so call sites thread it without checks.
+type Store struct {
+	dir          string
+	hits, misses atomic.Int64
+
+	// mem caches decoded payloads by entry ID so a campaign's repeated
+	// warm lookups don't re-read files. Bounded by the number of distinct
+	// entries touched in-process.
+	mu  sync.RWMutex
+	mem map[string][]byte
+}
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// Dir returns the store's root directory ("" on a nil store).
+func (s *Store) Dir() string {
+	if s == nil {
+		return ""
+	}
+	return s.dir
+}
+
+// entry is the on-disk document: the full key (so entries are
+// self-describing and auditable) plus the payload.
+type entry struct {
+	Key   Key             `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// path shards entries by the first two hex digits of their ID, keeping
+// directories small on big campaigns.
+func (s *Store) path(id string) string {
+	return filepath.Join(s.dir, id[:2], id+".json")
+}
+
+// Get looks the key up and, on a hit, decodes the stored payload into out.
+// It returns (false, nil) on a clean miss and (false, err) when an entry
+// exists but cannot be read or decoded — callers treat both as a miss; the
+// next Put overwrites the bad entry. Every call counts into Stats.
+func (s *Store) Get(k Key, out any) (bool, error) {
+	if s == nil {
+		return false, nil
+	}
+	id, err := k.ID()
+	if err != nil {
+		return false, err
+	}
+	raw, err := s.load(id)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			s.misses.Add(1)
+			return false, nil
+		}
+		s.misses.Add(1)
+		return false, err
+	}
+	var e entry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		s.misses.Add(1)
+		return false, fmt.Errorf("store: corrupt entry %s: %w", id, err)
+	}
+	if err := json.Unmarshal(e.Value, out); err != nil {
+		s.misses.Add(1)
+		return false, fmt.Errorf("store: decoding entry %s: %w", id, err)
+	}
+	s.hits.Add(1)
+	return true, nil
+}
+
+func (s *Store) load(id string) ([]byte, error) {
+	s.mu.RLock()
+	raw, ok := s.mem[id]
+	s.mu.RUnlock()
+	if ok {
+		return raw, nil
+	}
+	raw, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.mem[id] = raw
+	s.mu.Unlock()
+	return raw, nil
+}
+
+// Put stores the value under the key, overwriting any previous entry. The
+// on-disk document is canonical JSON, so the same (key, value) pair always
+// writes byte-identical files.
+func (s *Store) Put(k Key, value any) error {
+	if s == nil {
+		return nil
+	}
+	id, err := k.ID()
+	if err != nil {
+		return err
+	}
+	rawVal, err := canon.Marshal(value)
+	if err != nil {
+		return fmt.Errorf("store: encoding value for %s: %w", id, err)
+	}
+	doc, err := canon.Marshal(entry{Key: k, Value: rawVal})
+	if err != nil {
+		return fmt.Errorf("store: encoding entry %s: %w", id, err)
+	}
+	doc = append(doc, '\n')
+	path := s.path(id)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// Temp file + rename: concurrent writers of the same key write
+	// identical content, so whichever rename lands last leaves a good file.
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := tmp.Write(doc); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing entry %s: %w", id, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	s.mem[id] = doc
+	s.mu.Unlock()
+	return nil
+}
+
+// Len walks the store and counts persisted entries.
+func (s *Store) Len() (int, error) {
+	if s == nil {
+		return 0, nil
+	}
+	n := 0
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}
+
+// Stats snapshots the hit/miss counters (zero on a nil store).
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+}

@@ -1,0 +1,234 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func testKey(mutant string) Key {
+	return Key{
+		Kind:    KindMutantVerdict,
+		Spec:    "spec-hash",
+		Suite:   "suite-hash",
+		Mutant:  mutant,
+		Seed:    42,
+		Options: "opt-hash",
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Verdict{Killed: true, Reason: 3, KillingCase: "TC7", Reached: true, Infected: true}
+	if err := s.Put(testKey("m1"), want); err != nil {
+		t.Fatal(err)
+	}
+	var got Verdict
+	ok, err := s.Get(testKey("m1"), &got)
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want hit", ok, err)
+	}
+	if got != want {
+		t.Errorf("round trip: got %+v, want %+v", got, want)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("stats = %+v, want 1 hit", st)
+	}
+}
+
+func TestMissCounts(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	ok, err := s.Get(testKey("absent"), &v)
+	if err != nil || ok {
+		t.Fatalf("Get of absent key = %v, %v; want clean miss", ok, err)
+	}
+	if st := s.Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats = %+v, want 1 miss", st)
+	}
+}
+
+func TestKeyComponentsIndependent(t *testing.T) {
+	// Every key field moves the address; no cross-kind or cross-field
+	// collisions.
+	keys := []Key{
+		testKey("m1"),
+		testKey("m2"),
+		{Kind: KindSuiteReport, Spec: "spec-hash", Suite: "suite-hash", Seed: 42, Options: "opt-hash"},
+		func() Key { k := testKey("m1"); k.Seed = 43; return k }(),
+		func() Key { k := testKey("m1"); k.Options = "other"; return k }(),
+		func() Key { k := testKey("m1"); k.Spec = "other"; return k }(),
+		func() Key { k := testKey("m1"); k.Suite = "other"; return k }(),
+	}
+	seen := map[string]int{}
+	for i, k := range keys {
+		id, err := k.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[id]; dup {
+			t.Errorf("keys %d and %d collide", prev, i)
+		}
+		seen[id] = i
+	}
+}
+
+func TestPersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(testKey("m1"), Verdict{Killed: true, Reason: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	ok, err := s2.Get(testKey("m1"), &v)
+	if err != nil || !ok {
+		t.Fatalf("reopened store: Get = %v, %v", ok, err)
+	}
+	if !v.Killed || v.Reason != 1 {
+		t.Errorf("reopened verdict = %+v", v)
+	}
+	if n, err := s2.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestDeterministicEncoding(t *testing.T) {
+	// The same (key, value) written into two stores produces byte-identical
+	// files — the property that makes cache directories diffable.
+	write := func() []byte {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := testKey("m1")
+		if err := s.Put(k, Verdict{Killed: true, Reason: 2, KillingCase: "TC1", Reached: true}); err != nil {
+			t.Fatal(err)
+		}
+		id, err := k.ID()
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, id[:2], id+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if a, b := write(), write(); !bytes.Equal(a, b) {
+		t.Errorf("same entry, different bytes:\n%s\n%s", a, b)
+	}
+}
+
+func TestCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("m1")
+	if err := s.Put(k, Verdict{Killed: true}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := k.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, id[:2], id+".json"), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh store re-reads disk; the corrupt entry reports as a miss with
+	// a diagnostic error, and a subsequent Put repairs it.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v Verdict
+	ok, err := s2.Get(k, &v)
+	if ok {
+		t.Fatal("corrupt entry should not hit")
+	}
+	if err == nil {
+		t.Fatal("corrupt entry should surface a diagnostic error")
+	}
+	if err := s2.Put(k, Verdict{Killed: true}); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := s3.Get(k, &v); !ok || err != nil {
+		t.Fatalf("repaired entry: Get = %v, %v", ok, err)
+	}
+}
+
+func TestNilStoreDisabled(t *testing.T) {
+	var s *Store
+	var v Verdict
+	ok, err := s.Get(testKey("m"), &v)
+	if ok || err != nil {
+		t.Errorf("nil store Get = %v, %v", ok, err)
+	}
+	if err := s.Put(testKey("m"), Verdict{}); err != nil {
+		t.Errorf("nil store Put: %v", err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Errorf("nil store stats = %+v", st)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	const perWorker = 25
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Overlapping key space: every key written by several workers.
+				k := testKey(fmt.Sprintf("m%d", i))
+				if err := s.Put(k, Verdict{Killed: i%2 == 0, Reason: i % 4}); err != nil {
+					errs <- err
+					return
+				}
+				var v Verdict
+				if _, err := s.Get(k, &v); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, err := s.Len(); err != nil || n != perWorker {
+		t.Errorf("Len = %d, %v; want %d", n, err, perWorker)
+	}
+}

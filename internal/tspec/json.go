@@ -1,10 +1,12 @@
 package tspec
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 
+	"concat/internal/core/canon"
 	"concat/internal/domain"
 )
 
@@ -155,6 +157,18 @@ func (s *Spec) SaveJSON(w io.Writer) error {
 		return fmt.Errorf("tspec: encoding spec: %w", err)
 	}
 	return nil
+}
+
+// CanonicalHash returns the spec's content address: the hex SHA-256 of its
+// canonicalized JSON wire form. It is the spec component of a verdict-store
+// key (internal/store) — any change to the spec's methods, domains or model
+// moves the hash and invalidates every cached verdict derived from it.
+func (s *Spec) CanonicalHash() (string, error) {
+	var buf bytes.Buffer
+	if err := s.SaveJSON(&buf); err != nil {
+		return "", err
+	}
+	return canon.HashRaw(buf.Bytes())
 }
 
 // LoadJSON reads a spec saved with SaveJSON and validates it. Declared
