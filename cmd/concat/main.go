@@ -13,12 +13,13 @@
 //	concat paths     <spec.tspec> [-k N] [-criterion all-transactions|all-links|all-nodes]
 //	concat gen       -component NAME | -spec FILE  [-seed N] [-expand] [-alt N] [-k N] [-out FILE]
 //	concat run       -component NAME -suite FILE [-log FILE] [sandbox flags]
-//	concat selftest  -component NAME [-seed N] [-expand] [-alt N] [-cache-dir DIR] [sandbox flags]
+//	concat selftest  -component NAME [-seed N] [-expand] [-alt N] [-cache-dir DIR] [-cover FILE] [sandbox flags]
 //	concat derive    -parent NAME -child NAME [-seed N] [-out FILE]
-//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [-cache-dir DIR] [sandbox flags]
+//	concat mutate    -component NAME [-methods M1,M2] [-seed N] [-v] [-cache-dir DIR] [-cover FILE] [-parallel N] [sandbox flags]
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
-//	concat trace-validate <trace.ndjson>
-//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-workers N] [-queue N]
+//	concat trace-validate [trace.ndjson | -]
+//	concat cover     -artifact FILE [-dot]
+//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-workers N] [-queue N] [-pprof] [-trace-buf N]
 //	concat submit    [-addr URL] -component NAME [-seed N] [-wait]
 //	concat status    [-addr URL] [-id ID]
 //
@@ -37,6 +38,14 @@
 // is served from the store (byte-identical output), and after a change only
 // the affected mutants re-execute. `concat serve` shares one such store
 // across all submitted campaigns.
+//
+// selftest and mutate also accept -cover FILE, writing the canonical-JSON
+// coverage artifact: per-transaction/node/edge TFM coverage, the BIT
+// assertion-site telemetry, and (for mutate) the mutant×case kill matrix
+// with per-operator oracle attribution. The artifact is a pure function of
+// the campaign, so serial/parallel and warm/cold runs write identical
+// bytes. `concat cover` renders a stored artifact as text tables or, with
+// -dot, as a heatmap overlay on the component's transaction flow model.
 //
 // # Exit codes
 //
@@ -61,6 +70,7 @@ import (
 
 	"concat/internal/analysis"
 	"concat/internal/core"
+	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/obs"
 	"concat/internal/serve"
@@ -131,6 +141,8 @@ func run(args []string, w io.Writer) error {
 		return cmdEmit(rest, w)
 	case "trace-validate":
 		return cmdTraceValidate(rest, w)
+	case "cover":
+		return cmdCover(rest, w)
 	case "serve":
 		return cmdServe(rest, w)
 	case "submit":
@@ -170,7 +182,8 @@ subcommands:
   derive     derive a subclass suite with hierarchical incremental reuse
   mutate     evaluate a test set by interface mutation (Table 1 operators)
   emit       emit a standalone Go driver source for a suite
-  trace-validate  check an NDJSON trace file against the span schema
+  trace-validate  check an NDJSON trace file (or - for stdin) against the span schema
+  cover      render a stored coverage artifact as tables or a DOT heatmap
   serve      run the campaign service: an HTTP/JSON API over a job queue
   submit     submit a campaign to a running service (add -wait for the report)
   status     query a running service for campaign statuses
@@ -182,6 +195,13 @@ side channels that never change reports or tables.
 selftest, mutate and serve accept -cache-dir DIR, a content-addressed
 verdict store: unchanged campaigns are served from the store with
 byte-identical output, and only mutants whose inputs changed re-execute.
+
+selftest and mutate accept -cover FILE, writing a canonical-JSON coverage
+artifact (TFM transaction/node/edge coverage, BIT assertion-site telemetry,
+and for mutate the kill matrix with per-operator oracle attribution);
+identical campaigns write identical artifact bytes. The service exposes the
+same artifact at /campaigns/{id}/coverage, live Prometheus metrics at
+/metrics, and (with -pprof) net/http/pprof under /debug/pprof/.
 
 exit codes: 0 success; 1 error; 2 campaign finished but non-equivalent
 mutants survived (mutate, submit -wait).`)
@@ -577,6 +597,7 @@ func cmdSelfTest(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("selftest", flag.ContinueOnError)
 	component := fs.String("component", "", "built-in component name")
 	cacheDir := fs.String("cache-dir", "", "content-addressed report store directory (unchanged runs are served from it)")
+	coverPath := fs.String("cover", "", "write the canonical coverage artifact JSON to this file")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
 	of := addObsFlags(fs)
@@ -617,6 +638,19 @@ func cmdSelfTest(args []string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%s: %s\n", t.Name, suite.Stats())
 	printReport(w, rep)
+	if *coverPath != "" {
+		g, err := comp.Spec().TFM()
+		if err != nil {
+			return err
+		}
+		art, err := cover.FromRun(g, suite, rep)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(art, *coverPath, w); err != nil {
+			return err
+		}
+	}
 	if !rep.AllPassed() {
 		return fmt.Errorf("%d test cases did not pass", len(rep.Failures()))
 	}
@@ -832,6 +866,30 @@ func cmdDerive(args []string, w io.Writer) error {
 	return nil
 }
 
+// writeArtifact encodes a coverage artifact canonically and writes it to
+// path, echoing the one-line summary to w.
+func writeArtifact(art *cover.Artifact, path string, w io.Writer) error {
+	enc, err := art.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return fmt.Errorf("writing coverage artifact: %w", err)
+	}
+	fmt.Fprintf(w, "%s -> %s\n", art.Suite.Summary(), path)
+	return nil
+}
+
+// componentGraph rebuilds the component's transaction flow model from its
+// embedded t-spec — the graph coverage artifacts are keyed to.
+func componentGraph(name string) (*tfm.Graph, error) {
+	t, err := core.LookupTarget(name)
+	if err != nil {
+		return nil, err
+	}
+	return t.New(nil).Spec().TFM()
+}
+
 // openStore opens the content-addressed verdict store at dir; an empty dir
 // is the disabled (nil) store.
 func openStore(dir string) (*store.Store, error) {
@@ -847,6 +905,8 @@ func cmdMutate(args []string, w io.Writer) error {
 	methods := fs.String("methods", "", "comma-separated methods to mutate (default: the component's experiment methods)")
 	verbose := fs.Bool("v", false, "print per-mutant verdicts")
 	cacheDir := fs.String("cache-dir", "", "content-addressed verdict store directory (warm re-runs skip unchanged mutants)")
+	coverPath := fs.String("cover", "", "write the canonical coverage artifact JSON (kill matrix included) to this file")
+	parallel := fs.Int("parallel", 0, "mutant workers (0 or 1 = serial; results are identical either way)")
 	gf := addGenFlags(fs)
 	sf := addSandboxFlags(fs)
 	of := addObsFlags(fs)
@@ -884,7 +944,11 @@ func cmdMutate(args []string, w io.Writer) error {
 		return err
 	}
 	res, err := core.MutationRunOpts(*component, suite, methodList, progress,
-		core.MutationOptions{Exec: session.apply(sf.apply(testexec.Options{})), Store: st})
+		core.MutationOptions{
+			Exec:        session.apply(sf.apply(testexec.Options{})),
+			Store:       st,
+			Parallelism: *parallel,
+		})
 	if cerr := session.close(); err == nil {
 		err = cerr
 	}
@@ -900,6 +964,19 @@ func cmdMutate(args []string, w io.Writer) error {
 	table := res.Tabulate()
 	if err := table.Render(w); err != nil {
 		return err
+	}
+	if *coverPath != "" {
+		g, err := comp.Spec().TFM()
+		if err != nil {
+			return err
+		}
+		art, err := cover.FromCampaign(g, suite, res)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(art, *coverPath, w); err != nil {
+			return err
+		}
 	}
 	return checkSurvivors(table)
 }
@@ -946,20 +1023,65 @@ func cmdTraceValidate(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() != 1 {
-		return usageError("trace-validate takes one NDJSON trace file")
+	if fs.NArg() > 1 {
+		return usageError("trace-validate takes one NDJSON trace file, or - (or no argument) for stdin")
 	}
-	f, err := os.Open(fs.Arg(0))
+	var r io.Reader = os.Stdin
+	name := "stdin"
+	if fs.NArg() == 1 && fs.Arg(0) != "-" {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return fmt.Errorf("opening trace: %w", err)
+		}
+		defer f.Close()
+		r = f
+		name = fs.Arg(0)
+	}
+	n, err := obs.ValidateNDJSON(r)
 	if err != nil {
-		return fmt.Errorf("opening trace: %w", err)
+		return fmt.Errorf("trace %s: %w", name, err)
+	}
+	fmt.Fprintf(w, "trace %s: %d spans, schema-valid\n", name, n)
+	return nil
+}
+
+// cmdCover renders a stored coverage artifact — written by `selftest
+// -cover`, `mutate -cover`, or fetched from the service's /coverage
+// endpoint — as text tables, or with -dot as a heatmap overlay on the
+// component's transaction flow model. It re-runs nothing: everything comes
+// from the artifact, with only the graph rebuilt from the built-in
+// component's embedded t-spec.
+func cmdCover(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("cover", flag.ContinueOnError)
+	artifact := fs.String("artifact", "", "coverage artifact JSON file")
+	dot := fs.Bool("dot", false, "emit a Graphviz DOT heatmap of the TFM instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := *artifact
+	if path == "" && fs.NArg() == 1 {
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return usageError("cover needs -artifact FILE (or a positional artifact path)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("opening artifact: %w", err)
 	}
 	defer f.Close()
-	n, err := obs.ValidateNDJSON(f)
+	art, err := cover.Load(f)
 	if err != nil {
-		return fmt.Errorf("trace %s: %w", fs.Arg(0), err)
+		return err
 	}
-	fmt.Fprintf(w, "trace %s: %d spans, schema-valid\n", fs.Arg(0), n)
-	return nil
+	if *dot {
+		g, err := componentGraph(art.Component)
+		if err != nil {
+			return fmt.Errorf("rebuilding the TFM for %q: %w", art.Component, err)
+		}
+		return art.WriteHeatmap(w, g)
+	}
+	return art.Render(w)
 }
 
 // cmdServe runs the campaign service: an HTTP/JSON API over a bounded job
@@ -973,6 +1095,8 @@ func cmdServe(args []string, w io.Writer) error {
 	queue := fs.Int("queue", 16, "pending-campaign queue depth (full queue returns 503)")
 	parallelism := fs.Int("parallelism", 0, "per-campaign mutant workers (0 = GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	traceBuf := fs.Int("trace-buf", 0, "per-campaign retained trace bytes (0 = 16 MiB default, negative = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -985,6 +1109,8 @@ func cmdServe(args []string, w io.Writer) error {
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		Parallelism: *parallelism,
+		TraceBuffer: *traceBuf,
+		EnablePprof: *pprofFlag,
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }

@@ -280,3 +280,117 @@ func TestCLIRecordAndRegress(t *testing.T) {
 		t.Error("component mismatch should fail")
 	}
 }
+
+// TestCLICoverRoundTrip drives the full coverage path: selftest and mutate
+// write canonical artifacts, `concat cover` renders them as tables and as a
+// DOT heatmap, and the selftest/mutate artifacts agree on suite coverage.
+func TestCLICoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	selfArt := filepath.Join(dir, "selftest.json")
+	out := mustRunCLI(t, "selftest", "-component", "Account", "-expand", "-alt", "4", "-cover", selfArt)
+	if !strings.Contains(out, "coverage: transactions ") {
+		t.Errorf("selftest -cover did not print a summary:\n%s", out)
+	}
+	mutArt := filepath.Join(dir, "mutate.json")
+	out = mustRunCLI(t, "mutate", "-component", "Account", "-expand", "-alt", "4", "-cover", mutArt)
+	if !strings.Contains(out, "coverage: transactions ") {
+		t.Errorf("mutate -cover did not print a summary:\n%s", out)
+	}
+
+	rendered := mustRunCLI(t, "cover", "-artifact", mutArt)
+	for _, want := range []string{"Component: Account", "TRANSACTION", "ASSERTION SITE", "MUTANT", "OPERATOR"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("cover rendering missing %q:\n%s", want, rendered)
+		}
+	}
+	// Positional artifact path works too, and renders identically.
+	if positional := mustRunCLI(t, "cover", mutArt); positional != rendered {
+		t.Error("positional and -artifact renderings differ")
+	}
+
+	dot := mustRunCLI(t, "cover", "-artifact", mutArt, "-dot")
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "hits") {
+		t.Errorf("cover -dot output is not a heatmap:\n%s", dot)
+	}
+
+	// selftest and mutate ran the same generated suite: identical coverage.
+	selfData, err := os.ReadFile(selfArt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutData, err := os.ReadFile(mutArt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(selfData), `"transactionsCovered"`) {
+		t.Errorf("selftest artifact lacks coverage fields:\n%s", selfData)
+	}
+	if len(mutData) <= len(selfData) {
+		t.Error("mutate artifact should additionally carry the kill matrix")
+	}
+
+	// Error paths.
+	if _, err := runCLI(t, "cover"); err == nil {
+		t.Error("cover without an artifact should fail")
+	}
+	if _, err := runCLI(t, "cover", "-artifact", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("cover on a missing file should fail")
+	}
+}
+
+// TestCLIMutateParallelArtifactIdentical is the CI byte-identity claim in
+// miniature: a serial and a 4-way parallel campaign write the same artifact.
+func TestCLIMutateParallelArtifactIdentical(t *testing.T) {
+	dir := t.TempDir()
+	serial := filepath.Join(dir, "serial.json")
+	parallel := filepath.Join(dir, "parallel.json")
+	mustRunCLI(t, "mutate", "-component", "Account", "-expand", "-cover", serial)
+	mustRunCLI(t, "mutate", "-component", "Account", "-expand", "-cover", parallel, "-parallel", "4")
+	a, err := os.ReadFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("serial and parallel artifacts differ:\n--- serial ---\n%s\n--- parallel ---\n%s", a, b)
+	}
+}
+
+// TestCLITraceValidateStdin: the satellite contract — `concat
+// trace-validate -` (and no argument at all) reads the NDJSON stream from
+// stdin.
+func TestCLITraceValidateStdin(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.ndjson")
+	mustRunCLI(t, "selftest", "-component", "Product", "-trace", tracePath)
+
+	for _, args := range [][]string{{"trace-validate", "-"}, {"trace-validate"}} {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := os.Stdin
+		os.Stdin = f
+		out, err := runCLI(t, args...)
+		os.Stdin = saved
+		f.Close()
+		if err != nil {
+			t.Fatalf("concat %s: %v", strings.Join(args, " "), err)
+		}
+		if !strings.Contains(out, "trace stdin:") || !strings.Contains(out, "schema-valid") {
+			t.Errorf("stdin validation output: %q", out)
+		}
+	}
+
+	// The file path still works, and extra arguments still fail.
+	out := mustRunCLI(t, "trace-validate", tracePath)
+	if !strings.Contains(out, "schema-valid") {
+		t.Errorf("file validation output: %q", out)
+	}
+	if _, err := runCLI(t, "trace-validate", tracePath, tracePath); err == nil {
+		t.Error("two arguments should fail")
+	}
+}

@@ -6,11 +6,18 @@
 //
 //	experiments [-table1] [-figure2] [-figure3] [-figure6] [-counts]
 //	            [-table2] [-table3] [-baseline] [-ablations] [-seed N]
-//	            [-cache-dir DIR] [-v]
+//	            [-cache-dir DIR] [-cover-dir DIR] [-v]
 //
 // With -cache-dir, mutant verdicts are replayed from the content-addressed
 // store when the (spec, suite, mutant, seed, options) fingerprint matches a
 // prior campaign; warm reruns print byte-identical tables.
+//
+// With -cover-dir, each tabulated campaign also writes its canonical
+// coverage artifact (experiment1.json, experiment2.json,
+// experiment2-baseline.json) — transaction coverage, BIT assertion
+// telemetry, kill matrix, per-operator oracle attribution — and prints the
+// transaction-coverage summary under its table. Render the artifacts with
+// `concat cover`.
 //
 // # Exit codes
 //
@@ -27,8 +34,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"concat/internal/core"
+	"concat/internal/cover"
 	"concat/internal/experiments"
 	"concat/internal/obs"
 	"concat/internal/store"
@@ -56,6 +65,7 @@ func main() {
 		tracePath = flag.String("trace", "", "write NDJSON trace spans to this file; tables are byte-identical either way")
 		metrics   = flag.String("metrics", "", "write an aggregated metrics snapshot (JSON) to this file")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed verdict store directory; warm reruns replay cached verdicts and print byte-identical tables")
+		coverDir  = flag.String("cover-dir", "", "write each tabulated campaign's canonical coverage artifact into this directory")
 	)
 	flag.Parse()
 
@@ -68,6 +78,7 @@ func main() {
 		baseline: *baseline, ablations: *ablations, seed: *seed,
 		parallel: *parallel, isolate: *isolate, verbose: *verbose,
 		tracePath: *tracePath, metricsPath: *metrics, cacheDir: *cacheDir,
+		coverDir: *coverDir,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		if errors.Is(err, errSurvivors) {
@@ -90,6 +101,25 @@ type selection struct {
 	isolate                                     bool
 	verbose                                     bool
 	tracePath, metricsPath, cacheDir            string
+	coverDir                                    string
+}
+
+// writeCoverage encodes a campaign's coverage artifact into dir/name and
+// prints its one-line transaction-coverage summary under the table.
+func writeCoverage(w io.Writer, dir, name string, art *cover.Artifact, err error) error {
+	if err != nil {
+		return err
+	}
+	enc, err := art.Encode()
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return fmt.Errorf("writing coverage artifact: %w", err)
+	}
+	fmt.Fprintf(w, "%s -> %s\n", art.Suite.Summary(), path)
+	return nil
 }
 
 func run(w io.Writer, sel selection) (err error) {
@@ -205,6 +235,12 @@ func run(w io.Writer, sel selection) (err error) {
 		if err := table.Render(w); err != nil {
 			return err
 		}
+		if sel.coverDir != "" {
+			art, aerr := setup.ChildCoverage(res)
+			if err := writeCoverage(w, sel.coverDir, "experiment1.json", art, aerr); err != nil {
+				return err
+			}
+		}
 		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(paper: 700 mutants, 652 killed, 19 equivalent, total score 95.7%%; 59 kills by assertion)\n")
 	}
@@ -218,6 +254,12 @@ func run(w io.Writer, sel selection) (err error) {
 		if err := table.Render(w); err != nil {
 			return err
 		}
+		if sel.coverDir != "" {
+			art, aerr := setup.ChildCoverage(res)
+			if err := writeCoverage(w, sel.coverDir, "experiment2.json", art, aerr); err != nil {
+				return err
+			}
+		}
 		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(paper: 159 mutants, 101 killed, 0 equivalent, total score 63.5%%)\n")
 	}
@@ -230,6 +272,12 @@ func run(w io.Writer, sel selection) (err error) {
 		table := res.Tabulate()
 		if err := table.Render(w); err != nil {
 			return err
+		}
+		if sel.coverDir != "" {
+			art, aerr := setup.ParentCoverage(res)
+			if err := writeCoverage(w, sel.coverDir, "experiment2-baseline.json", art, aerr); err != nil {
+				return err
+			}
 		}
 		survivors += table.Total.Mutants - table.Total.Killed - table.Total.Equivalent
 		fmt.Fprintf(w, "(not tabulated in the paper; the Table 3 shortfall below this score is the cost of skipping inherited-only transactions)\n")

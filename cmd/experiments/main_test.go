@@ -109,3 +109,31 @@ func TestWarmCacheTablesByteIdentical(t *testing.T) {
 		t.Errorf("warm table differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold.String(), warm.String())
 	}
 }
+
+// TestCoverDirWritesArtifacts: with -cover-dir, experiment 2 (and its
+// baseline) leave canonical coverage artifacts beside their tables, and the
+// tables gain a transaction-coverage summary line.
+func TestCoverDirWritesArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mutation experiments are slow")
+	}
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run(&sb, selection{table3: true, baseline: true, seed: 42, coverDir: dir}); !errors.Is(err, errSurvivors) {
+		t.Fatalf("run: %v, want errSurvivors", err)
+	}
+	if !strings.Contains(sb.String(), "coverage: transactions ") {
+		t.Errorf("tables lack the coverage summary:\n%s", sb.String())
+	}
+	for _, name := range []string{"experiment2.json", "experiment2-baseline.json"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("artifact %s not written: %v", name, err)
+		}
+		for _, want := range []string{`"killMatrix"`, `"assertionSites"`, `"transactionsCovered"`} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("artifact %s missing %s", name, want)
+			}
+		}
+	}
+}

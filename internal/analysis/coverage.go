@@ -1,0 +1,112 @@
+// Kill-matrix and oracle-attribution views of a mutation campaign. The
+// paper reports its experiments as aggregate tables (Tables 2-3) plus the
+// observation that 59 of 652 kills were "due to assertion violation"; these
+// projections make both first-class: a per-mutant row naming the verdict,
+// the killing case and the kill reason, and a per-operator attribution of
+// kills to the three criteria of §4 (crash, assertion violation, output
+// difference). Both are pure functions of Result.Mutants — replaying a
+// campaign from the verdict store reconstructs them bit-for-bit.
+
+package analysis
+
+import "sort"
+
+// KillRow is one mutant's line in the mutant×case kill matrix.
+type KillRow struct {
+	Mutant   string `json:"mutant"`
+	Operator string `json:"operator"`
+	Method   string `json:"method"`
+	Killed   bool   `json:"killed"`
+	// Reason is the kill criterion ("crash", "assertion", "output-diff"),
+	// empty for survivors.
+	Reason string `json:"reason,omitempty"`
+	// KillingCase is the first test case that killed the mutant, empty for
+	// survivors — the matrix is sparse because the analysis stops a mutant
+	// at its first kill, exactly like the paper's driver.
+	KillingCase string `json:"killingCase,omitempty"`
+	Reached     bool   `json:"reached"`
+	Infected    bool   `json:"infected"`
+	Equivalent  bool   `json:"equivalent"`
+}
+
+// KillMatrix projects the campaign into per-mutant rows, in campaign order
+// (mutant enumeration order, which is deterministic).
+func (r *Result) KillMatrix() []KillRow {
+	if r == nil || len(r.Mutants) == 0 {
+		return nil
+	}
+	rows := make([]KillRow, 0, len(r.Mutants))
+	for _, m := range r.Mutants {
+		row := KillRow{
+			Mutant:     m.Mutant.ID,
+			Operator:   m.Mutant.Operator.String(),
+			Method:     m.Mutant.Method,
+			Killed:     m.Killed,
+			Reached:    m.Reached,
+			Infected:   m.Infected,
+			Equivalent: m.Equivalent(),
+		}
+		if m.Killed {
+			row.Reason = m.Reason.String()
+			row.KillingCase = m.KillingCase
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// OperatorAttribution charges each operator's kills to the oracle that
+// earned them: the crash containment, the BIT assertion oracle, or the
+// golden output comparison.
+type OperatorAttribution struct {
+	Operator     string `json:"operator"`
+	Mutants      int    `json:"mutants"`
+	Killed       int    `json:"killed"`
+	ByCrash      int    `json:"byCrash"`
+	ByAssertion  int    `json:"byAssertion"`
+	ByOutputDiff int    `json:"byOutputDiff"`
+	Equivalent   int    `json:"equivalent"`
+	Alive        int    `json:"alive"` // survivors excluding equivalence candidates
+}
+
+// OracleAttribution aggregates the kill matrix per operator, sorted by
+// operator name for a deterministic artifact.
+func (r *Result) OracleAttribution() []OperatorAttribution {
+	if r == nil || len(r.Mutants) == 0 {
+		return nil
+	}
+	byOp := make(map[string]*OperatorAttribution)
+	var names []string
+	for _, m := range r.Mutants {
+		name := m.Mutant.Operator.String()
+		a := byOp[name]
+		if a == nil {
+			a = &OperatorAttribution{Operator: name}
+			byOp[name] = a
+			names = append(names, name)
+		}
+		a.Mutants++
+		switch {
+		case m.Killed:
+			a.Killed++
+			switch m.Reason {
+			case KillCrash:
+				a.ByCrash++
+			case KillAssertion:
+				a.ByAssertion++
+			case KillOutputDiff:
+				a.ByOutputDiff++
+			}
+		case m.Equivalent():
+			a.Equivalent++
+		default:
+			a.Alive++
+		}
+	}
+	sort.Strings(names)
+	out := make([]OperatorAttribution, len(names))
+	for i, n := range names {
+		out[i] = *byOp[n]
+	}
+	return out
+}

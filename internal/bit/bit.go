@@ -199,8 +199,9 @@ type chargerBox struct{ c Charger }
 // default). Mode reads/writes are atomic so a test harness may flip modes
 // while observers run.
 type Base struct {
-	mode   atomic.Int32
-	budget atomic.Value // *chargerBox
+	mode      atomic.Int32
+	budget    atomic.Value // *chargerBox
+	telemetry atomic.Value // *telemetryBox
 }
 
 // BITMode implements SelfTestable.

@@ -1,0 +1,183 @@
+// Assertion-site telemetry: the oracle-observability half of the BIT
+// layer. Every assertion the paper's macros check (class invariant,
+// pre-condition, post-condition) is a *site* — a (kind, method, predicate)
+// triple — and the telemetry counts, per site, how often the predicate was
+// evaluated and how often it was violated. The counts make the partial
+// oracle itself observable: a site that is never evaluated is dead oracle
+// code, and a site whose violations kill mutants is the oracle earning its
+// keep (the paper's "59 of 652 kills due to assertion violation").
+//
+// Telemetry is installed per test case by the executor through
+// TelemetrySetter (exactly like the per-case step budget) and merged into a
+// per-suite aggregate. Counts are deterministic for a fixed seed: they
+// depend only on the calls a case makes, never on timing, ordering or
+// parallelism — merging is commutative addition and snapshots sort by site.
+package bit
+
+import (
+	"sort"
+	"sync"
+)
+
+// SiteRecord is the exportable per-site aggregate: an assertion site
+// identified by kind, method and predicate text, with its evaluation and
+// violation counts.
+type SiteRecord struct {
+	Kind      string `json:"kind"`   // "invariant", "pre-condition", "post-condition"
+	Method    string `json:"method"` // method the assertion guards
+	Expr      string `json:"expr"`   // the predicate text
+	Evaluated int64  `json:"evaluated"`
+	Violated  int64  `json:"violated"`
+}
+
+type siteKey struct {
+	kind   string
+	method string
+	expr   string
+}
+
+type siteCounts struct {
+	evaluated int64
+	violated  int64
+}
+
+// Telemetry accumulates assertion-site counters. All methods are safe for
+// concurrent use and safe on a nil receiver (the disabled telemetry),
+// mirroring obs.Metrics.
+type Telemetry struct {
+	mu    sync.Mutex
+	sites map[siteKey]*siteCounts
+}
+
+// NewTelemetry returns an empty telemetry accumulator.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{sites: make(map[siteKey]*siteCounts)}
+}
+
+// Record counts one evaluation of an assertion site, violated or not.
+func (t *Telemetry) Record(kind ViolationKind, method, expr string, violated bool) {
+	if t == nil {
+		return
+	}
+	k := siteKey{kind: kind.String(), method: method, expr: expr}
+	t.mu.Lock()
+	c := t.sites[k]
+	if c == nil {
+		c = &siteCounts{}
+		t.sites[k] = c
+	}
+	c.evaluated++
+	if violated {
+		c.violated++
+	}
+	t.mu.Unlock()
+}
+
+// Merge adds another telemetry's counts into t. Merging is commutative, so
+// per-case telemetries merged in any completion order produce the same
+// aggregate — the parallelism-safety contract.
+func (t *Telemetry) Merge(other *Telemetry) {
+	if t == nil || other == nil {
+		return
+	}
+	t.MergeRecords(other.Records())
+}
+
+// MergeRecords adds exported site records (e.g. shipped back from an
+// isolated case server) into t.
+func (t *Telemetry) MergeRecords(recs []SiteRecord) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	for _, r := range recs {
+		k := siteKey{kind: r.Kind, method: r.Method, expr: r.Expr}
+		c := t.sites[k]
+		if c == nil {
+			c = &siteCounts{}
+			t.sites[k] = c
+		}
+		c.evaluated += r.Evaluated
+		c.violated += r.Violated
+	}
+	t.mu.Unlock()
+}
+
+// Records snapshots the per-site counts, sorted by kind, then method, then
+// predicate — a deterministic order for reports and canonical artifacts. A
+// nil or empty telemetry returns nil.
+func (t *Telemetry) Records() []SiteRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.sites) == 0 {
+		return nil
+	}
+	out := make([]SiteRecord, 0, len(t.sites))
+	for k, c := range t.sites {
+		out = append(out, SiteRecord{
+			Kind: k.kind, Method: k.method, Expr: k.expr,
+			Evaluated: c.evaluated, Violated: c.violated,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		return a.Expr < b.Expr
+	})
+	return out
+}
+
+// TelemetrySetter is the capability the executor uses to install per-case
+// assertion telemetry; Base implements it, so every component that embeds
+// Base is oracle-observable for free.
+type TelemetrySetter interface {
+	SetBITTelemetry(*Telemetry)
+}
+
+// telemetryBox wraps a Telemetry so atomic.Value stores one concrete type.
+type telemetryBox struct{ t *Telemetry }
+
+// SetBITTelemetry implements TelemetrySetter: subsequent AssertInvariant /
+// AssertPre / AssertPost calls record their evaluations on t. A nil telemetry
+// leaves the checks unrecorded.
+func (b *Base) SetBITTelemetry(t *Telemetry) {
+	if t != nil {
+		b.telemetry.Store(&telemetryBox{t: t})
+	}
+}
+
+// record counts one assertion evaluation on the installed telemetry, if any.
+func (b *Base) record(kind ViolationKind, method, expr string, violated bool) {
+	if box, _ := b.telemetry.Load().(*telemetryBox); box != nil {
+		box.t.Record(kind, method, expr, violated)
+	}
+}
+
+// AssertInvariant is ClassInvariant routed through the component's embedded
+// telemetry: the evaluation is counted per site, then the same *Violation
+// (or nil) is returned. Components use these Base methods instead of the
+// free functions to make their assertion sites observable.
+func (b *Base) AssertInvariant(exp bool, method, expr string) error {
+	b.record(KindInvariant, method, expr, !exp)
+	return ClassInvariant(exp, method, expr)
+}
+
+// AssertPre is PreCondition routed through the embedded telemetry.
+func (b *Base) AssertPre(exp bool, method, expr string) error {
+	b.record(KindPrecondition, method, expr, !exp)
+	return PreCondition(exp, method, expr)
+}
+
+// AssertPost is PostCondition routed through the embedded telemetry.
+func (b *Base) AssertPost(exp bool, method, expr string) error {
+	b.record(KindPostcondition, method, expr, !exp)
+	return PostCondition(exp, method, expr)
+}

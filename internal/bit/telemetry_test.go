@@ -1,0 +1,138 @@
+package bit
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestTelemetryRecordCounts(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Record(KindInvariant, "Push", "size >= 0", false)
+	tel.Record(KindInvariant, "Push", "size >= 0", false)
+	tel.Record(KindInvariant, "Push", "size >= 0", true)
+	tel.Record(KindPrecondition, "Pop", "size > 0", true)
+	want := []SiteRecord{
+		{Kind: "invariant", Method: "Push", Expr: "size >= 0", Evaluated: 3, Violated: 1},
+		{Kind: "pre-condition", Method: "Pop", Expr: "size > 0", Evaluated: 1, Violated: 1},
+	}
+	if got := tel.Records(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Records = %+v, want %+v", got, want)
+	}
+}
+
+func TestTelemetryRecordsSorted(t *testing.T) {
+	tel := NewTelemetry()
+	tel.Record(KindPostcondition, "B", "z", false)
+	tel.Record(KindInvariant, "B", "y", false)
+	tel.Record(KindInvariant, "A", "x", false)
+	tel.Record(KindInvariant, "A", "w", false)
+	recs := tel.Records()
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
+		if a.Kind > b.Kind || (a.Kind == b.Kind && a.Method > b.Method) ||
+			(a.Kind == b.Kind && a.Method == b.Method && a.Expr > b.Expr) {
+			t.Fatalf("records out of order at %d: %+v before %+v", i, a, b)
+		}
+	}
+}
+
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.Record(KindInvariant, "m", "e", true) // must not panic
+	tel.Merge(NewTelemetry())
+	tel.MergeRecords([]SiteRecord{{Kind: "invariant"}})
+	if got := tel.Records(); got != nil {
+		t.Errorf("nil telemetry Records = %+v, want nil", got)
+	}
+	live := NewTelemetry()
+	live.Merge(nil) // nil source must not panic either
+	if got := live.Records(); got != nil {
+		t.Errorf("empty telemetry Records = %+v, want nil", got)
+	}
+}
+
+// TestTelemetryMergeCommutative is the parallelism-safety contract: merging
+// per-case telemetries in any completion order yields the same aggregate.
+func TestTelemetryMergeCommutative(t *testing.T) {
+	mk := func(n int64) *Telemetry {
+		tel := NewTelemetry()
+		for i := int64(0); i < n; i++ {
+			tel.Record(KindInvariant, "Push", "ok", i%2 == 0)
+		}
+		tel.Record(KindPostcondition, "Pop", "shrunk", false)
+		return tel
+	}
+	ab := NewTelemetry()
+	ab.Merge(mk(3))
+	ab.Merge(mk(5))
+	ba := NewTelemetry()
+	ba.Merge(mk(5))
+	ba.Merge(mk(3))
+	if !reflect.DeepEqual(ab.Records(), ba.Records()) {
+		t.Errorf("merge order changed aggregate:\n%+v\nvs\n%+v", ab.Records(), ba.Records())
+	}
+}
+
+func TestTelemetryConcurrentRecord(t *testing.T) {
+	tel := NewTelemetry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tel.Record(KindInvariant, "m", "e", i%10 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	recs := tel.Records()
+	if len(recs) != 1 || recs[0].Evaluated != 800 || recs[0].Violated != 80 {
+		t.Errorf("concurrent counts = %+v, want evaluated 800 / violated 80", recs)
+	}
+}
+
+// TestBaseAssertHelpersRecordAndDelegate: the Assert* helpers count the
+// evaluation on the installed telemetry and return exactly what the paper's
+// macros would.
+func TestBaseAssertHelpersRecordAndDelegate(t *testing.T) {
+	var b Base
+	tel := NewTelemetry()
+	b.SetBITTelemetry(tel)
+	if err := b.AssertInvariant(true, "m", "inv"); err != nil {
+		t.Errorf("passing invariant returned %v", err)
+	}
+	if err := b.AssertInvariant(false, "m", "inv"); err == nil {
+		t.Error("failing invariant returned nil")
+	} else if v, ok := AsViolation(err); !ok || v.Kind != KindInvariant {
+		t.Errorf("failing invariant returned %v, want invariant violation", err)
+	}
+	if err := b.AssertPre(false, "m", "pre"); err == nil {
+		t.Error("failing pre-condition returned nil")
+	}
+	if err := b.AssertPost(false, "m", "post"); err == nil {
+		t.Error("failing post-condition returned nil")
+	}
+	want := []SiteRecord{
+		{Kind: "invariant", Method: "m", Expr: "inv", Evaluated: 2, Violated: 1},
+		{Kind: "post-condition", Method: "m", Expr: "post", Evaluated: 1, Violated: 1},
+		{Kind: "pre-condition", Method: "m", Expr: "pre", Evaluated: 1, Violated: 1},
+	}
+	if got := tel.Records(); !reflect.DeepEqual(got, want) {
+		t.Errorf("telemetry = %+v, want %+v", got, want)
+	}
+}
+
+// TestBaseAssertWithoutTelemetry: with no telemetry installed the helpers
+// are plain assertions — no recording, same verdicts.
+func TestBaseAssertWithoutTelemetry(t *testing.T) {
+	var b Base
+	if err := b.AssertInvariant(false, "m", "e"); err == nil {
+		t.Error("unrecorded failing invariant returned nil")
+	}
+	b.SetBITTelemetry(nil) // explicit nil is ignored, not a panic
+	if err := b.AssertPre(true, "m", "e"); err != nil {
+		t.Errorf("unrecorded passing pre-condition returned %v", err)
+	}
+}

@@ -69,10 +69,10 @@ func (a *Account) InvariantTest() error {
 	if err := a.Guard(); err != nil {
 		return err
 	}
-	if err := bit.ClassInvariant(a.balance >= 0, "InvariantTest", "balance >= 0"); err != nil {
+	if err := a.AssertInvariant(a.balance >= 0, "InvariantTest", "balance >= 0"); err != nil {
 		return err
 	}
-	return bit.ClassInvariant(a.balance <= MaxBalance, "InvariantTest", "balance <= MaxBalance")
+	return a.AssertInvariant(a.balance <= MaxBalance, "InvariantTest", "balance <= MaxBalance")
 }
 
 // Reporter implements bit.SelfTestable.
@@ -92,7 +92,7 @@ func (a *Account) deposit(args []domain.Value) ([]domain.Value, error) {
 		return nil, err
 	}
 	amount := args[0].MustInt()
-	if err := bit.PreCondition(amount > 0, "Deposit", "amount > 0"); err != nil {
+	if err := a.AssertPre(amount > 0, "Deposit", "amount > 0"); err != nil {
 		return nil, err
 	}
 	if a.balance+amount > MaxBalance {
@@ -109,7 +109,7 @@ func (a *Account) withdraw(args []domain.Value) ([]domain.Value, error) {
 		return nil, err
 	}
 	amount := args[0].MustInt()
-	if err := bit.PreCondition(amount > 0, "Withdraw", "amount > 0"); err != nil {
+	if err := a.AssertPre(amount > 0, "Withdraw", "amount > 0"); err != nil {
 		return nil, err
 	}
 	amount = a.useInt("Withdraw/amount", amount, map[string]domain.Value{})

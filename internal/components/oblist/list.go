@@ -372,40 +372,40 @@ func (l *ObList) SetValues(vs []domain.Value) {
 //   - boundary nodes have no dangling prev/next;
 //   - count is non-negative.
 func (l *ObList) CheckInvariant() error {
-	if err := bit.ClassInvariant(l.count >= 0, "InvariantTest", "count >= 0"); err != nil {
+	if err := l.AssertInvariant(l.count >= 0, "InvariantTest", "count >= 0"); err != nil {
 		return err
 	}
 	if l.count == 0 {
-		return bit.ClassInvariant(l.head == nil && l.tail == nil,
+		return l.AssertInvariant(l.head == nil && l.tail == nil,
 			"InvariantTest", "empty list has nil head and tail")
 	}
-	if err := bit.ClassInvariant(l.head != nil && l.tail != nil,
+	if err := l.AssertInvariant(l.head != nil && l.tail != nil,
 		"InvariantTest", "non-empty list has head and tail"); err != nil {
 		return err
 	}
-	if err := bit.ClassInvariant(l.head.prev == nil, "InvariantTest", "head.prev == nil"); err != nil {
+	if err := l.AssertInvariant(l.head.prev == nil, "InvariantTest", "head.prev == nil"); err != nil {
 		return err
 	}
-	if err := bit.ClassInvariant(l.tail.next == nil, "InvariantTest", "tail.next == nil"); err != nil {
+	if err := l.AssertInvariant(l.tail.next == nil, "InvariantTest", "tail.next == nil"); err != nil {
 		return err
 	}
 	var fwd int64
 	for n := l.head; n != nil && fwd <= l.count; n = n.next {
 		fwd++
 		if n.next == nil {
-			if err := bit.ClassInvariant(n == l.tail, "InvariantTest", "forward walk ends at tail"); err != nil {
+			if err := l.AssertInvariant(n == l.tail, "InvariantTest", "forward walk ends at tail"); err != nil {
 				return err
 			}
 		}
 	}
-	if err := bit.ClassInvariant(fwd == l.count, "InvariantTest", "count matches forward length"); err != nil {
+	if err := l.AssertInvariant(fwd == l.count, "InvariantTest", "count matches forward length"); err != nil {
 		return err
 	}
 	var bwd int64
 	for n := l.tail; n != nil && bwd <= l.count; n = n.prev {
 		bwd++
 	}
-	return bit.ClassInvariant(bwd == l.count, "InvariantTest", "count matches backward length")
+	return l.AssertInvariant(bwd == l.count, "InvariantTest", "count matches backward length")
 }
 
 // WriteReport dumps the list state for the Reporter.

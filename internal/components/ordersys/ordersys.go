@@ -98,25 +98,25 @@ func (o *OrderSystem) InvariantTest() error {
 	}
 	seen := map[string]bool{}
 	for _, l := range o.lines {
-		if err := bit.ClassInvariant(l.qty > 0, "InvariantTest", "line qty > 0"); err != nil {
+		if err := o.AssertInvariant(l.qty > 0, "InvariantTest", "line qty > 0"); err != nil {
 			return err
 		}
-		if err := bit.ClassInvariant(!seen[l.name], "InvariantTest", "line names unique"); err != nil {
+		if err := o.AssertInvariant(!seen[l.name], "InvariantTest", "line names unique"); err != nil {
 			return err
 		}
 		seen[l.name] = true
 		rec, err := o.db.Query(l.name)
-		if err := bit.ClassInvariant(err == nil, "InvariantTest", "cart line references stocked product"); err != nil {
+		if err := o.AssertInvariant(err == nil, "InvariantTest", "cart line references stocked product"); err != nil {
 			return err
 		}
-		if err := bit.ClassInvariant(rec.Qty >= l.qty, "InvariantTest", "stock covers cart line"); err != nil {
+		if err := o.AssertInvariant(rec.Qty >= l.qty, "InvariantTest", "stock covers cart line"); err != nil {
 			return err
 		}
-		if err := bit.ClassInvariant(rec.Price == l.price, "InvariantTest", "line price matches stock"); err != nil {
+		if err := o.AssertInvariant(rec.Price == l.price, "InvariantTest", "line price matches stock"); err != nil {
 			return err
 		}
 	}
-	return bit.ClassInvariant(o.checkouts >= 0, "InvariantTest", "checkouts >= 0")
+	return o.AssertInvariant(o.checkouts >= 0, "InvariantTest", "checkouts >= 0")
 }
 
 // Reporter implements bit.SelfTestable.
@@ -177,10 +177,10 @@ func (o *OrderSystem) stockAdd(args []domain.Value) ([]domain.Value, error) {
 	name := args[0].MustString()
 	qty := args[1].MustInt()
 	price := args[2].MustFloat()
-	if err := bit.PreCondition(qty > 0, "Stock.AddProduct", "qty > 0"); err != nil {
+	if err := o.AssertPre(qty > 0, "Stock.AddProduct", "qty > 0"); err != nil {
 		return nil, err
 	}
-	if err := bit.PreCondition(price > 0, "Stock.AddProduct", "price > 0"); err != nil {
+	if err := o.AssertPre(price > 0, "Stock.AddProduct", "price > 0"); err != nil {
 		return nil, err
 	}
 	if err := o.db.Insert(stockdb.Record{Name: name, Qty: qty, Price: price}); err != nil {
@@ -219,7 +219,7 @@ func (o *OrderSystem) cartAddLine(args []domain.Value) ([]domain.Value, error) {
 	}
 	name := args[0].MustString()
 	qty := args[1].MustInt()
-	if err := bit.PreCondition(qty > 0, "Cart.AddLine", "qty > 0"); err != nil {
+	if err := o.AssertPre(qty > 0, "Cart.AddLine", "qty > 0"); err != nil {
 		return nil, err
 	}
 	rec, err := o.db.Query(name)
@@ -320,7 +320,7 @@ func (o *OrderSystem) checkout(args []domain.Value) ([]domain.Value, error) {
 	}
 	o.lines = nil
 	o.checkouts++
-	if err := bit.PostCondition(len(o.lines) == 0, "Checkout", "cart empty after checkout"); err != nil {
+	if err := o.AssertPost(len(o.lines) == 0, "Checkout", "cart empty after checkout"); err != nil {
 		return nil, err
 	}
 	return []domain.Value{domain.Int(items)}, nil

@@ -79,15 +79,15 @@ func (p *Product) InvariantTest() error {
 	if err := p.Guard(); err != nil {
 		return err
 	}
-	if err := bit.ClassInvariant(p.qty >= MinQty && p.qty <= MaxQty,
+	if err := p.AssertInvariant(p.qty >= MinQty && p.qty <= MaxQty,
 		"InvariantTest", "1 <= qty <= 99999"); err != nil {
 		return err
 	}
-	if err := bit.ClassInvariant(p.price >= MinPrice && p.price <= MaxPrice,
+	if err := p.AssertInvariant(p.price >= MinPrice && p.price <= MaxPrice,
 		"InvariantTest", "0.01 <= price <= 10000"); err != nil {
 		return err
 	}
-	return bit.ClassInvariant(len(p.name) >= 1 && len(p.name) <= MaxName,
+	return p.AssertInvariant(len(p.name) >= 1 && len(p.name) <= MaxName,
 		"InvariantTest", "1 <= len(name) <= 30")
 }
 
@@ -114,7 +114,7 @@ func (p *Product) updateName(args []domain.Value) ([]domain.Value, error) {
 		return nil, err
 	}
 	n := args[0].MustString()
-	if err := bit.PreCondition(len(n) >= 1 && len(n) <= MaxName, "UpdateName", "1 <= len(n) <= 30"); err != nil {
+	if err := p.AssertPre(len(n) >= 1 && len(n) <= MaxName, "UpdateName", "1 <= len(n) <= 30"); err != nil {
 		return nil, err
 	}
 	p.name = n
@@ -126,7 +126,7 @@ func (p *Product) updateQty(args []domain.Value) ([]domain.Value, error) {
 		return nil, err
 	}
 	q := args[0].MustInt()
-	if err := bit.PreCondition(q >= MinQty && q <= MaxQty, "UpdateQty", "1 <= q <= 99999"); err != nil {
+	if err := p.AssertPre(q >= MinQty && q <= MaxQty, "UpdateQty", "1 <= q <= 99999"); err != nil {
 		return nil, err
 	}
 	p.qty = q
@@ -141,7 +141,7 @@ func (p *Product) updatePrice(args []domain.Value) ([]domain.Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := bit.PreCondition(pr >= MinPrice && pr <= MaxPrice, "UpdatePrice", "0.01 <= p <= 10000"); err != nil {
+	if err := p.AssertPre(pr >= MinPrice && pr <= MaxPrice, "UpdatePrice", "0.01 <= p <= 10000"); err != nil {
 		return nil, err
 	}
 	p.price = pr

@@ -19,7 +19,6 @@ import (
 	"errors"
 	"fmt"
 
-	"concat/internal/bit"
 	"concat/internal/components/oblist"
 	"concat/internal/domain"
 	"concat/internal/mutation"
@@ -317,7 +316,7 @@ func (s *SortableObList) FindMin() (domain.Value, error) {
 // assertion violations).
 func (s *SortableObList) postSorted(method string, input []domain.Value) error {
 	stored := s.Values()
-	if err := bit.PostCondition(len(stored) == len(input), method, "count unchanged"); err != nil {
+	if err := s.AssertPost(len(stored) == len(input), method, "count unchanged"); err != nil {
 		return err
 	}
 	for i := 0; i+1 < len(stored); i++ {
@@ -325,7 +324,7 @@ func (s *SortableObList) postSorted(method string, input []domain.Value) error {
 		if err != nil {
 			return fmt.Errorf("sortlist: %s postcondition comparing: %w", method, err)
 		}
-		if err := bit.PostCondition(c <= 0, method, "list is ordered"); err != nil {
+		if err := s.AssertPost(c <= 0, method, "list is ordered"); err != nil {
 			return err
 		}
 	}

@@ -69,10 +69,10 @@ func (s *Stack[T]) Clear() { s.items = nil }
 
 // CheckInvariant verifies the class invariant: 0 <= size <= MaxDepth.
 func (s *Stack[T]) CheckInvariant() error {
-	if err := bit.ClassInvariant(len(s.items) >= 0, "InvariantTest", "size >= 0"); err != nil {
+	if err := s.AssertInvariant(len(s.items) >= 0, "InvariantTest", "size >= 0"); err != nil {
 		return err
 	}
-	return bit.ClassInvariant(len(s.items) <= MaxDepth, "InvariantTest", "size <= MaxDepth")
+	return s.AssertInvariant(len(s.items) <= MaxDepth, "InvariantTest", "size <= MaxDepth")
 }
 
 // Instantiation binds the generic component to one element type: the

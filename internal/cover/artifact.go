@@ -1,0 +1,156 @@
+// The campaign coverage artifact: the persistent, canonical-JSON record a
+// campaign leaves behind — suite coverage plus (for mutation campaigns) the
+// kill matrix and the per-operator oracle attribution. The artifact is a
+// pure function of the campaign result, so warm (verdict-store replayed)
+// and cold campaigns, serial and parallel ones, write identical bytes;
+// `concat cover` renders tables and DOT heatmaps from the stored artifact
+// without re-running anything.
+
+package cover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"concat/internal/analysis"
+	"concat/internal/core/canon"
+	"concat/internal/driver"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+)
+
+// ArtifactVersion is bumped when the artifact schema changes shape.
+const ArtifactVersion = 1
+
+// Artifact is the persisted coverage record of one run or campaign.
+type Artifact struct {
+	Version   int            `json:"version"`
+	Component string         `json:"component"`
+	Suite     *SuiteCoverage `json:"suite"`
+	// KillMatrix and Operators are present for mutation campaigns only.
+	KillMatrix []analysis.KillRow             `json:"killMatrix,omitempty"`
+	Operators  []analysis.OperatorAttribution `json:"operators,omitempty"`
+}
+
+// FromRun builds a suite-only artifact (selftest / plain run).
+func FromRun(g *tfm.Graph, suite *driver.Suite, rep *testexec.Report) (*Artifact, error) {
+	sc, err := Compute(g, suite, rep)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{Version: ArtifactVersion, Component: sc.Component, Suite: sc}, nil
+}
+
+// FromCampaign builds the full campaign artifact: the reference run's suite
+// coverage plus the mutation kill matrix and oracle attribution. The
+// reference report always reflects real execution — verdict-store hits
+// replay mutant verdicts, never the reference — so warm and cold campaigns
+// produce the same artifact.
+func FromCampaign(g *tfm.Graph, suite *driver.Suite, res *analysis.Result) (*Artifact, error) {
+	if res == nil || res.Reference == nil {
+		return nil, fmt.Errorf("cover: campaign result has no reference report")
+	}
+	sc, err := Compute(g, suite, res.Reference)
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{
+		Version:    ArtifactVersion,
+		Component:  sc.Component,
+		Suite:      sc,
+		KillMatrix: res.KillMatrix(),
+		Operators:  res.OracleAttribution(),
+	}, nil
+}
+
+// Encode renders the artifact as canonical JSON (sorted keys, stable
+// number formatting) terminated by a newline — the byte-identity contract.
+func (a *Artifact) Encode() ([]byte, error) {
+	raw, err := canon.Marshal(a)
+	if err != nil {
+		return nil, fmt.Errorf("cover: encoding artifact: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// Decode parses an artifact previously written by Encode.
+func Decode(raw []byte) (*Artifact, error) {
+	var a Artifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return nil, fmt.Errorf("cover: decoding artifact: %w", err)
+	}
+	if a.Suite == nil {
+		return nil, fmt.Errorf("cover: artifact has no suite coverage")
+	}
+	return &a, nil
+}
+
+// Load reads and decodes an artifact stream.
+func Load(r io.Reader) (*Artifact, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cover: reading artifact: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Render writes the artifact as human-readable tables: the transaction
+// coverage table, the assertion-site telemetry, and — for campaign
+// artifacts — the kill matrix and operator attribution.
+func (a *Artifact) Render(w io.Writer) error {
+	s := a.Suite
+	if _, err := fmt.Fprintf(w, "Component: %s (criterion %s, seed %d)\n%s\n",
+		a.Component, s.Criterion, s.Seed, s.Summary()); err != nil {
+		return fmt.Errorf("cover: rendering artifact: %w", err)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nTRANSACTION\tCASES\tCOMPLETED")
+	for _, tx := range s.Transactions {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", tx.Key, tx.Cases, tx.Completed)
+	}
+	if len(s.AssertionSites) > 0 {
+		fmt.Fprintln(tw, "\nASSERTION SITE\tMETHOD\tEXPR\tEVALUATED\tVIOLATED")
+		for _, site := range s.AssertionSites {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%d\n",
+				site.Kind, site.Method, site.Expr, site.Evaluated, site.Violated)
+		}
+	}
+	if len(a.KillMatrix) > 0 {
+		fmt.Fprintln(tw, "\nMUTANT\tOPERATOR\tMETHOD\tVERDICT\tREASON\tKILLING CASE")
+		for _, row := range a.KillMatrix {
+			verdict := "survived"
+			switch {
+			case row.Killed:
+				verdict = "killed"
+			case row.Equivalent:
+				verdict = "equivalent?"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
+				row.Mutant, row.Operator, row.Method, verdict, row.Reason, row.KillingCase)
+		}
+	}
+	if len(a.Operators) > 0 {
+		fmt.Fprintln(tw, "\nOPERATOR\tMUTANTS\tKILLED\tCRASH\tASSERTION\tOUTPUT-DIFF\tEQUIV?\tALIVE")
+		for _, op := range a.Operators {
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				op.Operator, op.Mutants, op.Killed, op.ByCrash, op.ByAssertion,
+				op.ByOutputDiff, op.Equivalent, op.Alive)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return fmt.Errorf("cover: rendering artifact: %w", err)
+	}
+	return nil
+}
+
+// WriteHeatmap overlays the artifact's node/edge hit counts on the model as
+// a DOT heatmap. The graph must be the model the suite was generated from
+// (`concat cover` rebuilds it from the component registry).
+func (a *Artifact) WriteHeatmap(w io.Writer, g *tfm.Graph) error {
+	if g == nil {
+		return fmt.Errorf("cover: heatmap needs the component's TFM graph")
+	}
+	return g.WriteDOTHeatmap(w, a.Suite.NodeHits(), a.Suite.EdgeHits())
+}

@@ -1,0 +1,254 @@
+// Package cover measures what a test run actually exercised, against the
+// model it was generated from: which TFM transactions completed, which
+// nodes and edges were traversed and how often, and which BIT assertion
+// sites the partial oracle evaluated. The paper's Driver Generator promises
+// the transaction coverage criterion (§3.4.1); this package is the check on
+// that promise — a generated suite that executes cleanly must measure 100%
+// transaction coverage, and anything less names the transactions it missed.
+//
+// Coverage is computed after the fact from three deterministic inputs — the
+// TFM graph, the suite, and the executed report — never by instrumenting
+// the executor. A case's calls align one-to-one with its transaction path,
+// so the executed call count (read from the transcript for failed cases)
+// projects directly onto node and edge hits. That makes every number here a
+// pure function of the report: serial, parallel, traced, isolated and
+// cache-warmed runs produce byte-identical coverage.
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"concat/internal/bit"
+	"concat/internal/driver"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+)
+
+// CaseCoverage is one test case's execution footprint.
+type CaseCoverage struct {
+	ID          string `json:"id"`
+	Transaction string `json:"transaction"`
+	Outcome     string `json:"outcome"`
+	// Calls is how many of the case's calls actually executed (all of them
+	// for completed cases; a transcript-derived prefix for failed ones).
+	Calls int `json:"calls"`
+	// Completed: the case ran its whole transaction birth-to-death. Passing
+	// cases complete by definition; output-diff cases also ran everything
+	// (the diff is an oracle verdict, not an execution failure).
+	Completed bool `json:"completed"`
+}
+
+// TransactionCoverage aggregates the cases exercising one transaction.
+type TransactionCoverage struct {
+	Key       string `json:"key"`
+	Cases     int    `json:"cases"`
+	Completed int    `json:"completed"`
+}
+
+// NodeCoverage is a TFM node's hit count; 0-hit nodes are listed too, so
+// the artifact names its coverage holes.
+type NodeCoverage struct {
+	ID   string `json:"id"`
+	Hits int64  `json:"hits"`
+}
+
+// EdgeCoverage is a TFM edge's hit count, 0-hit edges included.
+type EdgeCoverage struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Hits int64  `json:"hits"`
+}
+
+// SuiteCoverage is the complete coverage record of one executed suite.
+type SuiteCoverage struct {
+	Component string `json:"component"`
+	Criterion string `json:"criterion,omitempty"`
+	Seed      int64  `json:"seed"`
+
+	Cases        []CaseCoverage        `json:"cases"`
+	Transactions []TransactionCoverage `json:"transactions"`
+	Nodes        []NodeCoverage        `json:"nodes,omitempty"`
+	Edges        []EdgeCoverage        `json:"edges,omitempty"`
+
+	// TransactionsCovered counts distinct suite transactions with at least
+	// one completed case; TransactionsTotal is the distinct transactions the
+	// suite targets. Node/edge totals come from the full graph, so the
+	// denominators are the model, not the suite.
+	TransactionsCovered int `json:"transactionsCovered"`
+	TransactionsTotal   int `json:"transactionsTotal"`
+	NodesCovered        int `json:"nodesCovered"`
+	NodesTotal          int `json:"nodesTotal"`
+	EdgesCovered        int `json:"edgesCovered"`
+	EdgesTotal          int `json:"edgesTotal"`
+
+	// AssertionSites is the suite's BIT oracle telemetry
+	// (testexec.Report.BITSites): which assertion sites the partial oracle
+	// evaluated, and how often they were violated.
+	AssertionSites []bit.SiteRecord `json:"assertionSites,omitempty"`
+}
+
+// TransactionPercent returns transaction coverage as a percentage (100 for
+// an empty suite: there was nothing to cover).
+func (s *SuiteCoverage) TransactionPercent() float64 {
+	if s.TransactionsTotal == 0 {
+		return 100
+	}
+	return 100 * float64(s.TransactionsCovered) / float64(s.TransactionsTotal)
+}
+
+// Summary renders the one-line coverage reading used by reports and the
+// campaign service.
+func (s *SuiteCoverage) Summary() string {
+	return fmt.Sprintf("coverage: transactions %d/%d (%.1f%%), nodes %d/%d, edges %d/%d",
+		s.TransactionsCovered, s.TransactionsTotal, s.TransactionPercent(),
+		s.NodesCovered, s.NodesTotal, s.EdgesCovered, s.EdgesTotal)
+}
+
+// NodeHits rebuilds the node hit map for heatmap rendering.
+func (s *SuiteCoverage) NodeHits() map[tfm.NodeID]int64 {
+	out := make(map[tfm.NodeID]int64, len(s.Nodes))
+	for _, n := range s.Nodes {
+		out[tfm.NodeID(n.ID)] = n.Hits
+	}
+	return out
+}
+
+// EdgeHits rebuilds the edge hit map for heatmap rendering.
+func (s *SuiteCoverage) EdgeHits() map[tfm.Edge]int64 {
+	out := make(map[tfm.Edge]int64, len(s.Edges))
+	for _, e := range s.Edges {
+		out[tfm.Edge{From: tfm.NodeID(e.From), To: tfm.NodeID(e.To)}] = e.Hits
+	}
+	return out
+}
+
+// executedCalls reports how many of a case's calls actually ran. A
+// completed case ran them all. For a failed case the transcript is the
+// ground truth: the executor writes exactly one NEW/CALL/DESTROY line per
+// dispatched call before the failure stopped the case. (The REPORT dump
+// only appears after every call completed, so the prefix count never
+// overshoots; it is clamped anyway for robustness against truncation.)
+func executedCalls(tc driver.TestCase, res testexec.CaseResult) int {
+	if completed(res.Outcome) {
+		return len(tc.Calls)
+	}
+	n := 0
+	for _, line := range strings.Split(res.Transcript, "\n") {
+		if strings.HasPrefix(line, "NEW ") ||
+			strings.HasPrefix(line, "CALL ") ||
+			strings.HasPrefix(line, "DESTROY ") {
+			n++
+		}
+	}
+	if n > len(tc.Calls) {
+		n = len(tc.Calls)
+	}
+	return n
+}
+
+// completed: the outcome means the case executed its full transaction.
+func completed(o testexec.Outcome) bool {
+	return o == testexec.OutcomePass || o == testexec.OutcomeOutputDiff
+}
+
+// Compute derives the suite's coverage from the model it was generated
+// against and the executed report. Every case in the suite must have a
+// result in the report (the executor guarantees this even for crashed or
+// timed-out cases).
+func Compute(g *tfm.Graph, suite *driver.Suite, rep *testexec.Report) (*SuiteCoverage, error) {
+	if suite == nil || rep == nil {
+		return nil, fmt.Errorf("cover: nil suite or report")
+	}
+	if suite.Component != rep.Component {
+		return nil, fmt.Errorf("cover: suite is for %q but report is for %q", suite.Component, rep.Component)
+	}
+	sc := &SuiteCoverage{
+		Component: suite.Component,
+		Criterion: suite.Criterion,
+		Seed:      suite.Seed,
+	}
+	nodeHits := make(map[tfm.NodeID]int64)
+	edgeHits := make(map[tfm.Edge]int64)
+	txByKey := make(map[string]*TransactionCoverage)
+	for _, tc := range suite.Cases {
+		res, ok := rep.Result(tc.ID)
+		if !ok {
+			return nil, fmt.Errorf("cover: report has no result for case %s", tc.ID)
+		}
+		ran := executedCalls(tc, res)
+		done := completed(res.Outcome)
+		sc.Cases = append(sc.Cases, CaseCoverage{
+			ID:          tc.ID,
+			Transaction: tc.Transaction,
+			Outcome:     res.Outcome.String(),
+			Calls:       ran,
+			Completed:   done,
+		})
+		tx := txByKey[tc.Transaction]
+		if tx == nil {
+			tx = &TransactionCoverage{Key: tc.Transaction}
+			txByKey[tc.Transaction] = tx
+		}
+		tx.Cases++
+		if done {
+			tx.Completed++
+		}
+		// Calls align 1:1 with path nodes, so the executed prefix is the
+		// traversed prefix of the transaction path.
+		steps := ran
+		if steps > len(tc.Path) {
+			steps = len(tc.Path)
+		}
+		for i := 0; i < steps; i++ {
+			nodeHits[tfm.NodeID(tc.Path[i])]++
+			if i > 0 {
+				edgeHits[tfm.Edge{From: tfm.NodeID(tc.Path[i-1]), To: tfm.NodeID(tc.Path[i])}]++
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(txByKey))
+	for k := range txByKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		tx := txByKey[k]
+		sc.Transactions = append(sc.Transactions, *tx)
+		if tx.Completed > 0 {
+			sc.TransactionsCovered++
+		}
+	}
+	sc.TransactionsTotal = len(keys)
+
+	if g != nil {
+		for _, n := range g.Nodes() {
+			h := nodeHits[n.ID]
+			sc.Nodes = append(sc.Nodes, NodeCoverage{ID: string(n.ID), Hits: h})
+			if h > 0 {
+				sc.NodesCovered++
+			}
+		}
+		sc.NodesTotal = g.NumNodes()
+		edges := g.Edges()
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].From != edges[j].From {
+				return edges[i].From < edges[j].From
+			}
+			return edges[i].To < edges[j].To
+		})
+		for _, e := range edges {
+			h := edgeHits[e]
+			sc.Edges = append(sc.Edges, EdgeCoverage{From: string(e.From), To: string(e.To), Hits: h})
+			if h > 0 {
+				sc.EdgesCovered++
+			}
+		}
+		sc.EdgesTotal = g.NumEdges()
+	}
+
+	sc.AssertionSites = rep.BITSites
+	return sc, nil
+}

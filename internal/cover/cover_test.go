@@ -1,0 +1,315 @@
+package cover_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"concat/internal/core"
+	"concat/internal/cover"
+	"concat/internal/driver"
+	"concat/internal/obs"
+	"concat/internal/store"
+	"concat/internal/testexec"
+	"concat/internal/tfm"
+)
+
+// smallGraph builds n1(start) -> n2 -> n3(final).
+func smallGraph(t *testing.T) *tfm.Graph {
+	t.Helper()
+	g := tfm.New("Tiny")
+	for _, n := range []tfm.Node{
+		{ID: "n1", Methods: []string{"m1"}, Start: true},
+		{ID: "n2", Methods: []string{"m2"}},
+		{ID: "n3", Methods: []string{"m3"}, Final: true},
+	} {
+		if err := g.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range [][2]tfm.NodeID{{"n1", "n2"}, {"n2", "n3"}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestComputePartialCoverage pins the projection rules on a hand-built
+// report: a completed case covers its whole path, a failed case covers the
+// transcript-derived prefix, and an uncompleted transaction does not count
+// as covered.
+func TestComputePartialCoverage(t *testing.T) {
+	g := smallGraph(t)
+	suite := &driver.Suite{
+		Component: "Tiny",
+		Seed:      7,
+		Criterion: "all-transactions",
+		Cases: []driver.TestCase{
+			{ID: "TC0", Transaction: "n1>n2>n3", Path: []string{"n1", "n2", "n3"},
+				Calls: []driver.Call{{Method: "m1"}, {Method: "m2"}, {Method: "m3"}}},
+			{ID: "TC1", Transaction: "n1>n2>n3", Path: []string{"n1", "n2", "n3"},
+				Calls: []driver.Call{{Method: "m1"}, {Method: "m2"}, {Method: "m3"}}},
+		},
+	}
+	rep := &testexec.Report{
+		Component: "Tiny",
+		Results: []testexec.CaseResult{
+			{CaseID: "TC0", Transaction: "n1>n2>n3", Outcome: testexec.OutcomePass,
+				Transcript: "NEW Tiny()\nCALL m2() -> []\nDESTROY Tiny\nREPORT ...\n"},
+			// TC1 violated on the second call: two calls dispatched.
+			{CaseID: "TC1", Transaction: "n1>n2>n3", Outcome: testexec.OutcomeViolation,
+				Transcript: "NEW Tiny()\nCALL m2() -> error: invariant is violated!\n"},
+		},
+	}
+	sc, err := cover.Compute(g, suite, rep)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	if sc.TransactionsCovered != 1 || sc.TransactionsTotal != 1 {
+		t.Errorf("transactions = %d/%d, want 1/1", sc.TransactionsCovered, sc.TransactionsTotal)
+	}
+	if sc.TransactionPercent() != 100 {
+		t.Errorf("percent = %v, want 100", sc.TransactionPercent())
+	}
+	wantCases := []cover.CaseCoverage{
+		{ID: "TC0", Transaction: "n1>n2>n3", Outcome: "pass", Calls: 3, Completed: true},
+		{ID: "TC1", Transaction: "n1>n2>n3", Outcome: "assertion-violation", Calls: 2, Completed: false},
+	}
+	if !reflect.DeepEqual(sc.Cases, wantCases) {
+		t.Errorf("cases = %+v, want %+v", sc.Cases, wantCases)
+	}
+	// TC0 hits all three nodes; TC1 hits n1, n2 only.
+	wantNodes := []cover.NodeCoverage{{ID: "n1", Hits: 2}, {ID: "n2", Hits: 2}, {ID: "n3", Hits: 1}}
+	if !reflect.DeepEqual(sc.Nodes, wantNodes) {
+		t.Errorf("nodes = %+v, want %+v", sc.Nodes, wantNodes)
+	}
+	wantEdges := []cover.EdgeCoverage{{From: "n1", To: "n2", Hits: 2}, {From: "n2", To: "n3", Hits: 1}}
+	if !reflect.DeepEqual(sc.Edges, wantEdges) {
+		t.Errorf("edges = %+v, want %+v", sc.Edges, wantEdges)
+	}
+	if sc.NodesCovered != 3 || sc.EdgesCovered != 2 {
+		t.Errorf("covered nodes/edges = %d/%d, want 3/2", sc.NodesCovered, sc.EdgesCovered)
+	}
+}
+
+func TestComputeUncoveredTransaction(t *testing.T) {
+	g := smallGraph(t)
+	suite := &driver.Suite{
+		Component: "Tiny",
+		Cases: []driver.TestCase{
+			{ID: "TC0", Transaction: "n1>n2>n3", Path: []string{"n1", "n2", "n3"},
+				Calls: []driver.Call{{Method: "m1"}, {Method: "m2"}, {Method: "m3"}}},
+		},
+	}
+	rep := &testexec.Report{
+		Component: "Tiny",
+		Results: []testexec.CaseResult{
+			{CaseID: "TC0", Outcome: testexec.OutcomePanic, Transcript: "NEW Tiny()\n"},
+		},
+	}
+	sc, err := cover.Compute(g, suite, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.TransactionsCovered != 0 || sc.TransactionPercent() != 0 {
+		t.Errorf("crashed-only suite claims coverage: %d covered, %.1f%%",
+			sc.TransactionsCovered, sc.TransactionPercent())
+	}
+	if sc.NodesCovered != 1 { // only n1 before the crash
+		t.Errorf("NodesCovered = %d, want 1", sc.NodesCovered)
+	}
+}
+
+func TestComputeMismatchedInputs(t *testing.T) {
+	g := smallGraph(t)
+	if _, err := cover.Compute(g, &driver.Suite{Component: "A"}, &testexec.Report{Component: "B"}); err == nil {
+		t.Error("component mismatch not rejected")
+	}
+	suite := &driver.Suite{Component: "Tiny", Cases: []driver.TestCase{{ID: "TC0"}}}
+	if _, err := cover.Compute(g, suite, &testexec.Report{Component: "Tiny"}); err == nil {
+		t.Error("missing case result not rejected")
+	}
+	if _, err := cover.Compute(g, nil, nil); err == nil {
+		t.Error("nil inputs not rejected")
+	}
+}
+
+// genOpts mirrors the CLI defaults the campaign service uses.
+func genOpts() driver.Options {
+	return driver.Options{Seed: 42, ExpandAlternatives: true, MaxAlternatives: 4}
+}
+
+// TestGeneratedDriversReachFullTransactionCoverage is the paper's claim
+// made checkable: for every bundled component, the generated driver
+// executes every transaction the criterion enumerated — 100% transaction
+// coverage, with all model nodes exercised.
+func TestGeneratedDriversReachFullTransactionCoverage(t *testing.T) {
+	for name, tgt := range core.Targets() {
+		t.Run(name, func(t *testing.T) {
+			comp := tgt.New(nil)
+			g, err := comp.Spec().TFM()
+			if err != nil {
+				t.Fatalf("TFM: %v", err)
+			}
+			suite, rep, err := comp.SelfTest(genOpts(), testexec.Options{Seed: 42})
+			if err != nil {
+				t.Fatalf("SelfTest: %v", err)
+			}
+			sc, err := cover.Compute(g, suite, rep)
+			if err != nil {
+				t.Fatalf("Compute: %v", err)
+			}
+			if sc.TransactionPercent() != 100 {
+				t.Errorf("transaction coverage = %.1f%% (%d/%d), want 100%%",
+					sc.TransactionPercent(), sc.TransactionsCovered, sc.TransactionsTotal)
+			}
+			if sc.NodesCovered != sc.NodesTotal {
+				t.Errorf("nodes covered = %d/%d, want all", sc.NodesCovered, sc.NodesTotal)
+			}
+			if len(sc.AssertionSites) == 0 {
+				t.Error("no assertion telemetry recorded; oracle not observable")
+			}
+		})
+	}
+}
+
+// campaignArtifact runs an Account mutation campaign with the given options
+// and encodes its coverage artifact.
+func campaignArtifact(t *testing.T, o core.MutationOptions) []byte {
+	t.Helper()
+	tgt, err := core.LookupTarget("Account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := tgt.New(nil)
+	g, err := comp.Spec().TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := comp.GenerateSuite(genOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Exec.Seed == 0 {
+		o.Exec.Seed = 42
+	}
+	res, err := core.MutationRunOpts("Account", suite, nil, nil, o)
+	if err != nil {
+		t.Fatalf("MutationRunOpts: %v", err)
+	}
+	art, err := cover.FromCampaign(g, suite, res)
+	if err != nil {
+		t.Fatalf("FromCampaign: %v", err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return raw
+}
+
+// TestCampaignArtifactDeterministic is the acceptance criterion: the
+// artifact bytes are identical across serial vs parallel, traced vs
+// untraced, and warm vs cold campaigns.
+func TestCampaignArtifactDeterministic(t *testing.T) {
+	base := campaignArtifact(t, core.MutationOptions{Parallelism: 1})
+	if par := campaignArtifact(t, core.MutationOptions{Parallelism: 4}); !bytes.Equal(base, par) {
+		t.Error("parallel campaign artifact differs from serial")
+	}
+	traced := core.MutationOptions{Parallelism: 1}
+	traced.Exec.Trace = obs.NewCollector()
+	traced.Exec.Metrics = obs.NewMetrics()
+	if tr := campaignArtifact(t, traced); !bytes.Equal(base, tr) {
+		t.Error("traced campaign artifact differs from untraced")
+	}
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := campaignArtifact(t, core.MutationOptions{Parallelism: 1, Store: st})
+	warm := campaignArtifact(t, core.MutationOptions{Parallelism: 1, Store: st})
+	if !bytes.Equal(base, cold) {
+		t.Error("cold cached campaign artifact differs from uncached")
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm campaign artifact differs from cold")
+	}
+}
+
+func TestArtifactRoundTripAndRender(t *testing.T) {
+	tgt, err := core.LookupTarget("Account")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := tgt.New(nil)
+	g, err := comp.Spec().TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := comp.GenerateSuite(genOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.MutationRunOpts("Account", suite, nil, nil,
+		core.MutationOptions{Parallelism: 1, Exec: testexec.Options{Seed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := cover.FromCampaign(g, suite, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := cover.Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(art, back) {
+		t.Error("artifact did not survive the Encode/Load round trip")
+	}
+	raw2, err := back.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Error("re-encoding a loaded artifact changed its bytes")
+	}
+
+	var text bytes.Buffer
+	if err := back.Render(&text); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	for _, want := range []string{
+		"Component: Account", "TRANSACTION", "ASSERTION SITE",
+		"MUTANT", "OPERATOR", "coverage: transactions",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("rendered artifact missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var dot bytes.Buffer
+	if err := back.WriteHeatmap(&dot, g); err != nil {
+		t.Fatalf("WriteHeatmap: %v", err)
+	}
+	if !strings.Contains(dot.String(), "digraph") || !strings.Contains(dot.String(), "hits") {
+		t.Errorf("heatmap DOT looks wrong:\n%s", dot.String())
+	}
+	if err := back.WriteHeatmap(&dot, nil); err == nil {
+		t.Error("WriteHeatmap without a graph should fail")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := cover.Decode([]byte("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := cover.Decode([]byte(`{"version":1}`)); err == nil {
+		t.Error("artifact without suite accepted")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"concat/internal/components/oblist"
 	"concat/internal/components/product"
 	"concat/internal/components/sortlist"
+	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/fsm"
 	"concat/internal/history"
@@ -154,6 +155,29 @@ func (s *Setup) Experiment1(progress io.Writer) (*analysis.Result, error) {
 func (s *Setup) Experiment2(progress io.Writer) (*analysis.Result, error) {
 	a, eng := s.listAnalysis(progress)
 	return a.Run(eng.Enumerate(nil, Experiment2Methods))
+}
+
+// ChildCoverage builds the coverage artifact of a finished subclass
+// campaign (Experiment1/Experiment2): the derived CSortableObList suite
+// over the subclass's transaction flow model, with the campaign's kill
+// matrix and oracle attribution.
+func (s *Setup) ChildCoverage(res *analysis.Result) (*cover.Artifact, error) {
+	g, err := sortlist.Spec().TFM()
+	if err != nil {
+		return nil, err
+	}
+	return cover.FromCampaign(g, s.Derived.Suite, res)
+}
+
+// ParentCoverage builds the coverage artifact of a finished base-class
+// campaign (Experiment2Baseline): the parent CObList suite over its own
+// model.
+func (s *Setup) ParentCoverage(res *analysis.Result) (*cover.Artifact, error) {
+	g, err := oblist.Spec().TFM()
+	if err != nil {
+		return nil, err
+	}
+	return cover.FromCampaign(g, s.ParentSuite, res)
 }
 
 // Experiment2Baseline runs the same base-class mutants under the PARENT's

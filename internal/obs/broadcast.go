@@ -2,36 +2,57 @@ package obs
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"sync"
 )
 
 // Broadcast is an append-only byte buffer with any number of late-joining
-// readers. Every reader observes the complete stream from its first byte —
-// subscribing after N writes replays all N before blocking for more — and a
-// reader that has caught up waits until new bytes arrive or the stream
-// closes. It is the retention layer under the campaign service's live trace
-// streams: the tracer writes each NDJSON span once, and every HTTP client
-// replays the full trace from its own offset.
+// readers. Every reader observes the stream from its first retained byte —
+// subscribing after N writes replays everything still retained before
+// blocking for more — and a reader that has caught up waits until new bytes
+// arrive or the stream closes. It is the retention layer under the campaign
+// service's live trace streams: the tracer writes each NDJSON span once,
+// and every HTTP client replays the trace from its own offset.
+//
+// A capped broadcast (NewBroadcastCapped) bounds the retained replay
+// buffer: once the retained bytes exceed the cap, the oldest complete lines
+// are dropped and a late subscriber that missed them receives an explicit
+// NDJSON truncation marker ({"truncated":true,...}) before the retained
+// suffix. Offsets are absolute stream positions, so truncation never
+// silently re-delivers or skips bytes.
 //
 // Writes and reads are safe for concurrent use. Close is idempotent and
 // releases all waiting readers.
 type Broadcast struct {
-	mu     sync.Mutex
-	buf    []byte
+	mu  sync.Mutex
+	buf []byte
+	// base is the absolute stream offset of buf[0]; bytes below base have
+	// been dropped under the retention cap.
+	base   int
+	cap    int
 	closed bool
 	// wake is closed and replaced whenever buf grows or the stream closes;
 	// a catching-up reader snapshots it under the lock and waits outside.
 	wake chan struct{}
 }
 
-// NewBroadcast returns an empty open broadcast buffer.
+// NewBroadcast returns an empty open broadcast buffer with unbounded
+// retention.
 func NewBroadcast() *Broadcast {
 	return &Broadcast{wake: make(chan struct{})}
 }
 
+// NewBroadcastCapped returns a broadcast buffer retaining at most max bytes
+// for replay (max <= 0 means unbounded). The cap bounds retention only;
+// readers already past the dropped region are unaffected.
+func NewBroadcastCapped(max int) *Broadcast {
+	return &Broadcast{wake: make(chan struct{}), cap: max}
+}
+
 // Write appends p to the stream and wakes all waiting readers. It never
-// blocks; the buffer retains the full stream for late subscribers.
+// blocks. With a retention cap, the oldest complete lines beyond the cap
+// are dropped for future late subscribers.
 func (b *Broadcast) Write(p []byte) (int, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -39,6 +60,17 @@ func (b *Broadcast) Write(p []byte) (int, error) {
 		return 0, errors.New("obs: write on closed broadcast")
 	}
 	b.buf = append(b.buf, p...)
+	if b.cap > 0 && len(b.buf) > b.cap {
+		// Trim the front to the cap, extended forward to the next newline so
+		// the retained suffix starts at a line boundary (the stream is
+		// NDJSON; replaying from mid-line would corrupt every reader).
+		cut := len(b.buf) - b.cap
+		for cut < len(b.buf) && b.buf[cut-1] != '\n' {
+			cut++
+		}
+		b.base += cut
+		b.buf = append(b.buf[:0:0], b.buf[cut:]...)
+	}
 	close(b.wake)
 	b.wake = make(chan struct{})
 	return len(p), nil
@@ -56,14 +88,23 @@ func (b *Broadcast) Close() error {
 	return nil
 }
 
-// Len returns the number of bytes written so far.
+// Len returns the total number of bytes written so far (including bytes
+// dropped under the retention cap).
 func (b *Broadcast) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.buf)
+	return b.base + len(b.buf)
 }
 
-// Bytes returns a copy of the full stream so far.
+// Dropped returns how many leading bytes have been discarded under the
+// retention cap.
+func (b *Broadcast) Dropped() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.base
+}
+
+// Bytes returns a copy of the retained stream suffix.
 func (b *Broadcast) Bytes() []byte {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -72,37 +113,52 @@ func (b *Broadcast) Bytes() []byte {
 	return out
 }
 
-// Next returns a copy of the bytes past off, blocking while the stream is
-// open and has nothing new. It returns (nil, false) once the stream is
-// closed and fully consumed, or as soon as cancel fires (a nil cancel never
-// fires). The second return value is true whenever chunk may be non-empty —
-// callers loop `for chunk, ok := b.Next(off, c); ok; ...` advancing off by
-// len(chunk).
-func (b *Broadcast) Next(off int, cancel <-chan struct{}) ([]byte, bool) {
+// truncationMarker is the NDJSON event a reader receives in place of bytes
+// the retention cap discarded. ReadTrace skips these lines.
+func truncationMarker(missed int) []byte {
+	return []byte(fmt.Sprintf("{\"truncated\":true,\"missedBytes\":%d}\n", missed))
+}
+
+// Next returns a copy of the stream bytes past the absolute offset off,
+// blocking while the stream is open and has nothing new. It returns the
+// chunk plus the absolute offset to resume from; callers loop
+// `for chunk, next, ok := b.Next(off, c); ok; ... off = next`. When off
+// points below the retained window (the cap dropped those bytes), the chunk
+// begins with a truncation marker line and resumes at the retained suffix.
+// ok is false once the stream is closed and fully consumed, or as soon as
+// cancel fires (a nil cancel never fires).
+func (b *Broadcast) Next(off int, cancel <-chan struct{}) ([]byte, int, bool) {
 	for {
 		b.mu.Lock()
-		if off < len(b.buf) {
-			chunk := make([]byte, len(b.buf)-off)
-			copy(chunk, b.buf[off:])
+		end := b.base + len(b.buf)
+		if off < b.base {
+			chunk := append(truncationMarker(b.base-off), b.buf...)
 			b.mu.Unlock()
-			return chunk, true
+			return chunk, end, true
+		}
+		if off < end {
+			chunk := make([]byte, end-off)
+			copy(chunk, b.buf[off-b.base:])
+			b.mu.Unlock()
+			return chunk, end, true
 		}
 		if b.closed {
 			b.mu.Unlock()
-			return nil, false
+			return nil, off, false
 		}
 		wake := b.wake
 		b.mu.Unlock()
 		select {
 		case <-wake:
 		case <-cancel:
-			return nil, false
+			return nil, off, false
 		}
 	}
 }
 
 // Reader returns a new independent reader positioned at the start of the
-// stream. Read blocks until bytes past the reader's offset exist and
+// stream (or, under a cap, at the truncation marker for anything already
+// dropped). Read blocks until bytes past the reader's offset exist and
 // returns io.EOF only after Close has been called and the stream is fully
 // consumed.
 func (b *Broadcast) Reader() io.Reader {
@@ -110,16 +166,21 @@ func (b *Broadcast) Reader() io.Reader {
 }
 
 type broadcastReader struct {
-	b   *Broadcast
-	off int
+	b       *Broadcast
+	off     int
+	pending []byte
 }
 
 func (r *broadcastReader) Read(p []byte) (int, error) {
-	chunk, ok := r.b.Next(r.off, nil)
-	if !ok {
-		return 0, io.EOF
+	if len(r.pending) == 0 {
+		chunk, next, ok := r.b.Next(r.off, nil)
+		if !ok {
+			return 0, io.EOF
+		}
+		r.pending = chunk
+		r.off = next
 	}
-	n := copy(p, chunk)
-	r.off += n
+	n := copy(p, r.pending)
+	r.pending = r.pending[n:]
 	return n, nil
 }

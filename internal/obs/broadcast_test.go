@@ -53,15 +53,126 @@ func TestBroadcastNextCancel(t *testing.T) {
 	b := NewBroadcast()
 	cancel := make(chan struct{})
 	close(cancel)
-	if chunk, ok := b.Next(0, cancel); ok || chunk != nil {
+	if chunk, _, ok := b.Next(0, cancel); ok || chunk != nil {
 		t.Errorf("Next on empty stream with fired cancel = %q, %v", chunk, ok)
 	}
 	// Data already past the offset is returned even with cancel fired.
 	if _, err := b.Write([]byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if chunk, ok := b.Next(0, cancel); !ok || string(chunk) != "x" {
-		t.Errorf("Next with buffered data = %q, %v", chunk, ok)
+	if chunk, next, ok := b.Next(0, cancel); !ok || string(chunk) != "x" || next != 1 {
+		t.Errorf("Next with buffered data = %q, %d, %v", chunk, next, ok)
+	}
+}
+
+func TestBroadcastCapDropsOldestLines(t *testing.T) {
+	b := NewBroadcastCapped(16)
+	for i := 0; i < 10; i++ {
+		if _, err := fmt.Fprintf(b, "line-%d\n", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	if b.Len() != 70 { // absolute length counts dropped bytes
+		t.Errorf("Len = %d, want 70", b.Len())
+	}
+	if b.Dropped() == 0 {
+		t.Error("cap never dropped anything")
+	}
+	if got := len(b.Bytes()); got > 16 {
+		t.Errorf("retained %d bytes, cap is 16", got)
+	}
+	// The retained suffix starts at a line boundary.
+	if got := b.Bytes(); len(got) > 0 && !bytes.HasPrefix(got, []byte("line-")) {
+		t.Errorf("retained suffix is mid-line: %q", got)
+	}
+}
+
+// TestBroadcastCapLateSubscriber is the satellite's contract: a subscriber
+// joining after the cap dropped data gets an explicit truncation marker,
+// then the retained lines, never silently spliced bytes.
+func TestBroadcastCapLateSubscriber(t *testing.T) {
+	b := NewBroadcastCapped(16)
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(b, "line-%d\n", i)
+	}
+	b.Close()
+	data, err := io.ReadAll(b.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMarker := fmt.Sprintf("{\"truncated\":true,\"missedBytes\":%d}\n", b.Dropped())
+	if !bytes.HasPrefix(data, []byte(wantMarker)) {
+		t.Errorf("late subscriber stream = %q, want prefix %q", data, wantMarker)
+	}
+	if !bytes.HasSuffix(data, []byte("line-9\n")) {
+		t.Errorf("late subscriber missing newest line: %q", data)
+	}
+	rest := bytes.TrimPrefix(data, []byte(wantMarker))
+	if !bytes.Equal(rest, b.Bytes()) {
+		t.Errorf("after the marker the stream should be the retained suffix:\n%q\nvs\n%q", rest, b.Bytes())
+	}
+}
+
+// TestBroadcastCapLiveReaderSeesAll: a reader that subscribed before the
+// cap trimmed anything streams the complete data — the cap bounds replay
+// retention, not live delivery.
+func TestBroadcastCapLiveReaderSeesAll(t *testing.T) {
+	b := NewBroadcastCapped(16)
+	done := make(chan []byte)
+	go func() {
+		data, _ := io.ReadAll(b.Reader())
+		done <- data
+	}()
+	var want bytes.Buffer
+	for i := 0; i < 50; i++ {
+		line := fmt.Sprintf("line-%d\n", i)
+		want.WriteString(line)
+		if _, err := b.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.Close()
+	got := <-done
+	// The reader races the writer: if it ever fell behind the trim point it
+	// legitimately sees a truncation marker; but the total content it saw
+	// must end with the final lines and contain no mid-line splice.
+	if !bytes.HasSuffix(got, []byte("line-49\n")) {
+		t.Errorf("live reader missing tail: %q", got)
+	}
+	if bytes.Equal(got, want.Bytes()) {
+		return // kept up perfectly — the common case
+	}
+	if !bytes.Contains(got, []byte(`"truncated":true`)) {
+		t.Errorf("live reader lost data without a truncation marker:\n%q", got)
+	}
+}
+
+// TestBroadcastCapTraceStillValidates: a truncated NDJSON trace read via a
+// late subscriber still parses — the marker is skipped by ReadTrace.
+func TestBroadcastCapTraceStillValidates(t *testing.T) {
+	b := NewBroadcastCapped(1 << 10)
+	tr := NewTracer(b)
+	root := tr.Start(0, KindSuite, "Demo")
+	for i := 0; i < 64; i++ {
+		tr.Start(root.ID(), KindCase, fmt.Sprintf("TC%d", i)).End()
+	}
+	root.End()
+	b.Close()
+	if b.Dropped() == 0 {
+		t.Fatal("test did not exceed the cap; raise the span count")
+	}
+	spans, err := ReadTrace(b.Reader())
+	if err != nil {
+		t.Fatalf("ReadTrace on truncated stream: %v", err)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans survived truncation")
+	}
+	for _, s := range spans {
+		if err := s.Validate(); err != nil {
+			t.Errorf("retained span invalid: %v", err)
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+// Prometheus text-format rendering of a metrics snapshot: the live
+// /metrics surface of the campaign service. The internal metric namespace
+// ("case.outcome.pass", "mutant.kill-latency.IndVarBitNeg") translates into
+// conventional Prometheus families — outcome and kill-reason counters
+// become one family with a label, kill-latency histograms become one
+// histogram family labelled by operator, and everything else maps
+// mechanically. Output is sorted, so identical snapshots render identical
+// bytes.
+
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promSanitize maps an internal metric name segment onto the Prometheus
+// name charset [a-zA-Z0-9_].
+func promSanitize(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+// promCounter maps one internal counter name to (family, label) — label is
+// empty for plain counters.
+func promCounter(name string) (family, label string) {
+	if rest, ok := strings.CutPrefix(name, "case.outcome."); ok {
+		return "concat_case_outcome_total", fmt.Sprintf("outcome=%q", rest)
+	}
+	if rest, ok := strings.CutPrefix(name, "mutant.kill."); ok {
+		return "concat_mutant_kills_total", fmt.Sprintf("reason=%q", rest)
+	}
+	return "concat_" + promSanitize(name) + "_total", ""
+}
+
+// promHist maps one internal histogram name to (family, label).
+func promHist(name string) (family, label string) {
+	if rest, ok := strings.CutPrefix(name, "mutant.kill-latency."); ok {
+		return "concat_mutant_kill_latency_seconds", fmt.Sprintf("operator=%q", rest)
+	}
+	return "concat_" + promSanitize(name) + "_seconds", ""
+}
+
+// promLE renders a microsecond bound as a Prometheus le= seconds value.
+func promLE(us int64) string {
+	return strconv.FormatFloat(float64(us)/1e6, 'g', -1, 64)
+}
+
+// joinLabels merges label fragments into a {...} selector, or "".
+func joinLabels(labels ...string) string {
+	var parts []string
+	for _, l := range labels {
+		if l != "" {
+			parts = append(parts, l)
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter as a *_total family, every duration
+// histogram as a *_seconds histogram with cumulative le buckets. Families
+// are emitted in sorted order with one TYPE header each.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+
+	typed := make(map[string]bool)
+	header := func(family, kind string) {
+		if !typed[family] {
+			typed[family] = true
+			fmt.Fprintf(&b, "# TYPE %s %s\n", family, kind)
+		}
+	}
+
+	counters := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		counters = append(counters, k)
+	}
+	sort.Strings(counters)
+	for _, k := range counters {
+		family, label := promCounter(k)
+		header(family, "counter")
+		fmt.Fprintf(&b, "%s%s %d\n", family, joinLabels(label), s.Counters[k])
+	}
+
+	hists := make([]string, 0, len(s.Durations))
+	for k := range s.Durations {
+		hists = append(hists, k)
+	}
+	sort.Strings(hists)
+	for _, k := range hists {
+		family, label := promHist(k)
+		header(family, "histogram")
+		h := s.Durations[k]
+		var cum int64
+		for _, bound := range histBounds {
+			cum += h.Buckets[bucketLabel(bound)]
+			fmt.Fprintf(&b, "%s_bucket%s %d\n",
+				family, joinLabels(label, fmt.Sprintf("le=%q", promLE(bound))), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket%s %d\n", family, joinLabels(label, `le="+Inf"`), h.Count)
+		fmt.Fprintf(&b, "%s_sum%s %s\n", family, joinLabels(label),
+			strconv.FormatFloat(float64(h.SumUS)/1e6, 'g', -1, 64))
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, joinLabels(label), h.Count)
+	}
+
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("obs: writing prometheus metrics: %w", err)
+	}
+	return nil
+}

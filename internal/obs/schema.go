@@ -52,8 +52,12 @@ func ValidateTrace(spans []Span) error {
 	return nil
 }
 
-// ReadTrace parses an NDJSON trace stream into spans. Blank lines are
-// skipped; any other malformed line is an error.
+// ReadTrace parses an NDJSON trace stream into spans. Blank lines and
+// retention-truncation markers ({"truncated":true,...}, emitted by a capped
+// Broadcast when a late subscriber missed dropped bytes) are skipped; any
+// other malformed line is an error. Truncated streams may reference parents
+// whose lines were dropped — ValidateTrace will report those, which is the
+// correct verdict for a lossy capture; ReadTrace itself stays permissive.
 func ReadTrace(r io.Reader) ([]Span, error) {
 	var spans []Span
 	sc := bufio.NewScanner(r)
@@ -63,6 +67,12 @@ func ReadTrace(r io.Reader) ([]Span, error) {
 		line++
 		raw := sc.Bytes()
 		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Truncated bool `json:"truncated"`
+		}
+		if err := json.Unmarshal(raw, &probe); err == nil && probe.Truncated {
 			continue
 		}
 		var s Span

@@ -86,7 +86,7 @@ func (h *instance) InvariantTest() error {
 	if h.behavior == PanicOnInvariant {
 		panic("hostile: invariant check panics")
 	}
-	return bit.ClassInvariant(h.pokes >= 0, "InvariantTest", "pokes >= 0")
+	return h.AssertInvariant(h.pokes >= 0, "InvariantTest", "pokes >= 0")
 }
 
 func (h *instance) Reporter(w io.Writer) error {

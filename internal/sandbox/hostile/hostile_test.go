@@ -202,6 +202,14 @@ func TestIsolationMatchesInProcessForBenignRuns(t *testing.T) {
 			t.Errorf("case %s differs:\nin-process: %+v\nisolated:   %+v", a.CaseID, a, b)
 		}
 	}
+	// The assertion-site telemetry crosses the process boundary on its own
+	// wire field, so the suite aggregate must match too.
+	if !reflect.DeepEqual(inProc.BITSites, iso.BITSites) {
+		t.Errorf("BITSites differ:\nin-process: %+v\nisolated:   %+v", inProc.BITSites, iso.BITSites)
+	}
+	if len(inProc.BITSites) == 0 {
+		t.Error("benign hostile run recorded no assertion sites; telemetry not wired")
+	}
 }
 
 // TestIsolationPanicBehaviorsRecordedInChild: recoverable panics under

@@ -65,7 +65,7 @@ func (m *mutInstance) InvariantTest() error {
 	if err := m.Guard(); err != nil {
 		return err
 	}
-	return bit.ClassInvariant(m.counter >= 0, "InvariantTest", "counter >= 0")
+	return m.AssertInvariant(m.counter >= 0, "InvariantTest", "counter >= 0")
 }
 
 func (m *mutInstance) Reporter(w io.Writer) error {

@@ -8,9 +8,12 @@
 // mutants whose inputs changed.
 //
 // The service deliberately reuses the deterministic campaign machinery
-// unchanged: a report fetched over HTTP is byte-identical to the table the
-// CLI prints for the same request, and the streamed trace validates against
-// the obs span schema.
+// unchanged: a report fetched over HTTP is the table the CLI prints for the
+// same request plus one coverage-summary line, the coverage artifact it
+// stores is byte-identical to what the CLI writes, and the streamed trace
+// validates against the obs span schema. A live /metrics endpoint exposes
+// the accumulated campaign counters and kill-latency histograms in the
+// Prometheus text format, and net/http/pprof can be mounted behind a flag.
 package serve
 
 import (
@@ -18,11 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 
 	"concat/internal/analysis"
 	"concat/internal/core"
+	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/obs"
 	"concat/internal/store"
@@ -91,11 +96,13 @@ type Job struct {
 	ID  string
 	Req Request
 
-	mu     sync.Mutex
-	state  string
-	errMsg string
-	result *analysis.Result
-	report []byte
+	mu       sync.Mutex
+	state    string
+	errMsg   string
+	result   *analysis.Result
+	report   []byte
+	coverage *cover.SuiteCoverage
+	artifact []byte
 
 	trace *obs.Broadcast
 	done  chan struct{}
@@ -121,6 +128,23 @@ func (j *Job) finish(res *analysis.Result, report []byte, err error) {
 	close(j.done)
 }
 
+// setCoverage records the campaign's coverage summary and its encoded
+// canonical artifact; runCampaign calls it before the job finishes.
+func (j *Job) setCoverage(sc *cover.SuiteCoverage, artifact []byte) {
+	j.mu.Lock()
+	j.coverage = sc
+	j.artifact = artifact
+	j.mu.Unlock()
+}
+
+// Coverage returns the job's suite coverage (nil until the campaign
+// computed it) and the encoded canonical artifact.
+func (j *Job) Coverage() (*cover.SuiteCoverage, []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.coverage, j.artifact
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -138,7 +162,10 @@ type Status struct {
 	Survivors   int    `json:"survivors"`
 	CacheHits   int    `json:"cacheHits"`
 	CacheMisses int    `json:"cacheMisses"`
-	Error       string `json:"error,omitempty"`
+	// Coverage is the campaign's one-line coverage summary ("coverage:
+	// transactions 4/4 (100.0%), ..."), present once the campaign finished.
+	Coverage string `json:"coverage,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // Status snapshots the job.
@@ -155,6 +182,9 @@ func (j *Job) Status() Status {
 		st.CacheHits = j.result.CacheHits
 		st.CacheMisses = j.result.CacheMisses
 	}
+	if j.coverage != nil {
+		st.Coverage = j.coverage.Summary()
+	}
 	return st
 }
 
@@ -170,17 +200,42 @@ type Config struct {
 	Workers int
 	// Parallelism is the per-campaign mutant-worker count (0 = GOMAXPROCS).
 	Parallelism int
+	// TraceBuffer caps each job's retained NDJSON trace replay buffer in
+	// bytes (0 = the 16 MiB default, negative = unbounded). A client that
+	// subscribes after the cap dropped data receives an explicit truncation
+	// marker before the retained suffix.
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the handler.
+	// Off by default: profiling endpoints are opt-in surface.
+	EnablePprof bool
 	// Logf, when non-nil, receives one line per job transition.
 	Logf func(format string, args ...any)
+}
+
+// DefaultTraceBuffer is the per-job trace retention cap when Config leaves
+// TraceBuffer zero.
+const DefaultTraceBuffer = 16 << 20
+
+// traceCap resolves Config.TraceBuffer to a Broadcast cap.
+func (c Config) traceCap() int {
+	switch {
+	case c.TraceBuffer > 0:
+		return c.TraceBuffer
+	case c.TraceBuffer < 0:
+		return 0 // unbounded
+	default:
+		return DefaultTraceBuffer
+	}
 }
 
 // Server is the campaign service: a bounded job queue drained by a worker
 // pool, with every job's state, report and trace retained for the
 // process's lifetime.
 type Server struct {
-	cfg   Config
-	queue chan *Job
-	wg    sync.WaitGroup
+	cfg     Config
+	queue   chan *Job
+	metrics *obs.Metrics
+	wg      sync.WaitGroup
 
 	// campaign executes one job's analysis; tests substitute a stub to pin
 	// workers at a controlled point. Set before the first Submit.
@@ -202,9 +257,10 @@ func New(cfg Config) *Server {
 		cfg.Workers = 1
 	}
 	s := &Server{
-		cfg:   cfg,
-		queue: make(chan *Job, cfg.QueueDepth),
-		jobs:  map[string]*Job{},
+		cfg:     cfg,
+		queue:   make(chan *Job, cfg.QueueDepth),
+		metrics: obs.NewMetrics(),
+		jobs:    map[string]*Job{},
 	}
 	s.campaign = s.runCampaign
 	for i := 0; i < cfg.Workers; i++ {
@@ -244,7 +300,7 @@ func (s *Server) Submit(req Request) (*Job, error) {
 		ID:    fmt.Sprintf("c%d", s.nextID+1),
 		Req:   req,
 		state: StateQueued,
-		trace: obs.NewBroadcast(),
+		trace: obs.NewBroadcastCapped(s.cfg.traceCap()),
 		done:  make(chan struct{}),
 	}
 	select {
@@ -319,7 +375,7 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	exec := testexec.Options{Trace: obs.NewTracer(j.trace)}
+	exec := testexec.Options{Trace: obs.NewTracer(j.trace), Metrics: s.metrics}
 	if j.Req.Isolate {
 		exec.Isolation = testexec.IsolateSubprocess
 	}
@@ -334,10 +390,25 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 	if err := exec.Trace.Err(); err != nil {
 		return nil, nil, err
 	}
+	g, err := t.New(nil).Spec().TFM()
+	if err != nil {
+		return nil, nil, err
+	}
+	art, err := cover.FromCampaign(g, suite, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	encoded, err := art.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	j.setCoverage(art.Suite, encoded)
 	var buf strings.Builder
 	if err := res.Tabulate().Render(&buf); err != nil {
 		return nil, nil, err
 	}
+	buf.WriteString(art.Suite.Summary())
+	buf.WriteString("\n")
 	return res, []byte(buf.String()), nil
 }
 
@@ -346,9 +417,12 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 //	POST /campaigns            submit (JSON Request) -> 202 Status, 503 on full queue
 //	GET  /campaigns            all statuses, submission order
 //	GET  /campaigns/{id}       one status
-//	GET  /campaigns/{id}/report   rendered table (blocks until the job finishes)
+//	GET  /campaigns/{id}/report   rendered table + coverage summary (blocks until done)
+//	GET  /campaigns/{id}/coverage canonical coverage artifact JSON (blocks until done)
 //	GET  /campaigns/{id}/events   live NDJSON trace stream (replays from the start)
+//	GET  /metrics              Prometheus text-format metrics
 //	GET  /healthz              liveness
+//	     /debug/pprof/...      net/http/pprof (only with Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -359,7 +433,16 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
+	mux.HandleFunc("GET /campaigns/{id}/coverage", s.handleCoverage)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -446,8 +529,77 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(report)
 }
 
+// handleCoverage blocks until the job finishes and serves the canonical
+// coverage artifact — the same bytes `concat mutate -cover` writes.
+func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		return
+	}
+	st := j.Status()
+	if st.State == StateFailed {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
+		return
+	}
+	_, artifact := j.Coverage()
+	if len(artifact) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "campaign " + j.ID + " has no coverage artifact"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(artifact)
+}
+
+// handleMetrics renders the live Prometheus text surface: the shared
+// campaign metrics (outcome counters, kill-latency histograms), the verdict
+// store's hit/miss counters, queue and job-state gauges, and per-campaign
+// transaction-coverage gauges for every finished job.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	snap := s.metrics.Snapshot()
+	if err := snap.WritePrometheus(&b); err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	stats := s.cfg.Store.Stats()
+	fmt.Fprintf(&b, "# TYPE concat_store_hits_total counter\nconcat_store_hits_total %d\n", stats.Hits)
+	fmt.Fprintf(&b, "# TYPE concat_store_misses_total counter\nconcat_store_misses_total %d\n", stats.Misses)
+	fmt.Fprintf(&b, "# TYPE concat_queue_depth gauge\nconcat_queue_depth %d\n", len(s.queue))
+
+	jobs := s.Jobs()
+	states := map[string]int{}
+	var covered []*Job
+	for _, j := range jobs {
+		states[j.Status().State]++
+		if sc, _ := j.Coverage(); sc != nil {
+			covered = append(covered, j)
+		}
+	}
+	fmt.Fprintf(&b, "# TYPE concat_jobs gauge\n")
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+		fmt.Fprintf(&b, "concat_jobs{state=%q} %d\n", state, states[state])
+	}
+	if len(covered) > 0 {
+		fmt.Fprintf(&b, "# TYPE concat_campaign_transaction_coverage_ratio gauge\n")
+		for _, j := range covered {
+			sc, _ := j.Coverage()
+			fmt.Fprintf(&b, "concat_campaign_transaction_coverage_ratio{id=%q,component=%q} %g\n",
+				j.ID, j.Req.Component, sc.TransactionPercent()/100)
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = fmt.Fprint(w, b.String())
+}
+
 // handleEvents streams the job's trace as NDJSON: the full span history so
-// far, then live lines until the campaign ends or the client disconnects.
+// far (with an explicit truncation marker when the retention cap dropped
+// early lines), then live lines until the campaign ends or the client
+// disconnects.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(w, r)
 	if !ok {
@@ -458,11 +610,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	off := 0
 	for {
-		chunk, more := j.trace.Next(off, r.Context().Done())
+		chunk, next, more := j.trace.Next(off, r.Context().Done())
 		if !more {
 			return
 		}
-		off += len(chunk)
+		off = next
 		if _, err := w.Write(chunk); err != nil {
 			return
 		}

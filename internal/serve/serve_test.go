@@ -13,6 +13,7 @@ import (
 
 	"concat/internal/analysis"
 	"concat/internal/core"
+	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/obs"
 	"concat/internal/store"
@@ -86,8 +87,9 @@ func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
 	return st
 }
 
-// cliTable renders the table `concat mutate -component Account` would print
-// for the same request — the byte-identity reference for service reports.
+// cliTable renders the byte-identity reference for service reports: the
+// table `concat mutate -component Account` would print for the same request
+// plus the one coverage-summary line the service appends.
 func cliTable(t *testing.T) []byte {
 	t.Helper()
 	target, err := core.LookupTarget("Account")
@@ -109,6 +111,16 @@ func cliTable(t *testing.T) []byte {
 	if err := res.Tabulate().Render(&buf); err != nil {
 		t.Fatal(err)
 	}
+	g, err := target.New(nil).Spec().TFM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := cover.FromCampaign(g, suite, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString(art.Suite.Summary())
+	buf.WriteString("\n")
 	return buf.Bytes()
 }
 
@@ -131,6 +143,160 @@ func TestSubmitReportMatchesCLI(t *testing.T) {
 	}
 	if final.Mutants == 0 || final.Killed == 0 {
 		t.Errorf("final status lacks totals: %+v", final)
+	}
+	if !strings.HasPrefix(final.Coverage, "coverage: transactions ") {
+		t.Errorf("final status lacks coverage summary: %+v", final)
+	}
+}
+
+func TestCoverageEndpointServesCanonicalArtifact(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st, code := submit(t, ts, Request{Component: "Account"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/campaigns/" + st.ID + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coverage: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	art, err := cover.Load(resp.Body)
+	if err != nil {
+		t.Fatalf("artifact did not decode: %v", err)
+	}
+	if art.Component != "Account" {
+		t.Errorf("artifact component = %q", art.Component)
+	}
+	if art.Suite.TransactionPercent() != 100 {
+		t.Errorf("generated driver should reach 100%% transaction coverage, got %s", art.Suite.Summary())
+	}
+	if len(art.KillMatrix) == 0 || len(art.Operators) == 0 {
+		t.Errorf("campaign artifact lacks kill matrix/operators: %d rows, %d operators",
+			len(art.KillMatrix), len(art.Operators))
+	}
+	// The served bytes are the same canonical encoding the artifact re-emits.
+	reenc, err := art.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2, err := http.Get(ts.URL + "/campaigns/" + st.ID + "/coverage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	raw, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, reenc) {
+		t.Error("served artifact is not canonical: re-encoding changed the bytes")
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Store: st})
+
+	// Before any campaign the surface still serves: store and queue gauges.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	for _, line := range []string{
+		"concat_store_hits_total 0",
+		"concat_store_misses_total 0",
+		"concat_queue_depth 0",
+		`concat_jobs{state="done"} 0`,
+	} {
+		if !strings.Contains(string(body), line+"\n") {
+			t.Errorf("idle /metrics missing %q:\n%s", line, body)
+		}
+	}
+
+	job, code := submit(t, ts, Request{Component: "Account"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	fetchReport(t, ts, job.ID)
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE concat_case_outcome_total counter",
+		`concat_case_outcome_total{outcome="pass"} `,
+		"# TYPE concat_mutant_kill_latency_seconds histogram",
+		`concat_mutant_kill_latency_seconds_bucket{operator=`,
+		`le="+Inf"`,
+		"# TYPE concat_store_misses_total counter",
+		`concat_jobs{state="done"} 1`,
+		"# TYPE concat_campaign_transaction_coverage_ratio gauge",
+		fmt.Sprintf("concat_campaign_transaction_coverage_ratio{id=%q,component=\"Account\"} 1", job.ID),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("post-campaign /metrics missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "concat_store_misses_total ") ||
+		strings.Contains(out, "concat_store_misses_total 0\n") {
+		t.Errorf("store misses not counted after a cold campaign:\n%s", out)
+	}
+	// Every exposition line is either a comment or name[{labels}] value.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, " ")
+		if len(fields) != 2 || fields[0] == "" || fields[1] == "" {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestPprofGatedBehindFlag(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	resp, err := http.Get(off.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without flag: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	resp, err = http.Get(on.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof with flag: HTTP %d, want 200", resp.StatusCode)
+	}
+	if !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("pprof index lacks profiles:\n%s", body)
 	}
 }
 

@@ -82,6 +82,9 @@ func assertReportsIdentical(t *testing.T, serial, par *testexec.Report, n int) {
 			t.Errorf("parallel(%d) case %s diverged:\n got: %+v\nwant: %+v", n, want.CaseID, got, want)
 		}
 	}
+	if !reflect.DeepEqual(par.BITSites, serial.BITSites) {
+		t.Errorf("parallel(%d) BITSites diverged:\n got: %+v\nwant: %+v", n, par.BITSites, serial.BITSites)
+	}
 }
 
 // TestCaseSeedDependsOnIdentityNotOrder pins the seed-derivation scheme:

@@ -125,6 +125,17 @@ type Report struct {
 	// isolation never abandons goroutines in the harness (the leak dies
 	// with the child), so the count stays zero there.
 	AbandonedGoroutines int
+	// BITSites is the suite's aggregated assertion-site telemetry: for every
+	// (kind, method, predicate) assertion the component evaluated through its
+	// embedded bit.Base, how often it was evaluated and how often it was
+	// violated. The executor installs a private bit.Telemetry per case and
+	// merges completed cases' counts here, sorted by site — deterministic for
+	// a fixed seed, identical across serial/parallel, in-process/isolated and
+	// traced/untraced runs. Timed-out cases contribute nothing: their
+	// abandoned goroutines may still be evaluating assertions, so their
+	// counts are unordered by construction and are dropped on both the
+	// in-process and the subprocess path.
+	BITSites []bit.SiteRecord `json:",omitempty"`
 
 	// indexOnce/index back Result's by-ID lookup. The index is built
 	// lazily on the first Result call — after Results is final — so
@@ -340,7 +351,12 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		suiteSpan.SetAttr("isolation", "subprocess")
 	}
 
-	runCaseInner := func(tc driver.TestCase, caseSpan *obs.ActiveSpan) (res CaseResult) {
+	// suiteTel aggregates every completed case's assertion-site counts into
+	// Report.BITSites. Merging is commutative addition over sorted records,
+	// so the aggregate is independent of worker scheduling.
+	suiteTel := bit.NewTelemetry()
+
+	runCaseInner := func(tc driver.TestCase, caseSpan *obs.ActiveSpan, caseTel *bit.Telemetry) (res CaseResult) {
 		seed := CaseSeed(opts.Seed, tc.ID)
 		// Harness hooks run outside runCase's recovery: a panicking
 		// Forker.Fork, provider map, or Oracle.Check must become a recorded
@@ -355,7 +371,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		if opts.Isolation == IsolateSubprocess {
 			// The child process is the case's fresh world; forking and
 			// provider resolution happen behind the case server's resolver.
-			res = runCaseIsolated(s.Component, tc, opts, seed, caseSpan)
+			res = runCaseIsolated(s.Component, tc, opts, seed, caseSpan, caseTel)
 		} else {
 			// Components whose instances share mutable context
 			// (component.Forker) get a fresh world per case: without this, a
@@ -370,7 +386,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 					caseOpts.Providers = ps.Providers()
 				}
 			}
-			res = runCaseBounded(tc, cf, spec, caseOpts, seed, ledger, caseSpan.ID())
+			res = runCaseBounded(tc, cf, spec, caseOpts, seed, ledger, caseSpan.ID(), caseTel)
 		}
 		res.Seed = seed
 		if opts.Oracle != nil && res.Outcome == OutcomePass {
@@ -388,7 +404,15 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		if opts.Metrics != nil {
 			begin = time.Now()
 		}
-		res := runCaseInner(tc, caseSpan)
+		// Each case gets a private telemetry; its counts join the suite
+		// aggregate only when the case completed. A timed-out case's
+		// abandoned goroutine keeps writing into its private telemetry
+		// harmlessly — merging it would make the aggregate racy.
+		caseTel := bit.NewTelemetry()
+		res := runCaseInner(tc, caseSpan, caseTel)
+		if res.Outcome != OutcomeTimeout {
+			suiteTel.Merge(caseTel)
+		}
 		caseSpan.SetAttr("outcome", res.Outcome.String())
 		if res.Method != "" {
 			caseSpan.SetAttr("method", res.Method)
@@ -409,6 +433,7 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 	}
 	finish := func() {
 		report.AbandonedGoroutines = int(ledger.Abandoned() - abandonedAtStart)
+		report.BITSites = suiteTel.Records()
 		suiteSpan.End()
 		opts.Metrics.Inc("suite.runs", 1)
 	}
@@ -464,15 +489,15 @@ const (
 // (and settles its entry if it ever completes), while the timeout result
 // keeps the case's seed and the partial transcript written so far — a
 // timeout kill is as diagnosable as a panic.
-func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, ledger *sandbox.Ledger, caseSpan obs.SpanID) CaseResult {
+func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, ledger *sandbox.Ledger, caseSpan obs.SpanID, tel *bit.Telemetry) CaseResult {
 	tb := newTranscript(opts.MaxTranscriptBytes)
 	if opts.CaseTimeout <= 0 {
-		return runCase(tc, f, spec, opts, seed, tb, caseSpan)
+		return runCase(tc, f, spec, opts, seed, tb, caseSpan, tel)
 	}
 	done := make(chan CaseResult, 1)
 	var state atomic.Int32
 	go func() {
-		res := runCase(tc, f, spec, opts, seed, tb, caseSpan)
+		res := runCase(tc, f, spec, opts, seed, tb, caseSpan, tel)
 		if state.CompareAndSwap(caseRunning, caseFinished) {
 			done <- res
 			return
@@ -510,7 +535,7 @@ func runCaseBounded(tc driver.TestCase, f component.Factory, spec *tspec.Spec, o
 // cases" kill criterion. The transcript accumulates in tb so the timeout
 // watchdog can snapshot a partial transcript, and so the cap
 // (Options.MaxTranscriptBytes) cuts flooding cases off deterministically.
-func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, tb *transcript, caseSpan obs.SpanID) (res CaseResult) {
+func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Options, seed int64, tb *transcript, caseSpan obs.SpanID, tel *bit.Telemetry) (res CaseResult) {
 	res = CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Outcome: OutcomePass}
 	currentMethod := ""
 	// curCall is the call span of the dispatch in flight: on a panic the
@@ -610,6 +635,11 @@ func runCase(tc driver.TestCase, f component.Factory, spec *tspec.Spec, opts Opt
 	if budget != nil {
 		if bs, ok := cut.(bit.BudgetSetter); ok {
 			bs.SetBITBudget(budget)
+		}
+	}
+	if tel != nil {
+		if ts, ok := cut.(bit.TelemetrySetter); ok {
+			ts.SetBITTelemetry(tel)
 		}
 	}
 	fmt.Fprintf(tb, "NEW %s(%s)\n", ctor.Method, argList(ctor.Args))

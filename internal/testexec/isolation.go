@@ -18,6 +18,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"concat/internal/bit"
 	"concat/internal/component"
 	"concat/internal/domain"
 	"concat/internal/driver"
@@ -101,6 +102,11 @@ type caseRequest struct {
 type caseResponse struct {
 	Result *CaseResult `json:"result,omitempty"`
 	Error  string      `json:"error,omitempty"`
+	// BITSites carries the case's assertion-site telemetry back to the
+	// parent in its own field — never on CaseResult.Extra, whose bytes must
+	// stay identical between isolated and in-process runs. Empty when the
+	// case timed out (timeout telemetry is dropped on both paths).
+	BITSites []bit.SiteRecord `json:"bitSites,omitempty"`
 }
 
 // ServeCase is the case-server entry point: it reads one caseRequest from
@@ -151,7 +157,8 @@ func ServeCase(r io.Reader, w io.Writer, resolve Resolver) error {
 	}
 	// The child process is the case's fresh world — no Forker dance needed;
 	// leaked timeout goroutines die with the process.
-	res := runCaseBounded(req.Case, f, f.Spec(), opts, req.Seed, nil, 0)
+	caseTel := bit.NewTelemetry()
+	res := runCaseBounded(req.Case, f, f.Spec(), opts, req.Seed, nil, 0, caseTel)
 	res.Seed = req.Seed
 	if resolved.Finish != nil {
 		res.Extra = resolved.Finish()
@@ -159,13 +166,20 @@ func ServeCase(r io.Reader, w io.Writer, resolve Resolver) error {
 	if req.Trace {
 		res.Extra = obs.WrapExtra(res.Extra, opts.Trace.Spans())
 	}
-	return respond(caseResponse{Result: &res})
+	resp := caseResponse{Result: &res}
+	if res.Outcome != OutcomeTimeout {
+		// A timed-out case's abandoned goroutine may still be recording;
+		// dropping its counts keeps the aggregate deterministic, matching
+		// the in-process merge rule.
+		resp.BITSites = caseTel.Records()
+	}
+	return respond(resp)
 }
 
 // runCaseIsolated executes one case in a child case server and classifies
 // the child's fate into a CaseResult. Spawn failures are retried under the
 // transient-error policy; every other failure mode is deterministic.
-func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, seed int64, caseSpan *obs.ActiveSpan) CaseResult {
+func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, seed int64, caseSpan *obs.ActiveSpan, tel *bit.Telemetry) CaseResult {
 	base := CaseResult{CaseID: tc.ID, Transaction: tc.Transaction, Seed: seed}
 	spawn := opts.Trace.Start(caseSpan.ID(), obs.KindSpawn, tc.ID)
 	defer spawn.End()
@@ -249,6 +263,7 @@ func runCaseIsolated(componentName string, tc driver.TestCase, opts Options, see
 		}
 		res := *resp.Result
 		res.CaseID, res.Transaction = tc.ID, tc.Transaction
+		tel.MergeRecords(resp.BITSites)
 		if opts.Trace != nil {
 			// Split the child's piggybacked spans off Extra and re-parent
 			// them under the spawn span; the report keeps the exact payload

@@ -54,3 +54,78 @@ func (g *Graph) WriteDOT(w io.Writer, highlight Transaction) error {
 	}
 	return nil
 }
+
+// heatColor maps a hit count onto a white-to-red fill: unexercised elements
+// stay light gray, and exercised ones deepen toward red proportionally to
+// the hottest element in the map. Purely arithmetic, so the heatmap bytes
+// are deterministic for a given coverage artifact.
+func heatColor(hits, max int64) string {
+	if hits <= 0 {
+		return "gray92"
+	}
+	ratio := float64(hits) / float64(max)
+	// Keep green/blue >= 0x50 so node labels stay readable at full heat.
+	gb := 0xff - int(ratio*float64(0xff-0x50))
+	return fmt.Sprintf("#ff%02x%02x", gb, gb)
+}
+
+// WriteDOTHeatmap renders the model like WriteDOT but paints each node and
+// edge by how often a test suite exercised it — the coverage artifact's
+// node/edge hit counts projected back onto the paper's Figure 2 drawing.
+// Unexercised elements are light gray (the coverage holes stand out), hot
+// elements shade toward red, and every edge is labelled with its hit count.
+func (g *Graph) WriteDOTHeatmap(w io.Writer, nodeHits map[NodeID]int64, edgeHits map[Edge]int64) error {
+	var maxNode, maxEdge int64
+	for _, h := range nodeHits {
+		if h > maxNode {
+			maxNode = h
+		}
+	}
+	for _, h := range edgeHits {
+		if h > maxEdge {
+			maxEdge = h
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.name)
+	b.WriteString("  rankdir=LR;\n")
+	for _, n := range g.Nodes() {
+		shape := "circle"
+		switch {
+		case n.Start:
+			shape = "doublecircle"
+		case n.Final:
+			shape = "doubleoctagon"
+		}
+		label := string(n.ID)
+		if len(n.Methods) > 0 {
+			label += "\\n" + strings.Join(n.Methods, ", ")
+		}
+		label += fmt.Sprintf("\\n%d hits", nodeHits[n.ID])
+		fmt.Fprintf(&b, "  %q [shape=%s, style=filled, fillcolor=%q, label=%q];\n",
+			string(n.ID), shape, heatColor(nodeHits[n.ID], maxNode), label)
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		hits := edgeHits[e]
+		attr := fmt.Sprintf(" [label=%q, color=%q", fmt.Sprintf("%d", hits), heatColor(hits, maxEdge))
+		if hits > 0 {
+			attr += fmt.Sprintf(", penwidth=%.1f", 1.0+2.0*float64(hits)/float64(maxEdge))
+		} else {
+			attr += ", style=dashed"
+		}
+		attr += "]"
+		fmt.Fprintf(&b, "  %q -> %q%s;\n", string(e.From), string(e.To), attr)
+	}
+	b.WriteString("}\n")
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("tfm: writing DOT heatmap: %w", err)
+	}
+	return nil
+}

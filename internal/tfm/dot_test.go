@@ -1,0 +1,119 @@
+package tfm
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateDot = flag.Bool("update", false, "rewrite golden DOT files")
+
+// checkGolden compares got against the named golden file, rewriting it
+// under -update. Golden files pin the exact DOT bytes so renderer drift is
+// a reviewed change, not an accident.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateDot {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+func TestWriteDOTGolden(t *testing.T) {
+	g := diamond(t)
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, Transaction{Path: []NodeID{"n1", "n2", "n4"}}); err != nil {
+		t.Fatalf("WriteDOT: %v", err)
+	}
+	checkGolden(t, "diamond.dot.golden", sb.String())
+}
+
+func TestWriteDOTHeatmapGolden(t *testing.T) {
+	g := diamond(t)
+	nodeHits := map[NodeID]int64{"n1": 3, "n2": 4, "n4": 3}
+	// n3 and its edges are deliberately unexercised: the coverage hole must
+	// render gray and dashed.
+	edgeHits := map[Edge]int64{
+		{From: "n1", To: "n2"}: 2,
+		{From: "n2", To: "n2"}: 1,
+		{From: "n2", To: "n4"}: 2,
+	}
+	var sb strings.Builder
+	if err := g.WriteDOTHeatmap(&sb, nodeHits, edgeHits); err != nil {
+		t.Fatalf("WriteDOTHeatmap: %v", err)
+	}
+	out := sb.String()
+	checkGolden(t, "diamond_heatmap.dot.golden", out)
+	// Structural spot checks independent of the golden bytes.
+	if !strings.Contains(out, "style=filled") {
+		t.Error("heatmap nodes are not filled")
+	}
+	if !strings.Contains(out, `fillcolor="gray92"`) {
+		t.Error("unexercised n3 should be gray")
+	}
+	if !strings.Contains(out, "style=dashed") {
+		t.Error("0-hit edges should be dashed")
+	}
+}
+
+// TestWriteDOTHeatmapDeterministic pins byte-identical re-renders: map
+// iteration order must never leak into the artifact.
+func TestWriteDOTHeatmapDeterministic(t *testing.T) {
+	g := diamond(t)
+	nodeHits := map[NodeID]int64{"n1": 5, "n2": 2, "n3": 1, "n4": 5}
+	edgeHits := map[Edge]int64{
+		{From: "n1", To: "n2"}: 2,
+		{From: "n1", To: "n3"}: 1,
+		{From: "n2", To: "n4"}: 2,
+		{From: "n3", To: "n4"}: 1,
+	}
+	var a, b strings.Builder
+	if err := g.WriteDOTHeatmap(&a, nodeHits, edgeHits); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.WriteDOTHeatmap(&b, nodeHits, edgeHits); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("heatmap render is not deterministic")
+	}
+}
+
+// TestWriteDOTHeatmapEmptyHits: a heatmap with no coverage at all is the
+// all-gray drawing, not a crash (division by zero on the max).
+func TestWriteDOTHeatmapEmptyHits(t *testing.T) {
+	g := linear(t)
+	var sb strings.Builder
+	if err := g.WriteDOTHeatmap(&sb, nil, nil); err != nil {
+		t.Fatalf("WriteDOTHeatmap: %v", err)
+	}
+	if strings.Contains(sb.String(), "#ff") {
+		t.Errorf("uncovered model should have no red:\n%s", sb.String())
+	}
+}
+
+func TestHeatColor(t *testing.T) {
+	if got := heatColor(0, 10); got != "gray92" {
+		t.Errorf("heatColor(0) = %q", got)
+	}
+	if got := heatColor(10, 10); got != "#ff5050" {
+		t.Errorf("heatColor(max) = %q, want full red", got)
+	}
+	if got := heatColor(5, 10); got <= "#ff5050" || got >= "#ffffff" {
+		t.Errorf("heatColor(half) = %q, want between extremes", got)
+	}
+}

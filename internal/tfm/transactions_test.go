@@ -257,6 +257,96 @@ func TestRandomWalkProperty(t *testing.T) {
 	}
 }
 
+// cyclic builds n1(start) -> n2 <-> n3 -> n4(final), a genuine multi-node
+// cycle (n2 -> n3 -> n2) rather than the diamond's self loop: update/undo
+// pairs in real components look like this.
+func cyclic(t *testing.T) *Graph {
+	t.Helper()
+	g := New("Cyclic")
+	mustAddNode(t, g, Node{ID: "n1", Methods: []string{"ctor"}, Start: true})
+	mustAddNode(t, g, Node{ID: "n2", Methods: []string{"do"}})
+	mustAddNode(t, g, Node{ID: "n3", Methods: []string{"undo"}})
+	mustAddNode(t, g, Node{ID: "n4", Methods: []string{"dtor"}, Final: true})
+	mustAddEdge(t, g, "n1", "n2")
+	mustAddEdge(t, g, "n2", "n3")
+	mustAddEdge(t, g, "n3", "n2")
+	mustAddEdge(t, g, "n2", "n4")
+	mustAddEdge(t, g, "n3", "n4")
+	return g
+}
+
+// TestTransactionsMultiNodeCycle pins the exact bounded enumeration of a
+// two-node cycle at LoopBound 1, in deterministic DFS order: the cycle is
+// unrolled exactly once per edge and enumeration terminates.
+func TestTransactionsMultiNodeCycle(t *testing.T) {
+	ts, err := cyclic(t).Transactions(EnumOptions{LoopBound: 1})
+	if err != nil {
+		t.Fatalf("Transactions: %v", err)
+	}
+	want := []string{
+		"n1>n2>n3>n2>n4",
+		"n1>n2>n3>n4",
+		"n1>n2>n4",
+	}
+	if len(ts) != len(want) {
+		t.Fatalf("got %d transactions %v, want %d", len(ts), ts, len(want))
+	}
+	for i, tr := range ts {
+		if tr.Key() != want[i] {
+			t.Errorf("transaction %d = %s, want %s", i, tr.Key(), want[i])
+		}
+	}
+}
+
+// TestTransactionsCycleLoopBoundRespected: at any bound, no transaction
+// traverses a single edge more than LoopBound times, and raising the bound
+// strictly grows the cyclic path space.
+func TestTransactionsCycleLoopBoundRespected(t *testing.T) {
+	g := cyclic(t)
+	var prev int
+	for bound := 1; bound <= 3; bound++ {
+		ts, err := g.Transactions(EnumOptions{LoopBound: bound})
+		if err != nil {
+			t.Fatalf("bound %d: %v", bound, err)
+		}
+		for _, tr := range ts {
+			counts := make(map[Edge]int)
+			for i := 0; i+1 < len(tr.Path); i++ {
+				e := Edge{From: tr.Path[i], To: tr.Path[i+1]}
+				counts[e]++
+				if counts[e] > bound {
+					t.Errorf("bound %d: transaction %s traverses %v %d times", bound, tr, e, counts[e])
+				}
+			}
+		}
+		if len(ts) <= prev {
+			t.Errorf("bound %d gave %d transactions, bound %d gave %d — cycle space did not grow", bound, len(ts), bound-1, prev)
+		}
+		prev = len(ts)
+	}
+}
+
+// TestSelectCoverLinksOnCyclicGraph: the greedy link-cover subset still
+// covers the back edge of the cycle.
+func TestSelectCoverLinksOnCyclicGraph(t *testing.T) {
+	g := cyclic(t)
+	ts, err := g.Select(CoverLinks, EnumOptions{LoopBound: 1})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	covered := make(map[Edge]bool)
+	for _, tr := range ts {
+		for i := 0; i+1 < len(tr.Path); i++ {
+			covered[Edge{From: tr.Path[i], To: tr.Path[i+1]}] = true
+		}
+	}
+	for _, e := range g.Edges() {
+		if !covered[e] {
+			t.Errorf("edge %v not covered by link-cover selection %v", e, ts)
+		}
+	}
+}
+
 func TestWriteDOT(t *testing.T) {
 	g := diamond(t)
 	tr := Transaction{Path: []NodeID{"n1", "n2", "n4"}}
