@@ -25,9 +25,12 @@
 //
 // The suite-running subcommands (run, selftest, soak, mutate) share the
 // sandbox flags: -isolate executes every case in a crash-contained child
-// process (the hidden `concat run-case` case server), -budget N bounds the
-// cooperative steps a case may take, -max-transcript N caps its transcript,
-// and -timeout D bounds its wall-clock time. They also share the
+// process (the hidden `concat run-case` case server), -pool keeps the same
+// containment but dispatches batches of cases to a pool of warm, long-lived
+// workers (-pool-size N workers, -batch N cases per round-trip) so campaigns
+// pay the process-spawn cost once per worker instead of once per case,
+// -budget N bounds the cooperative steps a case may take, -max-transcript N
+// caps its transcript, and -timeout D bounds its wall-clock time. They also share the
 // observability flags: -trace FILE streams NDJSON spans (suite → case →
 // call / child-spawn) and -metrics FILE writes an aggregated snapshot of
 // counters and duration histograms at exit. Both are side channels —
@@ -187,6 +190,12 @@ subcommands:
   serve      run the campaign service: an HTTP/JSON API over a job queue
   submit     submit a campaign to a running service (add -wait for the report)
   status     query a running service for campaign statuses
+
+run, selftest, soak and mutate accept the sandbox flags: -isolate spawns
+one crash-contained child per case; -pool dispatches batches of cases
+(-batch N) to a pool of warm workers (-pool-size N) for the same
+containment at a fraction of the spawn cost. Both modes produce reports
+byte-identical to in-process execution.
 
 run, selftest, soak and mutate accept -trace FILE (stream NDJSON spans)
 and -metrics FILE (write an aggregated JSON snapshot at exit); both are
@@ -404,6 +413,9 @@ func (g *genFlags) options() driver.Options {
 // subcommands (run, selftest, soak, mutate).
 type sandboxFlags struct {
 	isolate       bool
+	pool          bool
+	poolSize      int
+	batch         int
 	budget        int64
 	maxTranscript int64
 	timeout       time.Duration
@@ -412,6 +424,9 @@ type sandboxFlags struct {
 func addSandboxFlags(fs *flag.FlagSet) *sandboxFlags {
 	s := &sandboxFlags{}
 	fs.BoolVar(&s.isolate, "isolate", false, "run every case in a crash-contained child process")
+	fs.BoolVar(&s.pool, "pool", false, "crash-contained execution on a pool of warm worker processes (batched dispatch; implies isolation)")
+	fs.IntVar(&s.poolSize, "pool-size", 0, "warm worker pool size for -pool (0 = parallelism)")
+	fs.IntVar(&s.batch, "batch", 0, "cases dispatched per -pool worker round-trip (0 = default)")
 	fs.Int64Var(&s.budget, "budget", 0, "per-case cooperative step budget (0 = unbounded)")
 	fs.Int64Var(&s.maxTranscript, "max-transcript", 0, "per-case transcript cap in bytes (0 = unbounded)")
 	fs.DurationVar(&s.timeout, "timeout", 0, "per-case wall-clock timeout, e.g. 2s (0 = none)")
@@ -419,8 +434,14 @@ func addSandboxFlags(fs *flag.FlagSet) *sandboxFlags {
 }
 
 // apply overlays the sandbox flags on a base set of execution options.
+// -pool wins over -isolate: both contain crashes in child processes, the
+// pool just amortizes the spawns.
 func (s *sandboxFlags) apply(o testexec.Options) testexec.Options {
-	if s.isolate {
+	if s.pool {
+		o.Isolation = testexec.IsolatePool
+		o.PoolSize = s.poolSize
+		o.BatchSize = s.batch
+	} else if s.isolate {
 		o.Isolation = testexec.IsolateSubprocess
 	}
 	o.StepBudget = s.budget
@@ -1158,6 +1179,8 @@ func cmdSubmit(args []string, w io.Writer) error {
 	component := fs.String("component", "", "built-in component name")
 	methods := fs.String("methods", "", "comma-separated methods to mutate")
 	isolate := fs.Bool("isolate", false, "run every case in a crash-contained child process")
+	poolFlag := fs.Bool("pool", false, "run the campaign on the service's warm worker pool (batched crash-contained dispatch)")
+	poolSize := fs.Int("pool-size", 0, "warm worker pool size for -pool (0 = service parallelism)")
 	wait := fs.Bool("wait", false, "block until the campaign finishes and print its report")
 	gf := addGenFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -1173,6 +1196,8 @@ func cmdSubmit(args []string, w io.Writer) error {
 		Alt:       gf.alt,
 		LoopBound: gf.k,
 		Isolate:   *isolate,
+		Pool:      *poolFlag,
+		PoolSize:  *poolSize,
 	}
 	if *methods != "" {
 		for _, m := range strings.Split(*methods, ",") {

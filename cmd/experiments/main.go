@@ -61,6 +61,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generation seed")
 		parallel  = flag.Int("parallel", 0, "mutation-campaign workers (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 		isolate   = flag.Bool("isolate", false, "run every case in a crash-contained child process; results are identical to in-process runs")
+		poolMode  = flag.Bool("pool", false, "crash-contained execution on a pool of warm workers with batched dispatch; results are identical to in-process runs")
 		verbose   = flag.Bool("v", false, "print per-mutant verdicts")
 		tracePath = flag.String("trace", "", "write NDJSON trace spans to this file; tables are byte-identical either way")
 		metrics   = flag.String("metrics", "", "write an aggregated metrics snapshot (JSON) to this file")
@@ -76,7 +77,7 @@ func main() {
 		all: all, table1: *table1, figure2: *figure2, figure3: *figure3,
 		figure6: *figure6, counts: *counts, table2: *table2, table3: *table3,
 		baseline: *baseline, ablations: *ablations, seed: *seed,
-		parallel: *parallel, isolate: *isolate, verbose: *verbose,
+		parallel: *parallel, isolate: *isolate, pool: *poolMode, verbose: *verbose,
 		tracePath: *tracePath, metricsPath: *metrics, cacheDir: *cacheDir,
 		coverDir: *coverDir,
 	}); err != nil {
@@ -98,7 +99,7 @@ type selection struct {
 	counts, table2, table3, baseline, ablations bool
 	seed                                        int64
 	parallel                                    int
-	isolate                                     bool
+	isolate, pool                               bool
 	verbose                                     bool
 	tracePath, metricsPath, cacheDir            string
 	coverDir                                    string
@@ -128,7 +129,9 @@ func run(w io.Writer, sel selection) (err error) {
 	cfg.ParentOpts.Seed = sel.seed
 	cfg.ChildOpts.Seed = sel.seed
 	cfg.Parallelism = sel.parallel
-	if sel.isolate {
+	if sel.pool {
+		cfg.Isolation = testexec.IsolatePool
+	} else if sel.isolate {
 		cfg.Isolation = testexec.IsolateSubprocess
 	}
 	if sel.cacheDir != "" {

@@ -229,6 +229,24 @@ func (a *Analysis) Run(mutants []mutation.Mutant) (*Result, error) {
 		return nil, err
 	}
 	a.Engine.Deactivate()
+	if a.Exec.Isolation == testexec.IsolatePool && a.Exec.WorkerPool == nil {
+		// One warm worker pool for the whole campaign: the reference run and
+		// every mutant dispatch batches to the same long-lived workers, so a
+		// provisioned worker executes many mutants between restarts
+		// (mutant-schemata-style amortization). Each batch carries its own
+		// isolation context, which is what re-arms the right mutant child-side.
+		size := a.Exec.PoolSize
+		if size <= 0 {
+			size = a.Parallelism
+		}
+		p, err := testexec.NewWorkerPool(a.Exec, size)
+		if err != nil {
+			return nil, fmt.Errorf("mutation: building worker pool: %w", err)
+		}
+		defer p.Close()
+		a.Exec.WorkerPool = p
+		defer func() { a.Exec.WorkerPool = nil }()
+	}
 	// The campaign span roots the whole analysis: the reference run and
 	// every mutant hang under it. Trace/Metrics ride on a.Exec so the same
 	// Options plumbing reaches suites, cases and isolated children.
@@ -427,7 +445,8 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 	opts := a.Exec
 	opts.Oracle = nil // compare via golden.Differs below, on full results
 	opts.TraceParent = mspan.ID()
-	if opts.Isolation == testexec.IsolateSubprocess {
+	isolated := opts.Isolation == testexec.IsolateSubprocess || opts.Isolation == testexec.IsolatePool
+	if isolated {
 		// The mutant executes inside the case server, not in this process:
 		// ship it through the opaque isolation context so the child's
 		// resolver can re-arm it on its own engine.
@@ -442,7 +461,7 @@ func (a *Analysis) runMutant(eng *mutation.Engine, factory component.Factory, m 
 		return MutantResult{}, fmt.Errorf("mutation: mutant %s: %w", m.ID, err)
 	}
 	res := MutantResult{Mutant: m, Reached: eng.Reached(), Infected: eng.Infected()}
-	if opts.Isolation == testexec.IsolateSubprocess {
+	if isolated {
 		// Reach/infection happened in the children; reconstruct the flags
 		// from the per-case Extra payloads. A case that died fatally ships
 		// no flags — reaching a fault that kills the process still counts,

@@ -21,10 +21,11 @@ import (
 
 // TestMain doubles this test binary as a case server (see the same pattern
 // in internal/sandbox/hostile): when spawned with ServerEnv set it serves
-// one isolated case and exits instead of running the tests.
+// isolated cases — one-shot or the warm-pool batch loop, per the
+// sentinel's value — and exits instead of running the tests.
 func TestMain(m *testing.M) {
-	if os.Getenv(testexec.ServerEnv) != "" {
-		if err := testexec.ServeCase(os.Stdin, os.Stdout, hostile.CaseResolver()); err != nil {
+	if served, err := testexec.ServeFromEnv(os.Stdin, os.Stdout, hostile.CaseResolver()); served {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -37,6 +38,12 @@ func TestMain(m *testing.M) {
 // "hard" (os.Exit) and "boom" (stack overflow) candidates — under subprocess
 // isolation at the given parallelism.
 func fatalCampaign(t *testing.T, parallelism int) *analysis.Result {
+	return fatalCampaignMode(t, parallelism, testexec.IsolateSubprocess)
+}
+
+// fatalCampaignMode is fatalCampaign with a selectable isolation mode, so
+// the warm-pool campaign can be asserted verdict-identical to spawn-mode.
+func fatalCampaignMode(t *testing.T, parallelism int, mode testexec.IsolationMode) *analysis.Result {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
@@ -50,7 +57,7 @@ func fatalCampaign(t *testing.T, parallelism int) *analysis.Result {
 		Suite:   hostile.MutSuite(3),
 		Exec: testexec.Options{
 			Seed:             42,
-			Isolation:        testexec.IsolateSubprocess,
+			Isolation:        mode,
 			IsolationCommand: []string{exe},
 		},
 		Parallelism: parallelism,
@@ -128,5 +135,31 @@ func TestFatalCampaignIdenticalSerialAndParallel(t *testing.T) {
 	}
 	if !reflect.DeepEqual(serial.Reference, parallel.Reference) {
 		t.Errorf("reference reports differ between serial and parallel campaigns")
+	}
+}
+
+// TestFatalCampaignPoolVerdictUnchanged is the warm pool's campaign-level
+// acceptance: the same fatal-mutant campaign dispatched in batches to
+// long-lived workers — one pool shared across the reference run and every
+// mutant, workers dying mid-campaign on the fatal candidates — produces
+// the exact kill matrix of the spawn-per-case campaign, serially and in
+// parallel. Crash containment amortized must not move a single verdict.
+func TestFatalCampaignPoolVerdictUnchanged(t *testing.T) {
+	spawn := fatalCampaign(t, 1)
+	poolSerial := fatalCampaignMode(t, 1, testexec.IsolatePool)
+	poolParallel := fatalCampaignMode(t, 4, testexec.IsolatePool)
+	if !reflect.DeepEqual(spawn.Mutants, poolSerial.Mutants) {
+		t.Errorf("kill matrix differs between spawn and pool isolation:\nspawn: %+v\npool:  %+v",
+			spawn.Mutants, poolSerial.Mutants)
+	}
+	if !reflect.DeepEqual(spawn.Reference, poolSerial.Reference) {
+		t.Errorf("reference reports differ between spawn and pool isolation")
+	}
+	if !reflect.DeepEqual(poolSerial.Mutants, poolParallel.Mutants) {
+		t.Errorf("pool campaign differs between serial and parallel scheduling:\nserial:   %+v\nparallel: %+v",
+			poolSerial.Mutants, poolParallel.Mutants)
+	}
+	if !reflect.DeepEqual(poolSerial.Reference, poolParallel.Reference) {
+		t.Errorf("pool reference reports differ between serial and parallel scheduling")
 	}
 }

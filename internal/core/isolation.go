@@ -71,15 +71,17 @@ func ServeOneCase(r io.Reader, w io.Writer) error {
 }
 
 // MaybeServeCase checks the executor's ServerEnv sentinel and, when set,
-// turns the current process into a case server: serve one case on
-// stdin/stdout and exit. Call it first thing in main() of any binary that
-// should be usable as its own sandbox; it returns (doing nothing) in a
-// normal invocation.
+// turns the current process into a case server on stdin/stdout and exits:
+// the warm-pool batch server when the sentinel selects it, the one-shot
+// single-case server otherwise. Call it first thing in main() of any
+// binary that should be usable as its own sandbox; it returns (doing
+// nothing) in a normal invocation.
 func MaybeServeCase() {
-	if os.Getenv(testexec.ServerEnv) == "" {
+	served, err := testexec.ServeFromEnv(os.Stdin, os.Stdout, CaseResolver())
+	if !served {
 		return
 	}
-	if err := ServeOneCase(os.Stdin, os.Stdout); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "concat case server:", err)
 		os.Exit(1)
 	}

@@ -44,10 +44,11 @@ type Config struct {
 	// GOMAXPROCS; 1 forces the serial campaign. Any value produces the
 	// same tables — parallelism changes wall clock, never results.
 	Parallelism int
-	// Isolation, when set to testexec.IsolateSubprocess, re-executes every
-	// case (reference and mutant) in a crash-contained child process. The
-	// published numbers are identical either way; the mode exists so a
-	// campaign over components with genuinely fatal mutants survives them.
+	// Isolation selects crash containment for every case (reference and
+	// mutant): testexec.IsolateSubprocess spawns one child per case,
+	// testexec.IsolatePool dispatches batches to warm long-lived workers.
+	// The published numbers are identical in every mode; isolation exists
+	// so a campaign over components with genuinely fatal mutants survives.
 	Isolation testexec.IsolationMode
 	// Trace/Metrics, when set, thread the observability side channel through
 	// every campaign the setup runs. The published tables are byte-identical

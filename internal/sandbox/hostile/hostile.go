@@ -17,6 +17,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"concat/internal/bit"
@@ -49,6 +50,14 @@ const (
 	FloodReporter    Behavior = "flood-reporter"     // Reporter writes until stopped
 	Exit             Behavior = "exit"               // Poke calls os.Exit(66) — fatal, needs isolation
 	Recurse          Behavior = "recurse"            // Poke recurses off the stack — fatal, needs isolation
+	// ExitMidBatch is the warm-pool crash probe: instances count their
+	// construction process-wide, and Poke calls os.Exit(66) from every
+	// instance after the first — so a worker process serving a batch
+	// survives its first case and dies mid-batch on its second. Under
+	// spawn-per-case isolation every case is the first in its process and
+	// the behavior never fires; in-process it is as fatal as Exit. It lives
+	// outside Behaviors()/FatalBehaviors() for exactly those reasons.
+	ExitMidBatch Behavior = "exit-mid-batch"
 )
 
 // Behaviors lists every failure mode that is survivable in-process — the
@@ -69,10 +78,16 @@ func FatalBehaviors() []Behavior {
 	return []Behavior{Exit, Recurse}
 }
 
+// exitMidBatchBirths counts ExitMidBatch instances constructed in this
+// process — the state that makes the behavior fire only on a reused
+// (warm) worker, never on a fresh one.
+var exitMidBatchBirths atomic.Int64
+
 // instance is one live Hostile object.
 type instance struct {
 	bit.Base
 	behavior  Behavior
+	ordinal   int64 // construction ordinal, process-wide (ExitMidBatch only)
 	pokes     int64
 	destroyed bool
 }
@@ -139,6 +154,10 @@ func (h *instance) Invoke(method string, args []domain.Value) ([]domain.Value, e
 		return []domain.Value{domain.Str(makeFlood(4096))}, nil
 	case Exit:
 		os.Exit(66)
+	case ExitMidBatch:
+		if h.ordinal > 1 {
+			os.Exit(66)
+		}
 	case Recurse:
 		return []domain.Value{domain.Int(recurse(0))}, nil
 	}
@@ -196,7 +215,11 @@ func (f *Factory) New(ctor string, args []domain.Value) (component.Instance, err
 	if f.behavior == PanicOnNew {
 		panic("hostile: constructor panics")
 	}
-	return &instance{behavior: f.behavior}, nil
+	inst := &instance{behavior: f.behavior}
+	if f.behavior == ExitMidBatch {
+		inst.ordinal = exitMidBatchBirths.Add(1)
+	}
+	return inst, nil
 }
 
 // Fork implements component.Forker — the executor's pre-case harness hook,

@@ -18,12 +18,13 @@ import (
 )
 
 // TestMain doubles this test binary as a case server: when the executor
-// spawns it with ServerEnv set, it serves exactly one isolated case and
-// exits instead of running the test suite. This is the standard pattern for
-// exercising subprocess isolation from a test.
+// spawns it with ServerEnv set, it serves isolated cases (one-shot or the
+// warm-pool batch loop, per the sentinel's value) and exits instead of
+// running the test suite. This is the standard pattern for exercising
+// subprocess isolation from a test.
 func TestMain(m *testing.M) {
-	if os.Getenv(testexec.ServerEnv) != "" {
-		if err := testexec.ServeCase(os.Stdin, os.Stdout, hostile.CaseResolver()); err != nil {
+	if served, err := testexec.ServeFromEnv(os.Stdin, os.Stdout, hostile.CaseResolver()); served {
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,108 @@
+// Package pool keeps a bounded set of long-lived case-server worker
+// processes warm, so a campaign amortizes process startup over many
+// dispatched batches instead of paying a fork+exec per test case. The
+// workers speak a length-prefixed NDJSON framing over their stdin/stdout
+// pipes; the payloads themselves are the executor's batch envelopes (see
+// testexec.ServeCaseBatches). The pool never interprets payloads — it only
+// moves frames and classifies worker deaths, so the crash-containment
+// semantics stay exactly where they were: in the executor.
+package pool
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultMaxFrameBytes bounds one frame's payload. Batch responses carry
+// transcripts, so the bound is generous, but it must exist: a corrupted or
+// hostile length header must never make the parent allocate unboundedly.
+const DefaultMaxFrameBytes = 64 << 20
+
+// Framing errors. ErrFrameTooLarge and ErrMalformedFrame mean the stream
+// is desynchronized — the only safe recovery is to kill the worker.
+var (
+	ErrFrameTooLarge  = errors.New("pool: frame exceeds size limit")
+	ErrMalformedFrame = errors.New("pool: malformed frame")
+)
+
+// maxHeaderDigits bounds the decimal length header; 19 digits already
+// overflows any sane frame limit, so reading more is malformed input, not
+// a longer number.
+const maxHeaderDigits = 19
+
+// WriteFrame writes one length-prefixed frame: the payload length in ASCII
+// decimal, a newline, the payload bytes, a trailing newline. The trailing
+// newline keeps the stream human-inspectable (NDJSON-style) and gives
+// ReadFrame a cheap sync check.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if _, err := fmt.Fprintf(w, "%d\n", len(payload)); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte{'\n'})
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame. max bounds the payload
+// size (<=0 applies DefaultMaxFrameBytes). It returns io.EOF only at a
+// clean frame boundary; a stream that dies mid-frame yields
+// io.ErrUnexpectedEOF. Malformed or oversized headers return
+// ErrMalformedFrame / ErrFrameTooLarge without consuming unbounded input —
+// the caller must treat the stream as dead either way.
+func ReadFrame(r *bufio.Reader, max int64) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrameBytes
+	}
+	var n int64
+	digits := 0
+	for {
+		b, err := r.ReadByte()
+		if err != nil {
+			if err == io.EOF && digits == 0 {
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		if b == '\n' {
+			if digits == 0 {
+				return nil, fmt.Errorf("%w: empty length header", ErrMalformedFrame)
+			}
+			break
+		}
+		if b < '0' || b > '9' {
+			return nil, fmt.Errorf("%w: non-digit %q in length header", ErrMalformedFrame, b)
+		}
+		if digits++; digits > maxHeaderDigits {
+			return nil, fmt.Errorf("%w: length header too long", ErrMalformedFrame)
+		}
+		n = n*10 + int64(b-'0')
+		if n > max {
+			return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n, max)
+		}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	b, err := r.ReadByte()
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if b != '\n' {
+		return nil, fmt.Errorf("%w: missing frame terminator", ErrMalformedFrame)
+	}
+	return payload, nil
+}

@@ -1,0 +1,155 @@
+package pool
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("x"),
+		[]byte(`{"component":"Account","items":[]}`),
+		bytes.Repeat([]byte("abc\n"), 10000),
+		{0, 1, 2, 255, '\n', '\n', 0},
+	}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range payloads {
+		got, err := ReadFrame(br, 0)
+		if err != nil {
+			t.Fatalf("frame %d: ReadFrame: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: payload mismatch: got %d bytes, want %d", i, len(got), len(want))
+		}
+	}
+	if _, err := ReadFrame(br, 0); err != io.EOF {
+		t.Fatalf("expected clean EOF after last frame, got %v", err)
+	}
+}
+
+func TestReadFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix of a full frame must yield a non-nil error and
+	// never a payload; cut points inside the header, payload and
+	// terminator are all covered.
+	for cut := 0; cut < len(full); cut++ {
+		br := bufio.NewReader(bytes.NewReader(full[:cut]))
+		_, err := ReadFrame(br, 0)
+		if cut == 0 {
+			if err != io.EOF {
+				t.Fatalf("cut %d: want io.EOF, got %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("cut %d: truncated frame decoded without error", cut)
+		}
+	}
+}
+
+func TestReadFrameOversized(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, bytes.Repeat([]byte("a"), 1024)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFrame(bufio.NewReader(&buf), 100)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// A header claiming an absurd length must fail before allocating.
+	huge := strings.NewReader("999999999999999999999999\npayload\n")
+	_, err = ReadFrame(bufio.NewReader(huge), 0)
+	if err == nil {
+		t.Fatal("absurd length header decoded without error")
+	}
+}
+
+func TestReadFrameMalformed(t *testing.T) {
+	cases := []string{
+		"\n",          // empty header
+		"12x\nabc\n",  // non-digit in header
+		"abc\n",       // no digits at all
+		"3\nabcX",     // wrong terminator
+		"-3\nabc\n",   // negative length
+		" 3\nabc\n",   // leading space
+		"3 \nabc\n",   // trailing space
+		"\x00\nabc\n", // binary garbage header
+	}
+	for _, in := range cases {
+		_, err := ReadFrame(bufio.NewReader(strings.NewReader(in)), 0)
+		if err == nil {
+			t.Fatalf("malformed input %q decoded without error", in)
+		}
+	}
+}
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
+// panic and never hand back a payload from a stream that was not a valid
+// frame prefix. When it does decode a frame, re-encoding must round-trip.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte("5\nhello\n"))
+	f.Add([]byte("0\n\n"))
+	f.Add([]byte("\n"))
+	f.Add([]byte("99999999999999999999\nx\n"))
+	f.Add([]byte("3\nab"))
+	f.Add([]byte{0, 10, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		payload, err := ReadFrame(br, 1<<20)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("re-encoding decoded payload: %v", err)
+		}
+		again, err := ReadFrame(bufio.NewReader(&buf), 1<<20)
+		if err != nil {
+			t.Fatalf("re-reading re-encoded payload: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatal("frame round-trip mismatch")
+		}
+	})
+}
+
+// FuzzFrameRoundTrip is the write-side property: any payload under the
+// limit encodes to exactly one decodable frame with identical bytes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"result\":null}"))
+	f.Add([]byte{'\n', '0', '\n'})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		br := bufio.NewReader(&buf)
+		got, err := ReadFrame(br, int64(len(payload))+1)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("payload mismatch after round-trip")
+		}
+		if _, err := ReadFrame(br, 0); err != io.EOF {
+			t.Fatalf("stream not clean after one frame: %v", err)
+		}
+	})
+}

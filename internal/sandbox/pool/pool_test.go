@@ -1,0 +1,250 @@
+package pool
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// workerEnv gates the test binary's double life as a pool worker: an echo
+// loop that also knows how to die, hang, or desync on command — the
+// minimal hostile worker for exercising the pool's lifecycle edges.
+const workerEnv = "POOL_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) != "" {
+		echoWorker()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func echoWorker() {
+	br := bufio.NewReader(os.Stdin)
+	for {
+		payload, err := ReadFrame(br, 0)
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		switch string(payload) {
+		case "die":
+			os.Exit(3)
+		case "panic":
+			panic("worker told to panic")
+		case "hang":
+			time.Sleep(time.Hour)
+		case "garbage":
+			os.Stdout.WriteString("not a frame at all\n")
+		default:
+			if err := WriteFrame(os.Stdout, append([]byte("echo:"), payload...)); err != nil {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func newTestPool(t *testing.T, size int) *Pool {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	p, err := New(Config{
+		Argv: []string{exe},
+		Env:  []string{workerEnv + "=1"},
+		Size: size,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestPoolEchoRoundTrip(t *testing.T) {
+	p := newTestPool(t, 2)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		msg := fmt.Sprintf("frame-%d", i)
+		if err := w.Send([]byte(msg)); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		got, err := w.Recv(5 * time.Second)
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if want := "echo:" + msg; string(got) != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	p.Release(w)
+	// The released worker is reused, not respawned.
+	w2, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("re-Acquire: %v", err)
+	}
+	p.Release(w2)
+	if st := p.Stats(); st.Spawned != 1 {
+		t.Fatalf("spawned %d workers, want 1 (warm reuse)", st.Spawned)
+	}
+}
+
+func TestPoolCrashClassifiedAndReplaced(t *testing.T) {
+	p := newTestPool(t, 1)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := w.Send([]byte("die")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := w.Recv(5 * time.Second); err == nil {
+		t.Fatal("Recv succeeded on a dead worker")
+	}
+	code, summary := w.Fate()
+	if code != 3 {
+		t.Fatalf("exit code %d, want 3", code)
+	}
+	if !strings.Contains(summary, "exit status 3") {
+		t.Fatalf("fatal summary %q missing exit status", summary)
+	}
+	p.Discard(w)
+
+	// The pool replaces the corpse on the next Acquire.
+	w2, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire after discard: %v", err)
+	}
+	if err := w2.Send([]byte("ok")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if got, err := w2.Recv(5 * time.Second); err != nil || string(got) != "echo:ok" {
+		t.Fatalf("fresh worker broken: %q, %v", got, err)
+	}
+	p.Release(w2)
+	st := p.Stats()
+	if st.Spawned != 2 || st.Discarded != 1 {
+		t.Fatalf("stats %+v, want 2 spawned / 1 discarded", st)
+	}
+}
+
+func TestPoolPanicWorkerSummary(t *testing.T) {
+	p := newTestPool(t, 1)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := w.Send([]byte("panic")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := w.Recv(5 * time.Second); err == nil {
+		t.Fatal("Recv succeeded on a panicking worker")
+	}
+	code, summary := w.Fate()
+	if code == 0 {
+		t.Fatal("panicking worker reported exit 0")
+	}
+	if !strings.Contains(summary, "panic: worker told to panic") {
+		t.Fatalf("fatal summary %q missing the panic line", summary)
+	}
+	p.Discard(w)
+}
+
+func TestPoolRecvTimeout(t *testing.T) {
+	p := newTestPool(t, 1)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := w.Send([]byte("hang")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := w.Recv(200 * time.Millisecond); err != ErrRecvTimeout {
+		t.Fatalf("want ErrRecvTimeout, got %v", err)
+	}
+	p.Discard(w)
+}
+
+func TestPoolDesyncedStreamKillsWorker(t *testing.T) {
+	p := newTestPool(t, 1)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if err := w.Send([]byte("garbage")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := w.Recv(5 * time.Second); err == nil {
+		t.Fatal("garbage output decoded as a frame")
+	}
+	p.Discard(w)
+}
+
+func TestPoolSizeBoundBlocksAcquire(t *testing.T) {
+	p := newTestPool(t, 1)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	acquired := make(chan *Worker)
+	go func() {
+		w2, err := p.Acquire()
+		if err != nil {
+			t.Errorf("second Acquire: %v", err)
+		}
+		acquired <- w2
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("Acquire exceeded the pool size bound")
+	case <-time.After(150 * time.Millisecond):
+	}
+	p.Release(w)
+	select {
+	case w2 := <-acquired:
+		p.Release(w2)
+	case <-time.After(5 * time.Second):
+		t.Fatal("Acquire did not unblock on Release")
+	}
+	if st := p.Stats(); st.Spawned != 1 {
+		t.Fatalf("spawned %d, want 1 — the bound must force reuse", st.Spawned)
+	}
+}
+
+func TestPoolCloseRejectsAcquire(t *testing.T) {
+	p := newTestPool(t, 2)
+	w, err := p.Acquire()
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	p.Release(w)
+	p.Close()
+	if _, err := p.Acquire(); err == nil {
+		t.Fatal("Acquire succeeded on a closed pool")
+	}
+}
+
+func TestCapBufferKeepsHead(t *testing.T) {
+	b := &capBuffer{max: 8}
+	for i := 0; i < 10; i++ {
+		n, err := b.Write([]byte("abcdef"))
+		if n != 6 || err != nil {
+			t.Fatalf("Write consumed %d, %v — must always report full consumption", n, err)
+		}
+	}
+	if got := b.Bytes(); !bytes.Equal(got, []byte("abcdefab")) {
+		t.Fatalf("head %q, want first 8 bytes", got)
+	}
+}

@@ -194,12 +194,12 @@ func TestRunProcessSpawnFailure(t *testing.T) {
 
 func TestSummarizeFatal(t *testing.T) {
 	stderr := []byte("runtime: goroutine stack exceeds 67108864-byte limit\nfatal error: stack overflow\n\ngoroutine 1 [running]:\nmain.f(0xc000...)\n")
-	got := summarizeFatal("exit status 2", stderr)
+	got := SummarizeFatal("exit status 2", stderr)
 	want := "fatal error: stack overflow (exit status 2)"
 	if got != want {
 		t.Fatalf("summary = %q, want %q", got, want)
 	}
-	if got := summarizeFatal("exit status 66", nil); got != "exit status 66" {
+	if got := SummarizeFatal("exit status 66", nil); got != "exit status 66" {
 		t.Fatalf("plain exit summary = %q", got)
 	}
 }

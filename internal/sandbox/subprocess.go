@@ -102,7 +102,7 @@ func RunProcess(spec ProcessSpec) (*ProcessResult, error) {
 		TimedOut: timedOut.Load() && waitErr != nil,
 	}
 	if waitErr != nil || res.ExitCode != 0 {
-		res.FatalSummary = summarizeFatal(cmd.ProcessState.String(), res.Stderr)
+		res.FatalSummary = SummarizeFatal(cmd.ProcessState.String(), res.Stderr)
 	}
 	if spec.Span != nil {
 		spec.Span.SetAttr("exitCode", fmt.Sprintf("%d", res.ExitCode))
@@ -116,12 +116,14 @@ func RunProcess(spec ProcessSpec) (*ProcessResult, error) {
 	return res, nil
 }
 
-// summarizeFatal builds the deterministic one-line classification of an
+// SummarizeFatal builds the deterministic one-line classification of an
 // abnormal exit. The Go runtime prints "fatal error: stack overflow" (or
 // "panic: ..." for an unrecovered panic) before dying, and those lines are
 // stable across runs — unlike the goroutine dump that follows them, which
-// is full of addresses and must never reach a reproducible report.
-func summarizeFatal(exitDesc string, stderr []byte) string {
+// is full of addresses and must never reach a reproducible report. Exported
+// so the warm worker pool classifies a dead worker with the same line the
+// spawn-per-case path would have produced.
+func SummarizeFatal(exitDesc string, stderr []byte) string {
 	var runtimeLine string
 	for _, line := range strings.Split(string(stderr), "\n") {
 		line = strings.TrimSpace(line)

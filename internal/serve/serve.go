@@ -57,6 +57,13 @@ type Request struct {
 	// the serving binary to double as the case server (concat does), so it
 	// is off by default.
 	Isolate bool `json:"isolate,omitempty"`
+	// Pool runs the campaign on a pool of warm worker processes with
+	// batched case dispatch instead of one spawn per case — same crash
+	// containment, amortized process cost. Wins over Isolate when both
+	// are set.
+	Pool bool `json:"pool,omitempty"`
+	// PoolSize bounds the warm worker pool (0 = the server's parallelism).
+	PoolSize int `json:"poolSize,omitempty"`
 }
 
 // genOptions resolves the request's generation knobs to driver options.
@@ -376,7 +383,10 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 		return nil, nil, err
 	}
 	exec := testexec.Options{Trace: obs.NewTracer(j.trace), Metrics: s.metrics}
-	if j.Req.Isolate {
+	if j.Req.Pool {
+		exec.Isolation = testexec.IsolatePool
+		exec.PoolSize = j.Req.PoolSize
+	} else if j.Req.Isolate {
 		exec.Isolation = testexec.IsolateSubprocess
 	}
 	res, err := core.MutationRunOpts(j.Req.Component, suite, j.Req.Methods, nil, core.MutationOptions{

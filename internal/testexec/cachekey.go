@@ -4,8 +4,9 @@ import "concat/internal/core/canon"
 
 // resultOptions is the subset of Options that can change a report's
 // CONTENTS. Everything else — parallelism, isolation mode, tracing,
-// metrics, log sinks, spawn retries, backstops — is determinism-neutral by
-// the executor's contract (reports are byte-identical across those knobs),
+// metrics, log sinks, spawn retries, backstops, and the warm-pool knobs
+// (PoolSize, BatchSize, WorkerPool) — is determinism-neutral by the
+// executor's contract (reports are byte-identical across those knobs),
 // so it stays out of the fingerprint and a verdict cached under one
 // configuration serves all of them. Seed is excluded too: it is its own
 // field in a store key.

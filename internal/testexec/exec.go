@@ -31,6 +31,7 @@ import (
 	"concat/internal/driver"
 	"concat/internal/obs"
 	"concat/internal/sandbox"
+	"concat/internal/sandbox/pool"
 	"concat/internal/tspec"
 )
 
@@ -294,6 +295,19 @@ type Options struct {
 	// wedged child (a hang the cooperative timeout cannot reach) is always
 	// killed eventually; no campaign blocks forever on one case.
 	IsolationBackstop time.Duration
+	// PoolSize bounds the number of warm worker processes under
+	// IsolatePool; zero derives it from Parallelism (minimum 1). Like the
+	// other scheduling knobs it never changes results — only wall-clock.
+	PoolSize int
+	// BatchSize is the number of cases dispatched to a pool worker per
+	// round-trip under IsolatePool; zero applies DefaultBatchSize.
+	BatchSize int
+	// WorkerPool, when non-nil, is the shared warm worker pool to dispatch
+	// IsolatePool batches to. The caller owns its lifecycle (Close); a
+	// mutation campaign shares one pool across every mutant's suite run so
+	// a provisioned worker serves many mutants between restarts. Nil makes
+	// Run build (and close) a private pool via NewWorkerPool.
+	WorkerPool *pool.Pool
 	// Trace receives the run's structured span stream (suite → case →
 	// call / child-spawn); nil disables tracing. Timing lives ONLY in this
 	// side channel: the Report, its transcripts and every golden comparison
@@ -349,6 +363,8 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 	suiteSpan.SetAttr("cases", strconv.Itoa(len(s.Cases)))
 	if opts.Isolation == IsolateSubprocess {
 		suiteSpan.SetAttr("isolation", "subprocess")
+	} else if opts.Isolation == IsolatePool {
+		suiteSpan.SetAttr("isolation", "pool")
 	}
 
 	// suiteTel aggregates every completed case's assertion-site counts into
@@ -436,6 +452,24 @@ func Run(s *driver.Suite, f component.Factory, opts Options) (*Report, error) {
 		report.BITSites = suiteTel.Records()
 		suiteSpan.End()
 		opts.Metrics.Inc("suite.runs", 1)
+	}
+	if opts.Isolation == IsolatePool {
+		// Warm worker pool: batched dispatch replaces the per-case runOne
+		// loop; all per-case bookkeeping (spans, oracle, telemetry, metrics)
+		// happens inside the dispatcher with the same rules.
+		results, err := runPooled(s, opts, suiteSpan, suiteTel)
+		if err != nil {
+			return nil, err
+		}
+		for _, res := range results {
+			writeLog(log, res)
+		}
+		report.Results = results
+		if workers > 1 {
+			suiteSpan.SetAttr("parallelism", strconv.Itoa(workers))
+		}
+		finish()
+		return report, nil
 	}
 	if workers <= 1 {
 		for _, tc := range s.Cases {

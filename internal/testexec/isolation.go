@@ -59,6 +59,14 @@ const (
 	// case server (ServeCase); fatal failures become per-case OutcomePanic
 	// results classified from the exit status.
 	IsolateSubprocess
+	// IsolatePool keeps the subprocess containment but amortizes process
+	// startup: cases are dispatched in batches to a pool of long-lived
+	// worker processes (ServeCaseBatches), each case still executing
+	// against a freshly resolved component. Workers are restarted only on
+	// crash, deadline kill, or a dirty batch, and a mid-batch death
+	// consumes exactly the in-flight case — classifications are
+	// byte-identical to IsolateSubprocess.
+	IsolatePool
 )
 
 // ServerEnv is the environment sentinel the executor sets when spawning a

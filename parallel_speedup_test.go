@@ -3,6 +3,7 @@ package concat
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"runtime"
 	"testing"
@@ -33,13 +34,31 @@ func runExperiment1At(t *testing.T, parallelism int) (*analysis.Result, time.Dur
 	return res, time.Since(start)
 }
 
+// speedupAssertion reports whether this machine can honestly assert a
+// parallel speedup, and if not, why. Scheduling `workers` goroutine workers
+// onto fewer OS CPUs measures contention, not parallelism — on such boxes
+// the speedup number is recorded but asserted against nothing, and the
+// recorded reason documents the gap so a CI reader knows the assertion was
+// skipped deliberately rather than silently.
+func speedupAssertion(workers int) (enforce bool, reason string) {
+	cpus := runtime.NumCPU()
+	if cpus < 4 {
+		return false, fmt.Sprintf("skipped: %d CPU(s) < 4 — no parallel speedup available on this machine", cpus)
+	}
+	if cpus < workers {
+		return false, fmt.Sprintf("skipped: %d CPUs < %d workers — oversubscribed, wall clock measures contention", cpus, workers)
+	}
+	return true, "enforced: >=2x at 4 workers"
+}
+
 // TestParallelCampaignIdenticalKillMatrix is the acceptance check for the
 // sharded mutation engine: the parallel campaign must produce the exact
 // kill matrix of the serial campaign — same mutants in the same order,
 // same verdict, same kill reason, same killing case, same reached/infected
 // flags. Wall-clock speedup is measured and recorded (BENCH_PARALLEL.json
-// via -update-bench); the ≥2x assertion only applies on machines with at
-// least 4 CPUs, since a single-core box has no parallel speedup to give.
+// via -update-bench); the ≥2x assertion only applies when the machine can
+// honestly deliver one (see speedupAssertion), and the recorded JSON keeps
+// the actual runtime.NumCPU() plus the enforcement decision either way.
 func TestParallelCampaignIdenticalKillMatrix(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs the full Table 2 campaign twice")
@@ -70,10 +89,11 @@ func TestParallelCampaignIdenticalKillMatrix(t *testing.T) {
 	}
 
 	speedup := float64(serialDur) / float64(parDur)
-	t.Logf("campaign: %d mutants; serial %v, parallel(%d) %v, speedup %.2fx on %d CPUs",
-		len(serial.Mutants), serialDur, workers, parDur, speedup, runtime.NumCPU())
-	if runtime.NumCPU() >= 4 && speedup < 2.0 {
-		t.Errorf("parallel campaign speedup %.2fx < 2x on %d CPUs", speedup, runtime.NumCPU())
+	enforce, reason := speedupAssertion(workers)
+	t.Logf("campaign: %d mutants; serial %v, parallel(%d) %v, speedup %.2fx on %d CPUs (%s)",
+		len(serial.Mutants), serialDur, workers, parDur, speedup, runtime.NumCPU(), reason)
+	if enforce && speedup < 2.0 {
+		t.Errorf("parallel campaign speedup %.2fx < 2x with %d workers on %d CPUs", speedup, workers, runtime.NumCPU())
 	}
 
 	if *updateBenchJSON {
@@ -84,18 +104,19 @@ func TestParallelCampaignIdenticalKillMatrix(t *testing.T) {
 			}
 		}
 		record := map[string]any{
-			"benchmark":   "experiment-1 mutation campaign (Table 2), serial vs parallel",
-			"command":     "go test -run TestParallelCampaignIdenticalKillMatrix -update-bench .",
-			"cpus":        runtime.NumCPU(),
-			"gomaxprocs":  runtime.GOMAXPROCS(0),
-			"workers":     workers,
-			"mutants":     len(serial.Mutants),
-			"killed":      killed,
-			"serial_ms":   serialDur.Milliseconds(),
-			"parallel_ms": parDur.Milliseconds(),
-			"speedup":     speedup,
-			"kill_matrix": "identical (asserted element-wise by this test)",
-			"os_arch":     runtime.GOOS + "/" + runtime.GOARCH,
+			"benchmark":         "experiment-1 mutation campaign (Table 2), serial vs parallel",
+			"command":           "go test -run TestParallelCampaignIdenticalKillMatrix -update-bench .",
+			"cpus":              runtime.NumCPU(),
+			"gomaxprocs":        runtime.GOMAXPROCS(0),
+			"workers":           workers,
+			"mutants":           len(serial.Mutants),
+			"killed":            killed,
+			"serial_ms":         serialDur.Milliseconds(),
+			"parallel_ms":       parDur.Milliseconds(),
+			"speedup":           speedup,
+			"speedup_assertion": reason,
+			"kill_matrix":       "identical (asserted element-wise by this test)",
+			"os_arch":           runtime.GOOS + "/" + runtime.GOARCH,
 		}
 		data, err := json.MarshalIndent(record, "", "  ")
 		if err != nil {
