@@ -19,7 +19,7 @@
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
 //	concat trace-validate [trace.ndjson | -]
 //	concat cover     -artifact FILE [-dot]
-//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-workers N] [-queue N] [-pprof] [-trace-buf N]
+//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-journal DIR] [-workers N] [-queue N] [-max-retries N] [-drain-timeout D] [-pprof] [-trace-buf N]
 //	concat submit    [-addr URL] -component NAME [-seed N] [-wait]
 //	concat status    [-addr URL] [-id ID]
 //
@@ -60,6 +60,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -68,7 +69,9 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"concat/internal/analysis"
@@ -76,6 +79,7 @@ import (
 	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/obs"
+	"concat/internal/sandbox"
 	"concat/internal/serve"
 	"concat/internal/store"
 	"concat/internal/testexec"
@@ -204,6 +208,13 @@ side channels that never change reports or tables.
 selftest, mutate and serve accept -cache-dir DIR, a content-addressed
 verdict store: unchanged campaigns are served from the store with
 byte-identical output, and only mutants whose inputs changed re-execute.
+
+serve additionally accepts -journal DIR, a write-ahead job journal:
+submissions are journaled before they run, and a restarted service
+replays pending and running campaigns — warm store hits make the replay
+byte-identical. Crashed or wedged campaigns retry with capped exponential
+backoff up to -max-retries times before quarantine, and SIGTERM drains
+gracefully within -drain-timeout (default 30s).
 
 selftest and mutate accept -cover FILE, writing a canonical-JSON coverage
 artifact (TFM transaction/node/edge coverage, BIT assertion-site telemetry,
@@ -1107,14 +1118,20 @@ func cmdCover(args []string, w io.Writer) error {
 
 // cmdServe runs the campaign service: an HTTP/JSON API over a bounded job
 // queue and worker pool, sharing one verdict store across all submissions.
-// It serves until the process is killed.
+// With -journal DIR submissions are write-ahead journaled and replayed on
+// restart. It serves until killed; SIGTERM or SIGINT triggers a graceful
+// drain (admission closed with 503 + Retry-After, in-flight jobs finished
+// within -drain-timeout, journal checkpointed) before exit.
 func cmdServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8437", "listen address (host:port)")
 	cacheDir := fs.String("cache-dir", "", "content-addressed verdict store shared by all campaigns")
+	journalDir := fs.String("journal", "", "write-ahead job journal directory (campaigns survive restarts)")
 	workers := fs.Int("workers", 1, "campaigns running concurrently")
 	queue := fs.Int("queue", 16, "pending-campaign queue depth (full queue returns 503)")
 	parallelism := fs.Int("parallelism", 0, "per-campaign mutant workers (0 = GOMAXPROCS)")
+	maxRetries := fs.Int("max-retries", 2, "retries per crashed or wedged campaign before quarantine")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight campaigns")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceBuf := fs.Int("trace-buf", 0, "per-campaign retained trace bytes (0 = 16 MiB default, negative = unbounded)")
@@ -1130,20 +1147,43 @@ func cmdServe(args []string, w io.Writer) error {
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		Parallelism: *parallelism,
+		Retry:       sandbox.RetryPolicy{Attempts: *maxRetries + 1},
 		TraceBuffer: *traceBuf,
 		EnablePprof: *pprofFlag,
+	}
+	if *journalDir != "" {
+		jn, err := serve.OpenJournal(*journalDir)
+		if err != nil {
+			return err
+		}
+		cfg.Journal = jn
+		if cp, ok := jn.LastCheckpoint(); ok && !cp.Clean {
+			fmt.Fprintf(os.Stderr, "concat serve: previous shutdown was unclean (%d active job(s)); replaying from journal\n", cp.Active)
+		}
 	}
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}
 	srv := serve.New(cfg)
-	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
 	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigs
+		signal.Stop(sigs)
+		fmt.Fprintf(os.Stderr, "concat serve: %s received, draining (timeout %s)\n", sig, *drainTimeout)
+		srv.Drain(*drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+	}()
 	fmt.Fprintf(w, "concat campaign service listening on http://%s\n", ln.Addr())
-	if err := (&http.Server{Handler: srv.Handler()}).Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+	if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		srv.Close()
 		return err
 	}
 	return nil

@@ -61,8 +61,8 @@ func TestWarmCacheByteIdenticalReport(t *testing.T) {
 	if cold.CacheMisses != len(mutants) || cold.CacheHits != 0 {
 		t.Fatalf("cold run: hits=%d misses=%d, want 0/%d", cold.CacheHits, cold.CacheMisses, len(mutants))
 	}
-	if n, err := coldA.Store.Len(); err != nil || n != len(mutants) {
-		t.Fatalf("store Len = %d, %v; want %d", n, err, len(mutants))
+	if n, skipped, err := coldA.Store.Len(); err != nil || n != len(mutants) || skipped != 0 {
+		t.Fatalf("store Len = %d (skipped %d), %v; want %d, 0 skipped", n, skipped, err, len(mutants))
 	}
 
 	// Warm run: fresh engine, factory, suite and store handle — only the

@@ -27,8 +27,15 @@ import (
 type Broadcast struct {
 	mu  sync.Mutex
 	buf []byte
-	// base is the absolute stream offset of buf[0]; bytes below base have
-	// been dropped under the retention cap.
+	// start indexes the first retained byte in buf. Bytes before it were
+	// dropped under the retention cap but are compacted away only once the
+	// dead prefix outgrows the retained suffix, so a write over the cap
+	// costs amortized O(1) instead of one full-buffer copy per line — the
+	// difference between a large traced campaign finishing in seconds and
+	// grinding quadratically for minutes. Peak memory stays under ~2x cap.
+	start int
+	// base is the absolute stream offset of buf[start]; bytes below base
+	// have been dropped under the retention cap.
 	base   int
 	cap    int
 	closed bool
@@ -60,7 +67,7 @@ func (b *Broadcast) Write(p []byte) (int, error) {
 		return 0, errors.New("obs: write on closed broadcast")
 	}
 	b.buf = append(b.buf, p...)
-	if b.cap > 0 && len(b.buf) > b.cap {
+	if b.cap > 0 && len(b.buf)-b.start > b.cap {
 		// Trim the front to the cap, extended forward to the next newline so
 		// the retained suffix starts at a line boundary (the stream is
 		// NDJSON; replaying from mid-line would corrupt every reader).
@@ -68,8 +75,15 @@ func (b *Broadcast) Write(p []byte) (int, error) {
 		for cut < len(b.buf) && b.buf[cut-1] != '\n' {
 			cut++
 		}
-		b.base += cut
-		b.buf = append(b.buf[:0:0], b.buf[cut:]...)
+		b.base += cut - b.start
+		b.start = cut
+		if b.start >= len(b.buf)-b.start {
+			// The dead prefix outweighs the retained suffix: compact. Each
+			// compaction copies at most as many bytes as were dropped since
+			// the last one, so trimming stays amortized O(1) per byte.
+			b.buf = append(b.buf[:0:0], b.buf[b.start:]...)
+			b.start = 0
+		}
 	}
 	close(b.wake)
 	b.wake = make(chan struct{})
@@ -93,7 +107,7 @@ func (b *Broadcast) Close() error {
 func (b *Broadcast) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.base + len(b.buf)
+	return b.base + len(b.buf) - b.start
 }
 
 // Dropped returns how many leading bytes have been discarded under the
@@ -108,8 +122,8 @@ func (b *Broadcast) Dropped() int {
 func (b *Broadcast) Bytes() []byte {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]byte, len(b.buf))
-	copy(out, b.buf)
+	out := make([]byte, len(b.buf)-b.start)
+	copy(out, b.buf[b.start:])
 	return out
 }
 
@@ -130,15 +144,15 @@ func truncationMarker(missed int) []byte {
 func (b *Broadcast) Next(off int, cancel <-chan struct{}) ([]byte, int, bool) {
 	for {
 		b.mu.Lock()
-		end := b.base + len(b.buf)
+		end := b.base + len(b.buf) - b.start
 		if off < b.base {
-			chunk := append(truncationMarker(b.base-off), b.buf...)
+			chunk := append(truncationMarker(b.base-off), b.buf[b.start:]...)
 			b.mu.Unlock()
 			return chunk, end, true
 		}
 		if off < end {
 			chunk := make([]byte, end-off)
-			copy(chunk, b.buf[off-b.base:])
+			copy(chunk, b.buf[b.start+off-b.base:])
 			b.mu.Unlock()
 			return chunk, end, true
 		}

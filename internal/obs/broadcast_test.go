@@ -240,3 +240,49 @@ func TestBroadcastCarriesValidNDJSON(t *testing.T) {
 		t.Errorf("spans = %d, want 2", n)
 	}
 }
+
+// TestBroadcastCapManyWritesKeepsOffsets drives the capped buffer through
+// thousands of trims and periodic compactions — the regime a large traced
+// campaign produces — and checks the absolute-offset bookkeeping end to
+// end: total length, dropped count, the retained suffix matching the true
+// stream tail, and Next serving correct bytes from a mid-stream offset.
+func TestBroadcastCapManyWritesKeepsOffsets(t *testing.T) {
+	const cap = 512
+	b := NewBroadcastCapped(cap)
+	var whole bytes.Buffer
+	for i := 0; i < 20000; i++ {
+		line := fmt.Sprintf("{\"i\":%d}\n", i)
+		whole.WriteString(line)
+		if _, err := b.Write([]byte(line)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := whole.Len()
+	if b.Len() != total {
+		t.Fatalf("Len = %d, want %d", b.Len(), total)
+	}
+	retained := b.Bytes()
+	if len(retained) > cap {
+		t.Errorf("retained %d bytes, cap is %d", len(retained), cap)
+	}
+	if b.Dropped() != total-len(retained) {
+		t.Errorf("Dropped = %d, want %d", b.Dropped(), total-len(retained))
+	}
+	if !bytes.Equal(retained, whole.Bytes()[total-len(retained):]) {
+		t.Errorf("retained suffix is not the stream tail:\n%q", retained)
+	}
+	if retained[0] != '{' {
+		t.Errorf("retained suffix is mid-line: %q", retained[:20])
+	}
+	// A reader resuming from inside the retained window gets exactly the
+	// remaining tail, at the right absolute offset.
+	off := total - len(retained)/2
+	chunk, next, ok := b.Next(off, nil)
+	if !ok || next != total {
+		t.Fatalf("Next(%d) = %d, %v; want %d, true", off, next, ok, total)
+	}
+	if !bytes.Equal(chunk, whole.Bytes()[off:]) {
+		t.Errorf("Next(%d) returned wrong bytes", off)
+	}
+	b.Close()
+}

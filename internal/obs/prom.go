@@ -41,6 +41,9 @@ func promCounter(name string) (family, label string) {
 	if rest, ok := strings.CutPrefix(name, "mutant.kill."); ok {
 		return "concat_mutant_kills_total", fmt.Sprintf("reason=%q", rest)
 	}
+	if rest, ok := strings.CutPrefix(name, "job.outcome."); ok {
+		return "concat_job_outcome_total", fmt.Sprintf("state=%q", rest)
+	}
 	return "concat_" + promSanitize(name) + "_total", ""
 }
 

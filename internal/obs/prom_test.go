@@ -11,6 +11,8 @@ func TestWritePrometheusCountersAndLabels(t *testing.T) {
 	m.Inc("case.outcome.pass", 3)
 	m.Inc("case.outcome.assertion-violation", 1)
 	m.Inc("mutant.kill.crash", 2)
+	m.Inc("job.outcome.done", 4)
+	m.Inc("job.outcome.quarantined", 1)
 	m.Inc("isolation.spawns", 5)
 	snap := m.Snapshot()
 	var b strings.Builder
@@ -23,6 +25,8 @@ func TestWritePrometheusCountersAndLabels(t *testing.T) {
 		`concat_case_outcome_total{outcome="pass"} 3`,
 		`concat_case_outcome_total{outcome="assertion-violation"} 1`,
 		`concat_mutant_kills_total{reason="crash"} 2`,
+		`concat_job_outcome_total{state="done"} 4`,
+		`concat_job_outcome_total{state="quarantined"} 1`,
 		"concat_isolation_spawns_total 5",
 	} {
 		if !strings.Contains(out, line+"\n") {

@@ -1,0 +1,95 @@
+// Package chaos is the service-level fault-injection kit for the campaign
+// service — the internal/sandbox/hostile idea lifted one layer up. Where
+// hostile misbehaves *inside* a case, chaos breaks the machinery around
+// whole campaigns: journal writes that fail, workers that panic
+// mid-campaign, verdict-store entries flipped on disk, and the process
+// itself SIGKILLed at named points between a journal append and the work it
+// promised. The serve package threads a *Faults through its journal and
+// worker paths and calls Kill at every crash point unconditionally; with no
+// faults configured and no kill environment set, every hook is free.
+//
+// The regression contract the kit exists to prove: every injected fault
+// leaves each submitted campaign either completed or journaled and
+// retryable — never lost, and never with a duplicated or wrong verdict.
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// KillEnv names the environment variable that arms a kill point. When its
+// value equals the point name passed to Kill, the process SIGKILLs itself —
+// no defers, no atexit, exactly what a machine crash or OOM kill looks like
+// to the journal.
+const KillEnv = "CONCAT_CHAOS_KILL"
+
+// The kill points the serve package declares, in job-lifecycle order.
+const (
+	// PointSubmitJournaled fires after a submission's queued record is
+	// durably journaled but before the job is enqueued for execution. A
+	// restart must replay the job from the journal alone.
+	PointSubmitJournaled = "submit.journaled"
+	// PointJobRunning fires after a job's running state (lease) is
+	// journaled but before its campaign starts. A restart must reclaim and
+	// retry the job.
+	PointJobRunning = "job.running"
+	// PointDonePrejournal fires after a campaign fully completed — every
+	// verdict already in the content-addressed store — but before the done
+	// record lands in the journal. A restart replays the job and must
+	// finish it entirely from warm store hits: byte-identical artifacts,
+	// zero re-executed mutants.
+	PointDonePrejournal = "job.done.prejournal"
+)
+
+// Kill SIGKILLs the current process if KillEnv is set to the named point,
+// and returns (doing nothing) otherwise. The kill is delivered to our own
+// pid and never returns; the select backstop covers the delivery window.
+func Kill(point string) {
+	if os.Getenv(KillEnv) != point {
+		return
+	}
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {} // unreachable once the signal lands
+}
+
+// Faults is the injectable fault set. A nil *Faults (the production
+// default) injects nothing; individual nil hooks likewise.
+type Faults struct {
+	// JournalWrite, when non-nil, runs before every journal append for job
+	// id. Returning an error makes the append fail as if the disk did.
+	JournalWrite func(id string) error
+	// CampaignStart, when non-nil, runs inside the worker's campaign
+	// goroutine before the real campaign, for the given job and attempt
+	// number. Panicking here is the "worker panic mid-campaign" fault: the
+	// serve package must contain it, retry with backoff, and quarantine
+	// the job once attempts are exhausted.
+	CampaignStart func(jobID string, attempt int)
+}
+
+// FlipByte XORs one byte of the file at path with 0xFF — the minimal
+// bit-rot injection for verdict-store and journal corruption tests. The
+// offset is clamped into the file.
+func FlipByte(path string, offset int) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return fmt.Errorf("chaos: %s is empty, nothing to flip", path)
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(raw) {
+		offset = len(raw) - 1
+	}
+	raw[offset] ^= 0xFF
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// Truncate cuts the file at path to n bytes — the torn-write injection.
+func Truncate(path string, n int64) error {
+	return os.Truncate(path, n)
+}

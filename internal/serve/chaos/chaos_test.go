@@ -1,0 +1,276 @@
+// Service-level chaos regressions: every injected fault — a crash between
+// the journal append and execution, a crash mid-campaign, a journal write
+// failure, verdict-store corruption — must leave either a completed
+// campaign or a journaled, retryable one. Never a lost submission, never a
+// duplicated or wrong verdict. The in-process faults run here; the
+// SIGKILL-the-real-binary legs live in the CI chaos job.
+package chaos_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"concat/internal/serve"
+	"concat/internal/serve/chaos"
+	"concat/internal/store"
+)
+
+func newServer(t *testing.T, cfg serve.Config) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req serve.Request) (serve.Status, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func fetch(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) serve.Status {
+	t.Helper()
+	var st serve.Status
+	if err := json.Unmarshal(fetch(t, ts, "/campaigns/"+id), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// baseline runs one uninterrupted Account campaign and returns its report
+// and coverage bytes — the byte-identity reference for every crash leg.
+func baseline(t *testing.T) (report, coverage []byte) {
+	t.Helper()
+	_, ts := newServer(t, serve.Config{})
+	st, code := submit(t, ts, serve.Request{Component: "Account"})
+	if code != http.StatusAccepted {
+		t.Fatalf("baseline submit: HTTP %d", code)
+	}
+	return fetch(t, ts, "/campaigns/"+st.ID+"/report"),
+		fetch(t, ts, "/campaigns/"+st.ID+"/coverage")
+}
+
+func TestCrashBetweenJournalAndExecution(t *testing.T) {
+	// The narrowest crash window: the process died after the write-ahead
+	// append, before the job ever reached a worker. The journal alone must
+	// carry the submission to completion on the next start.
+	wantReport, wantCover := baseline(t)
+
+	dir := t.TempDir()
+	jn, err := serve.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jn.Append(serve.JobRecord{
+		Seq: 1, ID: "c1", Req: serve.Request{Component: "Account"}, State: serve.StateQueued,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	jn2, err := serve.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newServer(t, serve.Config{Journal: jn2})
+	report := fetch(t, ts, "/campaigns/c1/report")
+	if !bytes.Equal(report, wantReport) {
+		t.Errorf("replayed report differs from uninterrupted run:\n--- replayed ---\n%s\n--- baseline ---\n%s", report, wantReport)
+	}
+	if cov := fetch(t, ts, "/campaigns/c1/coverage"); !bytes.Equal(cov, wantCover) {
+		t.Error("replayed coverage artifact differs from uninterrupted run")
+	}
+}
+
+func TestCrashMidCampaignReplaysWarmByteIdentical(t *testing.T) {
+	// A crash mid-execution: the journal still says "running", the store
+	// holds every verdict the first process computed. The restart must
+	// re-serve the identical report with zero re-executed mutants — the
+	// "never a duplicated verdict" half of the crash-safety contract.
+	wantReport, _ := baseline(t)
+
+	journalDir, storeDir := t.TempDir(), t.TempDir()
+	st1, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn1, err := serve.OpenJournal(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, ts1 := newServer(t, serve.Config{Journal: jn1, Store: st1})
+	job, code := submit(t, ts1, serve.Request{Component: "Account"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	fetch(t, ts1, "/campaigns/"+job.ID+"/report")
+	srv1.Close()
+	ts1.Close()
+
+	// Rewind the journal record to mid-crash shape: running, one attempt
+	// begun, no terminal payload — as if the done record never landed.
+	if err := jn1.Append(serve.JobRecord{
+		Seq: 1, ID: job.ID, Req: serve.Request{Component: "Account"},
+		State: serve.StateRunning, Attempts: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jn2, err := serve.OpenJournal(journalDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newServer(t, serve.Config{Journal: jn2, Store: st2})
+	report := fetch(t, ts2, "/campaigns/"+job.ID+"/report")
+	if !bytes.Equal(report, wantReport) {
+		t.Errorf("post-crash replay report differs:\n--- replayed ---\n%s\n--- baseline ---\n%s", report, wantReport)
+	}
+	final := getStatus(t, ts2, job.ID)
+	if final.CacheMisses != 0 || final.CacheHits == 0 {
+		t.Errorf("replay re-executed mutants: hits=%d misses=%d, want all hits", final.CacheHits, final.CacheMisses)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("replay attempts = %d, want 2 (interrupted + replay)", final.Attempts)
+	}
+}
+
+func TestJournalWriteFailureRefusesSubmission(t *testing.T) {
+	// A submission the journal cannot make durable is refused outright —
+	// no half-admitted job that a crash would silently lose.
+	dir := t.TempDir()
+	jn, err := serve.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := &chaos.Faults{JournalWrite: func(id string) error {
+		return errors.New("injected: disk full")
+	}}
+	_, ts := newServer(t, serve.Config{Journal: jn, Faults: faults})
+	body, _ := json.Marshal(serve.Request{Component: "Account"})
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unjournalable submit: HTTP %d, want 500", resp.StatusCode)
+	}
+	var all []serve.Status
+	if err := json.Unmarshal(fetch(t, ts, "/campaigns"), &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 0 {
+		t.Errorf("refused submission left %d job(s) behind", len(all))
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "job-*.json")); len(files) != 0 {
+		t.Errorf("refused submission left journal records: %v", files)
+	}
+}
+
+func TestStoreCorruptionQuarantinedAndRecomputed(t *testing.T) {
+	// Bit rot in the verdict store between runs: the corrupt entry must be
+	// quarantined and recomputed, and the report must come out identical —
+	// never a wrong verdict served from a damaged cache.
+	wantReport, _ := baseline(t)
+
+	storeDir := t.TempDir()
+	st1, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1, ts1 := newServer(t, serve.Config{Store: st1})
+	job, code := submit(t, ts1, serve.Request{Component: "Account"})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	fetch(t, ts1, "/campaigns/"+job.ID+"/report")
+	srv1.Close()
+	ts1.Close()
+
+	entries, err := filepath.Glob(filepath.Join(storeDir, "??", "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no store entries to corrupt: %v, %v", entries, err)
+	}
+	victim := entries[0]
+	info, err := os.Stat(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chaos.FlipByte(victim, int(info.Size()/2)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newServer(t, serve.Config{Store: st2})
+	if _, code := submit(t, ts2, serve.Request{Component: "Account"}); code != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	report := fetch(t, ts2, "/campaigns/c1/report")
+	if !bytes.Equal(report, wantReport) {
+		t.Errorf("report over a corrupted store differs:\n--- got ---\n%s\n--- want ---\n%s", report, wantReport)
+	}
+	stats := st2.Stats()
+	if stats.Quarantined != 1 {
+		t.Errorf("quarantined = %d, want 1", stats.Quarantined)
+	}
+	if _, err := os.Stat(victim + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry was not renamed aside: %v", err)
+	}
+}
+
+func TestKillIsInertWithoutEnv(t *testing.T) {
+	// Kill must be a no-op unless CONCAT_CHAOS_KILL names this exact point;
+	// anything else would make the kit a production hazard.
+	t.Setenv(chaos.KillEnv, "")
+	chaos.Kill(chaos.PointJobRunning) // reaching the next line is the assertion
+	t.Setenv(chaos.KillEnv, chaos.PointSubmitJournaled)
+	chaos.Kill(chaos.PointJobRunning)
+}

@@ -7,40 +7,68 @@
 // verdict store (internal/store) making warm resubmissions re-execute only
 // mutants whose inputs changed.
 //
+// The service is crash-safe end to end. Submissions are written ahead to a
+// durable job journal (canonical JSON, temp+rename+fsync) before they
+// become runnable, so a process death at any point — including SIGKILL
+// between the journal append and execution — replays every pending and
+// running campaign on restart, where warm verdict-store hits make the
+// replay cheap and byte-identical. Each execution attempt runs under a
+// lease: a worker that panics, wedges past the lease, or dies mid-campaign
+// has its job reclaimed and retried with deterministic capped exponential
+// backoff (sandbox.Retry semantics), and a poison job that keeps failing is
+// quarantined after its attempt budget instead of crash-looping forever.
+// Drain stops admission with an accurate Retry-After and lets in-flight
+// jobs finish before shutdown. The chaos kit (internal/serve/chaos) injects
+// every one of those faults in regression tests.
+//
 // The service deliberately reuses the deterministic campaign machinery
 // unchanged: a report fetched over HTTP is the table the CLI prints for the
 // same request plus one coverage-summary line, the coverage artifact it
 // stores is byte-identical to what the CLI writes, and the streamed trace
 // validates against the obs span schema. A live /metrics endpoint exposes
-// the accumulated campaign counters and kill-latency histograms in the
-// Prometheus text format, and net/http/pprof can be mounted behind a flag.
+// the accumulated campaign counters, kill-latency histograms, and the
+// recovery counters (journal replays, lease reclaims, retries, quarantines)
+// in the Prometheus text format, and net/http/pprof can be mounted behind a
+// flag.
 package serve
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"concat/internal/analysis"
 	"concat/internal/core"
 	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/obs"
+	"concat/internal/sandbox"
+	"concat/internal/serve/chaos"
 	"concat/internal/store"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
 )
 
 // ErrQueueFull is returned by Submit when the pending-campaign queue is at
-// capacity; the HTTP layer maps it to 503 Service Unavailable.
+// capacity; the HTTP layer maps it to 503 Service Unavailable with a
+// Retry-After computed from the queue depth and recent job durations.
 var ErrQueueFull = errors.New("serve: campaign queue full")
 
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("serve: server closed")
+
+// ErrDraining is returned by Submit while the server drains toward
+// shutdown: admission is closed but in-flight jobs are still finishing. The
+// HTTP layer maps it to 503 with Retry-After, same as a full queue.
+var ErrDraining = errors.New("serve: draining, not accepting campaigns")
 
 // Request is a campaign submission: which built-in component to mutate and
 // how to generate its suite. The zero values of the generation knobs mean
@@ -94,7 +122,15 @@ const (
 	StateRunning = "running"
 	StateDone    = "done"
 	StateFailed  = "failed"
+	// StateQuarantined marks a poison job: every attempt in its retry
+	// budget crashed or wedged, so the service parked it instead of
+	// crash-looping. Quarantined jobs are terminal and keep their last
+	// failure cause in Error.
+	StateQuarantined = "quarantined"
 )
+
+// jobStates lists every state for gauge exposition, lifecycle order.
+var jobStates = []string{StateQueued, StateRunning, StateDone, StateFailed, StateQuarantined}
 
 // Job is one submitted campaign. Its trace broadcast fills while the
 // campaign runs and closes when it finishes, so any number of HTTP clients
@@ -103,44 +139,103 @@ type Job struct {
 	ID  string
 	Req Request
 
+	// seq is the numeric suffix of ID, journaled so replayed servers keep
+	// allocating IDs after the highest seen.
+	seq int
+
 	mu       sync.Mutex
 	state    string
+	attempts int // execution attempts begun
+	epoch    int // current attempt token; stale attempts fail endAttempt
+	terminal bool
 	errMsg   string
 	result   *analysis.Result
 	report   []byte
 	coverage *cover.SuiteCoverage
 	artifact []byte
+	// restored holds the terminal status snapshot of a job replayed from
+	// the journal, whose *analysis.Result no longer exists in memory.
+	restored *Status
 
 	trace *obs.Broadcast
 	done  chan struct{}
 }
 
-func (j *Job) setState(s string) {
+// beginAttempt starts one execution attempt: bumps the attempt counter,
+// invalidates any stale attempt's token, and moves the job to running. It
+// returns the new attempt's token and ordinal.
+func (j *Job) beginAttempt() (token, attempt int) {
 	j.mu.Lock()
-	j.state = s
+	defer j.mu.Unlock()
+	j.attempts++
+	j.epoch++
+	j.state = StateRunning
+	return j.epoch, j.attempts
+}
+
+// endAttempt claims the right to conclude the job for the attempt holding
+// token. Exactly one concluder wins per attempt: a lease reclaim that beat
+// the (wedged, now stale) worker makes the worker's late result a no-op,
+// and vice versa.
+func (j *Job) endAttempt(token int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal || j.epoch != token {
+		return false
+	}
+	j.epoch++
+	return true
+}
+
+// setQueued parks the job back in the queued state for a retry.
+func (j *Job) setQueued() {
+	j.mu.Lock()
+	j.state = StateQueued
 	j.mu.Unlock()
 }
 
-func (j *Job) finish(res *analysis.Result, report []byte, err error) {
+// finishDone moves the job to its terminal done state and releases waiters.
+func (j *Job) finishDone(res *analysis.Result, report []byte) {
 	j.mu.Lock()
-	if err != nil {
-		j.state = StateFailed
-		j.errMsg = err.Error()
-	} else {
-		j.state = StateDone
-		j.result = res
-		j.report = report
-	}
+	j.state = StateDone
+	j.result = res
+	j.report = report
+	j.terminal = true
 	j.mu.Unlock()
+	// Close the trace stream before publishing the verdict so a client that
+	// saw "done" never blocks on a still-open stream.
+	j.trace.Close()
 	close(j.done)
 }
 
+// finishFailed moves the job to a terminal failure state (failed or
+// quarantined) and releases waiters.
+func (j *Job) finishFailed(state, msg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = msg
+	j.terminal = true
+	j.mu.Unlock()
+	j.trace.Close()
+	close(j.done)
+}
+
+// Attempts returns how many execution attempts have begun.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
 // setCoverage records the campaign's coverage summary and its encoded
-// canonical artifact; runCampaign calls it before the job finishes.
+// canonical artifact; runCampaign calls it before the job finishes. A
+// stale attempt's late write is dropped once the job is terminal.
 func (j *Job) setCoverage(sc *cover.SuiteCoverage, artifact []byte) {
 	j.mu.Lock()
-	j.coverage = sc
-	j.artifact = artifact
+	if !j.terminal {
+		j.coverage = sc
+		j.artifact = artifact
+	}
 	j.mu.Unlock()
 }
 
@@ -158,11 +253,35 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // Trace returns the job's NDJSON trace broadcast.
 func (j *Job) Trace() *obs.Broadcast { return j.trace }
 
+// record snapshots the job as its durable journal form. Terminal done
+// records embed the report and coverage artifact bytes so a restarted
+// server keeps serving them verbatim.
+func (j *Job) record() JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec := JobRecord{
+		Seq:      j.seq,
+		ID:       j.ID,
+		Req:      j.Req,
+		State:    j.state,
+		Attempts: j.attempts,
+		Error:    j.errMsg,
+	}
+	if j.state == StateDone {
+		rec.Report = j.report
+		rec.Artifact = j.artifact
+		st := j.statusLocked()
+		rec.Summary = &st
+	}
+	return rec
+}
+
 // Status is the wire form of a job's state.
 type Status struct {
 	ID          string `json:"id"`
 	Component   string `json:"component"`
 	State       string `json:"state"`
+	Attempts    int    `json:"attempts,omitempty"`
 	Mutants     int    `json:"mutants"`
 	Killed      int    `json:"killed"`
 	Equivalent  int    `json:"equivalent"`
@@ -179,8 +298,13 @@ type Status struct {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := Status{ID: j.ID, Component: j.Req.Component, State: j.state, Error: j.errMsg}
-	if j.result != nil {
+	return j.statusLocked()
+}
+
+func (j *Job) statusLocked() Status {
+	st := Status{ID: j.ID, Component: j.Req.Component, State: j.state, Attempts: j.attempts, Error: j.errMsg}
+	switch {
+	case j.result != nil:
 		tab := j.result.Tabulate()
 		st.Mutants = tab.Total.Mutants
 		st.Killed = tab.Total.Killed
@@ -188,9 +312,18 @@ func (j *Job) Status() Status {
 		st.Survivors = tab.Total.Mutants - tab.Total.Killed - tab.Total.Equivalent
 		st.CacheHits = j.result.CacheHits
 		st.CacheMisses = j.result.CacheMisses
+	case j.restored != nil:
+		st.Mutants = j.restored.Mutants
+		st.Killed = j.restored.Killed
+		st.Equivalent = j.restored.Equivalent
+		st.Survivors = j.restored.Survivors
+		st.CacheHits = j.restored.CacheHits
+		st.CacheMisses = j.restored.CacheMisses
 	}
 	if j.coverage != nil {
 		st.Coverage = j.coverage.Summary()
+	} else if j.restored != nil {
+		st.Coverage = j.restored.Coverage
 	}
 	return st
 }
@@ -200,6 +333,10 @@ type Config struct {
 	// Store, when non-nil, is the shared verdict cache threaded into every
 	// campaign, making warm resubmissions re-execute only changed mutants.
 	Store *store.Store
+	// Journal, when non-nil, is the write-ahead job journal: submissions
+	// are journaled before they become runnable, every state transition is
+	// recorded, and New replays pending/running records into the queue.
+	Journal *Journal
 	// QueueDepth bounds the pending campaigns (default 16). A full queue
 	// rejects submissions with ErrQueueFull instead of blocking or growing.
 	QueueDepth int
@@ -207,6 +344,15 @@ type Config struct {
 	Workers int
 	// Parallelism is the per-campaign mutant-worker count (0 = GOMAXPROCS).
 	Parallelism int
+	// Retry bounds execution attempts per job, reusing the sandbox's
+	// deterministic jitter-free policy: Attempts total attempts before the
+	// job is quarantined (default 3, i.e. two retries), BaseDelay/MaxDelay
+	// the capped exponential backoff between them (default 100ms/5s).
+	Retry sandbox.RetryPolicy
+	// Lease bounds one execution attempt (default DefaultLease). An attempt
+	// still running past its lease is presumed wedged: the job is reclaimed
+	// and retried, and the stale attempt's eventual result is discarded.
+	Lease time.Duration
 	// TraceBuffer caps each job's retained NDJSON trace replay buffer in
 	// bytes (0 = the 16 MiB default, negative = unbounded). A client that
 	// subscribes after the cap dropped data receives an explicit truncation
@@ -215,6 +361,8 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the handler.
 	// Off by default: profiling endpoints are opt-in surface.
 	EnablePprof bool
+	// Faults is the chaos kit's injection surface; nil in production.
+	Faults *chaos.Faults
 	// Logf, when non-nil, receives one line per job transition.
 	Logf func(format string, args ...any)
 }
@@ -222,6 +370,9 @@ type Config struct {
 // DefaultTraceBuffer is the per-job trace retention cap when Config leaves
 // TraceBuffer zero.
 const DefaultTraceBuffer = 16 << 20
+
+// DefaultLease bounds one execution attempt when Config leaves Lease zero.
+const DefaultLease = 5 * time.Minute
 
 // traceCap resolves Config.TraceBuffer to a Broadcast cap.
 func (c Config) traceCap() int {
@@ -235,27 +386,88 @@ func (c Config) traceCap() int {
 	}
 }
 
+// retryPolicy resolves Config.Retry to its defaults.
+func (c Config) retryPolicy() sandbox.RetryPolicy {
+	p := c.Retry
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	return p
+}
+
+// lease resolves Config.Lease to its default.
+func (c Config) lease() time.Duration {
+	if c.Lease > 0 {
+		return c.Lease
+	}
+	return DefaultLease
+}
+
+// backoffDelay is the deterministic capped exponential backoff slept before
+// re-enqueueing a job whose attempt'th try failed — sandbox.Retry's
+// jitter-free doubling, applied at the job level.
+func backoffDelay(p sandbox.RetryPolicy, attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d > p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	return d
+}
+
+// recentDurations bounds the completed-job duration ring feeding the
+// Retry-After estimate.
+const recentDurations = 32
+
 // Server is the campaign service: a bounded job queue drained by a worker
 // pool, with every job's state, report and trace retained for the
-// process's lifetime.
+// process's lifetime — and, with a journal configured, across process
+// lifetimes.
 type Server struct {
 	cfg     Config
 	queue   chan *Job
+	stop    chan struct{}
+	stopped sync.Once
 	metrics *obs.Metrics
+	journal *Journal
 	wg      sync.WaitGroup
+
+	// Recovery counters, exposed on /metrics from process start.
+	nReplayed       atomic.Int64
+	nJournalCorrupt atomic.Int64
+	nReclaims       atomic.Int64
+	nRetries        atomic.Int64
+	nQuarantined    atomic.Int64
 
 	// campaign executes one job's analysis; tests substitute a stub to pin
 	// workers at a controlled point. Set before the first Submit.
 	campaign func(*Job) (*analysis.Result, []byte, error)
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	queued   int // jobs occupying admission (queue) slots
+	active   int // jobs in any non-terminal state
+	closed   bool
+	draining bool
+	durs     []time.Duration // ring of recent completed-job durations
+	durIdx   int
 }
 
-// New starts the worker pool and returns the server.
+// New starts the worker pool and returns the server. With a journal
+// configured it first replays the previous process's records: terminal
+// jobs are restored verbatim (report, artifact, status), and queued or
+// running jobs — running means the previous process died mid-campaign —
+// are reclaimed into the queue to execute again, warm against the store.
 func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
@@ -265,21 +477,88 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		queue:   make(chan *Job, cfg.QueueDepth),
 		metrics: obs.NewMetrics(),
+		journal: cfg.Journal,
 		jobs:    map[string]*Job{},
 	}
 	s.campaign = s.runCampaign
+	if s.journal != nil {
+		s.journal.Faults = cfg.Faults
+	}
+	pending := s.replayJournal()
+	// Channel headroom beyond the admission bound: replayed jobs, one slot
+	// per worker, and retry re-enqueues never block the senders.
+	s.queue = make(chan *Job, cfg.QueueDepth+cfg.Workers+len(pending)+8)
+	s.stop = make(chan struct{})
+	for _, j := range pending {
+		s.queued++
+		s.active++
+		s.queue <- j
+		s.nReplayed.Add(1)
+		s.journalJob(j) // persist running -> queued reclaims
+		s.logf("serve: %s replayed from journal (%s, attempts %d)", j.ID, j.Req.Component, j.Attempts())
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			for j := range s.queue {
-				s.runJob(j)
-			}
-		}()
+		go s.worker()
 	}
 	return s
+}
+
+// replayJournal loads the journal into the jobs map and returns the jobs
+// that must run (again). Corrupt records were quarantined by Replay and
+// only counted here.
+func (s *Server) replayJournal() []*Job {
+	recs, corrupt, err := s.journal.Replay()
+	if err != nil {
+		s.logf("serve: journal replay: %v", err)
+		return nil
+	}
+	s.nJournalCorrupt.Add(int64(corrupt))
+	if corrupt > 0 {
+		s.logf("serve: quarantined %d corrupt journal record(s)", corrupt)
+	}
+	var pending []*Job
+	for _, rec := range recs {
+		j := &Job{
+			ID:       rec.ID,
+			Req:      rec.Req,
+			seq:      rec.Seq,
+			attempts: rec.Attempts,
+			trace:    obs.NewBroadcastCapped(s.cfg.traceCap()),
+			done:     make(chan struct{}),
+		}
+		switch rec.State {
+		case StateDone, StateFailed, StateQuarantined:
+			j.state = rec.State
+			j.errMsg = rec.Error
+			j.report = rec.Report
+			j.artifact = rec.Artifact
+			j.restored = rec.Summary
+			if len(rec.Artifact) > 0 {
+				if art, err := cover.Decode(rec.Artifact); err == nil {
+					j.coverage = art.Suite
+				}
+			}
+			j.terminal = true
+			j.trace.Close()
+			close(j.done)
+		default:
+			// Queued, or running in a process that no longer exists: the
+			// write-ahead record is the job now. Re-queue it; attempts
+			// keeps counting the interrupted try, so a job that kills the
+			// process on every attempt converges to quarantine instead of
+			// crash-looping the service forever.
+			j.state = StateQueued
+			pending = append(pending, j)
+		}
+		if rec.Seq > s.nextID {
+			s.nextID = rec.Seq
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+	}
+	return pending
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -288,9 +567,21 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// journalJob appends the job's current state to the journal. Transition
+// records after admission are best-effort: losing one means a restart
+// replays from an earlier state, which the warm store makes cheap and
+// byte-identical; refusing to proceed would trade availability for nothing.
+func (s *Server) journalJob(j *Job) {
+	if err := s.journal.Append(j.record()); err != nil {
+		s.logf("serve: journaling %s: %v", j.ID, err)
+	}
+}
+
 // Submit validates and enqueues a campaign. Job IDs are sequential (c1,
-// c2, ...) in submission order, so a deterministic client script addresses
-// deterministic IDs.
+// c2, ...) in submission order — across restarts when a journal is
+// configured, so a deterministic client script addresses deterministic
+// IDs. The queued record is journaled before the job becomes runnable:
+// once Submit returns, the campaign survives any process death.
 func (s *Server) Submit(req Request) (*Job, error) {
 	if req.Component == "" {
 		return nil, errors.New("serve: request needs a component")
@@ -303,21 +594,44 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if s.queued >= s.cfg.QueueDepth {
+		return nil, ErrQueueFull
+	}
+	seq := s.nextID + 1
 	j := &Job{
-		ID:    fmt.Sprintf("c%d", s.nextID+1),
+		ID:    fmt.Sprintf("c%d", seq),
+		seq:   seq,
 		Req:   req,
 		state: StateQueued,
 		trace: obs.NewBroadcastCapped(s.cfg.traceCap()),
 		done:  make(chan struct{}),
 	}
+	// Write-ahead: the journal append precedes every other effect. A
+	// submission the journal cannot make durable is refused outright.
+	if err := s.journal.Append(j.record()); err != nil {
+		return nil, err
+	}
+	chaos.Kill(chaos.PointSubmitJournaled)
+	s.nextID = seq
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.queued++
+	s.active++
 	select {
 	case s.queue <- j:
 	default:
-		return nil, ErrQueueFull
+		// Unreachable while admission holds queued below QueueDepth and the
+		// channel keeps headroom beyond it; never block under the lock.
+		go func() {
+			select {
+			case s.queue <- j:
+			case <-s.stop:
+			}
+		}()
 	}
-	s.nextID++
-	s.jobs[j.ID] = j
-	s.order = append(s.order, j.ID)
 	s.logf("serve: %s queued (%s)", j.ID, req.Component)
 	return j, nil
 }
@@ -341,36 +655,245 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Close stops accepting submissions, drains the queued jobs and waits for
-// the workers to finish.
+// Close stops accepting submissions, waits for every admitted job to reach
+// a terminal state (the retry budget bounds that wait even for poison
+// jobs), then stops the workers.
 func (s *Server) Close() {
+	s.shutdown(true)
+}
+
+// Drain is the graceful-shutdown path: stop admission (Submit returns
+// ErrDraining, the HTTP layer 503 + Retry-After), wait up to timeout for
+// in-flight and queued jobs to finish, write the journal checkpoint, and
+// stop the workers. It reports whether the queue fully quiesced; jobs
+// still queued or running past the deadline stay journaled in those states
+// and replay on the next start.
+func (s *Server) Drain(timeout time.Duration) bool {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
+	s.draining = true
+	s.mu.Unlock()
+	s.logf("serve: draining (timeout %s)", timeout)
+	drained := s.waitIdle(time.Now().Add(timeout))
+	s.mu.Lock()
+	active := s.active
+	s.mu.Unlock()
+	if err := s.journal.Checkpoint(Checkpoint{Clean: drained, Active: active}); err != nil {
+		s.logf("serve: checkpoint: %v", err)
 	}
+	s.shutdown(false)
+	if drained {
+		s.logf("serve: drained cleanly")
+	} else {
+		s.logf("serve: drain deadline passed with %d active job(s); they will replay from the journal", active)
+	}
+	return drained
+}
+
+func (s *Server) shutdown(waitIdle bool) {
+	s.mu.Lock()
+	alreadyClosed := s.closed
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	if waitIdle && !alreadyClosed {
+		s.waitIdle(time.Time{})
+	}
+	s.stopped.Do(func() { close(s.stop) })
 	s.wg.Wait()
 }
 
-// runJob executes one campaign: generate the suite from the embedded
-// t-spec, run the mutation analysis with the job's broadcast as the NDJSON
-// trace sink, and record the rendered table.
-func (s *Server) runJob(j *Job) {
-	j.setState(StateRunning)
-	s.logf("serve: %s running", j.ID)
-	res, report, err := s.campaign(j)
-	// Close the trace stream before publishing the verdict so a client that
-	// saw "done" never blocks on a still-open stream.
-	j.trace.Close()
-	j.finish(res, report, err)
-	if err != nil {
-		s.logf("serve: %s failed: %v", j.ID, err)
-	} else {
-		s.logf("serve: %s done", j.ID)
+// waitIdle polls until no job is in a non-terminal state, or the deadline
+// (zero = none) passes.
+func (s *Server) waitIdle(deadline time.Time) bool {
+	for {
+		s.mu.Lock()
+		idle := s.active == 0
+		s.mu.Unlock()
+		if idle {
+			return true
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// recordDuration feeds the completed-job duration ring for Retry-After.
+func (s *Server) recordDuration(d time.Duration) {
+	s.mu.Lock()
+	if len(s.durs) < recentDurations {
+		s.durs = append(s.durs, d)
+	} else {
+		s.durs[s.durIdx%recentDurations] = d
+	}
+	s.durIdx++
+	s.mu.Unlock()
+}
+
+// retryAfterSeconds estimates when a rejected client should retry: the
+// current queue depth times the mean recent job duration, divided across
+// the workers, floored at one second. With no completed jobs yet the floor
+// is the estimate.
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	mean := time.Second
+	if len(s.durs) > 0 {
+		var sum time.Duration
+		for _, d := range s.durs {
+			sum += d
+		}
+		mean = sum / time.Duration(len(s.durs))
+	}
+	pending := s.queued
+	secs := int(math.Ceil(float64(pending) * mean.Seconds() / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// worker drains the queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			// A closed stop channel and a non-empty queue race in this
+			// select; once shutdown has begun no new attempt may start, or
+			// a hard drain would journal a fresh "running" record after the
+			// checkpoint. The job stays journaled as queued and replays.
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			s.mu.Lock()
+			s.queued--
+			s.mu.Unlock()
+			s.runJob(j)
+		}
+	}
+}
+
+// jobOutcome is one attempt's result, shipped from the campaign goroutine
+// to the lease-holding worker.
+type jobOutcome struct {
+	res      *analysis.Result
+	report   []byte
+	err      error
+	panicked bool
+}
+
+// runJob executes one lease-bounded attempt of the job: journal the
+// running state, run the campaign in a goroutine the worker can abandon,
+// and conclude with exactly one of done / failed / retry / quarantine. A
+// wedged campaign loses its lease and its late result is discarded; a
+// panicking campaign is contained and retried; shutdown mid-attempt leaves
+// the job journaled as running for the next process to reclaim.
+func (s *Server) runJob(j *Job) {
+	token, attempt := j.beginAttempt()
+	s.logf("serve: %s running (attempt %d)", j.ID, attempt)
+	s.journalJob(j)
+	chaos.Kill(chaos.PointJobRunning)
+	start := time.Now()
+	ch := make(chan jobOutcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- jobOutcome{err: fmt.Errorf("worker panic: %v", r), panicked: true}
+			}
+		}()
+		if f := s.cfg.Faults; f != nil && f.CampaignStart != nil {
+			f.CampaignStart(j.ID, attempt)
+		}
+		res, report, err := s.campaign(j)
+		ch <- jobOutcome{res: res, report: report, err: err}
+	}()
+	lease := time.NewTimer(s.cfg.lease())
+	defer lease.Stop()
+	select {
+	case o := <-ch:
+		if !j.endAttempt(token) {
+			return // the attempt was reclaimed; drop the stale result
+		}
+		switch {
+		case o.err == nil:
+			chaos.Kill(chaos.PointDonePrejournal)
+			j.finishDone(o.res, o.report)
+			s.metrics.Inc("job.outcome.done", 1)
+			s.jobTerminal(j, time.Since(start))
+			s.logf("serve: %s done", j.ID)
+		case o.panicked || sandbox.Transient(o.err):
+			s.retryOrQuarantine(j, attempt, o.err.Error())
+		default:
+			// A deterministic campaign error: retrying would fail the same
+			// way (sandbox.Retry's contract), so fail immediately.
+			j.finishFailed(StateFailed, o.err.Error())
+			s.metrics.Inc("job.outcome.failed", 1)
+			s.jobTerminal(j, time.Since(start))
+			s.logf("serve: %s failed: %v", j.ID, o.err)
+		}
+	case <-lease.C:
+		if !j.endAttempt(token) {
+			return
+		}
+		s.nReclaims.Add(1)
+		s.retryOrQuarantine(j, attempt, fmt.Sprintf("lease expired after %s", s.cfg.lease()))
+	case <-s.stop:
+		// Shutdown mid-attempt: the job stays journaled as running and the
+		// next process reclaims it.
+	}
+}
+
+// jobTerminal journals the job's terminal record, retires it from the
+// active set, and (for completed attempts) feeds the duration ring.
+func (s *Server) jobTerminal(j *Job, dur time.Duration) {
+	s.journalJob(j)
+	s.mu.Lock()
+	s.active--
+	s.mu.Unlock()
+	if dur > 0 {
+		s.recordDuration(dur)
+	}
+}
+
+// retryOrQuarantine concludes a crashed or reclaimed attempt: re-queue the
+// job after its deterministic backoff while the retry budget lasts, park it
+// in quarantine once the budget is spent.
+func (s *Server) retryOrQuarantine(j *Job, attempt int, cause string) {
+	p := s.cfg.retryPolicy()
+	if attempt >= p.Attempts {
+		j.finishFailed(StateQuarantined, fmt.Sprintf("quarantined after %d attempts: %s", attempt, cause))
+		s.nQuarantined.Add(1)
+		s.metrics.Inc("job.outcome.quarantined", 1)
+		s.jobTerminal(j, 0)
+		s.logf("serve: %s quarantined after %d attempts: %s", j.ID, attempt, cause)
+		return
+	}
+	s.nRetries.Add(1)
+	j.setQueued()
+	s.journalJob(j)
+	delay := backoffDelay(p, attempt)
+	s.logf("serve: %s attempt %d failed (%s); retry %d/%d in %s", j.ID, attempt, cause, attempt+1, p.Attempts, delay)
+	go func() {
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-s.stop:
+			return // still journaled queued; the next process replays it
+		}
+		s.mu.Lock()
+		s.queued++
+		s.mu.Unlock()
+		select {
+		case s.queue <- j:
+		case <-s.stop:
+		}
+	}()
 }
 
 func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
@@ -424,7 +947,7 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 
 // Handler returns the HTTP API:
 //
-//	POST /campaigns            submit (JSON Request) -> 202 Status, 503 on full queue
+//	POST /campaigns            submit (JSON Request) -> 202 Status, 503 on full queue or drain
 //	GET  /campaigns            all statuses, submission order
 //	GET  /campaigns/{id}       one status
 //	GET  /campaigns/{id}/report   rendered table + coverage summary (blocks until done)
@@ -478,12 +1001,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
 	case errors.Is(err, ErrClosed):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+		return
+	case errors.Is(err, ErrJournal):
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
@@ -528,7 +1054,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := j.Status()
-	if st.State == StateFailed {
+	if st.State == StateFailed || st.State == StateQuarantined {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
 		return
 	}
@@ -552,7 +1078,7 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := j.Status()
-	if st.State == StateFailed {
+	if st.State == StateFailed || st.State == StateQuarantined {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
 		return
 	}
@@ -567,8 +1093,11 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the live Prometheus text surface: the shared
 // campaign metrics (outcome counters, kill-latency histograms), the verdict
-// store's hit/miss counters, queue and job-state gauges, and per-campaign
-// transaction-coverage gauges for every finished job.
+// store's hit/miss/quarantine counters, queue, job-state and drain gauges,
+// the recovery counters (journal replays, corrupt journal records, lease
+// reclaims, retries, quarantined jobs) — always present, so their absence
+// can never be confused with zero — and per-campaign transaction-coverage
+// gauges for every finished job.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
 	snap := s.metrics.Snapshot()
@@ -579,7 +1108,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	stats := s.cfg.Store.Stats()
 	fmt.Fprintf(&b, "# TYPE concat_store_hits_total counter\nconcat_store_hits_total %d\n", stats.Hits)
 	fmt.Fprintf(&b, "# TYPE concat_store_misses_total counter\nconcat_store_misses_total %d\n", stats.Misses)
-	fmt.Fprintf(&b, "# TYPE concat_queue_depth gauge\nconcat_queue_depth %d\n", len(s.queue))
+	fmt.Fprintf(&b, "# TYPE concat_store_quarantined_total counter\nconcat_store_quarantined_total %d\n", stats.Quarantined)
+	fmt.Fprintf(&b, "# TYPE concat_journal_replayed_total counter\nconcat_journal_replayed_total %d\n", s.nReplayed.Load())
+	fmt.Fprintf(&b, "# TYPE concat_journal_corrupt_total counter\nconcat_journal_corrupt_total %d\n", s.nJournalCorrupt.Load())
+	fmt.Fprintf(&b, "# TYPE concat_lease_reclaims_total counter\nconcat_lease_reclaims_total %d\n", s.nReclaims.Load())
+	fmt.Fprintf(&b, "# TYPE concat_job_retries_total counter\nconcat_job_retries_total %d\n", s.nRetries.Load())
+	fmt.Fprintf(&b, "# TYPE concat_jobs_quarantined_total counter\nconcat_jobs_quarantined_total %d\n", s.nQuarantined.Load())
+	s.mu.Lock()
+	queued := s.queued
+	draining := 0
+	if s.draining {
+		draining = 1
+	}
+	s.mu.Unlock()
+	fmt.Fprintf(&b, "# TYPE concat_queue_depth gauge\nconcat_queue_depth %d\n", queued)
+	fmt.Fprintf(&b, "# TYPE concat_draining gauge\nconcat_draining %d\n", draining)
 
 	jobs := s.Jobs()
 	states := map[string]int{}
@@ -591,7 +1134,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	fmt.Fprintf(&b, "# TYPE concat_jobs gauge\n")
-	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed} {
+	for _, state := range jobStates {
 		fmt.Fprintf(&b, "concat_jobs{state=%q} %d\n", state, states[state])
 	}
 	if len(covered) > 0 {

@@ -75,9 +75,12 @@ type Verdict struct {
 }
 
 // Stats is a point-in-time snapshot of the store's lookup counters.
+// Quarantined counts entries that failed integrity checks on read and were
+// renamed aside.
 type Stats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Quarantined int64 `json:"quarantined"`
 }
 
 // Store is a file-backed content-addressed cache. All methods are safe for
@@ -86,6 +89,7 @@ type Stats struct {
 type Store struct {
 	dir          string
 	hits, misses atomic.Int64
+	quarantined  atomic.Int64
 
 	// mem caches decoded payloads by entry ID so a campaign's repeated
 	// warm lookups don't re-read files. Bounded by the number of distinct
@@ -114,9 +118,13 @@ func (s *Store) Dir() string {
 }
 
 // entry is the on-disk document: the full key (so entries are
-// self-describing and auditable) plus the payload.
+// self-describing and auditable), the payload, and the payload's canonical
+// hash. The key must re-hash to the entry's file name and the value to Sum,
+// so any corruption — truncation, bit rot, a foreign file under the right
+// name — is detected on read instead of being served as a wrong verdict.
 type entry struct {
 	Key   Key             `json:"key"`
+	Sum   string          `json:"sum"`
 	Value json.RawMessage `json:"value"`
 }
 
@@ -127,9 +135,13 @@ func (s *Store) path(id string) string {
 }
 
 // Get looks the key up and, on a hit, decodes the stored payload into out.
-// It returns (false, nil) on a clean miss and (false, err) when an entry
-// exists but cannot be read or decoded — callers treat both as a miss; the
-// next Put overwrites the bad entry. Every call counts into Stats.
+// It returns (false, nil) on a clean miss and (false, err) only for
+// environmental read failures. An entry that exists but fails integrity —
+// truncated, bit-flipped, undecodable, key or value hash mismatch — is
+// quarantined: renamed aside with a .corrupt suffix, counted in
+// Stats.Quarantined, and reported as a clean miss, so corruption can never
+// panic a campaign or serve a wrong verdict; the next Put writes a fresh
+// entry under the original name.
 func (s *Store) Get(k Key, out any) (bool, error) {
 	if s == nil {
 		return false, nil
@@ -149,15 +161,39 @@ func (s *Store) Get(k Key, out any) (bool, error) {
 	}
 	var e entry
 	if err := json.Unmarshal(raw, &e); err != nil {
-		s.misses.Add(1)
-		return false, fmt.Errorf("store: corrupt entry %s: %w", id, err)
+		s.quarantine(id)
+		return false, nil
+	}
+	keyID, err := e.Key.ID()
+	if err != nil || keyID != id {
+		s.quarantine(id)
+		return false, nil
+	}
+	sum, err := canon.HashRaw(e.Value)
+	if err != nil || sum != e.Sum {
+		s.quarantine(id)
+		return false, nil
 	}
 	if err := json.Unmarshal(e.Value, out); err != nil {
-		s.misses.Add(1)
-		return false, fmt.Errorf("store: decoding entry %s: %w", id, err)
+		s.quarantine(id)
+		return false, nil
 	}
 	s.hits.Add(1)
 	return true, nil
+}
+
+// quarantine renames a corrupt entry aside (best effort), evicts it from
+// the in-memory cache, and counts the event as both a quarantine and a
+// miss — the caller re-executes and re-stores as if the entry never
+// existed.
+func (s *Store) quarantine(id string) {
+	s.mu.Lock()
+	delete(s.mem, id)
+	s.mu.Unlock()
+	path := s.path(id)
+	_ = os.Rename(path, path+".corrupt")
+	s.quarantined.Add(1)
+	s.misses.Add(1)
 }
 
 func (s *Store) load(id string) ([]byte, error) {
@@ -192,7 +228,11 @@ func (s *Store) Put(k Key, value any) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding value for %s: %w", id, err)
 	}
-	doc, err := canon.Marshal(entry{Key: k, Value: rawVal})
+	sum, err := canon.HashRaw(rawVal)
+	if err != nil {
+		return fmt.Errorf("store: hashing value for %s: %w", id, err)
+	}
+	doc, err := canon.Marshal(entry{Key: k, Sum: sum, Value: rawVal})
 	if err != nil {
 		return fmt.Errorf("store: encoding entry %s: %w", id, err)
 	}
@@ -226,22 +266,51 @@ func (s *Store) Put(k Key, value any) error {
 	return nil
 }
 
-// Len walks the store and counts persisted entries.
-func (s *Store) Len() (int, error) {
+// Len walks the store and counts persisted entries. Unreadable files or
+// directories and foreign files — quarantined .corrupt entries, stray temp
+// files, anything whose name is not a content address — are skipped and
+// counted instead of failing the whole walk: one bad shard must not make
+// the store unobservable.
+func (s *Store) Len() (entries, skipped int, err error) {
 	if s == nil {
-		return 0, nil
+		return 0, 0, nil
 	}
-	n := 0
-	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
+	err = filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			skipped++
+			if d != nil && d.IsDir() {
+				return fs.SkipDir
+			}
+			return nil
 		}
-		if !d.IsDir() && filepath.Ext(path) == ".json" {
-			n++
+		if d.IsDir() {
+			return nil
+		}
+		if isEntryName(filepath.Base(path)) {
+			entries++
+		} else {
+			skipped++
 		}
 		return nil
 	})
-	return n, err
+	return entries, skipped, err
+}
+
+// isEntryName reports whether name is a well-formed entry file name: a
+// 64-hex content address plus ".json".
+func isEntryName(name string) bool {
+	const hexLen = 64
+	if len(name) != hexLen+len(".json") || name[hexLen:] != ".json" {
+		return false
+	}
+	for _, c := range name[:hexLen] {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Stats snapshots the hit/miss counters (zero on a nil store).
@@ -249,5 +318,5 @@ func (s *Store) Stats() Stats {
 	if s == nil {
 		return Stats{}
 	}
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load()}
+	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Quarantined: s.quarantined.Load()}
 }

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"concat/internal/serve/chaos"
 )
 
 func testKey(mutant string) Key {
@@ -104,8 +106,8 @@ func TestPersistsAcrossOpens(t *testing.T) {
 	if !v.Killed || v.Reason != 1 {
 		t.Errorf("reopened verdict = %+v", v)
 	}
-	if n, err := s2.Len(); err != nil || n != 1 {
-		t.Errorf("Len = %d, %v; want 1", n, err)
+	if n, skipped, err := s2.Len(); err != nil || n != 1 || skipped != 0 {
+		t.Errorf("Len = %d (skipped %d), %v; want 1, 0", n, skipped, err)
 	}
 }
 
@@ -154,19 +156,22 @@ func TestCorruptEntryIsMiss(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, id[:2], id+".json"), []byte("{broken"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// A fresh store re-reads disk; the corrupt entry reports as a miss with
-	// a diagnostic error, and a subsequent Put repairs it.
+	// A fresh store re-reads disk; the corrupt entry is quarantined (renamed
+	// aside) and reports as a clean miss, and a subsequent Put repairs it.
 	s2, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var v Verdict
 	ok, err := s2.Get(k, &v)
-	if ok {
-		t.Fatal("corrupt entry should not hit")
+	if ok || err != nil {
+		t.Fatalf("corrupt entry: Get = %v, %v; want clean miss", ok, err)
 	}
-	if err == nil {
-		t.Fatal("corrupt entry should surface a diagnostic error")
+	if st := s2.Stats(); st.Quarantined != 1 || st.Misses != 1 {
+		t.Errorf("corrupt entry stats = %+v; want 1 quarantined, 1 miss", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id[:2], id+".json.corrupt")); err != nil {
+		t.Errorf("corrupt entry was not renamed aside: %v", err)
 	}
 	if err := s2.Put(k, Verdict{Killed: true}); err != nil {
 		t.Fatal(err)
@@ -228,7 +233,140 @@ func TestConcurrentAccess(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if n, err := s.Len(); err != nil || n != perWorker {
-		t.Errorf("Len = %d, %v; want %d", n, err, perWorker)
+	if n, skipped, err := s.Len(); err != nil || n != perWorker || skipped != 0 {
+		t.Errorf("Len = %d (skipped %d), %v; want %d, 0", n, skipped, err, perWorker)
+	}
+}
+
+// entryPath locates the on-disk file of a key.
+func entryPath(t *testing.T, dir string, k Key) string {
+	t.Helper()
+	id, err := k.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(dir, id[:2], id+".json")
+}
+
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	// A torn write (power loss mid-write without the rename barrier) leaves
+	// a truncated document: the read path must quarantine it and miss, never
+	// panic or decode a partial verdict.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("m1")
+	if err := s.Put(k, Verdict{Killed: true, Reason: 2}); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, dir, k)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{0, 1, info.Size() / 2, info.Size() - 2} {
+		if err := chaos.Truncate(path, n); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v Verdict
+		ok, err := s2.Get(k, &v)
+		if ok || err != nil {
+			t.Fatalf("truncate to %d: Get = %v, %v; want clean miss", n, ok, err)
+		}
+		if st := s2.Stats(); st.Quarantined != 1 {
+			t.Errorf("truncate to %d: quarantined = %d, want 1", n, st.Quarantined)
+		}
+		os.Remove(path + ".corrupt")
+		// Repair for the next truncation point.
+		if err := s2.Put(k, Verdict{Killed: true, Reason: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBitFlippedEntryQuarantined(t *testing.T) {
+	// Flip every byte position in turn: wherever the flip lands — key,
+	// checksum, value, structure — the entry must either still read back
+	// exactly or be quarantined. No position may yield a wrong verdict.
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("m1")
+	want := Verdict{Killed: true, Reason: 3, KillingCase: "TC7", Reached: true, Infected: true}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, dir, k)
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(pristine); off++ {
+		if err := chaos.FlipByte(path, off); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v Verdict
+		ok, err := s2.Get(k, &v)
+		if err != nil {
+			t.Fatalf("flip at %d: Get error %v", off, err)
+		}
+		if ok && v != want {
+			t.Fatalf("flip at %d: served wrong verdict %+v", off, v)
+		}
+		if !ok {
+			if st := s2.Stats(); st.Quarantined != 1 {
+				t.Errorf("flip at %d: miss without quarantine: %+v", off, st)
+			}
+			os.Remove(path + ".corrupt")
+		}
+		if err := os.WriteFile(path, pristine, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLenSkipsForeignAndCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(testKey(fmt.Sprintf("m%d", i)), Verdict{Killed: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Foreign debris a shared cache directory accumulates: a quarantined
+	// entry, a stray temp file, a README, a foreign-named JSON file.
+	path := entryPath(t, dir, testKey("m0"))
+	if err := os.Rename(path, path+".corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{".sometmp-123", "README.txt", "notes.json"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, skipped, err := s.Len()
+	if err != nil {
+		t.Fatalf("Len failed on foreign files: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("Len entries = %d, want 2", n)
+	}
+	if skipped != 4 {
+		t.Errorf("Len skipped = %d, want 4", skipped)
 	}
 }
