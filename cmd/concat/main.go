@@ -19,9 +19,10 @@
 //	concat emit      -component NAME [-seed N] -import PATH -factory EXPR [-out FILE]
 //	concat trace-validate [trace.ndjson | -]
 //	concat cover     -artifact FILE [-dot]
-//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-journal DIR] [-workers N] [-queue N] [-max-retries N] [-drain-timeout D] [-pprof] [-trace-buf N]
-//	concat submit    [-addr URL] -component NAME [-seed N] [-wait]
+//	concat serve     [-addr HOST:PORT] [-cache-dir DIR] [-journal DIR] [-workers N] [-queue N] [-max-retries N] [-drain-timeout D] [-shard-lease D] [-pprof] [-trace-buf N]
+//	concat submit    [-addr URL] -component NAME [-seed N] [-distributed [-shards N]] [-wait]
 //	concat status    [-addr URL] [-id ID]
+//	concat work      [-coordinator URL] [-store-dir DIR] [-parallelism N] [-poll D] [-idle-exit D]
 //
 // The suite-running subcommands (run, selftest, soak, mutate) share the
 // sandbox flags: -isolate executes every case in a crash-contained child
@@ -156,6 +157,8 @@ func run(args []string, w io.Writer) error {
 		return cmdSubmit(rest, w)
 	case "status":
 		return cmdStatus(rest, w)
+	case "work":
+		return cmdWork(rest, w)
 	case "run-case":
 		// Hidden: the subprocess-isolation case server (see -isolate). Reads
 		// one case request on stdin, writes the result on stdout.
@@ -194,6 +197,7 @@ subcommands:
   serve      run the campaign service: an HTTP/JSON API over a job queue
   submit     submit a campaign to a running service (add -wait for the report)
   status     query a running service for campaign statuses
+  work       run a remote campaign worker: lease shards from a coordinator
 
 run, selftest, soak and mutate accept the sandbox flags: -isolate spawns
 one crash-contained child per case; -pool dispatches batches of cases
@@ -215,6 +219,14 @@ replays pending and running campaigns — warm store hits make the replay
 byte-identical. Crashed or wedged campaigns retry with capped exponential
 backoff up to -max-retries times before quarantine, and SIGTERM drains
 gracefully within -drain-timeout (default 30s).
+
+submit -distributed (with -shards N, default 2) asks the service to fan the
+campaign's mutants out to remote "concat work" processes, which lease
+shards over HTTP, publish verdicts into the service's shared store, and
+report back; the coordinator then merges warm from the store, so the
+multi-worker report and coverage artifact are byte-identical to a
+single-process run. Workers default to the coordinator's own /store
+mount; -store-dir points them at a shared filesystem store instead.
 
 selftest and mutate accept -cover FILE, writing a canonical-JSON coverage
 artifact (TFM transaction/node/edge coverage, BIT assertion-site telemetry,
@@ -1132,6 +1144,7 @@ func cmdServe(args []string, w io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "per-campaign mutant workers (0 = GOMAXPROCS)")
 	maxRetries := fs.Int("max-retries", 2, "retries per crashed or wedged campaign before quarantine")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown deadline for in-flight campaigns")
+	shardLease := fs.Duration("shard-lease", serve.DefaultShardLease, "per-shard worker lease for distributed campaigns")
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceBuf := fs.Int("trace-buf", 0, "per-campaign retained trace bytes (0 = 16 MiB default, negative = unbounded)")
@@ -1148,6 +1161,7 @@ func cmdServe(args []string, w io.Writer) error {
 		QueueDepth:  *queue,
 		Parallelism: *parallelism,
 		Retry:       sandbox.RetryPolicy{Attempts: *maxRetries + 1},
+		ShardLease:  *shardLease,
 		TraceBuffer: *traceBuf,
 		EnablePprof: *pprofFlag,
 	}
@@ -1221,6 +1235,8 @@ func cmdSubmit(args []string, w io.Writer) error {
 	isolate := fs.Bool("isolate", false, "run every case in a crash-contained child process")
 	poolFlag := fs.Bool("pool", false, "run the campaign on the service's warm worker pool (batched crash-contained dispatch)")
 	poolSize := fs.Int("pool-size", 0, "warm worker pool size for -pool (0 = service parallelism)")
+	distributed := fs.Bool("distributed", false, "fan the campaign out to remote `concat work` processes")
+	shards := fs.Int("shards", 0, "shard count for -distributed (0 = service default)")
 	wait := fs.Bool("wait", false, "block until the campaign finishes and print its report")
 	gf := addGenFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -1230,14 +1246,16 @@ func cmdSubmit(args []string, w io.Writer) error {
 		return usageError("submit needs -component")
 	}
 	req := serve.Request{
-		Component: *component,
-		Seed:      gf.seed,
-		Expand:    gf.expand,
-		Alt:       gf.alt,
-		LoopBound: gf.k,
-		Isolate:   *isolate,
-		Pool:      *poolFlag,
-		PoolSize:  *poolSize,
+		Component:   *component,
+		Seed:        gf.seed,
+		Expand:      gf.expand,
+		Alt:         gf.alt,
+		LoopBound:   gf.k,
+		Isolate:     *isolate,
+		Pool:        *poolFlag,
+		PoolSize:    *poolSize,
+		Distributed: *distributed,
+		Shards:      *shards,
 	}
 	if *methods != "" {
 		for _, m := range strings.Split(*methods, ",") {
@@ -1327,6 +1345,60 @@ func cmdStatus(args []string, w io.Writer) error {
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		return fmt.Errorf("reading response: %w", err)
 	}
+	return nil
+}
+
+// cmdWork runs a remote campaign worker: it polls the coordinator for
+// shard leases, executes each shard with the same machinery the service's
+// local path uses, and publishes every verdict into the shared store —
+// by default the coordinator's own /store mount, or with -store-dir a
+// filesystem store on a shared volume. SIGTERM or SIGINT stops the
+// polling loop; -idle-exit lets CI workers drain and exit on their own.
+func cmdWork(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("work", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "127.0.0.1:8437", "coordinator address (host:port or URL)")
+	storeDir := fs.String("store-dir", "", "shared filesystem verdict store (default: the coordinator's /store mount)")
+	parallelism := fs.Int("parallelism", 0, "per-shard mutant workers (0 = GOMAXPROCS)")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle delay between lease polls")
+	idleExit := fs.Duration("idle-exit", 0, "exit after this long without work (0 = run until killed)")
+	quiet := fs.Bool("quiet", false, "suppress per-shard log lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := serviceURL(*coordinator)
+	var backend store.Backend
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			return err
+		}
+		backend = st
+	} else {
+		backend = store.NewRemote(base, nil)
+	}
+	cfg := serve.WorkerConfig{
+		Coordinator: base,
+		Store:       backend,
+		Parallelism: *parallelism,
+		Poll:        *poll,
+		IdleExit:    *idleExit,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	go func() {
+		sig := <-sigs
+		fmt.Fprintf(os.Stderr, "concat work: %s received, stopping\n", sig)
+		cancel()
+	}()
+	fmt.Fprintf(w, "concat worker polling %s\n", base)
+	n := serve.NewWorker(cfg).Run(ctx)
+	fmt.Fprintf(w, "concat work: %d shard(s) completed\n", n)
 	return nil
 }
 

@@ -136,15 +136,17 @@ type Analysis struct {
 	// the NewFactory-based default. The engine must carry the same site
 	// table as Engine.
 	Provision func() (*mutation.Engine, component.Factory, error)
-	// Store, when non-nil, is the content-addressed verdict cache: before
+	// Store, when enabled, is the content-addressed verdict cache: before
 	// executing a mutant the analysis looks up (spec-hash, suite-hash,
 	// mutant-hash, seed, options-hash) and serves the recorded verdict on a
 	// hit instead of running the suite. A mutant verdict is a pure function
 	// of those inputs — parallelism, isolation and tracing are
 	// determinism-neutral — so cached campaigns produce byte-identical
 	// tables while re-executing only mutants whose hash inputs changed.
-	// Hits and misses are tallied into Result.CacheHits/CacheMisses.
-	Store *store.Store
+	// Hits and misses are tallied into Result.CacheHits/CacheMisses. Any
+	// store.Backend works — file-backed, in-memory, or a remote peer's
+	// store over HTTP — since verdicts are machine-independent.
+	Store store.Backend
 }
 
 // provision resolves the worker-provisioning function: an explicit
@@ -189,7 +191,7 @@ type cacheState struct {
 // cacheState hashes the campaign-constant key components (spec, suite, seed,
 // options). Returns nil when no Store is configured.
 func (a *Analysis) cacheState() (*cacheState, error) {
-	if a.Store == nil {
+	if !store.Enabled(a.Store) {
 		return nil, nil
 	}
 	spec := a.Factory.Spec()

@@ -37,11 +37,11 @@ func (c *Component) suiteReportKey(s *driver.Suite, opts testexec.Options) (stor
 // hit the recorded report is returned without executing a single case. The
 // second return value reports whether the report came from the store.
 //
-// Caching is bypassed (plain RunSuite, cached == false) when st is nil or
-// when an Oracle is installed — an oracle is an arbitrary callback whose
-// behaviour cannot be fingerprinted into the key.
-func (c *Component) RunSuiteCached(s *driver.Suite, opts testexec.Options, st *store.Store) (*testexec.Report, bool, error) {
-	if st == nil || opts.Oracle != nil {
+// Caching is bypassed (plain RunSuite, cached == false) when st is
+// disabled or when an Oracle is installed — an oracle is an arbitrary
+// callback whose behaviour cannot be fingerprinted into the key.
+func (c *Component) RunSuiteCached(s *driver.Suite, opts testexec.Options, st store.Backend) (*testexec.Report, bool, error) {
+	if !store.Enabled(st) || opts.Oracle != nil {
 		rep, err := c.RunSuite(s, opts)
 		return rep, false, err
 	}

@@ -201,10 +201,18 @@ type MutationOptions struct {
 	Exec testexec.Options
 	// Parallelism overrides the mutant-worker count; zero means GOMAXPROCS.
 	Parallelism int
-	// Store, when non-nil, caches mutant verdicts by content address so a
+	// Store, when enabled, caches mutant verdicts by content address so a
 	// warm re-run of the same campaign re-executes only mutants whose
 	// inputs (spec, suite, mutant, seed, result-relevant options) changed.
-	Store *store.Store
+	Store store.Backend
+	// ShardIndex/ShardCount restrict the campaign to one shard of the
+	// deterministic mutant enumeration: only mutants whose sorted index is
+	// congruent to ShardIndex mod ShardCount are executed. Shards publish
+	// verdicts into a shared Store, and a subsequent unsharded warm run
+	// reassembles the full campaign byte-identically. ShardCount <= 1 runs
+	// everything; an empty shard (more shards than mutants) is legal.
+	ShardIndex int
+	ShardCount int
 }
 
 // MutationRun is the one-call mutation analysis workflow used by the CLI
@@ -240,6 +248,18 @@ func MutationRunOpts(targetName string, suite *driver.Suite, methods []string, p
 	mutants := eng.Enumerate(nil, methods)
 	if len(mutants) == 0 {
 		return nil, errors.New("core: no mutants enumerable for the requested methods")
+	}
+	if o.ShardCount > 1 {
+		if o.ShardIndex < 0 || o.ShardIndex >= o.ShardCount {
+			return nil, fmt.Errorf("core: shard %d out of range for %d shards", o.ShardIndex, o.ShardCount)
+		}
+		shard := mutants[:0:0]
+		for i, m := range mutants {
+			if i%o.ShardCount == o.ShardIndex {
+				shard = append(shard, m)
+			}
+		}
+		mutants = shard
 	}
 	exec := o.Exec
 	if exec.Providers == nil {

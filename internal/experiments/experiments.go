@@ -55,11 +55,11 @@ type Config struct {
 	// with or without them.
 	Trace   *obs.Tracer
 	Metrics *obs.Metrics
-	// Store, when non-nil, is the content-addressed verdict store: mutant
+	// Store, when enabled, is the content-addressed verdict store: mutant
 	// verdicts from earlier campaigns over the same (spec, suite, mutant,
 	// seed, options) replay without re-execution. Warm runs produce
 	// byte-identical tables; only the wall clock changes.
-	Store *store.Store
+	Store store.Backend
 }
 
 // exec builds the campaign's execution options from the frozen config.

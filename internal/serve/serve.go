@@ -92,6 +92,14 @@ type Request struct {
 	Pool bool `json:"pool,omitempty"`
 	// PoolSize bounds the warm worker pool (0 = the server's parallelism).
 	PoolSize int `json:"poolSize,omitempty"`
+	// Distributed splits the campaign's mutants into shards leased to
+	// remote `concat work` processes over /work/lease; the coordinator
+	// merges by re-running warm against the shared verdict store, so the
+	// report and coverage artifact are byte-identical to a single-process
+	// run. Requires the server to have a store configured.
+	Distributed bool `json:"distributed,omitempty"`
+	// Shards is the shard count of a distributed campaign (default 2).
+	Shards int `json:"shards,omitempty"`
 }
 
 // genOptions resolves the request's generation knobs to driver options.
@@ -114,6 +122,31 @@ func (r Request) genOptions() driver.Options {
 		MaxAlternatives:    alt,
 		Enum:               tfm.EnumOptions{LoopBound: lb},
 	}
+}
+
+// execOptions resolves the request's execution knobs. Both the
+// coordinator's local path and remote shard workers build from this same
+// base, and everything layered on top afterwards (tracing, metrics,
+// parallelism) is determinism-neutral and outside the verdict-store
+// fingerprint — which is what lets a worker's cache keys match the
+// coordinator's exactly.
+func (r Request) execOptions() testexec.Options {
+	var o testexec.Options
+	if r.Pool {
+		o.Isolation = testexec.IsolatePool
+		o.PoolSize = r.PoolSize
+	} else if r.Isolate {
+		o.Isolation = testexec.IsolateSubprocess
+	}
+	return o
+}
+
+// shardCount resolves the shard count of a distributed request.
+func (r Request) shardCount() int {
+	if r.Shards > 0 {
+		return r.Shards
+	}
+	return 2
 }
 
 // Job states.
@@ -292,6 +325,10 @@ type Status struct {
 	// transactions 4/4 (100.0%), ..."), present once the campaign finished.
 	Coverage string `json:"coverage,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// Shards/ShardsDone report a running distributed campaign's shard
+	// progress; both zero for local campaigns and once the job is terminal.
+	Shards     int `json:"shards,omitempty"`
+	ShardsDone int `json:"shardsDone,omitempty"`
 }
 
 // Status snapshots the job.
@@ -330,9 +367,13 @@ func (j *Job) statusLocked() Status {
 
 // Config tunes the campaign service.
 type Config struct {
-	// Store, when non-nil, is the shared verdict cache threaded into every
+	// Store, when enabled, is the shared verdict cache threaded into every
 	// campaign, making warm resubmissions re-execute only changed mutants.
-	Store *store.Store
+	// Any store.Backend works; a RawBackend additionally gets the
+	// remote-store endpoints (/store/{id}) mounted on the handler so
+	// remote workers can share this node's cache. Distributed campaigns
+	// require an enabled store.
+	Store store.Backend
 	// Journal, when non-nil, is the write-ahead job journal: submissions
 	// are journaled before they become runnable, every state transition is
 	// recorded, and New replays pending/running records into the queue.
@@ -353,6 +394,11 @@ type Config struct {
 	// still running past its lease is presumed wedged: the job is reclaimed
 	// and retried, and the stale attempt's eventual result is discarded.
 	Lease time.Duration
+	// ShardLease bounds one worker's lease on one shard of a distributed
+	// campaign (default DefaultShardLease). A shard not completed within
+	// its lease is reclaimed and re-leased to the next worker that asks,
+	// with the stale worker's late completion rejected by epoch.
+	ShardLease time.Duration
 	// TraceBuffer caps each job's retained NDJSON trace replay buffer in
 	// bytes (0 = the 16 MiB default, negative = unbounded). A client that
 	// subscribes after the cap dropped data receives an explicit truncation
@@ -409,6 +455,14 @@ func (c Config) lease() time.Duration {
 	return DefaultLease
 }
 
+// shardLease resolves Config.ShardLease to its default.
+func (c Config) shardLease() time.Duration {
+	if c.ShardLease > 0 {
+		return c.ShardLease
+	}
+	return DefaultShardLease
+}
+
 // backoffDelay is the deterministic capped exponential backoff slept before
 // re-enqueueing a job whose attempt'th try failed — sandbox.Retry's
 // jitter-free doubling, applied at the job level.
@@ -446,6 +500,15 @@ type Server struct {
 	nReclaims       atomic.Int64
 	nRetries        atomic.Int64
 	nQuarantined    atomic.Int64
+
+	// Distributed-campaign counters (work.go).
+	nShardLeases   atomic.Int64
+	nShardReclaims atomic.Int64
+
+	// workMu guards the shard sets of in-flight distributed campaigns,
+	// appended in job order so /work/lease serves older campaigns first.
+	workMu    sync.Mutex
+	shardSets []*shardSet
 
 	// campaign executes one job's analysis; tests substitute a stub to pin
 	// workers at a controlled point. Set before the first Submit.
@@ -589,6 +652,12 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	if _, err := core.LookupTarget(req.Component); err != nil {
 		return nil, err
 	}
+	if req.Shards < 0 {
+		return nil, fmt.Errorf("serve: negative shard count %d", req.Shards)
+	}
+	if req.Distributed && !store.Enabled(s.cfg.Store) {
+		return nil, errors.New("serve: distributed campaigns require a verdict store (start the coordinator with a cache directory)")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -730,10 +799,15 @@ func (s *Server) recordDuration(d time.Duration) {
 	s.mu.Unlock()
 }
 
+// maxRetryAfterSeconds caps the Retry-After estimate: past five minutes
+// the number is a queue-health signal, not a schedule, and a well-behaved
+// client honoring a multi-hour value would effectively never retry.
+const maxRetryAfterSeconds = 300
+
 // retryAfterSeconds estimates when a rejected client should retry: the
 // current queue depth times the mean recent job duration, divided across
-// the workers, floored at one second. With no completed jobs yet the floor
-// is the estimate.
+// the workers, floored at one second and capped at maxRetryAfterSeconds.
+// With no completed jobs yet the floor is the estimate.
 func (s *Server) retryAfterSeconds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -746,7 +820,13 @@ func (s *Server) retryAfterSeconds() int {
 		mean = sum / time.Duration(len(s.durs))
 	}
 	pending := s.queued
-	secs := int(math.Ceil(float64(pending) * mean.Seconds() / float64(s.cfg.Workers)))
+	// Compare before converting: a deep queue of slow campaigns can push
+	// the float estimate past integer range.
+	estimate := math.Ceil(float64(pending) * mean.Seconds() / float64(s.cfg.Workers))
+	if estimate >= maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	secs := int(estimate)
 	if secs < 1 {
 		secs = 1
 	}
@@ -896,7 +976,21 @@ func (s *Server) retryOrQuarantine(j *Job, attempt int, cause string) {
 	}()
 }
 
+// runCampaign executes one job, dispatching distributed submissions to the
+// shard coordinator (work.go) and everything else to the local path.
 func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
+	if j.Req.Distributed {
+		return s.runDistributed(j)
+	}
+	return s.runLocal(j)
+}
+
+// runLocal is the single-process campaign path. It doubles as the
+// deterministic merge of a distributed campaign: once every shard has
+// published its verdicts into the shared store, this same code re-runs the
+// full campaign warm — all cache hits — and renders the byte-identical
+// report and coverage artifact a single process would have produced.
+func (s *Server) runLocal(j *Job) (*analysis.Result, []byte, error) {
 	t, err := core.LookupTarget(j.Req.Component)
 	if err != nil {
 		return nil, nil, err
@@ -905,13 +999,9 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	exec := testexec.Options{Trace: obs.NewTracer(j.trace), Metrics: s.metrics}
-	if j.Req.Pool {
-		exec.Isolation = testexec.IsolatePool
-		exec.PoolSize = j.Req.PoolSize
-	} else if j.Req.Isolate {
-		exec.Isolation = testexec.IsolateSubprocess
-	}
+	exec := j.Req.execOptions()
+	exec.Trace = obs.NewTracer(j.trace)
+	exec.Metrics = s.metrics
 	res, err := core.MutationRunOpts(j.Req.Component, suite, j.Req.Methods, nil, core.MutationOptions{
 		Exec:        exec,
 		Parallelism: s.cfg.Parallelism,
@@ -953,6 +1043,11 @@ func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
 //	GET  /campaigns/{id}/report   rendered table + coverage summary (blocks until done)
 //	GET  /campaigns/{id}/coverage canonical coverage artifact JSON (blocks until done)
 //	GET  /campaigns/{id}/events   live NDJSON trace stream (replays from the start)
+//	POST /work/lease           lease one shard of a distributed campaign (204 when none)
+//	POST /work/{id}/shards/{shard} report a leased shard's completion
+//	GET  /store/{id}           verdict-store entry document (RawBackend stores only)
+//	PUT  /store/{id}           publish a verified entry document
+//	GET  /store                store entry counts and lookup stats
 //	GET  /metrics              Prometheus text-format metrics
 //	GET  /healthz              liveness
 //	     /debug/pprof/...      net/http/pprof (only with Config.EnablePprof)
@@ -968,6 +1063,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /campaigns/{id}/coverage", s.handleCoverage)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
+	mux.HandleFunc("POST /work/lease", s.handleWorkLease)
+	mux.HandleFunc("POST /work/{id}/shards/{shard}", s.handleShardDone)
+	if rb, ok := s.cfg.Store.(store.RawBackend); ok && store.Enabled(s.cfg.Store) {
+		sh := store.NewHandler(rb)
+		mux.Handle("GET /store", sh)
+		mux.Handle("GET /store/{id}", sh)
+		mux.Handle("PUT /store/{id}", sh)
+	}
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -1015,14 +1118,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusAccepted, j.Status())
+	writeJSON(w, http.StatusAccepted, s.status(j))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	jobs := s.Jobs()
 	statuses := make([]Status, 0, len(jobs))
 	for _, j := range jobs {
-		statuses = append(statuses, j.Status())
+		statuses = append(statuses, s.status(j))
 	}
 	writeJSON(w, http.StatusOK, statuses)
 }
@@ -1037,7 +1140,7 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	if j, ok := s.lookup(w, r); ok {
-		writeJSON(w, http.StatusOK, j.Status())
+		writeJSON(w, http.StatusOK, s.status(j))
 	}
 }
 
@@ -1105,10 +1208,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
-	stats := s.cfg.Store.Stats()
+	stats := store.BackendStats(s.cfg.Store)
 	fmt.Fprintf(&b, "# TYPE concat_store_hits_total counter\nconcat_store_hits_total %d\n", stats.Hits)
 	fmt.Fprintf(&b, "# TYPE concat_store_misses_total counter\nconcat_store_misses_total %d\n", stats.Misses)
 	fmt.Fprintf(&b, "# TYPE concat_store_quarantined_total counter\nconcat_store_quarantined_total %d\n", stats.Quarantined)
+	fmt.Fprintf(&b, "# TYPE concat_shard_leases_total counter\nconcat_shard_leases_total %d\n", s.nShardLeases.Load())
+	fmt.Fprintf(&b, "# TYPE concat_shard_reclaims_total counter\nconcat_shard_reclaims_total %d\n", s.nShardReclaims.Load())
 	fmt.Fprintf(&b, "# TYPE concat_journal_replayed_total counter\nconcat_journal_replayed_total %d\n", s.nReplayed.Load())
 	fmt.Fprintf(&b, "# TYPE concat_journal_corrupt_total counter\nconcat_journal_corrupt_total %d\n", s.nJournalCorrupt.Load())
 	fmt.Fprintf(&b, "# TYPE concat_lease_reclaims_total counter\nconcat_lease_reclaims_total %d\n", s.nReclaims.Load())
@@ -1161,6 +1266,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	flusher, _ := w.(http.Flusher)
+	// Flush the headers before waiting on the trace: a subscriber to a
+	// just-submitted, still-quiet campaign must see the 200 and content
+	// type immediately, not whenever the first span happens to land.
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
 	off := 0
 	for {
 		chunk, next, more := j.trace.Next(off, r.Context().Done())

@@ -1,0 +1,169 @@
+// The shared backend conformance suite: every Backend implementation —
+// filesystem, in-memory, and the HTTP remote client over each of them —
+// must satisfy the same observable contract (round-trip, counted clean
+// misses, overwrite, key independence, Len, Enabled). New backends join by
+// adding one constructor line.
+
+package store
+
+import (
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// conformanceBackends enumerates every shipped backend; make returns a
+// fresh, empty instance per subtest.
+func conformanceBackends(t *testing.T) []struct {
+	name string
+	make func(t *testing.T) Backend
+} {
+	t.Helper()
+	openFS := func(t *testing.T) Backend {
+		s, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	remoteOver := func(raw func(t *testing.T) RawBackend) func(t *testing.T) Backend {
+		return func(t *testing.T) Backend {
+			ts := httptest.NewServer(NewHandler(raw(t)))
+			t.Cleanup(ts.Close)
+			return NewRemote(ts.URL, nil)
+		}
+	}
+	return []struct {
+		name string
+		make func(t *testing.T) Backend
+	}{
+		{"fs", openFS},
+		{"mem", func(t *testing.T) Backend { return NewMem() }},
+		{"remote-over-mem", remoteOver(func(t *testing.T) RawBackend { return NewMem() })},
+		{"remote-over-fs", remoteOver(func(t *testing.T) RawBackend {
+			s, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		})},
+	}
+}
+
+func TestBackendConformance(t *testing.T) {
+	for _, be := range conformanceBackends(t) {
+		be := be
+		t.Run(be.name, func(t *testing.T) {
+			t.Run("RoundTrip", func(t *testing.T) {
+				b := be.make(t)
+				want := Verdict{Killed: true, Reason: 3, KillingCase: "c2", Reached: true, Infected: true}
+				if err := b.Put(testKey("m1"), want); err != nil {
+					t.Fatal(err)
+				}
+				var got Verdict
+				ok, err := b.Get(testKey("m1"), &got)
+				if err != nil || !ok {
+					t.Fatalf("Get after Put = (%v, %v), want hit", ok, err)
+				}
+				if got != want {
+					t.Errorf("round-trip verdict = %+v, want %+v", got, want)
+				}
+				if st := b.Stats(); st.Hits != 1 || st.Misses != 0 {
+					t.Errorf("stats after one hit = %+v", st)
+				}
+			})
+			t.Run("CleanMissCounted", func(t *testing.T) {
+				b := be.make(t)
+				var v Verdict
+				ok, err := b.Get(testKey("absent"), &v)
+				if err != nil || ok {
+					t.Fatalf("Get on empty backend = (%v, %v), want clean miss", ok, err)
+				}
+				if st := b.Stats(); st.Misses != 1 || st.Hits != 0 || st.Quarantined != 0 {
+					t.Errorf("stats after one miss = %+v", st)
+				}
+			})
+			t.Run("Overwrite", func(t *testing.T) {
+				b := be.make(t)
+				if err := b.Put(testKey("m1"), Verdict{Killed: false}); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Put(testKey("m1"), Verdict{Killed: true, Reason: 1}); err != nil {
+					t.Fatal(err)
+				}
+				var got Verdict
+				if ok, err := b.Get(testKey("m1"), &got); err != nil || !ok {
+					t.Fatalf("Get = (%v, %v)", ok, err)
+				}
+				if !got.Killed || got.Reason != 1 {
+					t.Errorf("overwrite not visible: %+v", got)
+				}
+				if entries, _, err := b.Len(); err != nil || entries != 1 {
+					t.Errorf("Len after overwrite = (%d, %v), want 1 entry", entries, err)
+				}
+			})
+			t.Run("KeysIndependent", func(t *testing.T) {
+				b := be.make(t)
+				if err := b.Put(testKey("m1"), Verdict{Killed: true}); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Put(testKey("m2"), Verdict{Killed: false, Reached: true}); err != nil {
+					t.Fatal(err)
+				}
+				var v1, v2 Verdict
+				if ok, _ := b.Get(testKey("m1"), &v1); !ok || !v1.Killed {
+					t.Errorf("m1 = (%v, %+v)", ok, v1)
+				}
+				if ok, _ := b.Get(testKey("m2"), &v2); !ok || v2.Killed || !v2.Reached {
+					t.Errorf("m2 = (%v, %+v)", ok, v2)
+				}
+				if entries, skipped, err := b.Len(); err != nil || entries != 2 || skipped != 0 {
+					t.Errorf("Len = (%d, %d, %v), want (2, 0, nil)", entries, skipped, err)
+				}
+			})
+			t.Run("ArbitraryPayload", func(t *testing.T) {
+				// The store also caches whole suite reports: any
+				// JSON-encodable payload must round-trip, not just Verdict.
+				b := be.make(t)
+				type payload struct {
+					Name  string   `json:"name"`
+					Cases []string `json:"cases"`
+					N     int      `json:"n"`
+				}
+				want := payload{Name: "suite", Cases: []string{"a", "b"}, N: 7}
+				k := testKey("")
+				k.Kind = KindSuiteReport
+				if err := b.Put(k, want); err != nil {
+					t.Fatal(err)
+				}
+				var got payload
+				if ok, err := b.Get(k, &got); err != nil || !ok {
+					t.Fatalf("Get = (%v, %v)", ok, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("payload round-trip = %+v, want %+v", got, want)
+				}
+			})
+			t.Run("Enabled", func(t *testing.T) {
+				if b := be.make(t); !Enabled(b) {
+					t.Error("a constructed backend must report Enabled")
+				}
+			})
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if Enabled(nil) {
+		t.Error("Enabled(nil) = true")
+	}
+	if Enabled((*Store)(nil)) {
+		t.Error("Enabled(typed-nil *Store) = true — the disabled cache leaked through the interface")
+	}
+	if !Enabled(NewMem()) {
+		t.Error("Enabled(NewMem()) = false")
+	}
+	if st := BackendStats((*Store)(nil)); st != (Stats{}) {
+		t.Errorf("BackendStats on disabled store = %+v", st)
+	}
+}

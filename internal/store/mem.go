@@ -1,0 +1,124 @@
+// The in-memory backend: the same verified entry documents the filesystem
+// store persists, held in a map. It is the test double for campaign code
+// that needs a real (counting, integrity-checking) store without touching
+// disk, and the smallest thing NewHandler can serve a warm cache from.
+
+package store
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+)
+
+// Mem is a map-backed Backend. All methods are safe for concurrent use.
+// Unlike *Store, the zero value is not disabled — use NewMem.
+type Mem struct {
+	mu      sync.RWMutex
+	entries map[string][]byte
+
+	hits, misses atomic.Int64
+	quarantined  atomic.Int64
+	skipped      atomic.Int64
+}
+
+// NewMem returns an empty in-memory backend.
+func NewMem() *Mem {
+	return &Mem{entries: make(map[string][]byte)}
+}
+
+// Get looks the key up, decoding the stored payload into out on a hit. A
+// document failing integrity (possible only through in-process tampering,
+// but checked for parity with the other backends) is dropped, counted as
+// quarantined, and read as a clean miss.
+func (m *Mem) Get(k Key, out any) (bool, error) {
+	id, err := k.ID()
+	if err != nil {
+		return false, err
+	}
+	m.mu.RLock()
+	doc, ok := m.entries[id]
+	m.mu.RUnlock()
+	if !ok {
+		m.misses.Add(1)
+		return false, nil
+	}
+	if e, err := decodeEntry(id, doc); err == nil {
+		if err := json.Unmarshal(e.Value, out); err == nil {
+			m.hits.Add(1)
+			return true, nil
+		}
+	}
+	m.quarantine(id)
+	return false, nil
+}
+
+// quarantine drops a corrupt document. Like the filesystem backend,
+// concurrent readers of the same corrupt entry count one quarantine total
+// (the deleter wins) but one miss each.
+func (m *Mem) quarantine(id string) {
+	m.mu.Lock()
+	if _, still := m.entries[id]; still {
+		delete(m.entries, id)
+		m.quarantined.Add(1)
+		m.skipped.Add(1)
+	}
+	m.mu.Unlock()
+	m.misses.Add(1)
+}
+
+// Put stores the value under the key, overwriting any previous entry.
+func (m *Mem) Put(k Key, value any) error {
+	id, doc, err := encodeEntry(k, value)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.entries[id] = doc
+	m.mu.Unlock()
+	return nil
+}
+
+// GetRaw returns the verified entry document for a content address.
+func (m *Mem) GetRaw(id string) ([]byte, bool, error) {
+	m.mu.RLock()
+	doc, ok := m.entries[id]
+	m.mu.RUnlock()
+	if !ok {
+		m.misses.Add(1)
+		return nil, false, nil
+	}
+	if _, err := decodeEntry(id, doc); err != nil {
+		m.quarantine(id)
+		return nil, false, nil
+	}
+	m.hits.Add(1)
+	return doc, true, nil
+}
+
+// PutRaw verifies the document against its content address and stores it
+// verbatim.
+func (m *Mem) PutRaw(id string, doc []byte) error {
+	if _, err := decodeEntry(id, doc); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.entries[id] = doc
+	m.mu.Unlock()
+	return nil
+}
+
+// Len counts stored entries; skipped counts documents dropped by
+// quarantine (mirroring the filesystem store, where renamed-aside .corrupt
+// files show up as skipped).
+func (m *Mem) Len() (entries, skipped int, err error) {
+	m.mu.RLock()
+	entries = len(m.entries)
+	m.mu.RUnlock()
+	return entries, int(m.skipped.Load()), nil
+}
+
+// Stats snapshots the lookup counters.
+func (m *Mem) Stats() Stats {
+	return Stats{Hits: m.hits.Load(), Misses: m.misses.Load(), Quarantined: m.quarantined.Load()}
+}

@@ -1,0 +1,164 @@
+// Remote-store protocol tests: both ends of the wire verify integrity, a
+// remote write lands byte-identical to a local one, and a corrupt or lying
+// server degrades to counted misses instead of wrong verdicts.
+
+package store
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+func newRemotePair(t *testing.T) (*Store, *Remote) {
+	t.Helper()
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(fs))
+	t.Cleanup(ts.Close)
+	return fs, NewRemote(ts.URL, nil)
+}
+
+// TestRemotePutWritesLocalBytes is the shared-store property distributed
+// campaigns lean on: an entry published over the wire is byte-identical to
+// the file a local Put of the same (key, value) would have written, so a
+// store written by a fleet diffs clean against one written by a single
+// process.
+func TestRemotePutWritesLocalBytes(t *testing.T) {
+	serverFS, remote := newRemotePair(t)
+	v := Verdict{Killed: true, Reason: 2, KillingCase: "c1", Reached: true, Infected: true}
+	if err := remote.Put(testKey("m1"), v); err != nil {
+		t.Fatal(err)
+	}
+
+	localFS, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := localFS.Put(testKey("m1"), v); err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := testKey("m1").ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaWire, err := os.ReadFile(serverFS.path(id))
+	if err != nil {
+		t.Fatalf("remote put left no entry file: %v", err)
+	}
+	viaLocal, err := os.ReadFile(localFS.path(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(viaWire, viaLocal) {
+		t.Errorf("remote-written entry differs from local write:\nremote: %s\nlocal:  %s", viaWire, viaLocal)
+	}
+}
+
+func TestRemoteGetServesPeerEntries(t *testing.T) {
+	serverFS, remote := newRemotePair(t)
+	want := Verdict{Killed: true, Reason: 5, Reached: true, Infected: true}
+	if err := serverFS.Put(testKey("m1"), want); err != nil {
+		t.Fatal(err)
+	}
+	var got Verdict
+	ok, err := remote.Get(testKey("m1"), &got)
+	if err != nil || !ok {
+		t.Fatalf("remote Get = (%v, %v), want hit", ok, err)
+	}
+	if got != want {
+		t.Errorf("remote Get = %+v, want %+v", got, want)
+	}
+	if st := remote.Stats(); st.Hits != 1 {
+		t.Errorf("client stats = %+v", st)
+	}
+	// The serving backend counted the raw read too.
+	if st := serverFS.Stats(); st.Hits != 1 {
+		t.Errorf("server stats = %+v", st)
+	}
+}
+
+// TestRemoteQuarantinesLyingServer: a server that answers 200 with a
+// document failing integrity verification must read as a counted miss —
+// the client re-executes rather than trusting the bytes.
+func TestRemoteQuarantinesLyingServer(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"key":{"kind":"mutant-verdict"},"sum":"bogus","value":{}}`))
+	}))
+	t.Cleanup(ts.Close)
+	remote := NewRemote(ts.URL, nil)
+	var v Verdict
+	ok, err := remote.Get(testKey("m1"), &v)
+	if err != nil || ok {
+		t.Fatalf("Get from lying server = (%v, %v), want clean miss", ok, err)
+	}
+	if st := remote.Stats(); st.Quarantined != 1 || st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("stats after lying server = %+v, want 1 quarantine + 1 miss", st)
+	}
+}
+
+// TestRemoteServerErrorIsError: a 500 (or unreachable peer) must surface
+// as an error, not a silent miss — re-executing against a dead shared
+// store would fork the fleet's view of the campaign.
+func TestRemoteServerErrorIsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	remote := NewRemote(ts.URL, nil)
+	var v Verdict
+	if ok, err := remote.Get(testKey("m1"), &v); err == nil || ok {
+		t.Errorf("Get against 500 server = (%v, %v), want error", ok, err)
+	}
+	if err := remote.Put(testKey("m1"), Verdict{}); err == nil {
+		t.Error("Put against 500 server succeeded")
+	}
+}
+
+// TestHandlerRejectsCorruptPut: the server half verifies before storing,
+// so a buggy or malicious writer cannot poison a shared store.
+func TestHandlerRejectsCorruptPut(t *testing.T) {
+	serverFS, _ := newRemotePair(t)
+	id, err := testKey("m1").ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewHandler(serverFS))
+	t.Cleanup(ts.Close)
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/store/"+id, strings.NewReader(`{"key":{"kind":"mutant-verdict"},"sum":"x","value":{}}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("PUT of corrupt document = HTTP %d, want 400", resp.StatusCode)
+	}
+	if entries, _, _ := serverFS.Len(); entries != 0 {
+		t.Errorf("corrupt PUT landed %d entries", entries)
+	}
+}
+
+func TestRemoteLen(t *testing.T) {
+	serverFS, remote := newRemotePair(t)
+	for _, m := range []string{"m1", "m2", "m3"} {
+		if err := serverFS.Put(testKey(m), Verdict{Killed: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, skipped, err := remote.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries != 3 || skipped != 0 {
+		t.Errorf("remote Len = (%d, %d), want (3, 0)", entries, skipped)
+	}
+}

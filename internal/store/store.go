@@ -159,18 +159,8 @@ func (s *Store) Get(k Key, out any) (bool, error) {
 		s.misses.Add(1)
 		return false, err
 	}
-	var e entry
-	if err := json.Unmarshal(raw, &e); err != nil {
-		s.quarantine(id)
-		return false, nil
-	}
-	keyID, err := e.Key.ID()
-	if err != nil || keyID != id {
-		s.quarantine(id)
-		return false, nil
-	}
-	sum, err := canon.HashRaw(e.Value)
-	if err != nil || sum != e.Sum {
+	e, err := decodeEntry(id, raw)
+	if err != nil {
 		s.quarantine(id)
 		return false, nil
 	}
@@ -182,17 +172,46 @@ func (s *Store) Get(k Key, out any) (bool, error) {
 	return true, nil
 }
 
-// quarantine renames a corrupt entry aside (best effort), evicts it from
-// the in-memory cache, and counts the event as both a quarantine and a
-// miss — the caller re-executes and re-stores as if the entry never
-// existed.
+// GetRaw returns the verified entry document for a content address — the
+// raw half of the remote-store protocol. Counting and quarantine behave
+// exactly like Get: a corrupt entry is renamed aside and read as a miss.
+func (s *Store) GetRaw(id string) ([]byte, bool, error) {
+	if s == nil {
+		return nil, false, nil
+	}
+	if !isEntryID(id) {
+		return nil, false, fmt.Errorf("store: malformed entry id %q", id)
+	}
+	raw, err := s.load(id)
+	if err != nil {
+		s.misses.Add(1)
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	if _, err := decodeEntry(id, raw); err != nil {
+		s.quarantine(id)
+		return nil, false, nil
+	}
+	s.hits.Add(1)
+	return raw, true, nil
+}
+
+// quarantine renames a corrupt entry aside and evicts it from the
+// in-memory cache; the caller re-executes and re-stores as if the entry
+// never existed. Concurrent readers of the same corrupt entry race to the
+// same .corrupt name: exactly one rename succeeds, so only that winner
+// counts the quarantine — the losers' failed renames are non-fatal and
+// uncounted. Every caller still counts its own miss.
 func (s *Store) quarantine(id string) {
 	s.mu.Lock()
 	delete(s.mem, id)
 	s.mu.Unlock()
 	path := s.path(id)
-	_ = os.Rename(path, path+".corrupt")
-	s.quarantined.Add(1)
+	if os.Rename(path, path+".corrupt") == nil {
+		s.quarantined.Add(1)
+	}
 	s.misses.Add(1)
 }
 
@@ -220,23 +239,32 @@ func (s *Store) Put(k Key, value any) error {
 	if s == nil {
 		return nil
 	}
-	id, err := k.ID()
+	id, doc, err := encodeEntry(k, value)
 	if err != nil {
 		return err
 	}
-	rawVal, err := canon.Marshal(value)
-	if err != nil {
-		return fmt.Errorf("store: encoding value for %s: %w", id, err)
+	return s.writeDoc(id, doc)
+}
+
+// PutRaw verifies a ready-made entry document against its content address
+// and writes it verbatim — remote writers pass the same integrity gate
+// that local Put output satisfies by construction, so a shared store can
+// never be poisoned over the wire.
+func (s *Store) PutRaw(id string, doc []byte) error {
+	if s == nil {
+		return nil
 	}
-	sum, err := canon.HashRaw(rawVal)
-	if err != nil {
-		return fmt.Errorf("store: hashing value for %s: %w", id, err)
+	if !isEntryID(id) {
+		return fmt.Errorf("store: malformed entry id %q", id)
 	}
-	doc, err := canon.Marshal(entry{Key: k, Sum: sum, Value: rawVal})
-	if err != nil {
-		return fmt.Errorf("store: encoding entry %s: %w", id, err)
+	if _, err := decodeEntry(id, doc); err != nil {
+		return err
 	}
-	doc = append(doc, '\n')
+	return s.writeDoc(id, doc)
+}
+
+// writeDoc durably lands an entry document under its content address.
+func (s *Store) writeDoc(id string, doc []byte) error {
 	path := s.path(id)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -300,17 +328,7 @@ func (s *Store) Len() (entries, skipped int, err error) {
 // 64-hex content address plus ".json".
 func isEntryName(name string) bool {
 	const hexLen = 64
-	if len(name) != hexLen+len(".json") || name[hexLen:] != ".json" {
-		return false
-	}
-	for _, c := range name[:hexLen] {
-		switch {
-		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
-		default:
-			return false
-		}
-	}
-	return true
+	return len(name) == hexLen+len(".json") && name[hexLen:] == ".json" && isEntryID(name[:hexLen])
 }
 
 // Stats snapshots the hit/miss counters (zero on a nil store).

@@ -370,3 +370,63 @@ func TestLenSkipsForeignAndCorruptFiles(t *testing.T) {
 		t.Errorf("Len skipped = %d, want 4", skipped)
 	}
 }
+
+// TestConcurrentQuarantineCountedOnce pins the racing-readers bugfix: many
+// readers hitting the same corrupt entry all miss, but exactly one wins
+// the rename to the shared .corrupt name and only that winner counts the
+// quarantine. Run under -race in CI.
+func TestConcurrentQuarantineCountedOnce(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey("m1")
+	if err := s.Put(k, Verdict{Killed: true}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := k.ID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, id[:2], id+".json")
+	if err := os.WriteFile(path, []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh store re-reads disk; all readers race on the corrupt entry.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const readers = 16
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			var v Verdict
+			if ok, err := s2.Get(k, &v); ok || err != nil {
+				t.Errorf("racing reader: Get = %v, %v; want clean miss", ok, err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	st := s2.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("one corrupt entry quarantined %d times by %d racing readers, want exactly 1", st.Quarantined, readers)
+	}
+	if st.Misses != readers {
+		t.Errorf("misses = %d, want one per reader (%d)", st.Misses, readers)
+	}
+	if st.Hits != 0 {
+		t.Errorf("hits = %d, want 0", st.Hits)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Errorf("corrupt entry was not renamed aside: %v", err)
+	}
+}
