@@ -54,8 +54,9 @@
 // # Exit codes
 //
 // concat exits 0 on success, 1 on any usage or execution error, and 2 when
-// a mutation campaign (mutate, or submit -wait) completes but at least one
-// non-equivalent mutant survived the test set — distinguishing "the tool
+// a campaign completes but its verdict is bad: a mutation campaign (mutate,
+// or submit -wait) with surviving non-equivalent mutants, or an impact
+// re-run whose final report has failing cases — distinguishing "the tool
 // failed" from "the test set is inadequate" for CI pipelines.
 package main
 
@@ -79,6 +80,8 @@ import (
 	"concat/internal/core"
 	"concat/internal/cover"
 	"concat/internal/driver"
+	"concat/internal/impact"
+	"concat/internal/mutation"
 	"concat/internal/obs"
 	"concat/internal/sandbox"
 	"concat/internal/serve"
@@ -92,6 +95,10 @@ import (
 // completion, but the test set failed to kill every non-equivalent mutant.
 var errSurvivors = errors.New("mutants survived")
 
+// errCasesFailed is the impact-side face of exit code 2: the partitioned
+// re-run completed, but some of the final report's cases did not pass.
+var errCasesFailed = errors.New("test cases failed")
+
 func main() {
 	// When the executor re-executes this binary as a case server (the
 	// ServerEnv sentinel is set), serve the one case and exit before any
@@ -99,7 +106,7 @@ func main() {
 	core.MaybeServeCase()
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "concat:", err)
-		if errors.Is(err, errSurvivors) {
+		if errors.Is(err, errSurvivors) || errors.Is(err, errCasesFailed) {
 			os.Exit(2)
 		}
 		os.Exit(1)
@@ -151,6 +158,10 @@ func run(args []string, w io.Writer) error {
 		return cmdTraceValidate(rest, w)
 	case "cover":
 		return cmdCover(rest, w)
+	case "impact":
+		return cmdImpact(rest, w)
+	case "spec":
+		return cmdSpec(rest, w)
 	case "serve":
 		return cmdServe(rest, w)
 	case "submit":
@@ -193,7 +204,9 @@ subcommands:
   mutate     evaluate a test set by interface mutation (Table 1 operators)
   emit       emit a standalone Go driver source for a suite
   trace-validate  check an NDJSON trace file (or - for stdin) against the span schema
-  cover      render a stored coverage artifact as tables or a DOT heatmap
+  cover      render a stored coverage artifact (or - for stdin) as tables or a DOT heatmap
+  impact     diff two t-spec revisions and re-run only the invalidated cases
+  spec       export a t-spec (built-in or file) as canonical JSON
   serve      run the campaign service: an HTTP/JSON API over a job queue
   submit     submit a campaign to a running service (add -wait for the report)
   status     query a running service for campaign statuses
@@ -235,14 +248,48 @@ identical campaigns write identical artifact bytes. The service exposes the
 same artifact at /campaigns/{id}/coverage, live Prometheus metrics at
 /metrics, and (with -pprof) net/http/pprof under /debug/pprof/.
 
+impact -old A -new B diffs two revisions of a component's t-spec (either
+notation; at most one may be - for stdin), computes the invalidated cases,
+executes only those, and replays the rest byte-identically from the
+-cache-dir verdict store; the final report and -cover artifact match a cold
+full run on the new spec. -json prints the canonical impact artifact
+(kept/re-run/regenerated counts, per-transaction reasons, cache accounting)
+instead of the table; -artifact and -report save the artifact and the final
+suite report to files. `+"`concat spec`"+` exports a built-in component's
+embedded t-spec as the JSON that impact, gen and validate accept.
+
 exit codes: 0 success; 1 error; 2 campaign finished but non-equivalent
-mutants survived (mutate, submit -wait).`)
+mutants survived (mutate, submit -wait) or an impact re-run's final report
+has failing cases (impact).`)
 }
 
+// loadSpecFile reads a t-spec in either notation: the textual form of
+// Figure 3, or the canonical JSON wire form (`concat spec` output) —
+// detected by the leading byte.
 func loadSpecFile(path string) (*tspec.Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("reading spec: %w", err)
+	}
+	return parseSpecBytes(data)
+}
+
+// loadSpecArg is loadSpecFile with the stdin convention: "-" reads the spec
+// from standard input.
+func loadSpecArg(path string) (*tspec.Spec, error) {
+	if path != "-" {
+		return loadSpecFile(path)
+	}
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		return nil, fmt.Errorf("reading spec from stdin: %w", err)
+	}
+	return parseSpecBytes(data)
+}
+
+func parseSpecBytes(data []byte) (*tspec.Spec, error) {
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		return tspec.LoadJSON(bytes.NewReader(trimmed))
 	}
 	s, err := tspec.Parse(string(data))
 	if err != nil {
@@ -1107,14 +1154,18 @@ func cmdCover(args []string, w io.Writer) error {
 		path = fs.Arg(0)
 	}
 	if path == "" {
-		return usageError("cover needs -artifact FILE (or a positional artifact path)")
+		return usageError("cover needs -artifact FILE or - (or a positional artifact path)")
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return fmt.Errorf("opening artifact: %w", err)
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return fmt.Errorf("opening artifact: %w", err)
+		}
+		defer f.Close()
+		r = f
 	}
-	defer f.Close()
-	art, err := cover.Load(f)
+	art, err := cover.Load(r)
 	if err != nil {
 		return err
 	}
@@ -1126,6 +1177,168 @@ func cmdCover(args []string, w io.Writer) error {
 		return art.WriteHeatmap(w, g)
 	}
 	return art.Render(w)
+}
+
+// cmdImpact is the test-impact analysis engine's CLI: diff two revisions of
+// a component's t-spec, execute only the cases the edit invalidates, and
+// replay everything else byte-identically from the verdict store. The final
+// report (and -cover artifact) are identical to a cold full run on the new
+// spec; the impact artifact records what was kept, re-run or regenerated
+// and why.
+func cmdImpact(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("impact", flag.ContinueOnError)
+	oldPath := fs.String("old", "", "old t-spec revision (text or JSON; - for stdin)")
+	newPath := fs.String("new", "", "new t-spec revision (text or JSON; - for stdin)")
+	component := fs.String("component", "", "built-in component to execute against (default: the new spec's class)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed verdict store backing warm replay")
+	parallel := fs.Int("parallel", 0, "concurrent case executions (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "print the canonical impact artifact instead of the table")
+	artifactPath := fs.String("artifact", "", "write the impact artifact JSON to this file")
+	coverPath := fs.String("cover", "", "write the final run's coverage artifact JSON to this file")
+	reportPath := fs.String("report", "", "write the final suite report text to this file")
+	gf := addGenFlags(fs)
+	sf := addSandboxFlags(fs)
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *oldPath == "" || *newPath == "" {
+		return usageError("impact needs -old FILE and -new FILE")
+	}
+	if *oldPath == "-" && *newPath == "-" {
+		return usageError("only one of -old/-new may read from stdin")
+	}
+	oldSpec, err := loadSpecArg(*oldPath)
+	if err != nil {
+		return fmt.Errorf("old spec: %w", err)
+	}
+	newSpec, err := loadSpecArg(*newPath)
+	if err != nil {
+		return fmt.Errorf("new spec: %w", err)
+	}
+	name := *component
+	if name == "" {
+		name = newSpec.Class.Name
+	}
+	t, err := core.LookupTarget(name)
+	if err != nil {
+		return err
+	}
+	st, err := openStore(*cacheDir)
+	if err != nil {
+		return err
+	}
+	session, err := of.session()
+	if err != nil {
+		return err
+	}
+	comp := t.New(nil)
+	r := &impact.Runner{
+		Factory:       comp.Factory,
+		Providers:     comp.Providers,
+		Gen:           gf.options(),
+		Exec:          session.apply(sf.apply(testexec.Options{})),
+		Store:         st,
+		Parallelism:   *parallel,
+		MutantMethods: mutantMethods(t),
+	}
+	res, err := r.Run(oldSpec, newSpec)
+	if cerr := session.close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("impact analysis of %q: %w", name, err)
+	}
+	if *jsonOut {
+		raw, err := res.Report.Encode()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(raw); err != nil {
+			return err
+		}
+	} else {
+		if err := res.Report.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s: %s\n", name, res.Suite.Stats())
+		printReport(w, res.Final)
+	}
+	if *artifactPath != "" {
+		raw, err := res.Report.Encode()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*artifactPath, raw, 0o644); err != nil {
+			return fmt.Errorf("writing impact artifact: %w", err)
+		}
+	}
+	if *coverPath != "" {
+		dst := w
+		if *jsonOut {
+			dst = io.Discard
+		}
+		if err := writeArtifact(res.Coverage, *coverPath, dst); err != nil {
+			return err
+		}
+	}
+	if *reportPath != "" {
+		var buf bytes.Buffer
+		printReport(&buf, res.Final)
+		if err := os.WriteFile(*reportPath, buf.Bytes(), 0o644); err != nil {
+			return fmt.Errorf("writing final report: %w", err)
+		}
+	}
+	if !res.Final.AllPassed() {
+		return fmt.Errorf("impact re-run: %d %w", len(res.Final.Failures()), errCasesFailed)
+	}
+	return nil
+}
+
+// mutantMethods enumerates the target's mutants (over its experiment
+// methods) and returns one method name per mutant, for the impact report's
+// mutant accounting. Components without instrumentation yield nil.
+func mutantMethods(t core.Target) []string {
+	if len(t.Sites) == 0 || len(t.ExperimentMethods) == 0 {
+		return nil
+	}
+	eng := mutation.NewEngine()
+	for _, s := range t.Sites {
+		if err := eng.RegisterSite(s); err != nil {
+			return nil
+		}
+	}
+	var out []string
+	for _, m := range eng.Enumerate(nil, t.ExperimentMethods) {
+		out = append(out, m.Method)
+	}
+	return out
+}
+
+// cmdSpec exports a t-spec — a built-in component's embedded one, or a
+// textual spec file — as the canonical JSON wire form that impact, gen,
+// validate and the service accept.
+func cmdSpec(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spec", flag.ContinueOnError)
+	component := fs.String("component", "", "built-in component name")
+	specPath := fs.String("spec", "", "t-spec file to convert")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec, err := resolveSpec(*component, *specPath)
+	if err != nil {
+		return err
+	}
+	dst, closeFn, err := outWriter(*out, w)
+	if err != nil {
+		return err
+	}
+	err = spec.SaveJSON(dst)
+	if cerr := closeFn(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // cmdServe runs the campaign service: an HTTP/JSON API over a bounded job

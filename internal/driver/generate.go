@@ -62,13 +62,19 @@ func Generate(spec *tspec.Spec, opts Options) (*Suite, error) {
 		return nil, fmt.Errorf("driver: generating for %q: %w", spec.Class.Name, err)
 	}
 
-	rng := domain.NewRand(opts.Seed)
 	suite := &Suite{
 		Component: spec.Class.Name,
 		Seed:      opts.Seed,
 		Criterion: opts.Criterion.String(),
 	}
 	for _, tr := range transactions {
+		// Each transaction draws from its own RNG stream, derived from the
+		// suite seed and the transaction's stable key. Sampling is therefore
+		// a function of the transaction alone: a spec edit that perturbs one
+		// transaction's domains (or adds/removes transactions) leaves every
+		// other transaction's cases byte-identical, which is what lets the
+		// impact engine replay unaffected work from the verdict store.
+		rng := domain.NewRand(domain.DeriveSeed(opts.Seed, "tx:"+tr.Key()))
 		combos, err := methodCombos(spec, tr, opts, rng)
 		if err != nil {
 			return nil, err

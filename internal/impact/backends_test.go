@@ -1,0 +1,119 @@
+package impact_test
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"concat/internal/impact"
+	"concat/internal/store"
+)
+
+// impactBackends mirrors the store package's conformance-suite pattern: the
+// impact engine must behave identically over every backend, including the
+// HTTP remote client at both ends of the wire.
+func impactBackends(t *testing.T) []struct {
+	name string
+	make func(t *testing.T) store.Backend
+} {
+	return []struct {
+		name string
+		make func(t *testing.T) store.Backend
+	}{
+		{"fs", func(t *testing.T) store.Backend {
+			st, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			return st
+		}},
+		{"mem", func(t *testing.T) store.Backend {
+			return store.NewMem()
+		}},
+		{"remote-over-mem", func(t *testing.T) store.Backend {
+			ts := httptest.NewServer(store.NewHandler(store.NewMem()))
+			t.Cleanup(ts.Close)
+			return store.NewRemote(ts.URL, nil)
+		}},
+		{"remote-over-fs", func(t *testing.T) store.Backend {
+			raw, err := store.Open(t.TempDir())
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			ts := httptest.NewServer(store.NewHandler(raw))
+			t.Cleanup(ts.Close)
+			return store.NewRemote(ts.URL, nil)
+		}},
+	}
+}
+
+// The minimal re-run is backend-agnostic: for each backend, a cold impact
+// run, a warm partial re-run after a domain change, and a fully-warm
+// identical re-run all produce artifact and report bytes identical to every
+// other backend's.
+func TestImpactBackendConformance(t *testing.T) {
+	type snapshot struct {
+		cold, changed, warm string
+		finals              [3]string
+	}
+	var want *snapshot
+	var wantName string
+
+	for _, b := range impactBackends(t) {
+		t.Run(b.name, func(t *testing.T) {
+			st := b.make(t)
+			r := runner(t, "Account", st)
+			spec := r.Factory.Spec()
+			old, _ := perturbDomain(t, spec)
+
+			cold, err := r.Run(spec, spec)
+			if err != nil {
+				t.Fatalf("cold run: %v", err)
+			}
+			changed, err := r.Run(old, spec)
+			if err != nil {
+				t.Fatalf("changed run: %v", err)
+			}
+			if changed.Report.CacheHits != changed.Report.Kept {
+				t.Errorf("changed run hits = %d, want %d (all kept cases warm)",
+					changed.Report.CacheHits, changed.Report.Kept)
+			}
+			warm, err := r.Run(spec, spec)
+			if err != nil {
+				t.Fatalf("warm run: %v", err)
+			}
+			if warm.Report.CacheMisses != 0 {
+				t.Errorf("warm identical run misses = %d, want 0", warm.Report.CacheMisses)
+			}
+
+			got := &snapshot{
+				cold:    encode(t, cold.Report),
+				changed: encode(t, changed.Report),
+				warm:    encode(t, warm.Report),
+				finals: [3]string{
+					finalBytes(t, cold.Final),
+					finalBytes(t, changed.Final),
+					finalBytes(t, warm.Final),
+				},
+			}
+			if want == nil {
+				want, wantName = got, b.name
+				return
+			}
+			if got.cold != want.cold || got.changed != want.changed || got.warm != want.warm {
+				t.Errorf("impact artifacts over %s differ from %s", b.name, wantName)
+			}
+			if got.finals != want.finals {
+				t.Errorf("final reports over %s differ from %s", b.name, wantName)
+			}
+		})
+	}
+}
+
+func encode(t *testing.T, r *impact.Report) string {
+	t.Helper()
+	b, err := r.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package impact
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"concat/internal/core/canon"
+	"concat/internal/tspec"
+)
+
+// Version is the impact artifact schema version.
+const Version = 1
+
+// CaseImpact is one case's decision and attribution.
+type CaseImpact struct {
+	CaseID      string   `json:"caseId"`
+	Transaction string   `json:"transaction"`
+	Decision    Decision `json:"decision"`
+	// Reason attributes the decision: for rerun/regenerated the impacted
+	// methods (with their delta reasons) or the content change; for a kept
+	// case executed on a cache miss, "cold store".
+	Reason string `json:"reason,omitempty"`
+	// Warm reports that the case replayed from the store without executing.
+	Warm bool `json:"warm,omitempty"`
+}
+
+// TransactionImpact aggregates the decisions of one transaction's cases —
+// the per-transaction attribution of why work was kept or re-run.
+type TransactionImpact struct {
+	Transaction string   `json:"transaction"`
+	Kept        int      `json:"kept,omitempty"`
+	Rerun       int      `json:"rerun,omitempty"`
+	Regenerated int      `json:"regenerated,omitempty"`
+	Reasons     []string `json:"reasons,omitempty"`
+}
+
+// Report is the canonical impact artifact: what the spec edit invalidated,
+// what was replayed warm, and why — identical runs produce identical bytes.
+type Report struct {
+	Version     int    `json:"version"`
+	Component   string `json:"component"`
+	Seed        int64  `json:"seed"`
+	OldSpecHash string `json:"oldSpecHash"`
+	NewSpecHash string `json:"newSpecHash"`
+	// Delta is the spec-level diff driving the partition.
+	Delta tspec.SpecDelta `json:"delta"`
+	// Partition counts over the new suite's cases.
+	Kept        int `json:"kept"`
+	Rerun       int `json:"rerun"`
+	Regenerated int `json:"regenerated"`
+	// CacheHits counts kept cases replayed warm; CacheMisses counts every
+	// executed case (cold kept cases plus the whole invalidated partition).
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+	// Mutant accounting (spec-level): mutants living in impacted methods
+	// need re-verification, the rest keep their verdicts.
+	MutantsKept        int `json:"mutantsKept,omitempty"`
+	MutantsInvalidated int `json:"mutantsInvalidated,omitempty"`
+	// Transactions attributes the partition per transaction, in suite order.
+	Transactions []TransactionImpact `json:"transactions,omitempty"`
+	// Cases lists every case's decision, in suite order.
+	Cases []CaseImpact `json:"cases,omitempty"`
+}
+
+// Encode serializes the report as canonical JSON plus a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	raw, err := canon.Marshal(r)
+	if err != nil {
+		return nil, fmt.Errorf("impact: encoding report: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// Decode parses an encoded report and checks its version.
+func Decode(raw []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(bytes.TrimSpace(raw), &r); err != nil {
+		return nil, fmt.Errorf("impact: decoding report: %w", err)
+	}
+	if r.Version != Version {
+		return nil, fmt.Errorf("impact: unsupported report version %d (want %d)", r.Version, Version)
+	}
+	if r.Component == "" {
+		return nil, errors.New("impact: report has no component")
+	}
+	return &r, nil
+}
+
+// Load reads and decodes a report from r.
+func Load(rd io.Reader) (*Report, error) {
+	raw, err := io.ReadAll(rd)
+	if err != nil {
+		return nil, fmt.Errorf("impact: reading report: %w", err)
+	}
+	return Decode(raw)
+}
+
+// Render writes the human-readable impact table.
+func (r *Report) Render(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Impact analysis: %s (seed %d)\n", r.Component, r.Seed)
+	if r.OldSpecHash == r.NewSpecHash {
+		fmt.Fprintf(bw, "  spec: unchanged (%s)\n", short(r.NewSpecHash))
+	} else {
+		fmt.Fprintf(bw, "  spec: %s -> %s\n", short(r.OldSpecHash), short(r.NewSpecHash))
+	}
+	if len(r.Delta.Impacted) == 0 && len(r.Delta.Removed) == 0 && !r.Delta.ModelChanged {
+		fmt.Fprintln(bw, "  delta: none")
+	} else {
+		for _, m := range r.Delta.Impacted {
+			fmt.Fprintf(bw, "  delta: %s %s\n", m.Method, m.Reason)
+		}
+		for _, m := range r.Delta.Removed {
+			fmt.Fprintf(bw, "  delta: %s removed\n", m)
+		}
+		if r.Delta.ModelChanged {
+			fmt.Fprintln(bw, "  delta: transaction flow model changed")
+		}
+	}
+	fmt.Fprintf(bw, "  cases: %d kept, %d re-run, %d regenerated\n", r.Kept, r.Rerun, r.Regenerated)
+	fmt.Fprintf(bw, "  cache: %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+	if r.MutantsKept+r.MutantsInvalidated > 0 {
+		fmt.Fprintf(bw, "  mutants: %d kept, %d invalidated\n", r.MutantsKept, r.MutantsInvalidated)
+	}
+	if len(r.Transactions) > 0 {
+		tw := tabwriter.NewWriter(bw, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  TRANSACTION\tKEPT\tRERUN\tREGEN\tWHY")
+		for _, t := range r.Transactions {
+			why := ""
+			if len(t.Reasons) > 0 {
+				why = t.Reasons[0]
+				if len(t.Reasons) > 1 {
+					why += fmt.Sprintf(" (+%d more)", len(t.Reasons)-1)
+				}
+			}
+			fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%s\n", t.Transaction, t.Kept, t.Rerun, t.Regenerated, why)
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}

@@ -1,0 +1,230 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"concat/internal/core"
+	"concat/internal/impact"
+	"concat/internal/store"
+	"concat/internal/tspec"
+)
+
+// specJSON exports a component's embedded t-spec as the canonical JSON wire
+// form an impact submission carries.
+func specJSON(t *testing.T, name string) ([]byte, *tspec.Spec) {
+	t.Helper()
+	target, err := core.LookupTarget(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := target.New(nil).Spec()
+	var buf bytes.Buffer
+	if err := spec.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), spec
+}
+
+// perturbedSpecJSON degenerates the first range parameter domain it finds
+// and returns the edited spec's JSON plus the owning method's name.
+func perturbedSpecJSON(t *testing.T, spec *tspec.Spec) ([]byte, string) {
+	t.Helper()
+	cp := spec.Clone()
+	for i, m := range cp.Methods {
+		for j, p := range m.Params {
+			if p.Domain.Kind == tspec.DomRange && p.Domain.Lo != p.Domain.Hi {
+				cp.Methods[i].Params[j].Domain.Hi = p.Domain.Lo
+				var buf bytes.Buffer
+				if err := cp.SaveJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes(), m.Name
+			}
+		}
+	}
+	t.Fatalf("spec %s has no range parameter to perturb", spec.Class.Name)
+	return nil, ""
+}
+
+// submitImpact posts to /impact and decodes the accepted status.
+func submitImpact(t *testing.T, ts *httptest.Server, req Request) (Status, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/impact", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+// fetchImpact blocks on the impact-artifact endpoint until the job finishes.
+func fetchImpact(t *testing.T, ts *httptest.Server, id string) *impact.Report {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/campaigns/" + id + "/impact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("impact %s: HTTP %d: %s", id, resp.StatusCode, body)
+	}
+	rep, err := impact.Decode(body)
+	if err != nil {
+		t.Fatalf("decoding impact artifact: %v", err)
+	}
+	return rep
+}
+
+// An impact submission runs through the queue like any campaign: the job
+// partitions the suite, the artifact endpoint serves the canonical report,
+// the status carries the partition counts, a warm resubmission replays
+// entirely from the store, and /metrics accumulates the partition counters.
+func TestImpactEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Store: store.NewMem()})
+	specRaw, spec := specJSON(t, "Account")
+	oldRaw, method := perturbedSpecJSON(t, spec)
+
+	// Component deliberately omitted: the handler derives it from newSpec.
+	st, code := submitImpact(t, ts, Request{OldSpec: oldRaw, NewSpec: specRaw})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	if st.Component != "Account" {
+		t.Fatalf("component = %q, want Account (derived from newSpec)", st.Component)
+	}
+	rep := fetchImpact(t, ts, st.ID)
+	if rep.Component != "Account" || rep.Kept+rep.Rerun+rep.Regenerated == 0 {
+		t.Fatalf("artifact = %+v, want a populated Account partition", rep)
+	}
+	if rep.Delta.ImpactedReason(method) != tspec.ReasonDomainChanged {
+		t.Errorf("delta reason for %s = %q, want %q",
+			method, rep.Delta.ImpactedReason(method), tspec.ReasonDomainChanged)
+	}
+	done := getStatus(t, ts, st.ID)
+	if done.Kept != rep.Kept || done.Rerun != rep.Rerun || done.Regenerated != rep.Regenerated {
+		t.Errorf("status partition = %d/%d/%d, artifact says %d/%d/%d",
+			done.Kept, done.Rerun, done.Regenerated, rep.Kept, rep.Rerun, rep.Regenerated)
+	}
+	if report := fetchReport(t, ts, st.ID); !strings.Contains(string(report), "Impact analysis: Account") {
+		t.Errorf("report missing impact table:\n%s", report)
+	}
+
+	// Identical revisions on the now-warm store: zero executions.
+	st2, code := submitImpact(t, ts, Request{OldSpec: specRaw, NewSpec: specRaw})
+	if code != http.StatusAccepted {
+		t.Fatalf("warm submit: HTTP %d", code)
+	}
+	rep2 := fetchImpact(t, ts, st2.ID)
+	if rep2.CacheMisses != 0 || rep2.CacheHits != rep2.Kept {
+		t.Errorf("warm run = %d hits/%d misses, want %d/0",
+			rep2.CacheHits, rep2.CacheMisses, rep2.Kept)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	metrics, _ := io.ReadAll(resp.Body)
+	for _, name := range []string{
+		"concat_impact_kept_total", "concat_impact_rerun_total", "concat_impact_regenerated_total",
+	} {
+		if !strings.Contains(string(metrics), name) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+}
+
+// Malformed impact submissions are rejected at admission, not at run time.
+func TestImpactSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Store: store.NewMem()})
+	specRaw, _ := specJSON(t, "Account")
+
+	cases := []struct {
+		name string
+		req  Request
+	}{
+		{"missing newSpec", Request{Component: "Account", OldSpec: specRaw}},
+		{"garbage oldSpec", Request{Component: "Account", OldSpec: []byte(`{"x":1}`), NewSpec: specRaw}},
+		{"component mismatch", Request{Component: "ObList", OldSpec: specRaw, NewSpec: specRaw}},
+	}
+	for _, tc := range cases {
+		if _, code := submitImpact(t, ts, tc.req); code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", tc.name, code)
+		}
+	}
+	// The plain campaign endpoint applies the same validation.
+	if _, code := submit(t, ts, Request{Component: "Account", OldSpec: specRaw}); code != http.StatusBadRequest {
+		t.Errorf("campaign endpoint accepted a one-sided impact request")
+	}
+}
+
+// A journaled impact job survives a restart: the restored server keeps
+// serving the artifact bytes verbatim and the status keeps its partition.
+func TestImpactJournalRestore(t *testing.T) {
+	dir := t.TempDir()
+	jn, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specRaw, spec := specJSON(t, "Account")
+	oldRaw, _ := perturbedSpecJSON(t, spec)
+
+	s1, ts1 := newTestServer(t, Config{Store: store.NewMem(), Journal: jn})
+	st, code := submitImpact(t, ts1, Request{OldSpec: oldRaw, NewSpec: specRaw})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	resp, err := http.Get(ts1.URL + "/campaigns/" + st.ID + "/impact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArt, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ts1.Close()
+	s1.Close()
+
+	jn2, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Config{Store: store.NewMem(), Journal: jn2})
+	resp2, err := http.Get(ts2.URL + "/campaigns/" + st.ID + "/impact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotArt, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(gotArt, wantArt) {
+		t.Error("restored impact artifact differs from the original bytes")
+	}
+	rep, err := impact.Decode(wantArt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := getStatus(t, ts2, st.ID)
+	if restored.Kept != rep.Kept || restored.Rerun != rep.Rerun || restored.Regenerated != rep.Regenerated {
+		t.Errorf("restored status partition = %d/%d/%d, artifact says %d/%d/%d",
+			restored.Kept, restored.Rerun, restored.Regenerated, rep.Kept, rep.Rerun, rep.Regenerated)
+	}
+}

@@ -52,6 +52,8 @@ type JobRecord struct {
 	Report []byte `json:"report,omitempty"`
 	// Artifact is the canonical coverage artifact of a done job.
 	Artifact []byte `json:"artifact,omitempty"`
+	// Impact is the canonical impact artifact of a done impact job.
+	Impact []byte `json:"impact,omitempty"`
 	// Summary is the terminal status snapshot (mutant totals, cache
 	// counters, coverage line), restored verbatim after a restart.
 	Summary *Status `json:"summary,omitempty"`

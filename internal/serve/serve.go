@@ -33,6 +33,7 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,12 +50,15 @@ import (
 	"concat/internal/core"
 	"concat/internal/cover"
 	"concat/internal/driver"
+	"concat/internal/impact"
+	"concat/internal/mutation"
 	"concat/internal/obs"
 	"concat/internal/sandbox"
 	"concat/internal/serve/chaos"
 	"concat/internal/store"
 	"concat/internal/testexec"
 	"concat/internal/tfm"
+	"concat/internal/tspec"
 )
 
 // ErrQueueFull is returned by Submit when the pending-campaign queue is at
@@ -100,6 +104,36 @@ type Request struct {
 	Distributed bool `json:"distributed,omitempty"`
 	// Shards is the shard count of a distributed campaign (default 2).
 	Shards int `json:"shards,omitempty"`
+	// OldSpec/NewSpec, both present, make this an impact submission
+	// (POST /impact): instead of a mutation campaign the job diffs the two
+	// t-spec revisions (canonical JSON wire form, `concat spec` output),
+	// re-executes only the cases the edit invalidated, and replays the rest
+	// warm from the server's store. Impact jobs cannot be distributed.
+	OldSpec json.RawMessage `json:"oldSpec,omitempty"`
+	NewSpec json.RawMessage `json:"newSpec,omitempty"`
+}
+
+// Impact reports whether the request is an impact submission.
+func (r Request) Impact() bool {
+	return len(r.OldSpec) > 0 && len(r.NewSpec) > 0
+}
+
+// impactSpecs parses an impact submission's spec revisions and checks the
+// new one names the requested component.
+func (r Request) impactSpecs() (oldSpec, newSpec *tspec.Spec, err error) {
+	oldSpec, err = tspec.LoadJSON(bytes.NewReader(r.OldSpec))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: old spec: %w", err)
+	}
+	newSpec, err = tspec.LoadJSON(bytes.NewReader(r.NewSpec))
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: new spec: %w", err)
+	}
+	if newSpec.Class.Name != r.Component {
+		return nil, nil, fmt.Errorf("serve: new spec is for %q but the request names %q",
+			newSpec.Class.Name, r.Component)
+	}
+	return oldSpec, newSpec, nil
 }
 
 // genOptions resolves the request's generation knobs to driver options.
@@ -186,6 +220,10 @@ type Job struct {
 	report   []byte
 	coverage *cover.SuiteCoverage
 	artifact []byte
+	// impactRep/impactArt hold an impact job's decoded report and its
+	// canonical artifact bytes; both nil for mutation campaigns.
+	impactRep *impact.Report
+	impactArt []byte
 	// restored holds the terminal status snapshot of a job replayed from
 	// the journal, whose *analysis.Result no longer exists in memory.
 	restored *Status
@@ -280,6 +318,26 @@ func (j *Job) Coverage() (*cover.SuiteCoverage, []byte) {
 	return j.coverage, j.artifact
 }
 
+// setImpact records an impact job's report and canonical artifact;
+// runImpact calls it before the job finishes. Like setCoverage, a stale
+// attempt's late write is dropped once the job is terminal.
+func (j *Job) setImpact(rep *impact.Report, artifact []byte) {
+	j.mu.Lock()
+	if !j.terminal {
+		j.impactRep = rep
+		j.impactArt = artifact
+	}
+	j.mu.Unlock()
+}
+
+// Impact returns the encoded impact artifact (nil for mutation campaigns
+// and until the impact run finished).
+func (j *Job) Impact() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.impactArt
+}
+
 // Done returns a channel closed when the job reaches a terminal state.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
@@ -303,6 +361,7 @@ func (j *Job) record() JobRecord {
 	if j.state == StateDone {
 		rec.Report = j.report
 		rec.Artifact = j.artifact
+		rec.Impact = j.impactArt
 		st := j.statusLocked()
 		rec.Summary = &st
 	}
@@ -321,6 +380,11 @@ type Status struct {
 	Survivors   int    `json:"survivors"`
 	CacheHits   int    `json:"cacheHits"`
 	CacheMisses int    `json:"cacheMisses"`
+	// Kept/Rerun/Regenerated are an impact job's case-partition counts
+	// (POST /impact); all zero for mutation campaigns.
+	Kept        int `json:"kept,omitempty"`
+	Rerun       int `json:"rerun,omitempty"`
+	Regenerated int `json:"regenerated,omitempty"`
 	// Coverage is the campaign's one-line coverage summary ("coverage:
 	// transactions 4/4 (100.0%), ..."), present once the campaign finished.
 	Coverage string `json:"coverage,omitempty"`
@@ -349,6 +413,12 @@ func (j *Job) statusLocked() Status {
 		st.Survivors = tab.Total.Mutants - tab.Total.Killed - tab.Total.Equivalent
 		st.CacheHits = j.result.CacheHits
 		st.CacheMisses = j.result.CacheMisses
+	case j.impactRep != nil:
+		st.Kept = j.impactRep.Kept
+		st.Rerun = j.impactRep.Rerun
+		st.Regenerated = j.impactRep.Regenerated
+		st.CacheHits = j.impactRep.CacheHits
+		st.CacheMisses = j.impactRep.CacheMisses
 	case j.restored != nil:
 		st.Mutants = j.restored.Mutants
 		st.Killed = j.restored.Killed
@@ -356,6 +426,9 @@ func (j *Job) statusLocked() Status {
 		st.Survivors = j.restored.Survivors
 		st.CacheHits = j.restored.CacheHits
 		st.CacheMisses = j.restored.CacheMisses
+		st.Kept = j.restored.Kept
+		st.Rerun = j.restored.Rerun
+		st.Regenerated = j.restored.Regenerated
 	}
 	if j.coverage != nil {
 		st.Coverage = j.coverage.Summary()
@@ -505,6 +578,12 @@ type Server struct {
 	nShardLeases   atomic.Int64
 	nShardReclaims atomic.Int64
 
+	// Impact-analysis counters: cases kept (replayed or replayable warm),
+	// re-run and regenerated across every impact job this process ran.
+	nImpactKept  atomic.Int64
+	nImpactRerun atomic.Int64
+	nImpactRegen atomic.Int64
+
 	// workMu guards the shard sets of in-flight distributed campaigns,
 	// appended in job order so /work/lease serves older campaigns first.
 	workMu    sync.Mutex
@@ -597,6 +676,7 @@ func (s *Server) replayJournal() []*Job {
 			j.errMsg = rec.Error
 			j.report = rec.Report
 			j.artifact = rec.Artifact
+			j.impactArt = rec.Impact
 			j.restored = rec.Summary
 			if len(rec.Artifact) > 0 {
 				if art, err := cover.Decode(rec.Artifact); err == nil {
@@ -657,6 +737,19 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	if req.Distributed && !store.Enabled(s.cfg.Store) {
 		return nil, errors.New("serve: distributed campaigns require a verdict store (start the coordinator with a cache directory)")
+	}
+	if (len(req.OldSpec) > 0) != (len(req.NewSpec) > 0) {
+		return nil, errors.New("serve: impact submissions need both oldSpec and newSpec")
+	}
+	if req.Impact() {
+		if req.Distributed {
+			return nil, errors.New("serve: impact analysis cannot be distributed")
+		}
+		// Reject unparseable or mismatched specs at admission: running them
+		// could only fail deterministically.
+		if _, _, err := req.impactSpecs(); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -976,13 +1069,99 @@ func (s *Server) retryOrQuarantine(j *Job, attempt int, cause string) {
 	}()
 }
 
-// runCampaign executes one job, dispatching distributed submissions to the
-// shard coordinator (work.go) and everything else to the local path.
+// runCampaign executes one job, dispatching impact submissions to the
+// impact engine, distributed submissions to the shard coordinator
+// (work.go) and everything else to the local path.
 func (s *Server) runCampaign(j *Job) (*analysis.Result, []byte, error) {
+	if j.Req.Impact() {
+		return s.runImpact(j)
+	}
 	if j.Req.Distributed {
 		return s.runDistributed(j)
 	}
 	return s.runLocal(j)
+}
+
+// runImpact is the impact-analysis path: diff the submission's two spec
+// revisions, re-execute only the invalidated cases (warm against the
+// server's store), and reassemble the final report and coverage artifact —
+// byte-identical to a cold full run of the new spec's suite. The job's
+// report is the rendered impact table plus the suite report and coverage
+// summary; the canonical impact artifact is served on /campaigns/{id}/impact.
+func (s *Server) runImpact(j *Job) (*analysis.Result, []byte, error) {
+	t, err := core.LookupTarget(j.Req.Component)
+	if err != nil {
+		return nil, nil, err
+	}
+	oldSpec, newSpec, err := j.Req.impactSpecs()
+	if err != nil {
+		return nil, nil, err
+	}
+	comp := t.New(nil)
+	exec := j.Req.execOptions()
+	exec.Trace = obs.NewTracer(j.trace)
+	exec.Metrics = s.metrics
+	r := &impact.Runner{
+		Factory:       comp.Factory,
+		Providers:     comp.Providers,
+		Gen:           j.Req.genOptions(),
+		Exec:          exec,
+		Store:         s.cfg.Store,
+		Parallelism:   s.cfg.Parallelism,
+		MutantMethods: mutantMethods(t),
+	}
+	res, err := r.Run(oldSpec, newSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := exec.Trace.Err(); err != nil {
+		return nil, nil, err
+	}
+	s.nImpactKept.Add(int64(res.Report.Kept))
+	s.nImpactRerun.Add(int64(res.Report.Rerun))
+	s.nImpactRegen.Add(int64(res.Report.Regenerated))
+	encodedCov, err := res.Coverage.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	j.setCoverage(res.Coverage.Suite, encodedCov)
+	encodedImpact, err := res.Report.Encode()
+	if err != nil {
+		return nil, nil, err
+	}
+	j.setImpact(res.Report, encodedImpact)
+	var buf strings.Builder
+	if err := res.Report.Render(&buf); err != nil {
+		return nil, nil, err
+	}
+	fmt.Fprintf(&buf, "%s: %s\n", j.Req.Component, res.Suite.Stats())
+	fmt.Fprintln(&buf, res.Final.Summary())
+	for _, f := range res.Final.Failures() {
+		fmt.Fprintf(&buf, "  FAIL %s (%s): %s — %s\n", f.CaseID, f.Transaction, f.Outcome, f.Detail)
+	}
+	buf.WriteString(res.Coverage.Suite.Summary())
+	buf.WriteString("\n")
+	return nil, []byte(buf.String()), nil
+}
+
+// mutantMethods enumerates the target's mutants over its experiment
+// methods, one method name per mutant, for the impact report's mutant
+// accounting. Components without instrumentation yield nil.
+func mutantMethods(t core.Target) []string {
+	if len(t.Sites) == 0 || len(t.ExperimentMethods) == 0 {
+		return nil
+	}
+	eng := mutation.NewEngine()
+	for _, site := range t.Sites {
+		if err := eng.RegisterSite(site); err != nil {
+			return nil
+		}
+	}
+	var out []string
+	for _, m := range eng.Enumerate(nil, t.ExperimentMethods) {
+		out = append(out, m.Method)
+	}
+	return out
 }
 
 // runLocal is the single-process campaign path. It doubles as the
@@ -1038,10 +1217,12 @@ func (s *Server) runLocal(j *Job) (*analysis.Result, []byte, error) {
 // Handler returns the HTTP API:
 //
 //	POST /campaigns            submit (JSON Request) -> 202 Status, 503 on full queue or drain
+//	POST /impact               submit an impact analysis (Request with oldSpec/newSpec) -> 202 Status
 //	GET  /campaigns            all statuses, submission order
 //	GET  /campaigns/{id}       one status
 //	GET  /campaigns/{id}/report   rendered table + coverage summary (blocks until done)
 //	GET  /campaigns/{id}/coverage canonical coverage artifact JSON (blocks until done)
+//	GET  /campaigns/{id}/impact   canonical impact artifact JSON (impact jobs; blocks until done)
 //	GET  /campaigns/{id}/events   live NDJSON trace stream (replays from the start)
 //	POST /work/lease           lease one shard of a distributed campaign (204 when none)
 //	POST /work/{id}/shards/{shard} report a leased shard's completion
@@ -1058,10 +1239,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("POST /campaigns", s.handleSubmit)
+	mux.HandleFunc("POST /impact", s.handleImpact)
 	mux.HandleFunc("GET /campaigns", s.handleList)
 	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
 	mux.HandleFunc("GET /campaigns/{id}/coverage", s.handleCoverage)
+	mux.HandleFunc("GET /campaigns/{id}/impact", s.handleImpactArtifact)
 	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
 	mux.HandleFunc("POST /work/lease", s.handleWorkLease)
 	mux.HandleFunc("POST /work/{id}/shards/{shard}", s.handleShardDone)
@@ -1102,6 +1285,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding request: " + err.Error()})
 		return
 	}
+	s.submitAndRespond(w, req)
+}
+
+// handleImpact admits an impact submission: the same Request wire form with
+// oldSpec and newSpec present. A missing component defaults to the new
+// spec's class, so posting just the two spec documents works.
+func (s *Server) handleImpact(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "decoding request: " + err.Error()})
+		return
+	}
+	if len(req.OldSpec) == 0 || len(req.NewSpec) == 0 {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "impact submissions need oldSpec and newSpec"})
+		return
+	}
+	if req.Component == "" {
+		spec, err := tspec.LoadJSON(bytes.NewReader(req.NewSpec))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "new spec: " + err.Error()})
+			return
+		}
+		req.Component = spec.Class.Name
+	}
+	s.submitAndRespond(w, req)
+}
+
+// submitAndRespond runs Submit and maps its outcome onto the HTTP surface,
+// shared by the campaign and impact submission handlers.
+func (s *Server) submitAndRespond(w http.ResponseWriter, req Request) {
 	j, err := s.Submit(req)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
@@ -1194,12 +1409,40 @@ func (s *Server) handleCoverage(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(artifact)
 }
 
+// handleImpactArtifact blocks until the job finishes and serves the
+// canonical impact artifact — the same bytes `concat impact -json` prints.
+// Mutation campaigns have none and answer 404.
+func (s *Server) handleImpactArtifact(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		return
+	}
+	st := j.Status()
+	if st.State == StateFailed || st.State == StateQuarantined {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: st.Error})
+		return
+	}
+	artifact := j.Impact()
+	if len(artifact) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "campaign " + j.ID + " has no impact artifact"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(artifact)
+}
+
 // handleMetrics renders the live Prometheus text surface: the shared
 // campaign metrics (outcome counters, kill-latency histograms), the verdict
 // store's hit/miss/quarantine counters, queue, job-state and drain gauges,
 // the recovery counters (journal replays, corrupt journal records, lease
-// reclaims, retries, quarantined jobs) — always present, so their absence
-// can never be confused with zero — and per-campaign transaction-coverage
+// reclaims, retries, quarantined jobs) and the impact-partition counters
+// (cases kept/re-run/regenerated) — always present, so their absence can
+// never be confused with zero — and per-campaign transaction-coverage
 // gauges for every finished job.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var b strings.Builder
@@ -1219,6 +1462,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "# TYPE concat_lease_reclaims_total counter\nconcat_lease_reclaims_total %d\n", s.nReclaims.Load())
 	fmt.Fprintf(&b, "# TYPE concat_job_retries_total counter\nconcat_job_retries_total %d\n", s.nRetries.Load())
 	fmt.Fprintf(&b, "# TYPE concat_jobs_quarantined_total counter\nconcat_jobs_quarantined_total %d\n", s.nQuarantined.Load())
+	fmt.Fprintf(&b, "# TYPE concat_impact_kept_total counter\nconcat_impact_kept_total %d\n", s.nImpactKept.Load())
+	fmt.Fprintf(&b, "# TYPE concat_impact_rerun_total counter\nconcat_impact_rerun_total %d\n", s.nImpactRerun.Load())
+	fmt.Fprintf(&b, "# TYPE concat_impact_regenerated_total counter\nconcat_impact_regenerated_total %d\n", s.nImpactRegen.Load())
 	s.mu.Lock()
 	queued := s.queued
 	draining := 0

@@ -52,6 +52,10 @@ type Key struct {
 const (
 	KindMutantVerdict = "mutant-verdict"
 	KindSuiteReport   = "suite-report"
+	// KindCaseResult is one test case's execution result, keyed by the
+	// case's own canonical hash rather than a whole-suite hash — the unit of
+	// reuse for the impact engine's partitioned re-runs (internal/impact).
+	KindCaseResult = "case-result"
 )
 
 // ID returns the key's content address: the hex SHA-256 of its canonical

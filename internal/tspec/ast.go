@@ -13,6 +13,7 @@ package tspec
 
 import (
 	"fmt"
+	"sync"
 
 	"concat/internal/domain"
 	"concat/internal/tfm"
@@ -37,6 +38,12 @@ type Spec struct {
 	// modified (§3.4.2: "In case an attribute is modified, the methods using
 	// it are considered as modified").
 	ModifiedAttributes []string
+
+	// canonOnce memoizes CanonicalHash. A spec must not be mutated after
+	// its first CanonicalHash call; Clone returns a copy with a fresh memo.
+	canonOnce sync.Once
+	canonHash string
+	canonErr  error
 }
 
 // Class is the component-level header clause.
@@ -297,9 +304,10 @@ func (s *Spec) TFM() (*tfm.Graph, error) {
 	return g, nil
 }
 
-// Clone returns a deep copy of the spec.
+// Clone returns a deep copy of the spec. The copy's CanonicalHash memo is
+// fresh, so a clone may be mutated freely before it is first hashed.
 func (s *Spec) Clone() *Spec {
-	cp := *s
+	cp := Spec{Class: s.Class}
 	cp.Class.Sources = append([]string(nil), s.Class.Sources...)
 	cp.Attributes = make([]Attribute, len(s.Attributes))
 	for i, a := range s.Attributes {

@@ -1,0 +1,103 @@
+package tspec
+
+import "testing"
+
+// The memoized CanonicalHash must return the same value as a fresh
+// computation, and Clone must reset the memo so a mutated clone hashes
+// differently.
+func TestCanonicalHashMemoized(t *testing.T) {
+	s := baseBuilder().MustBuild()
+	h1, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	h2, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash (memoized): %v", err)
+	}
+	if h1 != h2 {
+		t.Fatalf("memoized hash diverged: %q vs %q", h1, h2)
+	}
+	fresh, err := s.Clone().CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash on clone: %v", err)
+	}
+	if fresh != h1 {
+		t.Fatalf("clone hash = %q, want %q", fresh, h1)
+	}
+}
+
+func TestCanonicalHashCloneResetsMemo(t *testing.T) {
+	s := baseBuilder().MustBuild()
+	base, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	mutated := s.Clone()
+	mutated.Methods[2].Params[0].Domain.Hi = 99
+	got, err := mutated.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash on mutated clone: %v", err)
+	}
+	if got == base {
+		t.Fatalf("mutated clone kept the stale memoized hash %q", base)
+	}
+	// The original's memo is untouched.
+	again, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash (original): %v", err)
+	}
+	if again != base {
+		t.Fatalf("original hash moved: %q vs %q", again, base)
+	}
+}
+
+func TestCanonicalHashConcurrent(t *testing.T) {
+	s := baseBuilder().MustBuild()
+	want, err := s.CanonicalHash()
+	if err != nil {
+		t.Fatalf("CanonicalHash: %v", err)
+	}
+	done := make(chan string, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			h, _ := s.CanonicalHash()
+			done <- h
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if h := <-done; h != want {
+			t.Fatalf("concurrent hash = %q, want %q", h, want)
+		}
+	}
+}
+
+// BenchmarkCanonicalHash measures the memoized hot path: repeated hashing of
+// one spec, the store-key pattern of a mutation campaign (one lookup per
+// mutant against the same spec).
+func BenchmarkCanonicalHash(b *testing.B) {
+	s := baseBuilder().MustBuild()
+	if _, err := s.CanonicalHash(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.CanonicalHash(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCanonicalHashCold defeats the memo by cloning per iteration —
+// the pre-memoization cost of every lookup (minus the clone itself).
+func BenchmarkCanonicalHashCold(b *testing.B) {
+	s := baseBuilder().MustBuild()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Clone().CanonicalHash(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

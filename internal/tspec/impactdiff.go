@@ -1,0 +1,187 @@
+package tspec
+
+import "sort"
+
+// This file extends the inheritance-oriented Classify to arbitrary edits of
+// one spec: DiffSpecs compares two revisions of the same class (no
+// superclass relation required) and reports exactly which methods' test
+// cases are invalidated, and why. It is the front end of the test-impact
+// engine (internal/impact): a method left out of the delta keeps its cached
+// verdicts; a method in the delta forces re-execution of every transaction
+// that exercises it.
+
+// Impact reasons, ordered by precedence (the first matching reason wins).
+const (
+	// ReasonAdded: the method does not exist in the old spec.
+	ReasonAdded = "added"
+	// ReasonSignatureChanged: name/return/category/parameter structure moved
+	// — the non-domain part of the signature Harrold's model freezes.
+	ReasonSignatureChanged = "signature-changed"
+	// ReasonDomainChanged: same structure, but a parameter's declared value
+	// domain moved, so generated inputs may differ.
+	ReasonDomainChanged = "domain-changed"
+	// ReasonRedefined: newly listed in the spec's Redefined clause — the
+	// implementation was replaced without a spec change, which still
+	// invalidates observed behavior.
+	ReasonRedefined = "redefined"
+	// ReasonUsesModifiedAttribute: the method Uses an attribute that is newly
+	// listed in ModifiedAttributes or whose declared domain changed (§3.4.2:
+	// methods using a modified attribute are considered modified).
+	ReasonUsesModifiedAttribute = "uses-modified-attribute"
+)
+
+// MethodDelta is one impacted method with the reason its verdicts are
+// invalidated.
+type MethodDelta struct {
+	Method string `json:"method"`
+	Reason string `json:"reason"`
+}
+
+// SpecDelta is the result of DiffSpecs: everything about the edit that the
+// impact engine needs to partition a re-run.
+type SpecDelta struct {
+	// Impacted lists methods (present in the new spec) whose cached results
+	// are invalid, sorted by method name.
+	Impacted []MethodDelta `json:"impacted,omitempty"`
+	// Removed lists methods present only in the old spec, sorted. Their
+	// cases vanish from the generated suite on their own; the field exists
+	// for reporting.
+	Removed []string `json:"removed,omitempty"`
+	// ModelChanged reports that the TFM (nodes or edges) differs, so the
+	// transaction enumeration itself may have moved. The impact engine does
+	// not need a per-edge attribution: regenerated transactions reveal
+	// themselves by case-content comparison.
+	ModelChanged bool `json:"modelChanged,omitempty"`
+}
+
+// Empty reports a no-op edit: nothing impacted, nothing removed, same model.
+func (d SpecDelta) Empty() bool {
+	return len(d.Impacted) == 0 && len(d.Removed) == 0 && !d.ModelChanged
+}
+
+// ImpactedSet returns the impacted method names as a set.
+func (d SpecDelta) ImpactedSet() map[string]bool {
+	out := make(map[string]bool, len(d.Impacted))
+	for _, m := range d.Impacted {
+		out[m.Method] = true
+	}
+	return out
+}
+
+// ImpactedReason returns the recorded reason for an impacted method, or "".
+func (d SpecDelta) ImpactedReason(method string) string {
+	for _, m := range d.Impacted {
+		if m.Method == method {
+			return m.Reason
+		}
+	}
+	return ""
+}
+
+// DiffSpecs compares two revisions of one class and computes the impacted
+// method set. Unlike Classify it imposes no superclass relation — old and
+// new are the same component before and after an arbitrary edit. A method in
+// the new spec is impacted when it is new, its signature or a parameter
+// domain changed, it is newly redefined, or it uses an attribute that was
+// modified (newly listed in ModifiedAttributes, or whose declared domain
+// changed between revisions). Methods are keyed by name, like Classify.
+func DiffSpecs(old, new *Spec) SpecDelta {
+	var d SpecDelta
+
+	oldRedef := map[string]bool{}
+	for _, name := range old.Redefined {
+		oldRedef[name] = true
+	}
+	newRedef := map[string]bool{}
+	for _, name := range new.Redefined {
+		newRedef[name] = true
+	}
+	// An attribute counts as modified when newly flagged, when its declared
+	// domain changed, or when it is new — any of these can change invariant
+	// checking and reporter behavior for the methods using it.
+	oldModAttr := map[string]bool{}
+	for _, name := range old.ModifiedAttributes {
+		oldModAttr[name] = true
+	}
+	modAttrs := map[string]bool{}
+	for _, name := range new.ModifiedAttributes {
+		if !oldModAttr[name] {
+			modAttrs[name] = true
+		}
+	}
+	for _, a := range new.Attributes {
+		oldA, ok := old.AttributeByName(a.Name)
+		if !ok || !sameDomainDecl(oldA.Domain, a.Domain) {
+			modAttrs[a.Name] = true
+		}
+	}
+
+	for _, m := range new.Methods {
+		oldM, inOld := old.MethodByName(m.Name)
+		switch {
+		case !inOld:
+			d.Impacted = append(d.Impacted, MethodDelta{m.Name, ReasonAdded})
+		case !sameSignatureShape(oldM, m):
+			d.Impacted = append(d.Impacted, MethodDelta{m.Name, ReasonSignatureChanged})
+		case !sameSignature(oldM, m):
+			d.Impacted = append(d.Impacted, MethodDelta{m.Name, ReasonDomainChanged})
+		case newRedef[m.Name] && !oldRedef[m.Name]:
+			d.Impacted = append(d.Impacted, MethodDelta{m.Name, ReasonRedefined})
+		case usesModified(m, modAttrs):
+			d.Impacted = append(d.Impacted, MethodDelta{m.Name, ReasonUsesModifiedAttribute})
+		}
+	}
+	sort.Slice(d.Impacted, func(i, j int) bool { return d.Impacted[i].Method < d.Impacted[j].Method })
+
+	for _, m := range old.Methods {
+		if _, inNew := new.MethodByName(m.Name); !inNew {
+			d.Removed = append(d.Removed, m.Name)
+		}
+	}
+	sort.Strings(d.Removed)
+
+	d.ModelChanged = modelChanged(old, new)
+	return d
+}
+
+// sameSignatureShape checks the non-domain part of sameSignature: name,
+// return, category and the ordered parameter names. Splitting it out lets
+// DiffSpecs distinguish a structural signature change from a pure domain
+// move.
+func sameSignatureShape(a, b Method) bool {
+	if a.Name != b.Name || a.Return != b.Return || a.Category != b.Category {
+		return false
+	}
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i].Name != b.Params[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+func modelChanged(old, new *Spec) bool {
+	if len(old.Nodes) != len(new.Nodes) || len(old.Edges) != len(new.Edges) {
+		return true
+	}
+	for i, n := range new.Nodes {
+		o := old.Nodes[i]
+		if o.ID != n.ID || o.Start != n.Start || len(o.Methods) != len(n.Methods) {
+			return true
+		}
+		for j := range n.Methods {
+			if o.Methods[j] != n.Methods[j] {
+				return true
+			}
+		}
+	}
+	for i, e := range new.Edges {
+		if old.Edges[i] != e {
+			return true
+		}
+	}
+	return false
+}

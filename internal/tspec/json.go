@@ -163,12 +163,21 @@ func (s *Spec) SaveJSON(w io.Writer) error {
 // canonicalized JSON wire form. It is the spec component of a verdict-store
 // key (internal/store) — any change to the spec's methods, domains or model
 // moves the hash and invalidates every cached verdict derived from it.
+//
+// The hash is memoized: mutation campaigns compute it once per mutant
+// lookup on the store hot path, and a spec is treated as immutable from its
+// first hashing on. Mutate only specs that have not been hashed yet (use
+// Clone to get a copy with a fresh memo).
 func (s *Spec) CanonicalHash() (string, error) {
-	var buf bytes.Buffer
-	if err := s.SaveJSON(&buf); err != nil {
-		return "", err
-	}
-	return canon.HashRaw(buf.Bytes())
+	s.canonOnce.Do(func() {
+		var buf bytes.Buffer
+		if err := s.SaveJSON(&buf); err != nil {
+			s.canonErr = err
+			return
+		}
+		s.canonHash, s.canonErr = canon.HashRaw(buf.Bytes())
+	})
+	return s.canonHash, s.canonErr
 }
 
 // LoadJSON reads a spec saved with SaveJSON and validates it. Declared

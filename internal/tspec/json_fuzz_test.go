@@ -100,11 +100,11 @@ func FuzzJSONRoundTrip(f *testing.F) {
 		// (With overloads, name-keyed Classify conservatively reports the
 		// extra overloads redefined, so the framing doesn't apply.)
 		if !overloaded {
-			child := *back
+			child := back.Clone()
 			child.Class.Superclass = spec.Class.Name
 			child.Redefined = nil
 			child.ModifiedAttributes = nil
-			cls, err := Classify(spec, &child)
+			cls, err := Classify(spec, child)
 			if err != nil {
 				t.Fatalf("Classify on round-tripped spec: %v", err)
 			}
