@@ -72,6 +72,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -81,6 +82,7 @@ import (
 	"concat/internal/cover"
 	"concat/internal/driver"
 	"concat/internal/impact"
+	"concat/internal/loadgen"
 	"concat/internal/mutation"
 	"concat/internal/obs"
 	"concat/internal/sandbox"
@@ -168,6 +170,8 @@ func run(args []string, w io.Writer) error {
 		return cmdSubmit(rest, w)
 	case "status":
 		return cmdStatus(rest, w)
+	case "loadgen":
+		return cmdLoadgen(rest, w)
 	case "work":
 		return cmdWork(rest, w)
 	case "run-case":
@@ -210,6 +214,7 @@ subcommands:
   serve      run the campaign service: an HTTP/JSON API over a job queue
   submit     submit a campaign to a running service (add -wait for the report)
   status     query a running service for campaign statuses
+  loadgen    drive a running service with concurrent load and measure it
   work       run a remote campaign worker: lease shards from a coordinator
 
 run, selftest, soak and mutate accept the sandbox flags: -isolate spawns
@@ -240,6 +245,14 @@ report back; the coordinator then merges warm from the store, so the
 multi-worker report and coverage artifact are byte-identical to a
 single-process run. Workers default to the coordinator's own /store
 mount; -store-dir points them at a shared filesystem store instead.
+
+loadgen drives a running service with -submitters N concurrent campaign
+submitters and -subscribers M /events stream consumers for a fixed
+-requests budget, measures client-side throughput and per-endpoint
+p50/p95/p99 latency, verifies the 503 + Retry-After backpressure contract
+under queue saturation, and cross-checks the service's /metrics request
+counters against its own counts series by series; -json FILE writes the
+measurement (BENCH_SERVICE.json by convention).
 
 selftest and mutate accept -cover FILE, writing a canonical-JSON coverage
 artifact (TFM transaction/node/edge coverage, BIT assertion-site telemetry,
@@ -1361,6 +1374,7 @@ func cmdServe(args []string, w io.Writer) error {
 	quiet := fs.Bool("quiet", false, "suppress per-job log lines on stderr")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	traceBuf := fs.Int("trace-buf", 0, "per-campaign retained trace bytes (0 = 16 MiB default, negative = unbounded)")
+	accessLog := fs.String("access-log", "", "NDJSON access-log file (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1391,7 +1405,21 @@ func cmdServe(args []string, w io.Writer) error {
 	if !*quiet {
 		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
 	}
-	srv := serve.New(cfg)
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("opening access log: %w", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
+	// NewStarting brings the listener up immediately: /healthz and /readyz
+	// answer during a long journal replay, with /readyz 503 until it ends.
+	srv := serve.NewStarting(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", *addr, err)
@@ -1557,6 +1585,88 @@ func cmdStatus(args []string, w io.Writer) error {
 	}
 	if _, err := io.Copy(w, resp.Body); err != nil {
 		return fmt.Errorf("reading response: %w", err)
+	}
+	return nil
+}
+
+// cmdLoadgen drives a running service with sustained concurrent load and
+// prints the measurement: throughput, per-endpoint latency quantiles, the
+// backpressure contract under saturation, and a series-by-series
+// reconciliation of the service's /metrics request counters against the
+// client's own counts. A cross-check failure or a 503 without Retry-After
+// is an error exit, not just a report line.
+func cmdLoadgen(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8437", "service address (host:port or URL)")
+	requests := fs.Int("requests", 100, "campaign submissions to complete")
+	submitters := fs.Int("submitters", 4, "concurrent submission workers")
+	subscribers := fs.Int("subscribers", 2, "concurrent /events stream consumers")
+	component := fs.String("component", "Account", "component each campaign mutates")
+	seed := fs.Int64("seed", 42, "campaign generation seed (fixed = warm store replays)")
+	jsonOut := fs.String("json", "", "write the measurement as indented JSON to FILE (- = stdout)")
+	quiet := fs.Bool("quiet", false, "suppress progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:     serviceURL(*addr),
+		Requests:    *requests,
+		Submitters:  *submitters,
+		Subscribers: *subscribers,
+		Component:   *component,
+		Seed:        *seed,
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "loadgen: %d campaigns (%d failed) in %.2fs — %.1f campaigns/s, %.1f requests/s over %d HTTP requests\n",
+		res.CampaignsCompleted, res.CampaignsFailed, res.WallSeconds,
+		res.CampaignsPerSecond, res.RequestsPerSecond, res.HTTPRequests)
+	eps := make([]string, 0, len(res.Endpoints))
+	for ep := range res.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		st := res.Endpoints[ep]
+		fmt.Fprintf(w, "  %-28s %6d reqs  p50 %s  p95 %s  p99 %s\n", ep, st.Requests,
+			time.Duration(st.P50US)*time.Microsecond,
+			time.Duration(st.P95US)*time.Microsecond,
+			time.Duration(st.P99US)*time.Microsecond)
+	}
+	fmt.Fprintf(w, "  backpressure: %d submissions rejected 503 (%d without Retry-After)\n",
+		res.Backpressure.Rejected503, res.Backpressure.MissingRetryAfter)
+	fmt.Fprintf(w, "  cross-check: %d series, agree=%v\n", res.CrossCheck.Series, res.CrossCheck.Agree)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			_, err = w.Write(data)
+		} else {
+			err = os.WriteFile(*jsonOut, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if !res.CrossCheck.Agree {
+		return fmt.Errorf("loadgen: server/client counter mismatch:\n  %s",
+			strings.Join(res.CrossCheck.Mismatches, "\n  "))
+	}
+	if res.Backpressure.MissingRetryAfter > 0 {
+		return fmt.Errorf("loadgen: %d 503 responses lacked Retry-After", res.Backpressure.MissingRetryAfter)
+	}
+	if res.CampaignsFailed > 0 {
+		return fmt.Errorf("loadgen: %d campaigns did not complete", res.CampaignsFailed)
 	}
 	return nil
 }

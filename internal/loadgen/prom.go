@@ -1,0 +1,154 @@
+// Strict parsing of the Prometheus text exposition format (version 0.0.4),
+// as served by `concat serve` on /metrics. The parser is deliberately
+// unforgiving — the loadgen harness and the CI smoke use it to prove the
+// service's exposition output round-trips through a real consumer, so any
+// malformed HELP/TYPE line, unbalanced label brace or unparseable value is
+// an error, not a skip.
+
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Scrape is one parsed /metrics exposition: every sample keyed by its full
+// series name (family plus sorted label set, exactly as rendered), plus the
+// declared TYPE of every family.
+type Scrape struct {
+	Samples map[string]float64
+	Types   map[string]string
+}
+
+// Value returns the sample's value, or 0 for an absent series (a counter
+// never incremented is legitimately absent from the exposition).
+func (s *Scrape) Value(series string) float64 { return s.Samples[series] }
+
+// promKinds are the metric kinds the service emits.
+var promKinds = map[string]bool{"counter": true, "gauge": true, "histogram": true}
+
+// sampleFamily strips a histogram sample's _bucket/_sum/_count suffix to
+// recover its family name.
+func sampleFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if f, ok := strings.CutSuffix(name, suf); ok {
+			return f
+		}
+	}
+	return name
+}
+
+// splitSample splits one sample line into its series name (with any label
+// braces) and its value text, honouring spaces inside quoted label values.
+func splitSample(line string) (series, value string, err error) {
+	// The name may contain {labels} with embedded spaces; the value is the
+	// field after the closing brace, or after the first space for a plain
+	// name.
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := closingBrace(line, i)
+		if j < 0 {
+			return "", "", fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		rest := strings.TrimSpace(line[j+1:])
+		if rest == "" {
+			return "", "", fmt.Errorf("sample without value in %q", line)
+		}
+		return line[:j+1], rest, nil
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("malformed sample line %q", line)
+	}
+	return fields[0], fields[1], nil
+}
+
+// closingBrace finds the index of the '}' matching the '{' at open,
+// skipping escaped characters inside quoted label values.
+func closingBrace(line string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped character
+			}
+		case '"':
+			inQuote = !inQuote
+		case '}':
+			if !inQuote {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// ParseExposition parses a /metrics body, enforcing the structural
+// invariants of the text format: HELP lines carry a docstring, TYPE lines a
+// known kind, every sample's family was declared by a TYPE line, and no
+// series appears twice.
+func ParseExposition(body string) (*Scrape, error) {
+	scrape := &Scrape{Samples: map[string]float64{}, Types: map[string]string{}}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			return nil, fmt.Errorf("metrics line %d: blank line", lineNo)
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			if len(strings.Fields(rest)) < 2 {
+				return nil, fmt.Errorf("metrics line %d: HELP without docstring: %q", lineNo, line)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("metrics line %d: malformed TYPE: %q", lineNo, line)
+			}
+			family, kind := fields[0], fields[1]
+			if !promKinds[kind] {
+				return nil, fmt.Errorf("metrics line %d: unknown kind %q", lineNo, kind)
+			}
+			if prev, ok := scrape.Types[family]; ok && prev != kind {
+				return nil, fmt.Errorf("metrics line %d: family %s re-typed %s -> %s", lineNo, family, prev, kind)
+			}
+			scrape.Types[family] = kind
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		series, valueText, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: %w", lineNo, err)
+		}
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if _, ok := scrape.Types[sampleFamily(name)]; !ok {
+			return nil, fmt.Errorf("metrics line %d: sample %s has no TYPE declaration", lineNo, name)
+		}
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics line %d: value %q: %v", lineNo, valueText, err)
+		}
+		if _, dup := scrape.Samples[series]; dup {
+			return nil, fmt.Errorf("metrics line %d: duplicate series %s", lineNo, series)
+		}
+		scrape.Samples[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scanning metrics body: %w", err)
+	}
+	if len(scrape.Samples) == 0 {
+		return nil, fmt.Errorf("metrics body contains no samples")
+	}
+	return scrape, nil
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -25,6 +26,59 @@ func bucketLabel(us int64) string {
 
 // slowestN is how many labelled observations each slowest-tracker keeps.
 const slowestN = 10
+
+// EscapeLabelValue escapes a Prometheus label value per the text exposition
+// format (version 0.0.4): backslash, double quote and line feed become \\,
+// \" and \n. Everything else — including other control characters and
+// non-ASCII — passes through unchanged, which is what the format specifies.
+func EscapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Labeled builds an internal metric name carrying a Prometheus label set:
+// "family{k1=\"v1\",k2=\"v2\"}". Pairs alternate key, value; keys must
+// already be valid Prometheus label names, values are escaped here. Pairs
+// are sorted by key so the same logical series always yields the same
+// string — the name doubles as the series identity in the counter map and
+// in client-side cross-checks against a /metrics scrape.
+func Labeled(family string, pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic("obs: Labeled needs alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(p.v))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // hist is one duration histogram.
 type hist struct {

@@ -32,9 +32,22 @@ func promSanitize(name string) string {
 	return b.String()
 }
 
+// splitLabeled splits an obs.Labeled name ("family{k=\"v\",...}") into its
+// family and its brace-enclosed label body. ok is false for plain names.
+func splitLabeled(name string) (family, label string, ok bool) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return "", "", false
+	}
+	return name[:i], name[i+1 : len(name)-1], true
+}
+
 // promCounter maps one internal counter name to (family, label) — label is
 // empty for plain counters.
 func promCounter(name string) (family, label string) {
+	if fam, lbl, ok := splitLabeled(name); ok {
+		return "concat_" + promSanitize(fam) + "_total", lbl
+	}
 	if rest, ok := strings.CutPrefix(name, "case.outcome."); ok {
 		return "concat_case_outcome_total", fmt.Sprintf("outcome=%q", rest)
 	}
@@ -49,6 +62,9 @@ func promCounter(name string) (family, label string) {
 
 // promHist maps one internal histogram name to (family, label).
 func promHist(name string) (family, label string) {
+	if fam, lbl, ok := splitLabeled(name); ok {
+		return "concat_" + promSanitize(fam) + "_seconds", lbl
+	}
 	if rest, ok := strings.CutPrefix(name, "mutant.kill-latency."); ok {
 		return "concat_mutant_kill_latency_seconds", fmt.Sprintf("operator=%q", rest)
 	}
@@ -74,10 +90,43 @@ func joinLabels(labels ...string) string {
 	return "{" + strings.Join(parts, ",") + "}"
 }
 
+// EscapeHelp escapes a HELP line's docstring per the text exposition
+// format: backslash and line feed become \\ and \n (quotes are not special
+// in HELP text).
+func EscapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// promHelp documents the well-known families; unknown families fall back to
+// a generic line naming the internal metric.
+var promHelp = map[string]string{
+	"concat_case_outcome_total":            "Test-case outcomes by verdict across every run this process executed.",
+	"concat_mutant_kills_total":            "Mutants killed, by the oracle reason that caught them.",
+	"concat_job_outcome_total":             "Campaign-service jobs reaching a terminal state, by state.",
+	"concat_mutant_kill_latency_seconds":   "Wall-clock time from mutant start to its killing verdict, by operator.",
+	"concat_http_requests_total":           "HTTP requests served, by route pattern, method and status code.",
+	"concat_http_request_duration_seconds": "HTTP request latency by route pattern and method.",
+	"concat_store_get_duration_seconds":    "Verdict-store read-path latency as observed by the campaign service.",
+}
+
+// PromFamilyHeader renders the HELP and TYPE header lines introducing one
+// metric family, with the help text escaped for the exposition format. An
+// empty help falls back to the well-known-family table or a generic line.
+func PromFamilyHeader(family, kind, help string) string {
+	if help == "" {
+		help = promHelp[family]
+	}
+	if help == "" {
+		help = "Internal concat metric " + family + "."
+	}
+	return fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n", family, EscapeHelp(help), family, kind)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4): every counter as a *_total family, every duration
 // histogram as a *_seconds histogram with cumulative le buckets. Families
-// are emitted in sorted order with one TYPE header each.
+// are emitted in sorted order with one HELP and one TYPE header each.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	var b strings.Builder
 
@@ -85,7 +134,7 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	header := func(family, kind string) {
 		if !typed[family] {
 			typed[family] = true
-			fmt.Fprintf(&b, "# TYPE %s %s\n", family, kind)
+			b.WriteString(PromFamilyHeader(family, kind, ""))
 		}
 	}
 

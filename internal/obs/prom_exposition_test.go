@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bufio"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLabeledSortsAndEscapes pins the Labeled contract: pairs sort by key
+// and values carry exposition-format escapes, so the same logical series
+// always produces the same internal name.
+func TestLabeledSortsAndEscapes(t *testing.T) {
+	got := Labeled("http_requests", "route", "/campaigns", "code", "202", "method", "POST")
+	want := `http_requests{code="202",method="POST",route="/campaigns"}`
+	if got != want {
+		t.Errorf("Labeled = %q, want %q", got, want)
+	}
+	got = Labeled("f", "k", "a\\b\"c\nd")
+	want = `f{k="a\\b\"c\nd"}`
+	if got != want {
+		t.Errorf("Labeled escaping = %q, want %q", got, want)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	for in, want := range map[string]string{
+		`plain`:        `plain`,
+		`back\slash`:   `back\\slash`,
+		`qu"ote`:       `qu\"ote`,
+		"new\nline":    `new\nline`,
+		"\\\"\n":       `\\\"\n`,
+		"tab\tstays":   "tab\tstays", // only \, " and LF are special
+		"utf8 héllo ✓": "utf8 héllo ✓",
+	} {
+		if got := EscapeLabelValue(in); got != want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusExpositionFormat walks the rendered text line by line
+// and checks the exposition-format invariants the satellite pins: every
+// family introduced by exactly one HELP line immediately followed by its
+// TYPE line, label values escaped, sample lines shaped `name{labels} value`.
+func TestWritePrometheusExpositionFormat(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("case.outcome.pass", 3)
+	m.Inc(Labeled("http_requests", "route", "/campaigns", "method", "POST", "code", "202"), 7)
+	m.Inc(Labeled("weird", "v", "a\\b\"c\nd"), 1)
+	m.Observe(Labeled("http_request_duration", "route", "/campaigns", "method", "POST"), "", 250*time.Microsecond)
+	var b strings.Builder
+	if err := m.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP concat_http_requests_total ",
+		"# TYPE concat_http_requests_total counter",
+		`concat_http_requests_total{code="202",method="POST",route="/campaigns"} 7`,
+		`concat_weird_total{v="a\\b\"c\nd"} 1`,
+		"# HELP concat_http_request_duration_seconds ",
+		"# TYPE concat_http_request_duration_seconds histogram",
+		`concat_http_request_duration_seconds_bucket{method="POST",route="/campaigns",le="0.001"} 1`,
+		`concat_http_request_duration_seconds_count{method="POST",route="/campaigns"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// A raw newline inside a label value would split the sample across two
+	// lines; the escaped form must keep every sample on one line.
+	sc := bufio.NewScanner(strings.NewReader(out))
+	var prevHelpFamily string
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			t.Errorf("blank line in exposition output")
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.Fields(line)
+			if len(fields) < 4 {
+				t.Errorf("HELP line without docstring: %q", line)
+			}
+			prevHelpFamily = fields[2]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+				continue
+			}
+			if fields[2] != prevHelpFamily {
+				t.Errorf("TYPE for %s not preceded by its HELP line", fields[2])
+			}
+			if k := fields[3]; k != "counter" && k != "histogram" && k != "gauge" {
+				t.Errorf("unknown metric kind in %q", line)
+			}
+			continue
+		}
+		// Sample line: name (with optional {labels}) space value.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Errorf("sample line without value: %q", line)
+			continue
+		}
+		name := line[:sp]
+		if i := strings.IndexByte(name, '{'); i >= 0 && !strings.HasSuffix(name, "}") {
+			t.Errorf("unbalanced label braces in %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMetricsConcurrent hammers one Metrics with parallel Inc, Observe and
+// Snapshot from many goroutines; -race turns any unsynchronized access into
+// a failure, and the final counts must equal the work submitted.
+func TestMetricsConcurrent(t *testing.T) {
+	m := NewMetrics()
+	const goroutines = 16
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Inc("shared.counter", 1)
+				m.Inc(Labeled("http_requests", "route", "/campaigns", "method", "POST", "code", "202"), 1)
+				m.Observe("shared.duration", "", time.Duration(i+1)*time.Microsecond)
+				if i%10 == 0 {
+					snap := m.Snapshot()
+					var b strings.Builder
+					if err := snap.WritePrometheus(&b); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := m.Snapshot()
+	if got := snap.Counters["shared.counter"]; got != goroutines*perG {
+		t.Errorf("shared.counter = %d, want %d", got, goroutines*perG)
+	}
+	if got := snap.Counters[Labeled("http_requests", "route", "/campaigns", "method", "POST", "code", "202")]; got != goroutines*perG {
+		t.Errorf("labeled counter = %d, want %d", got, goroutines*perG)
+	}
+	h, ok := snap.Durations["shared.duration"]
+	if !ok || h.Count != goroutines*perG {
+		t.Errorf("shared.duration count = %+v, want %d observations", h, goroutines*perG)
+	}
+}

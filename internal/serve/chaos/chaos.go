@@ -66,6 +66,10 @@ type Faults struct {
 	// serve package must contain it, retry with backoff, and quarantine
 	// the job once attempts are exhausted.
 	CampaignStart func(jobID string, attempt int)
+	// JournalReplay, when non-nil, runs in the server's start sequence
+	// before the journal is replayed. Blocking here holds the server in the
+	// not-ready state — the hook readiness probes are tested against.
+	JournalReplay func()
 }
 
 // FlipByte XORs one byte of the file at path with 0xFF — the minimal

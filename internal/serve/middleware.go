@@ -1,0 +1,188 @@
+// HTTP observability for the campaign service: per-endpoint RED metrics
+// (rate, errors, duration) recorded into the server's obs.Metrics, an
+// in-flight gauge, per-request IDs, and NDJSON structured access logs.
+//
+// Everything here is a side channel with the same determinism bar as span
+// tracing (PR 3): instrumentation observes requests after the handler
+// produced its bytes and never feeds anything back into the campaign
+// machinery, so an access-logged request produces a byte-identical campaign
+// report to an unlogged one — a regression test pins that.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concat/internal/obs"
+	"concat/internal/store"
+)
+
+// statusRecorder captures the response status and byte count while
+// preserving the http.Flusher the events stream depends on.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// AccessLogEntry is one NDJSON access-log line. Fields involving time are
+// wall-clock and belong to the side channel only; everything else is a pure
+// function of the request and response.
+type AccessLogEntry struct {
+	Time   string `json:"ts"`
+	ID     string `json:"id"`
+	Method string `json:"method"`
+	Route  string `json:"route"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	Bytes  int64  `json:"bytes"`
+	DurUS  int64  `json:"durUs"`
+	Remote string `json:"remote,omitempty"`
+}
+
+// accessLogger serializes NDJSON access-log lines onto one writer.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *accessLogger) log(e AccessLogEntry) {
+	if l == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	_, _ = l.w.Write(append(line, '\n'))
+	l.mu.Unlock()
+}
+
+// instrument wraps one route's handler with the RED recorder: request
+// counter by (route, method, code), latency histogram by (route, method),
+// the process-wide in-flight gauge, a per-request ID threaded into the
+// response (X-Request-ID) and the access log. The route label is the
+// registration pattern's path — bounded cardinality, never the raw URL.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("r%08d", s.nRequests.Add(1))
+		w.Header().Set("X-Request-ID", id)
+		rec := &statusRecorder{ResponseWriter: w}
+		s.inFlight.Add(1)
+		start := time.Now()
+		h(rec, r)
+		dur := time.Since(start)
+		s.inFlight.Add(-1)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.metrics.Inc(obs.Labeled("http_requests",
+			"route", route, "method", r.Method, "code", strconv.Itoa(rec.status)), 1)
+		s.metrics.Observe(obs.Labeled("http_request_duration",
+			"route", route, "method", r.Method), "", dur)
+		s.accessLog.log(AccessLogEntry{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			ID:     id,
+			Method: r.Method,
+			Route:  route,
+			Path:   r.URL.Path,
+			Status: rec.status,
+			Bytes:  rec.bytes,
+			DurUS:  dur.Microseconds(),
+			Remote: r.RemoteAddr,
+		})
+	}
+}
+
+// subscriber is one live /events client, registered for the scrape-time
+// subscriber-count and broadcast-lag gauges.
+type subscriber struct {
+	job *Job
+	off atomic.Int64
+}
+
+// addSubscriber registers a live events stream and returns its handle plus
+// the deregistration func.
+func (s *Server) addSubscriber(j *Job) (*subscriber, func()) {
+	sub := &subscriber{job: j}
+	s.subMu.Lock()
+	if s.subs == nil {
+		s.subs = make(map[*subscriber]struct{})
+	}
+	s.subs[sub] = struct{}{}
+	s.subMu.Unlock()
+	return sub, func() {
+		s.subMu.Lock()
+		delete(s.subs, sub)
+		s.subMu.Unlock()
+	}
+}
+
+// subscriberStats snapshots the events gauges: the number of live /events
+// streams and the worst broadcast lag (bytes written to a followed job's
+// trace that its slowest subscriber has not yet consumed).
+func (s *Server) subscriberStats() (count int, maxLag int64) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	for sub := range s.subs {
+		count++
+		if lag := int64(sub.job.Trace().Len()) - sub.off.Load(); lag > maxLag {
+			maxLag = lag
+		}
+	}
+	return count, maxLag
+}
+
+// timedStore wraps the configured verdict-store backend with read-path
+// timing: every Get records into the store.get.duration histogram (the
+// concat_store_get_duration_seconds family on /metrics). Writes and stats
+// pass through untouched. The wrapper is only installed over an enabled
+// backend — runCampaign paths use it, while Config.Store keeps its original
+// dynamic type for the RawBackend /store mount and Enabled checks.
+type timedStore struct {
+	inner   store.Backend
+	metrics *obs.Metrics
+}
+
+func (t *timedStore) Get(k store.Key, out any) (bool, error) {
+	start := time.Now()
+	ok, err := t.inner.Get(k, out)
+	t.metrics.Observe("store.get.duration", "", time.Since(start))
+	return ok, err
+}
+
+func (t *timedStore) Put(k store.Key, value any) error { return t.inner.Put(k, value) }
+
+func (t *timedStore) Len() (entries, skipped int, err error) { return t.inner.Len() }
+
+func (t *timedStore) Stats() store.Stats { return t.inner.Stats() }

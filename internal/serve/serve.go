@@ -37,9 +37,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -60,6 +62,10 @@ import (
 	"concat/internal/tfm"
 	"concat/internal/tspec"
 )
+
+// Version identifies this build of the campaign service on the
+// concat_build_info metric and in client User-Agent strings.
+const Version = "0.10.0"
 
 // ErrQueueFull is returned by Submit when the pending-campaign queue is at
 // capacity; the HTTP layer maps it to 503 Service Unavailable with a
@@ -227,6 +233,9 @@ type Job struct {
 	// restored holds the terminal status snapshot of a job replayed from
 	// the journal, whose *analysis.Result no longer exists in memory.
 	restored *Status
+	// enqueuedAt is when the job last entered the queued state, feeding
+	// the queue-age gauge. Wall-clock; never journaled.
+	enqueuedAt time.Time
 
 	trace *obs.Broadcast
 	done  chan struct{}
@@ -258,11 +267,21 @@ func (j *Job) endAttempt(token int) bool {
 	return true
 }
 
-// setQueued parks the job back in the queued state for a retry.
+// setQueued parks the job in the queued state (admission, replay, retry)
+// and stamps the queue-age clock.
 func (j *Job) setQueued() {
 	j.mu.Lock()
 	j.state = StateQueued
+	j.enqueuedAt = time.Now()
 	j.mu.Unlock()
+}
+
+// queuedSince returns when the job entered the queue; ok is false unless
+// the job is currently queued.
+func (j *Job) queuedSince() (time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.enqueuedAt, j.state == StateQueued && !j.enqueuedAt.IsZero()
 }
 
 // finishDone moves the job to its terminal done state and releases waiters.
@@ -480,6 +499,12 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the handler.
 	// Off by default: profiling endpoints are opt-in surface.
 	EnablePprof bool
+	// AccessLog, when non-nil, receives one NDJSON line per completed HTTP
+	// request (AccessLogEntry schema): request ID, method, route pattern,
+	// status, bytes, latency. A side channel with the tracing determinism
+	// bar — logged and unlogged requests produce byte-identical campaign
+	// results.
+	AccessLog io.Writer
 	// Faults is the chaos kit's injection surface; nil in production.
 	Faults *chaos.Faults
 	// Logf, when non-nil, receives one line per job transition.
@@ -567,6 +592,25 @@ type Server struct {
 	journal *Journal
 	wg      sync.WaitGroup
 
+	// ready is closed once the journal replay completed and the server
+	// accepts work; /readyz answers 503 until then. New closes it before
+	// returning; NewStarting closes it from the background start goroutine.
+	ready chan struct{}
+
+	// store is the verdict backend the campaign paths actually use: the
+	// configured Config.Store wrapped with read-path timing when enabled.
+	// Config.Store keeps its original dynamic type for the RawBackend
+	// /store mount and Enabled checks.
+	store store.Backend
+
+	// HTTP observability (middleware.go).
+	nRequests atomic.Int64 // per-request ID allocator
+	inFlight  atomic.Int64 // requests currently being served
+	busy      atomic.Int64 // workers currently executing a job
+	accessLog *accessLogger
+	subMu     sync.Mutex
+	subs      map[*subscriber]struct{}
+
 	// Recovery counters, exposed on /metrics from process start.
 	nReplayed       atomic.Int64
 	nJournalCorrupt atomic.Int64
@@ -605,12 +649,30 @@ type Server struct {
 	durIdx   int
 }
 
-// New starts the worker pool and returns the server. With a journal
-// configured it first replays the previous process's records: terminal
-// jobs are restored verbatim (report, artifact, status), and queued or
+// New starts the worker pool, replays the journal, and returns the server
+// ready to accept work. With a journal configured the replay restores
+// terminal jobs verbatim (report, artifact, status) and reclaims queued or
 // running jobs — running means the previous process died mid-campaign —
-// are reclaimed into the queue to execute again, warm against the store.
+// into the queue to execute again, warm against the store.
 func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+// NewStarting returns the server immediately and runs the journal replay in
+// the background — the daemon path: the HTTP listener can come up at once,
+// with /readyz answering 503 until the replay completes and every Submit
+// blocking for readiness so job IDs stay sequential across restarts.
+func NewStarting(cfg Config) *Server {
+	s := newServer(cfg)
+	go s.start()
+	return s
+}
+
+// newServer builds the server without starting it: no journal replay has
+// run and the ready channel is still open.
+func newServer(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 16
 	}
@@ -622,29 +684,55 @@ func New(cfg Config) *Server {
 		metrics: obs.NewMetrics(),
 		journal: cfg.Journal,
 		jobs:    map[string]*Job{},
+		ready:   make(chan struct{}),
 	}
 	s.campaign = s.runCampaign
+	s.store = cfg.Store
+	if store.Enabled(cfg.Store) {
+		s.store = &timedStore{inner: cfg.Store, metrics: s.metrics}
+	}
+	if cfg.AccessLog != nil {
+		s.accessLog = &accessLogger{w: cfg.AccessLog}
+	}
 	if s.journal != nil {
 		s.journal.Faults = cfg.Faults
 	}
-	pending := s.replayJournal()
-	// Channel headroom beyond the admission bound: replayed jobs, one slot
-	// per worker, and retry re-enqueues never block the senders.
-	s.queue = make(chan *Job, cfg.QueueDepth+cfg.Workers+len(pending)+8)
+	// Channel headroom beyond the admission bound: one slot per worker and
+	// retry re-enqueues never block the senders; the replay loop in start
+	// may block on a deep journal, but the workers are already draining.
+	s.queue = make(chan *Job, cfg.QueueDepth+cfg.Workers+8)
 	s.stop = make(chan struct{})
-	for _, j := range pending {
-		s.queued++
-		s.active++
-		s.queue <- j
-		s.nReplayed.Add(1)
-		s.journalJob(j) // persist running -> queued reclaims
-		s.logf("serve: %s replayed from journal (%s, attempts %d)", j.ID, j.Req.Component, j.Attempts())
-	}
-	for i := 0; i < cfg.Workers; i++ {
+	return s
+}
+
+// start spins up the workers, replays the journal into the queue, and
+// marks the server ready. New runs it synchronously; NewStarting in a
+// background goroutine, during which /readyz reports the server unready.
+func (s *Server) start() {
+	defer close(s.ready)
+	for i := 0; i < s.cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	if f := s.cfg.Faults; f != nil && f.JournalReplay != nil {
+		f.JournalReplay()
+	}
+	pending := s.replayJournal()
+	for _, j := range pending {
+		s.mu.Lock()
+		s.queued++
+		s.active++
+		s.mu.Unlock()
+		j.setQueued()
+		s.nReplayed.Add(1)
+		s.journalJob(j) // persist running -> queued reclaims
+		s.logf("serve: %s replayed from journal (%s, attempts %d)", j.ID, j.Req.Component, j.Attempts())
+		select {
+		case s.queue <- j:
+		case <-s.stop:
+			return // still journaled queued; the next process replays it
+		}
+	}
 }
 
 // replayJournal loads the journal into the jobs map and returns the jobs
@@ -695,11 +783,15 @@ func (s *Server) replayJournal() []*Job {
 			j.state = StateQueued
 			pending = append(pending, j)
 		}
+		// NewStarting replays with the HTTP surface already live, so the
+		// jobs map mutates under the lock like everywhere else.
+		s.mu.Lock()
 		if rec.Seq > s.nextID {
 			s.nextID = rec.Seq
 		}
 		s.jobs[j.ID] = j
 		s.order = append(s.order, j.ID)
+		s.mu.Unlock()
 	}
 	return pending
 }
@@ -751,6 +843,13 @@ func (s *Server) Submit(req Request) (*Job, error) {
 			return nil, err
 		}
 	}
+	// Admission waits for the journal replay so job IDs stay sequential
+	// across restarts even when the daemon took submissions while starting.
+	select {
+	case <-s.ready:
+	case <-s.stop:
+		return nil, ErrClosed
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -764,12 +863,13 @@ func (s *Server) Submit(req Request) (*Job, error) {
 	}
 	seq := s.nextID + 1
 	j := &Job{
-		ID:    fmt.Sprintf("c%d", seq),
-		seq:   seq,
-		Req:   req,
-		state: StateQueued,
-		trace: obs.NewBroadcastCapped(s.cfg.traceCap()),
-		done:  make(chan struct{}),
+		ID:         fmt.Sprintf("c%d", seq),
+		seq:        seq,
+		Req:        req,
+		state:      StateQueued,
+		enqueuedAt: time.Now(),
+		trace:      obs.NewBroadcastCapped(s.cfg.traceCap()),
+		done:       make(chan struct{}),
 	}
 	// Write-ahead: the journal append precedes every other effect. A
 	// submission the journal cannot make durable is refused outright.
@@ -831,6 +931,7 @@ func (s *Server) Close() {
 // still queued or running past the deadline stay journaled in those states
 // and replay on the next start.
 func (s *Server) Drain(timeout time.Duration) bool {
+	<-s.ready // never checkpoint mid-replay
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
@@ -852,6 +953,9 @@ func (s *Server) Drain(timeout time.Duration) bool {
 }
 
 func (s *Server) shutdown(waitIdle bool) {
+	// Wait out a background start: every worker is registered on the wait
+	// group and the replay has finished enqueueing before stop closes.
+	<-s.ready
 	s.mu.Lock()
 	alreadyClosed := s.closed
 	s.closed = true
@@ -967,6 +1071,8 @@ type jobOutcome struct {
 // panicking campaign is contained and retried; shutdown mid-attempt leaves
 // the job journaled as running for the next process to reclaim.
 func (s *Server) runJob(j *Job) {
+	s.busy.Add(1)
+	defer s.busy.Add(-1)
 	token, attempt := j.beginAttempt()
 	s.logf("serve: %s running (attempt %d)", j.ID, attempt)
 	s.journalJob(j)
@@ -1106,7 +1212,7 @@ func (s *Server) runImpact(j *Job) (*analysis.Result, []byte, error) {
 		Providers:     comp.Providers,
 		Gen:           j.Req.genOptions(),
 		Exec:          exec,
-		Store:         s.cfg.Store,
+		Store:         s.store,
 		Parallelism:   s.cfg.Parallelism,
 		MutantMethods: mutantMethods(t),
 	}
@@ -1184,7 +1290,7 @@ func (s *Server) runLocal(j *Job) (*analysis.Result, []byte, error) {
 	res, err := core.MutationRunOpts(j.Req.Component, suite, j.Req.Methods, nil, core.MutationOptions{
 		Exec:        exec,
 		Parallelism: s.cfg.Parallelism,
-		Store:       s.cfg.Store,
+		Store:       s.store,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -1231,30 +1337,39 @@ func (s *Server) runLocal(j *Job) (*analysis.Result, []byte, error) {
 //	GET  /store                store entry counts and lookup stats
 //	GET  /metrics              Prometheus text-format metrics
 //	GET  /healthz              liveness
+//	GET  /readyz               readiness: 503 while starting (journal replay) or draining
 //	     /debug/pprof/...      net/http/pprof (only with Config.EnablePprof)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Every route registers through the RED middleware: the route label is
+	// the registration pattern (bounded cardinality), and the handler runs
+	// wrapped with the request counter, latency histogram, in-flight gauge,
+	// request ID and access log (middleware.go).
+	handle := func(method, route string, h http.HandlerFunc) {
+		mux.HandleFunc(method+" "+route, s.instrument(route, h))
+	}
+	handle("GET", "/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("POST /campaigns", s.handleSubmit)
-	mux.HandleFunc("POST /impact", s.handleImpact)
-	mux.HandleFunc("GET /campaigns", s.handleList)
-	mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
-	mux.HandleFunc("GET /campaigns/{id}/report", s.handleReport)
-	mux.HandleFunc("GET /campaigns/{id}/coverage", s.handleCoverage)
-	mux.HandleFunc("GET /campaigns/{id}/impact", s.handleImpactArtifact)
-	mux.HandleFunc("GET /campaigns/{id}/events", s.handleEvents)
-	mux.HandleFunc("POST /work/lease", s.handleWorkLease)
-	mux.HandleFunc("POST /work/{id}/shards/{shard}", s.handleShardDone)
+	handle("GET", "/readyz", s.handleReadyz)
+	handle("POST", "/campaigns", s.handleSubmit)
+	handle("POST", "/impact", s.handleImpact)
+	handle("GET", "/campaigns", s.handleList)
+	handle("GET", "/campaigns/{id}", s.handleStatus)
+	handle("GET", "/campaigns/{id}/report", s.handleReport)
+	handle("GET", "/campaigns/{id}/coverage", s.handleCoverage)
+	handle("GET", "/campaigns/{id}/impact", s.handleImpactArtifact)
+	handle("GET", "/campaigns/{id}/events", s.handleEvents)
+	handle("POST", "/work/lease", s.handleWorkLease)
+	handle("POST", "/work/{id}/shards/{shard}", s.handleShardDone)
 	if rb, ok := s.cfg.Store.(store.RawBackend); ok && store.Enabled(s.cfg.Store) {
 		sh := store.NewHandler(rb)
-		mux.Handle("GET /store", sh)
-		mux.Handle("GET /store/{id}", sh)
-		mux.Handle("PUT /store/{id}", sh)
+		handle("GET", "/store", sh.ServeHTTP)
+		handle("GET", "/store/{id}", sh.ServeHTTP)
+		handle("PUT", "/store/{id}", sh.ServeHTTP)
 	}
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	handle("GET", "/metrics", s.handleMetrics)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -1263,6 +1378,45 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
+}
+
+// Ready reports whether the server finished starting (journal replay
+// complete) and is accepting work.
+func (s *Server) Ready() bool {
+	select {
+	case <-s.ready:
+	default:
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.draining && !s.closed
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness: a
+// starting server (journal replay still running) and a draining one both
+// answer 503 so load balancers route around them, while /healthz keeps
+// reporting the process alive.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	select {
+	case <-s.ready:
+	default:
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "starting: journal replay in progress")
+		return
+	}
+	s.mu.Lock()
+	draining, closed := s.draining, s.closed
+	s.mu.Unlock()
+	if draining || closed {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -1451,20 +1605,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
+	counter := func(family, help string, v int64) {
+		b.WriteString(obs.PromFamilyHeader(family, "counter", help))
+		fmt.Fprintf(&b, "%s %d\n", family, v)
+	}
+	gauge := func(family, help string, v any) {
+		b.WriteString(obs.PromFamilyHeader(family, "gauge", help))
+		fmt.Fprintf(&b, "%s %v\n", family, v)
+	}
+	b.WriteString(obs.PromFamilyHeader("concat_build_info", "gauge",
+		"Build metadata; the value is always 1."))
+	fmt.Fprintf(&b, "concat_build_info{version=%q,goversion=%q} 1\n",
+		obs.EscapeLabelValue(Version), obs.EscapeLabelValue(runtime.Version()))
 	stats := store.BackendStats(s.cfg.Store)
-	fmt.Fprintf(&b, "# TYPE concat_store_hits_total counter\nconcat_store_hits_total %d\n", stats.Hits)
-	fmt.Fprintf(&b, "# TYPE concat_store_misses_total counter\nconcat_store_misses_total %d\n", stats.Misses)
-	fmt.Fprintf(&b, "# TYPE concat_store_quarantined_total counter\nconcat_store_quarantined_total %d\n", stats.Quarantined)
-	fmt.Fprintf(&b, "# TYPE concat_shard_leases_total counter\nconcat_shard_leases_total %d\n", s.nShardLeases.Load())
-	fmt.Fprintf(&b, "# TYPE concat_shard_reclaims_total counter\nconcat_shard_reclaims_total %d\n", s.nShardReclaims.Load())
-	fmt.Fprintf(&b, "# TYPE concat_journal_replayed_total counter\nconcat_journal_replayed_total %d\n", s.nReplayed.Load())
-	fmt.Fprintf(&b, "# TYPE concat_journal_corrupt_total counter\nconcat_journal_corrupt_total %d\n", s.nJournalCorrupt.Load())
-	fmt.Fprintf(&b, "# TYPE concat_lease_reclaims_total counter\nconcat_lease_reclaims_total %d\n", s.nReclaims.Load())
-	fmt.Fprintf(&b, "# TYPE concat_job_retries_total counter\nconcat_job_retries_total %d\n", s.nRetries.Load())
-	fmt.Fprintf(&b, "# TYPE concat_jobs_quarantined_total counter\nconcat_jobs_quarantined_total %d\n", s.nQuarantined.Load())
-	fmt.Fprintf(&b, "# TYPE concat_impact_kept_total counter\nconcat_impact_kept_total %d\n", s.nImpactKept.Load())
-	fmt.Fprintf(&b, "# TYPE concat_impact_rerun_total counter\nconcat_impact_rerun_total %d\n", s.nImpactRerun.Load())
-	fmt.Fprintf(&b, "# TYPE concat_impact_regenerated_total counter\nconcat_impact_regenerated_total %d\n", s.nImpactRegen.Load())
+	counter("concat_store_hits_total", "Verdict-store lookups served from the cache.", int64(stats.Hits))
+	counter("concat_store_misses_total", "Verdict-store lookups that had to execute.", int64(stats.Misses))
+	counter("concat_store_quarantined_total", "Store entries quarantined for failing integrity.", int64(stats.Quarantined))
+	counter("concat_shard_leases_total", "Distributed-campaign shard leases granted.", s.nShardLeases.Load())
+	counter("concat_shard_reclaims_total", "Shard leases reclaimed from wedged workers.", s.nShardReclaims.Load())
+	counter("concat_journal_replayed_total", "Jobs replayed from the journal at startup.", s.nReplayed.Load())
+	counter("concat_journal_corrupt_total", "Corrupt journal records quarantined at replay.", s.nJournalCorrupt.Load())
+	counter("concat_lease_reclaims_total", "Job leases reclaimed from wedged attempts.", s.nReclaims.Load())
+	counter("concat_job_retries_total", "Job attempts retried after a crash or reclaim.", s.nRetries.Load())
+	counter("concat_jobs_quarantined_total", "Poison jobs parked after exhausting retries.", s.nQuarantined.Load())
+	counter("concat_impact_kept_total", "Impact-analysis cases kept (replayed warm).", s.nImpactKept.Load())
+	counter("concat_impact_rerun_total", "Impact-analysis cases re-executed.", s.nImpactRerun.Load())
+	counter("concat_impact_regenerated_total", "Impact-analysis cases regenerated and executed.", s.nImpactRegen.Load())
 	s.mu.Lock()
 	queued := s.queued
 	draining := 0
@@ -1472,24 +1638,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	s.mu.Unlock()
-	fmt.Fprintf(&b, "# TYPE concat_queue_depth gauge\nconcat_queue_depth %d\n", queued)
-	fmt.Fprintf(&b, "# TYPE concat_draining gauge\nconcat_draining %d\n", draining)
+	gauge("concat_queue_depth", "Jobs occupying admission slots.", queued)
+	gauge("concat_draining", "1 while the server drains toward shutdown.", draining)
+	gauge("concat_http_in_flight", "HTTP requests currently being served.", s.inFlight.Load())
+	gauge("concat_workers", "Configured campaign workers.", s.cfg.Workers)
+	gauge("concat_workers_busy", "Workers currently executing a job.", s.busy.Load())
+	subCount, maxLag := s.subscriberStats()
+	gauge("concat_events_subscribers", "Live /events NDJSON stream subscribers.", subCount)
+	gauge("concat_events_broadcast_lag_bytes", "Worst trace bytes written but not yet consumed by a live subscriber.", maxLag)
 
 	jobs := s.Jobs()
 	states := map[string]int{}
 	var covered []*Job
+	var oldestQueued time.Time
 	for _, j := range jobs {
 		states[j.Status().State]++
 		if sc, _ := j.Coverage(); sc != nil {
 			covered = append(covered, j)
 		}
+		if at, ok := j.queuedSince(); ok && (oldestQueued.IsZero() || at.Before(oldestQueued)) {
+			oldestQueued = at
+		}
 	}
-	fmt.Fprintf(&b, "# TYPE concat_jobs gauge\n")
+	queueAge := 0.0
+	if !oldestQueued.IsZero() {
+		queueAge = time.Since(oldestQueued).Seconds()
+	}
+	gauge("concat_queue_oldest_age_seconds", "Age of the oldest job waiting in the queue.", strconv.FormatFloat(queueAge, 'g', -1, 64))
+	b.WriteString(obs.PromFamilyHeader("concat_jobs", "gauge", "Jobs by lifecycle state."))
 	for _, state := range jobStates {
 		fmt.Fprintf(&b, "concat_jobs{state=%q} %d\n", state, states[state])
 	}
 	if len(covered) > 0 {
-		fmt.Fprintf(&b, "# TYPE concat_campaign_transaction_coverage_ratio gauge\n")
+		b.WriteString(obs.PromFamilyHeader("concat_campaign_transaction_coverage_ratio", "gauge",
+			"Per-campaign TFM transaction coverage, 0 to 1."))
 		for _, j := range covered {
 			sc, _ := j.Coverage()
 			fmt.Fprintf(&b, "concat_campaign_transaction_coverage_ratio{id=%q,component=%q} %g\n",
@@ -1519,6 +1701,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+	sub, done := s.addSubscriber(j)
+	defer done()
 	off := 0
 	for {
 		chunk, next, more := j.trace.Next(off, r.Context().Done())
@@ -1526,6 +1710,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		off = next
+		sub.off.Store(int64(next))
 		if _, err := w.Write(chunk); err != nil {
 			return
 		}
